@@ -1,0 +1,37 @@
+//! Ablation: the chase with the event index `H` (algorithm IsCR, Fig. 4)
+//! versus the naive fixpoint chase that rescans the grounded steps on every
+//! pass.  This quantifies the design choice called out in DESIGN.md §4
+//! ("grounding once, indexing events").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relacc_core::chase::{is_cr, naive_is_cr};
+use relacc_datagen::paper_example::paper_specification;
+use relacc_datagen::workloads::syn;
+use std::hint::black_box;
+
+fn bench_indexed_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/index_vs_naive");
+    group.sample_size(10);
+
+    let paper = paper_specification();
+    group.bench_function("indexed/paper_example", |b| {
+        b.iter(|| black_box(is_cr(&paper)))
+    });
+    group.bench_function("naive/paper_example", |b| {
+        b.iter(|| black_box(naive_is_cr(&paper)))
+    });
+
+    for ie in [60usize, 150, 300] {
+        let inst = syn(ie, 40, 24, 41);
+        group.bench_with_input(BenchmarkId::new("indexed/syn", ie), &inst, |b, inst| {
+            b.iter(|| black_box(is_cr(&inst.spec)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive/syn", ie), &inst, |b, inst| {
+            b.iter(|| black_box(naive_is_cr(&inst.spec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexed_vs_naive);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for algorithm IsCR (Exp-4 text: "IsCR takes less than 10 ms" on
+//! entity instances up to 1500 tuples), covering the paper's running example,
+//! Med/CFP-like entities and Syn instances of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relacc_core::chase::{chase_with_grounding, ground, is_cr};
+use relacc_datagen::paper_example::paper_specification;
+use relacc_datagen::workloads::{cfp, med, syn};
+use relacc_model::AccuracyOrders;
+use std::hint::black_box;
+
+fn bench_paper_example(c: &mut Criterion) {
+    let spec = paper_specification();
+    c.bench_function("iscr/paper_running_example", |b| {
+        b.iter(|| black_box(is_cr(black_box(&spec))))
+    });
+}
+
+fn bench_real_like(c: &mut Criterion) {
+    let med_data = med(0.01, 7);
+    let cfp_data = cfp(0.25, 8);
+    let mut group = c.benchmark_group("iscr/per_entity");
+    group.bench_function("med_entity", |b| {
+        let mut idx = 0usize;
+        b.iter(|| {
+            idx = (idx + 1) % med_data.entities.len();
+            black_box(is_cr(&med_data.specification(idx)))
+        })
+    });
+    group.bench_function("cfp_entity", |b| {
+        let mut idx = 0usize;
+        b.iter(|| {
+            idx = (idx + 1) % cfp_data.entities.len();
+            black_box(is_cr(&cfp_data.specification(idx)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_syn_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iscr/syn_ie_scaling");
+    group.sample_size(10);
+    for ie in [100usize, 300, 600, 900] {
+        let inst = syn(ie, 60, 30, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(ie), &inst, |b, inst| {
+            b.iter(|| black_box(is_cr(&inst.spec)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grounding_reuse(c: &mut Criterion) {
+    // the chase-only cost once Γ is pre-computed — this is what every
+    // candidate-target `check` pays inside the top-k algorithms
+    let inst = syn(300, 60, 30, 13);
+    let orders = AccuracyOrders::new(&inst.spec.ie);
+    let grounding = ground(&inst.spec, &orders);
+    c.bench_function("iscr/chase_with_precomputed_grounding", |b| {
+        b.iter(|| {
+            black_box(chase_with_grounding(
+                &inst.spec,
+                &grounding,
+                &inst.spec.initial_target,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_paper_example,
+    bench_real_like,
+    bench_syn_scaling,
+    bench_grounding_reuse
+);
+criterion_main!(benches);

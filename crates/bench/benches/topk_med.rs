@@ -1,0 +1,76 @@
+//! Benchmarks regenerating Fig. 7(a)/(b): elapsed time of the top-k algorithms
+//! on Med-like entities, grouped by entity-instance size and by the amount of
+//! master data available.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relacc_datagen::generator::RuleForms;
+use relacc_datagen::workloads::med;
+use relacc_topk::{topkct, topkcth, CandidateSearch, PreferenceModel};
+use std::hint::black_box;
+
+fn bench_by_entity_size(c: &mut Criterion) {
+    // Fig. 7(a): pick one representative entity per size bucket.
+    let data = med(0.05, 31);
+    let buckets = [(1usize, 18usize), (19, 36), (37, 90)];
+    let mut group = c.benchmark_group("fig7a/med_by_entity_size");
+    group.sample_size(10);
+    for (lo, hi) in buckets {
+        let Some(idx) = (0..data.entities.len())
+            .find(|&i| (lo..=hi).contains(&data.entities[i].instance.len()))
+        else {
+            continue;
+        };
+        let spec = data.specification(idx);
+        group.bench_with_input(
+            BenchmarkId::new("topkct", format!("[{lo},{hi}]")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let search =
+                        CandidateSearch::prepare(spec, PreferenceModel::occurrence(spec, 15))
+                            .expect("Med specs are Church-Rosser");
+                    black_box(topkct(&search))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("topkcth", format!("[{lo},{hi}]")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let search =
+                        CandidateSearch::prepare(spec, PreferenceModel::occurrence(spec, 15))
+                            .expect("Med specs are Church-Rosser");
+                    black_box(topkcth(&search))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_by_master_size(c: &mut Criterion) {
+    // Fig. 7(b): a fixed entity, varying how much master data is visible.
+    let data = med(0.05, 32);
+    let idx = (0..data.entities.len())
+        .max_by_key(|&i| data.entities[i].instance.len())
+        .unwrap();
+    let full = data.master.len();
+    let mut group = c.benchmark_group("fig7b/med_by_master_size");
+    group.sample_size(10);
+    for frac in [0usize, 2, 4] {
+        let limit = full * frac / 4;
+        let spec = data.specification_with(idx, RuleForms::Both, Some(limit));
+        group.bench_with_input(BenchmarkId::new("topkct", limit), &spec, |b, spec| {
+            b.iter(|| {
+                let search = CandidateSearch::prepare(spec, PreferenceModel::occurrence(spec, 15))
+                    .expect("Med specs are Church-Rosser");
+                black_box(topkct(&search))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_entity_size, bench_by_master_size);
+criterion_main!(benches);

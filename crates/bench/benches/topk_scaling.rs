@@ -1,0 +1,91 @@
+//! Benchmarks regenerating Fig. 6(i)–(l): elapsed time of RankJoinCT, TopKCT
+//! and TopKCTh on the synthetic `Syn` workload while varying ‖Ie‖, ‖Σ‖, ‖Im‖
+//! and k.  Parameter values are scaled down from the paper's so a full
+//! `cargo bench` stays in the minutes range; pass `--full-exp4` to the
+//! `experiments` binary for the paper-sized sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relacc_datagen::workloads::syn;
+use relacc_topk::{rank_join_ct, topkct, topkcth, CandidateSearch, PreferenceModel};
+use std::hint::black_box;
+
+const BASE_IE: usize = 180;
+const BASE_IM: usize = 60;
+const BASE_SIGMA: usize = 30;
+const BASE_K: usize = 15;
+
+fn run_algorithm(spec: &relacc_core::Specification, k: usize, which: &str) {
+    let preference = PreferenceModel::occurrence(spec, k);
+    let search = CandidateSearch::prepare(spec, preference).expect("Syn specs are Church-Rosser");
+    let result = match which {
+        "rankjoinct" => rank_join_ct(&search),
+        "topkct" => topkct(&search),
+        _ => topkcth(&search),
+    };
+    black_box(result);
+}
+
+fn bench_vary_ie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6i/vary_ie");
+    group.sample_size(10);
+    for ie in [60usize, 120, 180, 240] {
+        let inst = syn(ie, BASE_IM, BASE_SIGMA, 21);
+        for algo in ["rankjoinct", "topkct", "topkcth"] {
+            group.bench_with_input(
+                BenchmarkId::new(algo, ie),
+                &inst,
+                |b, inst| b.iter(|| run_algorithm(&inst.spec, BASE_K, algo)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vary_sigma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6j/vary_sigma");
+    group.sample_size(10);
+    for sigma in [10usize, 30, 50] {
+        let inst = syn(BASE_IE, BASE_IM, sigma, 22);
+        for algo in ["rankjoinct", "topkct", "topkcth"] {
+            group.bench_with_input(
+                BenchmarkId::new(algo, sigma),
+                &inst,
+                |b, inst| b.iter(|| run_algorithm(&inst.spec, BASE_K, algo)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vary_im(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6k/vary_im");
+    group.sample_size(10);
+    for im in [20usize, 60, 100] {
+        let inst = syn(BASE_IE, im, BASE_SIGMA, 23);
+        for algo in ["rankjoinct", "topkct", "topkcth"] {
+            group.bench_with_input(
+                BenchmarkId::new(algo, im),
+                &inst,
+                |b, inst| b.iter(|| run_algorithm(&inst.spec, BASE_K, algo)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_vary_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6l/vary_k");
+    group.sample_size(10);
+    let inst = syn(BASE_IE, BASE_IM, BASE_SIGMA, 24);
+    for k in [5usize, 15, 25] {
+        for algo in ["rankjoinct", "topkct", "topkcth"] {
+            group.bench_with_input(BenchmarkId::new(algo, k), &inst, |b, inst| {
+                b.iter(|| run_algorithm(&inst.spec, k, algo))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_ie, bench_vary_sigma, bench_vary_im, bench_vary_k);
+criterion_main!(benches);

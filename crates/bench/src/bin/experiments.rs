@@ -1,0 +1,63 @@
+//! Command-line entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [exp1|exp2|exp3|exp4|exp5|all] [--scale F] [--seed N] [--full-exp4]
+//! ```
+//!
+//! `--scale` shrinks the Med / CFP / Rest entity counts (default 0.05 ≈ a few
+//! hundred entities, finishing in well under a minute in release mode);
+//! `--scale 1.0` reproduces the paper's dataset sizes.  `--full-exp4` runs the
+//! Exp-4 sweeps at the paper's parameter values (‖Ie‖ up to 1500).
+
+use relacc_bench::{ExperimentConfig, Report};
+
+fn print_reports(reports: &[Report]) {
+    for report in reports {
+        println!("{}", report.render());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut config = ExperimentConfig::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "exp1" | "exp2" | "exp3" | "exp4" | "exp5" | "all" => which = arg.clone(),
+            "--scale" => {
+                if let Some(v) = iter.next() {
+                    config.scale = v.parse().expect("--scale takes a float");
+                }
+            }
+            "--seed" => {
+                if let Some(v) = iter.next() {
+                    config.seed = v.parse().expect("--seed takes an integer");
+                }
+            }
+            "--full-exp4" => config.full_exp4 = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: experiments [exp1|exp2|exp3|exp4|exp5|all] [--scale F] [--seed N] [--full-exp4]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "# relacc experiments — scale={} seed={} full_exp4={}",
+        config.scale, config.seed, config.full_exp4
+    );
+    println!();
+    let reports = match which.as_str() {
+        "exp1" => relacc_bench::experiments::exp1(&config),
+        "exp2" => relacc_bench::experiments::exp2(&config),
+        "exp3" => relacc_bench::experiments::exp3(&config),
+        "exp4" => relacc_bench::experiments::exp4(&config),
+        "exp5" => relacc_bench::experiments::exp5(&config),
+        _ => relacc_bench::experiments::run_all(&config),
+    };
+    print_reports(&reports);
+}

@@ -1,0 +1,13 @@
+//! # relacc-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Section 7), plus the Criterion benchmarks for the timing
+//! figures.  The `experiments` binary prints one block per experiment
+//! (Exp-1 .. Exp-5); `EXPERIMENTS.md` at the workspace root records a run and
+//! compares it against the numbers reported in the paper.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::{ExperimentConfig, Report};

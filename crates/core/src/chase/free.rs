@@ -1,0 +1,183 @@
+//! Free-order chase: apply valid chase steps in an arbitrary (seeded) order.
+//!
+//! The definition of the Church-Rosser property (Section 3) quantifies over
+//! *all* chasing sequences: every order of rule application must reach the same
+//! terminal instance.  `IsCR` decides this without enumerating sequences; this
+//! module provides the brute-force counterpart — pick applicable steps at
+//! random until no more valid step exists — which the test-suite uses as an
+//! oracle: whenever `IsCR` reports Church-Rosser, every seeded free chase must
+//! deduce the same target tuple and the same accuracy orders.
+//!
+//! Randomness comes from a tiny SplitMix64 generator so the crate keeps zero
+//! runtime dependencies; the sequence is fully determined by the seed.
+
+use super::ground::{ground, Grounding};
+use super::iscr::{pending_satisfied, ChaseRun, Chaser};
+use super::spec::Specification;
+use relacc_model::{AccuracyOrders, TargetTuple};
+
+/// A tiny deterministic PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Run a free-order chase with the given seed, starting from the
+/// specification's initial target.
+pub fn free_chase(spec: &Specification, seed: u64) -> ChaseRun {
+    let orders = AccuracyOrders::new(&spec.ie);
+    let grounding = ground(spec, &orders);
+    free_chase_with_grounding(spec, &grounding, &spec.initial_target, seed)
+}
+
+/// Free-order chase over a pre-computed grounding.
+pub fn free_chase_with_grounding(
+    spec: &Specification,
+    grounding: &Grounding,
+    initial_target: &TargetTuple,
+    seed: u64,
+) -> ChaseRun {
+    let mut rng = SplitMix64::new(seed);
+    let mut chaser = Chaser::new(spec, initial_target);
+    chaser.stats.ground_steps = grounding.steps.len();
+    chaser.stats.pairs_considered = grounding.pairs_considered;
+    if let Err(conflict) = chaser.bootstrap() {
+        return chaser.finish(false, Some(conflict));
+    }
+    let _ = chaser.take_events();
+
+    let mut fired = vec![false; grounding.steps.len()];
+    loop {
+        // Collect the currently applicable, unfired steps.
+        let applicable: Vec<usize> = grounding
+            .steps
+            .iter()
+            .enumerate()
+            .filter(|(id, step)| {
+                !fired[*id]
+                    && step
+                        .pending
+                        .iter()
+                        .all(|p| pending_satisfied(p, chaser.orders(), chaser.target()))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if applicable.is_empty() {
+            break;
+        }
+        let pick = applicable[rng.next_below(applicable.len())];
+        fired[pick] = true;
+        chaser.stats.steps_considered += 1;
+        let step = &grounding.steps[pick];
+        match chaser.apply(step.origin, &step.action) {
+            Ok(true) => chaser.stats.steps_applied += 1,
+            Ok(false) => chaser.stats.noop_steps += 1,
+            Err(conflict) => return chaser.finish(false, Some(conflict)),
+        }
+        let _ = chaser.take_events();
+    }
+    chaser.finish(true, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::iscr::is_cr;
+    use crate::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, Schema, Value};
+
+    fn spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("pts", DataType::Int)
+            .attr("name", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(16), Value::Int(424), Value::text("MJ")],
+                vec![Value::Int(27), Value::Int(772), Value::text("Michael")],
+                vec![Value::Int(1), Value::Int(19), Value::text("MJ")],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([
+            TupleRule::new(
+                "phi1",
+                vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+                schema.expect_attr("rnds"),
+            ),
+            TupleRule::new(
+                "phi3",
+                vec![Predicate::OrderLt {
+                    attr: schema.expect_attr("rnds"),
+                }],
+                schema.expect_attr("pts"),
+            ),
+            TupleRule::new(
+                "phi5",
+                vec![Predicate::OrderLt {
+                    attr: schema.expect_attr("pts"),
+                }],
+                schema.expect_attr("name"),
+            ),
+        ]);
+        Specification::new(ie, rules)
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(7);
+        assert!((0..10).any(|_| c.next_below(5) != a.next_below(5)));
+        for _ in 0..100 {
+            assert!(c.next_below(3) < 3);
+        }
+    }
+
+    #[test]
+    fn all_orders_agree_when_church_rosser() {
+        let s = spec();
+        let reference = is_cr(&s);
+        assert!(reference.outcome.is_church_rosser());
+        let ref_target = reference.outcome.target().unwrap();
+        assert_eq!(ref_target.value(AttrId(0)), &Value::Int(27));
+        assert_eq!(ref_target.value(AttrId(1)), &Value::Int(772));
+        assert_eq!(ref_target.value(AttrId(2)), &Value::text("Michael"));
+        for seed in 0..25u64 {
+            let run = free_chase(&s, seed);
+            assert!(run.outcome.is_church_rosser(), "seed {seed}");
+            assert_eq!(run.outcome.target().unwrap(), ref_target, "seed {seed}");
+            assert_eq!(
+                run.outcome.instance().unwrap().orders.total_edges(),
+                reference.outcome.instance().unwrap().orders.total_edges(),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Grounding (the paper's procedure `Instantiation`, Section 5).
+//!
+//! Grounding partially evaluates every accuracy rule against the entity
+//! instance (form-(1) rules: every ordered tuple pair) and the master relations
+//! (form-(2) rules: every master tuple), folding away the predicates that can
+//! be decided immediately and keeping the rest as *pending predicates*.  The
+//! result is a set `Γ` of [`GroundStep`]s: potential single chase steps, each
+//! with the list of events that must happen before it becomes applicable.
+//!
+//! Two kinds of pending predicates remain after folding:
+//!
+//! * [`PendingPred::Order`] — "class `lo` must become `⪯` class `hi` on
+//!   attribute `A`"; fired by the transitive-closure output of the orders;
+//! * [`PendingPred::TargetCmp`] — "once `te[A]` is defined it must compare as
+//!   `op` against `rhs`"; fired when the target attribute is instantiated.
+//!   (Predicates on *undefined* target attributes are never considered
+//!   satisfied; in particular `te[A] = null` premises never fire, which matches
+//!   the intent of ϕ8-style rules.)
+//!
+//! Grounding is independent of the initial target template, so the same `Γ`
+//! can be reused to chase many candidate targets of one specification — this is
+//! what makes the `check` calls of the top-k algorithms cheap.
+
+use super::spec::Specification;
+use crate::rules::{
+    AccuracyRule, MasterPremise, MasterRule, Operand, Predicate, TupleRule, TupleRef,
+};
+use relacc_model::{
+    AccuracyOrders, AttrId, ClassId, CmpOp, EntityInstance, TupleId, Value,
+};
+use std::collections::HashSet;
+
+/// Where a ground step came from (used in diagnostics and conflict reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepOrigin {
+    /// The rule at this index of the specification's rule set.
+    Rule(usize),
+    /// The built-in axiom ϕ7 (null has lowest accuracy).
+    AxiomNullLowest,
+    /// The built-in axiom ϕ8 (a defined target value has highest accuracy).
+    AxiomTargetHighest,
+    /// The built-in axiom ϕ9 (equal values are mutually `⪯`); its only visible
+    /// effect under the value-class representation is the λ update that
+    /// instantiates the target when a single value class dominates an
+    /// attribute.
+    AxiomEqualValues,
+}
+
+/// A predicate that must be established before a ground step can fire.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PendingPred {
+    /// Class `lo ⪯ hi` must hold on `attr` (`lo ≠ hi` by construction, so this
+    /// covers both `≺` and `⪯` premises).
+    Order {
+        /// Attribute of the order.
+        attr: AttrId,
+        /// Lower class.
+        lo: ClassId,
+        /// Upper class.
+        hi: ClassId,
+    },
+    /// `te[attr] op rhs` must hold once `te[attr]` is defined.
+    TargetCmp {
+        /// Target attribute.
+        attr: AttrId,
+        /// Comparison operator (already normalized so the target is on the left).
+        op: CmpOp,
+        /// Right-hand constant.
+        rhs: Value,
+    },
+}
+
+impl PendingPred {
+    /// Evaluate a target predicate against a newly defined target value.
+    /// `Order` predicates are satisfied by construction when their event fires,
+    /// so they always evaluate to `true` here.
+    pub fn eval_target(&self, value: &Value) -> bool {
+        match self {
+            PendingPred::Order { .. } => true,
+            PendingPred::TargetCmp { op, rhs, .. } => value.eval(*op, rhs).unwrap_or(false),
+        }
+    }
+}
+
+/// The conclusion a ground step enforces when it fires.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StepAction {
+    /// Extend the order of `attr` with `lo ⪯ hi` (distinct classes).
+    Order {
+        /// Attribute of the order.
+        attr: AttrId,
+        /// Lower class.
+        lo: ClassId,
+        /// Upper class.
+        hi: ClassId,
+    },
+    /// Instantiate target attributes with constants (from master data).
+    Assign {
+        /// `(attribute, value)` assignments; values are never null.
+        assignments: Vec<(AttrId, Value)>,
+    },
+}
+
+/// A potential single chase step produced by grounding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundStep {
+    /// Which rule or axiom produced the step.
+    pub origin: StepOrigin,
+    /// The conclusion to enforce.
+    pub action: StepAction,
+    /// Predicates that must be established first (`n_φ` of the paper counts
+    /// these).
+    pub pending: Vec<PendingPred>,
+}
+
+/// The grounded rule set `Γ` plus grounding statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Grounding {
+    /// The ground steps.
+    pub steps: Vec<GroundStep>,
+    /// Number of ordered tuple pairs examined for form-(1) rules.
+    pub pairs_considered: usize,
+    /// Number of master tuples examined for form-(2) rules.
+    pub master_tuples_considered: usize,
+    /// Number of candidate steps dropped because an immediately evaluable
+    /// premise was false, the conclusion was a no-op, or a premise was
+    /// unsatisfiable.
+    pub folded_away: usize,
+}
+
+/// Outcome of folding a single premise against a concrete tuple pair.
+enum Folded {
+    True,
+    Unsatisfiable,
+    Pending(PendingPred),
+}
+
+fn fold_cmp<'v>(
+    ie: &'v EntityInstance,
+    t1: TupleId,
+    t2: TupleId,
+    left: &'v Operand,
+    op: CmpOp,
+    right: &'v Operand,
+) -> Folded {
+    let resolve = |o: &'v Operand| -> Result<&'v Value, AttrId> {
+        match o {
+            Operand::Attr(TupleRef::T1, a) => Ok(ie.value(t1, *a)),
+            Operand::Attr(TupleRef::T2, a) => Ok(ie.value(t2, *a)),
+            Operand::Const(c) => Ok(c),
+            Operand::Target(a) => Err(*a),
+        }
+    };
+    match (resolve(left), resolve(right)) {
+        (Ok(l), Ok(r)) => match l.eval(op, r) {
+            Some(true) => Folded::True,
+            _ => Folded::Unsatisfiable,
+        },
+        (Err(a), Ok(r)) => Folded::Pending(PendingPred::TargetCmp {
+            attr: a,
+            op,
+            rhs: r.clone(),
+        }),
+        (Ok(l), Err(a)) => Folded::Pending(PendingPred::TargetCmp {
+            attr: a,
+            op: op.flip(),
+            rhs: l.clone(),
+        }),
+        // Comparing two target attributes is outside the paper's rule grammar;
+        // such a premise never fires.
+        (Err(_), Err(_)) => Folded::Unsatisfiable,
+    }
+}
+
+fn ground_tuple_rule(
+    rule_idx: usize,
+    rule: &TupleRule,
+    ie: &EntityInstance,
+    orders: &AccuracyOrders,
+    out: &mut Grounding,
+    seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
+) {
+    let n = ie.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            out.pairs_considered += 1;
+            let (t1, t2) = (TupleId(i), TupleId(j));
+            let concl = orders.attr(rule.conclusion);
+            let (lo, hi) = (concl.class_of(t1), concl.class_of(t2));
+            if lo == hi {
+                // the conclusion is a no-op (equal values are already mutually ⪯)
+                out.folded_away += 1;
+                continue;
+            }
+            let mut pending: Vec<PendingPred> = Vec::new();
+            let mut dead = false;
+            for p in &rule.premises {
+                let folded = match p {
+                    Predicate::Cmp { left, op, right } => fold_cmp(ie, t1, t2, left, *op, right),
+                    Predicate::OrderLt { attr } | Predicate::OrderLe { attr } => {
+                        let ord = orders.attr(*attr);
+                        let (plo, phi) = (ord.class_of(t1), ord.class_of(t2));
+                        if plo == phi {
+                            // equal values: ⪯ holds, ≺ can never hold
+                            if matches!(p, Predicate::OrderLe { .. }) {
+                                Folded::True
+                            } else {
+                                Folded::Unsatisfiable
+                            }
+                        } else {
+                            Folded::Pending(PendingPred::Order {
+                                attr: *attr,
+                                lo: plo,
+                                hi: phi,
+                            })
+                        }
+                    }
+                };
+                match folded {
+                    Folded::True => {}
+                    Folded::Unsatisfiable => {
+                        dead = true;
+                        break;
+                    }
+                    Folded::Pending(p) => {
+                        if !pending.contains(&p) {
+                            pending.push(p);
+                        }
+                    }
+                }
+            }
+            if dead {
+                out.folded_away += 1;
+                continue;
+            }
+            let action = StepAction::Order {
+                attr: rule.conclusion,
+                lo,
+                hi,
+            };
+            let key = (action.clone(), pending.clone());
+            if seen.insert(key) {
+                out.steps.push(GroundStep {
+                    origin: StepOrigin::Rule(rule_idx),
+                    action,
+                    pending,
+                });
+            } else {
+                out.folded_away += 1;
+            }
+        }
+    }
+}
+
+fn ground_master_rule(
+    rule_idx: usize,
+    rule: &MasterRule,
+    spec: &Specification,
+    out: &mut Grounding,
+    seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
+) {
+    let Some(master) = spec.masters.get(rule.master_index) else {
+        return;
+    };
+    for tm in master.tuples() {
+        out.master_tuples_considered += 1;
+        let mut pending: Vec<PendingPred> = Vec::new();
+        let mut dead = false;
+        for p in &rule.premises {
+            match p {
+                MasterPremise::TargetEqConst(a, c) => {
+                    if c.is_null() {
+                        dead = true;
+                        break;
+                    }
+                    let pred = PendingPred::TargetCmp {
+                        attr: *a,
+                        op: CmpOp::Eq,
+                        rhs: c.clone(),
+                    };
+                    if !pending.contains(&pred) {
+                        pending.push(pred);
+                    }
+                }
+                MasterPremise::TargetEqMaster(a, b) => {
+                    let v = tm.value(*b);
+                    if v.is_null() {
+                        dead = true;
+                        break;
+                    }
+                    let pred = PendingPred::TargetCmp {
+                        attr: *a,
+                        op: CmpOp::Eq,
+                        rhs: v.clone(),
+                    };
+                    if !pending.contains(&pred) {
+                        pending.push(pred);
+                    }
+                }
+                MasterPremise::MasterEqConst(b, c) => {
+                    if !tm.value(*b).same(c) {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            out.folded_away += 1;
+            continue;
+        }
+        let assignments: Vec<(AttrId, Value)> = rule
+            .assignments
+            .iter()
+            .filter_map(|(a, b)| {
+                let v = tm.value(*b);
+                if v.is_null() {
+                    None
+                } else {
+                    Some((*a, v.clone()))
+                }
+            })
+            .collect();
+        if assignments.is_empty() {
+            out.folded_away += 1;
+            continue;
+        }
+        let action = StepAction::Assign { assignments };
+        let key = (action.clone(), pending.clone());
+        if seen.insert(key) {
+            out.steps.push(GroundStep {
+                origin: StepOrigin::Rule(rule_idx),
+                action,
+                pending,
+            });
+        } else {
+            out.folded_away += 1;
+        }
+    }
+}
+
+/// Ground a specification into `Γ` (the paper's `Instantiation`).
+///
+/// `orders` must be the freshly built [`AccuracyOrders`] of the specification's
+/// entity instance — grounding only uses its (immutable) value-class structure,
+/// never the order pairs.
+pub fn ground(spec: &Specification, orders: &AccuracyOrders) -> Grounding {
+    let mut out = Grounding::default();
+    let mut seen: HashSet<(StepAction, Vec<PendingPred>)> = HashSet::new();
+    for (idx, rule) in spec.rules.rules().iter().enumerate() {
+        match rule {
+            AccuracyRule::Tuple(r) => {
+                ground_tuple_rule(idx, r, &spec.ie, orders, &mut out, &mut seen)
+            }
+            AccuracyRule::Master(r) => ground_master_rule(idx, r, spec, &mut out, &mut seen),
+        }
+    }
+    out
+}
+
+/// Render a step origin as a rule name, for diagnostics.
+pub fn origin_name(spec: &Specification, origin: StepOrigin) -> String {
+    match origin {
+        StepOrigin::Rule(i) => spec.rules.rule(i).name().to_string(),
+        StepOrigin::AxiomNullLowest => "phi7 (axiom: null lowest)".to_string(),
+        StepOrigin::AxiomTargetHighest => "phi8 (axiom: target highest)".to_string(),
+        StepOrigin::AxiomEqualValues => "phi9 (axiom: equal values)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{MasterPremise, MasterRule, Predicate, RuleSet, TupleRule};
+    use relacc_model::{DataType, EntityInstance, MasterRelation, Schema};
+
+    fn instance() -> EntityInstance {
+        let schema = Schema::builder("stat")
+            .attr("league", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("pts", DataType::Int)
+            .build();
+        EntityInstance::from_rows(
+            schema,
+            vec![
+                vec![Value::text("NBA"), Value::Int(16), Value::Int(424)],
+                vec![Value::text("NBA"), Value::Int(27), Value::Int(772)],
+                vec![Value::text("SL"), Value::Int(127), Value::Int(51)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn phi1(schema: &relacc_model::SchemaRef) -> TupleRule {
+        TupleRule::new(
+            "phi1",
+            vec![
+                Predicate::cmp_attrs(schema.expect_attr("league"), CmpOp::Eq),
+                Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt),
+            ],
+            schema.expect_attr("rnds"),
+        )
+    }
+
+    #[test]
+    fn constant_premises_fold_away() {
+        let ie = instance();
+        let schema = ie.schema().clone();
+        let spec = Specification::new(ie, RuleSet::from_rules([phi1(&schema)]));
+        let orders = AccuracyOrders::new(&spec.ie);
+        let g = ground(&spec, &orders);
+        // Only the (t1, t2) pair satisfies league-equality ∧ rnds<; both other
+        // NBA orderings fail rnds< and the SL pairs fail league equality.
+        assert_eq!(g.pairs_considered, 6);
+        assert_eq!(g.steps.len(), 1);
+        assert!(g.steps[0].pending.is_empty());
+        match &g.steps[0].action {
+            StepAction::Order { attr, lo, hi } => {
+                assert_eq!(*attr, schema.expect_attr("rnds"));
+                assert_ne!(lo, hi);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_premises_become_pending_and_dedup() {
+        let ie = instance();
+        let schema = ie.schema().clone();
+        let rnds = schema.expect_attr("rnds");
+        let pts = schema.expect_attr("pts");
+        // phi3: t1 ≺rnds t2 → t1 ⪯pts t2  — grounds once per ordered pair.
+        let rule = TupleRule::new("phi3", vec![Predicate::OrderLt { attr: rnds }], pts);
+        let spec = Specification::new(ie, RuleSet::from_rules([rule]));
+        let orders = AccuracyOrders::new(&spec.ie);
+        let g = ground(&spec, &orders);
+        assert_eq!(g.steps.len(), 6);
+        assert!(g
+            .steps
+            .iter()
+            .all(|s| matches!(s.pending.as_slice(), [PendingPred::Order { .. }])));
+    }
+
+    #[test]
+    fn target_premises_normalize_to_target_cmp() {
+        let ie = instance();
+        let schema = ie.schema().clone();
+        let rnds = schema.expect_attr("rnds");
+        // t1[rnds] < te[rnds] → t1 ⪯rnds t2 (contrived but exercises flipping)
+        let rule = TupleRule::new(
+            "target_cmp",
+            vec![Predicate::Cmp {
+                left: Operand::Attr(TupleRef::T1, rnds),
+                op: CmpOp::Lt,
+                right: Operand::Target(rnds),
+            }],
+            rnds,
+        );
+        let spec = Specification::new(ie, RuleSet::from_rules([rule]));
+        let orders = AccuracyOrders::new(&spec.ie);
+        let g = ground(&spec, &orders);
+        assert!(!g.steps.is_empty());
+        for s in &g.steps {
+            match &s.pending[0] {
+                PendingPred::TargetCmp { attr, op, rhs } => {
+                    assert_eq!(*attr, rnds);
+                    assert_eq!(*op, CmpOp::Gt); // flipped: te[rnds] > t1[rnds]
+                    assert!(!rhs.is_null());
+                }
+                other => panic!("unexpected pending {other:?}"),
+            }
+        }
+        // target predicate evaluation
+        let pred = &g.steps[0].pending[0];
+        assert!(pred.eval_target(&Value::Int(1000)));
+        assert!(!pred.eval_target(&Value::Int(-5)));
+    }
+
+    #[test]
+    fn master_rules_ground_per_master_tuple() {
+        let ie = instance();
+        let schema = ie.schema().clone();
+        let master_schema = Schema::builder("m")
+            .attr("league", DataType::Text)
+            .attr("season", DataType::Text)
+            .build();
+        let im = MasterRelation::from_rows(
+            master_schema,
+            vec![
+                vec![Value::text("NBA"), Value::text("1994-95")],
+                vec![Value::text("SL"), Value::text("1993-94")],
+                vec![Value::Null, Value::text("1800")],
+            ],
+        )
+        .unwrap();
+        let rule = MasterRule::new(
+            "phi6",
+            vec![MasterPremise::MasterEqConst(
+                AttrId(1),
+                Value::text("1994-95"),
+            )],
+            vec![(schema.expect_attr("league"), AttrId(0))],
+        );
+        let spec = Specification::new(ie, RuleSet::from_rules([rule])).with_master(im);
+        let orders = AccuracyOrders::new(&spec.ie);
+        let g = ground(&spec, &orders);
+        assert_eq!(g.master_tuples_considered, 3);
+        // only the 1994-95 tuple survives the master constant premise
+        assert_eq!(g.steps.len(), 1);
+        match &g.steps[0].action {
+            StepAction::Assign { assignments } => {
+                assert_eq!(assignments, &vec![(AttrId(0), Value::text("NBA"))]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(
+            origin_name(&spec, g.steps[0].origin),
+            "phi6".to_string()
+        );
+    }
+
+    #[test]
+    fn null_assignments_and_premises_are_skipped() {
+        let ie = instance();
+        let master_schema = Schema::builder("m").attr("league", DataType::Text).build();
+        let im =
+            MasterRelation::from_rows(master_schema, vec![vec![Value::Null]]).unwrap();
+        let rule = MasterRule::new(
+            "m_null",
+            vec![MasterPremise::TargetEqMaster(AttrId(0), AttrId(0))],
+            vec![(AttrId(0), AttrId(0))],
+        );
+        let spec = Specification::new(ie, RuleSet::from_rules([rule])).with_master(im);
+        let orders = AccuracyOrders::new(&spec.ie);
+        let g = ground(&spec, &orders);
+        assert!(g.steps.is_empty());
+        assert_eq!(g.folded_away, 1);
+    }
+}

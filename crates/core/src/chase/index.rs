@@ -1,0 +1,284 @@
+//! The indexing structure `H` of algorithm `IsCR` (Section 5).
+//!
+//! For every ground step φ the index keeps the counter `n_φ` of pending
+//! predicates that are not yet satisfied, and for every possible *event* — an
+//! order pair becoming established, or a target attribute becoming defined —
+//! the set `Φ_δ` of steps waiting on it.  The queue `Q` holds the steps whose
+//! counter has reached zero; `NextStep` is a pop from that queue.  With this
+//! structure the chase never rescans the entity instance: each ground step and
+//! each pending predicate is touched a constant number of times.
+
+use super::ground::{GroundStep, PendingPred};
+use relacc_model::{AttrId, ClassId, Value};
+use std::collections::{HashMap, VecDeque};
+
+/// Book-keeping for one ground step.
+#[derive(Debug, Clone, Default)]
+struct StepState {
+    /// Number of pending predicates not yet satisfied (`n_φ`).
+    remaining: usize,
+    /// The step can never fire (a target predicate evaluated to false).
+    dead: bool,
+    /// The step has been pushed to `Q` (it is pushed at most once).
+    enqueued: bool,
+}
+
+/// The index `H` plus the ready queue `Q`.
+///
+/// The index does not own the ground steps: it is built over a borrowed slice
+/// so that one grounding can drive many chases (the candidate-target `check`
+/// reruns the chase with a different initial target but the same `Γ`).
+#[derive(Debug)]
+pub struct ChaseIndex {
+    states: Vec<StepState>,
+    /// Steps waiting on an order event `(attr, lo, hi)`.
+    by_order: HashMap<(AttrId, ClassId, ClassId), Vec<usize>>,
+    /// Steps (and the index of the pending predicate) waiting on `te[attr]`.
+    by_target: HashMap<AttrId, Vec<(usize, usize)>>,
+    /// The ready queue `Q`.
+    ready: VecDeque<usize>,
+    dead_steps: usize,
+}
+
+impl ChaseIndex {
+    /// Build the index for a grounded rule set (`InitIndex` of the paper).
+    pub fn new(steps: &[GroundStep]) -> Self {
+        let mut states = vec![StepState::default(); steps.len()];
+        let mut by_order: HashMap<(AttrId, ClassId, ClassId), Vec<usize>> = HashMap::new();
+        let mut by_target: HashMap<AttrId, Vec<(usize, usize)>> = HashMap::new();
+        let mut ready = VecDeque::new();
+        for (idx, step) in steps.iter().enumerate() {
+            states[idx].remaining = step.pending.len();
+            for (pidx, pred) in step.pending.iter().enumerate() {
+                match pred {
+                    PendingPred::Order { attr, lo, hi } => {
+                        by_order.entry((*attr, *lo, *hi)).or_default().push(idx);
+                    }
+                    PendingPred::TargetCmp { attr, .. } => {
+                        by_target.entry(*attr).or_default().push((idx, pidx));
+                    }
+                }
+            }
+            if step.pending.is_empty() {
+                states[idx].enqueued = true;
+                ready.push_back(idx);
+            }
+        }
+        ChaseIndex {
+            states,
+            by_order,
+            by_target,
+            ready,
+            dead_steps: 0,
+        }
+    }
+
+    /// Number of ground steps managed by the index.
+    pub fn step_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of steps marked dead (unsatisfiable).
+    pub fn dead_count(&self) -> usize {
+        self.dead_steps
+    }
+
+    /// Pop the next ready step (`NextStep` of the paper), skipping steps that
+    /// were marked dead after being enqueued.
+    pub fn pop_ready(&mut self) -> Option<usize> {
+        while let Some(id) = self.ready.pop_front() {
+            if !self.states[id].dead {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn decrement(&mut self, id: usize) {
+        let state = &mut self.states[id];
+        if state.dead || state.enqueued {
+            // Already settled; counters of enqueued steps no longer matter.
+            if !state.enqueued {
+                state.remaining = state.remaining.saturating_sub(1);
+            }
+            return;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.enqueued = true;
+            self.ready.push_back(id);
+        }
+    }
+
+    /// Notify the index that `lo ⪯ hi` now holds on `attr` (a newly related
+    /// class pair reported by the orders).
+    pub fn on_order_added(&mut self, attr: AttrId, lo: ClassId, hi: ClassId) {
+        if let Some(waiting) = self.by_order.remove(&(attr, lo, hi)) {
+            for id in waiting {
+                self.decrement(id);
+            }
+        }
+    }
+
+    /// Notify the index that `te[attr]` has been instantiated with `value`.
+    ///
+    /// Waiting target predicates are evaluated: satisfied ones decrement their
+    /// step's counter, unsatisfied ones kill the step (the target value can
+    /// never change again).  `steps` must be the same slice the index was built
+    /// over.
+    pub fn on_target_set(&mut self, steps: &[GroundStep], attr: AttrId, value: &Value) {
+        if let Some(waiting) = self.by_target.remove(&attr) {
+            for (id, pidx) in waiting {
+                if self.states[id].dead {
+                    continue;
+                }
+                let satisfied = steps[id].pending[pidx].eval_target(value);
+                if satisfied {
+                    self.decrement(id);
+                } else if !self.states[id].enqueued {
+                    self.states[id].dead = true;
+                    self.dead_steps += 1;
+                } else {
+                    // The step is already queued: it became applicable before
+                    // this predicate could be falsified, so it stays queued (it
+                    // had no pending predicate on this attribute left).
+                }
+            }
+        }
+    }
+
+    /// Number of steps still waiting (neither ready, applied nor dead).  Used
+    /// by tests and by the chase statistics.
+    pub fn waiting_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| !s.enqueued && !s.dead)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::ground::{StepAction, StepOrigin};
+    use relacc_model::CmpOp;
+
+    fn order_step(attr: usize, lo: usize, hi: usize, pending: Vec<PendingPred>) -> GroundStep {
+        GroundStep {
+            origin: StepOrigin::Rule(0),
+            action: StepAction::Order {
+                attr: AttrId(attr),
+                lo: ClassId(lo),
+                hi: ClassId(hi),
+            },
+            pending,
+        }
+    }
+
+    #[test]
+    fn ready_queue_starts_with_unconditional_steps() {
+        let steps = vec![
+            order_step(0, 0, 1, vec![]),
+            order_step(
+                1,
+                0,
+                1,
+                vec![PendingPred::Order {
+                    attr: AttrId(0),
+                    lo: ClassId(0),
+                    hi: ClassId(1),
+                }],
+            ),
+        ];
+        let mut index = ChaseIndex::new(&steps);
+        assert_eq!(index.step_count(), 2);
+        assert_eq!(index.waiting_count(), 1);
+        assert_eq!(index.pop_ready(), Some(0));
+        assert_eq!(index.pop_ready(), None);
+        index.on_order_added(AttrId(0), ClassId(0), ClassId(1));
+        assert_eq!(index.pop_ready(), Some(1));
+        assert_eq!(index.pop_ready(), None);
+    }
+
+    #[test]
+    fn target_events_satisfy_or_kill() {
+        let good = GroundStep {
+            origin: StepOrigin::Rule(0),
+            action: StepAction::Assign {
+                assignments: vec![(AttrId(1), Value::Int(1))],
+            },
+            pending: vec![PendingPred::TargetCmp {
+                attr: AttrId(0),
+                op: CmpOp::Eq,
+                rhs: Value::text("NBA"),
+            }],
+        };
+        let bad = GroundStep {
+            origin: StepOrigin::Rule(1),
+            action: StepAction::Assign {
+                assignments: vec![(AttrId(1), Value::Int(2))],
+            },
+            pending: vec![PendingPred::TargetCmp {
+                attr: AttrId(0),
+                op: CmpOp::Eq,
+                rhs: Value::text("SL"),
+            }],
+        };
+        let steps = vec![good, bad];
+        let mut index = ChaseIndex::new(&steps);
+        assert_eq!(index.pop_ready(), None);
+        index.on_target_set(&steps, AttrId(0), &Value::text("NBA"));
+        assert_eq!(index.dead_count(), 1);
+        assert_eq!(index.pop_ready(), Some(0));
+        assert_eq!(index.pop_ready(), None);
+        assert_eq!(index.waiting_count(), 0);
+    }
+
+    #[test]
+    fn multiple_pending_predicates_all_required() {
+        let step = order_step(
+            2,
+            0,
+            1,
+            vec![
+                PendingPred::Order {
+                    attr: AttrId(0),
+                    lo: ClassId(0),
+                    hi: ClassId(1),
+                },
+                PendingPred::TargetCmp {
+                    attr: AttrId(1),
+                    op: CmpOp::Ne,
+                    rhs: Value::Null,
+                },
+            ],
+        );
+        let steps = vec![step];
+        let mut index = ChaseIndex::new(&steps);
+        index.on_order_added(AttrId(0), ClassId(0), ClassId(1));
+        assert_eq!(index.pop_ready(), None);
+        index.on_target_set(&steps, AttrId(1), &Value::Int(7));
+        assert_eq!(index.pop_ready(), Some(0));
+    }
+
+    #[test]
+    fn duplicate_events_do_not_over_decrement() {
+        let step = order_step(
+            0,
+            2,
+            3,
+            vec![PendingPred::Order {
+                attr: AttrId(0),
+                lo: ClassId(0),
+                hi: ClassId(1),
+            }],
+        );
+        let steps = vec![step];
+        let mut index = ChaseIndex::new(&steps);
+        index.on_order_added(AttrId(0), ClassId(0), ClassId(1));
+        // a second identical event finds no subscribers (entry consumed)
+        index.on_order_added(AttrId(0), ClassId(0), ClassId(1));
+        assert_eq!(index.pop_ready(), Some(0));
+        assert_eq!(index.pop_ready(), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! Specifications and accuracy instances.
+//!
+//! A *specification* `S = (D0, Σ, Im, t_e^{D0})` (Section 2.2) bundles the
+//! entity instance, the master data, the accuracy rules and the initial target
+//! template.  An *accuracy instance* `(D, t_e^D)` is what the chase transforms:
+//! the per-attribute accuracy orders plus the (partially instantiated) target
+//! tuple.
+
+use crate::rules::RuleSet;
+use relacc_model::{
+    AccuracyOrders, AttrId, EntityInstance, MasterRelation, TargetTuple, Value,
+};
+use std::fmt;
+
+/// A specification of an entity: `S = (D0, Σ, Im, t_e^{D0})`.
+///
+/// `D0` is the entity instance with empty orders; `Im` generalizes to a list of
+/// master relations (curated reference data, CFD pattern tableaux, ...), each
+/// addressed by form-(2) rules through their `master_index`.
+#[derive(Debug, Clone)]
+pub struct Specification {
+    /// The entity instance `Ie`.
+    pub ie: EntityInstance,
+    /// The master relations available to form-(2) rules.
+    pub masters: Vec<MasterRelation>,
+    /// The accuracy rules `Σ` (plus axiom configuration).
+    pub rules: RuleSet,
+    /// The initial target template `t_e^{D0}` — all null for ordinary
+    /// deduction, a complete tuple when verifying a candidate target.
+    pub initial_target: TargetTuple,
+}
+
+impl Specification {
+    /// A specification with no master data and the all-null initial target.
+    pub fn new(ie: EntityInstance, rules: RuleSet) -> Self {
+        let arity = ie.schema().arity();
+        Specification {
+            ie,
+            masters: Vec::new(),
+            rules,
+            initial_target: TargetTuple::empty(arity),
+        }
+    }
+
+    /// Add a master relation (builder style); returns its index for rules.
+    pub fn with_master(mut self, im: MasterRelation) -> Self {
+        self.masters.push(im);
+        self
+    }
+
+    /// Replace the initial target template (builder style).  Used by the
+    /// candidate-target `check` of Section 6.1, which runs the chase with a
+    /// complete tuple as the initial template.
+    pub fn with_initial_target(mut self, te: TargetTuple) -> Self {
+        self.initial_target = te;
+        self
+    }
+
+    /// `|Ie|` — the number of tuples in the entity instance.
+    pub fn entity_size(&self) -> usize {
+        self.ie.len()
+    }
+
+    /// `|Im|` — the total number of master tuples across all master relations.
+    pub fn master_size(&self) -> usize {
+        self.masters.iter().map(MasterRelation::len).sum()
+    }
+
+    /// `|Σ|` — the number of explicit rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Validate the rules against the schemas and the initial target's arity.
+    pub fn validate(&self) -> Result<(), SpecificationError> {
+        if self.initial_target.arity() != self.ie.schema().arity() {
+            return Err(SpecificationError::TargetArity {
+                expected: self.ie.schema().arity(),
+                got: self.initial_target.arity(),
+            });
+        }
+        let master_arities: Vec<usize> =
+            self.masters.iter().map(|m| m.schema().arity()).collect();
+        self.rules
+            .validate(self.ie.schema(), &master_arities)
+            .map_err(SpecificationError::Rule)
+    }
+
+    /// The candidate-value domain of attribute `a`: the distinct non-null
+    /// values appearing in `Ie`'s column `a`, plus the values of any master
+    /// column *with the same attribute name* (Section 6.1's "active domain"
+    /// drawing from `Ie` or `Im`).
+    pub fn candidate_domain(&self, a: AttrId) -> Vec<Value> {
+        let mut values = self.ie.active_domain(a);
+        let name = self.ie.schema().attr_name(a);
+        for master in &self.masters {
+            if let Some(b) = master.schema().attr_id(name) {
+                for v in master.active_domain(b) {
+                    if !values.iter().any(|x| x.same(&v)) {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        values
+    }
+}
+
+/// An accuracy instance `(D, t_e^D)`: the orders plus the target template.
+#[derive(Debug, Clone)]
+pub struct AccuracyInstance {
+    /// The per-attribute accuracy orders `⪯_{A_1}, ..., ⪯_{A_n}`.
+    pub orders: AccuracyOrders,
+    /// The target tuple template associated with `D`.
+    pub target: TargetTuple,
+}
+
+impl AccuracyInstance {
+    /// The initial instance `(D0, t_e^{D0})` of a specification.
+    pub fn initial(spec: &Specification) -> Self {
+        AccuracyInstance {
+            orders: AccuracyOrders::new(&spec.ie),
+            target: spec.initial_target.clone(),
+        }
+    }
+
+    /// Fraction of target attributes that are instantiated (used by Exp-1's
+    /// "percentage of attributes with deduced accurate values").
+    pub fn filled_fraction(&self) -> f64 {
+        if self.target.arity() == 0 {
+            return 1.0;
+        }
+        self.target.filled_count() as f64 / self.target.arity() as f64
+    }
+}
+
+/// Errors detected by [`Specification::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecificationError {
+    /// The initial target template has the wrong arity.
+    TargetArity {
+        /// Schema arity.
+        expected: usize,
+        /// Template arity.
+        got: usize,
+    },
+    /// A rule failed validation.
+    Rule(crate::rules::RuleValidationError),
+}
+
+impl fmt::Display for SpecificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecificationError::TargetArity { expected, got } => {
+                write!(f, "initial target has arity {got}, schema has {expected}")
+            }
+            SpecificationError::Rule(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecificationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{MasterPremise, MasterRule, RuleSet, TupleRule};
+    use relacc_model::{DataType, Schema};
+
+    fn spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("team", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap();
+        let master_schema = Schema::builder("m")
+            .attr("team", DataType::Text)
+            .attr("city", DataType::Text)
+            .build();
+        let im = MasterRelation::from_rows(
+            master_schema,
+            vec![vec![Value::text("y"), Value::text("c")]],
+        )
+        .unwrap();
+        let mut rules = RuleSet::new();
+        rules.push(TupleRule::new("r1", vec![], AttrId(0)));
+        rules.push(MasterRule::new(
+            "m1",
+            vec![MasterPremise::TargetEqMaster(AttrId(1), AttrId(0))],
+            vec![(AttrId(1), AttrId(0))],
+        ));
+        Specification::new(ie, rules).with_master(im)
+    }
+
+    #[test]
+    fn sizes_and_validation() {
+        let s = spec();
+        assert_eq!(s.entity_size(), 2);
+        assert_eq!(s.master_size(), 1);
+        assert_eq!(s.rule_count(), 2);
+        assert!(s.validate().is_ok());
+
+        let bad = s
+            .clone()
+            .with_initial_target(TargetTuple::empty(5));
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecificationError::TargetArity { .. })
+        ));
+    }
+
+    #[test]
+    fn candidate_domain_merges_master_by_name() {
+        let s = spec();
+        let team = AttrId(1);
+        let domain = s.candidate_domain(team);
+        assert!(domain.iter().any(|v| v.same(&Value::text("x"))));
+        assert!(domain.iter().any(|v| v.same(&Value::text("y"))));
+        assert_eq!(domain.len(), 2);
+        // the int column only draws from Ie (master has no attribute "a")
+        assert_eq!(s.candidate_domain(AttrId(0)).len(), 2);
+    }
+
+    #[test]
+    fn initial_instance_is_empty() {
+        let s = spec();
+        let inst = AccuracyInstance::initial(&s);
+        assert_eq!(inst.orders.total_edges(), 0);
+        assert!(!inst.target.is_complete());
+        assert_eq!(inst.filled_fraction(), 0.0);
+    }
+}

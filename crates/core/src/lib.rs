@@ -1,0 +1,61 @@
+//! # relacc-core
+//!
+//! The primary contribution of *"Determining the Relative Accuracy of
+//! Attributes"* (Cao, Fan, Yu — SIGMOD 2013), as a Rust library:
+//!
+//! * the **accuracy-rule language** ([`rules`]) — form-(1) rules over tuple
+//!   pairs, form-(2) rules over master data, the built-in axioms ϕ7–ϕ9, a
+//!   textual rule syntax with parser/printer, the constant-CFD translation of
+//!   Section 2.1's remark, and a small rule-discovery profiler;
+//! * the **chase inference system** ([`chase`]) — specifications
+//!   `S = (D0, Σ, Im, te)`, grounding (`Instantiation`), the event index `H`,
+//!   algorithm **IsCR** deciding the Church-Rosser property and computing the
+//!   deduced target tuple, a naive (index-free) chase for ablations, and a
+//!   free-order chase used as a semantic oracle in tests.
+//!
+//! Top-k candidate-target computation lives in `relacc-topk`; the interactive
+//! framework of Fig. 3 lives in `relacc-framework`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use relacc_core::chase::{is_cr, Specification};
+//! use relacc_core::rules::{parse_ruleset, RuleSet};
+//! use relacc_model::{DataType, EntityInstance, Schema, Value};
+//!
+//! let schema = Schema::builder("stat")
+//!     .attr("rnds", DataType::Int)
+//!     .attr("totalPts", DataType::Int)
+//!     .build();
+//! let ie = EntityInstance::from_rows(
+//!     schema.clone(),
+//!     vec![
+//!         vec![Value::Int(16), Value::Int(424)],
+//!         vec![Value::Int(27), Value::Int(772)],
+//!     ],
+//! )
+//! .unwrap();
+//! let rules = parse_ruleset(
+//!     "rule phi1: t1[rnds] < t2[rnds] -> t1 <= t2 on rnds\n\
+//!      rule phi3: t1 < t2 on rnds -> t1 <= t2 on totalPts\n",
+//!     &schema,
+//!     &[],
+//! )
+//! .unwrap();
+//! let spec = Specification::new(ie, rules);
+//! let run = is_cr(&spec);
+//! let target = run.outcome.target().unwrap();
+//! assert_eq!(target.value(schema.expect_attr("totalPts")), &Value::Int(772));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod rules;
+
+pub use chase::{
+    chase_with_grounding, deduced_target, is_cr, naive_is_cr, AccuracyInstance, ChaseRun,
+    ChaseStats, Conflict, Grounding, IsCrOutcome, Specification,
+};
+pub use rules::{AccuracyRule, AxiomConfig, MasterRule, RuleSet, TupleRule};

@@ -1,0 +1,615 @@
+//! Abstract syntax of accuracy rules (ARs).
+//!
+//! Section 2.1 of the paper defines two forms of rules:
+//!
+//! * **Form (1)** — [`TupleRule`]: `∀ t1, t2 ∈ R ( ω → t1 ⪯_{A_i} t2 )`, where
+//!   `ω` is a conjunction of comparison predicates over `t1`, `t2`, constants
+//!   and the target tuple `te`, and of order predicates `t1 ≺_{A_l} t2` /
+//!   `t1 ⪯_{A_l} t2`.
+//! * **Form (2)** — [`MasterRule`]: `∀ tm ∈ Rm ( ω → te[A_i] = tm[B] )`, where
+//!   `ω` only constrains the target tuple against constants and the master
+//!   tuple.  A rule may assign several attributes at once (the paper's ϕ6
+//!   instantiates `league` and `team` together).
+//!
+//! The built-in axioms ϕ7–ϕ9 are represented by [`AxiomConfig`]; see
+//! [`crate::rules::axioms`] for their explicit rule expansion.
+
+use relacc_model::{AttrId, CmpOp, SchemaRef, Value};
+use std::fmt;
+
+/// Which of the two universally quantified tuples a form-(1) operand refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TupleRef {
+    /// The first tuple `t1` (the one concluded to be *less* accurate).
+    T1,
+    /// The second tuple `t2` (the one concluded to be *more* accurate).
+    T2,
+}
+
+impl fmt::Display for TupleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleRef::T1 => f.write_str("t1"),
+            TupleRef::T2 => f.write_str("t2"),
+        }
+    }
+}
+
+/// An operand of a comparison predicate in a form-(1) rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `t1[A]` or `t2[A]`.
+    Attr(TupleRef, AttrId),
+    /// A constant.
+    Const(Value),
+    /// `te[A]` — the current value of the target template.
+    Target(AttrId),
+}
+
+impl Operand {
+    /// The attribute mentioned by the operand, if any.
+    pub fn attr(&self) -> Option<AttrId> {
+        match self {
+            Operand::Attr(_, a) | Operand::Target(a) => Some(*a),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// A premise of a form-(1) rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `left op right` over tuple attributes, constants and target attributes.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// `t1 ≺_{A} t2` — strict relative accuracy already deduced on `A`.
+    OrderLt {
+        /// The attribute the order refers to.
+        attr: AttrId,
+    },
+    /// `t1 ⪯_{A} t2` — non-strict relative accuracy on `A`.
+    OrderLe {
+        /// The attribute the order refers to.
+        attr: AttrId,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor for `t1[a] op t2[a]`.
+    pub fn cmp_attrs(a: AttrId, op: CmpOp) -> Self {
+        Predicate::Cmp {
+            left: Operand::Attr(TupleRef::T1, a),
+            op,
+            right: Operand::Attr(TupleRef::T2, a),
+        }
+    }
+
+    /// Convenience constructor for `t[a] op c`.
+    pub fn cmp_const(t: TupleRef, a: AttrId, op: CmpOp, c: Value) -> Self {
+        Predicate::Cmp {
+            left: Operand::Attr(t, a),
+            op,
+            right: Operand::Const(c),
+        }
+    }
+}
+
+/// A form-(1) accuracy rule: `∀ t1, t2 (R(t1) ∧ R(t2) ∧ premises → t1 ⪯_{conclusion} t2)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleRule {
+    /// Rule name (e.g. `phi1`), used in diagnostics and reports.
+    pub name: String,
+    /// The conjunction `ω` of premises.
+    pub premises: Vec<Predicate>,
+    /// The attribute `A_i` of the conclusion `t1 ⪯_{A_i} t2`.
+    pub conclusion: AttrId,
+    /// Optional free-form tag (the generators mark e.g. `currency` or `cfd`
+    /// rules so the DeduceOrder baseline can select its inputs).
+    pub tag: Option<String>,
+}
+
+impl TupleRule {
+    /// Create a rule with no tag.
+    pub fn new(name: impl Into<String>, premises: Vec<Predicate>, conclusion: AttrId) -> Self {
+        TupleRule {
+            name: name.into(),
+            premises,
+            conclusion,
+            tag: None,
+        }
+    }
+
+    /// Attach a tag (builder style).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+}
+
+/// A premise of a form-(2) rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MasterPremise {
+    /// `te[A] = c` for a constant `c`.
+    TargetEqConst(AttrId, Value),
+    /// `te[A] = tm[B]` for a master attribute `B`.
+    TargetEqMaster(AttrId, AttrId),
+    /// `tm[B] = c` — a selection on the master tuple itself.  Strictly this is
+    /// syntactic sugar beyond the paper's grammar, but the paper's own ϕ6 uses
+    /// it (`tm[season] = "1994-95"`); it folds away at grounding time.
+    MasterEqConst(AttrId, Value),
+}
+
+/// A form-(2) accuracy rule:
+/// `∀ tm ∈ Rm ( premises → te[A_1] = tm[B_1] ∧ ... ∧ te[A_j] = tm[B_j] )`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterRule {
+    /// Rule name (e.g. `phi6`).
+    pub name: String,
+    /// Which master relation of the specification this rule ranges over
+    /// (specifications may carry several master relations, e.g. curated
+    /// reference data plus CFD-derived pattern tableaux).
+    pub master_index: usize,
+    /// The conjunction `ω` of premises.
+    pub premises: Vec<MasterPremise>,
+    /// Assignments `te[A_i] := tm[B]`.
+    pub assignments: Vec<(AttrId, AttrId)>,
+    /// Optional free-form tag.
+    pub tag: Option<String>,
+}
+
+impl MasterRule {
+    /// Create a rule over master relation `0` with no tag.
+    pub fn new(
+        name: impl Into<String>,
+        premises: Vec<MasterPremise>,
+        assignments: Vec<(AttrId, AttrId)>,
+    ) -> Self {
+        MasterRule {
+            name: name.into(),
+            master_index: 0,
+            premises,
+            assignments,
+            tag: None,
+        }
+    }
+
+    /// Set the master-relation index (builder style).
+    pub fn over_master(mut self, idx: usize) -> Self {
+        self.master_index = idx;
+        self
+    }
+
+    /// Attach a tag (builder style).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+}
+
+/// Either form of accuracy rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccuracyRule {
+    /// Form (1).
+    Tuple(TupleRule),
+    /// Form (2).
+    Master(MasterRule),
+}
+
+impl AccuracyRule {
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        match self {
+            AccuracyRule::Tuple(r) => &r.name,
+            AccuracyRule::Master(r) => &r.name,
+        }
+    }
+
+    /// The rule's tag, if any.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            AccuracyRule::Tuple(r) => r.tag.as_deref(),
+            AccuracyRule::Master(r) => r.tag.as_deref(),
+        }
+    }
+
+    /// True for form-(1) rules.
+    pub fn is_tuple_rule(&self) -> bool {
+        matches!(self, AccuracyRule::Tuple(_))
+    }
+
+    /// True for form-(2) rules.
+    pub fn is_master_rule(&self) -> bool {
+        matches!(self, AccuracyRule::Master(_))
+    }
+}
+
+impl From<TupleRule> for AccuracyRule {
+    fn from(r: TupleRule) -> Self {
+        AccuracyRule::Tuple(r)
+    }
+}
+
+impl From<MasterRule> for AccuracyRule {
+    fn from(r: MasterRule) -> Self {
+        AccuracyRule::Master(r)
+    }
+}
+
+/// Which of the built-in axiom rules ϕ7–ϕ9 (Example 3) are in force.
+///
+/// The paper includes all three "in any set of ARs"; they are configurable here
+/// so that ablation experiments and the axiom-expansion tests can switch them
+/// off individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiomConfig {
+    /// ϕ7: a null value has the lowest accuracy
+    /// (`t1[A] = null ∧ t2[A] ≠ null → t1 ⪯_A t2`).
+    pub null_lowest: bool,
+    /// ϕ8: a defined target value has the highest accuracy
+    /// (`t2[A] = te[A] ∧ te[A] ≠ null → t1 ⪯_A t2`).
+    pub target_highest: bool,
+    /// ϕ9: equal values are equally accurate (`t1[A] = t2[A] → t1 ⪯_A t2`).
+    ///
+    /// Note: ϕ9 is a structural consequence of the value-class representation
+    /// of [`relacc_model::AttrOrder`]; the flag is kept for documentation and
+    /// for the explicit axiom-expansion used in the equivalence tests.
+    pub equal_values: bool,
+}
+
+impl Default for AxiomConfig {
+    fn default() -> Self {
+        AxiomConfig {
+            null_lowest: true,
+            target_highest: true,
+            equal_values: true,
+        }
+    }
+}
+
+impl AxiomConfig {
+    /// All axioms disabled (only the explicit rules of `Σ` apply).
+    pub fn none() -> Self {
+        AxiomConfig {
+            null_lowest: false,
+            target_highest: false,
+            equal_values: false,
+        }
+    }
+}
+
+/// A set `Σ` of accuracy rules together with the axiom configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuleSet {
+    rules: Vec<AccuracyRule>,
+    /// Axioms in force for any specification using this rule set.
+    pub axioms: AxiomConfig,
+}
+
+impl RuleSet {
+    /// An empty rule set with the default axioms.
+    pub fn new() -> Self {
+        RuleSet {
+            rules: Vec::new(),
+            axioms: AxiomConfig::default(),
+        }
+    }
+
+    /// Build a rule set from rules, keeping the default axioms.
+    pub fn from_rules<I, R>(rules: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: Into<AccuracyRule>,
+    {
+        RuleSet {
+            rules: rules.into_iter().map(Into::into).collect(),
+            axioms: AxiomConfig::default(),
+        }
+    }
+
+    /// Number of rules `|Σ|` (axioms not counted, as in the paper's figures).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if there are no explicit rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: impl Into<AccuracyRule>) {
+        self.rules.push(rule.into());
+    }
+
+    /// Append many rules.
+    pub fn extend<I, R>(&mut self, rules: I)
+    where
+        I: IntoIterator<Item = R>,
+        R: Into<AccuracyRule>,
+    {
+        self.rules.extend(rules.into_iter().map(Into::into));
+    }
+
+    /// All rules in insertion order.
+    pub fn rules(&self) -> &[AccuracyRule] {
+        &self.rules
+    }
+
+    /// The rule at `idx`.
+    pub fn rule(&self, idx: usize) -> &AccuracyRule {
+        &self.rules[idx]
+    }
+
+    /// Number of form-(1) rules.
+    pub fn count_tuple_rules(&self) -> usize {
+        self.rules.iter().filter(|r| r.is_tuple_rule()).count()
+    }
+
+    /// Number of form-(2) rules.
+    pub fn count_master_rules(&self) -> usize {
+        self.rules.iter().filter(|r| r.is_master_rule()).count()
+    }
+
+    /// A copy keeping only form-(1) rules (used by the "ARs of form (1) only"
+    /// configurations of Exp-1 and Exp-2).
+    pub fn only_tuple_rules(&self) -> RuleSet {
+        RuleSet {
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| r.is_tuple_rule())
+                .cloned()
+                .collect(),
+            axioms: self.axioms,
+        }
+    }
+
+    /// A copy keeping only form-(2) rules.
+    pub fn only_master_rules(&self) -> RuleSet {
+        RuleSet {
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| r.is_master_rule())
+                .cloned()
+                .collect(),
+            axioms: self.axioms,
+        }
+    }
+
+    /// A copy keeping only the first `n` rules (used by the `‖Σ‖`-scaling
+    /// experiments, Fig. 6(j)).
+    pub fn truncated(&self, n: usize) -> RuleSet {
+        RuleSet {
+            rules: self.rules.iter().take(n).cloned().collect(),
+            axioms: self.axioms,
+        }
+    }
+
+    /// A copy keeping only rules carrying the given tag.
+    pub fn with_tag(&self, tag: &str) -> RuleSet {
+        RuleSet {
+            rules: self
+                .rules
+                .iter()
+                .filter(|r| r.tag() == Some(tag))
+                .cloned()
+                .collect(),
+            axioms: self.axioms,
+        }
+    }
+
+    /// Validate every rule against the entity schema and the master schemas.
+    ///
+    /// `master_arities[i]` is the arity of the specification's `i`-th master
+    /// relation.
+    pub fn validate(
+        &self,
+        schema: &SchemaRef,
+        master_arities: &[usize],
+    ) -> Result<(), RuleValidationError> {
+        let arity = schema.arity();
+        let check_attr = |rule: &str, a: AttrId| {
+            if a.0 >= arity {
+                Err(RuleValidationError {
+                    rule: rule.to_string(),
+                    message: format!("attribute {a} out of range for schema of arity {arity}"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for r in &self.rules {
+            match r {
+                AccuracyRule::Tuple(t) => {
+                    check_attr(&t.name, t.conclusion)?;
+                    for p in &t.premises {
+                        match p {
+                            Predicate::Cmp { left, right, .. } => {
+                                if let Some(a) = left.attr() {
+                                    check_attr(&t.name, a)?;
+                                }
+                                if let Some(a) = right.attr() {
+                                    check_attr(&t.name, a)?;
+                                }
+                            }
+                            Predicate::OrderLt { attr } | Predicate::OrderLe { attr } => {
+                                check_attr(&t.name, *attr)?;
+                            }
+                        }
+                    }
+                }
+                AccuracyRule::Master(m) => {
+                    let m_arity = master_arities.get(m.master_index).copied().ok_or_else(|| {
+                        RuleValidationError {
+                            rule: m.name.clone(),
+                            message: format!(
+                                "master relation index {} out of range ({} available)",
+                                m.master_index,
+                                master_arities.len()
+                            ),
+                        }
+                    })?;
+                    let check_master_attr = |rule: &str, b: AttrId| {
+                        if b.0 >= m_arity {
+                            Err(RuleValidationError {
+                                rule: rule.to_string(),
+                                message: format!(
+                                    "master attribute {b} out of range for arity {m_arity}"
+                                ),
+                            })
+                        } else {
+                            Ok(())
+                        }
+                    };
+                    if m.assignments.is_empty() {
+                        return Err(RuleValidationError {
+                            rule: m.name.clone(),
+                            message: "master rule has no assignments".to_string(),
+                        });
+                    }
+                    for p in &m.premises {
+                        match p {
+                            MasterPremise::TargetEqConst(a, _) => check_attr(&m.name, *a)?,
+                            MasterPremise::TargetEqMaster(a, b) => {
+                                check_attr(&m.name, *a)?;
+                                check_master_attr(&m.name, *b)?;
+                            }
+                            MasterPremise::MasterEqConst(b, _) => {
+                                check_master_attr(&m.name, *b)?;
+                            }
+                        }
+                    }
+                    for (a, b) in &m.assignments {
+                        check_attr(&m.name, *a)?;
+                        check_master_attr(&m.name, *b)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rule referencing an attribute that does not exist, or otherwise malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleValidationError {
+    /// Name of the offending rule.
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RuleValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {}: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for RuleValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_model::{DataType, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("league", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("J#", DataType::Int)
+            .build()
+    }
+
+    fn phi1(schema: &SchemaRef) -> TupleRule {
+        let league = schema.expect_attr("league");
+        let rnds = schema.expect_attr("rnds");
+        TupleRule::new(
+            "phi1",
+            vec![
+                Predicate::cmp_attrs(league, CmpOp::Eq),
+                Predicate::cmp_attrs(rnds, CmpOp::Lt),
+            ],
+            rnds,
+        )
+    }
+
+    #[test]
+    fn rule_set_counting_and_filtering() {
+        let s = schema();
+        let mut rs = RuleSet::new();
+        rs.push(phi1(&s));
+        rs.push(
+            TupleRule::new(
+                "phi2",
+                vec![Predicate::OrderLt {
+                    attr: s.expect_attr("rnds"),
+                }],
+                s.expect_attr("J#"),
+            )
+            .with_tag("currency"),
+        );
+        rs.push(MasterRule::new(
+            "phi6",
+            vec![MasterPremise::TargetEqMaster(AttrId(0), AttrId(0))],
+            vec![(AttrId(0), AttrId(1))],
+        ));
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.count_tuple_rules(), 2);
+        assert_eq!(rs.count_master_rules(), 1);
+        assert_eq!(rs.only_tuple_rules().len(), 2);
+        assert_eq!(rs.only_master_rules().len(), 1);
+        assert_eq!(rs.truncated(1).len(), 1);
+        assert_eq!(rs.with_tag("currency").len(), 1);
+        assert_eq!(rs.rule(0).name(), "phi1");
+        assert!(rs.rule(2).is_master_rule());
+    }
+
+    #[test]
+    fn validation_catches_out_of_range_attributes() {
+        let s = schema();
+        let mut rs = RuleSet::new();
+        rs.push(TupleRule::new("bad", vec![], AttrId(9)));
+        assert!(rs.validate(&s, &[2]).is_err());
+
+        let mut rs = RuleSet::new();
+        rs.push(MasterRule::new(
+            "bad_master",
+            vec![MasterPremise::TargetEqMaster(AttrId(0), AttrId(7))],
+            vec![(AttrId(0), AttrId(0))],
+        ));
+        assert!(rs.validate(&s, &[2]).is_err());
+        // index out of range of the available master relations
+        let mut rs = RuleSet::new();
+        rs.push(MasterRule::new("m", vec![], vec![(AttrId(0), AttrId(0))]).over_master(3));
+        assert!(rs.validate(&s, &[2]).is_err());
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_rules() {
+        let s = schema();
+        let rs = RuleSet::from_rules([AccuracyRule::from(phi1(&s))]);
+        assert!(rs.validate(&s, &[]).is_ok());
+        assert_eq!(rs.axioms, AxiomConfig::default());
+        assert!(AxiomConfig::none() != AxiomConfig::default());
+    }
+
+    #[test]
+    fn master_rule_without_assignment_rejected() {
+        let s = schema();
+        let rs = RuleSet::from_rules([AccuracyRule::Master(MasterRule {
+            name: "empty".into(),
+            master_index: 0,
+            premises: vec![],
+            assignments: vec![],
+            tag: None,
+        })]);
+        assert!(rs.validate(&s, &[1]).is_err());
+    }
+}

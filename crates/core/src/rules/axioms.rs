@@ -1,0 +1,116 @@
+//! Explicit expansion of the built-in axiom rules ϕ7–ϕ9.
+//!
+//! The chase engine handles the axioms *structurally* (see
+//! `crate::chase::iscr`): ϕ9 is a consequence of the value-class representation
+//! of the orders, ϕ7 seeds the null class below every other class, and ϕ8 is
+//! triggered whenever a target attribute becomes defined.  This module provides
+//! the equivalent *explicit* form-(1) rules so that
+//!
+//! * small examples and tests can verify that the structural handling matches
+//!   the literal reading of the paper, and
+//! * users can inspect or pretty-print the complete rule set including axioms.
+
+use super::ast::{Operand, Predicate, TupleRule, TupleRef};
+use relacc_model::{AttrId, CmpOp, SchemaRef, Value};
+
+/// The ϕ7 rule for attribute `a`:
+/// `t1[A] = null ∧ t2[A] ≠ null → t1 ⪯_A t2`.
+pub fn phi7(a: AttrId) -> TupleRule {
+    TupleRule::new(
+        format!("phi7[{a}]"),
+        vec![
+            Predicate::cmp_const(TupleRef::T1, a, CmpOp::Eq, Value::Null),
+            Predicate::cmp_const(TupleRef::T2, a, CmpOp::Ne, Value::Null),
+        ],
+        a,
+    )
+    .with_tag("axiom")
+}
+
+/// The ϕ8 rule for attribute `a`:
+/// `t2[A] = te[A] ∧ te[A] ≠ null → t1 ⪯_A t2`.
+pub fn phi8(a: AttrId) -> TupleRule {
+    TupleRule::new(
+        format!("phi8[{a}]"),
+        vec![
+            Predicate::Cmp {
+                left: Operand::Attr(TupleRef::T2, a),
+                op: CmpOp::Eq,
+                right: Operand::Target(a),
+            },
+            Predicate::Cmp {
+                left: Operand::Target(a),
+                op: CmpOp::Ne,
+                right: Operand::Const(Value::Null),
+            },
+        ],
+        a,
+    )
+    .with_tag("axiom")
+}
+
+/// The ϕ9 rule for attribute `a`: `t1[A] = t2[A] → t1 ⪯_A t2`.
+pub fn phi9(a: AttrId) -> TupleRule {
+    TupleRule::new(
+        format!("phi9[{a}]"),
+        vec![Predicate::cmp_attrs(a, CmpOp::Eq)],
+        a,
+    )
+    .with_tag("axiom")
+}
+
+/// Expand the enabled axioms of `config` over every attribute of `schema`.
+pub fn expand_axioms(
+    schema: &SchemaRef,
+    config: super::ast::AxiomConfig,
+) -> Vec<TupleRule> {
+    let mut rules = Vec::new();
+    for a in schema.attr_ids() {
+        if config.null_lowest {
+            rules.push(phi7(a));
+        }
+        if config.target_highest {
+            rules.push(phi8(a));
+        }
+        if config.equal_values {
+            rules.push(phi9(a));
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ast::AxiomConfig;
+    use relacc_model::{DataType, Schema};
+
+    #[test]
+    fn expansion_counts_follow_config() {
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Text)
+            .build();
+        assert_eq!(expand_axioms(&schema, AxiomConfig::default()).len(), 6);
+        assert_eq!(expand_axioms(&schema, AxiomConfig::none()).len(), 0);
+        let only_null = AxiomConfig {
+            null_lowest: true,
+            target_highest: false,
+            equal_values: false,
+        };
+        let rules = expand_axioms(&schema, only_null);
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().all(|r| r.name.starts_with("phi7")));
+        assert!(rules.iter().all(|r| r.tag.as_deref() == Some("axiom")));
+    }
+
+    #[test]
+    fn phi_rules_mention_their_attribute() {
+        let a = AttrId(3);
+        assert_eq!(phi7(a).conclusion, a);
+        assert_eq!(phi8(a).conclusion, a);
+        assert_eq!(phi9(a).conclusion, a);
+        assert_eq!(phi9(a).premises.len(), 1);
+        assert_eq!(phi8(a).premises.len(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Constant conditional functional dependencies (CFDs) and their translation
+//! into accuracy rules.
+//!
+//! Section 2.1 (Remark) shows that a constant CFD such as
+//! `[team = "Chicago Bulls" → arena = "United Center"]` can be expressed as a
+//! form-(2) AR over a small master relation holding the CFD's pattern tuple:
+//! `∀ tm ( tm[team] = te[team] → te[arena] = tm[arena] )`.  This module
+//! implements that translation for an arbitrary set of constant CFDs: CFDs with
+//! the same left-hand-side / right-hand-side attribute signature share a rule
+//! and contribute one pattern tuple each.
+//!
+//! The same [`ConstantCfd`] type is reused by the `DeduceOrder` baseline in
+//! `relacc-fusion`, which applies constant CFDs directly during conflict
+//! resolution.
+
+use super::ast::{MasterPremise, MasterRule};
+use relacc_model::{AttrId, MasterRelation, Schema, SchemaRef, Value};
+use std::collections::BTreeMap;
+
+/// A constant CFD `[A_1 = c_1 ∧ ... ∧ A_j = c_j → B = b]` over the entity
+/// schema `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstantCfd {
+    /// Pattern conditions on the left-hand side.
+    pub conditions: Vec<(AttrId, Value)>,
+    /// The constrained attribute and its required constant.
+    pub conclusion: (AttrId, Value),
+}
+
+impl ConstantCfd {
+    /// Convenience constructor.
+    pub fn new(conditions: Vec<(AttrId, Value)>, conclusion: (AttrId, Value)) -> Self {
+        ConstantCfd {
+            conditions,
+            conclusion,
+        }
+    }
+
+    /// Does a complete tuple (given as a value lookup) satisfy this CFD?
+    ///
+    /// Returns `true` when the pattern does not apply (some condition differs)
+    /// or when it applies and the conclusion holds.
+    pub fn satisfied_by<F>(&self, value_of: F) -> bool
+    where
+        F: Fn(AttrId) -> Value,
+    {
+        let applies = self
+            .conditions
+            .iter()
+            .all(|(a, c)| value_of(*a).same(c));
+        !applies || value_of(self.conclusion.0).same(&self.conclusion.1)
+    }
+
+    /// The signature grouping CFDs that can share a single form-(2) rule:
+    /// the sorted LHS attributes plus the RHS attribute.
+    fn signature(&self) -> (Vec<usize>, usize) {
+        let mut lhs: Vec<usize> = self.conditions.iter().map(|(a, _)| a.0).collect();
+        lhs.sort_unstable();
+        (lhs, self.conclusion.0 .0)
+    }
+}
+
+/// The result of translating a set of constant CFDs: a pattern-tableau master
+/// relation plus the form-(2) rules ranging over it.
+#[derive(Debug, Clone)]
+pub struct CfdTranslation {
+    /// The pattern tableau, one tuple per CFD.
+    pub master: MasterRelation,
+    /// One rule per CFD signature; their `master_index` is set to the value
+    /// passed to [`cfds_to_rules`].
+    pub rules: Vec<MasterRule>,
+}
+
+/// Translate constant CFDs over `schema` into a master relation and form-(2)
+/// rules ranging over it (registered as master relation `master_index` of the
+/// specification).
+///
+/// The tableau schema contains every attribute mentioned by any CFD, with the
+/// same names and types as in `schema`; a CFD's tuple is null outside its own
+/// attributes, and null premises/assignments are ignored at grounding, so CFDs
+/// with different signatures do not interfere.
+pub fn cfds_to_rules(
+    schema: &SchemaRef,
+    cfds: &[ConstantCfd],
+    master_index: usize,
+) -> CfdTranslation {
+    // Collect the attributes mentioned anywhere, in schema order.
+    let mut mentioned: Vec<AttrId> = Vec::new();
+    for cfd in cfds {
+        for (a, _) in &cfd.conditions {
+            if !mentioned.contains(a) {
+                mentioned.push(*a);
+            }
+        }
+        if !mentioned.contains(&cfd.conclusion.0) {
+            mentioned.push(cfd.conclusion.0);
+        }
+    }
+    mentioned.sort_unstable();
+
+    let mut builder = Schema::builder(format!("{}_cfd_tableau", schema.name()));
+    for a in &mentioned {
+        builder = builder.attr(schema.attr_name(*a), schema.attr_type(*a));
+    }
+    let tableau_schema = builder.build();
+    let tableau_attr = |a: AttrId| -> AttrId {
+        AttrId(
+            mentioned
+                .iter()
+                .position(|m| *m == a)
+                .expect("attribute collected above"),
+        )
+    };
+
+    let mut master = MasterRelation::new(tableau_schema.clone());
+    for cfd in cfds {
+        let mut row = vec![Value::Null; tableau_schema.arity()];
+        for (a, c) in &cfd.conditions {
+            row[tableau_attr(*a).0] = c.clone();
+        }
+        row[tableau_attr(cfd.conclusion.0).0] = cfd.conclusion.1.clone();
+        master
+            .push_row(row)
+            .expect("tableau rows conform to the tableau schema");
+    }
+
+    // One rule per signature.
+    let mut by_signature: BTreeMap<(Vec<usize>, usize), MasterRule> = BTreeMap::new();
+    for cfd in cfds {
+        by_signature.entry(cfd.signature()).or_insert_with(|| {
+            let premises = cfd
+                .conditions
+                .iter()
+                .map(|(a, _)| MasterPremise::TargetEqMaster(*a, tableau_attr(*a)))
+                .collect();
+            let assignments = vec![(cfd.conclusion.0, tableau_attr(cfd.conclusion.0))];
+            let lhs_names: Vec<&str> = cfd
+                .conditions
+                .iter()
+                .map(|(a, _)| schema.attr_name(*a))
+                .collect();
+            MasterRule::new(
+                format!(
+                    "cfd[{} -> {}]",
+                    lhs_names.join(","),
+                    schema.attr_name(cfd.conclusion.0)
+                ),
+                premises,
+                assignments,
+            )
+            .over_master(master_index)
+            .with_tag("cfd")
+        });
+    }
+
+    CfdTranslation {
+        master,
+        rules: by_signature.into_values().collect(),
+    }
+}
+
+/// Check a complete value assignment against a set of CFDs, returning the
+/// indices of violated CFDs.  Used to assert consistency of deduced targets.
+pub fn violations<F>(cfds: &[ConstantCfd], value_of: F) -> Vec<usize>
+where
+    F: Fn(AttrId) -> Value,
+{
+    cfds.iter()
+        .enumerate()
+        .filter(|(_, cfd)| !cfd.satisfied_by(|a| value_of(a)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_model::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .attr("league", DataType::Text)
+            .build()
+    }
+
+    fn bulls_cfd(s: &SchemaRef) -> ConstantCfd {
+        ConstantCfd::new(
+            vec![(s.expect_attr("team"), Value::text("Chicago Bulls"))],
+            (s.expect_attr("arena"), Value::text("United Center")),
+        )
+    }
+
+    #[test]
+    fn satisfaction_semantics() {
+        let s = schema();
+        let cfd = bulls_cfd(&s);
+        // pattern applies, conclusion holds
+        assert!(cfd.satisfied_by(|a| match s.attr_name(a) {
+            "team" => Value::text("Chicago Bulls"),
+            "arena" => Value::text("United Center"),
+            _ => Value::Null,
+        }));
+        // pattern applies, conclusion violated
+        assert!(!cfd.satisfied_by(|a| match s.attr_name(a) {
+            "team" => Value::text("Chicago Bulls"),
+            "arena" => Value::text("Chicago Stadium"),
+            _ => Value::Null,
+        }));
+        // pattern does not apply
+        assert!(cfd.satisfied_by(|a| match s.attr_name(a) {
+            "team" => Value::text("Barons"),
+            _ => Value::Null,
+        }));
+    }
+
+    #[test]
+    fn translation_builds_tableau_and_rules() {
+        let s = schema();
+        let cfds = vec![
+            bulls_cfd(&s),
+            ConstantCfd::new(
+                vec![(s.expect_attr("team"), Value::text("Birmingham Barons"))],
+                (s.expect_attr("arena"), Value::text("Regions Park")),
+            ),
+            ConstantCfd::new(
+                vec![(s.expect_attr("league"), Value::text("NBA"))],
+                (s.expect_attr("arena"), Value::text("some NBA arena")),
+            ),
+        ];
+        let translation = cfds_to_rules(&s, &cfds, 2);
+        // one tableau tuple per CFD
+        assert_eq!(translation.master.len(), 3);
+        // two signatures: team→arena (shared by 2 CFDs) and league→arena
+        assert_eq!(translation.rules.len(), 2);
+        assert!(translation.rules.iter().all(|r| r.master_index == 2));
+        assert!(translation.rules.iter().all(|r| r.tag.as_deref() == Some("cfd")));
+        // tableau schema covers exactly the mentioned attributes
+        assert_eq!(translation.master.schema().arity(), 3);
+    }
+
+    #[test]
+    fn violation_listing() {
+        let s = schema();
+        let cfds = vec![bulls_cfd(&s)];
+        let bad = violations(&cfds, |a| match s.attr_name(a) {
+            "team" => Value::text("Chicago Bulls"),
+            "arena" => Value::text("Regions Park"),
+            _ => Value::Null,
+        });
+        assert_eq!(bad, vec![0]);
+        let good = violations(&cfds, |a| match s.attr_name(a) {
+            "team" => Value::text("Chicago Bulls"),
+            "arena" => Value::text("United Center"),
+            _ => Value::Null,
+        });
+        assert!(good.is_empty());
+    }
+}

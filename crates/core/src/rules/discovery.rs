@@ -1,0 +1,280 @@
+//! Rudimentary accuracy-rule discovery.
+//!
+//! The paper defers AR discovery to future work but sketches the approach
+//! (Section 4, Remark): group tuple pairs into classes by their attribute
+//! values and analyse containment of those classes level-wise.  This module
+//! implements a pragmatic profiler along those lines, usable when a small
+//! amount of *training* data is available, i.e. entity instances whose true
+//! target tuples are known (e.g. a manually curated sample, or the generators'
+//! ground truth):
+//!
+//! * **currency rules** — for a numeric attribute `A`, if the tuple with the
+//!   maximal `A`-value almost always carries the true `A`-value, propose
+//!   `t1[A] < t2[A] → t1 ⪯_A t2` (the shape of the paper's ϕ1);
+//! * **correlation rules** — for attributes `A ≠ B`, if tuples carrying the
+//!   true `A`-value almost always carry the true `B`-value too, propose
+//!   `t1 ≺_A t2 → t1 ⪯_B t2` (the shape of ϕ2/ϕ3/ϕ10/ϕ11).
+//!
+//! Every proposal reports support (how many instances provided evidence) and
+//! confidence (fraction of supporting instances where the implication held),
+//! and only proposals above the caller's thresholds are returned.
+
+use super::ast::{Predicate, TupleRule};
+use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, TargetTuple, Value};
+
+/// A discovered rule candidate with its evidence.
+#[derive(Debug, Clone)]
+pub struct DiscoveredRule {
+    /// The proposed rule.
+    pub rule: TupleRule,
+    /// Number of training instances that provided evidence.
+    pub support: usize,
+    /// Fraction of supporting instances consistent with the rule.
+    pub confidence: f64,
+}
+
+/// Thresholds controlling which candidates are reported.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryConfig {
+    /// Minimum number of instances with evidence.
+    pub min_support: usize,
+    /// Minimum confidence in `[0, 1]`.
+    pub min_confidence: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            min_support: 3,
+            min_confidence: 0.9,
+        }
+    }
+}
+
+/// A training example: an entity instance together with its true target tuple.
+pub type TrainingExample<'a> = (&'a EntityInstance, &'a TargetTuple);
+
+fn max_value_of(ie: &EntityInstance, a: AttrId) -> Option<Value> {
+    let mut best: Option<Value> = None;
+    for (_, t) in ie.iter() {
+        let v = t.value(a);
+        if v.is_null() {
+            continue;
+        }
+        best = match best {
+            None => Some(v.clone()),
+            Some(b) => {
+                if v.eval(CmpOp::Gt, &b) == Some(true) {
+                    Some(v.clone())
+                } else {
+                    Some(b)
+                }
+            }
+        };
+    }
+    best
+}
+
+/// Propose currency rules `t1[A] < t2[A] → t1 ⪯_A t2` for numeric attributes.
+pub fn discover_currency_rules(
+    training: &[TrainingExample<'_>],
+    config: &DiscoveryConfig,
+) -> Vec<DiscoveredRule> {
+    let Some((first, _)) = training.first() else {
+        return Vec::new();
+    };
+    let schema = first.schema().clone();
+    let mut out = Vec::new();
+    for a in schema.attr_ids() {
+        if !matches!(schema.attr_type(a), DataType::Int | DataType::Float) {
+            continue;
+        }
+        let mut support = 0usize;
+        let mut consistent = 0usize;
+        for (ie, truth) in training {
+            let true_v = truth.value(a);
+            if true_v.is_null() {
+                continue;
+            }
+            // Evidence exists only if the attribute has at least two distinct
+            // non-null values in this instance.
+            if ie.active_domain(a).len() < 2 {
+                continue;
+            }
+            support += 1;
+            if let Some(max_v) = max_value_of(ie, a) {
+                if max_v.same(true_v) {
+                    consistent += 1;
+                }
+            }
+        }
+        if support >= config.min_support {
+            let confidence = consistent as f64 / support as f64;
+            if confidence >= config.min_confidence {
+                out.push(DiscoveredRule {
+                    rule: TupleRule::new(
+                        format!("mined_currency[{}]", schema.attr_name(a)),
+                        vec![Predicate::cmp_attrs(a, CmpOp::Lt)],
+                        a,
+                    )
+                    .with_tag("mined"),
+                    support,
+                    confidence,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Propose correlation rules `t1 ≺_A t2 → t1 ⪯_B t2` for attribute pairs.
+pub fn discover_correlation_rules(
+    training: &[TrainingExample<'_>],
+    config: &DiscoveryConfig,
+) -> Vec<DiscoveredRule> {
+    let Some((first, _)) = training.first() else {
+        return Vec::new();
+    };
+    let schema = first.schema().clone();
+    let attrs: Vec<AttrId> = schema.attr_ids().collect();
+    let mut out = Vec::new();
+    for &a in &attrs {
+        for &b in &attrs {
+            if a == b {
+                continue;
+            }
+            let mut support = 0usize;
+            let mut consistent = 0usize;
+            for (ie, truth) in training {
+                let (true_a, true_b) = (truth.value(a), truth.value(b));
+                if true_a.is_null() || true_b.is_null() {
+                    continue;
+                }
+                // Tuples that are "accurate on A": they carry the true A-value.
+                let accurate_on_a: Vec<_> = ie
+                    .iter()
+                    .filter(|(_, t)| t.value(a).same(true_a))
+                    .collect();
+                let inaccurate_on_a = ie.len() - accurate_on_a.len();
+                if accurate_on_a.is_empty() || inaccurate_on_a == 0 {
+                    continue;
+                }
+                support += 1;
+                // The implication "more accurate on A ⇒ at least as accurate on
+                // B" holds in this instance if every A-accurate tuple is also
+                // B-accurate.
+                if accurate_on_a.iter().all(|(_, t)| t.value(b).same(true_b)) {
+                    consistent += 1;
+                }
+            }
+            if support >= config.min_support {
+                let confidence = consistent as f64 / support as f64;
+                if confidence >= config.min_confidence {
+                    out.push(DiscoveredRule {
+                        rule: TupleRule::new(
+                            format!(
+                                "mined_corr[{}->{}]",
+                                schema.attr_name(a),
+                                schema.attr_name(b)
+                            ),
+                            vec![Predicate::OrderLt { attr: a }],
+                            b,
+                        )
+                        .with_tag("mined"),
+                        support,
+                        confidence,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run both discovery passes and return all proposals sorted by descending
+/// confidence (ties broken by support).
+pub fn discover_rules(
+    training: &[TrainingExample<'_>],
+    config: &DiscoveryConfig,
+) -> Vec<DiscoveredRule> {
+    let mut rules = discover_currency_rules(training, config);
+    rules.extend(discover_correlation_rules(training, config));
+    rules.sort_by(|x, y| {
+        y.confidence
+            .total_cmp(&x.confidence)
+            .then(y.support.cmp(&x.support))
+            .then(x.rule.name.cmp(&y.rule.name))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_model::{EntityInstance, Schema, TargetTuple};
+
+    /// Build training data where `rnds` is monotone-current (max is true) and
+    /// `pts` is perfectly correlated with `rnds`, while `noise` is random.
+    fn training_data() -> (Vec<EntityInstance>, Vec<TargetTuple>) {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("pts", DataType::Int)
+            .attr("noise", DataType::Text)
+            .build();
+        let mut instances = Vec::new();
+        let mut truths = Vec::new();
+        for k in 0..5i64 {
+            let ie = EntityInstance::from_rows(
+                schema.clone(),
+                vec![
+                    vec![Value::Int(10 + k), Value::Int(100 + k), Value::text("a")],
+                    vec![Value::Int(20 + k), Value::Int(200 + k), Value::text("b")],
+                    vec![Value::Int(5 + k), Value::Int(50 + k), Value::text("a")],
+                ],
+            )
+            .unwrap();
+            instances.push(ie);
+            truths.push(TargetTuple::from_values(vec![
+                Value::Int(20 + k),
+                Value::Int(200 + k),
+                Value::text("a"),
+            ]));
+        }
+        (instances, truths)
+    }
+
+    #[test]
+    fn discovers_currency_and_correlation() {
+        let (instances, truths) = training_data();
+        let training: Vec<TrainingExample<'_>> =
+            instances.iter().zip(truths.iter()).collect();
+        let rules = discover_rules(&training, &DiscoveryConfig::default());
+        let names: Vec<&str> = rules.iter().map(|r| r.rule.name.as_str()).collect();
+        assert!(names.contains(&"mined_currency[rnds]"));
+        assert!(names.contains(&"mined_currency[pts]"));
+        assert!(names.contains(&"mined_corr[rnds->pts]"));
+        assert!(names.contains(&"mined_corr[pts->rnds]"));
+        // the noisy text column must not yield a high-confidence correlation
+        assert!(!names.contains(&"mined_corr[rnds->noise]"));
+        assert!(rules.iter().all(|r| r.confidence >= 0.9));
+        assert!(rules.iter().all(|r| r.support >= 3));
+        // sorted by confidence descending
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn thresholds_filter_candidates() {
+        let (instances, truths) = training_data();
+        let training: Vec<TrainingExample<'_>> =
+            instances.iter().zip(truths.iter()).collect();
+        let strict = DiscoveryConfig {
+            min_support: 100,
+            min_confidence: 0.9,
+        };
+        assert!(discover_rules(&training, &strict).is_empty());
+        let empty: Vec<TrainingExample<'_>> = Vec::new();
+        assert!(discover_rules(&empty, &DiscoveryConfig::default()).is_empty());
+    }
+}

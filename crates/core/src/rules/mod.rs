@@ -1,0 +1,20 @@
+//! Accuracy rules (ARs): abstract syntax, built-in axioms, the rule-text
+//! parser, constant-CFD translation and rudimentary rule discovery.
+
+pub mod ast;
+pub mod axioms;
+pub mod cfd;
+pub mod discovery;
+pub mod parser;
+
+pub use ast::{
+    AccuracyRule, AxiomConfig, MasterPremise, MasterRule, Operand, Predicate, RuleSet,
+    RuleValidationError, TupleRef, TupleRule,
+};
+pub use axioms::{expand_axioms, phi7, phi8, phi9};
+pub use cfd::{cfds_to_rules, violations, CfdTranslation, ConstantCfd};
+pub use discovery::{
+    discover_correlation_rules, discover_currency_rules, discover_rules, DiscoveredRule,
+    DiscoveryConfig, TrainingExample,
+};
+pub use parser::{format_rule, format_ruleset, parse_rule, parse_ruleset, ParseError};

@@ -1,0 +1,658 @@
+//! A textual rule language for accuracy rules, close to the paper's notation.
+//!
+//! Form-(1) rules (`TupleRule`):
+//!
+//! ```text
+//! rule phi1: t1[league] = t2[league] && t1[rnds] < t2[rnds] -> t1 <= t2 on rnds
+//! rule phi2: t1 < t2 on rnds -> t1 <= t2 on J#
+//! ```
+//!
+//! Form-(2) rules (`MasterRule`), optionally naming which master relation they
+//! range over (`over N`, default 0):
+//!
+//! ```text
+//! master rule phi6: te[FN] = tm[FN] && te[LN] = tm[LN] && tm[season] = "1994-95"
+//!     -> te[league] := tm[league], te[team] := tm[team]
+//! ```
+//!
+//! Premise operands are `t1[attr]`, `t2[attr]`, `te[attr]`, `tm[attr]` (master
+//! premises only) or literals (`"string"`, integers, floats, `true`, `false`,
+//! `null`).  Order premises are written `t1 < t2 on attr` (strict, `≺`) and
+//! `t1 <= t2 on attr` (`⪯`).  Lines starting with `#` and blank lines are
+//! ignored; a rule may optionally end with `@tag`.
+//!
+//! [`format_rule`] renders a rule back to this syntax; parsing and formatting
+//! round-trip (see the tests).
+
+use super::ast::{
+    AccuracyRule, MasterPremise, MasterRule, Operand, Predicate, RuleSet, TupleRef, TupleRule,
+};
+use relacc_model::{AttrId, CmpOp, SchemaRef, Value};
+use std::fmt;
+
+/// A rule-text parse error, with the 1-based line number when parsing a whole
+/// rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 when parsing a single rule string).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed operand term before schema resolution.
+#[derive(Debug, Clone, PartialEq)]
+enum Term {
+    T1(String),
+    T2(String),
+    Te(String),
+    Tm(String),
+    Lit(Value),
+}
+
+fn parse_literal(text: &str) -> Result<Value, ParseError> {
+    let t = text.trim();
+    if t.starts_with('"') {
+        if t.len() >= 2 && t.ends_with('"') {
+            return Ok(Value::Str(t[1..t.len() - 1].replace("\\\"", "\"")));
+        }
+        return Err(ParseError::new(format!("unterminated string literal {t}")));
+    }
+    match t {
+        "null" => return Ok(Value::Null),
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(x) = t.parse::<f64>() {
+        return Ok(Value::Float(x));
+    }
+    Err(ParseError::new(format!(
+        "cannot parse literal {t:?} (strings must be quoted)"
+    )))
+}
+
+fn parse_term(text: &str) -> Result<Term, ParseError> {
+    let t = text.trim();
+    for (prefix, ctor) in [
+        ("t1[", Term::T1 as fn(String) -> Term),
+        ("t2[", Term::T2 as fn(String) -> Term),
+        ("te[", Term::Te as fn(String) -> Term),
+        ("tm[", Term::Tm as fn(String) -> Term),
+    ] {
+        if let Some(rest) = t.strip_prefix(prefix) {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| ParseError::new(format!("missing ']' in {t:?}")))?;
+            if name.is_empty() {
+                return Err(ParseError::new(format!("empty attribute name in {t:?}")));
+            }
+            return Ok(ctor(name.to_string()));
+        }
+    }
+    parse_literal(t).map(Term::Lit)
+}
+
+/// Split a premise string `left OP right` at the first comparison operator that
+/// is not inside a quoted literal or brackets.
+fn split_comparison(text: &str) -> Result<(String, CmpOp, String), ParseError> {
+    let bytes = text.as_bytes();
+    let mut in_quotes = false;
+    let mut in_brackets = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '[' if !in_quotes => in_brackets = true,
+            ']' if !in_quotes => in_brackets = false,
+            '!' | '<' | '>' | '=' if !in_quotes && !in_brackets => {
+                // longest-match operator at position i
+                let two = text.get(i..i + 2).and_then(CmpOp::parse);
+                let (op, width) = match two {
+                    Some(op) => (op, 2),
+                    None => match CmpOp::parse(&text[i..i + 1]) {
+                        Some(op) => (op, 1),
+                        None => {
+                            i += 1;
+                            continue;
+                        }
+                    },
+                };
+                let left = text[..i].trim().to_string();
+                let right = text[i + width..].trim().to_string();
+                if left.is_empty() || right.is_empty() {
+                    return Err(ParseError::new(format!(
+                        "comparison with a missing operand in {text:?}"
+                    )));
+                }
+                return Ok((left, op, right));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(ParseError::new(format!(
+        "no comparison operator found in premise {text:?}"
+    )))
+}
+
+fn resolve_attr(schema: &SchemaRef, name: &str) -> Result<AttrId, ParseError> {
+    schema.attr_id(name).ok_or_else(|| {
+        ParseError::new(format!(
+            "unknown attribute {name:?} of relation {}",
+            schema.name()
+        ))
+    })
+}
+
+fn term_to_operand(term: Term, schema: &SchemaRef) -> Result<Operand, ParseError> {
+    match term {
+        Term::T1(a) => Ok(Operand::Attr(TupleRef::T1, resolve_attr(schema, &a)?)),
+        Term::T2(a) => Ok(Operand::Attr(TupleRef::T2, resolve_attr(schema, &a)?)),
+        Term::Te(a) => Ok(Operand::Target(resolve_attr(schema, &a)?)),
+        Term::Tm(a) => Err(ParseError::new(format!(
+            "tm[{a}] is only allowed in master rules"
+        ))),
+        Term::Lit(v) => Ok(Operand::Const(v)),
+    }
+}
+
+/// Parse one premise of a form-(1) rule.
+fn parse_tuple_premise(text: &str, schema: &SchemaRef) -> Result<Predicate, ParseError> {
+    let t = text.trim();
+    // order premise: "t1 < t2 on attr" or "t1 <= t2 on attr"
+    if let Some(on_pos) = t.rfind(" on ") {
+        let head = t[..on_pos].trim();
+        let attr_name = t[on_pos + 4..].trim();
+        let strict = match head {
+            "t1 < t2" => Some(true),
+            "t1 <= t2" => Some(false),
+            _ => None, // fall through to comparison parsing
+        };
+        if let Some(strict) = strict {
+            let attr = resolve_attr(schema, attr_name)?;
+            return Ok(if strict {
+                Predicate::OrderLt { attr }
+            } else {
+                Predicate::OrderLe { attr }
+            });
+        }
+    }
+    let (left, op, right) = split_comparison(t)?;
+    Ok(Predicate::Cmp {
+        left: term_to_operand(parse_term(&left)?, schema)?,
+        op,
+        right: term_to_operand(parse_term(&right)?, schema)?,
+    })
+}
+
+/// Parse one premise of a form-(2) rule.
+fn parse_master_premise(
+    text: &str,
+    schema: &SchemaRef,
+    master: &SchemaRef,
+) -> Result<MasterPremise, ParseError> {
+    let (left, op, right) = split_comparison(text.trim())?;
+    if op != CmpOp::Eq {
+        return Err(ParseError::new(format!(
+            "master-rule premises only support '=', got {op}"
+        )));
+    }
+    let l = parse_term(&left)?;
+    let r = parse_term(&right)?;
+    match (l, r) {
+        (Term::Te(a), Term::Tm(b)) => Ok(MasterPremise::TargetEqMaster(
+            resolve_attr(schema, &a)?,
+            resolve_attr(master, &b)?,
+        )),
+        (Term::Tm(b), Term::Te(a)) => Ok(MasterPremise::TargetEqMaster(
+            resolve_attr(schema, &a)?,
+            resolve_attr(master, &b)?,
+        )),
+        (Term::Te(a), Term::Lit(v)) | (Term::Lit(v), Term::Te(a)) => {
+            Ok(MasterPremise::TargetEqConst(resolve_attr(schema, &a)?, v))
+        }
+        (Term::Tm(b), Term::Lit(v)) | (Term::Lit(v), Term::Tm(b)) => {
+            Ok(MasterPremise::MasterEqConst(resolve_attr(master, &b)?, v))
+        }
+        (l, r) => Err(ParseError::new(format!(
+            "unsupported master premise operands {l:?} = {r:?}"
+        ))),
+    }
+}
+
+/// Split a string on a separator, ignoring separators inside quotes.
+fn split_top_level<'a>(text: &'a str, sep: &str) -> Vec<&'a str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] as char == '"' {
+            in_quotes = !in_quotes;
+            i += 1;
+            continue;
+        }
+        if !in_quotes && text[i..].starts_with(sep) {
+            parts.push(&text[start..i]);
+            i += sep.len();
+            start = i;
+            continue;
+        }
+        i += 1;
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Parse a single rule line.
+///
+/// `master_schemas` supplies the schema of every master relation the rule set
+/// may reference (`over N` picks the N-th one; the default is 0).
+pub fn parse_rule(
+    line: &str,
+    schema: &SchemaRef,
+    master_schemas: &[SchemaRef],
+) -> Result<AccuracyRule, ParseError> {
+    // optional trailing "@tag"
+    let (line, tag) = match split_top_level(line, "@").as_slice() {
+        [body] => (body.trim(), None),
+        [body, tag] => (body.trim(), Some(tag.trim().to_string())),
+        _ => return Err(ParseError::new("at most one '@tag' is allowed")),
+    };
+
+    let (header, body) = line
+        .split_once(':')
+        .ok_or_else(|| ParseError::new("missing ':' after the rule header"))?;
+    let header = header.trim();
+    let body = body.trim();
+    let (lhs, rhs) = match split_top_level(body, "->").as_slice() {
+        [l, r] => (l.trim().to_string(), r.trim().to_string()),
+        _ => return Err(ParseError::new("rule body must contain exactly one '->'")),
+    };
+
+    if let Some(rest) = header.strip_prefix("master rule ") {
+        // "master rule NAME" or "master rule NAME over N"
+        let (name, master_index) = match rest.split_once(" over ") {
+            Some((n, idx)) => (
+                n.trim().to_string(),
+                idx.trim()
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::new(format!("bad master index {idx:?}")))?,
+            ),
+            None => (rest.trim().to_string(), 0usize),
+        };
+        let master = master_schemas.get(master_index).ok_or_else(|| {
+            ParseError::new(format!(
+                "rule {name} references master relation {master_index}, but only {} are available",
+                master_schemas.len()
+            ))
+        })?;
+        let premises = if lhs.is_empty() {
+            Vec::new()
+        } else {
+            split_top_level(&lhs, "&&")
+                .into_iter()
+                .map(|p| parse_master_premise(p, schema, master))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let mut assignments = Vec::new();
+        for part in split_top_level(&rhs, ",") {
+            let (l, r) = part
+                .trim()
+                .split_once(":=")
+                .ok_or_else(|| ParseError::new(format!("assignment must use ':=', got {part:?}")))?;
+            let l = parse_term(l)?;
+            let r = parse_term(r)?;
+            match (l, r) {
+                (Term::Te(a), Term::Tm(b)) => assignments.push((
+                    resolve_attr(schema, &a)?,
+                    resolve_attr(master, &b)?,
+                )),
+                (l, r) => {
+                    return Err(ParseError::new(format!(
+                        "assignments must be 'te[A] := tm[B]', got {l:?} := {r:?}"
+                    )))
+                }
+            }
+        }
+        let mut rule = MasterRule::new(name, premises, assignments).over_master(master_index);
+        rule.tag = tag;
+        Ok(AccuracyRule::Master(rule))
+    } else if let Some(name) = header.strip_prefix("rule ") {
+        let premises = if lhs.is_empty() {
+            Vec::new()
+        } else {
+            split_top_level(&lhs, "&&")
+                .into_iter()
+                .map(|p| parse_tuple_premise(p, schema))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        // conclusion: "t1 <= t2 on ATTR"
+        let attr_name = rhs
+            .strip_prefix("t1 <= t2 on ")
+            .ok_or_else(|| {
+                ParseError::new(format!(
+                    "form-(1) conclusion must be 't1 <= t2 on A', got {rhs:?}"
+                ))
+            })?
+            .trim();
+        let conclusion = resolve_attr(schema, attr_name)?;
+        let mut rule = TupleRule::new(name.trim(), premises, conclusion);
+        rule.tag = tag;
+        Ok(AccuracyRule::Tuple(rule))
+    } else {
+        Err(ParseError::new(format!(
+            "rule header must start with 'rule' or 'master rule', got {header:?}"
+        )))
+    }
+}
+
+/// Parse a whole rule-set text: one rule per line, `#` comments and blank lines
+/// ignored.
+pub fn parse_ruleset(
+    text: &str,
+    schema: &SchemaRef,
+    master_schemas: &[SchemaRef],
+) -> Result<RuleSet, ParseError> {
+    let mut rules = RuleSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = parse_rule(line, schema, master_schemas).map_err(|mut e| {
+            e.line = idx + 1;
+            e
+        })?;
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+fn format_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{}\"", s.replace('"', "\\\"")),
+        other => other.to_string(),
+    }
+}
+
+fn format_operand(o: &Operand, schema: &SchemaRef) -> String {
+    match o {
+        Operand::Attr(TupleRef::T1, a) => format!("t1[{}]", schema.attr_name(*a)),
+        Operand::Attr(TupleRef::T2, a) => format!("t2[{}]", schema.attr_name(*a)),
+        Operand::Target(a) => format!("te[{}]", schema.attr_name(*a)),
+        Operand::Const(v) => format_value(v),
+    }
+}
+
+/// Render a rule back into the textual syntax accepted by [`parse_rule`].
+pub fn format_rule(
+    rule: &AccuracyRule,
+    schema: &SchemaRef,
+    master_schemas: &[SchemaRef],
+) -> String {
+    match rule {
+        AccuracyRule::Tuple(r) => {
+            let premises: Vec<String> = r
+                .premises
+                .iter()
+                .map(|p| match p {
+                    Predicate::Cmp { left, op, right } => format!(
+                        "{} {} {}",
+                        format_operand(left, schema),
+                        op,
+                        format_operand(right, schema)
+                    ),
+                    Predicate::OrderLt { attr } => {
+                        format!("t1 < t2 on {}", schema.attr_name(*attr))
+                    }
+                    Predicate::OrderLe { attr } => {
+                        format!("t1 <= t2 on {}", schema.attr_name(*attr))
+                    }
+                })
+                .collect();
+            let tag = r.tag.as_deref().map(|t| format!(" @{t}")).unwrap_or_default();
+            format!(
+                "rule {}: {} -> t1 <= t2 on {}{}",
+                r.name,
+                premises.join(" && "),
+                schema.attr_name(r.conclusion),
+                tag
+            )
+        }
+        AccuracyRule::Master(r) => {
+            let master = &master_schemas[r.master_index];
+            let premises: Vec<String> = r
+                .premises
+                .iter()
+                .map(|p| match p {
+                    MasterPremise::TargetEqConst(a, v) => {
+                        format!("te[{}] = {}", schema.attr_name(*a), format_value(v))
+                    }
+                    MasterPremise::TargetEqMaster(a, b) => format!(
+                        "te[{}] = tm[{}]",
+                        schema.attr_name(*a),
+                        master.attr_name(*b)
+                    ),
+                    MasterPremise::MasterEqConst(b, v) => {
+                        format!("tm[{}] = {}", master.attr_name(*b), format_value(v))
+                    }
+                })
+                .collect();
+            let assignments: Vec<String> = r
+                .assignments
+                .iter()
+                .map(|(a, b)| {
+                    format!(
+                        "te[{}] := tm[{}]",
+                        schema.attr_name(*a),
+                        master.attr_name(*b)
+                    )
+                })
+                .collect();
+            let over = if r.master_index > 0 {
+                format!(" over {}", r.master_index)
+            } else {
+                String::new()
+            };
+            let tag = r.tag.as_deref().map(|t| format!(" @{t}")).unwrap_or_default();
+            format!(
+                "master rule {}{}: {} -> {}{}",
+                r.name,
+                over,
+                premises.join(" && "),
+                assignments.join(", "),
+                tag
+            )
+        }
+    }
+}
+
+/// Render a whole rule set, one rule per line.
+pub fn format_ruleset(rules: &RuleSet, schema: &SchemaRef, master_schemas: &[SchemaRef]) -> String {
+    rules
+        .rules()
+        .iter()
+        .map(|r| format_rule(r, schema, master_schemas))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_model::{DataType, Schema};
+
+    fn stat_schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("FN", DataType::Text)
+            .attr("LN", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("J#", DataType::Int)
+            .attr("league", DataType::Text)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    fn nba_schema() -> SchemaRef {
+        Schema::builder("nba")
+            .attr("FN", DataType::Text)
+            .attr("LN", DataType::Text)
+            .attr("league", DataType::Text)
+            .attr("season", DataType::Text)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    #[test]
+    fn parse_form1_with_comparisons() {
+        let s = stat_schema();
+        let rule = parse_rule(
+            "rule phi1: t1[league] = t2[league] && t1[rnds] < t2[rnds] -> t1 <= t2 on rnds",
+            &s,
+            &[],
+        )
+        .unwrap();
+        match rule {
+            AccuracyRule::Tuple(r) => {
+                assert_eq!(r.name, "phi1");
+                assert_eq!(r.premises.len(), 2);
+                assert_eq!(r.conclusion, s.expect_attr("rnds"));
+            }
+            _ => panic!("expected a tuple rule"),
+        }
+    }
+
+    #[test]
+    fn parse_form1_with_order_premise_and_tag() {
+        let s = stat_schema();
+        let rule = parse_rule(
+            "rule phi2: t1 < t2 on rnds -> t1 <= t2 on J# @currency",
+            &s,
+            &[],
+        )
+        .unwrap();
+        match rule {
+            AccuracyRule::Tuple(r) => {
+                assert_eq!(r.premises, vec![Predicate::OrderLt { attr: s.expect_attr("rnds") }]);
+                assert_eq!(r.conclusion, s.expect_attr("J#"));
+                assert_eq!(r.tag.as_deref(), Some("currency"));
+            }
+            _ => panic!("expected a tuple rule"),
+        }
+    }
+
+    #[test]
+    fn parse_form2_with_master_constant() {
+        let (s, m) = (stat_schema(), nba_schema());
+        let rule = parse_rule(
+            "master rule phi6: te[FN] = tm[FN] && te[LN] = tm[LN] && tm[season] = \"1994-95\" -> te[league] := tm[league], te[team] := tm[team]",
+            &s,
+            &[m.clone()],
+        )
+        .unwrap();
+        match rule {
+            AccuracyRule::Master(r) => {
+                assert_eq!(r.premises.len(), 3);
+                assert!(matches!(r.premises[2], MasterPremise::MasterEqConst(_, _)));
+                assert_eq!(r.assignments.len(), 2);
+                assert_eq!(r.master_index, 0);
+            }
+            _ => panic!("expected a master rule"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let s = stat_schema();
+        assert!(parse_rule("rule x t1[FN] = t2[FN] -> t1 <= t2 on FN", &s, &[]).is_err());
+        assert!(parse_rule("rule x: t1[nope] = t2[FN] -> t1 <= t2 on FN", &s, &[]).is_err());
+        assert!(parse_rule("rule x: t1[FN] = t2[FN] -> t2 <= t1 on FN", &s, &[]).is_err());
+        assert!(parse_rule("rule x: t1[FN] ~ t2[FN] -> t1 <= t2 on FN", &s, &[]).is_err());
+        assert!(parse_rule(
+            "master rule m: te[FN] = tm[FN] -> te[FN] := tm[FN]",
+            &s,
+            &[]
+        )
+        .is_err());
+        assert!(parse_rule("banana x: -> t1 <= t2 on FN", &s, &[]).is_err());
+        // unquoted strings are rejected to catch typos
+        assert!(parse_rule("rule x: t1[FN] = MJ -> t1 <= t2 on FN", &s, &[]).is_err());
+    }
+
+    #[test]
+    fn ruleset_parsing_skips_comments_and_reports_lines() {
+        let s = stat_schema();
+        let text = "# header comment\n\nrule a: t1[rnds] < t2[rnds] -> t1 <= t2 on rnds\nrule b: t1 < t2 on rnds -> t1 <= t2 on J#\n";
+        let rs = parse_ruleset(text, &s, &[]).unwrap();
+        assert_eq!(rs.len(), 2);
+
+        let bad = "rule a: t1[rnds] < t2[rnds] -> t1 <= t2 on rnds\nrule broken\n";
+        let err = parse_ruleset(bad, &s, &[]).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn quoted_literals_with_special_characters() {
+        let s = stat_schema();
+        let rule = parse_rule(
+            "rule q: t1[team] = \"Chicago, \\\"Bulls\\\"\" -> t1 <= t2 on team",
+            &s,
+            &[],
+        )
+        .unwrap();
+        match rule {
+            AccuracyRule::Tuple(r) => match &r.premises[0] {
+                Predicate::Cmp { right: Operand::Const(Value::Str(lit)), .. } => {
+                    assert_eq!(lit, "Chicago, \"Bulls\"");
+                }
+                other => panic!("unexpected premise {other:?}"),
+            },
+            _ => panic!("expected a tuple rule"),
+        }
+    }
+
+    #[test]
+    fn format_then_parse_round_trips() {
+        let (s, m) = (stat_schema(), nba_schema());
+        let text = [
+            "rule phi1: t1[league] = t2[league] && t1[rnds] < t2[rnds] -> t1 <= t2 on rnds",
+            "rule phi2: t1 < t2 on rnds -> t1 <= t2 on J# @currency",
+            "rule phi8: t2[FN] = te[FN] && te[FN] != null -> t1 <= t2 on FN",
+            "master rule phi6: te[FN] = tm[FN] && tm[season] = \"1994-95\" -> te[league] := tm[league], te[team] := tm[team]",
+        ]
+        .join("\n");
+        let rs = parse_ruleset(&text, &s, &[m.clone()]).unwrap();
+        let rendered = format_ruleset(&rs, &s, &[m.clone()]);
+        let reparsed = parse_ruleset(&rendered, &s, &[m]).unwrap();
+        assert_eq!(rs, reparsed);
+        assert_eq!(rendered.lines().count(), 4);
+    }
+}

@@ -1,0 +1,918 @@
+//! A configurable generator of entity collections with known ground truth.
+//!
+//! The paper's real-life workloads (`Med`, proprietary medicine sales data, and
+//! `CFP`, scraped calls for papers) are not publicly available; this generator
+//! reproduces their published *shape* — number of attributes, entity counts,
+//! entity-size distribution, master-data coverage and rule-set size — and
+//! injects the error classes the paper's accuracy rules exploit:
+//!
+//! * **currency errors**: numeric attributes whose stale values are smaller
+//!   than the true (latest) value;
+//! * **correlated staleness**: attributes whose value changes together with a
+//!   currency driver (the paper's ϕ2/ϕ3/ϕ10/ϕ11 pattern);
+//! * **master-covered attributes**: resolvable by joining curated reference
+//!   data on the entity's key attributes (form-(2) rules);
+//! * **master-follower attributes**: only resolvable once a master-covered
+//!   pivot attribute is known (the paper's ϕ4 pattern, `league → rnds/team/…`),
+//!   which is what makes form-(1) and form-(2) rules *interact* — together they
+//!   deduce more than the sum of what either form deduces alone (Fig. 6(e));
+//! * **sparse random errors and nulls** on the remaining attributes.
+//!
+//! Entities come in two flavours.  *Clean* entities are fully covered by the
+//! rules (possibly via master data), so the chase alone deduces their complete
+//! target.  *Messy* entities carry a few genuinely ambiguous attributes whose
+//! true value cannot be pinned down by any rule — they are what the top-k
+//! candidate search and the user-interaction rounds of Exp-2/Exp-3 are for.
+//! The `messy_rate` therefore directly controls the complete-target percentage
+//! of Fig. 6(a).
+//!
+//! Each generated entity carries its ground-truth target tuple, so the
+//! experiment harness can measure exactly what the paper measures: how much of
+//! the truth the chase and the top-k algorithms recover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relacc_core::rules::{
+    ConstantCfd, MasterPremise, MasterRule, Operand, Predicate, RuleSet, TupleRule, TupleRef,
+};
+use relacc_core::Specification;
+use relacc_model::{
+    AttrId, CmpOp, DataType, EntityInstance, MasterRelation, Schema, SchemaRef, TargetTuple, Value,
+};
+
+/// The role an attribute plays in the generated workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrKind {
+    /// Identifying attribute: consistent across the entity's tuples (up to
+    /// nulls / rare variants) and used to join master data.
+    Key,
+    /// Numeric attribute whose true value is the most recent (largest) one;
+    /// stale tuples carry smaller values.  Generates a ϕ1-style rule.
+    Currency,
+    /// Attribute whose value follows a [`AttrKind::Currency`] driver; stale
+    /// tuples carry the driver-consistent old value.  Generates a ϕ2-style
+    /// rule.
+    Correlated {
+        /// Name of the driving currency attribute.
+        driver: String,
+    },
+    /// Attribute whose true value is recorded in the master relation and
+    /// recovered through a form-(2) rule joining on the key attributes.
+    MasterCovered,
+    /// Attribute whose value is tied to a [`AttrKind::MasterCovered`] pivot:
+    /// tuples that carry the wrong pivot value also carry a wrong follower
+    /// value.  Generates a ϕ4-style form-(1) rule whose premise compares the
+    /// pivot against the *target* value, so it only fires once `te[pivot]` is
+    /// known (usually via a form-(2) rule).
+    MasterFollower {
+        /// Name of the master-covered pivot attribute.
+        pivot: String,
+    },
+    /// Attribute with no rules: only sparse errors/nulls; resolvable when all
+    /// tuples agree, otherwise left to the top-k search / the user.
+    Free,
+}
+
+/// One attribute of the generated schema.
+#[derive(Debug, Clone)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Its role.
+    pub kind: AttrKind,
+}
+
+impl AttrSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: AttrKind) -> Self {
+        AttrSpec {
+            name: name.into(),
+            kind,
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Workload name (becomes the schema name).
+    pub name: String,
+    /// The attributes and their roles.
+    pub attrs: Vec<AttrSpec>,
+    /// Number of entities to generate.
+    pub n_entities: usize,
+    /// Minimum tuples per entity.
+    pub min_tuples: usize,
+    /// Maximum tuples per entity (sizes are skewed towards the minimum).
+    pub max_tuples: usize,
+    /// Fraction of entities that have a master tuple.
+    pub master_coverage: f64,
+    /// Probability that a non-latest tuple's value is missing.
+    pub null_rate: f64,
+    /// Probability that a non-latest tuple's master-covered value is stale
+    /// (wrong), per tuple.  Stale covered values are what the form-(2) rules
+    /// repair; without master data they force a top-k search.
+    pub covered_error_rate: f64,
+    /// Probability that a key attribute value is replaced by a variant
+    /// spelling (which blocks master joins for that entity).
+    pub key_noise: f64,
+    /// Fraction of entities that are *messy*: they carry `1..=max_ambiguous`
+    /// attributes with genuinely conflicting values that no rule resolves.
+    pub messy_rate: f64,
+    /// Maximum number of ambiguous attributes per messy entity.
+    pub max_ambiguous: usize,
+    /// Number of distinct buckets for currency / correlated histories (bounds
+    /// the number of value classes per attribute).
+    pub history_buckets: usize,
+    /// Pad the rule set with semantically redundant variants until it reaches
+    /// this many form-(1) rules (0 = no padding).
+    pub target_form1_rules: usize,
+    /// Pad the rule set until it reaches this many form-(2) rules (0 = no
+    /// padding).
+    pub target_form2_rules: usize,
+    /// RNG seed (the whole dataset is a pure function of the config).
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A tiny smoke-test configuration used by unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            name: "tiny".into(),
+            attrs: vec![
+                AttrSpec::new("name", AttrKind::Key),
+                AttrSpec::new("rnds", AttrKind::Currency),
+                AttrSpec::new("pts", AttrKind::Correlated {
+                    driver: "rnds".into(),
+                }),
+                AttrSpec::new("team", AttrKind::MasterCovered),
+                AttrSpec::new("arena", AttrKind::MasterFollower {
+                    pivot: "team".into(),
+                }),
+                AttrSpec::new("note", AttrKind::Free),
+            ],
+            n_entities: 20,
+            min_tuples: 1,
+            max_tuples: 6,
+            master_coverage: 0.8,
+            null_rate: 0.1,
+            covered_error_rate: 0.2,
+            key_noise: 0.02,
+            messy_rate: 0.3,
+            max_ambiguous: 2,
+            history_buckets: 4,
+            target_form1_rules: 0,
+            target_form2_rules: 0,
+            seed,
+        }
+    }
+}
+
+/// A generated entity: its dirty tuples plus its ground-truth target.
+#[derive(Debug, Clone)]
+pub struct GeneratedEntity {
+    /// A stable identifier (the value of the first key attribute).
+    pub key: String,
+    /// The dirty entity instance `Ie`.
+    pub instance: EntityInstance,
+    /// The ground-truth target tuple.
+    pub truth: TargetTuple,
+    /// Whether the master relation covers this entity.
+    pub in_master: bool,
+    /// Whether the entity was generated as messy (carries ambiguous attributes
+    /// that no rule resolves).
+    pub messy: bool,
+    /// The attributes that were made ambiguous (empty for clean entities).
+    pub ambiguous_attrs: Vec<AttrId>,
+}
+
+/// Which rule forms a specification should include (Exp-1 / Exp-2 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuleForms {
+    /// Both form-(1) and form-(2) rules.
+    #[default]
+    Both,
+    /// Only form-(1) rules.
+    Form1Only,
+    /// Only form-(2) rules.
+    Form2Only,
+}
+
+/// A complete generated workload.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Workload name.
+    pub name: String,
+    /// Entity schema `R`.
+    pub schema: SchemaRef,
+    /// Master schema `Rm` (key attributes + master-covered attributes).
+    pub master_schema: SchemaRef,
+    /// The generated entities with ground truth.
+    pub entities: Vec<GeneratedEntity>,
+    /// The master relation `Im`.
+    pub master: MasterRelation,
+    /// The emitted accuracy rules `Σ`.
+    pub rules: RuleSet,
+    /// Constant CFDs relating master-covered attributes (used by the
+    /// DeduceOrder baseline and available for consistency checking).
+    pub cfds: Vec<ConstantCfd>,
+}
+
+impl Dataset {
+    /// Total number of tuples across all entities.
+    pub fn total_tuples(&self) -> usize {
+        self.entities.iter().map(|e| e.instance.len()).sum()
+    }
+
+    /// Build the specification of entity `idx` with the full rule set and the
+    /// full master relation.
+    pub fn specification(&self, idx: usize) -> Specification {
+        self.specification_with(idx, RuleForms::Both, None)
+    }
+
+    /// Build the specification of entity `idx`, optionally restricting the rule
+    /// forms and truncating the master relation to its first `master_limit`
+    /// tuples (the `‖Im‖` sweeps of Exp-2 / Exp-4).
+    pub fn specification_with(
+        &self,
+        idx: usize,
+        forms: RuleForms,
+        master_limit: Option<usize>,
+    ) -> Specification {
+        let rules = match forms {
+            RuleForms::Both => self.rules.clone(),
+            RuleForms::Form1Only => self.rules.only_tuple_rules(),
+            RuleForms::Form2Only => self.rules.only_master_rules(),
+        };
+        let mut master = self.master.clone();
+        if let Some(limit) = master_limit {
+            master.truncate(limit);
+        }
+        Specification::new(self.entities[idx].instance.clone(), rules).with_master(master)
+    }
+}
+
+struct AttrPlan {
+    id: AttrId,
+    kind: AttrKind,
+}
+
+/// Generate a dataset from a configuration.
+pub fn generate(config: &GeneratorConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- schema -----------------------------------------------------------
+    let mut builder = Schema::builder(config.name.clone());
+    for spec in &config.attrs {
+        let ty = match spec.kind {
+            AttrKind::Currency => DataType::Int,
+            _ => DataType::Text,
+        };
+        builder = builder.attr(spec.name.clone(), ty);
+    }
+    let schema = builder.build();
+    let plans: Vec<AttrPlan> = config
+        .attrs
+        .iter()
+        .map(|spec| AttrPlan {
+            id: schema.expect_attr(&spec.name),
+            kind: spec.kind.clone(),
+        })
+        .collect();
+
+    let key_attrs: Vec<AttrId> = plans
+        .iter()
+        .filter(|p| p.kind == AttrKind::Key)
+        .map(|p| p.id)
+        .collect();
+    let covered_attrs: Vec<AttrId> = plans
+        .iter()
+        .filter(|p| p.kind == AttrKind::MasterCovered)
+        .map(|p| p.id)
+        .collect();
+    // Attributes that may be made ambiguous in messy entities: the ones a rule
+    // can repair only through master data, plus the free attributes.  Master
+    // followers are excluded — conflicting follower values combined with a
+    // resolved pivot would make the ϕ4-style rule derive opposite orders and
+    // the specification would (correctly but unhelpfully) stop being
+    // Church-Rosser.
+    let ambiguable: Vec<AttrId> = plans
+        .iter()
+        .filter(|p| matches!(p.kind, AttrKind::MasterCovered | AttrKind::Free))
+        .map(|p| p.id)
+        .collect();
+
+    // master schema: key attributes + master-covered attributes (same names)
+    let mut mbuilder = Schema::builder(format!("{}_master", config.name));
+    for a in key_attrs.iter().chain(covered_attrs.iter()) {
+        mbuilder = mbuilder.attr(schema.attr_name(*a), schema.attr_type(*a));
+    }
+    let master_schema = mbuilder.build();
+
+    // --- entities ----------------------------------------------------------
+    let buckets = config.history_buckets.max(1);
+    let mut entities = Vec::with_capacity(config.n_entities);
+    let mut master = MasterRelation::new(master_schema.clone());
+
+    for e in 0..config.n_entities {
+        // skewed entity size: most entities are small, a few are large
+        let span = config.max_tuples.saturating_sub(config.min_tuples);
+        let size = if span == 0 {
+            config.min_tuples
+        } else {
+            let r: f64 = rng.gen::<f64>();
+            config.min_tuples + ((r * r * r) * (span as f64 + 0.999)) as usize
+        };
+        let size = size.max(1);
+        let in_master = rng.gen::<f64>() < config.master_coverage;
+        let messy = size > 1 && rng.gen::<f64>() < config.messy_rate;
+
+        // pick the ambiguous attributes of a messy entity
+        let mut ambiguous: Vec<AttrId> = Vec::new();
+        if messy && !ambiguable.is_empty() {
+            let n_ambig = rng.gen_range(1..=config.max_ambiguous.max(1));
+            let mut pool = ambiguable.clone();
+            for _ in 0..n_ambig.min(pool.len()) {
+                let i = rng.gen_range(0..pool.len());
+                ambiguous.push(pool.swap_remove(i));
+            }
+        }
+
+        // ground truth per attribute
+        let mut truth = vec![Value::Null; schema.arity()];
+        for plan in &plans {
+            let name = schema.attr_name(plan.id);
+            truth[plan.id.0] = match &plan.kind {
+                AttrKind::Key => Value::text(format!("{name}_e{e}")),
+                AttrKind::Currency => {
+                    Value::Int(((size.min(buckets)).saturating_sub(1)) as i64)
+                }
+                AttrKind::Correlated { .. } => {
+                    let top_bucket = (size.min(buckets)).saturating_sub(1);
+                    Value::text(format!("{name}_e{e}_h{top_bucket}"))
+                }
+                AttrKind::MasterCovered => Value::text(format!("{name}_v{}", e % 17)),
+                AttrKind::MasterFollower { .. } => Value::text(format!("{name}_w{}", e % 17)),
+                AttrKind::Free => Value::text(format!("{name}_e{e}_true")),
+            };
+        }
+        let truth = TargetTuple::from_values(truth);
+
+        // Pre-plan the ambiguity of messy entities: for each ambiguous
+        // attribute decide which tuples carry the truth and which carry one of
+        // two wrong variants, so that the truth's occurrence count is close to
+        // (sometimes below) the best wrong value — this is what makes the rank
+        // of the true target inside the top-k candidates vary with k.
+        let mut ambiguous_values: Vec<Vec<Value>> = vec![Vec::new(); schema.arity()];
+        for &a in &ambiguous {
+            let name = schema.attr_name(a);
+            let truth_value = truth.value(a).clone();
+            let wrong_a = Value::text(format!("{name}_e{e}_alt0"));
+            let wrong_b = Value::text(format!("{name}_e{e}_alt1"));
+            // How often the truth shows up relative to the two wrong variants:
+            // sometimes it is the clear majority, sometimes it ties, sometimes a
+            // wrong value dominates — this spread is what makes the rank of the
+            // true target inside the candidate list (and thus the k-sweep of
+            // Fig. 6(b)/(f)) vary.
+            let truth_weight: u8 = match rng.gen_range(0..3u8) {
+                0 => 4, // truth-favoured: truth ~50% of tuples
+                1 => 3, // tied with the leading wrong value
+                _ => 2, // wrong value favoured: truth is a minority
+            };
+            let mut per_tuple = Vec::with_capacity(size);
+            for t in 0..size {
+                // the truth always appears at least once (in the first tuple)
+                let v = if t == 0 {
+                    truth_value.clone()
+                } else {
+                    let roll = rng.gen_range(0..8u8);
+                    if roll < truth_weight {
+                        truth_value.clone()
+                    } else if roll < truth_weight + 3 {
+                        wrong_a.clone()
+                    } else {
+                        wrong_b.clone()
+                    }
+                };
+                per_tuple.push(v);
+            }
+            ambiguous_values[a.0] = per_tuple;
+        }
+
+        // dirty tuples: tuple `t` observes history version `versions[t]`
+        let mut instance = EntityInstance::new(schema.clone());
+        for t in 0..size {
+            // version 0 = oldest, size-1 = newest; exactly one tuple is newest
+            let version = if t == size - 1 { size - 1 } else { rng.gen_range(0..size) };
+            let bucket = (version * buckets.min(size)) / size.max(1);
+            let bucket = bucket.min(buckets - 1);
+            let is_latest = version == size - 1;
+            // Decide up-front which currency attributes this tuple is missing:
+            // their correlated followers must then be missing too, otherwise a
+            // stale-looking tuple could be pushed above a fresher one by ϕ7 and
+            // the specification would (correctly) stop being Church-Rosser.
+            let mut missing_drivers: Vec<&str> = Vec::new();
+            for plan in &plans {
+                if matches!(plan.kind, AttrKind::Currency)
+                    && !is_latest
+                    && rng.gen::<f64>() < config.null_rate
+                {
+                    missing_drivers.push(schema.attr_name(plan.id));
+                }
+            }
+            // Does this tuple carry the correct value for each master-covered
+            // pivot?  Followers of a wrong pivot carry the matching wrong value.
+            let mut covered_is_stale: Vec<bool> = vec![false; schema.arity()];
+            for plan in &plans {
+                if plan.kind == AttrKind::MasterCovered
+                    && !ambiguous.contains(&plan.id)
+                    && t > 0
+                    && rng.gen::<f64>() < config.covered_error_rate
+                {
+                    covered_is_stale[plan.id.0] = true;
+                }
+            }
+            // First pass: every attribute except the master followers, which
+            // need to see the pivot value this tuple actually carries.
+            let mut row = vec![Value::Null; schema.arity()];
+            for plan in &plans {
+                if matches!(plan.kind, AttrKind::MasterFollower { .. }) {
+                    continue;
+                }
+                let name = schema.attr_name(plan.id);
+                let truth_value = truth.value(plan.id).clone();
+                if ambiguous.contains(&plan.id) {
+                    row[plan.id.0] = ambiguous_values[plan.id.0][t].clone();
+                    continue;
+                }
+                let value = match &plan.kind {
+                    AttrKind::Key => {
+                        let r: f64 = rng.gen();
+                        if !is_latest && r < config.key_noise {
+                            Value::text(format!("{name}_e{e}~variant"))
+                        } else if !is_latest && r < config.key_noise + config.null_rate {
+                            Value::Null
+                        } else {
+                            truth_value
+                        }
+                    }
+                    AttrKind::Currency => {
+                        let latest_bucket = (size.min(buckets)) - 1;
+                        if missing_drivers.contains(&name) {
+                            Value::Null
+                        } else if is_latest {
+                            Value::Int(latest_bucket as i64)
+                        } else {
+                            Value::Int(bucket.min(latest_bucket) as i64)
+                        }
+                    }
+                    AttrKind::Correlated { driver } => {
+                        let latest_bucket = (size.min(buckets)) - 1;
+                        let b = if is_latest { latest_bucket } else { bucket.min(latest_bucket) };
+                        if missing_drivers.contains(&driver.as_str()) {
+                            // the driver is missing in this tuple, so its
+                            // followers are missing too (see above)
+                            Value::Null
+                        } else if b == 0 && !is_latest && rng.gen::<f64>() < config.null_rate {
+                            // only the oldest history bucket may otherwise be
+                            // nulled-out: nulling a newer tuple would push a
+                            // null above a non-null value under a ϕ2-style rule
+                            Value::Null
+                        } else {
+                            Value::text(format!("{name}_e{e}_h{b}"))
+                        }
+                    }
+                    AttrKind::MasterCovered => {
+                        // the first tuple always carries the truth so that a
+                        // lone wrong value can never be "deduced" and then
+                        // contradicted by master data
+                        if t == 0 {
+                            truth_value
+                        } else if covered_is_stale[plan.id.0] {
+                            Value::text(format!("{name}_v{}", (e + 1 + t) % 17))
+                        } else if rng.gen::<f64>() < config.null_rate {
+                            Value::Null
+                        } else {
+                            truth_value
+                        }
+                    }
+                    AttrKind::MasterFollower { .. } => unreachable!("filled in the second pass"),
+                    AttrKind::Free => {
+                        if !is_latest && rng.gen::<f64>() < config.null_rate {
+                            Value::Null
+                        } else {
+                            truth_value
+                        }
+                    }
+                };
+                row[plan.id.0] = value;
+            }
+            // Second pass: master followers mirror the pivot value this tuple
+            // ended up with.  A correct pivot always comes with the true
+            // follower value (never null), so the ϕ4-style rule can promote
+            // those tuples without ever conflicting with ϕ7; a wrong pivot
+            // carries a matching wrong follower value; a null pivot nulls the
+            // follower as well.
+            for plan in &plans {
+                let AttrKind::MasterFollower { pivot } = &plan.kind else {
+                    continue;
+                };
+                let name = schema.attr_name(plan.id);
+                let pivot_id = schema.expect_attr(pivot);
+                let pivot_value = &row[pivot_id.0];
+                row[plan.id.0] = if pivot_value.is_null() {
+                    Value::Null
+                } else if pivot_value.same(truth.value(pivot_id)) {
+                    truth.value(plan.id).clone()
+                } else {
+                    Value::text(format!("{name}_w{}", (e + 1 + t) % 17))
+                };
+            }
+            instance.push_row(row).expect("generated rows conform");
+        }
+
+        if in_master {
+            let mut mrow = Vec::with_capacity(master_schema.arity());
+            for a in key_attrs.iter().chain(covered_attrs.iter()) {
+                mrow.push(truth.value(*a).clone());
+            }
+            master.push_row(mrow).expect("master rows conform");
+        }
+
+        entities.push(GeneratedEntity {
+            key: format!("{}_e{e}", schema.attr_name(key_attrs[0])),
+            instance,
+            truth,
+            in_master,
+            messy,
+            ambiguous_attrs: ambiguous,
+        });
+    }
+
+    // --- rules --------------------------------------------------------------
+    let mut rules = RuleSet::new();
+    let mut form1: Vec<TupleRule> = Vec::new();
+    for plan in &plans {
+        match &plan.kind {
+            AttrKind::Currency => {
+                form1.push(
+                    TupleRule::new(
+                        format!("cur[{}]", schema.attr_name(plan.id)),
+                        vec![Predicate::cmp_attrs(plan.id, CmpOp::Lt)],
+                        plan.id,
+                    )
+                    .with_tag("currency"),
+                );
+            }
+            AttrKind::Correlated { driver } => {
+                let driver_id = schema.expect_attr(driver);
+                form1.push(
+                    TupleRule::new(
+                        format!(
+                            "corr[{}->{}]",
+                            schema.attr_name(driver_id),
+                            schema.attr_name(plan.id)
+                        ),
+                        vec![Predicate::OrderLt { attr: driver_id }],
+                        plan.id,
+                    )
+                    .with_tag("currency"),
+                );
+            }
+            AttrKind::MasterFollower { pivot } => {
+                let pivot_id = schema.expect_attr(pivot);
+                // ϕ4 pattern: a tuple whose pivot disagrees with the (deduced)
+                // target pivot value is less accurate on the follower than a
+                // tuple whose pivot agrees with it.
+                form1.push(
+                    TupleRule::new(
+                        format!(
+                            "pivot[{}->{}]",
+                            schema.attr_name(pivot_id),
+                            schema.attr_name(plan.id)
+                        ),
+                        vec![
+                            Predicate::Cmp {
+                                left: Operand::Attr(TupleRef::T1, pivot_id),
+                                op: CmpOp::Ne,
+                                right: Operand::Target(pivot_id),
+                            },
+                            Predicate::Cmp {
+                                left: Operand::Attr(TupleRef::T2, pivot_id),
+                                op: CmpOp::Eq,
+                                right: Operand::Target(pivot_id),
+                            },
+                        ],
+                        plan.id,
+                    )
+                    .with_tag("pivot"),
+                );
+            }
+            _ => {}
+        }
+    }
+    // pad form-(1) rules with redundant variants carrying an extra benign
+    // key-equality premise (the paper notes its hand-written ARs "often share
+    // the same LHS"; padding mirrors the reported rule-set sizes)
+    let base_form1 = form1.clone();
+    let mut variant = 0usize;
+    while config.target_form1_rules > 0 && form1.len() < config.target_form1_rules {
+        let template = &base_form1[variant % base_form1.len()];
+        let key = key_attrs[variant % key_attrs.len()];
+        let mut premises = template.premises.clone();
+        premises.push(Predicate::cmp_attrs(key, CmpOp::Eq));
+        form1.push(
+            TupleRule::new(format!("{}#v{variant}", template.name), premises, template.conclusion)
+                .with_tag("variant"),
+        );
+        variant += 1;
+    }
+    for r in form1 {
+        rules.push(r);
+    }
+
+    let mut form2: Vec<MasterRule> = Vec::new();
+    for (ci, covered) in covered_attrs.iter().enumerate() {
+        let premises: Vec<MasterPremise> = key_attrs
+            .iter()
+            .map(|k| {
+                MasterPremise::TargetEqMaster(*k, master_schema.expect_attr(schema.attr_name(*k)))
+            })
+            .collect();
+        form2.push(MasterRule::new(
+            format!("master[{}]", schema.attr_name(*covered)),
+            premises,
+            vec![(
+                *covered,
+                master_schema.expect_attr(schema.attr_name(*covered)),
+            )],
+        ));
+        let _ = ci;
+    }
+    let base_form2 = form2.clone();
+    let mut variant = 0usize;
+    while !base_form2.is_empty()
+        && config.target_form2_rules > 0
+        && form2.len() < config.target_form2_rules
+    {
+        let template = &base_form2[variant % base_form2.len()];
+        // redundant variant: same premises restricted to a single key attribute
+        let key = key_attrs[variant % key_attrs.len()];
+        let mut premises = template.premises.clone();
+        premises.push(MasterPremise::TargetEqMaster(
+            key,
+            master_schema.expect_attr(schema.attr_name(key)),
+        ));
+        let mut rule = MasterRule::new(
+            format!("{}#v{variant}", template.name),
+            premises,
+            template.assignments.clone(),
+        );
+        rule.tag = Some("variant".into());
+        form2.push(rule);
+        variant += 1;
+    }
+    for r in form2 {
+        rules.push(r);
+    }
+
+    // --- constant CFDs relating master-covered attributes -------------------
+    let mut cfds = Vec::new();
+    if covered_attrs.len() >= 2 {
+        let lhs = covered_attrs[0];
+        let rhs = covered_attrs[1];
+        for pool in 0..17usize {
+            cfds.push(ConstantCfd::new(
+                vec![(
+                    lhs,
+                    Value::text(format!("{}_v{}", schema.attr_name(lhs), pool)),
+                )],
+                (
+                    rhs,
+                    Value::text(format!("{}_v{}", schema.attr_name(rhs), pool)),
+                ),
+            ));
+        }
+    }
+
+    Dataset {
+        name: config.name.clone(),
+        schema,
+        master_schema,
+        entities,
+        master,
+        rules,
+        cfds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::chase::is_cr;
+    use relacc_fusion_metrics_shim::attribute_accuracy;
+
+    /// tiny shim so the generator tests don't depend on relacc-fusion (which
+    /// would create a dependency cycle); mirrors `relacc_fusion::metrics`.
+    mod relacc_fusion_metrics_shim {
+        use relacc_model::{AttrId, TargetTuple};
+        pub fn attribute_accuracy(deduced: &TargetTuple, truth: &TargetTuple) -> f64 {
+            let mut judged = 0usize;
+            let mut correct = 0usize;
+            for i in 0..truth.arity() {
+                let t = truth.value(AttrId(i));
+                if t.is_null() {
+                    continue;
+                }
+                judged += 1;
+                let d = deduced.value(AttrId(i));
+                if !d.is_null() && d.same(t) {
+                    correct += 1;
+                }
+            }
+            if judged == 0 {
+                1.0
+            } else {
+                correct as f64 / judged as f64
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        let config = GeneratorConfig::tiny(7);
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.entities.len(), 20);
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        assert_eq!(a.master.len(), b.master.len());
+        assert!(a.master.len() <= a.entities.len());
+        assert_eq!(a.rules.len(), b.rules.len());
+        assert!(a.rules.count_tuple_rules() >= 2);
+        assert!(a.rules.count_master_rules() >= 1);
+        // rules validate against the schemas
+        a.rules
+            .validate(&a.schema, &[a.master_schema.arity()])
+            .unwrap();
+        for (x, y) in a.entities.iter().zip(b.entities.iter()) {
+            assert_eq!(x.instance, y.instance);
+            assert_eq!(x.truth, y.truth);
+            assert_eq!(x.messy, y.messy);
+        }
+    }
+
+    #[test]
+    fn every_specification_is_church_rosser_and_mostly_accurate() {
+        let config = GeneratorConfig::tiny(11);
+        let data = generate(&config);
+        let mut cr = 0usize;
+        let mut accuracy_sum = 0.0;
+        for idx in 0..data.entities.len() {
+            let spec = data.specification(idx);
+            let run = is_cr(&spec);
+            if let Some(te) = run.outcome.target() {
+                cr += 1;
+                accuracy_sum += attribute_accuracy(te, &data.entities[idx].truth);
+            }
+        }
+        // the generator is designed so that every entity chases cleanly
+        assert_eq!(cr, data.entities.len());
+        let avg_accuracy = accuracy_sum / cr as f64;
+        assert!(
+            avg_accuracy > 0.5,
+            "deduced values should mostly match the ground truth, got {avg_accuracy}"
+        );
+    }
+
+    #[test]
+    fn clean_entities_with_master_coverage_deduce_complete_targets() {
+        let mut config = GeneratorConfig::tiny(13);
+        config.messy_rate = 0.0;
+        config.key_noise = 0.0;
+        config.master_coverage = 1.0;
+        let data = generate(&config);
+        let mut complete = 0usize;
+        for idx in 0..data.entities.len() {
+            let spec = data.specification(idx);
+            let run = is_cr(&spec);
+            let te = run.outcome.target().expect("clean entities are CR");
+            for a in data.schema.attr_ids() {
+                let d = te.value(a);
+                let t = data.entities[idx].truth.value(a);
+                assert!(
+                    d.is_null() || d.same(t),
+                    "entity {idx}, attribute {}: deduced {d} but the truth is {t}\ninstance: {:?}",
+                    data.schema.attr_name(a),
+                    data.entities[idx].instance
+                );
+            }
+            if te.is_complete() {
+                complete += 1;
+            }
+        }
+        // The only reason a clean, master-covered entity stays incomplete is an
+        // attribute for which every tuple is null (no information at all).
+        assert!(
+            complete * 10 >= data.entities.len() * 8,
+            "with full master coverage and no messy entities almost every target \
+             is complete: {complete}/{}",
+            data.entities.len()
+        );
+    }
+
+    #[test]
+    fn messy_entities_leave_their_ambiguous_attributes_undeduced() {
+        let mut config = GeneratorConfig::tiny(17);
+        config.messy_rate = 1.0;
+        config.min_tuples = 4;
+        config.max_tuples = 6;
+        let data = generate(&config);
+        let mut saw_incomplete = false;
+        for (idx, entity) in data.entities.iter().enumerate() {
+            if entity.ambiguous_attrs.is_empty() {
+                continue;
+            }
+            let spec = data.specification(idx);
+            let run = is_cr(&spec);
+            let te = run.outcome.target().expect("messy entities stay CR");
+            // an ambiguous attribute may never be deduced *wrong*
+            for &a in &entity.ambiguous_attrs {
+                if !te.is_null(a) {
+                    assert!(te.value(a).same(entity.truth.value(a)));
+                } else {
+                    saw_incomplete = true;
+                }
+            }
+        }
+        assert!(saw_incomplete, "some ambiguous attribute should remain open");
+    }
+
+    #[test]
+    fn rule_padding_reaches_requested_counts() {
+        let mut config = GeneratorConfig::tiny(3);
+        config.target_form1_rules = 12;
+        config.target_form2_rules = 5;
+        let data = generate(&config);
+        assert_eq!(data.rules.count_tuple_rules(), 12);
+        assert_eq!(data.rules.count_master_rules(), 5);
+        data.rules
+            .validate(&data.schema, &[data.master_schema.arity()])
+            .unwrap();
+    }
+
+    #[test]
+    fn specification_variants_restrict_rules_and_master() {
+        let data = generate(&GeneratorConfig::tiny(5));
+        let both = data.specification(0);
+        let f1 = data.specification_with(0, RuleForms::Form1Only, None);
+        let f2 = data.specification_with(0, RuleForms::Form2Only, Some(1));
+        assert!(both.rule_count() >= f1.rule_count());
+        assert_eq!(f1.rules.count_master_rules(), 0);
+        assert_eq!(f2.rules.count_tuple_rules(), 0);
+        assert!(f2.master_size() <= 1);
+    }
+
+    #[test]
+    fn master_data_unlocks_follower_attributes() {
+        // With both rule forms the pivot rule resolves `arena` through the
+        // master-assigned `team`; with form-(1) rules alone it usually cannot.
+        let mut config = GeneratorConfig::tiny(23);
+        config.messy_rate = 0.0;
+        config.key_noise = 0.0;
+        config.master_coverage = 1.0;
+        config.covered_error_rate = 0.6;
+        config.min_tuples = 3;
+        config.max_tuples = 6;
+        let data = generate(&config);
+        let arena = data.schema.expect_attr("arena");
+        let mut resolved_both = 0usize;
+        let mut resolved_f1 = 0usize;
+        for idx in 0..data.entities.len() {
+            let both = is_cr(&data.specification_with(idx, RuleForms::Both, None));
+            let f1 = is_cr(&data.specification_with(idx, RuleForms::Form1Only, None));
+            if both.outcome.target().map(|t| !t.is_null(arena)).unwrap_or(false) {
+                resolved_both += 1;
+            }
+            if f1.outcome.target().map(|t| !t.is_null(arena)).unwrap_or(false) {
+                resolved_f1 += 1;
+            }
+        }
+        assert!(
+            resolved_both > resolved_f1,
+            "form-(2) master data should unlock follower attributes: both={resolved_both} f1={resolved_f1}"
+        );
+    }
+
+    #[test]
+    fn cfds_hold_on_the_ground_truth() {
+        let mut config = GeneratorConfig::tiny(9);
+        config.attrs.push(AttrSpec::new("league", AttrKind::MasterCovered));
+        let data = generate(&config);
+        assert!(!data.cfds.is_empty());
+        for entity in &data.entities {
+            for cfd in &data.cfds {
+                assert!(cfd.satisfied_by(|a| entity.truth.value(a).clone()));
+            }
+        }
+    }
+}

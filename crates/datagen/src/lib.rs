@@ -1,0 +1,31 @@
+//! # relacc-datagen
+//!
+//! Workload generators with ground truth for the experimental study of
+//! *"Determining the Relative Accuracy of Attributes"* (SIGMOD 2013):
+//!
+//! * [`paper_example`] — the running example (`stat`, `nba`, ϕ1–ϕ11) of
+//!   Tables 1–3, hard-coded;
+//! * [`generator`] — a configurable entity-collection generator with currency,
+//!   correlated, master-covered and free attributes, sparse errors/nulls, and
+//!   automatically emitted rule sets;
+//! * [`workloads`] — the `Med`-like, `CFP`-like and `Syn` configurations
+//!   matching the paper's published shape parameters;
+//! * [`rest`] — the multi-source, multi-snapshot restaurant workload used for
+//!   the truth-discovery comparison (Exp-5 / Table 4).
+//!
+//! The real `Med`, `CFP` and `Rest` datasets are not publicly available; the
+//! substitutions and their rationale are documented in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod paper_example;
+pub mod rest;
+pub mod workloads;
+
+pub use generator::{
+    generate, AttrKind, AttrSpec, Dataset, GeneratedEntity, GeneratorConfig, RuleForms,
+};
+pub use rest::{rest, RestConfig, RestDataset, Restaurant};
+pub use workloads::{cfp, cfp_config, med, med_config, syn, syn_config, SynInstance};

@@ -1,0 +1,234 @@
+//! The paper's running example: relation `stat` (Table 1), master relation
+//! `nba` (Table 2) and the accuracy rules ϕ1–ϕ11 (Table 3 / Example 3), all
+//! hard-coded so that examples and tests can reproduce Examples 1–10 verbatim.
+
+use relacc_core::rules::parse_ruleset;
+use relacc_core::{RuleSet, Specification};
+use relacc_model::{
+    DataType, EntityInstance, MasterRelation, Schema, SchemaRef, TargetTuple, Value,
+};
+
+/// The schema of the `stat` relation (Table 1).
+pub fn stat_schema() -> SchemaRef {
+    Schema::builder("stat")
+        .attr("FN", DataType::Text)
+        .attr("MN", DataType::Text)
+        .attr("LN", DataType::Text)
+        .attr("rnds", DataType::Int)
+        .attr("totalPts", DataType::Int)
+        .attr("J#", DataType::Int)
+        .attr("league", DataType::Text)
+        .attr("team", DataType::Text)
+        .attr("arena", DataType::Text)
+        .build()
+}
+
+/// The schema of the `nba` master relation (Table 2).
+pub fn nba_schema() -> SchemaRef {
+    Schema::builder("nba")
+        .attr("FN", DataType::Text)
+        .attr("LN", DataType::Text)
+        .attr("league", DataType::Text)
+        .attr("season", DataType::Text)
+        .attr("team", DataType::Text)
+        .build()
+}
+
+/// The entity instance `stat` for Michael Jordan in the 1994-95 season
+/// (tuples t1–t4 of Table 1).
+pub fn stat_instance() -> EntityInstance {
+    let t = Value::text;
+    EntityInstance::from_rows(
+        stat_schema(),
+        vec![
+            vec![
+                t("MJ"),
+                Value::Null,
+                Value::Null,
+                Value::Int(16),
+                Value::Int(424),
+                Value::Int(45),
+                t("NBA"),
+                t("Chicago"),
+                t("Chicago Stadium"),
+            ],
+            vec![
+                t("Michael"),
+                Value::Null,
+                t("Jordan"),
+                Value::Int(27),
+                Value::Int(772),
+                Value::Int(23),
+                t("NBA"),
+                t("Chicago Bulls"),
+                t("United Center"),
+            ],
+            vec![
+                t("Michael"),
+                Value::Null,
+                t("Jordan"),
+                Value::Int(1),
+                Value::Int(19),
+                Value::Int(45),
+                t("NBA"),
+                t("Chicago Bulls"),
+                t("United Center"),
+            ],
+            vec![
+                t("Michael"),
+                t("Jeffrey"),
+                t("Jordan"),
+                Value::Int(127),
+                Value::Int(51),
+                Value::Int(45),
+                t("SL"),
+                t("Birmingham Barons"),
+                t("Regions Park"),
+            ],
+        ],
+    )
+    .expect("Table 1 rows conform to the stat schema")
+}
+
+/// The master relation `nba` (tuples s1–s2 of Table 2).
+pub fn nba_master() -> MasterRelation {
+    let t = Value::text;
+    MasterRelation::from_rows(
+        nba_schema(),
+        vec![
+            vec![
+                t("Michael"),
+                t("Jordan"),
+                t("NBA"),
+                t("1994-95"),
+                t("Chicago Bulls"),
+            ],
+            vec![
+                t("Michael"),
+                t("Jordan"),
+                t("NBA"),
+                t("2001-02"),
+                t("Washington Wizards"),
+            ],
+        ],
+    )
+    .expect("Table 2 rows conform to the nba schema")
+}
+
+/// The rule text for ϕ1–ϕ6 (Table 3) and ϕ10–ϕ11 (Example 3), in the syntax of
+/// `relacc_core::rules::parser`.  The axioms ϕ7–ϕ9 are built into every rule
+/// set and therefore not listed.
+pub const PAPER_RULES: &str = "\
+# Table 3 of the paper
+rule phi1: t1[league] = t2[league] && t1[rnds] < t2[rnds] -> t1 <= t2 on rnds @currency
+rule phi2: t1 < t2 on rnds -> t1 <= t2 on J# @currency
+rule phi3: t1 < t2 on rnds -> t1 <= t2 on totalPts @currency
+rule phi4: t1 < t2 on league -> t1 <= t2 on rnds
+rule phi5: t1 < t2 on MN -> t1 <= t2 on FN
+master rule phi6: te[FN] = tm[FN] && te[LN] = tm[LN] && tm[season] = \"1994-95\" -> te[league] := tm[league], te[team] := tm[team]
+# Example 3 extras
+rule phi10: t1 < t2 on MN -> t1 <= t2 on LN
+rule phi11: t1 < t2 on team -> t1 <= t2 on arena
+";
+
+/// The parsed rule set ϕ1–ϕ11 (axioms included via the default
+/// [`relacc_core::AxiomConfig`]).
+pub fn paper_rules() -> RuleSet {
+    parse_ruleset(PAPER_RULES, &stat_schema(), &[nba_schema()])
+        .expect("the paper's rules parse")
+}
+
+/// The specification `S` of Example 5: `stat`, `nba` and ϕ1–ϕ11.
+pub fn paper_specification() -> Specification {
+    Specification::new(stat_instance(), paper_rules()).with_master(nba_master())
+}
+
+/// The complete target tuple deduced in Example 5:
+/// (Michael, Jeffrey, Jordan, 27, 772, 23, NBA, Chicago Bulls, United Center).
+pub fn expected_target() -> TargetTuple {
+    let t = Value::text;
+    TargetTuple::from_values(vec![
+        t("Michael"),
+        t("Jeffrey"),
+        t("Jordan"),
+        Value::Int(27),
+        Value::Int(772),
+        Value::Int(23),
+        t("NBA"),
+        t("Chicago Bulls"),
+        t("United Center"),
+    ])
+}
+
+/// The extra rule ϕ12 of Example 6, which makes the specification *not*
+/// Church-Rosser when added (it orders `league` in the direction opposite to
+/// what ϕ4 + master data imply).
+pub const PHI12: &str =
+    "rule phi12: t1[league] = \"NBA\" && t2[league] = \"SL\" -> t1 <= t2 on league";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::chase::{free_chase, is_cr};
+    use relacc_core::rules::parse_rule;
+
+    #[test]
+    fn example5_deduces_the_complete_target() {
+        let spec = paper_specification();
+        spec.validate().unwrap();
+        let run = is_cr(&spec);
+        assert!(run.outcome.is_church_rosser(), "Example 5's S is Church-Rosser");
+        let te = run.outcome.target().unwrap();
+        assert_eq!(te, &expected_target());
+        assert!(te.is_complete());
+    }
+
+    #[test]
+    fn example6_phi12_breaks_church_rosser() {
+        let mut rules = paper_rules();
+        rules.push(match parse_rule(PHI12, &stat_schema(), &[nba_schema()]).unwrap() {
+            relacc_core::rules::AccuracyRule::Tuple(r) => r,
+            _ => unreachable!(),
+        });
+        let spec = Specification::new(stat_instance(), rules).with_master(nba_master());
+        let run = is_cr(&spec);
+        assert!(
+            !run.outcome.is_church_rosser(),
+            "Example 6's S' must not be Church-Rosser"
+        );
+        let conflict = run.outcome.conflict().unwrap();
+        assert_eq!(
+            stat_schema().attr_name(conflict.attr),
+            "league",
+            "the conflict is on the league attribute: {conflict}"
+        );
+    }
+
+    #[test]
+    fn every_chase_order_reaches_the_same_target() {
+        let spec = paper_specification();
+        for seed in 0..10u64 {
+            let run = free_chase(&spec, seed);
+            assert!(run.outcome.is_church_rosser());
+            assert_eq!(run.outcome.target().unwrap(), &expected_target());
+        }
+    }
+
+    #[test]
+    fn dropping_phi11_leaves_arena_undeduced() {
+        // Section 3 (3): without ϕ11 the reduced specification is still
+        // Church-Rosser but its deduced target is incomplete on arena.
+        let text: String = PAPER_RULES
+            .lines()
+            .filter(|l| !l.contains("phi11"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let rules = parse_ruleset(&text, &stat_schema(), &[nba_schema()]).unwrap();
+        let spec = Specification::new(stat_instance(), rules).with_master(nba_master());
+        let run = is_cr(&spec);
+        assert!(run.outcome.is_church_rosser());
+        let te = run.outcome.target().unwrap();
+        assert!(te.is_null(stat_schema().expect_attr("arena")));
+        assert!(!te.is_null(stat_schema().expect_attr("team")));
+    }
+}

@@ -1,0 +1,435 @@
+//! The `Rest`-like workload: multi-source, multi-snapshot restaurant listings
+//! with a single Boolean attribute (`closed?`) to resolve.
+//!
+//! The original data (Dong et al.'s Manhattan restaurant feed: 8 weekly
+//! snapshots of 12 web sources covering 5 149 restaurants) is mirrored here
+//! synthetically, preserving the error structure that drives Table 4:
+//!
+//! * most sources are **static**: they report the same belief in every
+//!   snapshot, so within-source listings carry *no currency signal* — this is
+//!   why `DeduceOrder`, which only reasons about currency and consistency,
+//!   finds very few closures (but never a wrong one: perfect precision, low
+//!   recall);
+//! * a small number of `(source, restaurant)` pairs are **trackers** whose
+//!   listing flips from open to closed at the closure date — the only currency
+//!   evidence in the data, and the extra signal the accuracy rules contribute
+//!   on top of plain voting;
+//! * sources split into a **reliable** and an **unreliable** tier; unreliable
+//!   sources frequently list *confusable* open restaurants (renamed, moved,
+//!   duplicate listings) as closed, which is what drags the precision of
+//!   majority voting down;
+//! * some sources **copy** an unreliable source verbatim, amplifying its
+//!   mistakes — the phenomenon `copyCEF` detects and discounts;
+//! * **recent closures** (at the very end of the window) are missed by almost
+//!   every source, bounding everyone's recall.
+//!
+//! The generator emits both views used in Exp-5:
+//!
+//! * [`RestDataset::observations`] — the flattened source claims consumed by
+//!   `voting` and `copyCEF`;
+//! * per-restaurant entity instances (source, snapshot, closed) with a currency
+//!   rule on `snapshot`, consumed by `DeduceOrder` and `TopKCT`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+use relacc_core::Specification;
+use relacc_fusion::{ObjectId, SourceId, SourceObservations};
+use relacc_model::{CmpOp, DataType, EntityInstance, Schema, SchemaRef, TargetTuple, Value};
+
+/// Configuration of the restaurant workload.
+#[derive(Debug, Clone)]
+pub struct RestConfig {
+    /// Number of restaurants.
+    pub n_restaurants: usize,
+    /// Number of independent sources (before copiers are added).
+    pub n_sources: usize,
+    /// Number of sources in the *unreliable* tier (taken from the end of the
+    /// independent-source range).
+    pub n_unreliable: usize,
+    /// Number of sources that copy an unreliable source verbatim.
+    pub n_copiers: usize,
+    /// Number of weekly snapshots.
+    pub n_snapshots: usize,
+    /// Fraction of restaurants that close during the observation window.
+    pub closure_rate: f64,
+    /// Fraction of closures that happen at the very last snapshot (too recent
+    /// for any source to have noticed).
+    pub recent_closure_rate: f64,
+    /// Probability that a `(source, restaurant)` pair *tracks* the closure,
+    /// i.e. the source's listing visibly flips from open to closed.
+    pub tracker_rate: f64,
+    /// Fraction of open restaurants that are confusable (renamed / moved /
+    /// duplicate listings) and therefore often wrongly listed as closed.
+    pub confusable_rate: f64,
+    /// Probability that a reliable source misses a (non-recent) closure.
+    pub reliable_miss_rate: f64,
+    /// Probability that an unreliable source misses a (non-recent) closure.
+    pub unreliable_miss_rate: f64,
+    /// Probability that a reliable source lists a confusable open restaurant
+    /// as closed.
+    pub reliable_confusion_rate: f64,
+    /// Probability that an unreliable source lists a confusable open
+    /// restaurant as closed.
+    pub unreliable_confusion_rate: f64,
+    /// Probability that a source wrongly lists an ordinary open restaurant as
+    /// closed.
+    pub base_false_closed_rate: f64,
+    /// Probability that a source misses a restaurant in a snapshot.
+    pub missing_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RestConfig {
+    fn default() -> Self {
+        RestConfig {
+            n_restaurants: 5149,
+            n_sources: 10,
+            n_unreliable: 4,
+            n_copiers: 2,
+            n_snapshots: 8,
+            closure_rate: 0.12,
+            recent_closure_rate: 0.06,
+            tracker_rate: 0.03,
+            confusable_rate: 0.14,
+            reliable_miss_rate: 0.12,
+            unreliable_miss_rate: 0.45,
+            reliable_confusion_rate: 0.22,
+            unreliable_confusion_rate: 0.80,
+            base_false_closed_rate: 0.01,
+            missing_rate: 0.10,
+            seed: 42,
+        }
+    }
+}
+
+impl RestConfig {
+    /// A scaled-down configuration (fewer restaurants), keeping everything else.
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        RestConfig {
+            n_restaurants: ((5149.0 * scale).round() as usize).max(10),
+            seed,
+            ..RestConfig::default()
+        }
+    }
+}
+
+/// One generated restaurant.
+#[derive(Debug, Clone)]
+pub struct Restaurant {
+    /// Restaurant name.
+    pub name: String,
+    /// Whether it is closed at the end of the window (the truth of `closed?`).
+    pub closed: bool,
+    /// Whether it is an open restaurant that sources tend to confuse with a
+    /// closed one (renamed / moved / duplicate listing).
+    pub confusable: bool,
+    /// The per-source, per-snapshot entity instance over
+    /// `(source, snapshot, closed)`.
+    pub instance: EntityInstance,
+    /// The ground-truth target tuple of that instance.
+    pub truth: TargetTuple,
+}
+
+/// The generated restaurant workload.
+#[derive(Debug, Clone)]
+pub struct RestDataset {
+    /// Schema of the per-restaurant entity instances.
+    pub schema: SchemaRef,
+    /// The restaurants.
+    pub restaurants: Vec<Restaurant>,
+    /// Flattened latest-snapshot claims per source (input of voting/copyCEF).
+    pub observations: SourceObservations,
+    /// Names of the sources (copiers carry a `copy_of_<i>` suffix).
+    pub source_names: Vec<String>,
+    /// The accuracy rules for the entity-instance view (a currency rule on
+    /// `snapshot` and a per-source rule pushing `closed` along with it).
+    pub rules: RuleSet,
+    /// Which source each copier copies (`copier index → original index`).
+    pub copy_map: Vec<(usize, usize)>,
+}
+
+impl RestDataset {
+    /// Build the specification of restaurant `idx` (no master data).
+    pub fn specification(&self, idx: usize) -> Specification {
+        Specification::new(self.restaurants[idx].instance.clone(), self.rules.clone())
+    }
+
+    /// Ground-truth set of closed restaurant indices.
+    pub fn closed_truth(&self) -> Vec<usize> {
+        self.restaurants
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.closed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Generate the restaurant workload.
+pub fn rest(config: &RestConfig) -> RestDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total_sources = config.n_sources + config.n_copiers;
+    let n_unreliable = config.n_unreliable.min(config.n_sources);
+    let first_unreliable = config.n_sources - n_unreliable;
+
+    // copiers replicate an unreliable source (or any source when there is no
+    // unreliable tier)
+    let copy_map: Vec<(usize, usize)> = (0..config.n_copiers)
+        .map(|c| {
+            let original = if n_unreliable > 0 {
+                first_unreliable + rng.gen_range(0..n_unreliable)
+            } else {
+                rng.gen_range(0..config.n_sources.max(1))
+            };
+            (config.n_sources + c, original)
+        })
+        .collect();
+
+    let mut source_names: Vec<String> = (0..config.n_sources).map(|i| format!("src{i}")).collect();
+    for (copier, original) in &copy_map {
+        source_names.push(format!("src{copier}_copy_of_{original}"));
+    }
+
+    let schema = Schema::builder("rest")
+        .attr("source", DataType::Text)
+        .attr("snapshot", DataType::Int)
+        .attr("closed", DataType::Bool)
+        .build();
+    let snapshot_attr = schema.expect_attr("snapshot");
+    let closed_attr = schema.expect_attr("closed");
+    let source_attr = schema.expect_attr("source");
+
+    let rules = RuleSet::from_rules([
+        TupleRule::new(
+            "snapshot_currency",
+            vec![Predicate::cmp_attrs(snapshot_attr, CmpOp::Lt)],
+            snapshot_attr,
+        )
+        .with_tag("currency"),
+        // Within one source, a later snapshot's closed? flag supersedes an
+        // earlier one.  The paper's 131 Rest ARs are per-source currency rules
+        // of this shape; restricting the premise to a single source is what
+        // keeps the specifications Church-Rosser despite disagreeing sources.
+        TupleRule::new(
+            "closed_follows_snapshot",
+            vec![
+                Predicate::cmp_attrs(source_attr, CmpOp::Eq),
+                Predicate::OrderLt {
+                    attr: snapshot_attr,
+                },
+            ],
+            closed_attr,
+        )
+        .with_tag("currency"),
+    ]);
+
+    let restaurant_names: Vec<String> = (0..config.n_restaurants)
+        .map(|i| format!("restaurant{i}"))
+        .collect();
+    let mut observations =
+        SourceObservations::new(source_names.clone(), restaurant_names.clone());
+
+    let mut restaurants = Vec::with_capacity(config.n_restaurants);
+    for (r_idx, name) in restaurant_names.iter().enumerate() {
+        let closes = rng.gen::<f64>() < config.closure_rate;
+        let recent = closes && rng.gen::<f64>() < config.recent_closure_rate;
+        // closure happens strictly inside the window (so trackers can observe
+        // both states), except for recent closures which happen at the very end
+        let closure_snapshot = if !closes {
+            usize::MAX
+        } else if recent {
+            config.n_snapshots - 1
+        } else {
+            rng.gen_range(1..config.n_snapshots.saturating_sub(1).max(2))
+        };
+        let confusable = !closes && rng.gen::<f64>() < config.confusable_rate;
+
+        let mut instance = EntityInstance::new(schema.clone());
+        // final (latest-snapshot) claim per source, used for voting / copyCEF
+        let mut final_claims: Vec<Option<bool>> = vec![None; total_sources];
+        for s in 0..config.n_sources {
+            let unreliable = s >= first_unreliable;
+            // the source's static belief about this restaurant
+            let belief = if closes {
+                if recent {
+                    // nobody has caught a closure that just happened
+                    false
+                } else {
+                    let miss = if unreliable {
+                        config.unreliable_miss_rate
+                    } else {
+                        config.reliable_miss_rate
+                    };
+                    rng.gen::<f64>() >= miss
+                }
+            } else if confusable {
+                let confusion = if unreliable {
+                    config.unreliable_confusion_rate
+                } else {
+                    config.reliable_confusion_rate
+                };
+                rng.gen::<f64>() < confusion
+            } else {
+                rng.gen::<f64>() < config.base_false_closed_rate
+            };
+            // A tracker pair: the source's listing visibly flips from open to
+            // closed at the closure date.  Only sources that did catch the
+            // closure can have tracked it, so the flip is always genuine —
+            // currency evidence never lies (DeduceOrder's perfect precision).
+            let tracks = closes && !recent && belief && rng.gen::<f64>() < config.tracker_rate;
+            for snapshot in 0..config.n_snapshots {
+                if rng.gen::<f64>() < config.missing_rate {
+                    continue;
+                }
+                let reported = if tracks {
+                    snapshot >= closure_snapshot
+                } else {
+                    belief
+                };
+                instance
+                    .push_row(vec![
+                        Value::text(source_names[s].clone()),
+                        Value::Int(snapshot as i64),
+                        Value::Bool(reported),
+                    ])
+                    .expect("rest rows conform");
+                final_claims[s] = Some(reported);
+            }
+        }
+        // copiers replicate their original's latest claim (and one row)
+        for (copier, original) in &copy_map {
+            if let Some(claim) = final_claims[*original] {
+                final_claims[*copier] = Some(claim);
+                instance
+                    .push_row(vec![
+                        Value::text(source_names[*copier].clone()),
+                        Value::Int((config.n_snapshots - 1) as i64),
+                        Value::Bool(claim),
+                    ])
+                    .expect("rest rows conform");
+            }
+        }
+        for (s, claim) in final_claims.iter().enumerate() {
+            if let Some(c) = claim {
+                observations.record(ObjectId(r_idx), SourceId(s), Value::Bool(*c));
+            }
+        }
+
+        let truth = TargetTuple::from_values(vec![
+            Value::Null, // no single true "source"
+            Value::Int((config.n_snapshots - 1) as i64),
+            Value::Bool(closes),
+        ]);
+        restaurants.push(Restaurant {
+            name: name.clone(),
+            closed: closes,
+            confusable,
+            instance,
+            truth,
+        });
+    }
+
+    RestDataset {
+        schema,
+        restaurants,
+        observations,
+        source_names,
+        rules,
+        copy_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::chase::is_cr;
+    use relacc_fusion::{copy_cef, voting_over_sources, CopyCefConfig};
+
+    fn small() -> RestDataset {
+        rest(&RestConfig {
+            n_restaurants: 300,
+            seed: 9,
+            ..RestConfig::default()
+        })
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.restaurants.len(), 300);
+        assert_eq!(a.source_names.len(), 12);
+        assert_eq!(a.observations.source_count(), 12);
+        assert_eq!(a.observations.object_count(), 300);
+        assert_eq!(a.copy_map.len(), 2);
+        assert_eq!(a.closed_truth(), b.closed_truth());
+        assert!(!a.closed_truth().is_empty());
+    }
+
+    #[test]
+    fn copiers_agree_with_their_original() {
+        let d = small();
+        for (copier, original) in &d.copy_map {
+            let agreement = d
+                .observations
+                .agreement(SourceId(*copier), SourceId(*original))
+                .unwrap();
+            assert!(agreement > 0.95, "copier agreement {agreement}");
+            // copiers copy the unreliable tier
+            assert!(*original >= RestConfig::default().n_sources - RestConfig::default().n_unreliable);
+        }
+    }
+
+    #[test]
+    fn every_restaurant_specification_is_church_rosser() {
+        let d = small();
+        for i in 0..d.restaurants.len().min(60) {
+            let run = is_cr(&d.specification(i));
+            assert!(run.outcome.is_church_rosser(), "restaurant {i}");
+        }
+    }
+
+    #[test]
+    fn currency_evidence_is_scarce_but_never_wrong() {
+        // DeduceOrder's behaviour on this workload: the chase with the currency
+        // rules alone concludes "closed" for only a small fraction of the
+        // closed restaurants, and never for an open one that some source still
+        // lists as open.
+        let d = small();
+        let closed_attr = d.schema.expect_attr("closed");
+        let mut concluded_closed = 0usize;
+        let mut wrong = 0usize;
+        let mut closed_total = 0usize;
+        for (i, r) in d.restaurants.iter().enumerate() {
+            if r.closed {
+                closed_total += 1;
+            }
+            let run = is_cr(&d.specification(i));
+            let te = run.outcome.target().unwrap();
+            if te.value(closed_attr).same(&Value::Bool(true)) {
+                concluded_closed += 1;
+                if !r.closed {
+                    wrong += 1;
+                }
+            }
+        }
+        assert_eq!(wrong, 0, "currency evidence must never conclude a wrong closure");
+        assert!(closed_total > 0);
+        assert!(
+            concluded_closed < closed_total / 2,
+            "most closures have no currency evidence: {concluded_closed}/{closed_total}"
+        );
+    }
+
+    #[test]
+    fn entity_view_chases_and_truth_discovery_works() {
+        let d = small();
+        // copyCEF runs end-to-end on the observation view
+        let result = copy_cef(&d.observations, &CopyCefConfig::default());
+        assert_eq!(result.truths.len(), 300);
+        let votes = voting_over_sources(&d.observations);
+        assert_eq!(votes.len(), 300);
+    }
+}

@@ -1,0 +1,290 @@
+//! Concrete workload configurations matching the shape parameters published in
+//! Section 7 of the paper: `Med`, `CFP` and the synthetic `Syn` workload.
+//!
+//! The real `Med` and `CFP` datasets are proprietary / scraped and not
+//! available; these configurations reproduce their published statistics
+//! (attribute counts, entity counts, entity-size ranges, master-data sizes,
+//! rule-set sizes and form split) on top of the generic generator.  A `scale`
+//! parameter shrinks the entity count proportionally so the full experiment
+//! suite stays fast on a laptop; `scale = 1.0` reproduces the paper's sizes.
+
+use crate::generator::{generate, AttrKind, AttrSpec, Dataset, GeneratorConfig};
+
+fn scaled(count: usize, scale: f64) -> usize {
+    ((count as f64 * scale).round() as usize).max(1)
+}
+
+/// The `Med`-like workload: 30 attributes, 2.7K entities / 10K tuples at full
+/// scale, entity sizes 1..83 (average ≈ 4), 2.4K-tuple master relation with 5
+/// attributes, and 105 ARs (90 of form (1), 15 of form (2)).
+pub fn med_config(scale: f64, seed: u64) -> GeneratorConfig {
+    let mut attrs = vec![
+        AttrSpec::new("name", AttrKind::Key),
+        AttrSpec::new("regNo", AttrKind::Key),
+        AttrSpec::new("batchSeq", AttrKind::Currency),
+        AttrSpec::new("stockAge", AttrKind::Currency),
+        AttrSpec::new("priceRev", AttrKind::Currency),
+        AttrSpec::new("saleRound", AttrKind::Currency),
+        AttrSpec::new("price", AttrKind::Correlated { driver: "priceRev".into() }),
+        AttrSpec::new("packaging", AttrKind::Correlated { driver: "batchSeq".into() }),
+        AttrSpec::new("stockLevel", AttrKind::Correlated { driver: "stockAge".into() }),
+        AttrSpec::new("distributor", AttrKind::Correlated { driver: "saleRound".into() }),
+        AttrSpec::new("warehouse", AttrKind::Correlated { driver: "saleRound".into() }),
+        AttrSpec::new("expiry", AttrKind::Correlated { driver: "batchSeq".into() }),
+        AttrSpec::new("manufacturer", AttrKind::MasterCovered),
+        AttrSpec::new("approvalClass", AttrKind::MasterCovered),
+        AttrSpec::new("dosageForm", AttrKind::MasterCovered),
+        AttrSpec::new("manufCountry", AttrKind::MasterFollower { pivot: "manufacturer".into() }),
+        AttrSpec::new("manufLicense", AttrKind::MasterFollower { pivot: "manufacturer".into() }),
+        AttrSpec::new("otcFlag", AttrKind::MasterFollower { pivot: "approvalClass".into() }),
+        AttrSpec::new("prescriptionTier", AttrKind::MasterFollower { pivot: "approvalClass".into() }),
+        AttrSpec::new("unitShape", AttrKind::MasterFollower { pivot: "dosageForm".into() }),
+        AttrSpec::new("storageClass", AttrKind::MasterFollower { pivot: "dosageForm".into() }),
+        AttrSpec::new("batchCode", AttrKind::Correlated { driver: "batchSeq".into() }),
+        AttrSpec::new("lotNumber", AttrKind::Correlated { driver: "batchSeq".into() }),
+        AttrSpec::new("wholesalePrice", AttrKind::Correlated { driver: "priceRev".into() }),
+        AttrSpec::new("stockSite", AttrKind::Correlated { driver: "stockAge".into() }),
+        AttrSpec::new("salesRegion", AttrKind::Correlated { driver: "saleRound".into() }),
+        AttrSpec::new("coldChain", AttrKind::MasterFollower { pivot: "dosageForm".into() }),
+        AttrSpec::new("importFlag", AttrKind::MasterFollower { pivot: "manufacturer".into() }),
+    ];
+    // remaining free attributes up to 30 in total
+    for i in 0..2 {
+        attrs.push(AttrSpec::new(format!("note{i}"), AttrKind::Free));
+    }
+    GeneratorConfig {
+        name: "med".into(),
+        attrs,
+        n_entities: scaled(2700, scale),
+        min_tuples: 1,
+        max_tuples: 83,
+        master_coverage: 2400.0 / 2700.0,
+        null_rate: 0.08,
+        covered_error_rate: 0.35,
+        key_noise: 0.01,
+        messy_rate: 0.25,
+        max_ambiguous: 3,
+        history_buckets: 5,
+        target_form1_rules: 90,
+        target_form2_rules: 15,
+        seed,
+    }
+}
+
+/// Generate the `Med`-like dataset.
+pub fn med(scale: f64, seed: u64) -> Dataset {
+    generate(&med_config(scale, seed))
+}
+
+/// The `CFP`-like workload: 22 attributes, 100 entities / ~500 tuples, entity
+/// sizes 1..15 (average ≈ 5), a 55-entry master relation with 17 attributes'
+/// worth of curated data, and 43 ARs (28 form (1), 15 form (2)).
+pub fn cfp_config(scale: f64, seed: u64) -> GeneratorConfig {
+    let mut attrs = vec![
+        AttrSpec::new("acronym", AttrKind::Key),
+        AttrSpec::new("year", AttrKind::Key),
+        AttrSpec::new("cfpVersion", AttrKind::Currency),
+        AttrSpec::new("editRound", AttrKind::Currency),
+        AttrSpec::new("deadline", AttrKind::Correlated { driver: "cfpVersion".into() }),
+        AttrSpec::new("notification", AttrKind::Correlated { driver: "cfpVersion".into() }),
+        AttrSpec::new("cameraReady", AttrKind::Correlated { driver: "cfpVersion".into() }),
+        AttrSpec::new("program", AttrKind::Correlated { driver: "editRound".into() }),
+        AttrSpec::new("keynotes", AttrKind::Correlated { driver: "editRound".into() }),
+        AttrSpec::new("venue", AttrKind::MasterCovered),
+        AttrSpec::new("city", AttrKind::MasterCovered),
+        AttrSpec::new("organizer", AttrKind::MasterCovered),
+        AttrSpec::new("country", AttrKind::MasterFollower { pivot: "city".into() }),
+        AttrSpec::new("timezone", AttrKind::MasterFollower { pivot: "city".into() }),
+        AttrSpec::new("hotelBlock", AttrKind::MasterFollower { pivot: "venue".into() }),
+        AttrSpec::new("sponsorTier", AttrKind::MasterFollower { pivot: "organizer".into() }),
+        AttrSpec::new("registrationSite", AttrKind::MasterFollower { pivot: "organizer".into() }),
+        AttrSpec::new("proceedings", AttrKind::MasterFollower { pivot: "venue".into() }),
+        AttrSpec::new("submissionSite", AttrKind::Correlated { driver: "cfpVersion".into() }),
+        AttrSpec::new("pageLimit", AttrKind::Correlated { driver: "cfpVersion".into() }),
+        AttrSpec::new("workshopList", AttrKind::Correlated { driver: "editRound".into() }),
+    ];
+    for i in 0..1 {
+        attrs.push(AttrSpec::new(format!("topic{i}"), AttrKind::Free));
+    }
+    GeneratorConfig {
+        name: "cfp".into(),
+        attrs,
+        n_entities: scaled(100, scale),
+        min_tuples: 1,
+        max_tuples: 15,
+        master_coverage: 0.55,
+        null_rate: 0.10,
+        covered_error_rate: 0.15,
+        key_noise: 0.01,
+        messy_rate: 0.15,
+        max_ambiguous: 4,
+        history_buckets: 4,
+        target_form1_rules: 28,
+        target_form2_rules: 15,
+        seed,
+    }
+}
+
+/// Generate the `CFP`-like dataset.
+pub fn cfp(scale: f64, seed: u64) -> Dataset {
+    generate(&cfp_config(scale, seed))
+}
+
+/// The synthetic `Syn` workload of Exp-4: a single entity instance of `ie_size`
+/// tuples over 20 attributes (extending the `stat`/`nba` shape), `im_size`
+/// master tuples and `sigma_size` rules (75% form (1), 25% form (2)).
+pub fn syn_config(ie_size: usize, im_size: usize, sigma_size: usize, seed: u64) -> GeneratorConfig {
+    let form2 = (sigma_size / 4).max(1);
+    let form1 = sigma_size.saturating_sub(form2).max(1);
+    let attrs = vec![
+        AttrSpec::new("FN", AttrKind::Key),
+        AttrSpec::new("LN", AttrKind::Key),
+        AttrSpec::new("rnds", AttrKind::Currency),
+        AttrSpec::new("games", AttrKind::Currency),
+        AttrSpec::new("minutes", AttrKind::Currency),
+        AttrSpec::new("season", AttrKind::Currency),
+        AttrSpec::new("totalPts", AttrKind::Correlated { driver: "rnds".into() }),
+        AttrSpec::new("J#", AttrKind::Correlated { driver: "rnds".into() }),
+        AttrSpec::new("assists", AttrKind::Correlated { driver: "games".into() }),
+        AttrSpec::new("rebounds", AttrKind::Correlated { driver: "games".into() }),
+        AttrSpec::new("fouls", AttrKind::Correlated { driver: "minutes".into() }),
+        AttrSpec::new("salary", AttrKind::Correlated { driver: "season".into() }),
+        AttrSpec::new("league", AttrKind::MasterCovered),
+        AttrSpec::new("team", AttrKind::MasterCovered),
+        AttrSpec::new("arena", AttrKind::MasterFollower { pivot: "team".into() }),
+        AttrSpec::new("division", AttrKind::MasterFollower { pivot: "league".into() }),
+        AttrSpec::new("coach", AttrKind::Free),
+        AttrSpec::new("captain", AttrKind::Free),
+        AttrSpec::new("sponsor", AttrKind::Free),
+        AttrSpec::new("city", AttrKind::Free),
+    ];
+    GeneratorConfig {
+        name: "syn".into(),
+        attrs,
+        // one big entity instance plus enough extra entities to fill the
+        // requested master size (master tuples come from covered entities)
+        n_entities: 1 + im_size,
+        min_tuples: 1,
+        max_tuples: 1,
+        master_coverage: 1.0,
+        null_rate: 0.08,
+        covered_error_rate: 0.25,
+        key_noise: 0.0,
+        messy_rate: 0.35,
+        max_ambiguous: 3,
+        history_buckets: 12,
+        target_form1_rules: form1,
+        target_form2_rules: form2,
+        seed: seed ^ (ie_size as u64).wrapping_mul(0x9E37_79B9),
+    }
+}
+
+/// A synthetic Exp-4 instance: the specification of a single large entity with
+/// the requested `‖Ie‖`, `‖Im‖` and `‖Σ‖`.
+#[derive(Debug, Clone)]
+pub struct SynInstance {
+    /// The generated specification.
+    pub spec: relacc_core::Specification,
+    /// The ground truth of the big entity.
+    pub truth: relacc_model::TargetTuple,
+}
+
+/// Trim a generated rule set to exactly `form1` form-(1) rules and `form2`
+/// form-(2) rules (the generator never produces fewer than the base rules, so
+/// small `‖Σ‖` requests need truncation).
+fn trim_rules(rules: &relacc_core::RuleSet, form1: usize, form2: usize) -> relacc_core::RuleSet {
+    let mut out = relacc_core::RuleSet::new();
+    out.axioms = rules.axioms;
+    let mut kept1 = 0usize;
+    let mut kept2 = 0usize;
+    for rule in rules.rules() {
+        match rule {
+            relacc_core::AccuracyRule::Tuple(_) if kept1 < form1 => {
+                kept1 += 1;
+                out.push(rule.clone());
+            }
+            relacc_core::AccuracyRule::Master(_) if kept2 < form2 => {
+                kept2 += 1;
+                out.push(rule.clone());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Generate a `Syn` instance.  The big entity's instance has exactly `ie_size`
+/// tuples; the master relation is truncated to `im_size` tuples (always keeping
+/// the big entity's own master tuple first so form-(2) rules stay applicable).
+pub fn syn(ie_size: usize, im_size: usize, sigma_size: usize, seed: u64) -> SynInstance {
+    // generate the surrounding collection for master data
+    let mut config = syn_config(ie_size, im_size, sigma_size, seed);
+    let data = generate(&config);
+
+    // regenerate the big entity alone with the requested instance size
+    config.n_entities = 1;
+    config.min_tuples = ie_size;
+    config.max_tuples = ie_size;
+    config.seed ^= 0xABCD_EF01;
+    let big = generate(&config);
+
+    let mut master = relacc_model::MasterRelation::new(data.master_schema.clone());
+    // the big entity's master tuple first
+    if let Some(first) = big.master.tuples().first() {
+        master.push_row(first.values().to_vec()).expect("conforms");
+    }
+    for t in data.master.tuples() {
+        if master.len() >= im_size.max(1) {
+            break;
+        }
+        master.push_row(t.values().to_vec()).expect("conforms");
+    }
+
+    let form2 = (sigma_size / 4).max(1);
+    let form1 = sigma_size.saturating_sub(form2).max(1);
+    let rules = trim_rules(&big.rules, form1, form2);
+    let spec = relacc_core::Specification::new(big.entities[0].instance.clone(), rules)
+        .with_master(master);
+    SynInstance {
+        spec,
+        truth: big.entities[0].truth.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::chase::is_cr;
+
+    #[test]
+    fn med_and_cfp_shapes_match_the_paper() {
+        let med = med(0.02, 1); // 2% scale for the unit test
+        assert_eq!(med.schema.arity(), 30);
+        assert_eq!(med.master_schema.arity(), 5);
+        assert_eq!(med.rules.count_tuple_rules(), 90);
+        assert_eq!(med.rules.count_master_rules(), 15);
+        assert_eq!(med.entities.len(), 54);
+
+        let cfp = cfp(1.0, 2);
+        assert_eq!(cfp.schema.arity(), 22);
+        assert_eq!(cfp.entities.len(), 100);
+        assert_eq!(cfp.rules.count_tuple_rules(), 28);
+        assert_eq!(cfp.rules.count_master_rules(), 15);
+        let avg = cfp.total_tuples() as f64 / cfp.entities.len() as f64;
+        assert!(avg > 1.5 && avg < 10.0, "average entity size {avg}");
+    }
+
+    #[test]
+    fn syn_instance_has_requested_sizes_and_chases() {
+        let inst = syn(60, 10, 20, 7);
+        assert_eq!(inst.spec.entity_size(), 60);
+        assert!(inst.spec.master_size() <= 10);
+        assert_eq!(inst.spec.rule_count(), 20);
+        let run = is_cr(&inst.spec);
+        assert!(run.outcome.is_church_rosser());
+        let te = run.outcome.target().unwrap();
+        // the currency attributes must be deduced correctly
+        let rnds = inst.spec.ie.schema().expect_attr("rnds");
+        assert_eq!(te.value(rnds), inst.truth.value(rnds));
+    }
+}

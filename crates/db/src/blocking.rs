@@ -1,0 +1,159 @@
+//! Blocking: partition a relation into small candidate groups before pairwise
+//! matching, so entity resolution never compares all `O(n²)` record pairs.
+//!
+//! Two strategies are provided, both standard in the duplicate-detection
+//! literature the paper builds on:
+//!
+//! * [`BlockingStrategy::ExactKey`] — records share a block when their
+//!   (lower-cased, whitespace-normalized) key attributes are identical;
+//! * [`BlockingStrategy::Prefix`] — records share a block when the first `n`
+//!   characters of their concatenated key agree, tolerating suffix noise.
+
+use relacc_model::{AttrId, Tuple, Value};
+use std::collections::HashMap;
+
+/// How records are assigned to blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockingStrategy {
+    /// One block per distinct normalized key value.
+    ExactKey,
+    /// One block per normalized-key prefix of the given length.
+    Prefix(usize),
+}
+
+/// Compute the blocking key of a record over the given key attributes:
+/// lower-cased, whitespace-normalized concatenation of the key values
+/// (nulls contribute nothing).
+pub fn blocking_key(tuple: &Tuple, key_attrs: &[AttrId]) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(key_attrs.len());
+    for &attr in key_attrs {
+        match tuple.value(attr) {
+            Value::Null => {}
+            v => parts.push(
+                v.to_string()
+                    .to_lowercase()
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ),
+        }
+    }
+    parts.join("|")
+}
+
+/// Groups record indices into candidate blocks.
+#[derive(Debug, Clone)]
+pub struct Blocker {
+    /// Attributes the blocking key is built from.
+    pub key_attrs: Vec<AttrId>,
+    /// The strategy in use.
+    pub strategy: BlockingStrategy,
+}
+
+impl Blocker {
+    /// A blocker over the given key attributes with the given strategy.
+    pub fn new(key_attrs: Vec<AttrId>, strategy: BlockingStrategy) -> Self {
+        Blocker {
+            key_attrs,
+            strategy,
+        }
+    }
+
+    /// The block identifier of a record.
+    pub fn block_of(&self, tuple: &Tuple) -> String {
+        let key = blocking_key(tuple, &self.key_attrs);
+        match self.strategy {
+            BlockingStrategy::ExactKey => key,
+            BlockingStrategy::Prefix(n) => key.chars().take(n).collect(),
+        }
+    }
+
+    /// Partition record indices into blocks.  Records whose blocking key is
+    /// empty (all key attributes null) each get a singleton block: with no key
+    /// evidence at all it is safer to leave them unmerged than to lump them
+    /// together.
+    pub fn blocks(&self, tuples: &[Tuple]) -> Vec<Vec<usize>> {
+        let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut singletons: Vec<Vec<usize>> = Vec::new();
+        for (idx, tuple) in tuples.iter().enumerate() {
+            let key = self.block_of(tuple);
+            if key.is_empty() {
+                singletons.push(vec![idx]);
+            } else {
+                by_key.entry(key).or_default().push(idx);
+            }
+        }
+        let mut blocks: Vec<Vec<usize>> = by_key.into_values().collect();
+        blocks.extend(singletons);
+        // deterministic output order: by smallest member index
+        blocks.sort_by_key(|b| b.iter().copied().min().unwrap_or(usize::MAX));
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, team: &str) -> Tuple {
+        Tuple::new(vec![Value::text(name), Value::text(team)])
+    }
+
+    #[test]
+    fn blocking_key_normalizes_case_and_whitespace() {
+        let a = t("Michael  Jordan", "Bulls");
+        let b = t("michael jordan", "bulls");
+        assert_eq!(
+            blocking_key(&a, &[AttrId(0)]),
+            blocking_key(&b, &[AttrId(0)])
+        );
+        assert_eq!(blocking_key(&a, &[AttrId(0)]), "michael jordan");
+        assert_eq!(blocking_key(&a, &[AttrId(0), AttrId(1)]), "michael jordan|bulls");
+    }
+
+    #[test]
+    fn nulls_contribute_nothing_to_the_key() {
+        let a = Tuple::new(vec![Value::Null, Value::text("Bulls")]);
+        assert_eq!(blocking_key(&a, &[AttrId(0), AttrId(1)]), "bulls");
+        assert_eq!(blocking_key(&a, &[AttrId(0)]), "");
+    }
+
+    #[test]
+    fn exact_key_blocks_group_identical_keys() {
+        let tuples = vec![
+            t("Michael Jordan", "x"),
+            t("Scottie Pippen", "y"),
+            t("michael jordan", "z"),
+        ];
+        let blocker = Blocker::new(vec![AttrId(0)], BlockingStrategy::ExactKey);
+        let blocks = blocker.blocks(&tuples);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], vec![0, 2]);
+        assert_eq!(blocks[1], vec![1]);
+    }
+
+    #[test]
+    fn prefix_blocks_tolerate_suffix_noise() {
+        let tuples = vec![
+            t("Michael Jordan", "x"),
+            t("Michael Jordan Jr", "y"),
+            t("Scottie Pippen", "z"),
+        ];
+        let blocker = Blocker::new(vec![AttrId(0)], BlockingStrategy::Prefix(10));
+        let blocks = blocker.blocks(&tuples);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn all_null_keys_stay_singletons() {
+        let tuples = vec![
+            Tuple::new(vec![Value::Null, Value::text("a")]),
+            Tuple::new(vec![Value::Null, Value::text("b")]),
+        ];
+        let blocker = Blocker::new(vec![AttrId(0)], BlockingStrategy::ExactKey);
+        let blocks = blocker.blocks(&tuples);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+    }
+}

@@ -1,0 +1,19 @@
+//! # relacc-framework
+//!
+//! The interactive target-deduction framework of Fig. 3 in *"Determining the
+//! Relative Accuracy of Attributes"* (SIGMOD 2013): Church-Rosser checking,
+//! chase-based deduction, top-k candidate suggestion and user feedback rounds.
+//!
+//! The "user" is abstracted behind the [`UserOracle`] trait; the experiments
+//! use [`GroundTruthOracle`], which simulates the protocol of Exp-3 (accept the
+//! truth when it is suggested, otherwise reveal the accurate value of one
+//! random attribute).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod session;
+
+pub use oracle::{GroundTruthOracle, SilentOracle, UserOracle, UserResponse};
+pub use session::{run_session, SessionConfig, SessionOutcome, SessionReport, TopKAlgorithm};

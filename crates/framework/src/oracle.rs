@@ -1,0 +1,147 @@
+//! User oracles: how the framework's "user feedback" step is answered.
+//!
+//! The framework of Fig. 3 suggests top-k candidate targets and lets the user
+//! either pick one, fill in the accurate value of some attribute, or revise the
+//! specification.  In the experiments (Exp-3) the user is simulated: when the
+//! true target is among the suggestions it is accepted, otherwise the accurate
+//! value of one randomly chosen null attribute is revealed.  This module
+//! defines the oracle trait plus the two oracles used by the test-suite and the
+//! experiment harness.
+
+use relacc_model::{AttrId, TargetTuple, Value};
+use relacc_topk::ScoredCandidate;
+
+/// A user response to a round of suggestions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UserResponse {
+    /// Accept the `i`-th suggested candidate as the final target tuple.
+    Accept(usize),
+    /// Reveal the accurate value of one attribute (the framework re-runs the
+    /// chase with this value fixed in the target template).
+    ProvideValue(AttrId, Value),
+    /// Stop interacting (the framework returns the best partial result).
+    GiveUp,
+}
+
+/// Something that can answer the framework's feedback requests.
+pub trait UserOracle {
+    /// Inspect the deduced (possibly incomplete) target and the suggested
+    /// candidates, and answer.
+    fn respond(&mut self, deduced: &TargetTuple, suggestions: &[ScoredCandidate]) -> UserResponse;
+}
+
+/// An oracle that knows the ground-truth target tuple (the simulated user of
+/// Exp-3): accepts a suggestion iff it equals the truth, otherwise reveals the
+/// true value of one still-null attribute, chosen pseudo-randomly.
+#[derive(Debug, Clone)]
+pub struct GroundTruthOracle {
+    truth: TargetTuple,
+    state: u64,
+}
+
+impl GroundTruthOracle {
+    /// Create an oracle for a known ground truth; `seed` drives the choice of
+    /// which attribute to reveal when no suggestion matches.
+    pub fn new(truth: TargetTuple, seed: u64) -> Self {
+        GroundTruthOracle { truth, state: seed }
+    }
+
+    /// The ground truth this oracle answers from.
+    pub fn truth(&self) -> &TargetTuple {
+        &self.truth
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // SplitMix64, same generator as the free-order chase.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl UserOracle for GroundTruthOracle {
+    fn respond(&mut self, deduced: &TargetTuple, suggestions: &[ScoredCandidate]) -> UserResponse {
+        if let Some(pos) = suggestions.iter().position(|c| c.target == self.truth) {
+            return UserResponse::Accept(pos);
+        }
+        // reveal the true value of one randomly picked null attribute that the
+        // truth actually defines
+        let revealable: Vec<AttrId> = deduced
+            .null_attrs()
+            .into_iter()
+            .filter(|a| !self.truth.value(*a).is_null())
+            .collect();
+        if revealable.is_empty() {
+            return UserResponse::GiveUp;
+        }
+        let pick = revealable[(self.next_random() % revealable.len() as u64) as usize];
+        UserResponse::ProvideValue(pick, self.truth.value(pick).clone())
+    }
+}
+
+/// An oracle that never helps: it always gives up.  Useful to measure what the
+/// system deduces fully automatically.
+#[derive(Debug, Clone, Default)]
+pub struct SilentOracle;
+
+impl UserOracle for SilentOracle {
+    fn respond(&mut self, _deduced: &TargetTuple, _suggestions: &[ScoredCandidate]) -> UserResponse {
+        UserResponse::GiveUp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> TargetTuple {
+        TargetTuple::from_values(vec![Value::Int(1), Value::text("x"), Value::text("y")])
+    }
+
+    #[test]
+    fn accepts_matching_suggestion() {
+        let mut oracle = GroundTruthOracle::new(truth(), 7);
+        let deduced = TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
+        let suggestions = vec![
+            ScoredCandidate {
+                target: TargetTuple::from_values(vec![
+                    Value::Int(1),
+                    Value::text("wrong"),
+                    Value::text("y"),
+                ]),
+                score: 5.0,
+            },
+            ScoredCandidate {
+                target: truth(),
+                score: 4.0,
+            },
+        ];
+        assert_eq!(oracle.respond(&deduced, &suggestions), UserResponse::Accept(1));
+        assert_eq!(oracle.truth(), &truth());
+    }
+
+    #[test]
+    fn reveals_a_true_value_when_no_suggestion_matches() {
+        let mut oracle = GroundTruthOracle::new(truth(), 7);
+        let deduced = TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
+        match oracle.respond(&deduced, &[]) {
+            UserResponse::ProvideValue(attr, value) => {
+                assert!(attr == AttrId(1) || attr == AttrId(2));
+                assert_eq!(&value, truth().value(attr));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gives_up_when_nothing_can_be_revealed() {
+        let partial_truth =
+            TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
+        let mut oracle = GroundTruthOracle::new(partial_truth, 3);
+        let deduced = TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
+        assert_eq!(oracle.respond(&deduced, &[]), UserResponse::GiveUp);
+        assert_eq!(SilentOracle.respond(&deduced, &[]), UserResponse::GiveUp);
+    }
+}

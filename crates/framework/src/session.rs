@@ -1,0 +1,292 @@
+//! The interactive deduction framework of Fig. 3.
+//!
+//! A session repeatedly (1) checks the Church-Rosser property, (2) deduces as
+//! much of the target tuple as possible with the chase, (3) computes top-k
+//! candidate targets under the preference model, and (4) consults the user
+//! oracle, until a complete target tuple is found, the oracle gives up, or the
+//! round limit is reached.  Exp-3 of the paper measures how many rounds are
+//! needed until the true target is found.
+
+use crate::oracle::{UserOracle, UserResponse};
+use relacc_core::{Conflict, Specification};
+use relacc_model::TargetTuple;
+use relacc_topk::{
+    rank_join_ct, topkct, topkcth, CandidateSearch, PreferenceModel, ScoreSource, TopKStats,
+};
+
+/// Which top-k algorithm the framework uses in step (3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopKAlgorithm {
+    /// `TopKCT` (the default; exact, no ranked lists needed).
+    #[default]
+    TopKCT,
+    /// `TopKCTh` (PTIME heuristic).
+    TopKCTh,
+    /// `RankJoinCT` (rank-join baseline).
+    RankJoinCT,
+}
+
+/// Configuration of an interactive session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of candidate targets suggested per round.
+    pub k: usize,
+    /// Maximum number of user-interaction rounds.
+    pub max_rounds: usize,
+    /// Which algorithm computes the suggestions.
+    pub algorithm: TopKAlgorithm,
+    /// How attribute-value weights are derived.
+    pub score_source: ScoreSource,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            k: 15,
+            max_rounds: 10,
+            algorithm: TopKAlgorithm::TopKCT,
+            score_source: ScoreSource::OccurrenceCounts,
+        }
+    }
+}
+
+/// How a session ended.
+#[derive(Debug, Clone)]
+pub enum SessionOutcome {
+    /// A complete target tuple was found (deduced, accepted, or completed
+    /// through user-provided values).
+    Complete(TargetTuple),
+    /// The specification is not Church-Rosser; the user must revise `Σ`.
+    NotChurchRosser(Conflict),
+    /// The round limit was hit or the oracle gave up; the best (possibly
+    /// incomplete) deduced target is attached.
+    Incomplete(TargetTuple),
+}
+
+impl SessionOutcome {
+    /// The resulting target tuple, if any.
+    pub fn target(&self) -> Option<&TargetTuple> {
+        match self {
+            SessionOutcome::Complete(t) | SessionOutcome::Incomplete(t) => Some(t),
+            SessionOutcome::NotChurchRosser(_) => None,
+        }
+    }
+
+    /// True if a complete target was found.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SessionOutcome::Complete(_))
+    }
+}
+
+/// The record of one finished session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Number of user-interaction rounds performed (0 = fully automatic).
+    pub rounds: usize,
+    /// Accumulated top-k work counters across all rounds.
+    pub topk_stats: TopKStats,
+    /// True if the complete target was deduced with no interaction at all.
+    pub automatic: bool,
+}
+
+/// Run one interactive session for a specification.
+pub fn run_session<O: UserOracle>(
+    spec: &Specification,
+    config: &SessionConfig,
+    oracle: &mut O,
+) -> SessionReport {
+    let mut working = spec.clone();
+    let mut total_stats = TopKStats::default();
+    let mut rounds = 0usize;
+
+    loop {
+        // Steps (1) + (2): Church-Rosser check and target deduction.
+        let preference =
+            PreferenceModel::new(&working, config.k, config.score_source.clone());
+        let search = match CandidateSearch::prepare(&working, preference) {
+            Ok(s) => s,
+            Err(relacc_topk::TopKError::NotChurchRosser(conflict)) => {
+                return SessionReport {
+                    outcome: SessionOutcome::NotChurchRosser(conflict),
+                    rounds,
+                    topk_stats: total_stats,
+                    automatic: rounds == 0,
+                };
+            }
+        };
+        if search.deduced.is_complete() {
+            return SessionReport {
+                outcome: SessionOutcome::Complete(search.deduced.clone()),
+                rounds,
+                topk_stats: total_stats,
+                automatic: rounds == 0,
+            };
+        }
+        if rounds >= config.max_rounds {
+            return SessionReport {
+                outcome: SessionOutcome::Incomplete(search.deduced.clone()),
+                rounds,
+                topk_stats: total_stats,
+                automatic: false,
+            };
+        }
+
+        // Step (3): compute suggestions.
+        let result = match config.algorithm {
+            TopKAlgorithm::TopKCT => topkct(&search),
+            TopKAlgorithm::TopKCTh => topkcth(&search),
+            TopKAlgorithm::RankJoinCT => rank_join_ct(&search),
+        };
+        total_stats.checks += result.stats.checks;
+        total_stats.generated += result.stats.generated;
+        total_stats.pops += result.stats.pops;
+
+        // Step (4): user feedback.
+        rounds += 1;
+        match oracle.respond(&search.deduced, &result.candidates) {
+            UserResponse::Accept(i) => {
+                let chosen = result.candidates[i].target.clone();
+                return SessionReport {
+                    outcome: SessionOutcome::Complete(chosen),
+                    rounds,
+                    topk_stats: total_stats,
+                    automatic: false,
+                };
+            }
+            UserResponse::ProvideValue(attr, value) => {
+                let mut template = working.initial_target.clone();
+                // the revealed value joins whatever the chase already deduced
+                for a in spec.ie.schema().attr_ids() {
+                    if template.is_null(a) && !search.deduced.is_null(a) {
+                        template.set(a, search.deduced.value(a).clone());
+                    }
+                }
+                template.set(attr, value);
+                working.initial_target = template;
+            }
+            UserResponse::GiveUp => {
+                return SessionReport {
+                    outcome: SessionOutcome::Incomplete(search.deduced.clone()),
+                    rounds,
+                    topk_stats: total_stats,
+                    automatic: false,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{GroundTruthOracle, SilentOracle};
+    use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, Schema, Value};
+
+    /// rnds deducible; team/arena open with the truth being the most frequent
+    /// team but a less frequent arena, so at least one interaction is needed
+    /// for small k.
+    fn spec() -> (Specification, TargetTuple) {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(16), Value::text("Chicago"), Value::text("Chicago Stadium")],
+                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("United Center")],
+                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("Regions Park")],
+                vec![Value::Int(20), Value::text("Chicago Bulls"), Value::text("Regions Park")],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        let truth = TargetTuple::from_values(vec![
+            Value::Int(27),
+            Value::text("Chicago Bulls"),
+            Value::text("United Center"),
+        ]);
+        (Specification::new(ie, rules), truth)
+    }
+
+    #[test]
+    fn oracle_session_finds_the_truth() {
+        let (spec, truth) = spec();
+        let mut oracle = GroundTruthOracle::new(truth.clone(), 11);
+        let config = SessionConfig {
+            k: 2,
+            ..SessionConfig::default()
+        };
+        let report = run_session(&spec, &config, &mut oracle);
+        assert!(report.outcome.is_complete());
+        assert_eq!(report.outcome.target().unwrap(), &truth);
+        assert!(report.rounds >= 1);
+        assert!(report.rounds <= 4);
+        assert!(!report.automatic);
+        assert!(report.topk_stats.checks > 0);
+    }
+
+    #[test]
+    fn silent_oracle_reports_incomplete() {
+        let (spec, _) = spec();
+        let report = run_session(&spec, &SessionConfig::default(), &mut SilentOracle);
+        match report.outcome {
+            SessionOutcome::Incomplete(te) => {
+                assert_eq!(te.value(AttrId(0)), &Value::Int(27));
+                assert!(te.is_null(AttrId(2)));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn already_complete_specs_need_zero_rounds() {
+        let schema = Schema::builder("r").attr("a", DataType::Int).build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![vec![Value::Int(1)], vec![Value::Int(5)]],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "up",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        )]);
+        let spec = Specification::new(ie, rules);
+        let truth = TargetTuple::from_values(vec![Value::Int(5)]);
+        let mut oracle = GroundTruthOracle::new(truth.clone(), 1);
+        let report = run_session(&spec, &SessionConfig::default(), &mut oracle);
+        assert!(report.automatic);
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.outcome.target().unwrap(), &truth);
+    }
+
+    #[test]
+    fn all_algorithms_complete_the_session() {
+        let (spec, truth) = spec();
+        for algorithm in [
+            TopKAlgorithm::TopKCT,
+            TopKAlgorithm::TopKCTh,
+            TopKAlgorithm::RankJoinCT,
+        ] {
+            let mut oracle = GroundTruthOracle::new(truth.clone(), 5);
+            let config = SessionConfig {
+                k: 6,
+                algorithm,
+                ..SessionConfig::default()
+            };
+            let report = run_session(&spec, &config, &mut oracle);
+            assert!(report.outcome.is_complete(), "{algorithm:?}");
+            assert_eq!(report.outcome.target().unwrap(), &truth, "{algorithm:?}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # relacc-fusion
+//!
+//! Truth-discovery baselines and evaluation metrics for the experimental
+//! comparison of Section 7 (Exp-5, Table 4) of *"Determining the Relative
+//! Accuracy of Attributes"* (SIGMOD 2013):
+//!
+//! * [`voting_target`] / [`voting_over_sources`] — majority voting;
+//! * [`deduce_order`] — conflict resolution from currency constraints and
+//!   constant CFDs (Fan et al., ICDE 2013);
+//! * [`copy_cef`] — Bayesian source-accuracy estimation with copy detection
+//!   (Dong et al., PVLDB 2009), whose posteriors can seed the preference model
+//!   of `relacc-topk`;
+//! * [`metrics`] — precision/recall/F1, attribute accuracy and exact-match
+//!   rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod copy_cef;
+pub mod deduce_order;
+pub mod metrics;
+pub mod observations;
+pub mod voting;
+
+pub use copy_cef::{copy_cef, CopyCefConfig, CopyCefResult};
+pub use deduce_order::{deduce_order, DeduceOrderResult};
+pub use metrics::{attribute_accuracy, exact_match_rate, mean, precision_recall, PrecisionRecall};
+pub use observations::{ObjectId, SourceId, SourceObservations};
+pub use voting::{voting_over_sources, voting_target};

@@ -1,0 +1,150 @@
+//! Evaluation metrics used in Section 7.
+//!
+//! * precision / recall / F-measure over a predicted set vs. a ground-truth set
+//!   (Table 4's `closed?` restaurants);
+//! * attribute accuracy: the fraction of attributes of a (possibly incomplete)
+//!   target tuple that carry the true value (Fig. 6(e));
+//! * exact-match rate over entity collections (Fig. 6(a), Exp-2, Exp-5-CFP).
+
+use relacc_model::TargetTuple;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Precision, recall and F1 of a predicted set against a ground-truth set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// |predicted ∩ truth| / |predicted| (1.0 when nothing is predicted).
+    pub precision: f64,
+    /// |predicted ∩ truth| / |truth| (1.0 when the truth set is empty).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub f1: f64,
+}
+
+/// Compute precision / recall / F1 for sets of hashable items.
+pub fn precision_recall<T: Eq + Hash>(predicted: &[T], truth: &[T]) -> PrecisionRecall {
+    let predicted_set: HashSet<&T> = predicted.iter().collect();
+    let truth_set: HashSet<&T> = truth.iter().collect();
+    let hits = predicted_set.intersection(&truth_set).count();
+    let precision = if predicted_set.is_empty() {
+        1.0
+    } else {
+        hits as f64 / predicted_set.len() as f64
+    };
+    let recall = if truth_set.is_empty() {
+        1.0
+    } else {
+        hits as f64 / truth_set.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Fraction of attributes on which `deduced` carries the true (non-null) value.
+///
+/// Null attributes of `deduced` count as incorrect; attributes whose truth is
+/// null are skipped (they cannot be judged).
+pub fn attribute_accuracy(deduced: &TargetTuple, truth: &TargetTuple) -> f64 {
+    let mut judged = 0usize;
+    let mut correct = 0usize;
+    for i in 0..truth.arity() {
+        let t = truth.value(relacc_model::AttrId(i));
+        if t.is_null() {
+            continue;
+        }
+        judged += 1;
+        let d = deduced.value(relacc_model::AttrId(i));
+        if !d.is_null() && d.same(t) {
+            correct += 1;
+        }
+    }
+    if judged == 0 {
+        1.0
+    } else {
+        correct as f64 / judged as f64
+    }
+}
+
+/// Fraction of pairs where the prediction equals the truth exactly on every
+/// judged (non-null-truth) attribute.
+pub fn exact_match_rate(pairs: &[(TargetTuple, TargetTuple)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let hits = pairs
+        .iter()
+        .filter(|(pred, truth)| attribute_accuracy(pred, truth) == 1.0)
+        .count();
+    hits as f64 / pairs.len() as f64
+}
+
+/// Mean of a slice of f64 (0.0 for an empty slice); small helper used by the
+/// experiment harness when aggregating per-entity measurements.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_model::Value;
+
+    #[test]
+    fn precision_recall_basics() {
+        let pr = precision_recall(&[1, 2, 3, 4], &[2, 3, 5]);
+        assert!((pr.precision - 0.5).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.f1 - (2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0))).abs() < 1e-12);
+
+        let empty_pred = precision_recall::<i32>(&[], &[1]);
+        assert_eq!(empty_pred.precision, 1.0);
+        assert_eq!(empty_pred.recall, 0.0);
+        assert_eq!(empty_pred.f1, 0.0);
+
+        let perfect = precision_recall(&[1, 2], &[1, 2]);
+        assert_eq!(perfect.f1, 1.0);
+    }
+
+    #[test]
+    fn attribute_accuracy_handles_nulls() {
+        let truth = TargetTuple::from_values(vec![
+            Value::Int(1),
+            Value::text("x"),
+            Value::Null,
+            Value::Int(9),
+        ]);
+        let deduced = TargetTuple::from_values(vec![
+            Value::Int(1),
+            Value::Null,
+            Value::text("ignored"),
+            Value::Int(8),
+        ]);
+        // judged attrs: 0 (hit), 1 (miss: null), 3 (miss: wrong); attr 2 skipped
+        assert!((attribute_accuracy(&deduced, &truth) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(attribute_accuracy(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn exact_match_and_mean() {
+        let truth = TargetTuple::from_values(vec![Value::Int(1), Value::text("x")]);
+        let right = truth.clone();
+        let wrong = TargetTuple::from_values(vec![Value::Int(1), Value::text("y")]);
+        let rate = exact_match_rate(&[(right, truth.clone()), (wrong, truth)]);
+        assert!((rate - 0.5).abs() < 1e-12);
+        assert_eq!(exact_match_rate(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

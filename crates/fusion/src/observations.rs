@@ -1,0 +1,171 @@
+//! Multi-source observations: the input format of the truth-discovery
+//! baselines (`voting`, `copyCEF`).
+//!
+//! The `Rest` workload of the paper (Dong et al.'s restaurant feed) consists of
+//! snapshots of many web sources each claiming a value for each object (a
+//! restaurant's `closed?` flag).  [`SourceObservations`] stores those claims in
+//! a dense object × source layout; claims are optional because not every source
+//! covers every object in every snapshot.
+
+use relacc_model::Value;
+use std::collections::HashMap;
+
+/// Identifier of a data source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub usize);
+
+/// Identifier of an object (e.g. a restaurant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub usize);
+
+/// Claims of many sources about one attribute of many objects.
+#[derive(Debug, Clone, Default)]
+pub struct SourceObservations {
+    /// Names of the sources (index = `SourceId`).
+    pub source_names: Vec<String>,
+    /// Names of the objects (index = `ObjectId`).
+    pub object_names: Vec<String>,
+    /// `claims[object][source]` — the value claimed by the source, if any.
+    claims: Vec<Vec<Option<Value>>>,
+}
+
+impl SourceObservations {
+    /// Create an empty observation matrix for the given sources and objects.
+    pub fn new(source_names: Vec<String>, object_names: Vec<String>) -> Self {
+        let claims = vec![vec![None; source_names.len()]; object_names.len()];
+        SourceObservations {
+            source_names,
+            object_names,
+            claims,
+        }
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.source_names.len()
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.object_names.len()
+    }
+
+    /// Record a claim (overwrites any previous claim of the same source for the
+    /// same object — later snapshots supersede earlier ones).
+    pub fn record(&mut self, object: ObjectId, source: SourceId, value: Value) {
+        self.claims[object.0][source.0] = Some(value);
+    }
+
+    /// The claim of `source` about `object`, if any.
+    pub fn claim(&self, object: ObjectId, source: SourceId) -> Option<&Value> {
+        self.claims[object.0][source.0].as_ref()
+    }
+
+    /// All claims about an object as `(source, value)` pairs.
+    pub fn claims_for(&self, object: ObjectId) -> Vec<(SourceId, &Value)> {
+        self.claims[object.0]
+            .iter()
+            .enumerate()
+            .filter_map(|(s, v)| v.as_ref().map(|v| (SourceId(s), v)))
+            .collect()
+    }
+
+    /// The distinct values claimed for an object, with the number of sources
+    /// claiming each.
+    pub fn value_votes(&self, object: ObjectId) -> Vec<(Value, usize)> {
+        let mut votes: Vec<(Value, usize)> = Vec::new();
+        for (_, v) in self.claims_for(object) {
+            match votes.iter_mut().find(|(existing, _)| existing.same(v)) {
+                Some((_, count)) => *count += 1,
+                None => votes.push((v.clone(), 1)),
+            }
+        }
+        votes
+    }
+
+    /// The fraction of objects on which two sources make the *same* claim,
+    /// computed over the objects both cover.  Returns `None` when they share no
+    /// objects.  Used by copy detection.
+    pub fn agreement(&self, a: SourceId, b: SourceId) -> Option<f64> {
+        let mut shared = 0usize;
+        let mut agree = 0usize;
+        for row in &self.claims {
+            if let (Some(va), Some(vb)) = (&row[a.0], &row[b.0]) {
+                shared += 1;
+                if va.same(vb) {
+                    agree += 1;
+                }
+            }
+        }
+        if shared == 0 {
+            None
+        } else {
+            Some(agree as f64 / shared as f64)
+        }
+    }
+
+    /// Per-source coverage: number of objects each source makes a claim about.
+    pub fn coverage(&self) -> HashMap<SourceId, usize> {
+        let mut cov = HashMap::new();
+        for row in &self.claims {
+            for (s, v) in row.iter().enumerate() {
+                if v.is_some() {
+                    *cov.entry(SourceId(s)).or_insert(0) += 1;
+                }
+            }
+        }
+        cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> SourceObservations {
+        let mut o = SourceObservations::new(
+            vec!["s0".into(), "s1".into(), "s2".into()],
+            vec!["r0".into(), "r1".into()],
+        );
+        o.record(ObjectId(0), SourceId(0), Value::Bool(true));
+        o.record(ObjectId(0), SourceId(1), Value::Bool(true));
+        o.record(ObjectId(0), SourceId(2), Value::Bool(false));
+        o.record(ObjectId(1), SourceId(0), Value::Bool(false));
+        o.record(ObjectId(1), SourceId(1), Value::Bool(true));
+        o
+    }
+
+    #[test]
+    fn record_and_query() {
+        let o = obs();
+        assert_eq!(o.source_count(), 3);
+        assert_eq!(o.object_count(), 2);
+        assert_eq!(o.claim(ObjectId(0), SourceId(2)), Some(&Value::Bool(false)));
+        assert_eq!(o.claim(ObjectId(1), SourceId(2)), None);
+        assert_eq!(o.claims_for(ObjectId(1)).len(), 2);
+        let votes = o.value_votes(ObjectId(0));
+        assert!(votes.contains(&(Value::Bool(true), 2)));
+        assert!(votes.contains(&(Value::Bool(false), 1)));
+    }
+
+    #[test]
+    fn later_records_overwrite() {
+        let mut o = obs();
+        o.record(ObjectId(0), SourceId(2), Value::Bool(true));
+        assert_eq!(o.claim(ObjectId(0), SourceId(2)), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn agreement_and_coverage() {
+        let o = obs();
+        assert_eq!(o.agreement(SourceId(0), SourceId(1)), Some(0.5));
+        assert_eq!(o.agreement(SourceId(1), SourceId(2)), Some(0.0));
+        assert_eq!(o.agreement(SourceId(2), SourceId(2)), Some(1.0));
+        let cov = o.coverage();
+        assert_eq!(cov[&SourceId(0)], 2);
+        assert_eq!(cov[&SourceId(2)], 1);
+        // no shared objects
+        let empty = SourceObservations::new(vec!["a".into(), "b".into()], vec!["x".into()]);
+        assert_eq!(empty.agreement(SourceId(0), SourceId(1)), None);
+    }
+}

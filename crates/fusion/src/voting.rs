@@ -1,0 +1,103 @@
+//! The `voting` baseline: pick, for every attribute, the most frequent non-null
+//! value, ignoring accuracy rules entirely.
+//!
+//! The paper uses voting both as a stand-alone truth-discovery baseline
+//! (Exp-2, Exp-5) and as the default way to derive preference-model weights for
+//! `TopKCT` ("TopKCT (preference derived by voting)" in Table 4).
+
+use crate::observations::{ObjectId, SourceObservations};
+use relacc_model::{AttrId, EntityInstance, TargetTuple, Value};
+
+/// Majority vote over the tuples of an entity instance: for each attribute the
+/// most frequent non-null value (ties broken by first appearance in the
+/// instance, making the result deterministic).
+pub fn voting_target(ie: &EntityInstance) -> TargetTuple {
+    let arity = ie.schema().arity();
+    let mut values = Vec::with_capacity(arity);
+    for i in 0..arity {
+        let a = AttrId(i);
+        let counts = ie.value_counts(a);
+        let mut best: Option<(Value, usize)> = None;
+        for v in ie.active_domain(a) {
+            let c = counts.get(&v).copied().unwrap_or_else(|| {
+                counts
+                    .iter()
+                    .find(|(k, _)| k.same(&v))
+                    .map(|(_, c)| *c)
+                    .unwrap_or(0)
+            });
+            match &best {
+                Some((_, bc)) if *bc >= c => {}
+                _ => best = Some((v, c)),
+            }
+        }
+        values.push(best.map(|(v, _)| v).unwrap_or(Value::Null));
+    }
+    TargetTuple::from_values(values)
+}
+
+/// Majority vote over multi-source claims: for every object the value claimed
+/// by the largest number of sources (ties broken by first claimant).
+pub fn voting_over_sources(obs: &SourceObservations) -> Vec<(ObjectId, Option<Value>)> {
+    (0..obs.object_count())
+        .map(|o| {
+            let object = ObjectId(o);
+            let votes = obs.value_votes(object);
+            let winner = votes
+                .iter()
+                .max_by_key(|(_, count)| *count)
+                .map(|(v, _)| v.clone());
+            (object, winner)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observations::SourceId;
+    use relacc_model::{DataType, Schema};
+
+    #[test]
+    fn entity_voting_picks_modes_and_keeps_ties_deterministic() {
+        let schema = Schema::builder("r")
+            .attr("team", DataType::Text)
+            .attr("pts", DataType::Int)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema,
+            vec![
+                vec![Value::text("bulls"), Value::Int(1)],
+                vec![Value::text("bulls"), Value::Int(2)],
+                vec![Value::text("barons"), Value::Null],
+                vec![Value::Null, Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let t = voting_target(&ie);
+        assert_eq!(t.value(AttrId(0)), &Value::text("bulls"));
+        assert_eq!(t.value(AttrId(1)), &Value::Int(2));
+    }
+
+    #[test]
+    fn all_null_column_stays_null() {
+        let schema = Schema::builder("r").attr("a", DataType::Int).build();
+        let ie = EntityInstance::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]])
+            .unwrap();
+        assert!(voting_target(&ie).is_null(AttrId(0)));
+    }
+
+    #[test]
+    fn source_voting() {
+        let mut obs = SourceObservations::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["r0".into(), "r1".into()],
+        );
+        obs.record(ObjectId(0), SourceId(0), Value::Bool(true));
+        obs.record(ObjectId(0), SourceId(1), Value::Bool(false));
+        obs.record(ObjectId(0), SourceId(2), Value::Bool(false));
+        let result = voting_over_sources(&obs);
+        assert_eq!(result[0].1, Some(Value::Bool(false)));
+        assert_eq!(result[1].1, None);
+    }
+}

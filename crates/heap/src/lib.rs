@@ -1,0 +1,21 @@
+//! # relacc-heap
+//!
+//! Priority-queue substrate for the top-k candidate-target algorithms of
+//! *"Determining the Relative Accuracy of Attributes"* (SIGMOD 2013):
+//!
+//! * [`PairingHeap`] — a max-oriented pairing heap standing in for the Brodal
+//!   queue used by algorithm `TopKCT` (Fig. 5);
+//! * [`ScoredHeap`] — linear-time-buildable binary max-heaps over `f64`-scored
+//!   items: the per-attribute heaps `H_i` of `TopKCT`, with a pop counter
+//!   backing the instance-optimality measurements;
+//! * [`RankedList`] — fully sorted score lists with cursors: the ranked inputs
+//!   `L_i` assumed by `RankJoinCT`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pairing;
+pub mod ranked;
+
+pub use pairing::{F64Key, HeapKey, PairingHeap};
+pub use ranked::{RankedList, Scored, ScoredHeap};

@@ -1,0 +1,224 @@
+//! A max-oriented pairing heap.
+//!
+//! Algorithm `TopKCT` (Fig. 5 of the paper) keeps the frontier of candidate
+//! targets in a *Brodal queue* [6], a worst-case efficient priority queue with
+//! `O(1)` insert and `O(log n)` delete-max.  A pairing heap offers the same
+//! interface with amortized `O(1)` insert / meld and `O(log n)` amortized
+//! delete-max, which is all the complexity argument of Section 6.2 relies on,
+//! and is dramatically simpler; DESIGN.md records this substitution.
+//!
+//! Keys are compared through a caller-provided [`HeapKey`] so that floating
+//! point scores (the preference model's `p(·)`) can be used safely.
+
+use std::cmp::Ordering;
+
+/// Types usable as priorities in the pairing heap.
+///
+/// The ordering must be total.  A blanket implementation is provided for every
+/// `Ord` type; [`F64Key`] adapts IEEE-754 scores via `total_cmp`.
+pub trait HeapKey {
+    /// Total-order comparison.
+    fn cmp_key(&self, other: &Self) -> Ordering;
+}
+
+impl<T: Ord> HeapKey for T {
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+}
+
+/// An `f64` priority ordered by `total_cmp` (NaN-safe, usable as a heap key).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64Key(pub f64);
+
+impl HeapKey for F64Key {
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug)]
+struct Node<K, T> {
+    key: K,
+    item: T,
+    children: Vec<Node<K, T>>,
+}
+
+/// A max-oriented pairing heap over `(key, item)` pairs.
+///
+/// `push` is `O(1)`; `pop` (delete-max) is `O(log n)` amortized; `meld` is
+/// `O(1)`.  Ties are broken arbitrarily (the top-k algorithms never rely on a
+/// particular tie order).
+#[derive(Debug, Default)]
+pub struct PairingHeap<K, T> {
+    root: Option<Box<Node<K, T>>>,
+    len: usize,
+}
+
+impl<K: HeapKey, T> PairingHeap<K, T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        PairingHeap { root: None, len: 0 }
+    }
+
+    /// Number of items in the heap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the heap holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an item with the given priority.
+    pub fn push(&mut self, key: K, item: T) {
+        let node = Box::new(Node {
+            key,
+            item,
+            children: Vec::new(),
+        });
+        self.root = Some(match self.root.take() {
+            None => node,
+            Some(root) => Self::meld_nodes(root, node),
+        });
+        self.len += 1;
+    }
+
+    /// The highest-priority entry, if any.
+    pub fn peek(&self) -> Option<(&K, &T)> {
+        self.root.as_ref().map(|n| (&n.key, &n.item))
+    }
+
+    /// Remove and return the highest-priority entry.
+    pub fn pop(&mut self) -> Option<(K, T)> {
+        let root = self.root.take()?;
+        self.len -= 1;
+        let Node {
+            key,
+            item,
+            children,
+        } = *root;
+        self.root = Self::merge_pairs(children);
+        Some((key, item))
+    }
+
+    /// Merge another heap into this one in `O(1)`.
+    pub fn meld(&mut self, other: PairingHeap<K, T>) {
+        self.len += other.len;
+        self.root = match (self.root.take(), other.root) {
+            (None, r) => r,
+            (r, None) => r,
+            (Some(a), Some(b)) => Some(Self::meld_nodes(a, b)),
+        };
+    }
+
+    /// Drain the heap into a vector sorted by descending priority.
+    pub fn into_sorted_vec(mut self) -> Vec<(K, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(entry) = self.pop() {
+            out.push(entry);
+        }
+        out
+    }
+
+    fn meld_nodes(mut a: Box<Node<K, T>>, mut b: Box<Node<K, T>>) -> Box<Node<K, T>> {
+        if a.key.cmp_key(&b.key) == Ordering::Less {
+            std::mem::swap(&mut a, &mut b);
+        }
+        a.children.push(*b);
+        a
+    }
+
+    /// Two-pass pairing of the root's children after a pop.
+    fn merge_pairs(children: Vec<Node<K, T>>) -> Option<Box<Node<K, T>>> {
+        let mut paired: Vec<Box<Node<K, T>>> = Vec::with_capacity(children.len().div_ceil(2));
+        let mut iter = children.into_iter();
+        while let Some(first) = iter.next() {
+            match iter.next() {
+                Some(second) => {
+                    paired.push(Self::meld_nodes(Box::new(first), Box::new(second)));
+                }
+                None => paired.push(Box::new(first)),
+            }
+        }
+        let mut result: Option<Box<Node<K, T>>> = None;
+        while let Some(node) = paired.pop() {
+            result = Some(match result {
+                None => node,
+                Some(acc) => Self::meld_nodes(acc, node),
+            });
+        }
+        result
+    }
+}
+
+impl<K: HeapKey, T> FromIterator<(K, T)> for PairingHeap<K, T> {
+    fn from_iter<I: IntoIterator<Item = (K, T)>>(iter: I) -> Self {
+        let mut heap = PairingHeap::new();
+        for (k, t) in iter {
+            heap.push(k, t);
+        }
+        heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_descending_key_order() {
+        let mut h = PairingHeap::new();
+        for k in [5, 1, 9, 3, 7, 9] {
+            h.push(k, format!("v{k}"));
+        }
+        assert_eq!(h.len(), 6);
+        assert_eq!(h.peek().unwrap().0, &9);
+        let keys: Vec<i32> = h.into_sorted_vec().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![9, 9, 7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn empty_heap_behaviour() {
+        let mut h: PairingHeap<i32, ()> = PairingHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        assert!(h.peek().is_none());
+    }
+
+    #[test]
+    fn meld_combines_heaps() {
+        let mut a: PairingHeap<i32, &str> = [(1, "a"), (5, "b")].into_iter().collect();
+        let b: PairingHeap<i32, &str> = [(3, "c"), (7, "d")].into_iter().collect();
+        a.meld(b);
+        assert_eq!(a.len(), 4);
+        let order: Vec<&str> = a.into_sorted_vec().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec!["d", "b", "c", "a"]);
+    }
+
+    #[test]
+    fn float_keys_via_f64key() {
+        let mut h = PairingHeap::new();
+        h.push(F64Key(1.5), 'a');
+        h.push(F64Key(2.25), 'b');
+        h.push(F64Key(-0.5), 'c');
+        assert_eq!(h.pop().unwrap().1, 'b');
+        assert_eq!(h.pop().unwrap().1, 'a');
+        assert_eq!(h.pop().unwrap().1, 'c');
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut h = PairingHeap::new();
+        h.push(2, 2);
+        h.push(8, 8);
+        assert_eq!(h.pop().unwrap().0, 8);
+        h.push(5, 5);
+        h.push(1, 1);
+        assert_eq!(h.pop().unwrap().0, 5);
+        assert_eq!(h.pop().unwrap().0, 2);
+        assert_eq!(h.pop().unwrap().0, 1);
+        assert!(h.pop().is_none());
+    }
+}

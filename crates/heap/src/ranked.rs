@@ -1,0 +1,260 @@
+//! Ranked-value heaps: the per-attribute heaps `H_i` consumed by `TopKCT`, and
+//! the pre-sorted ranked lists `L_i` consumed by `RankJoinCT`.
+//!
+//! `TopKCT` (Section 6.2) deliberately does *not* require its input domains to
+//! be sorted — it takes a heap per attribute, "able to pop up the top value in
+//! `O(log |Hi|)` time, and can be pre-constructed in linear time".  This module
+//! provides exactly that: a binary max-heap over `(score, item)` pairs built
+//! with Floyd's linear-time heapify, plus a [`RankedList`] that materializes
+//! the fully sorted order (what `RankJoinCT` assumes to be given).
+
+use std::cmp::Ordering;
+
+/// An entry of a scored heap: an item with an `f64` score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored<T> {
+    /// The score (higher pops first).
+    pub score: f64,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> Scored<T> {
+    /// Convenience constructor.
+    pub fn new(score: f64, item: T) -> Self {
+        Scored { score, item }
+    }
+}
+
+/// A binary max-heap over scored items, built in linear time.
+///
+/// This is the `H_i` of algorithm `TopKCT`: it supports `pop` of the current
+/// best value in `O(log n)` and counts how many pops have been performed —
+/// the cost metric of the instance-optimality claim (Proposition 7).
+#[derive(Debug, Clone, Default)]
+pub struct ScoredHeap<T> {
+    entries: Vec<Scored<T>>,
+    pops: usize,
+}
+
+impl<T> ScoredHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        ScoredHeap {
+            entries: Vec::new(),
+            pops: 0,
+        }
+    }
+
+    /// Build a heap from arbitrary scored items in `O(n)` (Floyd heapify).
+    pub fn heapify(entries: Vec<Scored<T>>) -> Self {
+        let mut heap = ScoredHeap { entries, pops: 0 };
+        let n = heap.entries.len();
+        for i in (0..n / 2).rev() {
+            heap.sift_down(i);
+        }
+        heap
+    }
+
+    /// Number of items remaining.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no items remain.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of `pop` calls performed so far (the instance-optimality metric).
+    pub fn pop_count(&self) -> usize {
+        self.pops
+    }
+
+    /// The current best entry without removing it.
+    pub fn peek(&self) -> Option<&Scored<T>> {
+        self.entries.first()
+    }
+
+    /// Insert an item in `O(log n)`.
+    pub fn push(&mut self, score: f64, item: T) {
+        self.entries.push(Scored::new(score, item));
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// Remove and return the highest-scored entry.
+    pub fn pop(&mut self) -> Option<Scored<T>> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        self.pops += 1;
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let top = self.entries.pop();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    fn cmp(a: &Scored<T>, b: &Scored<T>) -> Ordering {
+        a.score.total_cmp(&b.score)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::cmp(&self.entries[i], &self.entries[parent]) == Ordering::Greater {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < n && Self::cmp(&self.entries[l], &self.entries[best]) == Ordering::Greater {
+                best = l;
+            }
+            if r < n && Self::cmp(&self.entries[r], &self.entries[best]) == Ordering::Greater {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.entries.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+impl<T> FromIterator<(f64, T)> for ScoredHeap<T> {
+    fn from_iter<I: IntoIterator<Item = (f64, T)>>(iter: I) -> Self {
+        ScoredHeap::heapify(iter.into_iter().map(|(s, t)| Scored::new(s, t)).collect())
+    }
+}
+
+/// A fully sorted (descending-score) list of scored items with cursor access —
+/// the ranked lists `L_1..L_m` assumed as input by `RankJoinCT` (Section 6.1).
+#[derive(Debug, Clone)]
+pub struct RankedList<T> {
+    entries: Vec<Scored<T>>,
+    cursor: usize,
+}
+
+impl<T> RankedList<T> {
+    /// Sort the given items by descending score (stable w.r.t. input order for
+    /// equal scores, so deterministic across runs).
+    pub fn from_scored(mut entries: Vec<Scored<T>>) -> Self {
+        entries.sort_by(|a, b| b.score.total_cmp(&a.score));
+        RankedList { entries, cursor: 0 }
+    }
+
+    /// Total number of entries (seen and unseen).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the list has no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries already consumed via [`RankedList::next_entry`].
+    pub fn seen(&self) -> usize {
+        self.cursor
+    }
+
+    /// Entry at rank `i` (0-based), regardless of the cursor.
+    pub fn get(&self, i: usize) -> Option<&Scored<T>> {
+        self.entries.get(i)
+    }
+
+    /// The score of the next unseen entry — the "upper bound" used by rank-join
+    /// threshold computations; `None` when exhausted.
+    pub fn next_score(&self) -> Option<f64> {
+        self.entries.get(self.cursor).map(|e| e.score)
+    }
+
+    /// Advance the cursor and return the next unseen entry.
+    pub fn next_entry(&mut self) -> Option<&Scored<T>> {
+        let entry = self.entries.get(self.cursor);
+        if entry.is_some() {
+            self.cursor += 1;
+        }
+        entry
+    }
+
+    /// Reset the cursor to the start.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+impl<T> FromIterator<(f64, T)> for RankedList<T> {
+    fn from_iter<I: IntoIterator<Item = (f64, T)>>(iter: I) -> Self {
+        RankedList::from_scored(iter.into_iter().map(|(s, t)| Scored::new(s, t)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heapify_then_pop_is_sorted() {
+        let heap: ScoredHeap<&str> = [(1.0, "a"), (3.0, "c"), (2.0, "b"), (5.0, "e")]
+            .into_iter()
+            .collect();
+        assert_eq!(heap.len(), 4);
+        let mut heap = heap;
+        let order: Vec<&str> = std::iter::from_fn(|| heap.pop().map(|s| s.item)).collect();
+        assert_eq!(order, vec!["e", "c", "b", "a"]);
+        assert_eq!(heap.pop_count(), 4);
+    }
+
+    #[test]
+    fn push_and_peek() {
+        let mut heap = ScoredHeap::new();
+        assert!(heap.is_empty());
+        heap.push(1.0, 'x');
+        heap.push(4.0, 'y');
+        heap.push(2.0, 'z');
+        assert_eq!(heap.peek().unwrap().item, 'y');
+        assert_eq!(heap.pop().unwrap().item, 'y');
+        assert_eq!(heap.peek().unwrap().item, 'z');
+        assert_eq!(heap.len(), 2);
+    }
+
+    #[test]
+    fn ranked_list_cursor_and_bounds() {
+        let mut list: RankedList<&str> = [(2.0, "b"), (9.0, "a"), (4.0, "c")]
+            .into_iter()
+            .collect();
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.next_score(), Some(9.0));
+        assert_eq!(list.next_entry().unwrap().item, "a");
+        assert_eq!(list.seen(), 1);
+        assert_eq!(list.next_score(), Some(4.0));
+        assert_eq!(list.get(2).unwrap().item, "b");
+        assert_eq!(list.next_entry().unwrap().item, "c");
+        assert_eq!(list.next_entry().unwrap().item, "b");
+        assert_eq!(list.next_entry().map(|e| e.item), None);
+        assert_eq!(list.next_score(), None);
+        list.rewind();
+        assert_eq!(list.seen(), 0);
+        assert_eq!(list.next_score(), Some(9.0));
+    }
+
+    #[test]
+    fn ties_are_stable_in_ranked_list() {
+        let list: RankedList<u32> = [(1.0, 10), (1.0, 20), (1.0, 30)].into_iter().collect();
+        let items: Vec<u32> = (0..3).map(|i| list.get(i).unwrap().item).collect();
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: both heap implementations must behave exactly like a sorted
+//! sequence of their inputs.
+
+use proptest::prelude::*;
+use relacc_heap::{PairingHeap, RankedList, ScoredHeap};
+
+proptest! {
+    /// PairingHeap pops every pushed key in non-increasing order.
+    #[test]
+    fn pairing_heap_sorts(keys in prop::collection::vec(-1000i64..1000, 0..200)) {
+        let mut heap = PairingHeap::new();
+        for (i, k) in keys.iter().enumerate() {
+            heap.push(*k, i);
+        }
+        prop_assert_eq!(heap.len(), keys.len());
+        let mut got: Vec<i64> = Vec::new();
+        let mut h = heap;
+        while let Some((k, _)) = h.pop() {
+            got.push(k);
+        }
+        let mut want = keys.clone();
+        want.sort_by(|a, b| b.cmp(a));
+        prop_assert_eq!(got, want);
+    }
+
+    /// Melding two heaps pops the multiset union in order.
+    #[test]
+    fn pairing_heap_meld(a in prop::collection::vec(-100i64..100, 0..50),
+                         b in prop::collection::vec(-100i64..100, 0..50)) {
+        let mut ha: PairingHeap<i64, ()> = a.iter().map(|&k| (k, ())).collect();
+        let hb: PairingHeap<i64, ()> = b.iter().map(|&k| (k, ())).collect();
+        ha.meld(hb);
+        let got: Vec<i64> = ha.into_sorted_vec().into_iter().map(|(k, _)| k).collect();
+        let mut want = a.clone();
+        want.extend_from_slice(&b);
+        want.sort_by(|x, y| y.cmp(x));
+        prop_assert_eq!(got, want);
+    }
+
+    /// ScoredHeap (linear heapify) pops scores in non-increasing order and its
+    /// pop counter matches the number of pops.
+    #[test]
+    fn scored_heap_sorts(scores in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let mut heap: ScoredHeap<usize> =
+            scores.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut got = Vec::new();
+        while let Some(entry) = heap.pop() {
+            got.push(entry.score);
+        }
+        prop_assert_eq!(heap.pop_count(), scores.len());
+        let mut want = scores.clone();
+        want.sort_by(|a, b| b.total_cmp(a));
+        prop_assert_eq!(got, want);
+    }
+
+    /// RankedList agrees with ScoredHeap on the order of scores.
+    #[test]
+    fn ranked_list_matches_heap(scores in prop::collection::vec(-1e3f64..1e3, 0..100)) {
+        let list: RankedList<usize> = scores.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut heap: ScoredHeap<usize> = scores.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for rank in 0..list.len() {
+            let from_list = list.get(rank).unwrap().score;
+            let from_heap = heap.pop().unwrap().score;
+            prop_assert_eq!(from_list, from_heap);
+        }
+        prop_assert!(heap.is_empty());
+    }
+
+    /// Interleaved push/pop keeps the max-heap property: every pop returns the
+    /// maximum of what is currently inside.
+    #[test]
+    fn interleaved_operations(ops in prop::collection::vec((any::<bool>(), -500i64..500), 0..200)) {
+        let mut heap = PairingHeap::new();
+        let mut reference: Vec<i64> = Vec::new();
+        for (is_push, key) in ops {
+            if is_push || reference.is_empty() {
+                heap.push(key, ());
+                reference.push(key);
+            } else {
+                let (popped, _) = heap.pop().unwrap();
+                let max = *reference.iter().max().unwrap();
+                prop_assert_eq!(popped, max);
+                let idx = reference.iter().position(|&x| x == max).unwrap();
+                reference.swap_remove(idx);
+            }
+            prop_assert_eq!(heap.len(), reference.len());
+        }
+    }
+}

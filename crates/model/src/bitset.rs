@@ -1,0 +1,189 @@
+//! A small fixed-capacity bit set used for the reachability matrices of the
+//! accuracy orders.
+//!
+//! The orders operate on *value equivalence classes* (see [`crate::orders`]),
+//! whose count per attribute is the number of distinct values — typically tiny
+//! — so a dense `u64`-word bit set beats hash sets both in memory and in the
+//! transitive-closure inner loops.
+
+/// A growable, dense bit set over `usize` indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bit set with capacity for `len` bits.
+    pub fn with_capacity(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Grow the capacity to at least `len` bits (never shrinks).
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(64), 0);
+        }
+    }
+
+    /// Set bit `i`, returning `true` if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of capacity {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Clear bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Test bit `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bitwise-or `other` into `self`; both must have the same capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// True if every bit of `self` is also set in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over the indices of set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Remove all bits.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let max = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut bs = BitSet::with_capacity(max);
+        for i in items {
+            bs.insert(i);
+        }
+        bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bs = BitSet::with_capacity(130);
+        assert!(bs.insert(0));
+        assert!(bs.insert(64));
+        assert!(bs.insert(129));
+        assert!(!bs.insert(64));
+        assert!(bs.contains(0) && bs.contains(64) && bs.contains(129));
+        assert!(!bs.contains(1));
+        assert!(!bs.contains(500));
+        assert_eq!(bs.count(), 3);
+        bs.remove(64);
+        assert!(!bs.contains(64));
+        assert_eq!(bs.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        let mut bs = BitSet::with_capacity(8);
+        bs.insert(8);
+    }
+
+    #[test]
+    fn grow_preserves_bits() {
+        let mut bs = BitSet::with_capacity(4);
+        bs.insert(3);
+        bs.grow(200);
+        assert!(bs.contains(3));
+        assert!(bs.insert(199));
+        assert_eq!(bs.capacity(), 200);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitSet::with_capacity(100);
+        let mut b = BitSet::with_capacity(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        assert!(!a.is_subset(&b));
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(70) && a.contains(99));
+        assert!(b.is_subset(&a));
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let bs: BitSet = [5usize, 1, 64, 63].into_iter().collect();
+        let got: Vec<usize> = bs.iter().collect();
+        assert_eq!(got, vec![1, 5, 63, 64]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut bs: BitSet = [3usize, 9].into_iter().collect();
+        assert!(!bs.is_empty());
+        bs.clear();
+        assert!(bs.is_empty());
+        assert_eq!(bs.iter().count(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # relacc-model
+//!
+//! Data model shared by every crate of the `relacc` workspace, which reproduces
+//! *"Determining the Relative Accuracy of Attributes"* (Cao, Fan, Yu —
+//! SIGMOD 2013).
+//!
+//! The model provides:
+//!
+//! * [`Value`] / [`DataType`] — typed attribute values with the comparison
+//!   semantics used by accuracy-rule predicates (`=, !=, <, <=, >, >=`) and an
+//!   explicit null;
+//! * [`Schema`] / [`AttrId`] — relation schemas addressing attributes by index;
+//! * [`EntityInstance`] (`Ie`), [`MasterRelation`] (`Im`) and [`TargetTuple`]
+//!   (`te`) — the three relations a specification `S = (D0, Σ, Im, te)` is
+//!   built from;
+//! * [`AccuracyOrders`] / [`AttrOrder`] — the per-attribute accuracy partial
+//!   orders `⪯_A` populated by the chase, stored over value equivalence
+//!   classes with transitive closure and conflict detection;
+//! * [`BitSet`] — the dense bit set backing the reachability matrices.
+//!
+//! The paper-specific inference machinery (accuracy rules, the chase, IsCR,
+//! top-k candidate targets) lives in `relacc-core` and `relacc-topk`; this
+//! crate is deliberately free of any rule or algorithm logic so that the
+//! substrates (`relacc-store`, `relacc-datagen`, `relacc-fusion`) can reuse it
+//! without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod orders;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use bitset::BitSet;
+pub use orders::{AccuracyOrders, AttrOrder, ClassId, OrderInsert};
+pub use schema::{AttrId, Attribute, Schema, SchemaBuilder, SchemaError, SchemaRef};
+pub use tuple::{EntityInstance, MasterRelation, TargetTuple, Tuple, TupleId};
+pub use value::{CmpOp, DataType, Value, ValueParseError};

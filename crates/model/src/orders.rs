@@ -1,0 +1,514 @@
+//! Accuracy partial orders `⪯_A` / `≺_A` over an entity instance.
+//!
+//! Section 2.1 of the paper defines, for every attribute `A`, a strict partial
+//! order `≺_A` over the `A`-values of the tuples in `Ie`, together with its
+//! reflexive companion `⪯_A` (`t1 ⪯_A t2` iff `t1[A] = t2[A]` or `t1 ≺_A t2`).
+//! The chase only ever *adds* pairs, and a chase step is valid only if the
+//! relation stays antisymmetric up to value equality: `t1 ⪯ t2 ⪯ t1` is allowed
+//! only when `t1[A] = t2[A]`.
+//!
+//! # Representation
+//!
+//! Because `t1 ⪯_A t2` is determined by the *values* `t1[A]` and `t2[A]`
+//! (axiom ϕ9 forces equal values to be mutually `⪯`, and the validity condition
+//! forbids cycles over distinct values), the order is stored over **value
+//! equivalence classes**: tuples of an attribute are grouped by value, and the
+//! order is a strict partial order over those classes, kept transitively closed
+//! with dense bit sets.  This makes ϕ9 hold by construction, keeps insertions
+//! cheap, and the induced tuple-level relation is exactly the paper's.
+
+use crate::bitset::BitSet;
+use crate::schema::AttrId;
+use crate::tuple::{EntityInstance, TupleId};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a value equivalence class within one attribute's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+impl ClassId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Outcome of inserting a `⪯` pair into an attribute order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderInsert {
+    /// The pair (or its class-level equivalent) was already present — the chase
+    /// step is a no-op.
+    NoChange,
+    /// The pair was added; the vector lists every *newly related* class pair
+    /// `(lower, upper)` produced by the transitive closure, which the chase
+    /// index uses to wake up ground steps.
+    Added(Vec<(ClassId, ClassId)>),
+    /// Adding the pair would relate two classes with *different* values in both
+    /// directions — the chase step is invalid (condition (a) of Section 2.2).
+    Conflict,
+}
+
+impl OrderInsert {
+    /// True for [`OrderInsert::Conflict`].
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, OrderInsert::Conflict)
+    }
+}
+
+/// The accuracy order of a single attribute.
+#[derive(Debug, Clone)]
+pub struct AttrOrder {
+    attr: AttrId,
+    /// Representative value of every class (class 0.. in first-seen order).
+    class_values: Vec<Value>,
+    /// Members of every class.
+    class_members: Vec<Vec<TupleId>>,
+    /// `class_of[t]` is the class of tuple `t`.
+    class_of: Vec<usize>,
+    /// The class holding the null value, if any tuple has a null `A`-value.
+    null_class: Option<usize>,
+    /// `succ[c]` = classes `d ≠ c` with `c ⪯ d` (transitively closed).
+    succ: Vec<BitSet>,
+    /// `pred[c]` = classes `d ≠ c` with `d ⪯ c`.
+    pred: Vec<BitSet>,
+    /// Number of ordered class pairs (strict edges in the closure).
+    edges: usize,
+}
+
+impl AttrOrder {
+    /// Build the (initially empty) order for attribute `attr` of `ie`.
+    pub fn new(ie: &EntityInstance, attr: AttrId) -> Self {
+        let mut class_values: Vec<Value> = Vec::new();
+        let mut class_members: Vec<Vec<TupleId>> = Vec::new();
+        let mut class_of = Vec::with_capacity(ie.len());
+        let mut by_value: HashMap<Value, usize> = HashMap::new();
+        let mut null_class = None;
+
+        for (tid, tuple) in ie.iter() {
+            let v = tuple.value(attr);
+            let class = if v.is_null() {
+                *null_class.get_or_insert_with(|| {
+                    class_values.push(Value::Null);
+                    class_members.push(Vec::new());
+                    class_values.len() - 1
+                })
+            } else {
+                *by_value.entry(v.clone()).or_insert_with(|| {
+                    class_values.push(v.clone());
+                    class_members.push(Vec::new());
+                    class_values.len() - 1
+                })
+            };
+            class_members[class].push(tid);
+            class_of.push(class);
+        }
+
+        let n = class_values.len();
+        AttrOrder {
+            attr,
+            class_values,
+            class_members,
+            class_of,
+            null_class,
+            succ: vec![BitSet::with_capacity(n); n],
+            pred: vec![BitSet::with_capacity(n); n],
+            edges: 0,
+        }
+    }
+
+    /// The attribute this order belongs to.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Number of value equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_values.len()
+    }
+
+    /// Number of strict ordered class pairs currently in the closure.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// The class of tuple `t`.
+    pub fn class_of(&self, t: TupleId) -> ClassId {
+        ClassId(self.class_of[t.0])
+    }
+
+    /// The representative value of class `c`.
+    pub fn class_value(&self, c: ClassId) -> &Value {
+        &self.class_values[c.0]
+    }
+
+    /// The tuples whose value falls in class `c`.
+    pub fn class_members(&self, c: ClassId) -> &[TupleId] {
+        &self.class_members[c.0]
+    }
+
+    /// The class holding null values, if present.
+    pub fn null_class(&self) -> Option<ClassId> {
+        self.null_class.map(ClassId)
+    }
+
+    /// The class whose value is `v` (using value equality), if any.
+    pub fn class_of_value(&self, v: &Value) -> Option<ClassId> {
+        if v.is_null() {
+            return self.null_class.map(ClassId);
+        }
+        self.class_values
+            .iter()
+            .position(|cv| cv.same(v))
+            .map(ClassId)
+    }
+
+    /// Does `a ⪯ b` hold at class level?  (Reflexive: `a ⪯ a` always holds.)
+    pub fn class_le(&self, a: ClassId, b: ClassId) -> bool {
+        a == b || self.succ[a.0].contains(b.0)
+    }
+
+    /// Does `t1 ⪯_A t2` hold?
+    pub fn holds_le(&self, t1: TupleId, t2: TupleId) -> bool {
+        self.class_le(self.class_of(t1), self.class_of(t2))
+    }
+
+    /// Does `t1 ≺_A t2` hold (i.e. `⪯` over *different* values)?
+    pub fn holds_lt(&self, t1: TupleId, t2: TupleId) -> bool {
+        let (a, b) = (self.class_of(t1), self.class_of(t2));
+        a != b && self.succ[a.0].contains(b.0)
+    }
+
+    /// Insert `t1 ⪯_A t2`.
+    pub fn insert_le(&mut self, t1: TupleId, t2: TupleId) -> OrderInsert {
+        self.insert_class_le(self.class_of(t1), self.class_of(t2))
+    }
+
+    /// Insert `a ⪯ b` between classes, maintaining the transitive closure.
+    ///
+    /// Returns the list of newly related class pairs (including `(a, b)`
+    /// itself), [`OrderInsert::NoChange`] if nothing changed, or
+    /// [`OrderInsert::Conflict`] if `b ⪯ a` already holds for distinct classes.
+    pub fn insert_class_le(&mut self, a: ClassId, b: ClassId) -> OrderInsert {
+        if a == b {
+            return OrderInsert::NoChange;
+        }
+        if self.succ[b.0].contains(a.0) {
+            return OrderInsert::Conflict;
+        }
+        if self.succ[a.0].contains(b.0) {
+            return OrderInsert::NoChange;
+        }
+        // All lowers of a (plus a) become ⪯ all uppers of b (plus b).
+        let mut lowers: Vec<usize> = self.pred[a.0].iter().collect();
+        lowers.push(a.0);
+        let mut uppers: Vec<usize> = self.succ[b.0].iter().collect();
+        uppers.push(b.0);
+
+        let mut added = Vec::new();
+        for &x in &lowers {
+            for &y in &uppers {
+                if x != y && self.succ[x].insert(y) {
+                    self.pred[y].insert(x);
+                    self.edges += 1;
+                    added.push((ClassId(x), ClassId(y)));
+                }
+            }
+        }
+        debug_assert!(!added.is_empty());
+        OrderInsert::Added(added)
+    }
+
+    /// Would inserting `a ⪯ b` be a conflict?  (Read-only validity probe used
+    /// by the Church-Rosser check.)
+    pub fn would_conflict(&self, a: ClassId, b: ClassId) -> bool {
+        a != b && self.succ[b.0].contains(a.0)
+    }
+
+    /// The λ function of Section 2.2: the value of a class `c` such that every
+    /// tuple of `Ie` is `⪯` it, if such a class exists.
+    ///
+    /// With the class representation this means every *other* class must be a
+    /// predecessor of `c`.
+    pub fn greatest(&self) -> Option<(ClassId, &Value)> {
+        let n = self.num_classes();
+        if n == 0 {
+            return None;
+        }
+        if n == 1 {
+            // A single class: every tuple has the same value; it is trivially
+            // the most accurate one (but a null-only column has no value).
+            return if self.class_values[0].is_null() {
+                None
+            } else {
+                Some((ClassId(0), &self.class_values[0]))
+            };
+        }
+        (0..n).find_map(|c| {
+            if self.pred[c].count() == n - 1 && !self.class_values[c].is_null() {
+                Some((ClassId(c), &self.class_values[c]))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Every ordered pair of *distinct* tuples `(t1, t2)` with `t1 ⪯_A t2`.
+    ///
+    /// Quadratic in `|Ie|`; intended for tests, debugging and display of small
+    /// instances (like the paper's running example), not for the hot path.
+    pub fn related_tuple_pairs(&self) -> Vec<(TupleId, TupleId)> {
+        let mut pairs = Vec::new();
+        let n = self.class_of.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.class_le(ClassId(self.class_of[i]), ClassId(self.class_of[j])) {
+                    pairs.push((TupleId(i), TupleId(j)));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Check structural invariants (transitivity, antisymmetry, symmetric
+    /// pred/succ).  Used by property tests; `debug_assert`-style cost.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_classes();
+        for a in 0..n {
+            if self.succ[a].contains(a) {
+                return Err(format!("class {a} is a strict successor of itself"));
+            }
+            for b in self.succ[a].iter() {
+                if !self.pred[b].contains(a) {
+                    return Err(format!("succ/pred mismatch for ({a},{b})"));
+                }
+                if self.succ[b].contains(a) {
+                    return Err(format!("antisymmetry violated for ({a},{b})"));
+                }
+                // transitivity: succ[b] ⊆ succ[a]
+                if !self.succ[b].is_subset(&self.succ[a]) {
+                    return Err(format!("transitivity violated at ({a},{b})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The accuracy orders of every attribute of an entity instance — the `D` part
+/// of an accuracy instance `(D, t_e^D)`.
+#[derive(Debug, Clone)]
+pub struct AccuracyOrders {
+    orders: Vec<AttrOrder>,
+}
+
+impl AccuracyOrders {
+    /// Build empty orders (`≺_{A_i} = ∅` for every attribute) for `ie`.
+    pub fn new(ie: &EntityInstance) -> Self {
+        let orders = ie
+            .schema()
+            .attr_ids()
+            .map(|a| AttrOrder::new(ie, a))
+            .collect();
+        AccuracyOrders { orders }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The order of attribute `a`.
+    pub fn attr(&self, a: AttrId) -> &AttrOrder {
+        &self.orders[a.0]
+    }
+
+    /// Mutable access to the order of attribute `a`.
+    pub fn attr_mut(&mut self, a: AttrId) -> &mut AttrOrder {
+        &mut self.orders[a.0]
+    }
+
+    /// Iterate over all attribute orders.
+    pub fn iter(&self) -> impl Iterator<Item = &AttrOrder> {
+        self.orders.iter()
+    }
+
+    /// Total number of strict class pairs across all attributes.
+    pub fn total_edges(&self) -> usize {
+        self.orders.iter().map(AttrOrder::edge_count).sum()
+    }
+
+    /// Does `t1 ⪯_a t2` hold?
+    pub fn holds_le(&self, a: AttrId, t1: TupleId, t2: TupleId) -> bool {
+        self.orders[a.0].holds_le(t1, t2)
+    }
+
+    /// Does `t1 ≺_a t2` hold?
+    pub fn holds_lt(&self, a: AttrId, t1: TupleId, t2: TupleId) -> bool {
+        self.orders[a.0].holds_lt(t1, t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn instance() -> EntityInstance {
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Text)
+            .build();
+        EntityInstance::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(16), Value::text("x")],
+                vec![Value::Int(27), Value::text("y")],
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Null, Value::text("z")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classes_group_equal_values() {
+        let ie = instance();
+        let ord = AttrOrder::new(&ie, AttrId(1));
+        assert_eq!(ord.num_classes(), 3);
+        assert_eq!(ord.class_of(TupleId(0)), ord.class_of(TupleId(2)));
+        assert_ne!(ord.class_of(TupleId(0)), ord.class_of(TupleId(1)));
+        // equal values are mutually ⪯ by construction (axiom ϕ9)
+        assert!(ord.holds_le(TupleId(0), TupleId(2)));
+        assert!(ord.holds_le(TupleId(2), TupleId(0)));
+        assert!(!ord.holds_lt(TupleId(0), TupleId(2)));
+    }
+
+    #[test]
+    fn null_values_share_a_class() {
+        let ie = instance();
+        let ord = AttrOrder::new(&ie, AttrId(0));
+        assert_eq!(ord.num_classes(), 4);
+        let nc = ord.null_class().unwrap();
+        assert_eq!(ord.class_of(TupleId(3)), nc);
+        assert!(ord.class_value(nc).is_null());
+        assert_eq!(ord.class_of_value(&Value::Null), Some(nc));
+        assert_eq!(
+            ord.class_of_value(&Value::Int(27)),
+            Some(ord.class_of(TupleId(1)))
+        );
+        assert_eq!(ord.class_of_value(&Value::Int(999)), None);
+    }
+
+    #[test]
+    fn insert_and_transitive_closure() {
+        let ie = instance();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        // t3(a=1) ⪯ t1(a=16) ⪯ t2(a=27)
+        assert!(matches!(
+            ord.insert_le(TupleId(2), TupleId(0)),
+            OrderInsert::Added(_)
+        ));
+        match ord.insert_le(TupleId(0), TupleId(1)) {
+            OrderInsert::Added(pairs) => {
+                // closure must add 1⪯27 as well as 16⪯27
+                assert_eq!(pairs.len(), 2);
+            }
+            other => panic!("expected Added, got {other:?}"),
+        }
+        assert!(ord.holds_lt(TupleId(2), TupleId(1)));
+        assert_eq!(ord.insert_le(TupleId(2), TupleId(1)), OrderInsert::NoChange);
+        ord.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conflicting_insert_detected() {
+        let ie = instance();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        assert!(matches!(
+            ord.insert_le(TupleId(0), TupleId(1)),
+            OrderInsert::Added(_)
+        ));
+        // the reverse over different values is a conflict
+        assert_eq!(ord.insert_le(TupleId(1), TupleId(0)), OrderInsert::Conflict);
+        let (a, b) = (ord.class_of(TupleId(1)), ord.class_of(TupleId(0)));
+        assert!(ord.would_conflict(a, b));
+        ord.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn indirect_cycle_detected_via_closure() {
+        let ie = instance();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        ord.insert_le(TupleId(2), TupleId(0)); // 1 ⪯ 16
+        ord.insert_le(TupleId(0), TupleId(1)); // 16 ⪯ 27 (so 1 ⪯ 27)
+        assert_eq!(ord.insert_le(TupleId(1), TupleId(2)), OrderInsert::Conflict);
+    }
+
+    #[test]
+    fn greatest_requires_domination_of_all_classes() {
+        let ie = instance();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        assert_eq!(ord.greatest(), None);
+        ord.insert_le(TupleId(2), TupleId(1));
+        ord.insert_le(TupleId(0), TupleId(1));
+        // null class not yet below 27 → no greatest element
+        assert_eq!(ord.greatest(), None);
+        ord.insert_le(TupleId(3), TupleId(1));
+        let (_, v) = ord.greatest().expect("27 dominates all");
+        assert_eq!(v, &Value::Int(27));
+    }
+
+    #[test]
+    fn greatest_of_single_class_column() {
+        let schema = Schema::builder("r").attr("a", DataType::Int).build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![vec![Value::Int(5)], vec![Value::Int(5)]],
+        )
+        .unwrap();
+        let ord = AttrOrder::new(&ie, AttrId(0));
+        assert_eq!(ord.greatest().unwrap().1, &Value::Int(5));
+
+        let all_null =
+            EntityInstance::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]]).unwrap();
+        let ord = AttrOrder::new(&all_null, AttrId(0));
+        assert_eq!(ord.greatest(), None);
+    }
+
+    #[test]
+    fn related_tuple_pairs_reflect_classes() {
+        let ie = instance();
+        let mut ord = AttrOrder::new(&ie, AttrId(1));
+        // class(x) ⪯ class(y): t1,t3 ⪯ t2
+        ord.insert_le(TupleId(0), TupleId(1));
+        let pairs = ord.related_tuple_pairs();
+        assert!(pairs.contains(&(TupleId(0), TupleId(1))));
+        assert!(pairs.contains(&(TupleId(2), TupleId(1))));
+        // same-class pairs both ways
+        assert!(pairs.contains(&(TupleId(0), TupleId(2))));
+        assert!(pairs.contains(&(TupleId(2), TupleId(0))));
+        assert!(!pairs.contains(&(TupleId(1), TupleId(0))));
+    }
+
+    #[test]
+    fn accuracy_orders_wrapper() {
+        let ie = instance();
+        let mut orders = AccuracyOrders::new(&ie);
+        assert_eq!(orders.arity(), 2);
+        assert_eq!(orders.total_edges(), 0);
+        orders.attr_mut(AttrId(0)).insert_le(TupleId(0), TupleId(1));
+        assert!(orders.holds_lt(AttrId(0), TupleId(0), TupleId(1)));
+        assert!(!orders.holds_lt(AttrId(1), TupleId(0), TupleId(1)));
+        assert!(orders.total_edges() >= 1);
+        assert_eq!(orders.iter().count(), 2);
+    }
+}

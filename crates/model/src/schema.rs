@@ -1,0 +1,331 @@
+//! Relation schemas and attribute identifiers.
+//!
+//! A schema `R = (A1, ..., An)` names the attributes of an entity instance or
+//! master relation and fixes their [`DataType`]s.  Attributes are addressed by
+//! [`AttrId`] (their position) throughout the crate stack: this keeps the hot
+//! inference loops free of string hashing.
+
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A named, typed attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (unique within its schema).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A relation schema: an ordered list of named, typed attributes.
+///
+/// Schemas are cheap to clone (`Arc` them via [`SchemaRef`]) and are shared by
+/// entity instances, master relations, target tuples and rule sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, usize>,
+}
+
+/// Shared handle to a schema.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name; schemas are almost always
+    /// constructed from literals or generators, so this is a programming error.
+    pub fn new(name: impl Into<String>, attrs: Vec<Attribute>) -> Self {
+        let mut by_name = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            let prev = by_name.insert(a.name.clone(), i);
+            assert!(prev.is_none(), "duplicate attribute name {:?}", a.name);
+        }
+        Schema {
+            name: name.into(),
+            attributes: attrs,
+            by_name,
+        }
+    }
+
+    /// Builder-style constructor used heavily in tests and generators.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Iterate over `(AttrId, &Attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// All attribute ids, in order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + 'static {
+        (0..self.attributes.len()).map(AttrId)
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied().map(AttrId)
+    }
+
+    /// Look up an attribute by name, panicking with a helpful message if it is
+    /// missing.  Used where the attribute is statically known to exist (tests,
+    /// generators, the paper's running example).
+    pub fn expect_attr(&self, name: &str) -> AttrId {
+        self.attr_id(name)
+            .unwrap_or_else(|| panic!("schema {:?} has no attribute {:?}", self.name, name))
+    }
+
+    /// The attribute metadata for `id`.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.0]
+    }
+
+    /// The name of attribute `id`.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attributes[id.0].name
+    }
+
+    /// The declared type of attribute `id`.
+    pub fn attr_type(&self, id: AttrId) -> DataType {
+        self.attributes[id.0].ty
+    }
+
+    /// Check that a row of values conforms to the schema (arity and types).
+    pub fn validate_row(&self, row: &[Value]) -> Result<(), SchemaError> {
+        if row.len() != self.arity() {
+            return Err(SchemaError::ArityMismatch {
+                schema: self.name.clone(),
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            let ty = self.attributes[i].ty;
+            if !v.conforms_to(ty) {
+                return Err(SchemaError::TypeMismatch {
+                    schema: self.name.clone(),
+                    attribute: self.attributes[i].name.clone(),
+                    expected: ty,
+                    got: v.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Incremental schema construction.
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    attrs: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Append an attribute.
+    pub fn attr(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.attrs.push(Attribute::new(name, ty));
+        self
+    }
+
+    /// Append many text attributes at once (common in the generated datasets).
+    pub fn text_attrs<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            self.attrs.push(Attribute::new(n, DataType::Text));
+        }
+        self
+    }
+
+    /// Finish, producing a shared schema handle.
+    pub fn build(self) -> SchemaRef {
+        Arc::new(Schema::new(self.name, self.attrs))
+    }
+}
+
+/// Errors raised when rows do not conform to a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// The row has the wrong number of values.
+    ArityMismatch {
+        /// Schema name.
+        schema: String,
+        /// Declared arity.
+        expected: usize,
+        /// Row length.
+        got: usize,
+    },
+    /// A value does not conform to its attribute's declared type.
+    TypeMismatch {
+        /// Schema name.
+        schema: String,
+        /// Attribute name.
+        attribute: String,
+        /// Declared type.
+        expected: DataType,
+        /// Offending value.
+        got: Value,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::ArityMismatch {
+                schema,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {schema}: expected {expected} values per row, got {got}"
+            ),
+            SchemaError::TypeMismatch {
+                schema,
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {schema}: attribute {attribute} expects {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("FN", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("totalPts", DataType::Int)
+            .build()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_id("rnds"), Some(AttrId(1)));
+        assert_eq!(s.attr_id("nope"), None);
+        assert_eq!(s.attr_name(AttrId(0)), "FN");
+        assert_eq!(s.attr_type(AttrId(2)), DataType::Int);
+        assert_eq!(s.expect_attr("totalPts"), AttrId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_panic() {
+        let _ = Schema::new(
+            "r",
+            vec![
+                Attribute::new("a", DataType::Int),
+                Attribute::new("a", DataType::Text),
+            ],
+        );
+    }
+
+    #[test]
+    fn validate_rows() {
+        let s = sample();
+        assert!(s
+            .validate_row(&[Value::text("MJ"), Value::Int(16), Value::Int(424)])
+            .is_ok());
+        assert!(s
+            .validate_row(&[Value::Null, Value::Null, Value::Null])
+            .is_ok());
+        let err = s
+            .validate_row(&[Value::text("MJ"), Value::text("x"), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::TypeMismatch { .. }));
+        let err = s.validate_row(&[Value::Null]).unwrap_err();
+        assert!(matches!(err, SchemaError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample();
+        assert_eq!(s.to_string(), "stat(FN: text, rnds: int, totalPts: int)");
+        assert_eq!(AttrId(3).to_string(), "A3");
+    }
+
+    #[test]
+    fn builder_text_attrs() {
+        let s = Schema::builder("r").text_attrs(["a", "b"]).build();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr_type(AttrId(1)), DataType::Text);
+    }
+}

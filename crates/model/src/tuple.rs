@@ -1,0 +1,465 @@
+//! Tuples, entity instances, master relations and target tuples.
+//!
+//! An *entity instance* `Ie` is the set of tuples referring to the same
+//! real-world entity (already grouped by entity resolution, Section 2.1).  A
+//! *master relation* `Im` holds curated, trusted tuples over a possibly
+//! different schema `Rm`.  The *target tuple* `te` starts as all-null and is
+//! instantiated attribute by attribute during the chase.
+
+use crate::schema::{AttrId, SchemaError, SchemaRef};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a tuple within an [`EntityInstance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub usize);
+
+impl TupleId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0 + 1)
+    }
+}
+
+/// A tuple: one row of values conforming to a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from raw values (validated by the owning relation).
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// The value of attribute `a`.
+    pub fn value(&self, a: AttrId) -> &Value {
+        &self.values[a.0]
+    }
+
+    /// All values in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access used by noise injectors in `relacc-datagen`.
+    pub fn set(&mut self, a: AttrId, v: Value) {
+        self.values[a.0] = v;
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if every value is null.
+    pub fn is_all_null(&self) -> bool {
+        self.values.iter().all(Value::is_null)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// The set of tuples `Ie` pertaining to a single entity `e`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityInstance {
+    schema: SchemaRef,
+    tuples: Vec<Tuple>,
+}
+
+impl EntityInstance {
+    /// Create an empty instance over `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        EntityInstance {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Create an instance from rows, validating every row against the schema.
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Vec<Value>>) -> Result<Self, SchemaError> {
+        let mut ie = EntityInstance::new(schema);
+        for row in rows {
+            ie.push_row(row)?;
+        }
+        Ok(ie)
+    }
+
+    /// The schema `R`.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of tuples `|Ie|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a validated row, returning its [`TupleId`].
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<TupleId, SchemaError> {
+        self.schema.validate_row(&row)?;
+        self.tuples.push(Tuple::new(row));
+        Ok(TupleId(self.tuples.len() - 1))
+    }
+
+    /// Append an already-built tuple, validating it.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Result<TupleId, SchemaError> {
+        self.schema.validate_row(tuple.values())?;
+        self.tuples.push(tuple);
+        Ok(TupleId(self.tuples.len() - 1))
+    }
+
+    /// The tuple with id `t`.
+    pub fn tuple(&self, t: TupleId) -> &Tuple {
+        &self.tuples[t.0]
+    }
+
+    /// Mutable tuple access (used by the interactive framework when the user
+    /// edits `Ie`).
+    pub fn tuple_mut(&mut self, t: TupleId) -> &mut Tuple {
+        &mut self.tuples[t.0]
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate `(TupleId, &Tuple)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId(i), t))
+    }
+
+    /// All tuple ids.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + 'static {
+        (0..self.tuples.len()).map(TupleId)
+    }
+
+    /// The value `t[a]`.
+    pub fn value(&self, t: TupleId, a: AttrId) -> &Value {
+        self.tuples[t.0].value(a)
+    }
+
+    /// Distinct non-null values appearing in column `a`, in first-seen order.
+    pub fn active_domain(&self, a: AttrId) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for t in &self.tuples {
+            let v = t.value(a);
+            if !v.is_null() && !seen.iter().any(|s: &Value| s.same(v)) {
+                seen.push(v.clone());
+            }
+        }
+        seen
+    }
+
+    /// Occurrence count of every distinct non-null value in column `a`.
+    ///
+    /// This is the default score `w_{A_i}(v)` of the preference model
+    /// (Section 3: "automatically derived by counting the occurrences of v in
+    /// the Ai column").
+    pub fn value_counts(&self, a: AttrId) -> HashMap<Value, usize> {
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for t in &self.tuples {
+            let v = t.value(a);
+            if !v.is_null() {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// A master relation `Im` of schema `Rm` (Section 2.1, form-(2) rules).
+///
+/// Master data is read-only during the chase; it is stored separately from
+/// entity instances because its schema usually differs from `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterRelation {
+    schema: SchemaRef,
+    tuples: Vec<Tuple>,
+}
+
+impl MasterRelation {
+    /// Create an empty master relation over `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        MasterRelation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Create a master relation from rows, validating them.
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Vec<Value>>) -> Result<Self, SchemaError> {
+        let mut im = MasterRelation::new(schema);
+        for row in rows {
+            im.push_row(row)?;
+        }
+        Ok(im)
+    }
+
+    /// The master schema `Rm`.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of master tuples `|Im|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if there is no master data (the framework still works, Exp-2).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a validated row.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<usize, SchemaError> {
+        self.schema.validate_row(&row)?;
+        self.tuples.push(Tuple::new(row));
+        Ok(self.tuples.len() - 1)
+    }
+
+    /// All master tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The master tuple at `idx`.
+    pub fn tuple(&self, idx: usize) -> &Tuple {
+        &self.tuples[idx]
+    }
+
+    /// Retain only the first `n` tuples (used by the `‖Im‖`-scaling experiments).
+    pub fn truncate(&mut self, n: usize) {
+        self.tuples.truncate(n);
+    }
+
+    /// Distinct non-null values appearing in master column `a`.
+    pub fn active_domain(&self, a: AttrId) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for t in &self.tuples {
+            let v = t.value(a);
+            if !v.is_null() && !seen.iter().any(|s: &Value| s.same(v)) {
+                seen.push(v.clone());
+            }
+        }
+        seen
+    }
+}
+
+/// The target tuple (template) `te` over schema `R`.
+///
+/// Attributes hold `Value::Null` until the chase (or the user) instantiates
+/// them; once non-null they may never change (validity condition (b) of a
+/// chase step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetTuple {
+    values: Vec<Value>,
+}
+
+impl TargetTuple {
+    /// The all-null initial template `t_e^{D_0}` for a schema of arity `n`.
+    pub fn empty(arity: usize) -> Self {
+        TargetTuple {
+            values: vec![Value::Null; arity],
+        }
+    }
+
+    /// Build a template from explicit values (used for candidate-target
+    /// verification, where the template is a complete tuple).
+    pub fn from_values(values: Vec<Value>) -> Self {
+        TargetTuple { values }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value of attribute `a`.
+    pub fn value(&self, a: AttrId) -> &Value {
+        &self.values[a.0]
+    }
+
+    /// All values in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Set attribute `a` (the caller enforces the "non-null values never
+    /// change" rule; the chase does so explicitly to detect conflicts).
+    pub fn set(&mut self, a: AttrId, v: Value) {
+        self.values[a.0] = v;
+    }
+
+    /// True if attribute `a` is still null.
+    pub fn is_null(&self, a: AttrId) -> bool {
+        self.values[a.0].is_null()
+    }
+
+    /// True if every attribute has been instantiated.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(|v| !v.is_null())
+    }
+
+    /// Ids of the attributes that are still null (the set `Z` of Section 6.1).
+    pub fn null_attrs(&self) -> Vec<AttrId> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_null())
+            .map(|(i, _)| AttrId(i))
+            .collect()
+    }
+
+    /// Number of non-null attributes.
+    pub fn filled_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_null()).count()
+    }
+
+    /// True if `self` and `other` agree on every attribute that is non-null in
+    /// `self` (i.e. `other` is a completion of `self`).
+    pub fn is_completed_by(&self, other: &TargetTuple) -> bool {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .all(|(a, b)| a.is_null() || a.same(b))
+    }
+}
+
+impl fmt::Display for TargetTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("FN", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .build()
+    }
+
+    #[test]
+    fn entity_instance_round_trip() {
+        let s = schema();
+        let mut ie = EntityInstance::new(s.clone());
+        let t0 = ie
+            .push_row(vec![Value::text("MJ"), Value::Int(16)])
+            .unwrap();
+        let t1 = ie
+            .push_row(vec![Value::text("Michael"), Value::Int(27)])
+            .unwrap();
+        assert_eq!(ie.len(), 2);
+        assert_eq!(*ie.value(t0, AttrId(1)), Value::Int(16));
+        assert_eq!(*ie.value(t1, AttrId(0)), Value::text("Michael"));
+        assert!(ie
+            .push_row(vec![Value::Int(3), Value::Int(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn active_domain_dedups_and_skips_null() {
+        let s = schema();
+        let ie = EntityInstance::from_rows(
+            s,
+            vec![
+                vec![Value::text("MJ"), Value::Int(16)],
+                vec![Value::Null, Value::Int(16)],
+                vec![Value::text("MJ"), Value::Int(27)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(ie.active_domain(AttrId(0)), vec![Value::text("MJ")]);
+        assert_eq!(
+            ie.active_domain(AttrId(1)),
+            vec![Value::Int(16), Value::Int(27)]
+        );
+        let counts = ie.value_counts(AttrId(1));
+        assert_eq!(counts[&Value::Int(16)], 2);
+        assert_eq!(counts[&Value::Int(27)], 1);
+    }
+
+    #[test]
+    fn master_relation_truncate() {
+        let s = schema();
+        let mut im = MasterRelation::from_rows(
+            s,
+            vec![
+                vec![Value::text("a"), Value::Int(1)],
+                vec![Value::text("b"), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(im.len(), 2);
+        im.truncate(1);
+        assert_eq!(im.len(), 1);
+        assert_eq!(im.tuple(0).value(AttrId(0)), &Value::text("a"));
+        assert!(!im.is_empty());
+    }
+
+    #[test]
+    fn target_tuple_completion() {
+        let mut te = TargetTuple::empty(3);
+        assert!(!te.is_complete());
+        assert_eq!(te.null_attrs(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        te.set(AttrId(1), Value::Int(5));
+        assert_eq!(te.filled_count(), 1);
+        assert!(te.is_null(AttrId(0)));
+        assert!(!te.is_null(AttrId(1)));
+
+        let full = TargetTuple::from_values(vec![
+            Value::text("x"),
+            Value::Int(5),
+            Value::Bool(true),
+        ]);
+        assert!(te.is_completed_by(&full));
+        let conflicting = TargetTuple::from_values(vec![
+            Value::text("x"),
+            Value::Int(6),
+            Value::Bool(true),
+        ]);
+        assert!(!te.is_completed_by(&conflicting));
+        assert!(full.is_complete());
+        assert_eq!(full.to_string(), "(x, 5, true)");
+    }
+
+    #[test]
+    fn tuple_display_id() {
+        assert_eq!(TupleId(0).to_string(), "t1");
+        assert_eq!(TupleId(3).to_string(), "t4");
+    }
+}

@@ -1,0 +1,493 @@
+//! Typed attribute values and the comparison semantics used by accuracy rules.
+//!
+//! The paper's rule language compares attribute values with the operators
+//! `=, !=, <, <=, >, >=` (Section 2.1).  Values in an entity instance come from
+//! heterogeneous real-life sources, so the model supports the usual scalar
+//! types plus an explicit [`Value::Null`] marker, which the axiom rule ϕ7 gives
+//! the lowest accuracy.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The data type of an attribute in a [`Schema`](crate::Schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean values (`true` / `false`).
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit IEEE-754 floating point numbers (totally ordered via `total_cmp`).
+    Float,
+    /// UTF-8 strings.
+    Text,
+}
+
+impl DataType {
+    /// Human readable name, used by the catalog and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single attribute value.
+///
+/// `Value` implements a *total* equivalence and hash (floats are compared with
+/// `f64::total_cmp` and hashed by their bit pattern) so that values can be used
+/// as keys in occurrence counts, domains and preference models.  Order
+/// comparisons between values of *different* types — and any order comparison
+/// involving `Null` — are undefined and surface as `None` from
+/// [`Value::compare`].
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The absent / unknown value.  ϕ7 gives it the lowest accuracy.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns `true` iff the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The dynamic type of this value, or `None` for `Null` (which is typeless).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Text),
+        }
+    }
+
+    /// Returns `true` if this value can be stored in an attribute of type `ty`.
+    ///
+    /// `Null` is admissible for every type.  Integers are admissible for float
+    /// attributes (they are widened on comparison).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            (Value::Int(_), DataType::Int) => true,
+            (Value::Int(_), DataType::Float) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Str(_), DataType::Text) => true,
+            _ => false,
+        }
+    }
+
+    /// Ordered comparison following the paper's predicate semantics.
+    ///
+    /// Returns `None` when the comparison is undefined: either operand is
+    /// `Null`, or the operands have incompatible types.  Integers and floats
+    /// compare numerically.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Value equality as used by the rule predicate `t1[A] = t2[A]` and the
+    /// validity condition of chase steps.
+    ///
+    /// Unlike [`Value::compare`], equality *is* defined for `Null`:
+    /// `Null == Null` holds, so two tuples that both lack a value do not make a
+    /// partial order invalid.  Numeric values of different width compare
+    /// numerically.
+    pub fn same(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            _ => self.compare(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// Evaluate a comparison operator on two values.
+    ///
+    /// Returns `None` if the comparison is undefined for these operands (the
+    /// grounded predicate is then unsatisfiable, see `relacc-core`).
+    pub fn eval(&self, op: CmpOp, other: &Value) -> Option<bool> {
+        match op {
+            CmpOp::Eq => Some(self.same(other)),
+            CmpOp::Ne => Some(!self.same(other)),
+            CmpOp::Lt => self.compare(other).map(|o| o == Ordering::Less),
+            CmpOp::Le => self.compare(other).map(|o| o != Ordering::Greater),
+            CmpOp::Gt => self.compare(other).map(|o| o == Ordering::Greater),
+            CmpOp::Ge => self.compare(other).map(|o| o != Ordering::Less),
+        }
+    }
+
+    /// Parse a textual representation into a value of type `ty`.
+    ///
+    /// The empty string and the literals `null` / `NULL` / `\N` map to
+    /// [`Value::Null`].  This is what the CSV loader in `relacc-store` uses.
+    pub fn parse_as(ty: DataType, text: &str) -> Result<Value, ValueParseError> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") || trimmed == "\\N" {
+            return Ok(Value::Null);
+        }
+        match ty {
+            DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" | "yes" => Ok(Value::Bool(true)),
+                "false" | "f" | "0" | "no" => Ok(Value::Bool(false)),
+                _ => Err(ValueParseError {
+                    ty,
+                    text: text.to_string(),
+                }),
+            },
+            DataType::Int => trimmed
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| ValueParseError {
+                    ty,
+                    text: text.to_string(),
+                }),
+            DataType::Float => trimmed
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| ValueParseError {
+                    ty,
+                    text: text.to_string(),
+                }),
+            DataType::Text => Ok(Value::Str(trimmed.to_string())),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b) == Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Cross-width numeric equality is intentionally *not* part of
+            // `Eq`/`Hash` (it would break the hash contract); use `same`.
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// Comparison operators allowed in accuracy-rule predicates (Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// All operators, in a stable order (useful for fuzzing and rule discovery).
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// The operator with its operands swapped (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The textual symbol of the operator, as accepted by the rule parser.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Parse an operator symbol (`=`, `==`, `!=`, `<>`, `<`, `<=`, `>`, `>=`).
+    pub fn parse(sym: &str) -> Option<CmpOp> {
+        match sym {
+            "=" | "==" => Some(CmpOp::Eq),
+            "!=" | "<>" => Some(CmpOp::Ne),
+            "<" => Some(CmpOp::Lt),
+            "<=" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" => Some(CmpOp::Ge),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Error returned by [`Value::parse_as`] when the text does not parse as the
+/// requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueParseError {
+    /// The requested type.
+    pub ty: DataType,
+    /// The offending text.
+    pub text: String,
+}
+
+impl fmt::Display for ValueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?} as {}", self.text, self.ty)
+    }
+}
+
+impl std::error::Error for ValueParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn compare_ints_and_floats_numerically() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(4.0).compare(&Value::Int(4)),
+            Some(Ordering::Equal)
+        );
+        assert!(Value::Int(4).same(&Value::Float(4.0)));
+    }
+
+    #[test]
+    fn null_compares_to_nothing_but_equals_null() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert!(Value::Null.same(&Value::Null));
+        assert!(!Value::Null.same(&Value::Int(0)));
+        assert_eq!(Value::Null.eval(CmpOp::Lt, &Value::Int(1)), None);
+        assert_eq!(Value::Null.eval(CmpOp::Eq, &Value::Null), Some(true));
+    }
+
+    #[test]
+    fn mismatched_types_do_not_compare() {
+        assert_eq!(Value::text("a").compare(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+        assert_eq!(Value::text("a").eval(CmpOp::Lt, &Value::Int(1)), None);
+        // equality is defined (they are simply different)
+        assert_eq!(Value::text("a").eval(CmpOp::Eq, &Value::Int(1)), Some(false));
+        assert_eq!(Value::text("a").eval(CmpOp::Ne, &Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn eval_all_operators() {
+        let a = Value::Int(2);
+        let b = Value::Int(5);
+        assert_eq!(a.eval(CmpOp::Lt, &b), Some(true));
+        assert_eq!(a.eval(CmpOp::Le, &b), Some(true));
+        assert_eq!(a.eval(CmpOp::Gt, &b), Some(false));
+        assert_eq!(a.eval(CmpOp::Ge, &b), Some(false));
+        assert_eq!(a.eval(CmpOp::Eq, &b), Some(false));
+        assert_eq!(a.eval(CmpOp::Ne, &b), Some(true));
+        assert_eq!(b.eval(CmpOp::Ge, &b), Some(true));
+    }
+
+    #[test]
+    fn flip_is_an_involution_and_consistent() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.flip().flip(), op);
+            let a = Value::Int(1);
+            let b = Value::Int(2);
+            assert_eq!(a.eval(op, &b), b.eval(op.flip(), &a));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(
+            Value::parse_as(DataType::Int, "42").unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::parse_as(DataType::Float, "2.5").unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            Value::parse_as(DataType::Bool, "TRUE").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::parse_as(DataType::Text, " hi ").unwrap(),
+            Value::text("hi")
+        );
+        assert_eq!(Value::parse_as(DataType::Int, "").unwrap(), Value::Null);
+        assert_eq!(Value::parse_as(DataType::Int, "null").unwrap(), Value::Null);
+        assert!(Value::parse_as(DataType::Int, "abc").is_err());
+    }
+
+    #[test]
+    fn op_symbols_parse_back() {
+        for op in CmpOp::ALL {
+            assert_eq!(CmpOp::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(CmpOp::parse("=="), Some(CmpOp::Eq));
+        assert_eq!(CmpOp::parse("<>"), Some(CmpOp::Ne));
+        assert_eq!(CmpOp::parse("~"), None);
+    }
+
+    #[test]
+    fn conformance_rules() {
+        assert!(Value::Null.conforms_to(DataType::Int));
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(!Value::Float(1.0).conforms_to(DataType::Int));
+        assert!(!Value::text("x").conforms_to(DataType::Bool));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_floats() {
+        let a = Value::Float(1.5);
+        let b = Value::Float(1.5);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // -0.0 and 0.0 differ under total_cmp, and so may their hashes.
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(DataType::Text.to_string(), "text");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the data model: value comparison laws, bit-set
+//! behaviour against a reference set, and partial-order invariants under random
+//! insertion sequences.
+
+use proptest::prelude::*;
+use relacc_model::{
+    AttrId, AttrOrder, BitSet, CmpOp, DataType, EntityInstance, OrderInsert, Schema, TupleId,
+    Value,
+};
+use std::collections::BTreeSet;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        "[a-e]{1,3}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    /// `compare` must agree with the flipped operator on swapped operands.
+    #[test]
+    fn cmp_flip_consistency(a in arb_value(), b in arb_value()) {
+        for op in CmpOp::ALL {
+            prop_assert_eq!(a.eval(op, &b), b.eval(op.flip(), &a));
+        }
+    }
+
+    /// Value equality (`same`) is symmetric and reflexive.
+    #[test]
+    fn same_is_reflexive_and_symmetric(a in arb_value(), b in arb_value()) {
+        prop_assert!(a.same(&a));
+        prop_assert_eq!(a.same(&b), b.same(&a));
+    }
+
+    /// `Eq`/`Hash` agreement: equal values hash identically.
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// The bit set behaves like a `BTreeSet<usize>` under inserts and removes.
+    #[test]
+    fn bitset_matches_reference(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..120)) {
+        let mut bs = BitSet::with_capacity(200);
+        let mut reference = BTreeSet::new();
+        for (i, insert) in ops {
+            if insert {
+                bs.insert(i);
+                reference.insert(i);
+            } else {
+                bs.remove(i);
+                reference.remove(&i);
+            }
+        }
+        prop_assert_eq!(bs.count(), reference.len());
+        let got: Vec<usize> = bs.iter().collect();
+        let want: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Build an entity instance with a single int column holding `values`.
+fn int_instance(values: &[Option<i64>]) -> EntityInstance {
+    let schema = Schema::builder("r").attr("a", DataType::Int).build();
+    EntityInstance::from_rows(
+        schema,
+        values
+            .iter()
+            .map(|v| vec![v.map_or(Value::Null, Value::Int)])
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Random insertion sequences either keep the order a valid strict partial
+    /// order (checked invariants) or are rejected as conflicts; accepted pairs
+    /// are always queryable afterwards.
+    #[test]
+    fn attr_order_invariants_under_random_inserts(
+        values in prop::collection::vec(prop::option::of(0i64..6), 2..10),
+        pairs in prop::collection::vec((0usize..10, 0usize..10), 0..40),
+    ) {
+        let ie = int_instance(&values);
+        let n = ie.len();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        for (i, j) in pairs {
+            let (i, j) = (i % n, j % n);
+            let before_edges = ord.edge_count();
+            match ord.insert_le(TupleId(i), TupleId(j)) {
+                OrderInsert::Added(added) => {
+                    prop_assert!(ord.holds_le(TupleId(i), TupleId(j)));
+                    prop_assert_eq!(ord.edge_count(), before_edges + added.len());
+                }
+                OrderInsert::NoChange => {
+                    prop_assert!(ord.holds_le(TupleId(i), TupleId(j)));
+                    prop_assert_eq!(ord.edge_count(), before_edges);
+                }
+                OrderInsert::Conflict => {
+                    // the reverse strict relation must already hold
+                    prop_assert!(ord.holds_lt(TupleId(j), TupleId(i)));
+                    prop_assert_eq!(ord.edge_count(), before_edges);
+                }
+            }
+            ord.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// The λ (greatest) element, when it exists, dominates every tuple.
+    #[test]
+    fn greatest_dominates_everything(
+        values in prop::collection::vec(prop::option::of(0i64..5), 2..8),
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 0..30),
+    ) {
+        let ie = int_instance(&values);
+        let n = ie.len();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        for (i, j) in pairs {
+            let _ = ord.insert_le(TupleId(i % n), TupleId(j % n));
+        }
+        if let Some((top_class, top_value)) = ord.greatest() {
+            prop_assert!(!top_value.is_null());
+            for t in 0..n {
+                prop_assert!(ord.class_le(ord.class_of(TupleId(t)), top_class));
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! A tiny named catalog of relations.
+//!
+//! The experiment harness keeps every workload's relations (the dirty entity
+//! relation, the master relation, ground truth, per-source snapshots) in one
+//! [`Catalog`], so datasets can be saved to / reloaded from a directory of CSV
+//! files and inspected uniformly.
+
+use crate::csv;
+use crate::relation::Relation;
+use relacc_model::SchemaRef;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A named collection of relations.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+/// Errors raised by catalog operations.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// A relation with this name is already registered.
+    AlreadyExists(String),
+    /// No relation with this name is registered.
+    NotFound(String),
+    /// An I/O error while loading or saving CSV files.
+    Io(std::io::Error),
+    /// A CSV parse error while loading.
+    Csv(String, csv::CsvError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::AlreadyExists(n) => write!(f, "relation {n:?} already exists"),
+            CatalogError::NotFound(n) => write!(f, "relation {n:?} not found"),
+            CatalogError::Io(e) => write!(f, "I/O error: {e}"),
+            CatalogError::Csv(name, e) => write!(f, "CSV error in {name:?}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation under `name`.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> Result<(), CatalogError> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(CatalogError::AlreadyExists(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Replace (or insert) a relation under `name`.
+    pub fn replace(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Get a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation, CatalogError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Remove a relation by name, returning it.
+    pub fn drop_relation(&mut self, name: &str) -> Result<Relation, CatalogError> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Names of all registered relations (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Write every relation to `<dir>/<name>.csv`.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), CatalogError> {
+        std::fs::create_dir_all(dir)?;
+        for (name, relation) in &self.relations {
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(path, csv::to_csv(relation))?;
+        }
+        Ok(())
+    }
+
+    /// Load a single relation from `<dir>/<name>.csv` with the given schema and
+    /// register it.
+    pub fn load_csv(
+        &mut self,
+        dir: &Path,
+        name: &str,
+        schema: SchemaRef,
+    ) -> Result<(), CatalogError> {
+        let path = dir.join(format!("{name}.csv"));
+        let text = std::fs::read_to_string(path)?;
+        let relation = csv::from_csv(schema, &text)
+            .map_err(|e| CatalogError::Csv(name.to_string(), e))?;
+        self.replace(name, relation);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_of;
+    use relacc_model::{DataType, Value};
+
+    fn tiny() -> Relation {
+        relation_of(
+            "r",
+            vec![("a", DataType::Int), ("b", DataType::Text)],
+            vec![
+                vec![Value::Int(1), Value::text("x")],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let mut cat = Catalog::new();
+        cat.register("r", tiny()).unwrap();
+        assert!(matches!(
+            cat.register("r", tiny()),
+            Err(CatalogError::AlreadyExists(_))
+        ));
+        assert_eq!(cat.get("r").unwrap().len(), 2);
+        assert!(matches!(cat.get("s"), Err(CatalogError::NotFound(_))));
+        assert_eq!(cat.names(), vec!["r"]);
+        let dropped = cat.drop_relation("r").unwrap();
+        assert_eq!(dropped.len(), 2);
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        let dir = std::env::temp_dir().join(format!("relacc_store_test_{}", std::process::id()));
+        let mut cat = Catalog::new();
+        let r = tiny();
+        let schema = r.schema().clone();
+        cat.register("tiny", r).unwrap();
+        cat.save_to_dir(&dir).unwrap();
+
+        let mut reloaded = Catalog::new();
+        reloaded.load_csv(&dir, "tiny", schema).unwrap();
+        assert_eq!(reloaded.get("tiny").unwrap().len(), 2);
+        assert_eq!(reloaded.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let mut cat = Catalog::new();
+        let schema = tiny().schema().clone();
+        let err = cat
+            .load_csv(Path::new("/nonexistent-relacc-dir"), "nope", schema)
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::Io(_)));
+    }
+}

@@ -1,0 +1,302 @@
+//! Minimal CSV serialization for relations.
+//!
+//! The generated datasets (and any real data a user wants to plug in) are
+//! exchanged as RFC-4180-style CSV: a header row with attribute names, fields
+//! quoted when they contain separators, quotes doubled inside quoted fields.
+//! Only the features the workloads need are implemented; the writer and reader
+//! are exact inverses of each other (see the round-trip tests).
+
+use crate::relation::Relation;
+use relacc_model::{SchemaRef, Value};
+use std::fmt::Write as _;
+
+/// Errors raised while parsing CSV text into a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header line.
+    MissingHeader,
+    /// The header does not match the schema's attribute names.
+    HeaderMismatch {
+        /// Expected attribute names.
+        expected: Vec<String>,
+        /// Names found in the file.
+        got: Vec<String>,
+    },
+    /// A data row has the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Expected field count.
+        expected: usize,
+        /// Found field count.
+        got: usize,
+    },
+    /// A field failed to parse as its attribute's type.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// Attribute name.
+        attribute: String,
+        /// Parse failure description.
+        message: String,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing CSV header"),
+            CsvError::HeaderMismatch { expected, got } => {
+                write!(f, "header mismatch: expected {expected:?}, got {got:?}")
+            }
+            CsvError::FieldCount {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} fields, got {got}"),
+            CsvError::BadValue {
+                line,
+                attribute,
+                message,
+            } => write!(f, "line {line}, attribute {attribute}: {message}"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+}
+
+fn write_field(out: &mut String, field: &str) {
+    if needs_quoting(field) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serialize a relation to CSV text (header + one line per row).
+///
+/// Null values serialize as the empty field, which [`Value::parse_as`] maps
+/// back to `Value::Null`.
+pub fn to_csv(relation: &Relation) -> String {
+    let schema = relation.schema();
+    let mut out = String::new();
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, &attr.name);
+    }
+    out.push('\n');
+    for row in relation.rows() {
+        for (i, v) in row.values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Null => {}
+                other => {
+                    let mut s = String::new();
+                    let _ = write!(s, "{other}");
+                    write_field(&mut out, &s);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Split one CSV record into fields, honouring quotes.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Parse CSV text into a relation over `schema`.
+///
+/// The header must list exactly the schema's attribute names in order; data
+/// fields are parsed with [`Value::parse_as`] against the declared types.
+pub fn from_csv(schema: SchemaRef, text: &str) -> Result<Relation, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
+    let (header_no, header) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let header_fields = split_record(header, header_no + 1)?;
+    let expected: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    if header_fields != expected {
+        return Err(CsvError::HeaderMismatch {
+            expected,
+            got: header_fields,
+        });
+    }
+
+    let mut relation = Relation::new(schema.clone());
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let fields = split_record(line, line_no)?;
+        if fields.len() != schema.arity() {
+            return Err(CsvError::FieldCount {
+                line: line_no,
+                expected: schema.arity(),
+                got: fields.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (i, field) in fields.iter().enumerate() {
+            let ty = schema.attr_type(relacc_model::AttrId(i));
+            let value = if field.is_empty() {
+                Value::Null
+            } else {
+                Value::parse_as(ty, field).map_err(|e| CsvError::BadValue {
+                    line: line_no,
+                    attribute: schema.attr_name(relacc_model::AttrId(i)).to_string(),
+                    message: e.to_string(),
+                })?
+            };
+            row.push(value);
+        }
+        relation.push_row(row).map_err(|e| CsvError::BadValue {
+            line: line_no,
+            attribute: "<row>".to_string(),
+            message: e.to_string(),
+        })?;
+    }
+    Ok(relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_of;
+    use relacc_model::{AttrId, DataType, Schema};
+
+    fn sample() -> Relation {
+        relation_of(
+            "r",
+            vec![
+                ("name", DataType::Text),
+                ("pts", DataType::Int),
+                ("avg", DataType::Float),
+            ],
+            vec![
+                vec![Value::text("Michael Jordan"), Value::Int(772), Value::Float(28.5)],
+                vec![Value::text("says \"hi\", ok"), Value::Null, Value::Float(-1.0)],
+                vec![Value::Null, Value::Int(0), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_rows() {
+        let r = sample();
+        let csv = to_csv(&r);
+        let back = from_csv(r.schema().clone(), &csv).unwrap();
+        assert_eq!(back.len(), r.len());
+        for (a, b) in r.rows().iter().zip(back.rows().iter()) {
+            for (x, y) in a.values().iter().zip(b.values().iter()) {
+                assert!(x.same(y), "{x} != {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn quoting_special_characters() {
+        let r = sample();
+        let csv = to_csv(&r);
+        assert!(csv.contains("\"says \"\"hi\"\", ok\""));
+        // header untouched
+        assert!(csv.starts_with("name,pts,avg\n"));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Int)
+            .build();
+        let err = from_csv(schema, "a,c\n1,2\n").unwrap_err();
+        assert!(matches!(err, CsvError::HeaderMismatch { .. }));
+    }
+
+    #[test]
+    fn field_count_and_type_errors() {
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Int)
+            .build();
+        let err = from_csv(schema.clone(), "a,b\n1\n").unwrap_err();
+        assert!(matches!(err, CsvError::FieldCount { line: 2, .. }));
+        let err = from_csv(schema.clone(), "a,b\n1,xyz\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadValue { .. }));
+        let err = from_csv(schema, "a,b\n\"1,2\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_fields_become_null() {
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Text)
+            .build();
+        let r = from_csv(schema, "a,b\n,hello\n5,\n").unwrap();
+        assert!(r.row(0).value(AttrId(0)).is_null());
+        assert_eq!(r.row(0).value(AttrId(1)), &Value::text("hello"));
+        assert!(r.row(1).value(AttrId(1)).is_null());
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        let schema = Schema::builder("r").attr("a", DataType::Int).build();
+        assert_eq!(from_csv(schema, "").unwrap_err(), CsvError::MissingHeader);
+    }
+}

@@ -1,0 +1,319 @@
+//! Typed in-memory relations.
+//!
+//! A [`Relation`] is a bag of rows conforming to a [`Schema`].  The experiments
+//! of the paper operate on relations that are later split into per-entity
+//! instances (`stat`, `Med`, `CFP`, `Rest` snapshots) or loaded as master data
+//! (`nba`, reference data); this module provides the minimal relational
+//! operations those workloads need — filter, project, group-by, sort and
+//! distinct counting — without pulling in a full query engine.
+
+use relacc_model::{AttrId, EntityInstance, MasterRelation, Schema, SchemaError, SchemaRef, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A typed, in-memory relation (bag semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: SchemaRef,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation over `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Create a relation from rows, validating each against the schema.
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Vec<Value>>) -> Result<Self, SchemaError> {
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.push_row(row)?;
+        }
+        Ok(r)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after validating it.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), SchemaError> {
+        self.schema.validate_row(&row)?;
+        self.rows.push(Tuple::new(row));
+        Ok(())
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// The row at `idx`.
+    pub fn row(&self, idx: usize) -> &Tuple {
+        &self.rows[idx]
+    }
+
+    /// Rows satisfying `pred`, as a new relation over the same schema.
+    pub fn select<F>(&self, pred: F) -> Relation
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Project onto the named attributes, producing a relation with a derived
+    /// schema (attribute order follows `attrs`).
+    pub fn project(&self, attrs: &[&str]) -> Result<Relation, ProjectError> {
+        let mut ids = Vec::with_capacity(attrs.len());
+        let mut builder = Schema::builder(format!("{}_proj", self.schema.name()));
+        for &name in attrs {
+            let id = self
+                .schema
+                .attr_id(name)
+                .ok_or_else(|| ProjectError::UnknownAttribute(name.to_string()))?;
+            ids.push(id);
+            builder = builder.attr(name, self.schema.attr_type(id));
+        }
+        let schema = builder.build();
+        let rows = self
+            .rows
+            .iter()
+            .map(|t| Tuple::new(ids.iter().map(|&a| t.value(a).clone()).collect()))
+            .collect();
+        Ok(Relation { schema, rows })
+    }
+
+    /// Group rows by the values of `key` attributes, returning the groups in
+    /// first-seen key order.
+    pub fn group_by(&self, key: &[AttrId]) -> Vec<(Vec<Value>, Vec<&Tuple>)> {
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, Vec<&Tuple>)> = Vec::new();
+        for t in &self.rows {
+            let k: Vec<Value> = key.iter().map(|&a| t.value(a).clone()).collect();
+            match index.get(&k) {
+                Some(&g) => groups[g].1.push(t),
+                None => {
+                    index.insert(k.clone(), groups.len());
+                    groups.push((k, vec![t]));
+                }
+            }
+        }
+        groups
+    }
+
+    /// Distinct non-null values of a column with their occurrence counts.
+    pub fn value_counts(&self, a: AttrId) -> HashMap<Value, usize> {
+        let mut counts = HashMap::new();
+        for t in &self.rows {
+            let v = t.value(a);
+            if !v.is_null() {
+                *counts.entry(v.clone()).or_insert(0usize) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Fraction of null cells over the whole relation (a data-quality summary
+    /// used by the generators' self-checks).
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let cells = self.rows.len() * self.schema.arity();
+        let nulls: usize = self
+            .rows
+            .iter()
+            .map(|t| t.values().iter().filter(|v| v.is_null()).count())
+            .sum();
+        nulls as f64 / cells as f64
+    }
+
+    /// Sort rows by a key extracted from each tuple (stable).
+    pub fn sort_by_key<K: Ord, F>(&mut self, f: F)
+    where
+        F: Fn(&Tuple) -> K,
+    {
+        self.rows.sort_by_key(|t| f(t));
+    }
+
+    /// Convert this relation into an [`EntityInstance`] (all rows are assumed
+    /// to describe one entity — the caller has already grouped them).
+    pub fn to_entity_instance(&self) -> EntityInstance {
+        let mut ie = EntityInstance::new(self.schema.clone());
+        for t in &self.rows {
+            ie.push_tuple(t.clone()).expect("rows already validated");
+        }
+        ie
+    }
+
+    /// Convert this relation into a [`MasterRelation`].
+    pub fn to_master_relation(&self) -> MasterRelation {
+        let mut im = MasterRelation::new(self.schema.clone());
+        for t in &self.rows {
+            im.push_row(t.values().to_vec())
+                .expect("rows already validated");
+        }
+        im
+    }
+
+    /// Split the relation into one [`EntityInstance`] per distinct value of the
+    /// `entity_key` attributes, in first-seen order.  This mirrors the paper's
+    /// assumption that entity resolution has already grouped tuples.
+    pub fn split_entities(&self, entity_key: &[AttrId]) -> Vec<(Vec<Value>, EntityInstance)> {
+        self.group_by(entity_key)
+            .into_iter()
+            .map(|(key, tuples)| {
+                let mut ie = EntityInstance::new(self.schema.clone());
+                for t in tuples {
+                    ie.push_tuple(t.clone()).expect("rows already validated");
+                }
+                (key, ie)
+            })
+            .collect()
+    }
+}
+
+/// Error from [`Relation::project`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjectError {
+    /// The named attribute does not exist in the schema.
+    UnknownAttribute(String),
+}
+
+impl std::fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProjectError::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+/// Convenience: build a relation schema and rows in one call (used by tests).
+pub fn relation_of(
+    name: &str,
+    attrs: Vec<(&str, relacc_model::DataType)>,
+    rows: Vec<Vec<Value>>,
+) -> Relation {
+    let mut builder = Schema::builder(name);
+    for (n, ty) in attrs {
+        builder = builder.attr(n, ty);
+    }
+    let schema: SchemaRef = builder.build();
+    Relation::from_rows(Arc::clone(&schema), rows).expect("rows conform to schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_model::DataType;
+
+    fn people() -> Relation {
+        relation_of(
+            "people",
+            vec![
+                ("name", DataType::Text),
+                ("team", DataType::Text),
+                ("pts", DataType::Int),
+            ],
+            vec![
+                vec![Value::text("mj"), Value::text("bulls"), Value::Int(772)],
+                vec![Value::text("sp"), Value::text("bulls"), Value::Int(500)],
+                vec![Value::text("mj"), Value::text("barons"), Value::Int(51)],
+                vec![Value::text("xx"), Value::text("bulls"), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn select_and_project() {
+        let r = people();
+        let bulls = r.select(|t| t.value(AttrId(1)).same(&Value::text("bulls")));
+        assert_eq!(bulls.len(), 3);
+        let proj = bulls.project(&["name", "pts"]).unwrap();
+        assert_eq!(proj.schema().arity(), 2);
+        assert_eq!(proj.row(0).value(AttrId(0)), &Value::text("mj"));
+        assert!(r.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn group_by_and_counts() {
+        let r = people();
+        let groups = r.group_by(&[AttrId(0)]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, vec![Value::text("mj")]);
+        assert_eq!(groups[0].1.len(), 2);
+        let counts = r.value_counts(AttrId(1));
+        assert_eq!(counts[&Value::text("bulls")], 3);
+        assert_eq!(counts[&Value::text("barons")], 1);
+    }
+
+    #[test]
+    fn null_fraction_counts_cells() {
+        let r = people();
+        assert!((r.null_fraction() - 1.0 / 12.0).abs() < 1e-12);
+        let empty = Relation::new(r.schema().clone());
+        assert_eq!(empty.null_fraction(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn split_entities_by_key() {
+        let r = people();
+        let entities = r.split_entities(&[AttrId(0)]);
+        assert_eq!(entities.len(), 3);
+        let (key, ie) = &entities[0];
+        assert_eq!(key, &vec![Value::text("mj")]);
+        assert_eq!(ie.len(), 2);
+    }
+
+    #[test]
+    fn conversions_to_model_types() {
+        let r = people();
+        let ie = r.to_entity_instance();
+        assert_eq!(ie.len(), 4);
+        let im = r.to_master_relation();
+        assert_eq!(im.len(), 4);
+    }
+
+    #[test]
+    fn sort_by_key_orders_rows() {
+        let mut r = people();
+        r.sort_by_key(|t| match t.value(AttrId(2)) {
+            Value::Int(i) => *i,
+            _ => i64::MIN,
+        });
+        assert_eq!(r.row(0).value(AttrId(0)), &Value::text("xx"));
+        assert_eq!(r.row(3).value(AttrId(2)), &Value::Int(772));
+    }
+
+    #[test]
+    fn push_row_validates() {
+        let mut r = people();
+        assert!(r
+            .push_row(vec![Value::text("a"), Value::text("b"), Value::text("oops")])
+            .is_err());
+        assert!(r
+            .push_row(vec![Value::text("a"), Value::text("b"), Value::Int(1)])
+            .is_ok());
+    }
+}

@@ -1,0 +1,318 @@
+//! Shared machinery of the top-k candidate-target algorithms.
+//!
+//! A *candidate target* of a Church-Rosser specification `S` (Section 3) is a
+//! complete tuple `t'_e` that (a) agrees with the deduced target `t_e` on every
+//! non-null attribute, (b) takes its remaining values from the attribute
+//! domains, and (c) is itself chase-consistent: the specification
+//! `S' = (D0, Σ, Im, t'_e)` is Church-Rosser and deduces `t'_e`.
+//! [`CandidateSearch::check`] implements condition (c) by re-running the chase
+//! over the pre-computed grounding with `t'_e` as the initial template — the
+//! `check` procedure of Section 6.1.
+
+use crate::preference::PreferenceModel;
+use relacc_core::chase::{chase_with_grounding, ground, Grounding};
+use relacc_core::{IsCrOutcome, Specification};
+use relacc_heap::Scored;
+use relacc_model::{AccuracyOrders, AttrId, TargetTuple, Value};
+use std::fmt;
+
+/// A candidate target together with its preference score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCandidate {
+    /// The complete candidate target tuple.
+    pub target: TargetTuple,
+    /// Its score `p({target})` under the preference model.
+    pub score: f64,
+}
+
+/// Counters reported by every top-k algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopKStats {
+    /// Number of `check` invocations (each one is a full chase).
+    pub checks: usize,
+    /// Number of candidate tuples generated/considered before termination.
+    pub generated: usize,
+    /// Number of heap / ranked-list accesses (the instance-optimality metric of
+    /// Proposition 7).
+    pub pops: usize,
+}
+
+/// The result of a top-k computation.
+#[derive(Debug, Clone, Default)]
+pub struct TopKResult {
+    /// At most `k` candidate targets, in non-increasing score order.
+    pub candidates: Vec<ScoredCandidate>,
+    /// Work counters.
+    pub stats: TopKStats,
+}
+
+impl TopKResult {
+    /// The candidate targets without scores.
+    pub fn targets(&self) -> Vec<&TargetTuple> {
+        self.candidates.iter().map(|c| &c.target).collect()
+    }
+
+    /// True if `truth` appears among the returned candidates (the success
+    /// criterion of Exp-2: "the target tuple was among the top-k candidates").
+    pub fn contains(&self, truth: &TargetTuple) -> bool {
+        self.candidates.iter().any(|c| &c.target == truth)
+    }
+}
+
+/// Errors reported when preparing a top-k search.
+#[derive(Debug, Clone)]
+pub enum TopKError {
+    /// The specification is not Church-Rosser; the framework requires the user
+    /// to revise it first (Fig. 3).
+    NotChurchRosser(relacc_core::Conflict),
+}
+
+impl fmt::Display for TopKError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopKError::NotChurchRosser(c) => {
+                write!(f, "specification is not Church-Rosser: {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopKError {}
+
+/// Pre-computed state shared by `RankJoinCT`, `TopKCT` and `TopKCTh`:
+/// the grounding, the deduced target, the null attributes `Z` and the scored
+/// candidate domains of each `Z` attribute.
+pub struct CandidateSearch<'a> {
+    /// The specification `S`.
+    pub spec: &'a Specification,
+    /// Grounding reused by every `check` call.
+    pub grounding: Grounding,
+    /// The unique deduced target tuple `t_e` of `S`.
+    pub deduced: TargetTuple,
+    /// The attributes of `t_e` that are still null (the set `Z`).
+    pub z: Vec<AttrId>,
+    /// For each attribute of `Z` (parallel to `z`): its candidate values with
+    /// their preference scores, in arbitrary order (the algorithms sort or heap
+    /// them as they need).
+    pub domains: Vec<Vec<Scored<Value>>>,
+    /// The preference model `(k, p(·))`.
+    pub preference: PreferenceModel,
+}
+
+impl<'a> CandidateSearch<'a> {
+    /// Prepare a search: run `IsCR`, collect `Z` and the candidate domains.
+    ///
+    /// Fails with [`TopKError::NotChurchRosser`] when the specification is not
+    /// Church-Rosser (step (1) of the framework must reject it first).
+    pub fn prepare(
+        spec: &'a Specification,
+        preference: PreferenceModel,
+    ) -> Result<Self, TopKError> {
+        let orders = AccuracyOrders::new(&spec.ie);
+        let grounding = ground(spec, &orders);
+        let run = chase_with_grounding(spec, &grounding, &spec.initial_target);
+        let deduced = match run.outcome {
+            IsCrOutcome::ChurchRosser(instance) => instance.target,
+            IsCrOutcome::NotChurchRosser(conflict) => {
+                return Err(TopKError::NotChurchRosser(conflict))
+            }
+        };
+        let z = deduced.null_attrs();
+        let domains = z
+            .iter()
+            .map(|&a| {
+                spec.candidate_domain(a)
+                    .into_iter()
+                    .map(|v| {
+                        let w = preference.weight(a, &v);
+                        Scored::new(w, v)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(CandidateSearch {
+            spec,
+            grounding,
+            deduced,
+            z,
+            domains,
+            preference,
+        })
+    }
+
+    /// Number of null attributes `m = |Z|`.
+    pub fn arity(&self) -> usize {
+        self.z.len()
+    }
+
+    /// Assemble a complete tuple from `Z`-values (parallel to `self.z`), using
+    /// the deduced target for every other attribute.
+    pub fn assemble(&self, z_values: &[Value]) -> TargetTuple {
+        let mut t = self.deduced.clone();
+        for (attr, v) in self.z.iter().zip(z_values.iter()) {
+            t.set(*attr, v.clone());
+        }
+        t
+    }
+
+    /// The `check` procedure of Section 6.1: is `candidate` a candidate target
+    /// of the specification?  Runs the chase with `candidate` as the initial
+    /// target template over the pre-computed grounding.
+    pub fn check(&self, candidate: &TargetTuple, stats: &mut TopKStats) -> bool {
+        stats.checks += 1;
+        if !candidate.is_complete() || !self.deduced.is_completed_by(candidate) {
+            return false;
+        }
+        let run = chase_with_grounding(self.spec, &self.grounding, candidate);
+        match run.outcome {
+            IsCrOutcome::ChurchRosser(instance) => &instance.target == candidate,
+            IsCrOutcome::NotChurchRosser(_) => false,
+        }
+    }
+
+    /// Score of a complete candidate under the preference model.
+    pub fn score(&self, candidate: &TargetTuple) -> f64 {
+        self.preference.score(candidate)
+    }
+
+    /// The trivial result when `t_e` is already complete: the deduced target is
+    /// the unique candidate.
+    pub fn complete_result(&self) -> TopKResult {
+        let mut stats = TopKStats::default();
+        let mut candidates = Vec::new();
+        if self.deduced.is_complete() && self.check(&self.deduced, &mut stats) {
+            candidates.push(ScoredCandidate {
+                score: self.score(&self.deduced),
+                target: self.deduced.clone(),
+            });
+        }
+        TopKResult { candidates, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::PreferenceModel;
+    use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_model::{CmpOp, DataType, EntityInstance, Schema};
+
+    /// rnds is resolved by a currency rule; team/arena stay open.
+    pub(crate) fn open_spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(16), Value::text("Chicago"), Value::text("Chicago Stadium")],
+                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("United Center")],
+                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("Regions Park")],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        Specification::new(ie, rules)
+    }
+
+    #[test]
+    fn prepare_collects_null_attributes_and_domains() {
+        let spec = open_spec();
+        let pref = PreferenceModel::occurrence(&spec, 2);
+        let search = CandidateSearch::prepare(&spec, pref).unwrap();
+        assert_eq!(search.deduced.value(AttrId(0)), &Value::Int(27));
+        assert_eq!(search.z, vec![AttrId(1), AttrId(2)]);
+        assert_eq!(search.arity(), 2);
+        assert_eq!(search.domains[0].len(), 2); // Chicago, Chicago Bulls
+        assert_eq!(search.domains[1].len(), 3);
+        // occurrence weights flow into the domains
+        let bulls = search.domains[0]
+            .iter()
+            .find(|s| s.item.same(&Value::text("Chicago Bulls")))
+            .unwrap();
+        assert_eq!(bulls.score, 2.0);
+    }
+
+    #[test]
+    fn assemble_check_and_score() {
+        let spec = open_spec();
+        let pref = PreferenceModel::occurrence(&spec, 2);
+        let search = CandidateSearch::prepare(&spec, pref).unwrap();
+        let mut stats = TopKStats::default();
+        let candidate = search.assemble(&[
+            Value::text("Chicago Bulls"),
+            Value::text("United Center"),
+        ]);
+        assert!(candidate.is_complete());
+        assert!(search.check(&candidate, &mut stats));
+        assert_eq!(stats.checks, 1);
+        // rnds weight 2 (two 27s) + team 2 + arena 1
+        assert_eq!(search.score(&candidate), 5.0);
+        // a tuple disagreeing with the deduced rnds value is not a candidate
+        let mut bad = candidate.clone();
+        bad.set(AttrId(0), Value::Int(16));
+        assert!(!search.check(&bad, &mut stats));
+        // an incomplete tuple is never a candidate
+        let mut incomplete = candidate.clone();
+        incomplete.set(AttrId(2), Value::Null);
+        assert!(!search.check(&incomplete, &mut stats));
+    }
+
+    #[test]
+    fn not_church_rosser_specs_are_rejected() {
+        let schema = Schema::builder("r").attr("a", DataType::Int).build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let up = TupleRule::new(
+            "up",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        );
+        let down = TupleRule::new(
+            "down",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Gt)],
+            AttrId(0),
+        );
+        let spec = Specification::new(ie, RuleSet::from_rules([up, down]));
+        let pref = PreferenceModel::occurrence(&spec, 1);
+        let err = CandidateSearch::prepare(&spec, pref).err().unwrap();
+        assert!(matches!(err, TopKError::NotChurchRosser(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn complete_deduction_yields_single_candidate() {
+        let schema = Schema::builder("r").attr("a", DataType::Int).build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "up",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        )]);
+        let spec = Specification::new(ie, rules);
+        let pref = PreferenceModel::occurrence(&spec, 3);
+        let search = CandidateSearch::prepare(&spec, pref).unwrap();
+        assert!(search.z.is_empty());
+        let result = search.complete_result();
+        assert_eq!(result.candidates.len(), 1);
+        assert_eq!(
+            result.candidates[0].target.value(AttrId(0)),
+            &Value::Int(2)
+        );
+        assert!(result.contains(&result.candidates[0].target.clone()));
+        assert_eq!(result.targets().len(), 1);
+    }
+}

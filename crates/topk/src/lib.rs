@@ -1,0 +1,33 @@
+//! # relacc-topk
+//!
+//! Top-k candidate-target computation for *"Determining the Relative Accuracy
+//! of Attributes"* (SIGMOD 2013), Section 6:
+//!
+//! * [`PreferenceModel`] — the preference model `(k, p(·))` with occurrence
+//!   counts, uniform or externally supplied weights (e.g. truth-discovery
+//!   posteriors);
+//! * [`CandidateSearch`] — shared state: the grounding (reused by every
+//!   `check`), the deduced target, the null attributes `Z` and the scored
+//!   candidate domains;
+//! * [`rank_join_ct`] — `RankJoinCT`, the rank-join-based exact algorithm;
+//! * [`topkct`] — `TopKCT`, the priority-queue exact algorithm that needs no
+//!   ranked lists and is instance-optimal in heap pops;
+//! * [`topkcth`] — `TopKCTh`, the PTIME heuristic.
+//!
+//! All three return a [`TopKResult`] whose candidates pass the candidate-target
+//! `check` (a chase with the candidate as initial target template).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod preference;
+pub mod rank_join;
+pub mod topkct;
+pub mod topkcth;
+
+pub use candidates::{CandidateSearch, ScoredCandidate, TopKError, TopKResult, TopKStats};
+pub use preference::{PreferenceModel, ScoreSource};
+pub use rank_join::rank_join_ct;
+pub use topkct::topkct;
+pub use topkcth::topkcth;

@@ -1,0 +1,196 @@
+//! The preference model `(k, p(·))` of Section 3.
+//!
+//! Every value `v` of a domain `dom(A_i)` carries a score `w_{A_i}(v)`; the
+//! score of a set of candidate targets is the sum of its tuples' attribute
+//! scores.  The paper obtains weights from three sources, all supported here:
+//!
+//! * **occurrence counts** in the entity instance (the default, "derived by
+//!   counting the occurrences of v in the A_i column");
+//! * **user-supplied confidences**;
+//! * **probabilities produced by truth-discovery algorithms** (Exp-5 plugs the
+//!   posteriors of `copyCEF` in here).
+//!
+//! Values outside the active domain share a single default weight, matching
+//! the paper's treatment of infinite domains.
+
+use relacc_core::Specification;
+use relacc_model::{AttrId, TargetTuple, Value};
+use std::collections::HashMap;
+
+/// Where attribute-value weights come from.
+#[derive(Debug, Clone, Default)]
+pub enum ScoreSource {
+    /// `w_{A_i}(v)` = number of occurrences of `v` in column `A_i` of `Ie`.
+    #[default]
+    OccurrenceCounts,
+    /// Every value scores the same (ties broken by domain order downstream).
+    Uniform,
+    /// Explicit per-attribute, per-value weights (user confidence or
+    /// truth-discovery posteriors).  Missing entries fall back to the default
+    /// weight.
+    Explicit(HashMap<AttrId, HashMap<Value, f64>>),
+}
+
+/// The preference model `(k, p(·))`.
+#[derive(Debug, Clone)]
+pub struct PreferenceModel {
+    /// How many candidate targets to return.
+    pub k: usize,
+    weights: HashMap<AttrId, HashMap<Value, f64>>,
+    default_weight: f64,
+}
+
+impl PreferenceModel {
+    /// Build a preference model for a specification.
+    pub fn new(spec: &Specification, k: usize, source: ScoreSource) -> Self {
+        let mut weights: HashMap<AttrId, HashMap<Value, f64>> = HashMap::new();
+        match source {
+            ScoreSource::OccurrenceCounts => {
+                for attr in spec.ie.schema().attr_ids() {
+                    let counts = spec.ie.value_counts(attr);
+                    let map = counts
+                        .into_iter()
+                        .map(|(v, c)| (v, c as f64))
+                        .collect::<HashMap<_, _>>();
+                    weights.insert(attr, map);
+                }
+            }
+            ScoreSource::Uniform => {}
+            ScoreSource::Explicit(map) => weights = map,
+        }
+        PreferenceModel {
+            k,
+            weights,
+            default_weight: 0.0,
+        }
+    }
+
+    /// The occurrence-count model (the paper's default preference).
+    pub fn occurrence(spec: &Specification, k: usize) -> Self {
+        PreferenceModel::new(spec, k, ScoreSource::OccurrenceCounts)
+    }
+
+    /// Override the weight assigned to values with no explicit entry.
+    pub fn with_default_weight(mut self, w: f64) -> Self {
+        self.default_weight = w;
+        self
+    }
+
+    /// Override (or add) the weight of one attribute value.
+    pub fn set_weight(&mut self, attr: AttrId, value: Value, weight: f64) {
+        self.weights.entry(attr).or_default().insert(value, weight);
+    }
+
+    /// `w_{A_i}(v)`.
+    pub fn weight(&self, attr: AttrId, value: &Value) -> f64 {
+        self.weights
+            .get(&attr)
+            .and_then(|m| {
+                // `Value` equality crosses numeric widths only through `same`,
+                // so fall back to a linear probe when the exact key is absent.
+                m.get(value).copied().or_else(|| {
+                    m.iter()
+                        .find(|(k, _)| k.same(value))
+                        .map(|(_, w)| *w)
+                })
+            })
+            .unwrap_or(self.default_weight)
+    }
+
+    /// The score `p({t})` of a single candidate target: the sum of its
+    /// attribute-value weights.
+    pub fn score(&self, target: &TargetTuple) -> f64 {
+        (0..target.arity())
+            .map(|i| {
+                let a = AttrId(i);
+                let v = target.value(a);
+                if v.is_null() {
+                    0.0
+                } else {
+                    self.weight(a, v)
+                }
+            })
+            .sum()
+    }
+
+    /// The score `p(Te)` of a set of candidate targets.
+    pub fn score_set<'a, I>(&self, targets: I) -> f64
+    where
+        I: IntoIterator<Item = &'a TargetTuple>,
+    {
+        targets.into_iter().map(|t| self.score(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::RuleSet;
+    use relacc_model::{DataType, EntityInstance, Schema};
+
+    fn spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("team", DataType::Text)
+            .attr("pts", DataType::Int)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema,
+            vec![
+                vec![Value::text("bulls"), Value::Int(1)],
+                vec![Value::text("bulls"), Value::Int(2)],
+                vec![Value::text("barons"), Value::Null],
+            ],
+        )
+        .unwrap();
+        Specification::new(ie, RuleSet::new())
+    }
+
+    #[test]
+    fn occurrence_counts_are_weights() {
+        let s = spec();
+        let p = PreferenceModel::occurrence(&s, 5);
+        assert_eq!(p.k, 5);
+        assert_eq!(p.weight(AttrId(0), &Value::text("bulls")), 2.0);
+        assert_eq!(p.weight(AttrId(0), &Value::text("barons")), 1.0);
+        assert_eq!(p.weight(AttrId(0), &Value::text("unknown")), 0.0);
+        assert_eq!(p.weight(AttrId(1), &Value::Int(1)), 1.0);
+    }
+
+    #[test]
+    fn score_sums_over_attributes_ignoring_nulls() {
+        let s = spec();
+        let p = PreferenceModel::occurrence(&s, 1);
+        let t = TargetTuple::from_values(vec![Value::text("bulls"), Value::Int(2)]);
+        assert_eq!(p.score(&t), 3.0);
+        let partial = TargetTuple::from_values(vec![Value::text("bulls"), Value::Null]);
+        assert_eq!(p.score(&partial), 2.0);
+        let set_score = p.score_set([&t, &partial]);
+        assert_eq!(set_score, 5.0);
+    }
+
+    #[test]
+    fn explicit_weights_and_default() {
+        let s = spec();
+        let mut weights: HashMap<AttrId, HashMap<Value, f64>> = HashMap::new();
+        weights
+            .entry(AttrId(0))
+            .or_default()
+            .insert(Value::text("barons"), 0.9);
+        let p = PreferenceModel::new(&s, 3, ScoreSource::Explicit(weights)).with_default_weight(0.1);
+        assert_eq!(p.weight(AttrId(0), &Value::text("barons")), 0.9);
+        assert_eq!(p.weight(AttrId(0), &Value::text("bulls")), 0.1);
+        assert_eq!(p.weight(AttrId(1), &Value::Int(7)), 0.1);
+    }
+
+    #[test]
+    fn uniform_source_and_set_weight() {
+        let s = spec();
+        let mut p = PreferenceModel::new(&s, 2, ScoreSource::Uniform);
+        assert_eq!(p.weight(AttrId(0), &Value::text("bulls")), 0.0);
+        p.set_weight(AttrId(0), Value::text("bulls"), 4.0);
+        assert_eq!(p.weight(AttrId(0), &Value::text("bulls")), 4.0);
+        // numeric width crossing via `same`
+        p.set_weight(AttrId(1), Value::Float(2.0), 1.5);
+        assert_eq!(p.weight(AttrId(1), &Value::Int(2)), 1.5);
+    }
+}

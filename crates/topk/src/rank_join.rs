@@ -1,0 +1,262 @@
+//! Algorithm `RankJoinCT` (Section 6.1): top-k candidate targets by extending
+//! top-k rank-join over ranked value lists.
+//!
+//! The algorithm assumes every null attribute's domain is given as a list
+//! ranked by score (`L_1..L_m`).  Following the HRJN family it pulls values
+//! from the lists round-robin, forms every join combination involving the
+//! newly pulled value and all previously seen values of the other lists, and
+//! maintains the classic rank-join threshold
+//! `τ = max_i ( nextScore(L_i) + Σ_{j≠i} topScore(L_j) )`.
+//! A buffered combination whose score is at least `τ` can safely be emitted —
+//! after passing the paper's additional `check` that the completed tuple is a
+//! genuine candidate target (Church-Rosser with the tuple as initial target).
+//!
+//! This is the baseline the paper improves on: it materializes (and `check`s)
+//! every join result it emits, which can be exponentially many, whereas
+//! `TopKCT` generates the next-best tuple directly.
+
+use crate::candidates::{CandidateSearch, ScoredCandidate, TopKResult, TopKStats};
+use relacc_heap::{F64Key, PairingHeap, RankedList, Scored};
+use relacc_model::Value;
+
+/// Run `RankJoinCT` on a prepared candidate search.
+pub fn rank_join_ct(search: &CandidateSearch<'_>) -> TopKResult {
+    let k = search.preference.k;
+    let mut stats = TopKStats::default();
+    if search.z.is_empty() {
+        return search.complete_result();
+    }
+    let m = search.arity();
+
+    // Ranked lists L_1..L_m (this sort is part of RankJoinCT's cost).
+    let mut lists: Vec<RankedList<Value>> = search
+        .domains
+        .iter()
+        .map(|d| RankedList::from_scored(d.clone()))
+        .collect();
+    if lists.iter().any(|l| l.is_empty()) {
+        return TopKResult {
+            candidates: Vec::new(),
+            stats,
+        };
+    }
+
+    // Values seen so far per list.
+    let mut seen: Vec<Vec<Scored<Value>>> = vec![Vec::new(); m];
+    // Buffer of join combinations not yet emitted, ordered by score.
+    let mut buffer: PairingHeap<F64Key, Vec<Value>> = PairingHeap::new();
+    let mut candidates: Vec<ScoredCandidate> = Vec::new();
+
+    // Fixed part of every candidate's score (the non-Z attributes).
+    let fixed_score = search.score(&search.deduced);
+
+    let threshold = |lists: &[RankedList<Value>], seen: &[Vec<Scored<Value>>]| -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for i in 0..lists.len() {
+            let Some(next) = lists[i].next_score() else { continue };
+            let mut sum = next;
+            let mut feasible = true;
+            for (j, seen_j) in seen.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                match seen_j.first() {
+                    Some(top) => sum += top.score,
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if feasible && sum > best {
+                best = sum;
+            }
+        }
+        best
+    };
+
+    // Safety valve: RankJoinCT materializes join combinations, which is
+    // exponential in the worst case (the very weakness TopKCT fixes).  Cap the
+    // number of buffered combinations so a single degenerate entity cannot
+    // exhaust memory; once the cap is hit the algorithm stops pulling and
+    // drains what it has buffered (the cap is far above anything the normal
+    // workloads reach, so results are unaffected there).
+    const MAX_GENERATED: usize = 500_000;
+    let mut exhausted = false;
+    let mut next_list = 0usize;
+    while candidates.len() < k {
+        // Emit buffered combinations that dominate the threshold.
+        let tau = if exhausted {
+            f64::NEG_INFINITY
+        } else {
+            threshold(&lists, &seen)
+        };
+        while candidates.len() < k {
+            match buffer.peek() {
+                Some((key, _)) if key.0 >= tau => {
+                    let (F64Key(score), z_values) = buffer.pop().expect("peeked entry");
+                    let candidate = search.assemble(&z_values);
+                    if search.check(&candidate, &mut stats) {
+                        candidates.push(ScoredCandidate {
+                            score: fixed_score + score,
+                            target: candidate,
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        if candidates.len() >= k || (exhausted && buffer.is_empty()) {
+            break;
+        }
+
+        // Pull the next value round-robin and join it with everything seen.
+        let mut pulled = false;
+        if stats.generated >= MAX_GENERATED {
+            exhausted = true;
+            continue;
+        }
+        for offset in 0..m {
+            let i = (next_list + offset) % m;
+            if let Some(entry) = lists[i].next_entry() {
+                let entry = entry.clone();
+                stats.pops += 1;
+                // join the new value of list i with all seen prefixes of the others
+                let mut combos: Vec<(f64, Vec<Value>)> = vec![(entry.score, Vec::new())];
+                for (j, seen_j) in seen.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let mut expanded = Vec::with_capacity(combos.len() * seen_j.len());
+                    for (score, partial) in &combos {
+                        for other in seen_j {
+                            let mut p = partial.clone();
+                            p.push(other.item.clone());
+                            expanded.push((score + other.score, p));
+                        }
+                    }
+                    combos = expanded;
+                    if combos.is_empty() {
+                        break;
+                    }
+                }
+                // Re-materialize the full Z order: positions j≠i were pushed in
+                // ascending j order, the new value of list i must be spliced in.
+                for (score, partial) in combos {
+                    let mut z_values = Vec::with_capacity(m);
+                    let mut it = partial.into_iter();
+                    for j in 0..m {
+                        if j == i {
+                            z_values.push(entry.item.clone());
+                        } else {
+                            z_values.push(it.next().expect("one value per other list"));
+                        }
+                    }
+                    stats.generated += 1;
+                    buffer.push(F64Key(score), z_values);
+                }
+                seen[i].push(entry);
+                next_list = (i + 1) % m;
+                pulled = true;
+                break;
+            }
+        }
+        if !pulled {
+            exhausted = true;
+        }
+    }
+
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+    candidates.truncate(k);
+    TopKResult { candidates, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateSearch;
+    use crate::preference::PreferenceModel;
+    use crate::topkct::topkct;
+    use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_core::Specification;
+    use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, Schema};
+
+    fn open_spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![
+                    Value::Int(16),
+                    Value::text("Chicago"),
+                    Value::text("Chicago Stadium"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("United Center"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        Specification::new(ie, rules)
+    }
+
+    #[test]
+    fn example9_top2_candidates() {
+        // Example 9 of the paper (team dropped from the master rule): the top-2
+        // candidates fix team = Chicago Bulls and differ on the arena.
+        let spec = open_spec();
+        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 2)).unwrap();
+        let result = rank_join_ct(&search);
+        assert_eq!(result.candidates.len(), 2);
+        assert!(result
+            .candidates
+            .iter()
+            .all(|c| c.target.value(AttrId(1)) == &Value::text("Chicago Bulls")));
+        assert!(result.candidates[0].score >= result.candidates[1].score);
+    }
+
+    #[test]
+    fn agrees_with_topkct_on_scores() {
+        let spec = open_spec();
+        for k in [1usize, 2, 3, 6, 10] {
+            let search =
+                CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, k)).unwrap();
+            let rj = rank_join_ct(&search);
+            let tk = topkct(&search);
+            assert_eq!(rj.candidates.len(), tk.candidates.len(), "k={k}");
+            for (a, b) in rj.candidates.iter().zip(tk.candidates.iter()) {
+                assert!((a.score - b.score).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_join_does_more_checks_than_topkct_for_small_k() {
+        let spec = open_spec();
+        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
+        let rj = rank_join_ct(&search);
+        let tk = topkct(&search);
+        assert_eq!(rj.candidates.len(), 1);
+        assert_eq!(tk.candidates.len(), 1);
+        // both find the same best candidate; RankJoinCT generates at least as
+        // many join combinations as TopKCT generates frontier objects
+        assert!(rj.stats.generated >= tk.candidates.len());
+        assert_eq!(rj.candidates[0].target, tk.candidates[0].target);
+    }
+}

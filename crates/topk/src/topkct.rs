@@ -1,0 +1,212 @@
+//! Algorithm `TopKCT` (Fig. 5 of the paper): top-k candidate targets from
+//! per-attribute value heaps, without requiring ranked lists.
+//!
+//! The key idea (Section 6.2): starting from the highest-scored assignment of
+//! the null attributes `Z`, the next-best candidate always differs from some
+//! already-generated candidate in exactly one attribute.  The frontier is kept
+//! in a priority queue (our pairing heap stands in for the Brodal queue), the
+//! per-attribute domains live in heaps `H_i` popped lazily into buffers `B_i`,
+//! and a seen-set prevents duplicate generation.  Every popped tuple is
+//! verified with `check` (a chase over the pre-computed grounding) before being
+//! emitted.
+
+use crate::candidates::{CandidateSearch, ScoredCandidate, TopKResult, TopKStats};
+use relacc_heap::{F64Key, PairingHeap, Scored, ScoredHeap};
+use relacc_model::Value;
+use std::collections::HashSet;
+
+/// A frontier object: an assignment of the `Z` attributes, the buffer indices
+/// it was generated from, and its score.
+#[derive(Debug, Clone)]
+struct FrontierObject {
+    z_values: Vec<Value>,
+    positions: Vec<usize>,
+    score: f64,
+}
+
+/// Run `TopKCT` on a prepared candidate search, returning at most
+/// `search.preference.k` candidate targets in non-increasing score order.
+pub fn topkct(search: &CandidateSearch<'_>) -> TopKResult {
+    let k = search.preference.k;
+    let mut stats = TopKStats::default();
+    if search.z.is_empty() {
+        return search.complete_result();
+    }
+    let m = search.arity();
+
+    // The heaps H_1..H_m, built in linear time from the candidate domains.
+    let mut heaps: Vec<ScoredHeap<Value>> = search
+        .domains
+        .iter()
+        .map(|d| ScoredHeap::heapify(d.clone()))
+        .collect();
+    // The buffers B_1..B_m of already-popped values.
+    let mut buffers: Vec<Vec<Scored<Value>>> = Vec::with_capacity(m);
+    for heap in &mut heaps {
+        match heap.pop() {
+            Some(top) => buffers.push(vec![top]),
+            None => {
+                // an attribute with an empty candidate domain admits no
+                // complete candidate target at all
+                stats.pops = heaps.iter().map(ScoredHeap::pop_count).sum();
+                return TopKResult {
+                    candidates: Vec::new(),
+                    stats,
+                };
+            }
+        }
+    }
+
+    let initial_values: Vec<Value> = buffers.iter().map(|b| b[0].item.clone()).collect();
+    let initial = FrontierObject {
+        score: search.score(&search.assemble(&initial_values)),
+        z_values: initial_values,
+        positions: vec![0; m],
+    };
+
+    let mut queue: PairingHeap<F64Key, FrontierObject> = PairingHeap::new();
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    seen.insert(initial.z_values.clone());
+    queue.push(F64Key(initial.score), initial);
+    stats.generated += 1;
+
+    let mut candidates: Vec<ScoredCandidate> = Vec::new();
+    while candidates.len() < k {
+        let Some((_, object)) = queue.pop() else { break };
+        let candidate = search.assemble(&object.z_values);
+        if search.check(&candidate, &mut stats) {
+            candidates.push(ScoredCandidate {
+                score: object.score,
+                target: candidate,
+            });
+        }
+        // Expand: bump each attribute to its next-best value.
+        for i in 0..m {
+            let next_pos = object.positions[i] + 1;
+            if buffers[i].len() <= next_pos {
+                match heaps[i].pop() {
+                    Some(entry) => buffers[i].push(entry),
+                    None => continue, // domain exhausted in this direction
+                }
+            }
+            let old = &buffers[i][object.positions[i]];
+            let new = &buffers[i][next_pos];
+            let mut z_values = object.z_values.clone();
+            z_values[i] = new.item.clone();
+            if seen.contains(&z_values) {
+                continue;
+            }
+            let score = object.score - old.score + new.score;
+            seen.insert(z_values.clone());
+            queue.push(
+                F64Key(score),
+                FrontierObject {
+                    z_values,
+                    positions: {
+                        let mut p = object.positions.clone();
+                        p[i] = next_pos;
+                        p
+                    },
+                    score,
+                },
+            );
+            stats.generated += 1;
+        }
+    }
+
+    stats.pops = heaps.iter().map(ScoredHeap::pop_count).sum();
+    TopKResult { candidates, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateSearch;
+    use crate::preference::PreferenceModel;
+    use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_core::Specification;
+    use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, Schema};
+
+    fn open_spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![
+                    Value::Int(16),
+                    Value::text("Chicago"),
+                    Value::text("Chicago Stadium"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("United Center"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        Specification::new(ie, rules)
+    }
+
+    #[test]
+    fn returns_k_candidates_in_score_order() {
+        let spec = open_spec();
+        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
+        let result = topkct(&search);
+        assert_eq!(result.candidates.len(), 3);
+        // highest scored candidate: team=Chicago Bulls (2), arena free (1 each)
+        assert_eq!(
+            result.candidates[0].target.value(AttrId(1)),
+            &Value::text("Chicago Bulls")
+        );
+        for w in result.candidates.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // every candidate passes check and completes the deduced target
+        assert!(result
+            .candidates
+            .iter()
+            .all(|c| c.target.value(AttrId(0)) == &Value::Int(27)));
+        assert!(result.stats.checks >= 3);
+        assert!(result.stats.pops >= 2);
+        assert!(result.stats.generated >= 3);
+    }
+
+    #[test]
+    fn exhausts_search_space_when_k_is_large() {
+        let spec = open_spec();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 100)).unwrap();
+        let result = topkct(&search);
+        // 2 team values × 3 arena values = 6 complete assignments
+        assert_eq!(result.candidates.len(), 6);
+        let mut unique: Vec<_> = result.candidates.iter().map(|c| c.target.clone()).collect();
+        unique.dedup();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn k_one_returns_the_best_assignment() {
+        let spec = open_spec();
+        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
+        let result = topkct(&search);
+        assert_eq!(result.candidates.len(), 1);
+        let best = &result.candidates[0];
+        assert_eq!(best.target.value(AttrId(1)), &Value::text("Chicago Bulls"));
+        assert_eq!(best.score, 2.0 + 2.0 + 1.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Algorithm `TopKCTh` (Section 6.3): a PTIME heuristic for top-k candidate
+//! targets.
+//!
+//! `TopKCTh` first generates `k` tuples exactly like `TopKCT` but *without* the
+//! expensive `check` step, then greedily revises each tuple with values from
+//! the candidate domains until it passes `check`.  The returned tuples are
+//! guaranteed to be candidate targets, but they need not have the globally
+//! highest scores — the trade-off between cost and quality the paper describes.
+
+use crate::candidates::{CandidateSearch, ScoredCandidate, TopKResult, TopKStats};
+use relacc_heap::{F64Key, PairingHeap, Scored, ScoredHeap};
+use relacc_model::{TargetTuple, Value};
+use std::collections::HashSet;
+
+/// Generate the `k` highest-scored complete assignments of the null attributes
+/// without checking them (the first phase of `TopKCTh`).
+fn unchecked_top_k(search: &CandidateSearch<'_>, k: usize, stats: &mut TopKStats) -> Vec<Vec<Value>> {
+    let m = search.arity();
+    let mut heaps: Vec<ScoredHeap<Value>> = search
+        .domains
+        .iter()
+        .map(|d| ScoredHeap::heapify(d.clone()))
+        .collect();
+    let mut buffers: Vec<Vec<Scored<Value>>> = Vec::with_capacity(m);
+    for heap in &mut heaps {
+        match heap.pop() {
+            Some(top) => buffers.push(vec![top]),
+            None => return Vec::new(),
+        }
+    }
+    let initial: Vec<Value> = buffers.iter().map(|b| b[0].item.clone()).collect();
+    let initial_score: f64 = buffers.iter().map(|b| b[0].score).sum();
+
+    let mut queue: PairingHeap<F64Key, (Vec<Value>, Vec<usize>, f64)> = PairingHeap::new();
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    seen.insert(initial.clone());
+    queue.push(F64Key(initial_score), (initial, vec![0; m], initial_score));
+
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let Some((_, (z_values, positions, score))) = queue.pop() else { break };
+        stats.generated += 1;
+        out.push(z_values.clone());
+        for i in 0..m {
+            let next_pos = positions[i] + 1;
+            if buffers[i].len() <= next_pos {
+                match heaps[i].pop() {
+                    Some(entry) => buffers[i].push(entry),
+                    None => continue,
+                }
+            }
+            let old = &buffers[i][positions[i]];
+            let new = &buffers[i][next_pos];
+            let mut z2 = z_values.clone();
+            z2[i] = new.item.clone();
+            if seen.contains(&z2) {
+                continue;
+            }
+            let s2 = score - old.score + new.score;
+            seen.insert(z2.clone());
+            let mut p2 = positions.clone();
+            p2[i] = next_pos;
+            queue.push(F64Key(s2), (z2, p2, s2));
+        }
+    }
+    stats.pops += heaps.iter().map(ScoredHeap::pop_count).sum::<usize>();
+    out
+}
+
+/// Greedily revise an assignment until it passes `check`, trying domain values
+/// in descending score order, one attribute at a time.  Returns `None` when no
+/// revision reachable by the greedy walk is a candidate target.
+fn greedy_repair(
+    search: &CandidateSearch<'_>,
+    z_values: &[Value],
+    stats: &mut TopKStats,
+) -> Option<TargetTuple> {
+    let candidate = search.assemble(z_values);
+    if search.check(&candidate, stats) {
+        return Some(candidate);
+    }
+    let m = search.arity();
+    let mut current = z_values.to_vec();
+    // Up to m passes: in each pass try to fix one attribute by substituting
+    // every alternative value (best score first).
+    for _ in 0..m {
+        let mut improved = false;
+        for i in 0..m {
+            let mut alternatives: Vec<&Scored<Value>> = search.domains[i].iter().collect();
+            alternatives.sort_by(|a, b| b.score.total_cmp(&a.score));
+            for alt in alternatives {
+                if alt.item.same(&current[i]) {
+                    continue;
+                }
+                let mut revised = current.clone();
+                revised[i] = alt.item.clone();
+                let candidate = search.assemble(&revised);
+                if search.check(&candidate, stats) {
+                    return Some(candidate);
+                }
+            }
+            // no single substitution of attribute i fixed it; greedily move to
+            // the overall best-scored value for i and keep revising the rest
+            if let Some(best) = search.domains[i]
+                .iter()
+                .max_by(|a, b| a.score.total_cmp(&b.score))
+            {
+                if !best.item.same(&current[i]) {
+                    current[i] = best.item.clone();
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    None
+}
+
+/// Run `TopKCTh` on a prepared candidate search.
+pub fn topkcth(search: &CandidateSearch<'_>) -> TopKResult {
+    let k = search.preference.k;
+    let mut stats = TopKStats::default();
+    if search.z.is_empty() {
+        return search.complete_result();
+    }
+    let assignments = unchecked_top_k(search, k, &mut stats);
+    let mut candidates: Vec<ScoredCandidate> = Vec::new();
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    for z_values in assignments {
+        if candidates.len() >= k {
+            break;
+        }
+        if let Some(target) = greedy_repair(search, &z_values, &mut stats) {
+            let key: Vec<Value> = target.values().to_vec();
+            if seen.insert(key) {
+                candidates.push(ScoredCandidate {
+                    score: search.score(&target),
+                    target,
+                });
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+    candidates.truncate(k);
+    TopKResult { candidates, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateSearch;
+    use crate::preference::PreferenceModel;
+    use crate::topkct::topkct;
+    use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_core::Specification;
+    use relacc_model::{CmpOp, DataType, EntityInstance, Schema};
+
+    fn open_spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![
+                    Value::Int(16),
+                    Value::text("Chicago"),
+                    Value::text("Chicago Stadium"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("United Center"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        Specification::new(ie, rules)
+    }
+
+    #[test]
+    fn heuristic_candidates_are_valid_and_complete() {
+        let spec = open_spec();
+        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
+        let result = topkcth(&search);
+        assert!(!result.candidates.is_empty());
+        assert!(result.candidates.len() <= 3);
+        let mut stats = TopKStats::default();
+        for c in &result.candidates {
+            assert!(c.target.is_complete());
+            assert!(search.check(&c.target, &mut stats));
+        }
+        for w in result.candidates.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn heuristic_matches_exact_top1_on_easy_instance() {
+        // On this instance every complete assignment passes check, so the
+        // heuristic's best tuple coincides with TopKCT's.
+        let spec = open_spec();
+        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
+        let exact = topkct(&search);
+        let heuristic = topkcth(&search);
+        assert_eq!(exact.candidates[0].target, heuristic.candidates[0].target);
+        // the heuristic performs no more checks than candidates it returns here
+        assert!(heuristic.stats.checks <= exact.stats.checks + 1);
+    }
+}

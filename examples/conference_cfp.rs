@@ -1,0 +1,74 @@
+//! A CFP-like scenario with user interaction: resolving conflicting calls for
+//! papers for the same conference through the framework of Fig. 3.
+//!
+//! Each entity is a conference whose scraped CFP versions disagree on
+//! deadlines, programme and venue.  The framework deduces what it can, shows
+//! top-k candidates, and a simulated user (who knows the ground truth) either
+//! accepts a suggestion or reveals the value of one attribute, until the true
+//! target is found.
+//!
+//! Run with: `cargo run --release --example conference_cfp`
+
+use relacc::datagen::workloads::cfp;
+use relacc::framework::{run_session, GroundTruthOracle, SessionConfig, TopKAlgorithm};
+use relacc::fusion::attribute_accuracy;
+use relacc::topk::ScoreSource;
+
+fn main() {
+    let data = cfp(0.5, 11);
+    println!(
+        "generated CFP-like workload: {} conferences, {} tuples, {} master entries, {} rules",
+        data.entities.len(),
+        data.total_tuples(),
+        data.master.len(),
+        data.rules.len()
+    );
+
+    let config = SessionConfig {
+        k: 15,
+        max_rounds: 4,
+        algorithm: TopKAlgorithm::TopKCT,
+        score_source: ScoreSource::OccurrenceCounts,
+    };
+
+    let mut automatic = 0usize;
+    let mut by_rounds = vec![0usize; config.max_rounds + 1];
+    let mut unresolved = 0usize;
+    for (idx, entity) in data.entities.iter().enumerate() {
+        let spec = data.specification(idx);
+        let mut oracle = GroundTruthOracle::new(entity.truth.clone(), 1000 + idx as u64);
+        let report = run_session(&spec, &config, &mut oracle);
+        let found = report
+            .outcome
+            .target()
+            .map(|t| attribute_accuracy(t, &entity.truth) == 1.0)
+            .unwrap_or(false);
+        if found {
+            if report.automatic {
+                automatic += 1;
+            }
+            by_rounds[report.rounds.min(config.max_rounds)] += 1;
+        } else {
+            unresolved += 1;
+        }
+    }
+
+    let n = data.entities.len();
+    println!();
+    println!("true target found fully automatically : {automatic:>4} ({:.1}%)", 100.0 * automatic as f64 / n as f64);
+    let mut cumulative = 0usize;
+    for (rounds, count) in by_rounds.iter().enumerate() {
+        cumulative += count;
+        println!(
+            "  within {rounds} interaction round(s)      : {cumulative:>4} ({:.1}%)",
+            100.0 * cumulative as f64 / n as f64
+        );
+    }
+    println!("not recovered within {} rounds        : {unresolved:>4} ({:.1}%)", config.max_rounds, 100.0 * unresolved as f64 / n as f64);
+    println!();
+    println!(
+        "(the unrecovered conferences carry a confidently wrong value — e.g. every scraped \
+         version agrees on a stale room — which no amount of suggestion ranking can fix; the \
+         user would edit Ie or Σ instead, the branch of Fig. 3 this example does not simulate)"
+    );
+}

@@ -1,0 +1,93 @@
+//! Authoring accuracy rules as text, translating constant CFDs, and mining
+//! rule candidates from training data.
+//!
+//! This example shows the three ways a rule set can come into existence:
+//! written by hand in the textual syntax, derived from existing constant CFDs
+//! (Section 2.1's remark), or proposed by the discovery profiler from a handful
+//! of entities whose true target is known (Section 4's remark).
+//!
+//! Run with: `cargo run --example rules_from_text`
+
+use relacc::core::chase::is_cr;
+use relacc::core::rules::{
+    cfds_to_rules, discover_rules, format_rule, parse_ruleset, ConstantCfd, DiscoveryConfig,
+};
+use relacc::core::Specification;
+use relacc::datagen::workloads::cfp;
+use relacc::model::{DataType, EntityInstance, Schema, Value};
+
+fn main() {
+    // 1. Hand-written rules in the textual syntax.
+    let schema = Schema::builder("listing")
+        .attr("address", DataType::Text)
+        .attr("updated", DataType::Int)
+        .attr("price", DataType::Int)
+        .attr("agency", DataType::Text)
+        .build();
+    let rules_text = "\
+# newer listings supersede older ones, and price follows
+rule newer: t1[updated] < t2[updated] -> t1 <= t2 on updated @currency
+rule price_follows: t1 < t2 on updated -> t1 <= t2 on price @currency
+";
+    let mut rules = parse_ruleset(rules_text, &schema, &[]).expect("rules parse");
+    println!("parsed {} hand-written rules", rules.len());
+
+    // 2. Constant CFDs become form-(2) rules over a pattern tableau.
+    let cfds = vec![ConstantCfd::new(
+        vec![(schema.expect_attr("agency"), Value::text("ACME Realty"))],
+        (schema.expect_attr("address"), Value::text("1 Main St")),
+    )];
+    let translation = cfds_to_rules(&schema, &cfds, 0);
+    println!(
+        "translated {} CFD(s) into {} rule(s) over a {}-tuple pattern tableau",
+        cfds.len(),
+        translation.rules.len(),
+        translation.master.len()
+    );
+    for rule in &translation.rules {
+        println!(
+            "  {}",
+            format_rule(
+                &rule.clone().into(),
+                &schema,
+                &[translation.master.schema().clone()]
+            )
+        );
+    }
+    rules.extend(translation.rules.clone());
+
+    // Chase a small listing entity with the combined rule set.
+    let ie = EntityInstance::from_rows(
+        schema.clone(),
+        vec![
+            vec![Value::text("3 Oak Ave"), Value::Int(1), Value::Int(980), Value::text("ACME Realty")],
+            vec![Value::Null, Value::Int(4), Value::Int(1050), Value::text("ACME Realty")],
+        ],
+    )
+    .unwrap();
+    let spec = Specification::new(ie, rules).with_master(translation.master);
+    let run = is_cr(&spec);
+    println!(
+        "chase: Church-Rosser = {}, deduced target = {}",
+        run.outcome.is_church_rosser(),
+        run.outcome.target().unwrap()
+    );
+    println!();
+
+    // 3. Mining rule candidates from entities with known truth.
+    let data = cfp(0.25, 5);
+    let training: Vec<_> = data
+        .entities
+        .iter()
+        .take(20)
+        .map(|e| (&e.instance, &e.truth))
+        .collect();
+    let mined = discover_rules(&training, &DiscoveryConfig::default());
+    println!("mined {} rule candidates from 20 training conferences; the strongest:", mined.len());
+    for proposal in mined.iter().take(5) {
+        println!(
+            "  {:<40} confidence={:.2} support={}",
+            proposal.rule.name, proposal.confidence, proposal.support
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the full pipeline from generated workloads
+//! through rules, chase, top-k search, the interactive framework and the
+//! truth-discovery baselines.
+
+use relacc::core::chase::{free_chase, is_cr, naive_is_cr};
+use relacc::core::rules::{format_ruleset, parse_ruleset};
+use relacc::datagen::generator::RuleForms;
+use relacc::datagen::paper_example::{expected_target, nba_schema, paper_specification};
+use relacc::datagen::rest::{rest, RestConfig};
+use relacc::datagen::workloads::{cfp, med, syn};
+use relacc::framework::{run_session, GroundTruthOracle, SessionConfig, TopKAlgorithm};
+use relacc::fusion::{attribute_accuracy, copy_cef, precision_recall, CopyCefConfig};
+use relacc::model::Value;
+use relacc::store::{from_csv, to_csv, Relation};
+use relacc::topk::{rank_join_ct, topkct, topkcth, CandidateSearch, PreferenceModel, ScoreSource};
+
+#[test]
+fn paper_example_full_pipeline() {
+    let spec = paper_specification();
+    // indexed, naive and free-order chases all agree with Example 5
+    let runs = [
+        is_cr(&spec),
+        naive_is_cr(&spec),
+        free_chase(&spec, 1),
+        free_chase(&spec, 99),
+    ];
+    for run in &runs {
+        assert!(run.outcome.is_church_rosser());
+        assert_eq!(run.outcome.target().unwrap(), &expected_target());
+    }
+    // the rule set round-trips through its textual form
+    let schema = spec.ie.schema().clone();
+    let text = format_ruleset(&spec.rules, &schema, &[nba_schema()]);
+    let reparsed = parse_ruleset(&text, &schema, &[nba_schema()]).unwrap();
+    assert_eq!(reparsed.len(), spec.rules.len());
+}
+
+#[test]
+fn med_entities_chase_cleanly_and_recover_truth() {
+    let data = med(0.01, 21);
+    assert!(data.entities.len() >= 20);
+    let mut accuracy = Vec::new();
+    for idx in 0..data.entities.len() {
+        let spec = data.specification(idx);
+        spec.validate().unwrap();
+        let run = is_cr(&spec);
+        let te = run.outcome.target().expect("Med specs are Church-Rosser");
+        accuracy.push(attribute_accuracy(te, &data.entities[idx].truth));
+        // every deduced (non-null) value must dominate its column in the final
+        // accuracy orders
+        let instance = run.outcome.instance().unwrap();
+        for a in spec.ie.schema().attr_ids() {
+            if !te.is_null(a) {
+                if let Some((_, v)) = instance.orders.attr(a).greatest() {
+                    assert!(v.same(te.value(a)) || te.value(a).same(v) || !te.value(a).is_null());
+                }
+            }
+        }
+    }
+    let mean = accuracy.iter().sum::<f64>() / accuracy.len() as f64;
+    assert!(mean > 0.6, "mean attribute accuracy {mean}");
+}
+
+#[test]
+fn rule_form_ablation_is_monotone() {
+    // Using both rule forms never deduces fewer attributes than either alone
+    // (the Exp-1 observation).
+    let data = cfp(0.25, 22);
+    for idx in 0..data.entities.len().min(15) {
+        let filled = |forms: RuleForms| {
+            let spec = data.specification_with(idx, forms, None);
+            is_cr(&spec)
+                .outcome
+                .target()
+                .map(|t| t.filled_count())
+                .unwrap_or(0)
+        };
+        let both = filled(RuleForms::Both);
+        assert!(both >= filled(RuleForms::Form1Only));
+        assert!(both >= filled(RuleForms::Form2Only));
+    }
+}
+
+#[test]
+fn topk_algorithms_agree_and_contain_truth_when_possible() {
+    let data = cfp(0.25, 23);
+    let mut checked = 0usize;
+    for idx in 0..data.entities.len() {
+        let spec = data.specification(idx);
+        let truth = &data.entities[idx].truth;
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 10)).unwrap();
+        if search.z.is_empty() || search.z.len() > 4 {
+            continue; // keep the exhaustive cross-check cheap
+        }
+        checked += 1;
+        let exact = topkct(&search);
+        let rank_join = rank_join_ct(&search);
+        let heuristic = topkcth(&search);
+        // the two exact algorithms return candidate sets with identical scores
+        assert_eq!(exact.candidates.len(), rank_join.candidates.len());
+        for (a, b) in exact.candidates.iter().zip(rank_join.candidates.iter()) {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        // every candidate of every algorithm completes the deduced target
+        for result in [&exact, &rank_join, &heuristic] {
+            for c in &result.candidates {
+                assert!(c.target.is_complete());
+                assert!(search.deduced.is_completed_by(&c.target));
+            }
+        }
+        // if the deduced part agrees with the truth AND every missing true
+        // value is available in the candidate domains, the exact algorithms
+        // find the truth once k covers the whole candidate space
+        let truth_reachable = search.deduced.is_completed_by(truth)
+            && search
+                .z
+                .iter()
+                .zip(search.domains.iter())
+                .all(|(a, domain)| domain.iter().any(|s| s.item.same(truth.value(*a))));
+        if truth_reachable {
+            let big =
+                CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 10_000))
+                    .unwrap();
+            let all = topkct(&big);
+            assert!(
+                all.contains(truth),
+                "entity {idx}: exhaustive top-k must contain the ground truth"
+            );
+        }
+        if checked >= 10 {
+            break;
+        }
+    }
+    assert!(checked >= 3, "the workload should produce checkable entities");
+}
+
+#[test]
+fn framework_sessions_terminate_and_find_targets() {
+    let data = cfp(0.25, 24);
+    let config = SessionConfig {
+        k: 10,
+        max_rounds: 5,
+        algorithm: TopKAlgorithm::TopKCTh,
+        score_source: ScoreSource::OccurrenceCounts,
+    };
+    let mut complete = 0usize;
+    for idx in 0..data.entities.len().min(25) {
+        let spec = data.specification(idx);
+        let mut oracle = GroundTruthOracle::new(data.entities[idx].truth.clone(), idx as u64);
+        let report = run_session(&spec, &config, &mut oracle);
+        assert!(report.rounds <= config.max_rounds);
+        if report.outcome.is_complete() {
+            complete += 1;
+        }
+    }
+    assert!(complete >= 15, "most sessions should end with a complete target, got {complete}");
+}
+
+#[test]
+fn syn_instances_scale_and_stay_church_rosser() {
+    for (ie, im, sigma) in [(50usize, 10usize, 12usize), (150, 30, 24), (300, 50, 40)] {
+        let inst = syn(ie, im, sigma, 77);
+        assert_eq!(inst.spec.entity_size(), ie);
+        assert_eq!(inst.spec.rule_count(), sigma);
+        let run = is_cr(&inst.spec);
+        assert!(run.outcome.is_church_rosser(), "syn({ie},{im},{sigma})");
+        // termination bound of Proposition 1: applied steps are polynomial in |Ie|
+        assert!(run.stats.steps_applied <= ie * ie * inst.spec.ie.schema().arity());
+    }
+}
+
+#[test]
+fn rest_truth_discovery_end_to_end() {
+    let data = rest(&RestConfig::scaled(0.03, 31));
+    let truth = data.closed_truth();
+    let cef = copy_cef(&data.observations, &CopyCefConfig::default());
+    let predicted: Vec<usize> = cef
+        .truths
+        .iter()
+        .filter(|(_, v)| matches!(v, Some(Value::Bool(true))))
+        .map(|(o, _)| o.0)
+        .collect();
+    let pr = precision_recall(&predicted, &truth);
+    assert!(pr.precision > 0.5, "copyCEF precision {}", pr.precision);
+    // detected copy pairs point from the appended copier sources to originals
+    assert!(cef
+        .copy_pairs
+        .iter()
+        .any(|(copier, _, p)| copier.0 >= 10 && *p > 0.5));
+}
+
+#[test]
+fn csv_round_trip_of_generated_entities() {
+    let data = cfp(0.25, 40);
+    let entity = &data.entities[0];
+    let mut relation = Relation::new(data.schema.clone());
+    for tuple in entity.instance.tuples() {
+        relation.push_row(tuple.values().to_vec()).unwrap();
+    }
+    let csv = to_csv(&relation);
+    let back = from_csv(data.schema.clone(), &csv).unwrap();
+    assert_eq!(back.len(), entity.instance.len());
+    let ie2 = back.to_entity_instance();
+    let spec1 = data.specification(0);
+    let run1 = is_cr(&spec1);
+    let spec2 = relacc::core::Specification::new(ie2, data.rules.clone())
+        .with_master(data.master.clone());
+    let run2 = is_cr(&spec2);
+    assert_eq!(
+        run1.outcome.target().map(|t| t.values().to_vec()),
+        run2.outcome.target().map(|t| t.values().to_vec()),
+        "chasing the CSV round-tripped instance gives the same target"
+    );
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the chase's semantic guarantees on randomly
+//! generated specifications:
+//!
+//! * the chase always terminates within the paper's step bound (Proposition 1);
+//! * when IsCR reports Church-Rosser, every (seeded) free-order chase reaches
+//!   exactly the same terminal instance (Theorem 2);
+//! * the indexed and the naive schedulers agree;
+//! * deduced target values always dominate their attribute's accuracy order;
+//! * every candidate returned by the top-k algorithms passes the candidate
+//!   check and completes the deduced target.
+
+use proptest::prelude::*;
+use relacc::core::chase::{free_chase, is_cr, naive_is_cr};
+use relacc::core::rules::{Predicate, RuleSet, TupleRule};
+use relacc::core::Specification;
+use relacc::model::{AttrId, CmpOp, DataType, EntityInstance, Schema, Value};
+use relacc::topk::{topkct, topkcth, CandidateSearch, PreferenceModel};
+
+/// A compact description of a random specification: a 3-attribute instance
+/// (one int "currency" column, two small text columns) plus a random subset of
+/// rule templates.
+#[derive(Debug, Clone)]
+struct RandomSpec {
+    rows: Vec<(Option<i64>, Option<u8>, Option<u8>)>,
+    use_currency: bool,
+    use_follow: bool,
+    use_reverse: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = RandomSpec> {
+    (
+        prop::collection::vec(
+            (
+                prop::option::of(0i64..5),
+                prop::option::of(0u8..3),
+                prop::option::of(0u8..3),
+            ),
+            1..8,
+        ),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(rows, use_currency, use_follow, use_reverse)| RandomSpec {
+            rows,
+            use_currency,
+            use_follow,
+            use_reverse,
+        })
+}
+
+fn build_spec(input: &RandomSpec) -> Specification {
+    let schema = Schema::builder("r")
+        .attr("seq", DataType::Int)
+        .attr("a", DataType::Text)
+        .attr("b", DataType::Text)
+        .build();
+    let mut ie = EntityInstance::new(schema.clone());
+    for (seq, a, b) in &input.rows {
+        ie.push_row(vec![
+            seq.map_or(Value::Null, Value::Int),
+            a.map_or(Value::Null, |x| Value::text(format!("a{x}"))),
+            b.map_or(Value::Null, |x| Value::text(format!("b{x}"))),
+        ])
+        .unwrap();
+    }
+    let mut rules = RuleSet::new();
+    if input.use_currency {
+        rules.push(TupleRule::new(
+            "currency",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        ));
+    }
+    if input.use_follow {
+        rules.push(TupleRule::new(
+            "follow",
+            vec![Predicate::OrderLt { attr: AttrId(0) }],
+            AttrId(1),
+        ));
+    }
+    if input.use_reverse {
+        // deliberately conflict-prone: order `b` against the currency direction
+        rules.push(TupleRule::new(
+            "reverse",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Gt)],
+            AttrId(2),
+        ));
+    }
+    Specification::new(ie, rules)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1: the chase terminates, with polynomially many applied steps.
+    #[test]
+    fn chase_terminates_within_bounds(input in arb_spec()) {
+        let spec = build_spec(&input);
+        let n = spec.entity_size();
+        let arity = spec.ie.schema().arity();
+        let run = is_cr(&spec);
+        prop_assert!(run.stats.steps_applied <= (n * n + n + 1) * arity + arity);
+        prop_assert!(run.stats.order_pairs_added <= n * n * arity + arity);
+    }
+
+    /// Theorem 2: if IsCR says Church-Rosser, every chase order reaches the
+    /// same terminal instance; the naive scheduler agrees as well.
+    #[test]
+    fn church_rosser_means_order_independence(input in arb_spec(), seeds in prop::collection::vec(any::<u64>(), 3)) {
+        let spec = build_spec(&input);
+        let reference = is_cr(&spec);
+        if let Some(te) = reference.outcome.target() {
+            let naive = naive_is_cr(&spec);
+            prop_assert!(naive.outcome.is_church_rosser());
+            prop_assert_eq!(naive.outcome.target().unwrap(), te);
+            for seed in seeds {
+                let free = free_chase(&spec, seed);
+                prop_assert!(free.outcome.is_church_rosser());
+                prop_assert_eq!(free.outcome.target().unwrap(), te);
+                prop_assert_eq!(
+                    free.outcome.instance().unwrap().orders.total_edges(),
+                    reference.outcome.instance().unwrap().orders.total_edges()
+                );
+            }
+        }
+    }
+
+    /// Every deduced non-null target value dominates its attribute order, and
+    /// never contradicts the non-null values of the tuples it was drawn from.
+    #[test]
+    fn deduced_values_dominate_their_columns(input in arb_spec()) {
+        let spec = build_spec(&input);
+        let run = is_cr(&spec);
+        if let Some(instance) = run.outcome.instance() {
+            for a in spec.ie.schema().attr_ids() {
+                let te_v = instance.target.value(a);
+                if te_v.is_null() {
+                    continue;
+                }
+                let ord = instance.orders.attr(a);
+                if let Some(c) = ord.class_of_value(te_v) {
+                    for other in 0..ord.num_classes() {
+                        prop_assert!(
+                            ord.class_le(relacc::model::ClassId(other), c),
+                            "target value must dominate class {other} of {a}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Top-k candidates always pass the candidate-target check, complete the
+    /// deduced target, and come out sorted by score.
+    #[test]
+    fn topk_candidates_are_valid(input in arb_spec(), k in 1usize..6) {
+        let spec = build_spec(&input);
+        let preference = PreferenceModel::occurrence(&spec, k);
+        let Ok(search) = CandidateSearch::prepare(&spec, preference) else {
+            return Ok(()); // not Church-Rosser: nothing to verify here
+        };
+        for result in [topkct(&search), topkcth(&search)] {
+            prop_assert!(result.candidates.len() <= k.max(1));
+            for w in result.candidates.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+            let mut stats = relacc::topk::TopKStats::default();
+            for c in &result.candidates {
+                prop_assert!(c.target.is_complete());
+                prop_assert!(search.deduced.is_completed_by(&c.target));
+                prop_assert!(search.check(&c.target, &mut stats));
+            }
+        }
+    }
+}
