@@ -1,0 +1,83 @@
+//! The compile-once ablation: evaluating a corpus of entities by rebuilding a
+//! `Specification` (rule clone + grounding + index allocation) per entity —
+//! the seed architecture — versus evaluating one pre-compiled `ChasePlan`
+//! through `relacc-engine`'s batch driver, single-threaded and with one worker
+//! per core.
+//!
+//! The workload is the datagen restaurant corpus (`Rest`, Exp-5): ~1k entity
+//! instances sharing one rule set at scale 0.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relacc_core::chase::is_cr;
+use relacc_datagen::rest::{rest, RestConfig};
+use relacc_engine::BatchEngine;
+use relacc_model::EntityInstance;
+use std::hint::black_box;
+
+fn bench_batch_pipeline(c: &mut Criterion) {
+    let data = rest(&RestConfig::scaled(0.2, 99));
+    let entities: Vec<EntityInstance> = data
+        .restaurants
+        .iter()
+        .map(|r| r.instance.clone())
+        .collect();
+    let n = entities.len();
+    assert!(
+        n >= 1000,
+        "the scaled Rest corpus should have >= 1k entities"
+    );
+
+    let mut group = c.benchmark_group("batch_pipeline/rest");
+    group.sample_size(10);
+
+    // The seed path: per entity, clone the rule set into a fresh
+    // specification, re-ground everything, allocate a fresh index.
+    group.bench_with_input(BenchmarkId::new("recompile_per_entity", n), &(), |b, ()| {
+        b.iter(|| {
+            let mut complete = 0usize;
+            for idx in 0..n {
+                let spec = data.specification(idx);
+                let run = is_cr(&spec);
+                if run
+                    .outcome
+                    .target()
+                    .map(|t| t.is_complete())
+                    .unwrap_or(false)
+                {
+                    complete += 1;
+                }
+            }
+            black_box(complete)
+        })
+    });
+
+    // The compiled path: one plan, interned entities, per-worker scratch.
+    let single = BatchEngine::new(data.schema.clone(), data.rules.clone(), vec![])
+        .expect("rest rules validate")
+        .with_threads(1)
+        .with_suggestion_k(0);
+    let mut interned = entities.clone();
+    single.intern_entities(&mut interned);
+    group.bench_with_input(
+        BenchmarkId::new("compiled_plan_1_thread", n),
+        &interned,
+        |b, interned| b.iter(|| black_box(single.run(interned)).complete),
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let parallel = BatchEngine::new(data.schema.clone(), data.rules.clone(), vec![])
+        .expect("rest rules validate")
+        .with_threads(cores)
+        .with_suggestion_k(0);
+    group.bench_with_input(
+        BenchmarkId::new(format!("compiled_plan_{cores}_threads"), n),
+        &interned,
+        |b, interned| b.iter(|| black_box(parallel.run(interned)).complete),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_pipeline);
+criterion_main!(benches);

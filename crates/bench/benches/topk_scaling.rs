@@ -31,11 +31,9 @@ fn bench_vary_ie(c: &mut Criterion) {
     for ie in [60usize, 120, 180, 240] {
         let inst = syn(ie, BASE_IM, BASE_SIGMA, 21);
         for algo in ["rankjoinct", "topkct", "topkcth"] {
-            group.bench_with_input(
-                BenchmarkId::new(algo, ie),
-                &inst,
-                |b, inst| b.iter(|| run_algorithm(&inst.spec, BASE_K, algo)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo, ie), &inst, |b, inst| {
+                b.iter(|| run_algorithm(&inst.spec, BASE_K, algo))
+            });
         }
     }
     group.finish();
@@ -47,11 +45,9 @@ fn bench_vary_sigma(c: &mut Criterion) {
     for sigma in [10usize, 30, 50] {
         let inst = syn(BASE_IE, BASE_IM, sigma, 22);
         for algo in ["rankjoinct", "topkct", "topkcth"] {
-            group.bench_with_input(
-                BenchmarkId::new(algo, sigma),
-                &inst,
-                |b, inst| b.iter(|| run_algorithm(&inst.spec, BASE_K, algo)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo, sigma), &inst, |b, inst| {
+                b.iter(|| run_algorithm(&inst.spec, BASE_K, algo))
+            });
         }
     }
     group.finish();
@@ -63,11 +59,9 @@ fn bench_vary_im(c: &mut Criterion) {
     for im in [20usize, 60, 100] {
         let inst = syn(BASE_IE, im, BASE_SIGMA, 23);
         for algo in ["rankjoinct", "topkct", "topkcth"] {
-            group.bench_with_input(
-                BenchmarkId::new(algo, im),
-                &inst,
-                |b, inst| b.iter(|| run_algorithm(&inst.spec, BASE_K, algo)),
-            );
+            group.bench_with_input(BenchmarkId::new(algo, im), &inst, |b, inst| {
+                b.iter(|| run_algorithm(&inst.spec, BASE_K, algo))
+            });
         }
     }
     group.finish();
@@ -87,5 +81,11 @@ fn bench_vary_k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vary_ie, bench_vary_sigma, bench_vary_im, bench_vary_k);
+criterion_group!(
+    benches,
+    bench_vary_ie,
+    bench_vary_sigma,
+    bench_vary_im,
+    bench_vary_k
+);
 criterion_main!(benches);

@@ -10,15 +10,14 @@ use relacc_core::chase::is_cr;
 use relacc_datagen::generator::{Dataset, RuleForms};
 use relacc_datagen::rest::{rest, RestConfig, RestDataset};
 use relacc_datagen::workloads::{cfp, med, syn};
+use relacc_engine::{BatchEngine, EntityOutcome as EngineEntityOutcome};
 use relacc_framework::{run_session, GroundTruthOracle, SessionConfig, TopKAlgorithm};
 use relacc_fusion::{
     attribute_accuracy, copy_cef, deduce_order, precision_recall, voting_over_sources,
     voting_target, CopyCefConfig, ObjectId, PrecisionRecall,
 };
 use relacc_model::Value;
-use relacc_topk::{
-    rank_join_ct, topkct, topkcth, CandidateSearch, PreferenceModel, ScoreSource,
-};
+use relacc_topk::{rank_join_ct, topkct, topkcth, CandidateSearch, PreferenceModel, ScoreSource};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -96,22 +95,36 @@ fn pct(numerator: usize, denominator: usize) -> f64 {
 /// Run IsCR over every entity of a dataset with the given rule forms, returning
 /// (% complete targets, % attributes deduced, % attributes deduced correctly,
 /// % Church-Rosser).
+///
+/// The loop goes through the compile-once batch engine: one `ChasePlan` per
+/// rule-form variant, evaluated against every entity in parallel.
 fn iscr_effectiveness(data: &Dataset, forms: RuleForms) -> (f64, f64, f64, f64) {
+    let rules = match forms {
+        RuleForms::Both => data.rules.clone(),
+        RuleForms::Form1Only => data.rules.only_tuple_rules(),
+        RuleForms::Form2Only => data.rules.only_master_rules(),
+    };
+    let engine = BatchEngine::new(data.schema.clone(), rules, vec![data.master.clone()])
+        .expect("generated rules validate")
+        .with_suggestion_k(0);
+    let instances: Vec<_> = data.entities.iter().map(|e| e.instance.clone()).collect();
+    let report = engine.run_owned(instances);
+
     let mut complete = 0usize;
     let mut cr = 0usize;
     let mut deduced_fraction_sum = 0.0;
     let mut accuracy_sum = 0.0;
-    for idx in 0..data.entities.len() {
-        let spec = data.specification_with(idx, forms, None);
-        let run = is_cr(&spec);
-        if let Some(te) = run.outcome.target() {
-            cr += 1;
-            if te.is_complete() {
-                complete += 1;
-            }
-            deduced_fraction_sum += te.filled_count() as f64 / te.arity() as f64;
-            accuracy_sum += attribute_accuracy(te, &data.entities[idx].truth);
+    for entity in &report.entities {
+        if entity.outcome == EngineEntityOutcome::NotChurchRosser {
+            continue;
         }
+        let te = &entity.deduced;
+        cr += 1;
+        if te.is_complete() {
+            complete += 1;
+        }
+        deduced_fraction_sum += te.filled_count() as f64 / te.arity() as f64;
+        accuracy_sum += attribute_accuracy(te, &data.entities[entity.entity].truth);
     }
     let n = data.entities.len();
     (
@@ -192,7 +205,11 @@ fn truth_rank(
         return None;
     };
     if search.deduced.is_complete() {
-        return if &search.deduced == truth { Some(0) } else { None };
+        return if &search.deduced == truth {
+            Some(0)
+        } else {
+            None
+        };
     }
     // the deduced part must agree with the truth, otherwise no completion can match
     if !search.deduced.is_completed_by(truth) {
@@ -240,7 +257,13 @@ pub fn exp2(config: &ExperimentConfig) -> Vec<Report> {
     const SAMPLE_CAP: usize = 150;
     let mut reports = Vec::new();
     let datasets = [
-        ("Med", med(config.scale, config.seed), "Fig 6(b)", "Fig 6(c)", 2400.0),
+        (
+            "Med",
+            med(config.scale, config.seed),
+            "Fig 6(b)",
+            "Fig 6(c)",
+            2400.0,
+        ),
         (
             "CFP",
             cfp(config.scale.max(0.25), config.seed + 1),
@@ -309,7 +332,12 @@ pub fn exp2(config: &ExperimentConfig) -> Vec<Report> {
 pub fn exp3(config: &ExperimentConfig) -> Vec<Report> {
     let datasets = [
         ("Med", med(config.scale, config.seed), "Fig 6(d)", 3usize),
-        ("CFP", cfp(config.scale.max(0.25), config.seed + 1), "Fig 6(h)", 4usize),
+        (
+            "CFP",
+            cfp(config.scale.max(0.25), config.seed + 1),
+            "Fig 6(h)",
+            4usize,
+        ),
     ];
     let mut reports = Vec::new();
     for (name, data, fig, max_h) in datasets {
@@ -362,7 +390,12 @@ pub fn exp3(config: &ExperimentConfig) -> Vec<Report> {
 
 fn time_algorithms(spec: &relacc_core::Specification, k: usize) -> Vec<(String, f64)> {
     let mut out = Vec::new();
-    eprintln!("#   timing |Ie|={} |Im|={} |Sigma|={} k={k}", spec.entity_size(), spec.master_size(), spec.rule_count());
+    eprintln!(
+        "#   timing |Ie|={} |Im|={} |Sigma|={} k={k}",
+        spec.entity_size(),
+        spec.master_size(),
+        spec.rule_count()
+    );
     // IsCR time (reported in the text: "IsCR takes less than 10 ms")
     let start = Instant::now();
     let _ = is_cr(spec);
@@ -417,7 +450,9 @@ pub fn exp4(config: &ExperimentConfig) -> Vec<Report> {
 
     let mut fig6i = Report {
         artifact: "Fig 6(i)".into(),
-        description: format!("Syn: elapsed time varying ‖Ie‖ (‖Im‖={base_im}, ‖Σ‖={base_sigma}, k=15)"),
+        description: format!(
+            "Syn: elapsed time varying ‖Ie‖ (‖Im‖={base_im}, ‖Σ‖={base_sigma}, k=15)"
+        ),
         rows: Vec::new(),
     };
     for ie in &ie_list {
@@ -432,7 +467,9 @@ pub fn exp4(config: &ExperimentConfig) -> Vec<Report> {
 
     let mut fig6j = Report {
         artifact: "Fig 6(j)".into(),
-        description: format!("Syn: elapsed time varying ‖Σ‖ (‖Ie‖={base_ie}, ‖Im‖={base_im}, k=15)"),
+        description: format!(
+            "Syn: elapsed time varying ‖Σ‖ (‖Ie‖={base_ie}, ‖Im‖={base_im}, k=15)"
+        ),
         rows: Vec::new(),
     };
     for sigma in &sigma_list {
@@ -447,7 +484,9 @@ pub fn exp4(config: &ExperimentConfig) -> Vec<Report> {
 
     let mut fig6k = Report {
         artifact: "Fig 6(k)".into(),
-        description: format!("Syn: elapsed time varying ‖Im‖ (‖Ie‖={base_ie}, ‖Σ‖={base_sigma}, k=15)"),
+        description: format!(
+            "Syn: elapsed time varying ‖Im‖ (‖Ie‖={base_ie}, ‖Σ‖={base_sigma}, k=15)"
+        ),
         rows: Vec::new(),
     };
     for im in &im_list {
@@ -462,7 +501,9 @@ pub fn exp4(config: &ExperimentConfig) -> Vec<Report> {
 
     let mut fig6l = Report {
         artifact: "Fig 6(l)".into(),
-        description: format!("Syn: elapsed time varying k (‖Ie‖={base_ie}, ‖Im‖={base_im}, ‖Σ‖={base_sigma})"),
+        description: format!(
+            "Syn: elapsed time varying k (‖Ie‖={base_ie}, ‖Im‖={base_im}, ‖Σ‖={base_sigma})"
+        ),
         rows: Vec::new(),
     };
     for k in &k_list {
@@ -576,7 +617,10 @@ fn rest_predictions_topkct(
         } else {
             Some(search.deduced.value(closed_attr).clone())
         };
-        if closed_value.map(|v| v.same(&Value::Bool(true))).unwrap_or(false) {
+        if closed_value
+            .map(|v| v.same(&Value::Bool(true)))
+            .unwrap_or(false)
+        {
             predicted.push(idx);
         }
     }
@@ -656,11 +700,7 @@ pub fn exp5(config: &ExperimentConfig) -> Vec<Report> {
     // DeduceOrder
     let deduce_predicted: Vec<usize> = (0..rest_data.restaurants.len())
         .filter(|&idx| {
-            let result = deduce_order(
-                &rest_data.restaurants[idx].instance,
-                &rest_data.rules,
-                &[],
-            );
+            let result = deduce_order(&rest_data.restaurants[idx].instance, &rest_data.rules, &[]);
             result.resolved.value(closed_attr).same(&Value::Bool(true))
         })
         .collect();
@@ -669,7 +709,11 @@ pub fn exp5(config: &ExperimentConfig) -> Vec<Report> {
     let votes = voting_over_sources(&rest_data.observations);
     let voting_predicted: Vec<usize> = votes
         .iter()
-        .filter(|(_, v)| v.as_ref().map(|v| v.same(&Value::Bool(true))).unwrap_or(false))
+        .filter(|(_, v)| {
+            v.as_ref()
+                .map(|v| v.same(&Value::Bool(true)))
+                .unwrap_or(false)
+        })
         .map(|(o, _)| o.0)
         .collect();
 
@@ -678,7 +722,11 @@ pub fn exp5(config: &ExperimentConfig) -> Vec<Report> {
     let cef_predicted: Vec<usize> = cef
         .truths
         .iter()
-        .filter(|(_, v)| v.as_ref().map(|v| v.same(&Value::Bool(true))).unwrap_or(false))
+        .filter(|(_, v)| {
+            v.as_ref()
+                .map(|v| v.same(&Value::Bool(true)))
+                .unwrap_or(false)
+        })
         .map(|(o, _)| o.0)
         .collect();
 
@@ -694,7 +742,10 @@ pub fn exp5(config: &ExperimentConfig) -> Vec<Report> {
             rest_data.source_names.len()
         ),
         rows: vec![
-            pr_row("DeduceOrder", precision_recall(&deduce_predicted, &truth_closed)),
+            pr_row(
+                "DeduceOrder",
+                precision_recall(&deduce_predicted, &truth_closed),
+            ),
             pr_row("voting", precision_recall(&voting_predicted, &truth_closed)),
             pr_row("copyCEF", precision_recall(&cef_predicted, &truth_closed)),
             pr_row(

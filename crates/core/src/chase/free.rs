@@ -12,7 +12,7 @@
 //! runtime dependencies; the sequence is fully determined by the seed.
 
 use super::ground::{ground, Grounding};
-use super::iscr::{pending_satisfied, ChaseRun, Chaser};
+use super::iscr::{run_chase, ChaseRun, SeededScheduler};
 use super::spec::Specification;
 use relacc_model::{AccuracyOrders, TargetTuple};
 
@@ -52,52 +52,23 @@ pub fn free_chase(spec: &Specification, seed: u64) -> ChaseRun {
 }
 
 /// Free-order chase over a pre-computed grounding.
+///
+/// Shares the core enforcement loop of `IsCR` (see
+/// [`crate::chase::iscr`]); only the step-selection strategy differs.
 pub fn free_chase_with_grounding(
     spec: &Specification,
     grounding: &Grounding,
     initial_target: &TargetTuple,
     seed: u64,
 ) -> ChaseRun {
-    let mut rng = SplitMix64::new(seed);
-    let mut chaser = Chaser::new(spec, initial_target);
-    chaser.stats.ground_steps = grounding.steps.len();
-    chaser.stats.pairs_considered = grounding.pairs_considered;
-    if let Err(conflict) = chaser.bootstrap() {
-        return chaser.finish(false, Some(conflict));
-    }
-    let _ = chaser.take_events();
-
-    let mut fired = vec![false; grounding.steps.len()];
-    loop {
-        // Collect the currently applicable, unfired steps.
-        let applicable: Vec<usize> = grounding
-            .steps
-            .iter()
-            .enumerate()
-            .filter(|(id, step)| {
-                !fired[*id]
-                    && step
-                        .pending
-                        .iter()
-                        .all(|p| pending_satisfied(p, chaser.orders(), chaser.target()))
-            })
-            .map(|(id, _)| id)
-            .collect();
-        if applicable.is_empty() {
-            break;
-        }
-        let pick = applicable[rng.next_below(applicable.len())];
-        fired[pick] = true;
-        chaser.stats.steps_considered += 1;
-        let step = &grounding.steps[pick];
-        match chaser.apply(step.origin, &step.action) {
-            Ok(true) => chaser.stats.steps_applied += 1,
-            Ok(false) => chaser.stats.noop_steps += 1,
-            Err(conflict) => return chaser.finish(false, Some(conflict)),
-        }
-        let _ = chaser.take_events();
-    }
-    chaser.finish(true, None)
+    let mut scheduler = SeededScheduler::new(seed);
+    run_chase(
+        &spec.ie,
+        &spec.rules,
+        grounding,
+        initial_target,
+        &mut scheduler,
+    )
 }
 
 #[cfg(test)]

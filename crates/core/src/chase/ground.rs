@@ -23,12 +23,12 @@
 
 use super::spec::Specification;
 use crate::rules::{
-    AccuracyRule, MasterPremise, MasterRule, Operand, Predicate, TupleRule, TupleRef,
+    AccuracyRule, MasterPremise, MasterRule, Operand, Predicate, RuleSet, TupleRef, TupleRule,
 };
 use relacc_model::{
-    AccuracyOrders, AttrId, ClassId, CmpOp, EntityInstance, TupleId, Value,
+    AccuracyOrders, AttrId, ClassId, CmpOp, EntityInstance, MasterRelation, TupleId, Value,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Where a ground step came from (used in diagnostics and conflict reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,6 +128,17 @@ pub struct Grounding {
     pub folded_away: usize,
 }
 
+impl Grounding {
+    /// Empty the grounding while keeping its allocations (used by the
+    /// per-worker scratch buffers of the batch engine).
+    pub fn clear(&mut self) {
+        self.steps.clear();
+        self.pairs_considered = 0;
+        self.master_tuples_considered = 0;
+        self.folded_away = 0;
+    }
+}
+
 /// Outcome of folding a single premise against a concrete tuple pair.
 enum Folded {
     True,
@@ -172,6 +183,30 @@ fn fold_cmp<'v>(
     }
 }
 
+/// The attributes whose per-tuple value class can influence the fold of a
+/// rule against a tuple pair: the conclusion plus every premise attribute
+/// referenced through `t1[·]` / `t2[·]` (constants and `te[·]` operands do
+/// not vary with the tuple pair).
+fn referenced_attrs(rule: &TupleRule) -> Vec<AttrId> {
+    let mut attrs: Vec<AttrId> = Vec::with_capacity(1 + rule.premises.len());
+    attrs.push(rule.conclusion);
+    for p in &rule.premises {
+        match p {
+            Predicate::Cmp { left, right, .. } => {
+                for operand in [left, right] {
+                    if let Operand::Attr(_, a) = operand {
+                        attrs.push(*a);
+                    }
+                }
+            }
+            Predicate::OrderLt { attr } | Predicate::OrderLe { attr } => attrs.push(*attr),
+        }
+    }
+    attrs.sort_unstable();
+    attrs.dedup();
+    attrs
+}
+
 fn ground_tuple_rule(
     rule_idx: usize,
     rule: &TupleRule,
@@ -181,18 +216,55 @@ fn ground_tuple_rule(
     seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
 ) {
     let n = ie.len();
+    if n < 2 {
+        return;
+    }
+    // Tuples with the same value class on every attribute the rule references
+    // fold identically (value classes group `same()`-equal values, and every
+    // premise and the conclusion only look at those values or classes), so the
+    // pair loop runs over class-signature representatives instead of all
+    // `n(n-1)` ordered tuple pairs.  `pairs_considered` / `folded_away` still
+    // count the underlying tuple pairs, matching the naive enumeration.
+    let attrs = referenced_attrs(rule);
+    let mut groups: Vec<Vec<TupleId>> = Vec::new();
+    let mut by_signature: HashMap<Vec<ClassId>, usize> = HashMap::new();
+    let mut signature: Vec<ClassId> = Vec::with_capacity(attrs.len());
     for i in 0..n {
-        for j in 0..n {
-            if i == j {
-                continue;
+        signature.clear();
+        signature.extend(attrs.iter().map(|a| orders.attr(*a).class_of(TupleId(i))));
+        match by_signature.get(&signature) {
+            Some(&g) => groups[g].push(TupleId(i)),
+            None => {
+                by_signature.insert(signature.clone(), groups.len());
+                groups.push(vec![TupleId(i)]);
             }
-            out.pairs_considered += 1;
-            let (t1, t2) = (TupleId(i), TupleId(j));
+        }
+    }
+
+    let k = groups.len();
+    for gi in 0..k {
+        for gj in 0..k {
+            let (t1, t2, underlying) = if gi == gj {
+                // within a group every ordered pair folds to a no-op (the
+                // conclusion classes coincide), but they still count
+                if groups[gi].len() < 2 {
+                    continue;
+                }
+                let c = groups[gi].len();
+                (groups[gi][0], groups[gi][1], c * (c - 1))
+            } else {
+                (
+                    groups[gi][0],
+                    groups[gj][0],
+                    groups[gi].len() * groups[gj].len(),
+                )
+            };
+            out.pairs_considered += underlying;
             let concl = orders.attr(rule.conclusion);
             let (lo, hi) = (concl.class_of(t1), concl.class_of(t2));
             if lo == hi {
                 // the conclusion is a no-op (equal values are already mutually ⪯)
-                out.folded_away += 1;
+                out.folded_away += underlying;
                 continue;
             }
             let mut pending: Vec<PendingPred> = Vec::new();
@@ -233,7 +305,7 @@ fn ground_tuple_rule(
                 }
             }
             if dead {
-                out.folded_away += 1;
+                out.folded_away += underlying;
                 continue;
             }
             let action = StepAction::Order {
@@ -248,8 +320,9 @@ fn ground_tuple_rule(
                     action,
                     pending,
                 });
+                out.folded_away += underlying - 1;
             } else {
-                out.folded_away += 1;
+                out.folded_away += underlying;
             }
         }
     }
@@ -258,11 +331,11 @@ fn ground_tuple_rule(
 fn ground_master_rule(
     rule_idx: usize,
     rule: &MasterRule,
-    spec: &Specification,
+    masters: &[MasterRelation],
     out: &mut Grounding,
     seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
 ) {
-    let Some(master) = spec.masters.get(rule.master_index) else {
+    let Some(master) = masters.get(rule.master_index) else {
         return;
     };
     for tm in master.tuples() {
@@ -342,6 +415,39 @@ fn ground_master_rule(
     }
 }
 
+/// Ground only the form-(1) rules of `rules` against an entity instance,
+/// appending to `out`.  This is the entity-dependent half of `Instantiation`;
+/// the form-(2) half ([`ground_master_rules`]) only depends on the master data
+/// and is pre-computed once by [`crate::chase::ChasePlan`].
+pub(crate) fn ground_tuple_rules(
+    rules: &RuleSet,
+    ie: &EntityInstance,
+    orders: &AccuracyOrders,
+    out: &mut Grounding,
+    seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
+) {
+    for (idx, rule) in rules.rules().iter().enumerate() {
+        if let AccuracyRule::Tuple(r) = rule {
+            ground_tuple_rule(idx, r, ie, orders, out, seen);
+        }
+    }
+}
+
+/// Ground only the form-(2) rules of `rules` against the master relations,
+/// appending to `out`.  Independent of any entity instance.
+pub(crate) fn ground_master_rules(
+    rules: &RuleSet,
+    masters: &[MasterRelation],
+    out: &mut Grounding,
+    seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
+) {
+    for (idx, rule) in rules.rules().iter().enumerate() {
+        if let AccuracyRule::Master(r) = rule {
+            ground_master_rule(idx, r, masters, out, seen);
+        }
+    }
+}
+
 /// Ground a specification into `Γ` (the paper's `Instantiation`).
 ///
 /// `orders` must be the freshly built [`AccuracyOrders`] of the specification's
@@ -350,21 +456,15 @@ fn ground_master_rule(
 pub fn ground(spec: &Specification, orders: &AccuracyOrders) -> Grounding {
     let mut out = Grounding::default();
     let mut seen: HashSet<(StepAction, Vec<PendingPred>)> = HashSet::new();
-    for (idx, rule) in spec.rules.rules().iter().enumerate() {
-        match rule {
-            AccuracyRule::Tuple(r) => {
-                ground_tuple_rule(idx, r, &spec.ie, orders, &mut out, &mut seen)
-            }
-            AccuracyRule::Master(r) => ground_master_rule(idx, r, spec, &mut out, &mut seen),
-        }
-    }
+    ground_tuple_rules(&spec.rules, &spec.ie, orders, &mut out, &mut seen);
+    ground_master_rules(&spec.rules, &spec.masters, &mut out, &mut seen);
     out
 }
 
 /// Render a step origin as a rule name, for diagnostics.
-pub fn origin_name(spec: &Specification, origin: StepOrigin) -> String {
+pub fn origin_name(rules: &RuleSet, origin: StepOrigin) -> String {
     match origin {
-        StepOrigin::Rule(i) => spec.rules.rule(i).name().to_string(),
+        StepOrigin::Rule(i) => rules.rule(i).name().to_string(),
         StepOrigin::AxiomNullLowest => "phi7 (axiom: null lowest)".to_string(),
         StepOrigin::AxiomTargetHighest => "phi8 (axiom: target highest)".to_string(),
         StepOrigin::AxiomEqualValues => "phi9 (axiom: equal values)".to_string(),
@@ -517,7 +617,7 @@ mod tests {
             other => panic!("unexpected action {other:?}"),
         }
         assert_eq!(
-            origin_name(&spec, g.steps[0].origin),
+            origin_name(&spec.rules, g.steps[0].origin),
             "phi6".to_string()
         );
     }
@@ -526,8 +626,7 @@ mod tests {
     fn null_assignments_and_premises_are_skipped() {
         let ie = instance();
         let master_schema = Schema::builder("m").attr("league", DataType::Text).build();
-        let im =
-            MasterRelation::from_rows(master_schema, vec![vec![Value::Null]]).unwrap();
+        let im = MasterRelation::from_rows(master_schema, vec![vec![Value::Null]]).unwrap();
         let rule = MasterRule::new(
             "m_null",
             vec![MasterPremise::TargetEqMaster(AttrId(0), AttrId(0))],

@@ -28,7 +28,11 @@ struct StepState {
 /// The index does not own the ground steps: it is built over a borrowed slice
 /// so that one grounding can drive many chases (the candidate-target `check`
 /// reruns the chase with a different initial target but the same `Γ`).
-#[derive(Debug)]
+///
+/// [`ChaseIndex::reset`] rebuilds the index over a new step slice while
+/// keeping all internal allocations, so a batch run touches the allocator a
+/// constant number of times per worker instead of once per entity.
+#[derive(Debug, Default)]
 pub struct ChaseIndex {
     states: Vec<StepState>,
     /// Steps waiting on an order event `(attr, lo, hi)`.
@@ -38,39 +42,63 @@ pub struct ChaseIndex {
     /// The ready queue `Q`.
     ready: VecDeque<usize>,
     dead_steps: usize,
+    /// Retired subscriber buckets, recycled by [`ChaseIndex::reset`] so the
+    /// per-key `Vec`s are not reallocated for every entity of a batch.
+    spare_order: Vec<Vec<usize>>,
+    spare_target: Vec<Vec<(usize, usize)>>,
 }
 
 impl ChaseIndex {
     /// Build the index for a grounded rule set (`InitIndex` of the paper).
     pub fn new(steps: &[GroundStep]) -> Self {
-        let mut states = vec![StepState::default(); steps.len()];
-        let mut by_order: HashMap<(AttrId, ClassId, ClassId), Vec<usize>> = HashMap::new();
-        let mut by_target: HashMap<AttrId, Vec<(usize, usize)>> = HashMap::new();
-        let mut ready = VecDeque::new();
+        let mut index = ChaseIndex::default();
+        index.reset(steps);
+        index
+    }
+
+    /// Rebuild the index over `steps`, reusing the existing allocations
+    /// (including the per-key subscriber buckets, which are recycled through
+    /// a spare pool).
+    pub fn reset(&mut self, steps: &[GroundStep]) {
+        self.states.clear();
+        self.states.resize(steps.len(), StepState::default());
+        for (_, mut bucket) in self.by_order.drain() {
+            bucket.clear();
+            self.spare_order.push(bucket);
+        }
+        for (_, mut bucket) in self.by_target.drain() {
+            bucket.clear();
+            self.spare_target.push(bucket);
+        }
+        self.ready.clear();
+        self.dead_steps = 0;
+        let mut spare_order = std::mem::take(&mut self.spare_order);
+        let mut spare_target = std::mem::take(&mut self.spare_target);
         for (idx, step) in steps.iter().enumerate() {
-            states[idx].remaining = step.pending.len();
+            self.states[idx].remaining = step.pending.len();
             for (pidx, pred) in step.pending.iter().enumerate() {
                 match pred {
                     PendingPred::Order { attr, lo, hi } => {
-                        by_order.entry((*attr, *lo, *hi)).or_default().push(idx);
+                        self.by_order
+                            .entry((*attr, *lo, *hi))
+                            .or_insert_with(|| spare_order.pop().unwrap_or_default())
+                            .push(idx);
                     }
                     PendingPred::TargetCmp { attr, .. } => {
-                        by_target.entry(*attr).or_default().push((idx, pidx));
+                        self.by_target
+                            .entry(*attr)
+                            .or_insert_with(|| spare_target.pop().unwrap_or_default())
+                            .push((idx, pidx));
                     }
                 }
             }
             if step.pending.is_empty() {
-                states[idx].enqueued = true;
-                ready.push_back(idx);
+                self.states[idx].enqueued = true;
+                self.ready.push_back(idx);
             }
         }
-        ChaseIndex {
-            states,
-            by_order,
-            by_target,
-            ready,
-            dead_steps: 0,
-        }
+        self.spare_order = spare_order;
+        self.spare_target = spare_target;
     }
 
     /// Number of ground steps managed by the index.
@@ -113,10 +141,11 @@ impl ChaseIndex {
     /// Notify the index that `lo ⪯ hi` now holds on `attr` (a newly related
     /// class pair reported by the orders).
     pub fn on_order_added(&mut self, attr: AttrId, lo: ClassId, hi: ClassId) {
-        if let Some(waiting) = self.by_order.remove(&(attr, lo, hi)) {
-            for id in waiting {
+        if let Some(mut waiting) = self.by_order.remove(&(attr, lo, hi)) {
+            for id in waiting.drain(..) {
                 self.decrement(id);
             }
+            self.spare_order.push(waiting);
         }
     }
 
@@ -127,8 +156,8 @@ impl ChaseIndex {
     /// never change again).  `steps` must be the same slice the index was built
     /// over.
     pub fn on_target_set(&mut self, steps: &[GroundStep], attr: AttrId, value: &Value) {
-        if let Some(waiting) = self.by_target.remove(&attr) {
-            for (id, pidx) in waiting {
+        if let Some(mut waiting) = self.by_target.remove(&attr) {
+            for (id, pidx) in waiting.drain(..) {
                 if self.states[id].dead {
                     continue;
                 }
@@ -144,6 +173,7 @@ impl ChaseIndex {
                     // had no pending predicate on this attribute left).
                 }
             }
+            self.spare_target.push(waiting);
         }
     }
 

@@ -21,13 +21,18 @@
 //! class of its attribute, and ϕ8 by raising the class of a newly defined
 //! target value above every other class of that attribute.
 //!
-//! [`naive_is_cr`] runs the same chase without the index (rescanning `Γ` until
-//! a fixpoint); it exists for the ablation benchmark and as an oracle in tests.
+//! All chase variants — the indexed `IsCR`, the index-free [`naive_is_cr`]
+//! used by the ablation benchmark, and the seeded free-order chase of
+//! [`crate::chase::free`] — share one core loop, [`run_chase`], parameterized
+//! by a [`StepScheduler`] that decides which applicable step fires next.
 
-use super::ground::{ground, origin_name, Grounding, GroundStep, PendingPred, StepAction, StepOrigin};
+use super::ground::{origin_name, GroundStep, Grounding, PendingPred, StepAction, StepOrigin};
 use super::index::ChaseIndex;
 use super::spec::{AccuracyInstance, Specification};
-use relacc_model::{AccuracyOrders, AttrId, ClassId, OrderInsert, TargetTuple, Value};
+use crate::rules::RuleSet;
+use relacc_model::{
+    AccuracyOrders, AttrId, ClassId, EntityInstance, OrderInsert, TargetTuple, Value,
+};
 use std::fmt;
 
 /// Counters describing one chase run.
@@ -47,6 +52,19 @@ pub struct ChaseStats {
     pub order_pairs_added: usize,
     /// Target attributes instantiated during the chase.
     pub target_assignments: usize,
+}
+
+impl ChaseStats {
+    /// Accumulate another run's counters (used by batch reports).
+    pub fn merge(&mut self, other: &ChaseStats) {
+        self.ground_steps += other.ground_steps;
+        self.pairs_considered += other.pairs_considered;
+        self.steps_considered += other.steps_considered;
+        self.steps_applied += other.steps_applied;
+        self.noop_steps += other.noop_steps;
+        self.order_pairs_added += other.order_pairs_added;
+        self.target_assignments += other.target_assignments;
+    }
 }
 
 /// Why a specification is not Church-Rosser.
@@ -114,16 +132,21 @@ pub struct ChaseRun {
     pub stats: ChaseStats,
 }
 
-/// Events emitted while enforcing a step; the scheduler feeds them back into
-/// the index (or, for the naive scheduler, ignores them).
+/// Events emitted while enforcing a step; the indexed scheduler feeds them
+/// back into the index (the rescanning schedulers ignore them).
 pub(crate) enum ChaseEvent {
     Order(AttrId, ClassId, ClassId),
     Target(AttrId, Value),
 }
 
-/// The mutable chase state shared by both schedulers.
+/// The mutable chase state shared by every scheduler.
+///
+/// A chaser borrows the entity instance and the rule set directly (not a
+/// [`Specification`]), so the compile-once pipeline can run chases without
+/// materializing a specification per entity.
 pub(crate) struct Chaser<'a> {
-    spec: &'a Specification,
+    ie: &'a EntityInstance,
+    rules: &'a RuleSet,
     orders: AccuracyOrders,
     target: TargetTuple,
     pub(crate) stats: ChaseStats,
@@ -131,10 +154,18 @@ pub(crate) struct Chaser<'a> {
 }
 
 impl<'a> Chaser<'a> {
-    pub(crate) fn new(spec: &'a Specification, initial_target: &TargetTuple) -> Self {
+    /// Start from pre-built (still empty) orders — the plan path builds them
+    /// once for grounding and hands them over instead of rebuilding.
+    pub(crate) fn with_orders(
+        ie: &'a EntityInstance,
+        rules: &'a RuleSet,
+        orders: AccuracyOrders,
+        initial_target: &TargetTuple,
+    ) -> Self {
         Chaser {
-            spec,
-            orders: AccuracyOrders::new(&spec.ie),
+            ie,
+            rules,
+            orders,
             target: initial_target.clone(),
             stats: ChaseStats::default(),
             events: Vec::new(),
@@ -143,7 +174,7 @@ impl<'a> Chaser<'a> {
 
     fn conflict(&self, origin: StepOrigin, attr: AttrId, detail: impl Into<String>) -> Conflict {
         Conflict {
-            rule: origin_name(self.spec, origin),
+            rule: origin_name(self.rules, origin),
             attr,
             detail: detail.into(),
         }
@@ -152,8 +183,8 @@ impl<'a> Chaser<'a> {
     /// Seed the axioms and the initial target: ϕ7 edges, plus ϕ8 edges and
     /// target events for every attribute the initial template already defines.
     pub(crate) fn bootstrap(&mut self) -> Result<(), Conflict> {
-        if self.spec.rules.axioms.null_lowest {
-            for attr in self.spec.ie.schema().attr_ids() {
+        if self.rules.axioms.null_lowest {
+            for attr in self.ie.schema().attr_ids() {
                 let (null_class, others) = {
                     let ord = self.orders.attr(attr);
                     let Some(nc) = ord.null_class() else { continue };
@@ -168,7 +199,7 @@ impl<'a> Chaser<'a> {
                 }
             }
         }
-        for attr in self.spec.ie.schema().attr_ids() {
+        for attr in self.ie.schema().attr_ids() {
             if !self.target.is_null(attr) {
                 self.announce_target(attr)?;
             }
@@ -179,13 +210,9 @@ impl<'a> Chaser<'a> {
         // attribute, so λ instantiates the target right away — exactly what
         // enforcing ϕ9 on the equal-valued tuple pairs achieves in the paper's
         // tuple-level formulation.
-        if self.spec.rules.axioms.equal_values {
-            for attr in self.spec.ie.schema().attr_ids() {
-                let greatest = self
-                    .orders
-                    .attr(attr)
-                    .greatest()
-                    .map(|(_, v)| v.clone());
+        if self.rules.axioms.equal_values {
+            for attr in self.ie.schema().attr_ids() {
+                let greatest = self.orders.attr(attr).greatest().map(|(_, v)| v.clone());
                 if let Some(v) = greatest {
                     if self.target.is_null(attr) {
                         self.set_target(StepOrigin::AxiomEqualValues, attr, v)?;
@@ -230,11 +257,7 @@ impl<'a> Chaser<'a> {
                     self.events.push(ChaseEvent::Order(attr, *a, *b));
                 }
                 // λ: if a greatest value emerged, instantiate the target.
-                let greatest = self
-                    .orders
-                    .attr(attr)
-                    .greatest()
-                    .map(|(_, v)| v.clone());
+                let greatest = self.orders.attr(attr).greatest().map(|(_, v)| v.clone());
                 if let Some(v) = greatest {
                     if self.target.is_null(attr) {
                         self.set_target(origin, attr, v)?;
@@ -287,7 +310,7 @@ impl<'a> Chaser<'a> {
     fn announce_target(&mut self, attr: AttrId) -> Result<(), Conflict> {
         let value = self.target.value(attr).clone();
         self.events.push(ChaseEvent::Target(attr, value.clone()));
-        if self.spec.rules.axioms.target_highest {
+        if self.rules.axioms.target_highest {
             let (target_class, others) = {
                 let ord = self.orders.attr(attr);
                 match ord.class_of_value(&value) {
@@ -309,7 +332,11 @@ impl<'a> Chaser<'a> {
     }
 
     /// Enforce one ground step; returns whether it changed the instance.
-    pub(crate) fn apply(&mut self, origin: StepOrigin, action: &StepAction) -> Result<bool, Conflict> {
+    pub(crate) fn apply(
+        &mut self,
+        origin: StepOrigin,
+        action: &StepAction,
+    ) -> Result<bool, Conflict> {
         match action {
             StepAction::Order { attr, lo, hi } => self.insert_order(origin, *attr, *lo, *hi),
             StepAction::Assign { assignments } => {
@@ -326,7 +353,11 @@ impl<'a> Chaser<'a> {
         std::mem::take(&mut self.events)
     }
 
-    /// Current orders (used by the free-order chase to evaluate premises).
+    fn discard_events(&mut self) {
+        self.events.clear();
+    }
+
+    /// Current orders (used by the rescanning schedulers to evaluate premises).
     pub(crate) fn orders(&self) -> &AccuracyOrders {
         &self.orders
     }
@@ -350,10 +381,183 @@ impl<'a> Chaser<'a> {
     }
 }
 
+/// Strategy choosing which applicable ground step fires next.
+///
+/// This is the only difference between the indexed `IsCR` chase, the naive
+/// rescanning chase and the seeded free-order chase; the enforcement loop,
+/// validity checks and statistics are shared by [`run_chase`].
+pub(crate) trait StepScheduler {
+    /// Called once after the axioms were bootstrapped, before the first step.
+    fn begin(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]);
+    /// Produce the next step to enforce, or `None` when no applicable,
+    /// unfired step remains.
+    fn next_step(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) -> Option<usize>;
+}
+
+/// The shared chase loop: bootstrap the axioms, then repeatedly enforce the
+/// scheduler's next step until none remains or a step turns out invalid.
+pub(crate) fn run_chase<S: StepScheduler>(
+    ie: &EntityInstance,
+    rules: &RuleSet,
+    grounding: &Grounding,
+    initial_target: &TargetTuple,
+    scheduler: &mut S,
+) -> ChaseRun {
+    run_chase_with_orders(
+        ie,
+        rules,
+        AccuracyOrders::new(ie),
+        grounding,
+        initial_target,
+        scheduler,
+    )
+}
+
+/// [`run_chase`] over pre-built (still empty) accuracy orders.
+pub(crate) fn run_chase_with_orders<S: StepScheduler>(
+    ie: &EntityInstance,
+    rules: &RuleSet,
+    orders: AccuracyOrders,
+    grounding: &Grounding,
+    initial_target: &TargetTuple,
+    scheduler: &mut S,
+) -> ChaseRun {
+    let mut chaser = Chaser::with_orders(ie, rules, orders, initial_target);
+    chaser.stats.ground_steps = grounding.steps.len();
+    chaser.stats.pairs_considered = grounding.pairs_considered;
+    if let Err(conflict) = chaser.bootstrap() {
+        return chaser.finish(false, Some(conflict));
+    }
+    scheduler.begin(&mut chaser, &grounding.steps);
+    while let Some(id) = scheduler.next_step(&mut chaser, &grounding.steps) {
+        chaser.stats.steps_considered += 1;
+        let step = &grounding.steps[id];
+        match chaser.apply(step.origin, &step.action) {
+            Ok(true) => chaser.stats.steps_applied += 1,
+            Ok(false) => chaser.stats.noop_steps += 1,
+            Err(conflict) => return chaser.finish(false, Some(conflict)),
+        }
+    }
+    chaser.finish(true, None)
+}
+
+/// The event-driven scheduler of algorithm `IsCR`: O(1) work per event via the
+/// index `H`.  Borrows the index so a batch can reuse its allocations across
+/// entities (see [`crate::chase::ChaseScratch`]).
+pub(crate) struct IndexedScheduler<'i> {
+    pub(crate) index: &'i mut ChaseIndex,
+}
+
+impl IndexedScheduler<'_> {
+    fn drain(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) {
+        for event in chaser.take_events() {
+            match event {
+                ChaseEvent::Order(attr, lo, hi) => self.index.on_order_added(attr, lo, hi),
+                ChaseEvent::Target(attr, value) => self.index.on_target_set(steps, attr, &value),
+            }
+        }
+    }
+}
+
+impl StepScheduler for IndexedScheduler<'_> {
+    fn begin(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) {
+        self.index.reset(steps);
+        self.drain(chaser, steps);
+    }
+
+    fn next_step(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) -> Option<usize> {
+        self.drain(chaser, steps);
+        self.index.pop_ready()
+    }
+}
+
+/// The naive scheduler: rescan `Γ` (wrapping around) for the next applicable
+/// unfired step.  Quadratically slower than the index; kept for the ablation
+/// benchmark and as an oracle in tests.
+struct RescanScheduler {
+    fired: Vec<bool>,
+    cursor: usize,
+}
+
+impl StepScheduler for RescanScheduler {
+    fn begin(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) {
+        chaser.discard_events();
+        self.fired = vec![false; steps.len()];
+        self.cursor = 0;
+    }
+
+    fn next_step(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) -> Option<usize> {
+        chaser.discard_events();
+        let n = steps.len();
+        for offset in 0..n {
+            let id = (self.cursor + offset) % n;
+            if self.fired[id] {
+                continue;
+            }
+            if steps[id]
+                .pending
+                .iter()
+                .all(|p| pending_satisfied(p, chaser.orders(), chaser.target()))
+            {
+                self.fired[id] = true;
+                self.cursor = id + 1;
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+/// The seeded free-order scheduler: pick uniformly among all currently
+/// applicable unfired steps.  Used by [`crate::chase::free_chase`] as the
+/// brute-force Church-Rosser oracle.
+pub(crate) struct SeededScheduler {
+    pub(crate) rng: super::free::SplitMix64,
+    fired: Vec<bool>,
+}
+
+impl SeededScheduler {
+    pub(crate) fn new(seed: u64) -> Self {
+        SeededScheduler {
+            rng: super::free::SplitMix64::new(seed),
+            fired: Vec::new(),
+        }
+    }
+}
+
+impl StepScheduler for SeededScheduler {
+    fn begin(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) {
+        chaser.discard_events();
+        self.fired = vec![false; steps.len()];
+    }
+
+    fn next_step(&mut self, chaser: &mut Chaser<'_>, steps: &[GroundStep]) -> Option<usize> {
+        chaser.discard_events();
+        let applicable: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(id, step)| {
+                !self.fired[*id]
+                    && step
+                        .pending
+                        .iter()
+                        .all(|p| pending_satisfied(p, chaser.orders(), chaser.target()))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if applicable.is_empty() {
+            return None;
+        }
+        let pick = applicable[self.rng.next_below(applicable.len())];
+        self.fired[pick] = true;
+        Some(pick)
+    }
+}
+
 /// Run `IsCR` on a specification: ground it and chase with the index.
 pub fn is_cr(spec: &Specification) -> ChaseRun {
     let orders = AccuracyOrders::new(&spec.ie);
-    let grounding = ground(spec, &orders);
+    let grounding = super::ground::ground(spec, &orders);
     chase_with_grounding(spec, &grounding, &spec.initial_target)
 }
 
@@ -376,34 +580,31 @@ pub fn chase_with_grounding(
     grounding: &Grounding,
     initial_target: &TargetTuple,
 ) -> ChaseRun {
-    let mut chaser = Chaser::new(spec, initial_target);
-    chaser.stats.ground_steps = grounding.steps.len();
-    chaser.stats.pairs_considered = grounding.pairs_considered;
-
-    let mut index = ChaseIndex::new(&grounding.steps);
-    if let Err(conflict) = chaser.bootstrap() {
-        return chaser.finish(false, Some(conflict));
-    }
-    drain_events(&mut chaser, &mut index, &grounding.steps);
-
-    while let Some(id) = index.pop_ready() {
-        chaser.stats.steps_considered += 1;
-        let step = &grounding.steps[id];
-        match chaser.apply(step.origin, &step.action) {
-            Ok(true) => chaser.stats.steps_applied += 1,
-            Ok(false) => chaser.stats.noop_steps += 1,
-            Err(conflict) => return chaser.finish(false, Some(conflict)),
-        }
-        drain_events(&mut chaser, &mut index, &grounding.steps);
-    }
-    chaser.finish(true, None)
+    chase_parts(&spec.ie, &spec.rules, None, grounding, initial_target, None)
 }
 
-fn drain_events(chaser: &mut Chaser<'_>, index: &mut ChaseIndex, steps: &[GroundStep]) {
-    for event in chaser.take_events() {
-        match event {
-            ChaseEvent::Order(attr, lo, hi) => index.on_order_added(attr, lo, hi),
-            ChaseEvent::Target(attr, value) => index.on_target_set(steps, attr, &value),
+/// The specification-free chase used by [`crate::chase::ChasePlan`]: entity
+/// instance and rules are borrowed directly, an optional pre-allocated index
+/// is reused instead of building a fresh one, and pre-built (empty) orders
+/// can be handed over instead of being rebuilt.
+pub(crate) fn chase_parts(
+    ie: &EntityInstance,
+    rules: &RuleSet,
+    orders: Option<AccuracyOrders>,
+    grounding: &Grounding,
+    initial_target: &TargetTuple,
+    index: Option<&mut ChaseIndex>,
+) -> ChaseRun {
+    let orders = orders.unwrap_or_else(|| AccuracyOrders::new(ie));
+    match index {
+        Some(index) => {
+            let mut scheduler = IndexedScheduler { index };
+            run_chase_with_orders(ie, rules, orders, grounding, initial_target, &mut scheduler)
+        }
+        None => {
+            let mut fresh = ChaseIndex::default();
+            let mut scheduler = IndexedScheduler { index: &mut fresh };
+            run_chase_with_orders(ie, rules, orders, grounding, initial_target, &mut scheduler)
         }
     }
 }
@@ -414,7 +615,7 @@ fn drain_events(chaser: &mut Chaser<'_>, index: &mut ChaseIndex, steps: &[Ground
 /// (`bench/benches/ablation_index.rs`) and as a cross-check in tests.
 pub fn naive_is_cr(spec: &Specification) -> ChaseRun {
     let orders = AccuracyOrders::new(&spec.ie);
-    let grounding = ground(spec, &orders);
+    let grounding = super::ground::ground(spec, &orders);
     naive_chase_with_grounding(spec, &grounding, &spec.initial_target)
 }
 
@@ -424,49 +625,21 @@ pub fn naive_chase_with_grounding(
     grounding: &Grounding,
     initial_target: &TargetTuple,
 ) -> ChaseRun {
-    let mut chaser = Chaser::new(spec, initial_target);
-    chaser.stats.ground_steps = grounding.steps.len();
-    chaser.stats.pairs_considered = grounding.pairs_considered;
-    if let Err(conflict) = chaser.bootstrap() {
-        return chaser.finish(false, Some(conflict));
-    }
-    chaser.events.clear();
-
-    let mut fired = vec![false; grounding.steps.len()];
-    loop {
-        let mut progressed = false;
-        for (id, step) in grounding.steps.iter().enumerate() {
-            if fired[id] {
-                continue;
-            }
-            if !step
-                .pending
-                .iter()
-                .all(|p| pending_satisfied(p, &chaser.orders, &chaser.target))
-            {
-                continue;
-            }
-            fired[id] = true;
-            chaser.stats.steps_considered += 1;
-            match chaser.apply(step.origin, &step.action) {
-                Ok(true) => {
-                    chaser.stats.steps_applied += 1;
-                    progressed = true;
-                }
-                Ok(false) => chaser.stats.noop_steps += 1,
-                Err(conflict) => return chaser.finish(false, Some(conflict)),
-            }
-            chaser.events.clear();
-        }
-        if !progressed {
-            break;
-        }
-    }
-    chaser.finish(true, None)
+    let mut scheduler = RescanScheduler {
+        fired: Vec::new(),
+        cursor: 0,
+    };
+    run_chase(
+        &spec.ie,
+        &spec.rules,
+        grounding,
+        initial_target,
+        &mut scheduler,
+    )
 }
 
 /// Evaluate a pending predicate against the current accuracy instance (used by
-/// the naive scheduler and the free-order chase, which have no event index).
+/// the rescanning schedulers, which have no event index).
 pub(crate) fn pending_satisfied(
     pred: &PendingPred,
     orders: &AccuracyOrders,
@@ -484,9 +657,8 @@ pub(crate) fn pending_satisfied(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{
-        MasterPremise, MasterRule, Predicate, RuleSet, TupleRule,
-    };
+    use crate::chase::ground::ground;
+    use crate::rules::{MasterPremise, MasterRule, Predicate, RuleSet, TupleRule};
     use relacc_model::{CmpOp, DataType, EntityInstance, MasterRelation, Schema, TupleId};
 
     /// A small two-attribute instance: `rnds` is numeric with distinct values,
@@ -511,7 +683,10 @@ mod tests {
     fn currency_rule(spec_schema: &relacc_model::SchemaRef) -> TupleRule {
         TupleRule::new(
             "phi1",
-            vec![Predicate::cmp_attrs(spec_schema.expect_attr("rnds"), CmpOp::Lt)],
+            vec![Predicate::cmp_attrs(
+                spec_schema.expect_attr("rnds"),
+                CmpOp::Lt,
+            )],
             spec_schema.expect_attr("rnds"),
         )
     }
@@ -591,11 +766,8 @@ mod tests {
             vec![vec![Value::text("x")], vec![Value::text("y")]],
         )
         .unwrap();
-        let rules = RuleSet::from_rules([MasterRule::new(
-            "m1",
-            vec![],
-            vec![(AttrId(1), AttrId(0))],
-        )]);
+        let rules =
+            RuleSet::from_rules([MasterRule::new("m1", vec![], vec![(AttrId(1), AttrId(0))])]);
         let spec = simple_spec(rules).with_master(im);
         let run = is_cr(&spec);
         assert!(!run.outcome.is_church_rosser());
@@ -633,11 +805,8 @@ mod tests {
     fn candidate_check_rejects_targets_contradicting_master_data() {
         let master_schema = Schema::builder("m").attr("flag", DataType::Text).build();
         let im = MasterRelation::from_rows(master_schema, vec![vec![Value::text("x")]]).unwrap();
-        let rules = RuleSet::from_rules([MasterRule::new(
-            "m1",
-            vec![],
-            vec![(AttrId(1), AttrId(0))],
-        )]);
+        let rules =
+            RuleSet::from_rules([MasterRule::new("m1", vec![], vec![(AttrId(1), AttrId(0))])]);
         let spec = simple_spec(rules).with_master(im);
         // candidate saying flag = "y" contradicts the master assignment
         let bad = TargetTuple::from_values(vec![Value::Int(27), Value::text("y")]);
@@ -721,5 +890,27 @@ mod tests {
         let arity = spec.ie.schema().arity();
         assert!(run.stats.order_pairs_added <= n * n * arity);
         assert!(run.stats.steps_applied <= run.stats.steps_considered);
+    }
+
+    #[test]
+    fn stats_merge_accumulates_all_counters() {
+        let a = ChaseStats {
+            ground_steps: 1,
+            pairs_considered: 2,
+            steps_considered: 3,
+            steps_applied: 4,
+            noop_steps: 5,
+            order_pairs_added: 6,
+            target_assignments: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.ground_steps, 2);
+        assert_eq!(b.pairs_considered, 4);
+        assert_eq!(b.steps_considered, 6);
+        assert_eq!(b.steps_applied, 8);
+        assert_eq!(b.noop_steps, 10);
+        assert_eq!(b.order_pairs_added, 12);
+        assert_eq!(b.target_assignments, 14);
     }
 }

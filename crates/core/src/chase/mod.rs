@@ -1,17 +1,20 @@
 //! The chase inference system: specifications, grounding, the index `H`, the
-//! `IsCR` algorithm and the free-order chase used as a testing oracle.
+//! `IsCR` algorithm, the compile-once [`ChasePlan`] and the free-order chase
+//! used as a testing oracle.
 
 pub mod free;
 pub mod ground;
 pub mod index;
 pub mod iscr;
+pub mod plan;
 pub mod spec;
 
 pub use free::{free_chase, free_chase_with_grounding, SplitMix64};
-pub use ground::{ground, origin_name, Grounding, GroundStep, PendingPred, StepAction, StepOrigin};
+pub use ground::{ground, origin_name, GroundStep, Grounding, PendingPred, StepAction, StepOrigin};
 pub use index::ChaseIndex;
 pub use iscr::{
-    chase_with_grounding, deduced_target, is_cr, naive_chase_with_grounding, naive_is_cr,
-    ChaseRun, ChaseStats, Conflict, IsCrOutcome,
+    chase_with_grounding, deduced_target, is_cr, naive_chase_with_grounding, naive_is_cr, ChaseRun,
+    ChaseStats, Conflict, IsCrOutcome,
 };
+pub use plan::{ChasePlan, ChaseScratch};
 pub use spec::{AccuracyInstance, Specification, SpecificationError};

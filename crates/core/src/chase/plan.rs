@@ -1,0 +1,410 @@
+//! Compile-once / evaluate-many chase plans.
+//!
+//! The paper's `IsCR` is defined per specification, and the seed implementation
+//! paid the full setup cost — rule validation, master-rule grounding, index
+//! allocation, rule-set and master-data clones — once per entity.  A
+//! [`ChasePlan`] hoists everything that does **not** depend on the entity
+//! instance into a single compilation step:
+//!
+//! * the rule set is validated against the schema and master arities once;
+//! * master data and rule constants are interned (see
+//!   [`relacc_model::Interner`]), so every text comparison on the chase hot
+//!   path starts with a pointer check;
+//! * form-(2) rules are pre-grounded: their ground steps range over master
+//!   tuples only, so the `|Σ2| × |Im|` grounding loop runs once per plan
+//!   instead of once per entity;
+//! * rules and master data live behind `Arc`s, so building a per-entity
+//!   [`Specification`] is a reference-count bump, not a deep clone.
+//!
+//! Per-entity evaluation then only grounds the form-(1) rules against the
+//! entity instance and runs the shared chase loop.  A [`ChaseScratch`] holds
+//! the grounding buffer, the dedup set and the event index of one worker, so
+//! a batch run reuses those allocations across every entity it processes.
+//!
+//! ```
+//! use relacc_core::chase::{ChasePlan, ChaseScratch};
+//! use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+//! use relacc_model::{CmpOp, DataType, EntityInstance, Schema, Value};
+//!
+//! let schema = Schema::builder("stat")
+//!     .attr("rnds", DataType::Int)
+//!     .attr("pts", DataType::Int)
+//!     .build();
+//! let rules = RuleSet::from_rules([TupleRule::new(
+//!     "cur",
+//!     vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+//!     schema.expect_attr("rnds"),
+//! )]);
+//! let plan = ChasePlan::compile(schema.clone(), rules, vec![]).unwrap();
+//! let mut scratch = ChaseScratch::new();
+//! for rows in [vec![vec![Value::Int(1)], vec![Value::Int(2)]]] {
+//!     let rows: Vec<Vec<Value>> = rows
+//!         .into_iter()
+//!         .map(|r| vec![r[0].clone(), Value::Null])
+//!         .collect();
+//!     let ie = EntityInstance::from_rows(schema.clone(), rows).unwrap();
+//!     let run = plan.is_cr_with(&ie, &mut scratch);
+//!     assert!(run.outcome.is_church_rosser());
+//! }
+//! ```
+
+use super::ground::{ground_master_rules, ground_tuple_rules, Grounding, PendingPred, StepAction};
+use super::index::ChaseIndex;
+use super::iscr::{chase_parts, ChaseRun};
+use super::spec::{Specification, SpecificationError};
+use crate::rules::RuleSet;
+use relacc_model::{
+    AccuracyOrders, EntityInstance, Interner, MasterRelation, SchemaRef, TargetTuple,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A schema-resolved, validated, master-grounded chase program, ready to be
+/// evaluated against any number of entity instances.
+#[derive(Debug, Clone)]
+pub struct ChasePlan {
+    schema: SchemaRef,
+    rules: Arc<RuleSet>,
+    masters: Arc<Vec<MasterRelation>>,
+    /// Pre-grounded form-(2) steps (entity-independent).
+    master_steps: Vec<super::ground::GroundStep>,
+    master_tuples_considered: usize,
+    master_folded_away: usize,
+    /// Canonical string allocations of the master data and rule constants.
+    interner: Interner,
+}
+
+impl ChasePlan {
+    /// Compile a plan: validate the rules, intern master data and rule
+    /// constants, and pre-ground the form-(2) rules.
+    pub fn compile(
+        schema: SchemaRef,
+        mut rules: RuleSet,
+        mut masters: Vec<MasterRelation>,
+    ) -> Result<Self, SpecificationError> {
+        let master_arities: Vec<usize> = masters.iter().map(|m| m.schema().arity()).collect();
+        rules
+            .validate(&schema, &master_arities)
+            .map_err(SpecificationError::Rule)?;
+
+        let mut interner = Interner::new();
+        for master in &mut masters {
+            interner.intern_master(master);
+        }
+        rules.intern_constants(&mut interner);
+
+        let mut grounding = Grounding::default();
+        let mut seen: HashSet<(StepAction, Vec<PendingPred>)> = HashSet::new();
+        ground_master_rules(&rules, &masters, &mut grounding, &mut seen);
+
+        Ok(ChasePlan {
+            schema,
+            rules: Arc::new(rules),
+            masters: Arc::new(masters),
+            master_steps: grounding.steps,
+            master_tuples_considered: grounding.master_tuples_considered,
+            master_folded_away: grounding.folded_away,
+            interner,
+        })
+    }
+
+    /// Compile a plan from an existing specification, sharing its rule set and
+    /// master data (cloned once if they are shared with other owners, never
+    /// per entity).
+    pub fn from_spec(spec: &Specification) -> Result<Self, SpecificationError> {
+        ChasePlan::compile(
+            spec.ie.schema().clone(),
+            (*spec.rules).clone(),
+            (*spec.masters).clone(),
+        )
+    }
+
+    /// The entity schema the plan was compiled against.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The compiled rule set.
+    pub fn rules(&self) -> &Arc<RuleSet> {
+        &self.rules
+    }
+
+    /// The compiled master relations.
+    pub fn masters(&self) -> &Arc<Vec<MasterRelation>> {
+        &self.masters
+    }
+
+    /// Number of pre-grounded form-(2) steps.
+    pub fn master_step_count(&self) -> usize {
+        self.master_steps.len()
+    }
+
+    /// A copy of the plan's interner, seeded with every master-data and
+    /// rule-constant string.  Interning entity instances through it makes the
+    /// pointer-equality fast path fire across entity and master values.
+    pub fn fork_interner(&self) -> Interner {
+        self.interner.clone()
+    }
+
+    /// Build the (cheap, `Arc`-sharing) specification of one entity.
+    pub fn specification(&self, ie: EntityInstance) -> Specification {
+        Specification::shared(ie, self.rules.clone(), self.masters.clone())
+    }
+
+    /// Ground the plan against one entity instance into a fresh [`Grounding`]
+    /// (the pre-grounded master steps are appended to the entity's own form-(1)
+    /// steps).
+    pub fn instantiate(&self, ie: &EntityInstance) -> Grounding {
+        let orders = AccuracyOrders::new(ie);
+        let mut out = Grounding::default();
+        let mut seen = HashSet::new();
+        self.instantiate_into(ie, &orders, &mut out, &mut seen);
+        out
+    }
+
+    fn instantiate_into(
+        &self,
+        ie: &EntityInstance,
+        orders: &AccuracyOrders,
+        out: &mut Grounding,
+        seen: &mut HashSet<(StepAction, Vec<PendingPred>)>,
+    ) {
+        debug_assert_eq!(
+            ie.schema().arity(),
+            self.schema.arity(),
+            "entity instance does not conform to the plan's schema"
+        );
+        out.clear();
+        seen.clear();
+        ground_tuple_rules(&self.rules, ie, orders, out, seen);
+        out.steps.extend(self.master_steps.iter().cloned());
+        out.master_tuples_considered += self.master_tuples_considered;
+        out.folded_away += self.master_folded_away;
+    }
+
+    /// Run `IsCR` for one entity with a fresh scratch (convenience wrapper).
+    pub fn is_cr(&self, ie: &EntityInstance) -> ChaseRun {
+        self.is_cr_with(ie, &mut ChaseScratch::new())
+    }
+
+    /// Run `IsCR` for one entity, reusing `scratch`'s allocations.
+    pub fn is_cr_with(&self, ie: &EntityInstance, scratch: &mut ChaseScratch) -> ChaseRun {
+        let empty = TargetTuple::empty(self.schema.arity());
+        self.chase_with(ie, &empty, scratch)
+    }
+
+    /// Run the chase for one entity with an explicit initial target template,
+    /// reusing `scratch`'s allocations.  This is the batch engine's hot path.
+    pub fn chase_with(
+        &self,
+        ie: &EntityInstance,
+        initial_target: &TargetTuple,
+        scratch: &mut ChaseScratch,
+    ) -> ChaseRun {
+        let orders = AccuracyOrders::new(ie);
+        self.instantiate_into(ie, &orders, &mut scratch.grounding, &mut scratch.seen);
+        // hand the (still empty) orders over instead of rebuilding them
+        chase_parts(
+            ie,
+            &self.rules,
+            Some(orders),
+            &scratch.grounding,
+            initial_target,
+            Some(&mut scratch.index),
+        )
+    }
+
+    /// Re-run the chase over the grounding left in `scratch` by the last
+    /// [`ChasePlan::chase_with`] / [`ChasePlan::is_cr_with`] call for the same
+    /// entity — used to `check` candidate targets without re-grounding.
+    pub fn rechase_with(
+        &self,
+        ie: &EntityInstance,
+        initial_target: &TargetTuple,
+        scratch: &mut ChaseScratch,
+    ) -> ChaseRun {
+        chase_parts(
+            ie,
+            &self.rules,
+            None,
+            &scratch.grounding,
+            initial_target,
+            Some(&mut scratch.index),
+        )
+    }
+}
+
+/// Reusable per-worker buffers for plan evaluation: the grounding, the step
+/// dedup set and the event index.  One scratch per worker thread; never shared.
+#[derive(Debug, Default)]
+pub struct ChaseScratch {
+    grounding: Grounding,
+    seen: HashSet<(StepAction, Vec<PendingPred>)>,
+    index: ChaseIndex,
+}
+
+impl ChaseScratch {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        ChaseScratch::default()
+    }
+
+    /// The grounding left behind by the most recent plan evaluation (used by
+    /// suggestion search to reuse `Γ` for candidate checks).
+    pub fn grounding(&self) -> &Grounding {
+        &self.grounding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::iscr::is_cr;
+    use crate::rules::{MasterPremise, MasterRule, Predicate, RuleSet, TupleRule};
+    use relacc_model::{AttrId, CmpOp, DataType, Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("name", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    fn rules(s: &SchemaRef, master_schema: &SchemaRef) -> RuleSet {
+        RuleSet::from_rules([
+            crate::rules::AccuracyRule::from(TupleRule::new(
+                "cur",
+                vec![Predicate::cmp_attrs(s.expect_attr("rnds"), CmpOp::Lt)],
+                s.expect_attr("rnds"),
+            )),
+            crate::rules::AccuracyRule::from(MasterRule::new(
+                "m",
+                vec![MasterPremise::TargetEqMaster(
+                    s.expect_attr("name"),
+                    master_schema.expect_attr("name"),
+                )],
+                vec![(s.expect_attr("team"), master_schema.expect_attr("team"))],
+            )),
+        ])
+    }
+
+    fn master(master_schema: &SchemaRef) -> MasterRelation {
+        MasterRelation::from_rows(
+            master_schema.clone(),
+            vec![vec![Value::text("mj"), Value::text("Bulls")]],
+        )
+        .unwrap()
+    }
+
+    fn entity(s: &SchemaRef, name: &str, rnds: &[i64]) -> EntityInstance {
+        EntityInstance::from_rows(
+            s.clone(),
+            rnds.iter()
+                .map(|r| vec![Value::text(name), Value::Int(*r), Value::Null])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn master_schema() -> SchemaRef {
+        Schema::builder("nba")
+            .attr("name", DataType::Text)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    #[test]
+    fn plan_matches_fresh_specifications_across_entities() {
+        let s = schema();
+        let ms = master_schema();
+        let plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        assert_eq!(plan.master_step_count(), 1);
+        let mut scratch = ChaseScratch::new();
+        for (name, rnds) in [("mj", vec![16, 27, 1]), ("sp", vec![3]), ("mj", vec![8, 2])] {
+            let ie = entity(&s, name, &rnds);
+            // reference: the per-entity recompile path
+            let spec = Specification::new(ie.clone(), rules(&s, &ms)).with_master(master(&ms));
+            let fresh = is_cr(&spec);
+            let planned = plan.is_cr_with(&ie, &mut scratch);
+            assert_eq!(
+                fresh.outcome.is_church_rosser(),
+                planned.outcome.is_church_rosser()
+            );
+            assert_eq!(fresh.outcome.target(), planned.outcome.target());
+            assert_eq!(fresh.stats.steps_applied, planned.stats.steps_applied);
+            assert_eq!(fresh.stats.ground_steps, planned.stats.ground_steps);
+        }
+        // the "mj" entities join master data and get the team filled in
+        let ie = entity(&s, "mj", &[16, 27]);
+        let run = plan.is_cr_with(&ie, &mut scratch);
+        let te = run.outcome.target().unwrap();
+        assert_eq!(te.value(AttrId(2)), &Value::text("Bulls"));
+        assert_eq!(te.value(AttrId(1)), &Value::Int(27));
+    }
+
+    #[test]
+    fn invalid_rules_fail_at_compile_time_not_per_entity() {
+        let s = schema();
+        let bad = RuleSet::from_rules([TupleRule::new("bad", vec![], AttrId(17))]);
+        assert!(ChasePlan::compile(s, bad, vec![]).is_err());
+    }
+
+    #[test]
+    fn from_spec_shares_rules_and_masters() {
+        let s = schema();
+        let ms = master_schema();
+        let spec =
+            Specification::new(entity(&s, "mj", &[1, 2]), rules(&s, &ms)).with_master(master(&ms));
+        let plan = ChasePlan::from_spec(&spec).unwrap();
+        let run_spec = is_cr(&spec);
+        let run_plan = plan.is_cr(&spec.ie);
+        assert_eq!(run_spec.outcome.target(), run_plan.outcome.target());
+        // cheap per-entity specifications share the compiled data
+        let spec2 = plan.specification(entity(&s, "sp", &[5]));
+        assert!(Arc::ptr_eq(&spec2.rules, plan.rules()));
+        assert!(Arc::ptr_eq(&spec2.masters, plan.masters()));
+    }
+
+    #[test]
+    fn rechase_reuses_the_grounding_for_candidate_checks() {
+        let s = schema();
+        let ms = master_schema();
+        let plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        let ie = entity(&s, "mj", &[16, 27]);
+        let mut scratch = ChaseScratch::new();
+        let deduced = plan
+            .is_cr_with(&ie, &mut scratch)
+            .outcome
+            .target()
+            .unwrap()
+            .clone();
+        assert!(deduced.is_complete());
+        // checking the deduced target against the cached grounding succeeds
+        let check = plan.rechase_with(&ie, &deduced, &mut scratch);
+        assert_eq!(check.outcome.target(), Some(&deduced));
+        // a contradicting candidate is rejected
+        let mut bad = deduced.clone();
+        bad.set(AttrId(2), Value::text("Knicks"));
+        let check = plan.rechase_with(&ie, &bad, &mut scratch);
+        assert!(!check.outcome.is_church_rosser());
+    }
+
+    #[test]
+    fn interner_canonicalizes_entity_text_against_master_data() {
+        let s = schema();
+        let ms = master_schema();
+        let plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        let mut interner = plan.fork_interner();
+        assert!(!interner.is_empty());
+        let mut ie = entity(&s, "mj", &[1]);
+        interner.intern_instance(&mut ie);
+        // the entity's "mj" now shares the master tuple's allocation
+        let master_name = plan.masters()[0].tuple(0).value(AttrId(0));
+        let entity_name = ie.value(relacc_model::TupleId(0), AttrId(0));
+        match (master_name, entity_name) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("expected text values"),
+        }
+    }
+}

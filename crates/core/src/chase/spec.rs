@@ -7,24 +7,28 @@
 //! tuple.
 
 use crate::rules::RuleSet;
-use relacc_model::{
-    AccuracyOrders, AttrId, EntityInstance, MasterRelation, TargetTuple, Value,
-};
+use relacc_model::{AccuracyOrders, AttrId, EntityInstance, MasterRelation, TargetTuple, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// A specification of an entity: `S = (D0, Σ, Im, t_e^{D0})`.
 ///
 /// `D0` is the entity instance with empty orders; `Im` generalizes to a list of
 /// master relations (curated reference data, CFD pattern tableaux, ...), each
 /// addressed by form-(2) rules through their `master_index`.
+///
+/// Rules and master data are reference-counted: every per-entity specification
+/// of a batch shares one `Σ` and one `Im` instead of cloning them, which is
+/// what makes [`crate::chase::ChasePlan::specification`] cheap enough to call
+/// once per entity of a large corpus.
 #[derive(Debug, Clone)]
 pub struct Specification {
     /// The entity instance `Ie`.
     pub ie: EntityInstance,
-    /// The master relations available to form-(2) rules.
-    pub masters: Vec<MasterRelation>,
-    /// The accuracy rules `Σ` (plus axiom configuration).
-    pub rules: RuleSet,
+    /// The master relations available to form-(2) rules (shared).
+    pub masters: Arc<Vec<MasterRelation>>,
+    /// The accuracy rules `Σ` plus axiom configuration (shared).
+    pub rules: Arc<RuleSet>,
     /// The initial target template `t_e^{D0}` — all null for ordinary
     /// deduction, a complete tuple when verifying a candidate target.
     pub initial_target: TargetTuple,
@@ -32,11 +36,27 @@ pub struct Specification {
 
 impl Specification {
     /// A specification with no master data and the all-null initial target.
-    pub fn new(ie: EntityInstance, rules: RuleSet) -> Self {
+    pub fn new(ie: EntityInstance, rules: impl Into<Arc<RuleSet>>) -> Self {
         let arity = ie.schema().arity();
         Specification {
             ie,
-            masters: Vec::new(),
+            masters: Arc::new(Vec::new()),
+            rules: rules.into(),
+            initial_target: TargetTuple::empty(arity),
+        }
+    }
+
+    /// A specification sharing already-compiled rules and master data (the
+    /// per-entity constructor of the compile-once pipeline).
+    pub fn shared(
+        ie: EntityInstance,
+        rules: Arc<RuleSet>,
+        masters: Arc<Vec<MasterRelation>>,
+    ) -> Self {
+        let arity = ie.schema().arity();
+        Specification {
+            ie,
+            masters,
             rules,
             initial_target: TargetTuple::empty(arity),
         }
@@ -44,7 +64,7 @@ impl Specification {
 
     /// Add a master relation (builder style); returns its index for rules.
     pub fn with_master(mut self, im: MasterRelation) -> Self {
-        self.masters.push(im);
+        Arc::make_mut(&mut self.masters).push(im);
         self
     }
 
@@ -79,8 +99,7 @@ impl Specification {
                 got: self.initial_target.arity(),
             });
         }
-        let master_arities: Vec<usize> =
-            self.masters.iter().map(|m| m.schema().arity()).collect();
+        let master_arities: Vec<usize> = self.masters.iter().map(|m| m.schema().arity()).collect();
         self.rules
             .validate(self.ie.schema(), &master_arities)
             .map_err(SpecificationError::Rule)
@@ -93,7 +112,7 @@ impl Specification {
     pub fn candidate_domain(&self, a: AttrId) -> Vec<Value> {
         let mut values = self.ie.active_domain(a);
         let name = self.ie.schema().attr_name(a);
-        for master in &self.masters {
+        for master in self.masters.iter() {
             if let Some(b) = master.schema().attr_id(name) {
                 for v in master.active_domain(b) {
                     if !values.iter().any(|x| x.same(&v)) {
@@ -207,9 +226,7 @@ mod tests {
         assert_eq!(s.rule_count(), 2);
         assert!(s.validate().is_ok());
 
-        let bad = s
-            .clone()
-            .with_initial_target(TargetTuple::empty(5));
+        let bad = s.clone().with_initial_target(TargetTuple::empty(5));
         assert!(matches!(
             bad.validate(),
             Err(SpecificationError::TargetArity { .. })

@@ -11,7 +11,12 @@
 //!   `S = (D0, Σ, Im, te)`, grounding (`Instantiation`), the event index `H`,
 //!   algorithm **IsCR** deciding the Church-Rosser property and computing the
 //!   deduced target tuple, a naive (index-free) chase for ablations, and a
-//!   free-order chase used as a semantic oracle in tests.
+//!   free-order chase used as a semantic oracle in tests;
+//! * the **compile-once pipeline** ([`chase::ChasePlan`] /
+//!   [`chase::ChaseScratch`]) — rules validated, strings interned and
+//!   form-(2) rules pre-grounded once per workload, then evaluated against
+//!   any number of entity instances with reusable per-worker buffers (the
+//!   substrate of `relacc-engine`'s parallel batch driver).
 //!
 //! Top-k candidate-target computation lives in `relacc-topk`; the interactive
 //! framework of Fig. 3 lives in `relacc-framework`.
@@ -47,6 +52,40 @@
 //! let target = run.outcome.target().unwrap();
 //! assert_eq!(target.value(schema.expect_attr("totalPts")), &Value::Int(772));
 //! ```
+//!
+//! For a corpus of entities sharing one rule set, compile a
+//! [`chase::ChasePlan`] once and evaluate it per entity instead of building a
+//! [`Specification`] per entity:
+//!
+//! ```
+//! # use relacc_core::chase::{is_cr, ChasePlan, ChaseScratch, Specification};
+//! # use relacc_core::rules::parse_ruleset;
+//! # use relacc_model::{DataType, EntityInstance, Schema, Value};
+//! # let schema = Schema::builder("stat")
+//! #     .attr("rnds", DataType::Int)
+//! #     .attr("totalPts", DataType::Int)
+//! #     .build();
+//! # let rules = parse_ruleset(
+//! #     "rule phi1: t1[rnds] < t2[rnds] -> t1 <= t2 on rnds\n",
+//! #     &schema,
+//! #     &[],
+//! # )
+//! # .unwrap();
+//! let plan = ChasePlan::compile(schema.clone(), rules, vec![]).unwrap();
+//! let mut scratch = ChaseScratch::new();
+//! for seed in 0..10i64 {
+//!     let ie = EntityInstance::from_rows(
+//!         schema.clone(),
+//!         vec![
+//!             vec![Value::Int(seed), Value::Int(1)],
+//!             vec![Value::Int(seed + 1), Value::Int(2)],
+//!         ],
+//!     )
+//!     .unwrap();
+//!     let run = plan.is_cr_with(&ie, &mut scratch);
+//!     assert!(run.outcome.is_church_rosser());
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,7 +94,7 @@ pub mod chase;
 pub mod rules;
 
 pub use chase::{
-    chase_with_grounding, deduced_target, is_cr, naive_is_cr, AccuracyInstance, ChaseRun,
-    ChaseStats, Conflict, Grounding, IsCrOutcome, Specification,
+    chase_with_grounding, deduced_target, is_cr, naive_is_cr, AccuracyInstance, ChasePlan,
+    ChaseRun, ChaseScratch, ChaseStats, Conflict, Grounding, IsCrOutcome, Specification,
 };
 pub use rules::{AccuracyRule, AxiomConfig, MasterRule, RuleSet, TupleRule};

@@ -14,7 +14,7 @@
 //! The built-in axioms ϕ7–ϕ9 are represented by [`AxiomConfig`]; see
 //! [`crate::rules::axioms`] for their explicit rule expansion.
 
-use relacc_model::{AttrId, CmpOp, SchemaRef, Value};
+use relacc_model::{AttrId, CmpOp, Interner, SchemaRef, Value};
 use std::fmt;
 
 /// Which of the two universally quantified tuples a form-(1) operand refers to.
@@ -402,6 +402,36 @@ impl RuleSet {
                 .cloned()
                 .collect(),
             axioms: self.axioms,
+        }
+    }
+
+    /// Intern every constant value appearing in rule premises, so grounded
+    /// predicates compare interned ids against interned master/entity values
+    /// (used by `ChasePlan::compile`).
+    pub(crate) fn intern_constants(&mut self, interner: &mut Interner) {
+        for rule in &mut self.rules {
+            match rule {
+                AccuracyRule::Tuple(t) => {
+                    for p in &mut t.premises {
+                        if let Predicate::Cmp { left, right, .. } = p {
+                            for operand in [left, right] {
+                                if let Operand::Const(v) = operand {
+                                    interner.intern_value(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                AccuracyRule::Master(m) => {
+                    for p in &mut m.premises {
+                        match p {
+                            MasterPremise::TargetEqConst(_, v)
+                            | MasterPremise::MasterEqConst(_, v) => interner.intern_value(v),
+                            MasterPremise::TargetEqMaster(_, _) => {}
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -10,7 +10,7 @@
 //!   the literal reading of the paper, and
 //! * users can inspect or pretty-print the complete rule set including axioms.
 
-use super::ast::{Operand, Predicate, TupleRule, TupleRef};
+use super::ast::{Operand, Predicate, TupleRef, TupleRule};
 use relacc_model::{AttrId, CmpOp, SchemaRef, Value};
 
 /// The ϕ7 rule for attribute `a`:
@@ -60,10 +60,7 @@ pub fn phi9(a: AttrId) -> TupleRule {
 }
 
 /// Expand the enabled axioms of `config` over every attribute of `schema`.
-pub fn expand_axioms(
-    schema: &SchemaRef,
-    config: super::ast::AxiomConfig,
-) -> Vec<TupleRule> {
+pub fn expand_axioms(schema: &SchemaRef, config: super::ast::AxiomConfig) -> Vec<TupleRule> {
     let mut rules = Vec::new();
     for a in schema.attr_ids() {
         if config.null_lowest {

@@ -44,10 +44,7 @@ impl ConstantCfd {
     where
         F: Fn(AttrId) -> Value,
     {
-        let applies = self
-            .conditions
-            .iter()
-            .all(|(a, c)| value_of(*a).same(c));
+        let applies = self.conditions.iter().all(|(a, c)| value_of(*a).same(c));
         !applies || value_of(self.conclusion.0).same(&self.conclusion.1)
     }
 
@@ -167,7 +164,7 @@ where
 {
     cfds.iter()
         .enumerate()
-        .filter(|(_, cfd)| !cfd.satisfied_by(|a| value_of(a)))
+        .filter(|(_, cfd)| !cfd.satisfied_by(&value_of))
         .map(|(i, _)| i)
         .collect()
 }
@@ -235,7 +232,10 @@ mod tests {
         // two signatures: team→arena (shared by 2 CFDs) and league→arena
         assert_eq!(translation.rules.len(), 2);
         assert!(translation.rules.iter().all(|r| r.master_index == 2));
-        assert!(translation.rules.iter().all(|r| r.tag.as_deref() == Some("cfd")));
+        assert!(translation
+            .rules
+            .iter()
+            .all(|r| r.tag.as_deref() == Some("cfd")));
         // tableau schema covers exactly the mentioned attributes
         assert_eq!(translation.master.schema().arity(), 3);
     }

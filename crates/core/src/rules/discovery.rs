@@ -151,10 +151,8 @@ pub fn discover_correlation_rules(
                     continue;
                 }
                 // Tuples that are "accurate on A": they carry the true A-value.
-                let accurate_on_a: Vec<_> = ie
-                    .iter()
-                    .filter(|(_, t)| t.value(a).same(true_a))
-                    .collect();
+                let accurate_on_a: Vec<_> =
+                    ie.iter().filter(|(_, t)| t.value(a).same(true_a)).collect();
                 let inaccurate_on_a = ie.len() - accurate_on_a.len();
                 if accurate_on_a.is_empty() || inaccurate_on_a == 0 {
                     continue;
@@ -246,8 +244,7 @@ mod tests {
     #[test]
     fn discovers_currency_and_correlation() {
         let (instances, truths) = training_data();
-        let training: Vec<TrainingExample<'_>> =
-            instances.iter().zip(truths.iter()).collect();
+        let training: Vec<TrainingExample<'_>> = instances.iter().zip(truths.iter()).collect();
         let rules = discover_rules(&training, &DiscoveryConfig::default());
         let names: Vec<&str> = rules.iter().map(|r| r.rule.name.as_str()).collect();
         assert!(names.contains(&"mined_currency[rnds]"));
@@ -267,8 +264,7 @@ mod tests {
     #[test]
     fn thresholds_filter_candidates() {
         let (instances, truths) = training_data();
-        let training: Vec<TrainingExample<'_>> =
-            instances.iter().zip(truths.iter()).collect();
+        let training: Vec<TrainingExample<'_>> = instances.iter().zip(truths.iter()).collect();
         let strict = DiscoveryConfig {
             min_support: 100,
             min_confidence: 0.9,

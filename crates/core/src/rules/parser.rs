@@ -75,7 +75,7 @@ fn parse_literal(text: &str) -> Result<Value, ParseError> {
     let t = text.trim();
     if t.starts_with('"') {
         if t.len() >= 2 && t.ends_with('"') {
-            return Ok(Value::Str(t[1..t.len() - 1].replace("\\\"", "\"")));
+            return Ok(Value::text(t[1..t.len() - 1].replace("\\\"", "\"")));
         }
         return Err(ParseError::new(format!("unterminated string literal {t}")));
     }
@@ -324,17 +324,15 @@ pub fn parse_rule(
         };
         let mut assignments = Vec::new();
         for part in split_top_level(&rhs, ",") {
-            let (l, r) = part
-                .trim()
-                .split_once(":=")
-                .ok_or_else(|| ParseError::new(format!("assignment must use ':=', got {part:?}")))?;
+            let (l, r) = part.trim().split_once(":=").ok_or_else(|| {
+                ParseError::new(format!("assignment must use ':=', got {part:?}"))
+            })?;
             let l = parse_term(l)?;
             let r = parse_term(r)?;
             match (l, r) {
-                (Term::Te(a), Term::Tm(b)) => assignments.push((
-                    resolve_attr(schema, &a)?,
-                    resolve_attr(master, &b)?,
-                )),
+                (Term::Te(a), Term::Tm(b)) => {
+                    assignments.push((resolve_attr(schema, &a)?, resolve_attr(master, &b)?))
+                }
                 (l, r) => {
                     return Err(ParseError::new(format!(
                         "assignments must be 'te[A] := tm[B]', got {l:?} := {r:?}"
@@ -438,7 +436,11 @@ pub fn format_rule(
                     }
                 })
                 .collect();
-            let tag = r.tag.as_deref().map(|t| format!(" @{t}")).unwrap_or_default();
+            let tag = r
+                .tag
+                .as_deref()
+                .map(|t| format!(" @{t}"))
+                .unwrap_or_default();
             format!(
                 "rule {}: {} -> t1 <= t2 on {}{}",
                 r.name,
@@ -482,7 +484,11 @@ pub fn format_rule(
             } else {
                 String::new()
             };
-            let tag = r.tag.as_deref().map(|t| format!(" @{t}")).unwrap_or_default();
+            let tag = r
+                .tag
+                .as_deref()
+                .map(|t| format!(" @{t}"))
+                .unwrap_or_default();
             format!(
                 "master rule {}{}: {} -> {}{}",
                 r.name,
@@ -561,7 +567,12 @@ mod tests {
         .unwrap();
         match rule {
             AccuracyRule::Tuple(r) => {
-                assert_eq!(r.premises, vec![Predicate::OrderLt { attr: s.expect_attr("rnds") }]);
+                assert_eq!(
+                    r.premises,
+                    vec![Predicate::OrderLt {
+                        attr: s.expect_attr("rnds")
+                    }]
+                );
                 assert_eq!(r.conclusion, s.expect_attr("J#"));
                 assert_eq!(r.tag.as_deref(), Some("currency"));
             }
@@ -575,7 +586,7 @@ mod tests {
         let rule = parse_rule(
             "master rule phi6: te[FN] = tm[FN] && te[LN] = tm[LN] && tm[season] = \"1994-95\" -> te[league] := tm[league], te[team] := tm[team]",
             &s,
-            &[m.clone()],
+            std::slice::from_ref(&m),
         )
         .unwrap();
         match rule {
@@ -630,8 +641,11 @@ mod tests {
         .unwrap();
         match rule {
             AccuracyRule::Tuple(r) => match &r.premises[0] {
-                Predicate::Cmp { right: Operand::Const(Value::Str(lit)), .. } => {
-                    assert_eq!(lit, "Chicago, \"Bulls\"");
+                Predicate::Cmp {
+                    right: Operand::Const(Value::Str(lit)),
+                    ..
+                } => {
+                    assert_eq!(&**lit, "Chicago, \"Bulls\"");
                 }
                 other => panic!("unexpected premise {other:?}"),
             },
@@ -649,8 +663,8 @@ mod tests {
             "master rule phi6: te[FN] = tm[FN] && tm[season] = \"1994-95\" -> te[league] := tm[league], te[team] := tm[team]",
         ]
         .join("\n");
-        let rs = parse_ruleset(&text, &s, &[m.clone()]).unwrap();
-        let rendered = format_ruleset(&rs, &s, &[m.clone()]);
+        let rs = parse_ruleset(&text, &s, std::slice::from_ref(&m)).unwrap();
+        let rendered = format_ruleset(&rs, &s, std::slice::from_ref(&m));
         let reparsed = parse_ruleset(&rendered, &s, &[m]).unwrap();
         assert_eq!(rs, reparsed);
         assert_eq!(rendered.lines().count(), 4);

@@ -33,7 +33,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relacc_core::rules::{
-    ConstantCfd, MasterPremise, MasterRule, Operand, Predicate, RuleSet, TupleRule, TupleRef,
+    ConstantCfd, MasterPremise, MasterRule, Operand, Predicate, RuleSet, TupleRef, TupleRule,
 };
 use relacc_core::Specification;
 use relacc_model::{
@@ -142,13 +142,19 @@ impl GeneratorConfig {
             attrs: vec![
                 AttrSpec::new("name", AttrKind::Key),
                 AttrSpec::new("rnds", AttrKind::Currency),
-                AttrSpec::new("pts", AttrKind::Correlated {
-                    driver: "rnds".into(),
-                }),
+                AttrSpec::new(
+                    "pts",
+                    AttrKind::Correlated {
+                        driver: "rnds".into(),
+                    },
+                ),
                 AttrSpec::new("team", AttrKind::MasterCovered),
-                AttrSpec::new("arena", AttrKind::MasterFollower {
-                    pivot: "team".into(),
-                }),
+                AttrSpec::new(
+                    "arena",
+                    AttrKind::MasterFollower {
+                        pivot: "team".into(),
+                    },
+                ),
                 AttrSpec::new("note", AttrKind::Free),
             ],
             n_entities: 20,
@@ -258,6 +264,7 @@ struct AttrPlan {
 }
 
 /// Generate a dataset from a configuration.
+#[allow(clippy::needless_range_loop)] // tuple index `t` addresses several parallel plans
 pub fn generate(config: &GeneratorConfig) -> Dataset {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -344,9 +351,7 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
             let name = schema.attr_name(plan.id);
             truth[plan.id.0] = match &plan.kind {
                 AttrKind::Key => Value::text(format!("{name}_e{e}")),
-                AttrKind::Currency => {
-                    Value::Int(((size.min(buckets)).saturating_sub(1)) as i64)
-                }
+                AttrKind::Currency => Value::Int(((size.min(buckets)).saturating_sub(1)) as i64),
                 AttrKind::Correlated { .. } => {
                     let top_bucket = (size.min(buckets)).saturating_sub(1);
                     Value::text(format!("{name}_e{e}_h{top_bucket}"))
@@ -403,7 +408,11 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
         let mut instance = EntityInstance::new(schema.clone());
         for t in 0..size {
             // version 0 = oldest, size-1 = newest; exactly one tuple is newest
-            let version = if t == size - 1 { size - 1 } else { rng.gen_range(0..size) };
+            let version = if t == size - 1 {
+                size - 1
+            } else {
+                rng.gen_range(0..size)
+            };
             let bucket = (version * buckets.min(size)) / size.max(1);
             let bucket = bucket.min(buckets - 1);
             let is_latest = version == size - 1;
@@ -468,7 +477,11 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
                     }
                     AttrKind::Correlated { driver } => {
                         let latest_bucket = (size.min(buckets)) - 1;
-                        let b = if is_latest { latest_bucket } else { bucket.min(latest_bucket) };
+                        let b = if is_latest {
+                            latest_bucket
+                        } else {
+                            bucket.min(latest_bucket)
+                        };
                         if missing_drivers.contains(&driver.as_str()) {
                             // the driver is missing in this tuple, so its
                             // followers are missing too (see above)
@@ -622,8 +635,12 @@ pub fn generate(config: &GeneratorConfig) -> Dataset {
         let mut premises = template.premises.clone();
         premises.push(Predicate::cmp_attrs(key, CmpOp::Eq));
         form1.push(
-            TupleRule::new(format!("{}#v{variant}", template.name), premises, template.conclusion)
-                .with_tag("variant"),
+            TupleRule::new(
+                format!("{}#v{variant}", template.name),
+                premises,
+                template.conclusion,
+            )
+            .with_tag("variant"),
         );
         variant += 1;
     }
@@ -844,7 +861,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_incomplete, "some ambiguous attribute should remain open");
+        assert!(
+            saw_incomplete,
+            "some ambiguous attribute should remain open"
+        );
     }
 
     #[test]
@@ -890,10 +910,20 @@ mod tests {
         for idx in 0..data.entities.len() {
             let both = is_cr(&data.specification_with(idx, RuleForms::Both, None));
             let f1 = is_cr(&data.specification_with(idx, RuleForms::Form1Only, None));
-            if both.outcome.target().map(|t| !t.is_null(arena)).unwrap_or(false) {
+            if both
+                .outcome
+                .target()
+                .map(|t| !t.is_null(arena))
+                .unwrap_or(false)
+            {
                 resolved_both += 1;
             }
-            if f1.outcome.target().map(|t| !t.is_null(arena)).unwrap_or(false) {
+            if f1
+                .outcome
+                .target()
+                .map(|t| !t.is_null(arena))
+                .unwrap_or(false)
+            {
                 resolved_f1 += 1;
             }
         }
@@ -906,7 +936,9 @@ mod tests {
     #[test]
     fn cfds_hold_on_the_ground_truth() {
         let mut config = GeneratorConfig::tiny(9);
-        config.attrs.push(AttrSpec::new("league", AttrKind::MasterCovered));
+        config
+            .attrs
+            .push(AttrSpec::new("league", AttrKind::MasterCovered));
         let data = generate(&config);
         assert!(!data.cfds.is_empty());
         for entity in &data.entities {

@@ -134,8 +134,7 @@ rule phi11: t1 < t2 on team -> t1 <= t2 on arena
 /// The parsed rule set ϕ1–ϕ11 (axioms included via the default
 /// [`relacc_core::AxiomConfig`]).
 pub fn paper_rules() -> RuleSet {
-    parse_ruleset(PAPER_RULES, &stat_schema(), &[nba_schema()])
-        .expect("the paper's rules parse")
+    parse_ruleset(PAPER_RULES, &stat_schema(), &[nba_schema()]).expect("the paper's rules parse")
 }
 
 /// The specification `S` of Example 5: `stat`, `nba` and ϕ1–ϕ11.
@@ -177,7 +176,10 @@ mod tests {
         let spec = paper_specification();
         spec.validate().unwrap();
         let run = is_cr(&spec);
-        assert!(run.outcome.is_church_rosser(), "Example 5's S is Church-Rosser");
+        assert!(
+            run.outcome.is_church_rosser(),
+            "Example 5's S is Church-Rosser"
+        );
         let te = run.outcome.target().unwrap();
         assert_eq!(te, &expected_target());
         assert!(te.is_complete());
@@ -186,10 +188,12 @@ mod tests {
     #[test]
     fn example6_phi12_breaks_church_rosser() {
         let mut rules = paper_rules();
-        rules.push(match parse_rule(PHI12, &stat_schema(), &[nba_schema()]).unwrap() {
-            relacc_core::rules::AccuracyRule::Tuple(r) => r,
-            _ => unreachable!(),
-        });
+        rules.push(
+            match parse_rule(PHI12, &stat_schema(), &[nba_schema()]).unwrap() {
+                relacc_core::rules::AccuracyRule::Tuple(r) => r,
+                _ => unreachable!(),
+            },
+        );
         let spec = Specification::new(stat_instance(), rules).with_master(nba_master());
         let run = is_cr(&spec);
         assert!(

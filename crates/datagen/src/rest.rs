@@ -228,8 +228,7 @@ pub fn rest(config: &RestConfig) -> RestDataset {
     let restaurant_names: Vec<String> = (0..config.n_restaurants)
         .map(|i| format!("restaurant{i}"))
         .collect();
-    let mut observations =
-        SourceObservations::new(source_names.clone(), restaurant_names.clone());
+    let mut observations = SourceObservations::new(source_names.clone(), restaurant_names.clone());
 
     let mut restaurants = Vec::with_capacity(config.n_restaurants);
     for (r_idx, name) in restaurant_names.iter().enumerate() {
@@ -378,7 +377,9 @@ mod tests {
                 .unwrap();
             assert!(agreement > 0.95, "copier agreement {agreement}");
             // copiers copy the unreliable tier
-            assert!(*original >= RestConfig::default().n_sources - RestConfig::default().n_unreliable);
+            assert!(
+                *original >= RestConfig::default().n_sources - RestConfig::default().n_unreliable
+            );
         }
     }
 
@@ -415,7 +416,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(wrong, 0, "currency evidence must never conclude a wrong closure");
+        assert_eq!(
+            wrong, 0,
+            "currency evidence must never conclude a wrong closure"
+        );
         assert!(closed_total > 0);
         assert!(
             concluded_closed < closed_total / 2,

@@ -25,28 +25,123 @@ pub fn med_config(scale: f64, seed: u64) -> GeneratorConfig {
         AttrSpec::new("stockAge", AttrKind::Currency),
         AttrSpec::new("priceRev", AttrKind::Currency),
         AttrSpec::new("saleRound", AttrKind::Currency),
-        AttrSpec::new("price", AttrKind::Correlated { driver: "priceRev".into() }),
-        AttrSpec::new("packaging", AttrKind::Correlated { driver: "batchSeq".into() }),
-        AttrSpec::new("stockLevel", AttrKind::Correlated { driver: "stockAge".into() }),
-        AttrSpec::new("distributor", AttrKind::Correlated { driver: "saleRound".into() }),
-        AttrSpec::new("warehouse", AttrKind::Correlated { driver: "saleRound".into() }),
-        AttrSpec::new("expiry", AttrKind::Correlated { driver: "batchSeq".into() }),
+        AttrSpec::new(
+            "price",
+            AttrKind::Correlated {
+                driver: "priceRev".into(),
+            },
+        ),
+        AttrSpec::new(
+            "packaging",
+            AttrKind::Correlated {
+                driver: "batchSeq".into(),
+            },
+        ),
+        AttrSpec::new(
+            "stockLevel",
+            AttrKind::Correlated {
+                driver: "stockAge".into(),
+            },
+        ),
+        AttrSpec::new(
+            "distributor",
+            AttrKind::Correlated {
+                driver: "saleRound".into(),
+            },
+        ),
+        AttrSpec::new(
+            "warehouse",
+            AttrKind::Correlated {
+                driver: "saleRound".into(),
+            },
+        ),
+        AttrSpec::new(
+            "expiry",
+            AttrKind::Correlated {
+                driver: "batchSeq".into(),
+            },
+        ),
         AttrSpec::new("manufacturer", AttrKind::MasterCovered),
         AttrSpec::new("approvalClass", AttrKind::MasterCovered),
         AttrSpec::new("dosageForm", AttrKind::MasterCovered),
-        AttrSpec::new("manufCountry", AttrKind::MasterFollower { pivot: "manufacturer".into() }),
-        AttrSpec::new("manufLicense", AttrKind::MasterFollower { pivot: "manufacturer".into() }),
-        AttrSpec::new("otcFlag", AttrKind::MasterFollower { pivot: "approvalClass".into() }),
-        AttrSpec::new("prescriptionTier", AttrKind::MasterFollower { pivot: "approvalClass".into() }),
-        AttrSpec::new("unitShape", AttrKind::MasterFollower { pivot: "dosageForm".into() }),
-        AttrSpec::new("storageClass", AttrKind::MasterFollower { pivot: "dosageForm".into() }),
-        AttrSpec::new("batchCode", AttrKind::Correlated { driver: "batchSeq".into() }),
-        AttrSpec::new("lotNumber", AttrKind::Correlated { driver: "batchSeq".into() }),
-        AttrSpec::new("wholesalePrice", AttrKind::Correlated { driver: "priceRev".into() }),
-        AttrSpec::new("stockSite", AttrKind::Correlated { driver: "stockAge".into() }),
-        AttrSpec::new("salesRegion", AttrKind::Correlated { driver: "saleRound".into() }),
-        AttrSpec::new("coldChain", AttrKind::MasterFollower { pivot: "dosageForm".into() }),
-        AttrSpec::new("importFlag", AttrKind::MasterFollower { pivot: "manufacturer".into() }),
+        AttrSpec::new(
+            "manufCountry",
+            AttrKind::MasterFollower {
+                pivot: "manufacturer".into(),
+            },
+        ),
+        AttrSpec::new(
+            "manufLicense",
+            AttrKind::MasterFollower {
+                pivot: "manufacturer".into(),
+            },
+        ),
+        AttrSpec::new(
+            "otcFlag",
+            AttrKind::MasterFollower {
+                pivot: "approvalClass".into(),
+            },
+        ),
+        AttrSpec::new(
+            "prescriptionTier",
+            AttrKind::MasterFollower {
+                pivot: "approvalClass".into(),
+            },
+        ),
+        AttrSpec::new(
+            "unitShape",
+            AttrKind::MasterFollower {
+                pivot: "dosageForm".into(),
+            },
+        ),
+        AttrSpec::new(
+            "storageClass",
+            AttrKind::MasterFollower {
+                pivot: "dosageForm".into(),
+            },
+        ),
+        AttrSpec::new(
+            "batchCode",
+            AttrKind::Correlated {
+                driver: "batchSeq".into(),
+            },
+        ),
+        AttrSpec::new(
+            "lotNumber",
+            AttrKind::Correlated {
+                driver: "batchSeq".into(),
+            },
+        ),
+        AttrSpec::new(
+            "wholesalePrice",
+            AttrKind::Correlated {
+                driver: "priceRev".into(),
+            },
+        ),
+        AttrSpec::new(
+            "stockSite",
+            AttrKind::Correlated {
+                driver: "stockAge".into(),
+            },
+        ),
+        AttrSpec::new(
+            "salesRegion",
+            AttrKind::Correlated {
+                driver: "saleRound".into(),
+            },
+        ),
+        AttrSpec::new(
+            "coldChain",
+            AttrKind::MasterFollower {
+                pivot: "dosageForm".into(),
+            },
+        ),
+        AttrSpec::new(
+            "importFlag",
+            AttrKind::MasterFollower {
+                pivot: "manufacturer".into(),
+            },
+        ),
     ];
     // remaining free attributes up to 30 in total
     for i in 0..2 {
@@ -85,23 +180,93 @@ pub fn cfp_config(scale: f64, seed: u64) -> GeneratorConfig {
         AttrSpec::new("year", AttrKind::Key),
         AttrSpec::new("cfpVersion", AttrKind::Currency),
         AttrSpec::new("editRound", AttrKind::Currency),
-        AttrSpec::new("deadline", AttrKind::Correlated { driver: "cfpVersion".into() }),
-        AttrSpec::new("notification", AttrKind::Correlated { driver: "cfpVersion".into() }),
-        AttrSpec::new("cameraReady", AttrKind::Correlated { driver: "cfpVersion".into() }),
-        AttrSpec::new("program", AttrKind::Correlated { driver: "editRound".into() }),
-        AttrSpec::new("keynotes", AttrKind::Correlated { driver: "editRound".into() }),
+        AttrSpec::new(
+            "deadline",
+            AttrKind::Correlated {
+                driver: "cfpVersion".into(),
+            },
+        ),
+        AttrSpec::new(
+            "notification",
+            AttrKind::Correlated {
+                driver: "cfpVersion".into(),
+            },
+        ),
+        AttrSpec::new(
+            "cameraReady",
+            AttrKind::Correlated {
+                driver: "cfpVersion".into(),
+            },
+        ),
+        AttrSpec::new(
+            "program",
+            AttrKind::Correlated {
+                driver: "editRound".into(),
+            },
+        ),
+        AttrSpec::new(
+            "keynotes",
+            AttrKind::Correlated {
+                driver: "editRound".into(),
+            },
+        ),
         AttrSpec::new("venue", AttrKind::MasterCovered),
         AttrSpec::new("city", AttrKind::MasterCovered),
         AttrSpec::new("organizer", AttrKind::MasterCovered),
-        AttrSpec::new("country", AttrKind::MasterFollower { pivot: "city".into() }),
-        AttrSpec::new("timezone", AttrKind::MasterFollower { pivot: "city".into() }),
-        AttrSpec::new("hotelBlock", AttrKind::MasterFollower { pivot: "venue".into() }),
-        AttrSpec::new("sponsorTier", AttrKind::MasterFollower { pivot: "organizer".into() }),
-        AttrSpec::new("registrationSite", AttrKind::MasterFollower { pivot: "organizer".into() }),
-        AttrSpec::new("proceedings", AttrKind::MasterFollower { pivot: "venue".into() }),
-        AttrSpec::new("submissionSite", AttrKind::Correlated { driver: "cfpVersion".into() }),
-        AttrSpec::new("pageLimit", AttrKind::Correlated { driver: "cfpVersion".into() }),
-        AttrSpec::new("workshopList", AttrKind::Correlated { driver: "editRound".into() }),
+        AttrSpec::new(
+            "country",
+            AttrKind::MasterFollower {
+                pivot: "city".into(),
+            },
+        ),
+        AttrSpec::new(
+            "timezone",
+            AttrKind::MasterFollower {
+                pivot: "city".into(),
+            },
+        ),
+        AttrSpec::new(
+            "hotelBlock",
+            AttrKind::MasterFollower {
+                pivot: "venue".into(),
+            },
+        ),
+        AttrSpec::new(
+            "sponsorTier",
+            AttrKind::MasterFollower {
+                pivot: "organizer".into(),
+            },
+        ),
+        AttrSpec::new(
+            "registrationSite",
+            AttrKind::MasterFollower {
+                pivot: "organizer".into(),
+            },
+        ),
+        AttrSpec::new(
+            "proceedings",
+            AttrKind::MasterFollower {
+                pivot: "venue".into(),
+            },
+        ),
+        AttrSpec::new(
+            "submissionSite",
+            AttrKind::Correlated {
+                driver: "cfpVersion".into(),
+            },
+        ),
+        AttrSpec::new(
+            "pageLimit",
+            AttrKind::Correlated {
+                driver: "cfpVersion".into(),
+            },
+        ),
+        AttrSpec::new(
+            "workshopList",
+            AttrKind::Correlated {
+                driver: "editRound".into(),
+            },
+        ),
     ];
     for i in 0..1 {
         attrs.push(AttrSpec::new(format!("topic{i}"), AttrKind::Free));
@@ -143,16 +308,56 @@ pub fn syn_config(ie_size: usize, im_size: usize, sigma_size: usize, seed: u64) 
         AttrSpec::new("games", AttrKind::Currency),
         AttrSpec::new("minutes", AttrKind::Currency),
         AttrSpec::new("season", AttrKind::Currency),
-        AttrSpec::new("totalPts", AttrKind::Correlated { driver: "rnds".into() }),
-        AttrSpec::new("J#", AttrKind::Correlated { driver: "rnds".into() }),
-        AttrSpec::new("assists", AttrKind::Correlated { driver: "games".into() }),
-        AttrSpec::new("rebounds", AttrKind::Correlated { driver: "games".into() }),
-        AttrSpec::new("fouls", AttrKind::Correlated { driver: "minutes".into() }),
-        AttrSpec::new("salary", AttrKind::Correlated { driver: "season".into() }),
+        AttrSpec::new(
+            "totalPts",
+            AttrKind::Correlated {
+                driver: "rnds".into(),
+            },
+        ),
+        AttrSpec::new(
+            "J#",
+            AttrKind::Correlated {
+                driver: "rnds".into(),
+            },
+        ),
+        AttrSpec::new(
+            "assists",
+            AttrKind::Correlated {
+                driver: "games".into(),
+            },
+        ),
+        AttrSpec::new(
+            "rebounds",
+            AttrKind::Correlated {
+                driver: "games".into(),
+            },
+        ),
+        AttrSpec::new(
+            "fouls",
+            AttrKind::Correlated {
+                driver: "minutes".into(),
+            },
+        ),
+        AttrSpec::new(
+            "salary",
+            AttrKind::Correlated {
+                driver: "season".into(),
+            },
+        ),
         AttrSpec::new("league", AttrKind::MasterCovered),
         AttrSpec::new("team", AttrKind::MasterCovered),
-        AttrSpec::new("arena", AttrKind::MasterFollower { pivot: "team".into() }),
-        AttrSpec::new("division", AttrKind::MasterFollower { pivot: "league".into() }),
+        AttrSpec::new(
+            "arena",
+            AttrKind::MasterFollower {
+                pivot: "team".into(),
+            },
+        ),
+        AttrSpec::new(
+            "division",
+            AttrKind::MasterFollower {
+                pivot: "league".into(),
+            },
+        ),
         AttrSpec::new("coach", AttrKind::Free),
         AttrSpec::new("captain", AttrKind::Free),
         AttrSpec::new("sponsor", AttrKind::Free),

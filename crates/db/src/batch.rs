@@ -11,6 +11,15 @@
 //! Entities are independent, so the batch is embarrassingly parallel; set
 //! [`BatchConfig::threads`] > 1 to fan the entities out over scoped worker
 //! threads.
+//!
+//! **Layering note:** `relacc-engine`'s `BatchEngine::repair_relation` is the
+//! preferred entry point for whole-relation repair — it compiles the rules
+//! and master data once (`ChasePlan`) and reuses per-worker scratch buffers,
+//! where this module rebuilds per-entity state.  The engine cannot be used
+//! *from* this crate (it depends on `relacc-db` for resolution), so this
+//! module remains as the dependency-light fallback for consumers of
+//! `relacc-db` alone; keep behavioral changes (suggestion policy, outcome
+//! classification) in sync with `relacc_engine::batch`.
 
 use crate::resolve::{resolve_relation, ResolveConfig, ResolvedEntities};
 use relacc_core::chase::is_cr;
@@ -181,15 +190,20 @@ pub fn repair_database(
     config: &BatchConfig,
 ) -> BatchReport {
     let resolved: ResolvedEntities = resolve_relation(relation, &config.resolve);
+    // one shared Σ and Im for the whole batch: per-entity specifications are
+    // reference-count bumps, not deep clones
+    let shared_rules = std::sync::Arc::new(rules.clone());
+    let shared_masters = std::sync::Arc::new(master.map(|im| vec![im.clone()]).unwrap_or_default());
     let specs: Vec<(usize, Vec<usize>, Specification)> = resolved
         .entities
         .iter()
         .enumerate()
         .map(|(idx, instance)| {
-            let mut spec = Specification::new(instance.clone(), rules.clone());
-            if let Some(im) = master {
-                spec = spec.with_master(im.clone());
-            }
+            let spec = Specification::shared(
+                instance.clone(),
+                shared_rules.clone(),
+                shared_masters.clone(),
+            );
             (idx, resolved.members[idx].clone(), spec)
         })
         .collect();
@@ -269,9 +283,21 @@ mod tests {
         let relation = Relation::from_rows(
             schema.clone(),
             vec![
-                vec![Value::text("Michael Jordan"), Value::Int(16), Value::Int(424)],
-                vec![Value::text("Michael  Jordan"), Value::Int(27), Value::Int(772)],
-                vec![Value::text("Scottie Pippen"), Value::Int(27), Value::Int(639)],
+                vec![
+                    Value::text("Michael Jordan"),
+                    Value::Int(16),
+                    Value::Int(424),
+                ],
+                vec![
+                    Value::text("Michael  Jordan"),
+                    Value::Int(27),
+                    Value::Int(772),
+                ],
+                vec![
+                    Value::text("Scottie Pippen"),
+                    Value::Int(27),
+                    Value::Int(639),
+                ],
             ],
         )
         .unwrap();
@@ -356,18 +382,23 @@ mod tests {
         )
         .unwrap();
         let rules = RuleSet::new();
-        let config = BatchConfig::new(ResolveConfig::on_attrs(vec!["name".into()]))
-            .with_suggestion_k(0);
+        let config =
+            BatchConfig::new(ResolveConfig::on_attrs(vec!["name".into()])).with_suggestion_k(0);
         let report = repair_database(&relation, &rules, None, &config);
         assert_eq!(report.entities.len(), 1);
         assert_eq!(report.entities[0].outcome, EntityOutcome::NeedsUser);
         assert_eq!(report.needs_user, 1);
         // with suggestions enabled the same entity gets completed heuristically
-        let with_suggestions =
-            repair_database(&relation, &rules, None, &BatchConfig::new(
-                ResolveConfig::on_attrs(vec!["name".into()]),
-            ));
-        assert_eq!(with_suggestions.entities[0].outcome, EntityOutcome::Suggested);
+        let with_suggestions = repair_database(
+            &relation,
+            &rules,
+            None,
+            &BatchConfig::new(ResolveConfig::on_attrs(vec!["name".into()])),
+        );
+        assert_eq!(
+            with_suggestions.entities[0].outcome,
+            EntityOutcome::Suggested
+        );
         assert!(with_suggestions.entities[0].suggestion.is_some());
     }
 
@@ -391,7 +422,10 @@ mod tests {
             .build();
         let master = MasterRelation::from_rows(
             master_schema.clone(),
-            vec![vec![Value::text("Michael Jordan"), Value::text("Chicago Bulls")]],
+            vec![vec![
+                Value::text("Michael Jordan"),
+                Value::text("Chicago Bulls"),
+            ]],
         )
         .unwrap();
         let rules = RuleSet::from_rules([relacc_core::rules::MasterRule::new(
@@ -400,7 +434,10 @@ mod tests {
                 schema.expect_attr("name"),
                 master_schema.expect_attr("name"),
             )],
-            vec![(schema.expect_attr("team"), master_schema.expect_attr("team"))],
+            vec![(
+                schema.expect_attr("team"),
+                master_schema.expect_attr("team"),
+            )],
         )]);
         let report = repair_database(
             &relation,

@@ -108,7 +108,10 @@ mod tests {
             blocking_key(&b, &[AttrId(0)])
         );
         assert_eq!(blocking_key(&a, &[AttrId(0)]), "michael jordan");
-        assert_eq!(blocking_key(&a, &[AttrId(0), AttrId(1)]), "michael jordan|bulls");
+        assert_eq!(
+            blocking_key(&a, &[AttrId(0), AttrId(1)]),
+            "michael jordan|bulls"
+        );
     }
 
     #[test]

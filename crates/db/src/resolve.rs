@@ -82,9 +82,7 @@ impl ResolvedEntities {
 
     /// The entity index a given input record ended up in.
     pub fn entity_of_record(&self, record: usize) -> Option<usize> {
-        self.members
-            .iter()
-            .position(|m| m.contains(&record))
+        self.members.iter().position(|m| m.contains(&record))
     }
 }
 
@@ -223,11 +221,31 @@ mod tests {
         Relation::from_rows(
             schema,
             vec![
-                vec![Value::text("Michael Jordan"), Value::text("Chicago"), Value::Int(16)],
-                vec![Value::text("Michael  Jordan"), Value::text("Chicago Bulls"), Value::Int(27)],
-                vec![Value::text("M. Jordan"), Value::text("Chicago Bulls"), Value::Int(1)],
-                vec![Value::text("Scottie Pippen"), Value::text("Chicago Bulls"), Value::Int(27)],
-                vec![Value::text("Patrick Ewing"), Value::text("New York Knicks"), Value::Int(30)],
+                vec![
+                    Value::text("Michael Jordan"),
+                    Value::text("Chicago"),
+                    Value::Int(16),
+                ],
+                vec![
+                    Value::text("Michael  Jordan"),
+                    Value::text("Chicago Bulls"),
+                    Value::Int(27),
+                ],
+                vec![
+                    Value::text("M. Jordan"),
+                    Value::text("Chicago Bulls"),
+                    Value::Int(1),
+                ],
+                vec![
+                    Value::text("Scottie Pippen"),
+                    Value::text("Chicago Bulls"),
+                    Value::Int(27),
+                ],
+                vec![
+                    Value::text("Patrick Ewing"),
+                    Value::text("New York Knicks"),
+                    Value::Int(30),
+                ],
             ],
         )
         .unwrap()

@@ -21,7 +21,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         return a.len();
     }
     // keep the shorter string in the inner dimension to bound memory
-    let (outer, inner) = if a.len() >= b.len() { (&a, &b) } else { (&b, &a) };
+    let (outer, inner) = if a.len() >= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     let mut prev: Vec<usize> = (0..=inner.len()).collect();
     let mut curr: Vec<usize> = vec![0; inner.len() + 1];
     for (i, oc) in outer.iter().enumerate() {
@@ -155,8 +159,16 @@ mod tests {
 
     #[test]
     fn record_similarity_averages_over_informative_attrs() {
-        let a = Tuple::new(vec![Value::text("Michael Jordan"), Value::Null, Value::Int(23)]);
-        let b = Tuple::new(vec![Value::text("Michael Jordan"), Value::Null, Value::Int(45)]);
+        let a = Tuple::new(vec![
+            Value::text("Michael Jordan"),
+            Value::Null,
+            Value::Int(23),
+        ]);
+        let b = Tuple::new(vec![
+            Value::text("Michael Jordan"),
+            Value::Null,
+            Value::Int(45),
+        ]);
         let attrs = [AttrId(0), AttrId(1), AttrId(2)];
         // attr 1 is uninformative (both null); attrs 0 and 2 average to 0.5
         let sim = record_similarity(&a, &b, &attrs);

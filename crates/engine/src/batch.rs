@@ -1,0 +1,491 @@
+//! The compile-once / evaluate-many batch driver.
+//!
+//! A [`BatchEngine`] compiles one [`ChasePlan`] for a workload — schema, rules
+//! and master data — and evaluates it against any number of entity instances
+//! in parallel.  Per entity it runs `IsCR` over the pre-compiled plan with a
+//! per-worker [`ChaseScratch`] (no allocations beyond the first entity of each
+//! worker), optionally completes incomplete targets from a top-k suggestion
+//! search reusing the entity's grounding, and returns a [`BatchReport`] with
+//! per-entity outcomes plus aggregate [`ChaseStats`].
+
+use crate::pool::{effective_threads, par_map_with};
+use relacc_core::chase::SpecificationError;
+use relacc_core::chase::{ChasePlan, ChaseScratch};
+use relacc_core::{ChaseStats, Conflict, IsCrOutcome, RuleSet};
+use relacc_db::resolve::{resolve_relation, ResolveConfig, ResolvedEntities};
+use relacc_model::{EntityInstance, MasterRelation, SchemaRef, TargetTuple};
+use relacc_store::Relation;
+use relacc_topk::{topkct, CandidateSearch, PreferenceModel};
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// When the chase leaves a target incomplete, suggest the best completion
+    /// from a top-k search with this `k` (0 disables suggestions).
+    pub suggestion_k: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            suggestion_k: 5,
+        }
+    }
+}
+
+/// How one entity came out of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityOutcome {
+    /// The chase deduced a complete target tuple.
+    Complete,
+    /// The chase left the target incomplete; the best-scored candidate from
+    /// the top-k search is attached as a suggestion.
+    Suggested,
+    /// The chase left the target incomplete and no candidate was available (or
+    /// suggestions were disabled): a user has to look at this entity.
+    NeedsUser,
+    /// The plan is not Church-Rosser for this entity; the rules (or its data)
+    /// conflict and must be revised.
+    NotChurchRosser,
+}
+
+/// The per-entity result of a batch run.
+#[derive(Debug, Clone)]
+pub struct EntityResult {
+    /// Index of the entity in the batch input.
+    pub entity: usize,
+    /// What happened.
+    pub outcome: EntityOutcome,
+    /// The target deduced by the chase (empty template when not Church-Rosser).
+    pub deduced: TargetTuple,
+    /// The suggested completion, when [`EntityOutcome::Suggested`].
+    pub suggestion: Option<TargetTuple>,
+    /// The conflict report, when [`EntityOutcome::NotChurchRosser`].
+    pub conflict: Option<Conflict>,
+    /// Chase counters for this entity.
+    pub stats: ChaseStats,
+}
+
+impl EntityResult {
+    /// The tuple a repaired relation keeps for this entity: the suggestion
+    /// when one exists, otherwise the deduced (possibly incomplete) target.
+    pub fn final_target(&self) -> &TargetTuple {
+        self.suggestion.as_ref().unwrap_or(&self.deduced)
+    }
+}
+
+/// The outcome of a whole batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-entity results, in input order.
+    pub entities: Vec<EntityResult>,
+    /// Number of entities whose target was deduced completely by the chase.
+    pub complete: usize,
+    /// Number of entities completed from the preference model.
+    pub suggested: usize,
+    /// Number of entities that still need user attention.
+    pub needs_user: usize,
+    /// Number of entities whose specification is not Church-Rosser.
+    pub not_church_rosser: usize,
+    /// Aggregate chase counters across all entities.
+    pub stats: ChaseStats,
+    /// Worker threads the run actually used.
+    pub threads_used: usize,
+}
+
+impl BatchReport {
+    /// Fraction of entities fully resolved without a user (chase or
+    /// suggestion).
+    pub fn automatic_rate(&self) -> f64 {
+        if self.entities.is_empty() {
+            return 1.0;
+        }
+        (self.complete + self.suggested) as f64 / self.entities.len() as f64
+    }
+
+    fn from_entities(entities: Vec<EntityResult>, threads_used: usize) -> Self {
+        let mut report = BatchReport {
+            entities,
+            complete: 0,
+            suggested: 0,
+            needs_user: 0,
+            not_church_rosser: 0,
+            stats: ChaseStats::default(),
+            threads_used,
+        };
+        for entity in &report.entities {
+            match entity.outcome {
+                EntityOutcome::Complete => report.complete += 1,
+                EntityOutcome::Suggested => report.suggested += 1,
+                EntityOutcome::NeedsUser => report.needs_user += 1,
+                EntityOutcome::NotChurchRosser => report.not_church_rosser += 1,
+            }
+            let mut stats = report.stats;
+            stats.merge(&entity.stats);
+            report.stats = stats;
+        }
+        report
+    }
+}
+
+/// The result of repairing a whole relation: resolution output, per-entity
+/// report and the repaired one-row-per-entity relation.
+#[derive(Debug, Clone)]
+pub struct RelationRepair {
+    /// The entity-resolution output (clusters and membership).
+    pub resolved: ResolvedEntities,
+    /// The batch report over the resolved entities.
+    pub report: BatchReport,
+    /// One row per entity: the repaired view of the input relation.
+    pub repaired: Relation,
+}
+
+/// A compiled batch engine: one plan, evaluated against many entities.
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    plan: ChasePlan,
+    config: EngineConfig,
+}
+
+impl BatchEngine {
+    /// Compile an engine for a workload.
+    pub fn new(
+        schema: SchemaRef,
+        rules: RuleSet,
+        masters: Vec<MasterRelation>,
+    ) -> Result<Self, SpecificationError> {
+        Ok(BatchEngine {
+            plan: ChasePlan::compile(schema, rules, masters)?,
+            config: EngineConfig::default(),
+        })
+    }
+
+    /// Wrap an already-compiled plan.
+    pub fn from_plan(plan: ChasePlan) -> Self {
+        BatchEngine {
+            plan,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Replace the configuration (builder style).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Use this many worker threads (builder style; 0 = one per core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Use this `k` for completion suggestions (builder style; 0 disables).
+    pub fn with_suggestion_k(mut self, k: usize) -> Self {
+        self.config.suggestion_k = k;
+        self
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &ChasePlan {
+        &self.plan
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Intern the text values of a set of entity instances against the plan's
+    /// canonical strings, so chase-time equality is decided by pointer
+    /// comparison.  Call once per batch before [`BatchEngine::run`]; running
+    /// on non-interned entities is slower but equally correct.
+    pub fn intern_entities(&self, entities: &mut [EntityInstance]) {
+        let mut interner = self.plan.fork_interner();
+        for ie in entities {
+            interner.intern_instance(ie);
+        }
+    }
+
+    /// Evaluate the plan against every entity in parallel.
+    pub fn run(&self, entities: &[EntityInstance]) -> BatchReport {
+        let threads = effective_threads(self.config.threads, entities.len());
+        let results = par_map_with(entities, threads, ChaseScratch::new, |scratch, idx, ie| {
+            self.evaluate_entity(idx, ie, scratch)
+        });
+        BatchReport::from_entities(results, threads)
+    }
+
+    /// Intern and evaluate an owned batch of entities.
+    pub fn run_owned(&self, mut entities: Vec<EntityInstance>) -> BatchReport {
+        self.intern_entities(&mut entities);
+        self.run(&entities)
+    }
+
+    /// Resolve a dirty relation into entities (via `relacc-db` blocking +
+    /// matching) and repair every entity, producing a one-row-per-entity
+    /// repaired relation — the compile-once counterpart of
+    /// `relacc_db::repair_database`.
+    pub fn repair_relation(&self, relation: &Relation, resolve: &ResolveConfig) -> RelationRepair {
+        let resolved = resolve_relation(relation, resolve);
+        let mut entities = resolved.entities.clone();
+        self.intern_entities(&mut entities);
+        let report = self.run(&entities);
+        let mut repaired = Relation::new(relation.schema().clone());
+        for entity in &report.entities {
+            repaired
+                .push_row(entity.final_target().values().to_vec())
+                .expect("target tuples conform to the relation schema");
+        }
+        RelationRepair {
+            resolved,
+            report,
+            repaired,
+        }
+    }
+
+    fn evaluate_entity(
+        &self,
+        idx: usize,
+        ie: &EntityInstance,
+        scratch: &mut ChaseScratch,
+    ) -> EntityResult {
+        let run = self.plan.is_cr_with(ie, scratch);
+        let stats = run.stats;
+        let instance = match run.outcome {
+            IsCrOutcome::ChurchRosser(instance) => instance,
+            IsCrOutcome::NotChurchRosser(conflict) => {
+                return EntityResult {
+                    entity: idx,
+                    outcome: EntityOutcome::NotChurchRosser,
+                    deduced: TargetTuple::empty(self.plan.schema().arity()),
+                    suggestion: None,
+                    conflict: Some(conflict),
+                    stats,
+                };
+            }
+        };
+        let deduced = instance.target;
+        if deduced.is_complete() {
+            return EntityResult {
+                entity: idx,
+                outcome: EntityOutcome::Complete,
+                deduced,
+                suggestion: None,
+                conflict: None,
+                stats,
+            };
+        }
+        let suggestion = if self.config.suggestion_k > 0 {
+            // reuse the grounding the chase above left in the scratch
+            let spec = self.plan.specification(ie.clone());
+            let preference = PreferenceModel::occurrence(&spec, self.config.suggestion_k);
+            CandidateSearch::prepare_with_grounding(&spec, scratch.grounding(), preference)
+                .ok()
+                .and_then(|search| topkct(&search).candidates.into_iter().next())
+                .map(|c| c.target)
+        } else {
+            None
+        };
+        let outcome = if suggestion.is_some() {
+            EntityOutcome::Suggested
+        } else {
+            EntityOutcome::NeedsUser
+        };
+        EntityResult {
+            entity: idx,
+            outcome,
+            deduced,
+            suggestion,
+            conflict: None,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::chase::is_cr;
+    use relacc_core::rules::{Predicate, TupleRule};
+    use relacc_core::Specification;
+    use relacc_model::{AttrId, CmpOp, DataType, Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("name", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("pts", DataType::Int)
+            .build()
+    }
+
+    fn rules(s: &SchemaRef) -> RuleSet {
+        RuleSet::from_rules([
+            TupleRule::new(
+                "cur[rnds]",
+                vec![Predicate::cmp_attrs(s.expect_attr("rnds"), CmpOp::Lt)],
+                s.expect_attr("rnds"),
+            ),
+            TupleRule::new(
+                "corr[rnds->pts]",
+                vec![Predicate::OrderLt {
+                    attr: s.expect_attr("rnds"),
+                }],
+                s.expect_attr("pts"),
+            ),
+        ])
+    }
+
+    fn entities(s: &SchemaRef, n: usize) -> Vec<EntityInstance> {
+        (0..n)
+            .map(|e| {
+                let rows: Vec<Vec<Value>> = (0..=(e % 4))
+                    .map(|t| {
+                        vec![
+                            Value::text(format!("p{e}")),
+                            Value::Int(t as i64),
+                            Value::Int((t * 10) as i64),
+                        ]
+                    })
+                    .collect();
+                EntityInstance::from_rows(s.clone(), rows).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_the_sequential_is_cr_loop() {
+        let s = schema();
+        let engine = BatchEngine::new(s.clone(), rules(&s), vec![]).unwrap();
+        let batch = entities(&s, 40);
+        let report = engine.run(&batch);
+        assert_eq!(report.entities.len(), 40);
+        for (idx, entity) in report.entities.iter().enumerate() {
+            let spec = Specification::new(batch[idx].clone(), rules(&s));
+            let reference = is_cr(&spec);
+            assert_eq!(
+                reference.outcome.is_church_rosser(),
+                entity.outcome != EntityOutcome::NotChurchRosser
+            );
+            if let Some(te) = reference.outcome.target() {
+                assert_eq!(te, &entity.deduced, "entity {idx}");
+            }
+        }
+        assert_eq!(
+            report.complete + report.suggested + report.needs_user + report.not_church_rosser,
+            40
+        );
+        assert!(report.stats.steps_considered > 0);
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_single_threaded() {
+        let s = schema();
+        let batch = entities(&s, 64);
+        let sequential = BatchEngine::new(s.clone(), rules(&s), vec![])
+            .unwrap()
+            .with_threads(1)
+            .run(&batch);
+        let parallel = BatchEngine::new(s.clone(), rules(&s), vec![])
+            .unwrap()
+            .with_threads(8)
+            .run(&batch);
+        assert_eq!(sequential.entities.len(), parallel.entities.len());
+        for (a, b) in sequential.entities.iter().zip(parallel.entities.iter()) {
+            assert_eq!(a.entity, b.entity);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.deduced, b.deduced);
+            assert_eq!(a.suggestion, b.suggestion);
+        }
+        assert_eq!(sequential.stats, parallel.stats);
+    }
+
+    #[test]
+    fn repair_relation_resolves_and_repairs() {
+        let s = schema();
+        let relation = Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![
+                    Value::text("Michael Jordan"),
+                    Value::Int(16),
+                    Value::Int(424),
+                ],
+                vec![
+                    Value::text("Michael  Jordan"),
+                    Value::Int(27),
+                    Value::Int(772),
+                ],
+                vec![
+                    Value::text("Scottie Pippen"),
+                    Value::Int(27),
+                    Value::Int(639),
+                ],
+            ],
+        )
+        .unwrap();
+        let engine = BatchEngine::new(s.clone(), rules(&s), vec![]).unwrap();
+        let repair = engine.repair_relation(
+            &relation,
+            &ResolveConfig::on_attrs(vec!["name".into()]).with_threshold(0.6),
+        );
+        assert_eq!(repair.report.entities.len(), 2);
+        assert_eq!(repair.repaired.len(), 2);
+        let jordan = repair
+            .resolved
+            .members
+            .iter()
+            .position(|m| m.contains(&0))
+            .unwrap();
+        let te = repair.report.entities[jordan].final_target();
+        assert_eq!(te.value(s.expect_attr("rnds")), &Value::Int(27));
+        assert_eq!(te.value(s.expect_attr("pts")), &Value::Int(772));
+    }
+
+    #[test]
+    fn suggestions_complete_open_attributes() {
+        let s = Schema::builder("r")
+            .attr("name", DataType::Text)
+            .attr("color", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("widget"), Value::text("red")],
+                vec![Value::text("widget"), Value::text("red")],
+                vec![Value::text("widget"), Value::text("blue")],
+            ],
+        )
+        .unwrap();
+        let with = BatchEngine::new(s.clone(), RuleSet::new(), vec![]).unwrap();
+        let report = with.run(std::slice::from_ref(&ie));
+        assert_eq!(report.entities[0].outcome, EntityOutcome::Suggested);
+        assert_eq!(
+            report.entities[0]
+                .suggestion
+                .as_ref()
+                .unwrap()
+                .value(AttrId(1)),
+            &Value::text("red")
+        );
+        let without = BatchEngine::new(s.clone(), RuleSet::new(), vec![])
+            .unwrap()
+            .with_suggestion_k(0);
+        let report = without.run(&[ie]);
+        assert_eq!(report.entities[0].outcome, EntityOutcome::NeedsUser);
+        assert_eq!(report.needs_user, 1);
+    }
+
+    #[test]
+    fn interned_batches_share_plan_strings() {
+        let s = schema();
+        let engine = BatchEngine::new(s.clone(), rules(&s), vec![]).unwrap();
+        let mut batch = entities(&s, 3);
+        engine.intern_entities(&mut batch);
+        let report = engine.run_owned(batch);
+        assert_eq!(report.entities.len(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal rayon-style scoped worker pool.
+//!
+//! The build environment has no crates.io access, so instead of depending on
+//! `rayon` the engine ships this small parallel-map built on
+//! `std::thread::scope`: workers pull item indices from a shared atomic
+//! counter (dynamic scheduling, so a few expensive entities cannot stall a
+//! whole pre-assigned chunk), carry a mutable per-worker state — the engine
+//! passes its [`relacc_core::chase::ChaseScratch`] — and results are returned
+//! in input order regardless of completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `requested` (0 = one per available
+/// core, capped by the number of items).
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if requested == 0 { hw } else { requested };
+    threads.clamp(1, items.max(1))
+}
+
+/// Map `f` over `items` on `threads` workers, each carrying a mutable state
+/// created by `make_state`.  Returns results in input order.
+///
+/// `f` must be deterministic per item for batch output to be reproducible —
+/// the scheduling order is not deterministic, the output order is.
+pub fn par_map_with<T, S, R, I, F>(items: &[T], threads: usize, make_state: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        let mut state = make_state();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| f(&mut state, idx, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = make_state();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    local.push((idx, f(&mut state, idx, &items[idx])));
+                }
+                collected
+                    .lock()
+                    .expect("batch worker panicked while holding the result lock")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut indexed = collected.into_inner().expect("result lock poisoned");
+    indexed.sort_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..500).collect();
+        let out = par_map_with(
+            &items,
+            8,
+            || 0usize,
+            |state, idx, item| {
+                *state += 1;
+                assert_eq!(idx, *item);
+                item * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches_parallel() {
+        let items: Vec<i64> = (0..97).collect();
+        let seq = par_map_with(&items, 1, || (), |_, _, i| i * i);
+        let par = par_map_with(&items, 4, || (), |_, _, i| i * i);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(effective_threads(3, 100), 3);
+        assert_eq!(effective_threads(8, 2), 2);
+        assert_eq!(effective_threads(1, 0), 1);
+        assert!(effective_threads(0, 1000) >= 1);
+    }
+}

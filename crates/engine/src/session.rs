@@ -1,0 +1,103 @@
+//! Ground-once state for interactive sessions.
+//!
+//! The interactive framework (Fig. 3 of the paper, `relacc-framework`)
+//! repeatedly re-deduces the target while the user reveals values: only the
+//! initial target template changes between rounds, never the entity instance,
+//! the rules or the master data.  Grounding is independent of the initial
+//! target, so an [`EntitySession`] computes `Γ` once when the session opens
+//! and reuses it for every round's deduction and candidate search — the seed
+//! implementation re-ground the specification from scratch on every round.
+
+use relacc_core::chase::{ground, Grounding};
+use relacc_core::Specification;
+use relacc_model::{AccuracyOrders, TargetTuple};
+use relacc_topk::{CandidateSearch, PreferenceModel, TopKError};
+
+/// One entity's session state: the (mutable-template) specification plus its
+/// grounding, computed once.
+#[derive(Debug, Clone)]
+pub struct EntitySession {
+    spec: Specification,
+    grounding: Grounding,
+}
+
+impl EntitySession {
+    /// Open a session: ground the specification once.
+    pub fn open(spec: Specification) -> Self {
+        let orders = AccuracyOrders::new(&spec.ie);
+        let grounding = ground(&spec, &orders);
+        EntitySession { spec, grounding }
+    }
+
+    /// The current specification (including the working target template).
+    pub fn spec(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// The session's grounding `Γ`.
+    pub fn grounding(&self) -> &Grounding {
+        &self.grounding
+    }
+
+    /// Replace the working initial-target template (after user feedback).
+    /// The grounding stays valid: `Γ` does not depend on the template.
+    pub fn set_template(&mut self, template: TargetTuple) {
+        self.spec.initial_target = template;
+    }
+
+    /// Deduce + collect candidates for the current template, reusing the
+    /// session grounding instead of re-running `Instantiation`.
+    pub fn search(&self, preference: PreferenceModel) -> Result<CandidateSearch<'_>, TopKError> {
+        CandidateSearch::prepare_with_grounding(&self.spec, &self.grounding, preference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_core::rules::{Predicate, RuleSet, TupleRule};
+    use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, Schema, Value};
+
+    #[test]
+    fn session_reuses_grounding_across_template_changes() {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(16), Value::text("Chicago")],
+                vec![Value::Int(27), Value::text("Chicago Bulls")],
+                vec![Value::Int(27), Value::text("Chicago")],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "cur",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        let spec = Specification::new(ie, rules);
+        let mut session = EntitySession::open(spec);
+        let ground_steps = session.grounding().steps.len();
+
+        let pref = PreferenceModel::occurrence(session.spec(), 3);
+        let search = session.search(pref).unwrap();
+        assert_eq!(search.deduced.value(AttrId(0)), &Value::Int(27));
+        assert!(search.deduced.is_null(AttrId(1)));
+
+        // the user reveals the team; the same grounding keeps serving
+        let mut template = search.deduced.clone();
+        template.set(AttrId(1), Value::text("Chicago Bulls"));
+        session.set_template(template);
+        assert_eq!(session.grounding().steps.len(), ground_steps);
+        let pref = PreferenceModel::occurrence(session.spec(), 3);
+        let search = session.search(pref).unwrap();
+        assert!(search.deduced.is_complete());
+        assert_eq!(
+            search.deduced.value(AttrId(1)),
+            &Value::text("Chicago Bulls")
+        );
+    }
+}

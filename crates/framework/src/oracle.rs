@@ -87,7 +87,11 @@ impl UserOracle for GroundTruthOracle {
 pub struct SilentOracle;
 
 impl UserOracle for SilentOracle {
-    fn respond(&mut self, _deduced: &TargetTuple, _suggestions: &[ScoredCandidate]) -> UserResponse {
+    fn respond(
+        &mut self,
+        _deduced: &TargetTuple,
+        _suggestions: &[ScoredCandidate],
+    ) -> UserResponse {
         UserResponse::GiveUp
     }
 }
@@ -118,7 +122,10 @@ mod tests {
                 score: 4.0,
             },
         ];
-        assert_eq!(oracle.respond(&deduced, &suggestions), UserResponse::Accept(1));
+        assert_eq!(
+            oracle.respond(&deduced, &suggestions),
+            UserResponse::Accept(1)
+        );
         assert_eq!(oracle.truth(), &truth());
     }
 
@@ -137,8 +144,7 @@ mod tests {
 
     #[test]
     fn gives_up_when_nothing_can_be_revealed() {
-        let partial_truth =
-            TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
+        let partial_truth = TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
         let mut oracle = GroundTruthOracle::new(partial_truth, 3);
         let deduced = TargetTuple::from_values(vec![Value::Int(1), Value::Null, Value::Null]);
         assert_eq!(oracle.respond(&deduced, &[]), UserResponse::GiveUp);

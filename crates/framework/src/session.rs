@@ -9,10 +9,9 @@
 
 use crate::oracle::{UserOracle, UserResponse};
 use relacc_core::{Conflict, Specification};
+use relacc_engine::EntitySession;
 use relacc_model::TargetTuple;
-use relacc_topk::{
-    rank_join_ct, topkct, topkcth, CandidateSearch, PreferenceModel, ScoreSource, TopKStats,
-};
+use relacc_topk::{rank_join_ct, topkct, topkcth, PreferenceModel, ScoreSource, TopKStats};
 
 /// Which top-k algorithm the framework uses in step (3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,20 +91,25 @@ pub struct SessionReport {
 }
 
 /// Run one interactive session for a specification.
+///
+/// The session goes through the engine's [`EntitySession`]: the specification
+/// is grounded **once** when the session opens, and every round's deduction
+/// and candidate search reuse that grounding — only the initial-target
+/// template changes between rounds.
 pub fn run_session<O: UserOracle>(
     spec: &Specification,
     config: &SessionConfig,
     oracle: &mut O,
 ) -> SessionReport {
-    let mut working = spec.clone();
+    let mut session = EntitySession::open(spec.clone());
     let mut total_stats = TopKStats::default();
     let mut rounds = 0usize;
 
     loop {
         // Steps (1) + (2): Church-Rosser check and target deduction.
         let preference =
-            PreferenceModel::new(&working, config.k, config.score_source.clone());
-        let search = match CandidateSearch::prepare(&working, preference) {
+            PreferenceModel::new(session.spec(), config.k, config.score_source.clone());
+        let search = match session.search(preference) {
             Ok(s) => s,
             Err(relacc_topk::TopKError::NotChurchRosser(conflict)) => {
                 return SessionReport {
@@ -156,7 +160,7 @@ pub fn run_session<O: UserOracle>(
                 };
             }
             UserResponse::ProvideValue(attr, value) => {
-                let mut template = working.initial_target.clone();
+                let mut template = session.spec().initial_target.clone();
                 // the revealed value joins whatever the chase already deduced
                 for a in spec.ie.schema().attr_ids() {
                     if template.is_null(a) && !search.deduced.is_null(a) {
@@ -164,7 +168,8 @@ pub fn run_session<O: UserOracle>(
                     }
                 }
                 template.set(attr, value);
-                working.initial_target = template;
+                drop(search);
+                session.set_template(template);
             }
             UserResponse::GiveUp => {
                 return SessionReport {
@@ -197,10 +202,26 @@ mod tests {
         let ie = EntityInstance::from_rows(
             schema.clone(),
             vec![
-                vec![Value::Int(16), Value::text("Chicago"), Value::text("Chicago Stadium")],
-                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("United Center")],
-                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("Regions Park")],
-                vec![Value::Int(20), Value::text("Chicago Bulls"), Value::text("Regions Park")],
+                vec![
+                    Value::Int(16),
+                    Value::text("Chicago"),
+                    Value::text("Chicago Stadium"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("United Center"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
+                vec![
+                    Value::Int(20),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
             ],
         )
         .unwrap();

@@ -80,6 +80,8 @@ fn clamp_accuracy(a: f64) -> f64 {
 }
 
 /// Run the iterative copyCEF estimation.
+// index loops intentionally range over ObjectId / SourceId ordinals
+#[allow(clippy::needless_range_loop)]
 pub fn copy_cef(obs: &SourceObservations, config: &CopyCefConfig) -> CopyCefResult {
     let n_sources = obs.source_count();
     let n_objects = obs.object_count();
@@ -180,9 +182,7 @@ pub fn copy_cef(obs: &SourceObservations, config: &CopyCefConfig) -> CopyCefResu
                 // sources of these accuracies could produce.  This catches exact
                 // copiers even when the majority vote currently believes their
                 // shared values (the bootstrap problem of signal 1).
-                let full_agreement = obs
-                    .agreement(SourceId(s1), SourceId(s2))
-                    .unwrap_or(0.0);
+                let full_agreement = obs.agreement(SourceId(s1), SourceId(s2)).unwrap_or(0.0);
                 let expected_agreement = a1 * a2 + (1.0 - a1) * (1.0 - a2) / n_false;
                 let verbatim_signal = if full_agreement >= 0.97
                     && full_agreement > expected_agreement + config.copy_margin

@@ -102,8 +102,16 @@ mod tests {
         EntityInstance::from_rows(
             schema,
             vec![
-                vec![Value::Int(1), Value::text("Barons"), Value::text("Regions Park")],
-                vec![Value::Int(2), Value::text("Chicago Bulls"), Value::text("Old Stadium")],
+                vec![
+                    Value::Int(1),
+                    Value::text("Barons"),
+                    Value::text("Regions Park"),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Old Stadium"),
+                ],
                 vec![Value::Int(3), Value::text("Chicago Bulls"), Value::Null],
             ],
         )
@@ -115,7 +123,10 @@ mod tests {
             // currency: larger snapshot is more current, and team follows it
             TupleRule::new(
                 "snap",
-                vec![Predicate::cmp_attrs(schema.expect_attr("snapshot"), CmpOp::Lt)],
+                vec![Predicate::cmp_attrs(
+                    schema.expect_attr("snapshot"),
+                    CmpOp::Lt,
+                )],
                 schema.expect_attr("snapshot"),
             )
             .with_tag("currency"),

@@ -82,8 +82,8 @@ mod tests {
     #[test]
     fn all_null_column_stays_null() {
         let schema = Schema::builder("r").attr("a", DataType::Int).build();
-        let ie = EntityInstance::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]])
-            .unwrap();
+        let ie =
+            EntityInstance::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]]).unwrap();
         assert!(voting_target(&ie).is_null(AttrId(0)));
     }
 

@@ -233,9 +233,7 @@ mod tests {
 
     #[test]
     fn ranked_list_cursor_and_bounds() {
-        let mut list: RankedList<&str> = [(2.0, "b"), (9.0, "a"), (4.0, "c")]
-            .into_iter()
-            .collect();
+        let mut list: RankedList<&str> = [(2.0, "b"), (9.0, "a"), (4.0, "c")].into_iter().collect();
         assert_eq!(list.len(), 3);
         assert_eq!(list.next_score(), Some(9.0));
         assert_eq!(list.next_entry().unwrap().item, "a");

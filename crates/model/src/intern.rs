@@ -1,0 +1,146 @@
+//! String interning for [`Value::Str`].
+//!
+//! Text values are reference-counted (`Arc<str>`).  An [`Interner`]
+//! deduplicates those allocations so that every occurrence of the same string
+//! in a workload shares one `Arc` — after interning, value equality on the
+//! chase hot path ([`Value::same`]) is decided by a pointer comparison instead
+//! of a byte-wise string comparison, and cloning values during grounding is a
+//! reference-count bump.
+//!
+//! Interning is *optional*: values from different sources (or none) still
+//! compare correctly by content; the interner only makes the fast path fire.
+//! The compile-once pipeline (`relacc_core::chase::ChasePlan`,
+//! `relacc-engine`) interns master data at plan-compilation time and entity
+//! instances when they are registered with a batch.
+
+use crate::tuple::{EntityInstance, MasterRelation};
+use crate::value::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Deduplicates the `Arc<str>` allocations behind [`Value::Str`].
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: HashSet<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The canonical shared allocation for `s`.
+    pub fn intern_str(&mut self, s: &str) -> Arc<str> {
+        if let Some(existing) = self.strings.get(s) {
+            return existing.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.insert(arc.clone());
+        arc
+    }
+
+    /// Canonicalize a value: text values are replaced by their interned
+    /// representative, all other variants pass through unchanged.
+    pub fn intern_value(&mut self, v: &mut Value) {
+        if let Value::Str(s) = v {
+            if let Some(existing) = self.strings.get(&**s) {
+                *s = existing.clone();
+            } else {
+                self.strings.insert(s.clone());
+            }
+        }
+    }
+
+    /// Intern every text value of an entity instance in place.
+    pub fn intern_instance(&mut self, ie: &mut EntityInstance) {
+        for tuple in ie.tuples_mut() {
+            for v in tuple.values_mut() {
+                self.intern_value(v);
+            }
+        }
+    }
+
+    /// Intern every text value of a master relation in place.
+    pub fn intern_master(&mut self, im: &mut MasterRelation) {
+        for tuple in im.tuples_mut() {
+            for v in tuple.values_mut() {
+                self.intern_value(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    #[test]
+    fn interning_dedups_and_preserves_content() {
+        let mut interner = Interner::new();
+        let a = interner.intern_str("Chicago Bulls");
+        let b = interner.intern_str("Chicago Bulls");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(interner.len(), 1);
+
+        let mut v1 = Value::text("Chicago Bulls");
+        let mut v2 = Value::text("Chicago Bulls");
+        // distinct allocations before interning, still equal by content
+        assert!(v1.same(&v2));
+        interner.intern_value(&mut v1);
+        interner.intern_value(&mut v2);
+        match (&v1, &v2) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+        assert!(v1.same(&v2));
+        // non-text values pass through
+        let mut n = Value::Int(3);
+        interner.intern_value(&mut n);
+        assert_eq!(n, Value::Int(3));
+    }
+
+    #[test]
+    fn instances_and_masters_intern_in_place() {
+        let schema = Schema::builder("r")
+            .attr("name", DataType::Text)
+            .attr("n", DataType::Int)
+            .build();
+        let mut ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::text("x"), Value::Int(1)],
+                vec![Value::text("x"), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let mut interner = Interner::new();
+        interner.intern_instance(&mut ie);
+        assert_eq!(interner.len(), 1);
+        let (a, b) = (
+            ie.value(crate::TupleId(0), crate::AttrId(0)),
+            ie.value(crate::TupleId(1), crate::AttrId(0)),
+        );
+        match (a, b) {
+            (Value::Str(x), Value::Str(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+
+        let mut im =
+            MasterRelation::from_rows(schema, vec![vec![Value::text("x"), Value::Int(9)]]).unwrap();
+        interner.intern_master(&mut im);
+        assert_eq!(interner.len(), 1);
+    }
+}

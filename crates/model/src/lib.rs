@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod intern;
 pub mod orders;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use bitset::BitSet;
+pub use intern::Interner;
 pub use orders::{AccuracyOrders, AttrOrder, ClassId, OrderInsert};
 pub use schema::{AttrId, Attribute, Schema, SchemaBuilder, SchemaError, SchemaRef};
 pub use tuple::{EntityInstance, MasterRelation, TargetTuple, Tuple, TupleId};

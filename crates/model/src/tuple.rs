@@ -64,6 +64,11 @@ impl Tuple {
     pub fn is_all_null(&self) -> bool {
         self.values.iter().all(Value::is_null)
     }
+
+    /// Mutable access to all values (used by [`crate::Interner`]).
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
 }
 
 impl From<Vec<Value>> for Tuple {
@@ -142,12 +147,14 @@ impl EntityInstance {
         &self.tuples
     }
 
+    /// Mutable access to all tuples (used by [`crate::Interner`]).
+    pub fn tuples_mut(&mut self) -> &mut [Tuple] {
+        &mut self.tuples
+    }
+
     /// Iterate `(TupleId, &Tuple)`.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.tuples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TupleId(i), t))
+        self.tuples.iter().enumerate().map(|(i, t)| (TupleId(i), t))
     }
 
     /// All tuple ids.
@@ -242,6 +249,11 @@ impl MasterRelation {
     /// All master tuples.
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
+    }
+
+    /// Mutable access to all master tuples (used by [`crate::Interner`]).
+    pub fn tuples_mut(&mut self) -> &mut [Tuple] {
+        &mut self.tuples
     }
 
     /// The master tuple at `idx`.
@@ -386,9 +398,7 @@ mod tests {
         assert_eq!(ie.len(), 2);
         assert_eq!(*ie.value(t0, AttrId(1)), Value::Int(16));
         assert_eq!(*ie.value(t1, AttrId(0)), Value::text("Michael"));
-        assert!(ie
-            .push_row(vec![Value::Int(3), Value::Int(1)])
-            .is_err());
+        assert!(ie.push_row(vec![Value::Int(3), Value::Int(1)]).is_err());
     }
 
     #[test]
@@ -441,17 +451,11 @@ mod tests {
         assert!(te.is_null(AttrId(0)));
         assert!(!te.is_null(AttrId(1)));
 
-        let full = TargetTuple::from_values(vec![
-            Value::text("x"),
-            Value::Int(5),
-            Value::Bool(true),
-        ]);
+        let full =
+            TargetTuple::from_values(vec![Value::text("x"), Value::Int(5), Value::Bool(true)]);
         assert!(te.is_completed_by(&full));
-        let conflicting = TargetTuple::from_values(vec![
-            Value::text("x"),
-            Value::Int(6),
-            Value::Bool(true),
-        ]);
+        let conflicting =
+            TargetTuple::from_values(vec![Value::text("x"), Value::Int(6), Value::Bool(true)]);
         assert!(!te.is_completed_by(&conflicting));
         assert!(full.is_complete());
         assert_eq!(full.to_string(), "(x, 5, true)");

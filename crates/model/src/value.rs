@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The data type of an attribute in a [`Schema`](crate::Schema).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +50,11 @@ impl fmt::Display for DataType {
 /// comparisons between values of *different* types — and any order comparison
 /// involving `Null` — are undefined and surface as `None` from
 /// [`Value::compare`].
+///
+/// Text values are reference-counted (`Arc<str>`), so cloning a value — which
+/// the chase's grounding does a lot — never copies string bytes, and two
+/// values interned through the same [`crate::Interner`] share one allocation,
+/// turning equality on the chase hot path into a pointer comparison.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// The absent / unknown value.  ϕ7 gives it the lowest accuracy.
@@ -59,14 +65,14 @@ pub enum Value {
     Int(i64),
     /// Floating point value.
     Float(f64),
-    /// String value.
-    Str(String),
+    /// String value (shared, cheap to clone; see [`crate::Interner`]).
+    Str(Arc<str>),
 }
 
 impl Value {
     /// Build a text value from anything string-like.
     pub fn text(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+        Value::Str(s.into().into())
     }
 
     /// Returns `true` iff the value is [`Value::Null`].
@@ -90,15 +96,15 @@ impl Value {
     /// `Null` is admissible for every type.  Integers are admissible for float
     /// attributes (they are widened on comparison).
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Str(_), DataType::Text) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Text)
+        )
     }
 
     /// Ordered comparison following the paper's predicate semantics.
@@ -130,6 +136,8 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => true,
             (Value::Null, _) | (_, Value::Null) => false,
+            // interned strings share one allocation: compare ids, not bytes
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             _ => self.compare(other) == Some(Ordering::Equal),
         }
     }
@@ -174,14 +182,16 @@ impl Value {
                     ty,
                     text: text.to_string(),
                 }),
-            DataType::Float => trimmed
-                .parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| ValueParseError {
-                    ty,
-                    text: text.to_string(),
-                }),
-            DataType::Text => Ok(Value::Str(trimmed.to_string())),
+            DataType::Float => {
+                trimmed
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| ValueParseError {
+                        ty,
+                        text: text.to_string(),
+                    })
+            }
+            DataType::Text => Ok(Value::text(trimmed)),
         }
     }
 }
@@ -193,7 +203,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b) == Ordering::Equal,
-            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             // Cross-width numeric equality is intentionally *not* part of
             // `Eq`/`Hash` (it would break the hash contract); use `same`.
             _ => false,
@@ -241,13 +251,13 @@ impl fmt::Display for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(s.into())
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::Str(s.into())
     }
 }
 
@@ -405,7 +415,10 @@ mod tests {
         assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
         assert_eq!(Value::text("a").eval(CmpOp::Lt, &Value::Int(1)), None);
         // equality is defined (they are simply different)
-        assert_eq!(Value::text("a").eval(CmpOp::Eq, &Value::Int(1)), Some(false));
+        assert_eq!(
+            Value::text("a").eval(CmpOp::Eq, &Value::Int(1)),
+            Some(false)
+        );
         assert_eq!(Value::text("a").eval(CmpOp::Ne, &Value::Int(1)), Some(true));
     }
 

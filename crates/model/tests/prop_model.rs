@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use relacc_model::{
-    AttrId, AttrOrder, BitSet, CmpOp, DataType, EntityInstance, OrderInsert, Schema, TupleId,
-    Value,
+    AttrId, AttrOrder, BitSet, CmpOp, DataType, EntityInstance, OrderInsert, Schema, TupleId, Value,
 };
 use std::collections::BTreeSet;
 

@@ -1,0 +1,661 @@
+//! Offline stand-in for the parts of the `proptest` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace resolves
+//! `proptest` to this shim.  It implements randomized property testing with
+//! the same surface syntax as proptest 1.x for the features the test-suite
+//! relies on:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) generating `#[test]` functions;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * the [`Strategy`] trait with `prop_map` and `boxed`;
+//! * range strategies (`0i64..5`), `any::<T>()`, [`Just`],
+//!   `prop::collection::vec`, `prop::option::of`, tuple strategies,
+//!   [`prop_oneof!`] unions, and simple `"[a-e]{1,3}"`-style string patterns;
+//! * [`ProptestConfig::with_cases`], [`TestCaseError`] and [`TestCaseResult`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! generated inputs verbatim.  Case generation is fully deterministic (seeded
+//! from the test name), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A tiny deterministic PRNG (SplitMix64) driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator (the shim's counterpart of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.inner)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Strategy for a whole type (`any::<bool>()`-style).
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait ArbitraryValue: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl ArbitraryValue for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl ArbitraryValue for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl ArbitraryValue for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl ArbitraryValue for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// String strategies from `"[a-e]{1,3}"`-style patterns.
+///
+/// Supported grammar: a sequence of atoms, where an atom is a literal
+/// character or a character class `[x-y...]`, optionally followed by `{n}` or
+/// `{m,n}`.  This covers the patterns used in the workspace's tests; anything
+/// unparseable falls back to the literal pattern text.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // parse one atom: a class or a literal character
+        let class: Vec<char> = if chars[i] == '[' {
+            let Some(close) = chars[i..].iter().position(|&c| c == ']') else {
+                return pattern.to_string();
+            };
+            let body = &chars[i + 1..i + close];
+            i += close + 1;
+            let mut set = Vec::new();
+            let mut j = 0usize;
+            while j < body.len() {
+                if j + 2 < body.len() && body[j + 1] == '-' {
+                    let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                    for c in lo..=hi {
+                        if let Some(c) = char::from_u32(c) {
+                            set.push(c);
+                        }
+                    }
+                    j += 3;
+                } else {
+                    set.push(body[j]);
+                    j += 1;
+                }
+            }
+            if set.is_empty() {
+                return pattern.to_string();
+            }
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // parse an optional repetition
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let Some(close) = chars[i..].iter().position(|&c| c == '}') else {
+                return pattern.to_string();
+            };
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            let parts: Vec<&str> = body.split(',').collect();
+            match parts.as_slice() {
+                [n] => match n.trim().parse::<usize>() {
+                    Ok(n) => (n, n),
+                    Err(_) => return pattern.to_string(),
+                },
+                [m, n] => match (m.trim().parse::<usize>(), n.trim().parse::<usize>()) {
+                    (Ok(m), Ok(n)) if m <= n => (m, n),
+                    _ => return pattern.to_string(),
+                },
+                _ => return pattern.to_string(),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = lo + rng.below(hi - lo + 1);
+        for _ in 0..count {
+            out.push(class[rng.below(class.len())]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection and option strategy combinators (the `prop::` module).
+pub mod prop {
+    /// `prop::collection` combinators.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+        pub trait IntoSizeRange {
+            /// Lower bound (inclusive) and upper bound (exclusive).
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self + 1)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (self.start, self.end)
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.lo + rng.below(self.hi - self.lo);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (lo, hi) = size.bounds();
+            assert!(lo < hi, "empty vec size range");
+            VecStrategy { element, lo, hi }
+        }
+    }
+
+    /// `prop::option` combinators.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy producing `Option`s (`None` with probability 1/4, matching
+        /// proptest's default weighting closely enough for tests).
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+
+        /// `prop::option::of(strategy)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+/// A union of same-valued strategies (what [`prop_oneof!`] builds).
+pub struct Union<V> {
+    choices: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build a union over the given choices (must be non-empty).
+    pub fn new(choices: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.choices.len());
+        self.choices[i].generate(rng)
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Create a failure with the given reason.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Proptest run configuration (only `cases` is honoured by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash used to derive per-test seeds from test names.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+/// Build a strategy choosing uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Declare property tests.  Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0i64..10, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::new($crate::seed_of(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let case_debug = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome = (|| -> $crate::TestCaseResult {
+                        $(
+                            #[allow(unused_mut)]
+                            let mut $arg = $arg;
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}\ninputs:{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e,
+                            case_debug
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 2i64..9, y in 0usize..5, f in -1.5f64..1.5) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn collections_and_options(v in prop::collection::vec(any::<bool>(), 0..10),
+                                   o in prop::option::of(0u8..3)) {
+            prop_assert!(v.len() < 10);
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+        }
+
+        #[test]
+        fn oneof_and_patterns(v in prop_oneof![Just(0i64), 5i64..10], s in "[a-c]{1,3}") {
+            prop_assert!(v == 0 || (5..10).contains(&v));
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec_and_maps() {
+        let mut rng = TestRng::new(1);
+        let strat = prop::collection::vec(any::<u64>(), 3usize);
+        for _ in 0..10 {
+            assert_eq!(strat.generate(&mut rng).len(), 3);
+        }
+        let doubled = (0i64..5).prop_map(|x| x * 2);
+        for _ in 0..20 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..10).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0i64..3) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -57,7 +57,11 @@ impl Catalog {
     }
 
     /// Register a relation under `name`.
-    pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> Result<(), CatalogError> {
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        relation: Relation,
+    ) -> Result<(), CatalogError> {
         let name = name.into();
         if self.relations.contains_key(&name) {
             return Err(CatalogError::AlreadyExists(name));
@@ -120,8 +124,8 @@ impl Catalog {
     ) -> Result<(), CatalogError> {
         let path = dir.join(format!("{name}.csv"));
         let text = std::fs::read_to_string(path)?;
-        let relation = csv::from_csv(schema, &text)
-            .map_err(|e| CatalogError::Csv(name.to_string(), e))?;
+        let relation =
+            csv::from_csv(schema, &text).map_err(|e| CatalogError::Csv(name.to_string(), e))?;
         self.replace(name, relation);
         Ok(())
     }

@@ -168,11 +168,7 @@ pub fn from_csv(schema: SchemaRef, text: &str) -> Result<Relation, CsvError> {
     let mut lines = text.lines().enumerate().filter(|(_, l)| !l.is_empty());
     let (header_no, header) = lines.next().ok_or(CsvError::MissingHeader)?;
     let header_fields = split_record(header, header_no + 1)?;
-    let expected: Vec<String> = schema
-        .attributes()
-        .iter()
-        .map(|a| a.name.clone())
-        .collect();
+    let expected: Vec<String> = schema.attributes().iter().map(|a| a.name.clone()).collect();
     if header_fields != expected {
         return Err(CsvError::HeaderMismatch {
             expected,
@@ -229,8 +225,16 @@ mod tests {
                 ("avg", DataType::Float),
             ],
             vec![
-                vec![Value::text("Michael Jordan"), Value::Int(772), Value::Float(28.5)],
-                vec![Value::text("says \"hi\", ok"), Value::Null, Value::Float(-1.0)],
+                vec![
+                    Value::text("Michael Jordan"),
+                    Value::Int(772),
+                    Value::Float(28.5),
+                ],
+                vec![
+                    Value::text("says \"hi\", ok"),
+                    Value::Null,
+                    Value::Float(-1.0),
+                ],
                 vec![Value::Null, Value::Int(0), Value::Null],
             ],
         )

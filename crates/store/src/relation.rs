@@ -7,7 +7,9 @@
 //! operations those workloads need — filter, project, group-by, sort and
 //! distinct counting — without pulling in a full query engine.
 
-use relacc_model::{AttrId, EntityInstance, MasterRelation, Schema, SchemaError, SchemaRef, Tuple, Value};
+use relacc_model::{
+    AttrId, EntityInstance, MasterRelation, Schema, SchemaError, SchemaRef, Tuple, Value,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -310,7 +312,11 @@ mod tests {
     fn push_row_validates() {
         let mut r = people();
         assert!(r
-            .push_row(vec![Value::text("a"), Value::text("b"), Value::text("oops")])
+            .push_row(vec![
+                Value::text("a"),
+                Value::text("b"),
+                Value::text("oops")
+            ])
             .is_err());
         assert!(r
             .push_row(vec![Value::text("a"), Value::text("b"), Value::Int(1)])

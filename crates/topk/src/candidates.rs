@@ -14,6 +14,7 @@ use relacc_core::chase::{chase_with_grounding, ground, Grounding};
 use relacc_core::{IsCrOutcome, Specification};
 use relacc_heap::Scored;
 use relacc_model::{AccuracyOrders, AttrId, TargetTuple, Value};
+use std::borrow::Cow;
 use std::fmt;
 
 /// A candidate target together with its preference score.
@@ -85,8 +86,10 @@ impl std::error::Error for TopKError {}
 pub struct CandidateSearch<'a> {
     /// The specification `S`.
     pub spec: &'a Specification,
-    /// Grounding reused by every `check` call.
-    pub grounding: Grounding,
+    /// Grounding reused by every `check` call — owned when the search
+    /// grounded the specification itself, borrowed when a caller (the
+    /// interactive framework, the batch engine) already holds `Γ`.
+    pub grounding: Cow<'a, Grounding>,
     /// The unique deduced target tuple `t_e` of `S`.
     pub deduced: TargetTuple,
     /// The attributes of `t_e` that are still null (the set `Z`).
@@ -110,6 +113,29 @@ impl<'a> CandidateSearch<'a> {
     ) -> Result<Self, TopKError> {
         let orders = AccuracyOrders::new(&spec.ie);
         let grounding = ground(spec, &orders);
+        Self::prepare_with(spec, Cow::Owned(grounding), preference)
+    }
+
+    /// Prepare a search over a pre-computed grounding of the same
+    /// specification, borrowed from the caller (no copy).
+    ///
+    /// `Γ` is independent of the initial target template, so a caller that
+    /// already grounded the specification — the interactive framework grounds
+    /// once per session, the batch engine once per entity — hands the
+    /// grounding over instead of paying `Instantiation` again.
+    pub fn prepare_with_grounding(
+        spec: &'a Specification,
+        grounding: &'a Grounding,
+        preference: PreferenceModel,
+    ) -> Result<Self, TopKError> {
+        Self::prepare_with(spec, Cow::Borrowed(grounding), preference)
+    }
+
+    fn prepare_with(
+        spec: &'a Specification,
+        grounding: Cow<'a, Grounding>,
+        preference: PreferenceModel,
+    ) -> Result<Self, TopKError> {
         let run = chase_with_grounding(spec, &grounding, &spec.initial_target);
         let deduced = match run.outcome {
             IsCrOutcome::ChurchRosser(instance) => instance.target,
@@ -207,9 +233,21 @@ mod tests {
         let ie = EntityInstance::from_rows(
             schema.clone(),
             vec![
-                vec![Value::Int(16), Value::text("Chicago"), Value::text("Chicago Stadium")],
-                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("United Center")],
-                vec![Value::Int(27), Value::text("Chicago Bulls"), Value::text("Regions Park")],
+                vec![
+                    Value::Int(16),
+                    Value::text("Chicago"),
+                    Value::text("Chicago Stadium"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("United Center"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
             ],
         )
         .unwrap();
@@ -245,10 +283,8 @@ mod tests {
         let pref = PreferenceModel::occurrence(&spec, 2);
         let search = CandidateSearch::prepare(&spec, pref).unwrap();
         let mut stats = TopKStats::default();
-        let candidate = search.assemble(&[
-            Value::text("Chicago Bulls"),
-            Value::text("United Center"),
-        ]);
+        let candidate =
+            search.assemble(&[Value::text("Chicago Bulls"), Value::text("United Center")]);
         assert!(candidate.is_complete());
         assert!(search.check(&candidate, &mut stats));
         assert_eq!(stats.checks, 1);
@@ -308,10 +344,7 @@ mod tests {
         assert!(search.z.is_empty());
         let result = search.complete_result();
         assert_eq!(result.candidates.len(), 1);
-        assert_eq!(
-            result.candidates[0].target.value(AttrId(0)),
-            &Value::Int(2)
-        );
+        assert_eq!(result.candidates[0].target.value(AttrId(0)), &Value::Int(2));
         assert!(result.contains(&result.candidates[0].target.clone()));
         assert_eq!(result.targets().len(), 1);
     }

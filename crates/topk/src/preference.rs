@@ -88,11 +88,9 @@ impl PreferenceModel {
             .and_then(|m| {
                 // `Value` equality crosses numeric widths only through `same`,
                 // so fall back to a linear probe when the exact key is absent.
-                m.get(value).copied().or_else(|| {
-                    m.iter()
-                        .find(|(k, _)| k.same(value))
-                        .map(|(_, w)| *w)
-                })
+                m.get(value)
+                    .copied()
+                    .or_else(|| m.iter().find(|(k, _)| k.same(value)).map(|(_, w)| *w))
             })
             .unwrap_or(self.default_weight)
     }
@@ -176,7 +174,8 @@ mod tests {
             .entry(AttrId(0))
             .or_default()
             .insert(Value::text("barons"), 0.9);
-        let p = PreferenceModel::new(&s, 3, ScoreSource::Explicit(weights)).with_default_weight(0.1);
+        let p =
+            PreferenceModel::new(&s, 3, ScoreSource::Explicit(weights)).with_default_weight(0.1);
         assert_eq!(p.weight(AttrId(0), &Value::text("barons")), 0.9);
         assert_eq!(p.weight(AttrId(0), &Value::text("bulls")), 0.1);
         assert_eq!(p.weight(AttrId(1), &Value::Int(7)), 0.1);

@@ -20,6 +20,7 @@ use relacc_heap::{F64Key, PairingHeap, RankedList, Scored};
 use relacc_model::Value;
 
 /// Run `RankJoinCT` on a prepared candidate search.
+#[allow(clippy::needless_range_loop)] // the threshold loop skips index `i` of `lists`
 pub fn rank_join_ct(search: &CandidateSearch<'_>) -> TopKResult {
     let k = search.preference.k;
     let mut stats = TopKStats::default();
@@ -53,7 +54,9 @@ pub fn rank_join_ct(search: &CandidateSearch<'_>) -> TopKResult {
     let threshold = |lists: &[RankedList<Value>], seen: &[Vec<Scored<Value>>]| -> f64 {
         let mut best = f64::NEG_INFINITY;
         for i in 0..lists.len() {
-            let Some(next) = lists[i].next_score() else { continue };
+            let Some(next) = lists[i].next_score() else {
+                continue;
+            };
             let mut sum = next;
             let mut feasible = true;
             for (j, seen_j) in seen.iter().enumerate() {
@@ -221,7 +224,8 @@ mod tests {
         // Example 9 of the paper (team dropped from the master rule): the top-2
         // candidates fix team = Chicago Bulls and differ on the arena.
         let spec = open_spec();
-        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 2)).unwrap();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 2)).unwrap();
         let result = rank_join_ct(&search);
         assert_eq!(result.candidates.len(), 2);
         assert!(result
@@ -249,7 +253,8 @@ mod tests {
     #[test]
     fn rank_join_does_more_checks_than_topkct_for_small_k() {
         let spec = open_spec();
-        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
         let rj = rank_join_ct(&search);
         let tk = topkct(&search);
         assert_eq!(rj.candidates.len(), 1);

@@ -72,7 +72,9 @@ pub fn topkct(search: &CandidateSearch<'_>) -> TopKResult {
 
     let mut candidates: Vec<ScoredCandidate> = Vec::new();
     while candidates.len() < k {
-        let Some((_, object)) = queue.pop() else { break };
+        let Some((_, object)) = queue.pop() else {
+            break;
+        };
         let candidate = search.assemble(&object.z_values);
         if search.check(&candidate, &mut stats) {
             candidates.push(ScoredCandidate {
@@ -165,7 +167,8 @@ mod tests {
     #[test]
     fn returns_k_candidates_in_score_order() {
         let spec = open_spec();
-        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
         let result = topkct(&search);
         assert_eq!(result.candidates.len(), 3);
         // highest scored candidate: team=Chicago Bulls (2), arena free (1 each)
@@ -202,7 +205,8 @@ mod tests {
     #[test]
     fn k_one_returns_the_best_assignment() {
         let spec = open_spec();
-        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
         let result = topkct(&search);
         assert_eq!(result.candidates.len(), 1);
         let best = &result.candidates[0];

@@ -14,7 +14,11 @@ use std::collections::HashSet;
 
 /// Generate the `k` highest-scored complete assignments of the null attributes
 /// without checking them (the first phase of `TopKCTh`).
-fn unchecked_top_k(search: &CandidateSearch<'_>, k: usize, stats: &mut TopKStats) -> Vec<Vec<Value>> {
+fn unchecked_top_k(
+    search: &CandidateSearch<'_>,
+    k: usize,
+    stats: &mut TopKStats,
+) -> Vec<Vec<Value>> {
     let m = search.arity();
     let mut heaps: Vec<ScoredHeap<Value>> = search
         .domains
@@ -38,7 +42,9 @@ fn unchecked_top_k(search: &CandidateSearch<'_>, k: usize, stats: &mut TopKStats
 
     let mut out = Vec::with_capacity(k);
     while out.len() < k {
-        let Some((_, (z_values, positions, score))) = queue.pop() else { break };
+        let Some((_, (z_values, positions, score))) = queue.pop() else {
+            break;
+        };
         stats.generated += 1;
         out.push(z_values.clone());
         for i in 0..m {
@@ -195,7 +201,8 @@ mod tests {
     #[test]
     fn heuristic_candidates_are_valid_and_complete() {
         let spec = open_spec();
-        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
         let result = topkcth(&search);
         assert!(!result.candidates.is_empty());
         assert!(result.candidates.len() <= 3);
@@ -214,7 +221,8 @@ mod tests {
         // On this instance every complete assignment passes check, so the
         // heuristic's best tuple coincides with TopKCT's.
         let spec = open_spec();
-        let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1)).unwrap();
         let exact = topkct(&search);
         let heuristic = topkcth(&search);
         assert_eq!(exact.candidates[0].target, heuristic.candidates[0].target);

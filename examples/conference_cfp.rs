@@ -55,7 +55,10 @@ fn main() {
 
     let n = data.entities.len();
     println!();
-    println!("true target found fully automatically : {automatic:>4} ({:.1}%)", 100.0 * automatic as f64 / n as f64);
+    println!(
+        "true target found fully automatically : {automatic:>4} ({:.1}%)",
+        100.0 * automatic as f64 / n as f64
+    );
     let mut cumulative = 0usize;
     for (rounds, count) in by_rounds.iter().enumerate() {
         cumulative += count;
@@ -64,7 +67,11 @@ fn main() {
             100.0 * cumulative as f64 / n as f64
         );
     }
-    println!("not recovered within {} rounds        : {unresolved:>4} ({:.1}%)", config.max_rounds, 100.0 * unresolved as f64 / n as f64);
+    println!(
+        "not recovered within {} rounds        : {unresolved:>4} ({:.1}%)",
+        config.max_rounds,
+        100.0 * unresolved as f64 / n as f64
+    );
     println!();
     println!(
         "(the unrecovered conferences carry a confidently wrong value — e.g. every scraped \

@@ -5,14 +5,17 @@
 //! as ongoing work.  This example walks that full pipeline on a small player
 //! statistics relation:
 //!
-//! 1. resolve duplicate records into entities (`relacc-db`),
-//! 2. chase every entity with a handful of accuracy rules and master data,
+//! 1. compile the rules + master data into a chase plan once
+//!    (`relacc-engine`'s `BatchEngine`),
+//! 2. resolve duplicate records into entities (`relacc-db`) and chase every
+//!    entity in parallel over the shared plan,
 //! 3. print the repaired one-row-per-entity relation and the batch report.
 //!
 //! Run with `cargo run --example database_repair`.
 
 use relacc::core::rules::parse_ruleset;
-use relacc::db::{repair_database, BatchConfig, ResolveConfig};
+use relacc::db::ResolveConfig;
+use relacc::engine::BatchEngine;
 use relacc::model::{DataType, MasterRelation, Schema, Value};
 use relacc::store::{to_csv, Relation};
 
@@ -88,18 +91,27 @@ fn main() {
     )
     .expect("rules parse");
 
-    let config = BatchConfig::new(
-        ResolveConfig::on_attrs(vec!["name".into()]).with_threshold(0.7),
-    )
-    .with_threads(2);
-    let report = repair_database(&relation, &rules, Some(&master), &config);
+    // Compile once: rules validated, master data interned, form-(2) rules
+    // pre-grounded.  Evaluation fans the resolved entities out over workers.
+    let engine = BatchEngine::new(schema, rules, vec![master])
+        .expect("rules validate against the schema")
+        .with_threads(2);
+    let repair = engine.repair_relation(
+        &relation,
+        &ResolveConfig::on_attrs(vec!["name".into()]).with_threshold(0.7),
+    );
+    let report = &repair.report;
 
-    println!("resolved {} records into {} entities", relation.len(), report.entities.len());
+    println!(
+        "resolved {} records into {} entities",
+        relation.len(),
+        report.entities.len()
+    );
     for entity in &report.entities {
         println!(
             "  entity {} (records {:?}): {:?}\n    deduced   {}\n    suggested {}",
             entity.entity,
-            entity.records,
+            repair.resolved.members[entity.entity],
             entity.outcome,
             entity.deduced,
             entity
@@ -117,5 +129,12 @@ fn main() {
         report.not_church_rosser,
         100.0 * report.automatic_rate()
     );
-    println!("\nrepaired relation as CSV:\n{}", to_csv(&report.repaired));
+    println!(
+        "chase totals: {} ground steps, {} applied, {} order pairs, on {} worker thread(s)",
+        report.stats.ground_steps,
+        report.stats.steps_applied,
+        report.stats.order_pairs_added,
+        report.threads_used
+    );
+    println!("\nrepaired relation as CSV:\n{}", to_csv(&repair.repaired));
 }

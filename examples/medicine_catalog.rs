@@ -1,15 +1,17 @@
 //! A Med-like scenario: cleaning a medicine sales catalog.
 //!
-//! Generates a small Med-shaped workload (see `relacc-datagen`), deduces target
-//! tuples for every entity with IsCR, suggests top-k candidates for the
-//! entities that stay incomplete, and reports how much of the (known) ground
-//! truth was recovered.
+//! Generates a small Med-shaped workload (see `relacc-datagen`), compiles its
+//! rules and master data into **one** chase plan, deduces target tuples for
+//! every entity with the parallel batch engine (`relacc-engine`), suggests
+//! top-k candidates for the entities that stay incomplete, and reports how
+//! much of the (known) ground truth was recovered.
 //!
 //! Run with: `cargo run --release --example medicine_catalog`
 
-use relacc::core::chase::is_cr;
 use relacc::datagen::workloads::med;
+use relacc::engine::BatchEngine;
 use relacc::fusion::attribute_accuracy;
+use relacc::model::EntityInstance;
 use relacc::topk::{topkct, CandidateSearch, PreferenceModel};
 
 fn main() {
@@ -26,21 +28,27 @@ fn main() {
         data.rules.count_master_rules(),
     );
 
+    // Compile once, evaluate every entity over the shared plan in parallel.
+    let engine = BatchEngine::new(
+        data.schema.clone(),
+        data.rules.clone(),
+        vec![data.master.clone()],
+    )
+    .expect("generated rules validate")
+    .with_suggestion_k(0);
+    let instances: Vec<EntityInstance> = data.entities.iter().map(|e| e.instance.clone()).collect();
+    let report = engine.run_owned(instances);
+
     let mut complete = 0usize;
     let mut accuracy_sum = 0.0;
     let mut incomplete_entities = Vec::new();
-    for idx in 0..data.entities.len() {
-        let spec = data.specification(idx);
-        let run = is_cr(&spec);
-        let te = run
-            .outcome
-            .target()
-            .expect("generated Med specifications are Church-Rosser");
-        accuracy_sum += attribute_accuracy(te, &data.entities[idx].truth);
+    for entity in &report.entities {
+        let te = &entity.deduced;
+        accuracy_sum += attribute_accuracy(te, &data.entities[entity.entity].truth);
         if te.is_complete() {
             complete += 1;
         } else {
-            incomplete_entities.push(idx);
+            incomplete_entities.push(entity.entity);
         }
     }
     println!(
@@ -49,6 +57,10 @@ fn main() {
         data.entities.len(),
         100.0 * complete as f64 / data.entities.len() as f64,
         100.0 * accuracy_sum / data.entities.len() as f64,
+    );
+    println!(
+        "batch totals: {} ground steps, {} steps applied on {} worker thread(s)",
+        report.stats.ground_steps, report.stats.steps_applied, report.threads_used
     );
 
     // Top-k suggestions for the first few incomplete entities.
@@ -67,7 +79,11 @@ fn main() {
             search.z.len()
         );
         for (rank, candidate) in result.candidates.iter().enumerate() {
-            let hit = if &candidate.target == truth { "  ← ground truth" } else { "" };
+            let hit = if &candidate.target == truth {
+                "  ← ground truth"
+            } else {
+                ""
+            };
             println!(
                 "    #{rank} score={:.1} checks_so_far={}{}",
                 candidate.score, result.stats.checks, hit

@@ -25,10 +25,7 @@ fn main() {
     }
     println!();
     println!("== accuracy rules (Table 3 + Example 3; axioms ϕ7–ϕ9 are built in) ==");
-    println!(
-        "{}",
-        format_ruleset(&spec.rules, &schema, &[nba_schema()])
-    );
+    println!("{}", format_ruleset(&spec.rules, &schema, &[nba_schema()]));
     println!();
 
     let run = is_cr(&spec);
@@ -40,7 +37,10 @@ fn main() {
         run.stats.steps_applied,
         run.stats.order_pairs_added,
     );
-    let target = run.outcome.target().expect("Example 5's S is Church-Rosser");
+    let target = run
+        .outcome
+        .target()
+        .expect("Example 5's S is Church-Rosser");
     println!("deduced target tuple te:");
     for i in 0..schema.arity() {
         let a = AttrId(i);
@@ -53,11 +53,9 @@ fn main() {
     // Example 6: adding ϕ12 breaks the Church-Rosser property.
     let mut rules = paper_rules();
     rules.push(parse_rule(PHI12, &stat_schema(), &[nba_schema()]).expect("ϕ12 parses"));
-    let bad_spec = relacc::core::Specification::new(
-        relacc::datagen::paper_example::stat_instance(),
-        rules,
-    )
-    .with_master(relacc::datagen::paper_example::nba_master());
+    let bad_spec =
+        relacc::core::Specification::new(relacc::datagen::paper_example::stat_instance(), rules)
+            .with_master(relacc::datagen::paper_example::nba_master());
     let bad_run = is_cr(&bad_spec);
     println!("== Example 6: S' = S + ϕ12 ==");
     match bad_run.outcome.conflict() {

@@ -65,9 +65,15 @@ fn main() {
         let spec = data.specification(idx);
         let mut preference = PreferenceModel::occurrence(&spec, 1);
         for value in [Value::Bool(true), Value::Bool(false)] {
-            preference.set_weight(closed_attr, value.clone(), cef.probability(ObjectId(idx), &value));
+            preference.set_weight(
+                closed_attr,
+                value.clone(),
+                cef.probability(ObjectId(idx), &value),
+            );
         }
-        let Ok(search) = CandidateSearch::prepare(&spec, preference) else { continue };
+        let Ok(search) = CandidateSearch::prepare(&spec, preference) else {
+            continue;
+        };
         let closed = if search.deduced.is_null(closed_attr) {
             topkct(&search)
                 .candidates
@@ -82,7 +88,10 @@ fn main() {
     }
 
     println!();
-    println!("{:<18} {:>9} {:>9} {:>9}", "method", "precision", "recall", "F1");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "method", "precision", "recall", "F1"
+    );
     for (name, pred) in [
         ("voting", &voting_pred),
         ("DeduceOrder", &deduce_pred),

@@ -18,7 +18,8 @@
 //! | [`heap`] | `relacc-heap` | pairing heap and ranked value heaps |
 //! | [`store`] | `relacc-store` | in-memory relations, CSV, catalog |
 //! | [`db`] | `relacc-db` | entity resolution and database-level batch repair |
-//! | [`core`] | `relacc-core` | accuracy rules, the chase, Church-Rosser checking (IsCR) |
+//! | [`core`] | `relacc-core` | accuracy rules, the chase, Church-Rosser checking (IsCR), compile-once chase plans |
+//! | [`engine`] | `relacc-engine` | the compile-once / evaluate-many parallel batch engine |
 //! | [`topk`] | `relacc-topk` | preference model, RankJoinCT, TopKCT, TopKCTh |
 //! | [`framework`] | `relacc-framework` | the interactive deduction framework (Fig. 3) |
 //! | [`fusion`] | `relacc-fusion` | voting, DeduceOrder, copyCEF, evaluation metrics |
@@ -45,6 +46,7 @@
 pub use relacc_core as core;
 pub use relacc_datagen as datagen;
 pub use relacc_db as db;
+pub use relacc_engine as engine;
 pub use relacc_framework as framework;
 pub use relacc_fusion as fusion;
 pub use relacc_heap as heap;

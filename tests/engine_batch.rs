@@ -1,0 +1,265 @@
+//! Properties of the batch engine:
+//!
+//! * the parallel batch result is identical — per-entity outcome and target
+//!   tuple — to a sequential `is_cr` loop over the same entities;
+//! * `ChasePlan` reuse across entities gives the same result as building a
+//!   fresh `Specification` per entity (the seed architecture);
+//! * interning entity instances never changes any outcome.
+
+use proptest::prelude::*;
+use relacc::core::chase::is_cr;
+use relacc::core::rules::{Predicate, RuleSet, TupleRule};
+use relacc::core::{ChasePlan, Specification};
+use relacc::engine::{BatchEngine, EntityOutcome};
+use relacc::model::{
+    AttrId, CmpOp, DataType, EntityInstance, MasterRelation, Schema, SchemaRef, Value,
+};
+
+/// A compact random corpus: each entity is a list of rows over
+/// (name-class, seq, label) with optional nulls.
+#[derive(Debug, Clone)]
+struct RandomCorpus {
+    entities: Vec<Vec<(Option<i64>, Option<u8>)>>,
+    use_currency: bool,
+    use_follow: bool,
+    with_master: bool,
+}
+
+fn arb_corpus() -> impl Strategy<Value = RandomCorpus> {
+    (
+        prop::collection::vec(
+            prop::collection::vec((prop::option::of(0i64..5), prop::option::of(0u8..3)), 1..6),
+            1..12,
+        ),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(entities, use_currency, use_follow, with_master)| RandomCorpus {
+                entities,
+                use_currency,
+                use_follow,
+                with_master,
+            },
+        )
+}
+
+fn schema() -> SchemaRef {
+    Schema::builder("r")
+        .attr("name", DataType::Text)
+        .attr("seq", DataType::Int)
+        .attr("label", DataType::Text)
+        .build()
+}
+
+fn master_schema() -> SchemaRef {
+    Schema::builder("m")
+        .attr("name", DataType::Text)
+        .attr("label", DataType::Text)
+        .build()
+}
+
+fn build_rules(corpus: &RandomCorpus, s: &SchemaRef, ms: &SchemaRef) -> RuleSet {
+    let mut rules = RuleSet::new();
+    if corpus.use_currency {
+        rules.push(TupleRule::new(
+            "currency",
+            vec![Predicate::cmp_attrs(s.expect_attr("seq"), CmpOp::Lt)],
+            s.expect_attr("seq"),
+        ));
+    }
+    if corpus.use_follow {
+        rules.push(TupleRule::new(
+            "follow",
+            vec![Predicate::OrderLt {
+                attr: s.expect_attr("seq"),
+            }],
+            s.expect_attr("label"),
+        ));
+    }
+    if corpus.with_master {
+        rules.push(relacc::core::rules::MasterRule::new(
+            "master",
+            vec![relacc::core::rules::MasterPremise::TargetEqMaster(
+                s.expect_attr("name"),
+                ms.expect_attr("name"),
+            )],
+            vec![(s.expect_attr("label"), ms.expect_attr("label"))],
+        ));
+    }
+    rules
+}
+
+fn build_entities(corpus: &RandomCorpus, s: &SchemaRef) -> Vec<EntityInstance> {
+    corpus
+        .entities
+        .iter()
+        .enumerate()
+        .map(|(e, rows)| {
+            EntityInstance::from_rows(
+                s.clone(),
+                rows.iter()
+                    .map(|(seq, label)| {
+                        vec![
+                            Value::text(format!("e{}", e % 4)),
+                            seq.map_or(Value::Null, Value::Int),
+                            label.map_or(Value::Null, |x| Value::text(format!("l{x}"))),
+                        ]
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn build_master(ms: &SchemaRef) -> MasterRelation {
+    MasterRelation::from_rows(
+        ms.clone(),
+        vec![
+            vec![Value::text("e0"), Value::text("l0")],
+            vec![Value::text("e1"), Value::text("l1")],
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel batch output is bit-identical to the sequential oracle
+    /// loop: same Church-Rosser verdicts, same target tuples, entity by entity.
+    #[test]
+    fn parallel_batch_equals_sequential_oracle(corpus in arb_corpus()) {
+        let s = schema();
+        let ms = master_schema();
+        let rules = build_rules(&corpus, &s, &ms);
+        let masters = if corpus.with_master { vec![build_master(&ms)] } else { vec![] };
+        let entities = build_entities(&corpus, &s);
+
+        // oracle: fresh Specification + is_cr per entity, sequentially
+        let oracle: Vec<_> = entities
+            .iter()
+            .map(|ie| {
+                let mut spec = Specification::new(ie.clone(), rules.clone());
+                for im in &masters {
+                    spec = spec.with_master(im.clone());
+                }
+                is_cr(&spec)
+            })
+            .collect();
+
+        let engine = BatchEngine::new(s.clone(), rules.clone(), masters.clone())
+            .unwrap()
+            .with_threads(4)
+            .with_suggestion_k(0);
+        let report = engine.run_owned(entities.clone());
+
+        prop_assert_eq!(report.entities.len(), oracle.len());
+        for (reference, got) in oracle.iter().zip(report.entities.iter()) {
+            prop_assert_eq!(
+                reference.outcome.is_church_rosser(),
+                got.outcome != EntityOutcome::NotChurchRosser
+            );
+            if let Some(te) = reference.outcome.target() {
+                prop_assert_eq!(te, &got.deduced);
+                prop_assert_eq!(
+                    got.outcome == EntityOutcome::Complete,
+                    te.is_complete()
+                );
+            }
+            prop_assert_eq!(reference.stats.steps_applied, got.stats.steps_applied);
+            prop_assert_eq!(reference.stats.ground_steps, got.stats.ground_steps);
+        }
+    }
+
+    /// Reusing one ChasePlan (and one scratch) across entities produces the
+    /// same result as compiling a fresh Specification per entity.
+    #[test]
+    fn plan_reuse_matches_fresh_specifications(corpus in arb_corpus()) {
+        let s = schema();
+        let ms = master_schema();
+        let rules = build_rules(&corpus, &s, &ms);
+        let masters = if corpus.with_master { vec![build_master(&ms)] } else { vec![] };
+        let entities = build_entities(&corpus, &s);
+
+        let plan = ChasePlan::compile(s.clone(), rules.clone(), masters.clone()).unwrap();
+        let mut scratch = relacc::core::ChaseScratch::new();
+        for ie in &entities {
+            let mut spec = Specification::new(ie.clone(), rules.clone());
+            for im in &masters {
+                spec = spec.with_master(im.clone());
+            }
+            let fresh = is_cr(&spec);
+            let planned = plan.is_cr_with(ie, &mut scratch);
+            prop_assert_eq!(
+                fresh.outcome.is_church_rosser(),
+                planned.outcome.is_church_rosser()
+            );
+            prop_assert_eq!(fresh.outcome.target(), planned.outcome.target());
+            prop_assert_eq!(fresh.stats.ground_steps, planned.stats.ground_steps);
+            prop_assert_eq!(fresh.stats.pairs_considered, planned.stats.pairs_considered);
+        }
+    }
+
+    /// Interning entities against the plan changes nothing observable.
+    #[test]
+    fn interning_is_transparent(corpus in arb_corpus()) {
+        let s = schema();
+        let ms = master_schema();
+        let rules = build_rules(&corpus, &s, &ms);
+        let masters = if corpus.with_master { vec![build_master(&ms)] } else { vec![] };
+        let entities = build_entities(&corpus, &s);
+
+        let engine = BatchEngine::new(s.clone(), rules, masters)
+            .unwrap()
+            .with_threads(1)
+            .with_suggestion_k(2);
+        let raw = engine.run(&entities);
+        let interned = engine.run_owned(entities);
+        for (a, b) in raw.entities.iter().zip(interned.entities.iter()) {
+            prop_assert_eq!(a.outcome, b.outcome);
+            prop_assert_eq!(&a.deduced, &b.deduced);
+            prop_assert_eq!(&a.suggestion, &b.suggestion);
+        }
+    }
+}
+
+/// A plain (non-property) regression: an entity deduced through a plan whose
+/// master data fills attributes must agree with the fresh-specification path,
+/// attribute by attribute, including the master-assigned ones.
+#[test]
+fn plan_master_assignments_match_specification_path() {
+    let s = schema();
+    let ms = master_schema();
+    let master = build_master(&ms);
+    let rules = {
+        let corpus = RandomCorpus {
+            entities: vec![],
+            use_currency: true,
+            use_follow: false,
+            with_master: true,
+        };
+        build_rules(&corpus, &s, &ms)
+    };
+    let ie = EntityInstance::from_rows(
+        s.clone(),
+        vec![
+            vec![Value::text("e0"), Value::Int(1), Value::Null],
+            vec![Value::text("e0"), Value::Int(3), Value::Null],
+        ],
+    )
+    .unwrap();
+    let spec = Specification::new(ie.clone(), rules.clone()).with_master(master.clone());
+    let fresh = is_cr(&spec);
+    let plan = ChasePlan::compile(s.clone(), rules, vec![master]).unwrap();
+    let planned = plan.is_cr(&ie);
+    let te = planned
+        .outcome
+        .target()
+        .expect("plan path is Church-Rosser");
+    assert_eq!(fresh.outcome.target(), Some(te));
+    assert_eq!(te.value(AttrId(1)), &Value::Int(3));
+    assert_eq!(te.value(AttrId(2)), &Value::text("l0"));
+}
