@@ -6,13 +6,25 @@
 //!
 //! The workload is the datagen restaurant corpus (`Rest`, Exp-5): ~1k entity
 //! instances sharing one rule set at scale 0.2.
+//!
+//! A second group (`batch_pipeline/repair`) compares whole-relation repair
+//! end-to-end: the retired `relacc_db::batch::repair_database` pipeline
+//! (resolution, then a fresh `Specification` + `is_cr` per entity over
+//! statically pre-chunked worker threads — replicated inline here, since the
+//! shim now delegates to the engine) against the unified
+//! `BatchEngine::repair_relation` path (one compiled plan, per-worker scratch,
+//! dynamic scheduling).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relacc_core::chase::is_cr;
+use relacc_core::Specification;
 use relacc_datagen::rest::{rest, RestConfig};
 use relacc_engine::BatchEngine;
-use relacc_model::EntityInstance;
+use relacc_model::{DataType, EntityInstance, Schema, Value};
+use relacc_resolve::{resolve_relation, BlockingStrategy, ResolveConfig};
+use relacc_store::Relation;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_batch_pipeline(c: &mut Criterion) {
     let data = rest(&RestConfig::scaled(0.2, 99));
@@ -79,5 +91,128 @@ fn bench_batch_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_pipeline);
+/// The retired `relacc_db::batch` pipeline, replicated inline: resolve, build
+/// one `Specification` per entity (rule refcount bump but fresh grounding and
+/// index per entity), fan the entities out over *statically pre-chunked*
+/// worker threads, count completely deduced targets.
+fn legacy_chunked_repair(
+    relation: &Relation,
+    rules: &relacc_core::RuleSet,
+    resolve: &ResolveConfig,
+    threads: usize,
+) -> usize {
+    let resolved = resolve_relation(relation, resolve);
+    let shared_rules = Arc::new(rules.clone());
+    let shared_masters = Arc::new(Vec::new());
+    let specs: Vec<Specification> = resolved
+        .entities
+        .iter()
+        .map(|ie| Specification::shared(ie.clone(), shared_rules.clone(), shared_masters.clone()))
+        .collect();
+    if threads <= 1 || specs.len() <= 1 {
+        return specs
+            .iter()
+            .filter(|spec| {
+                is_cr(spec)
+                    .outcome
+                    .target()
+                    .map(|t| t.is_complete())
+                    .unwrap_or(false)
+            })
+            .count();
+    }
+    let threads = threads.min(specs.len());
+    let chunk_size = specs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .filter(|spec| {
+                            is_cr(spec)
+                                .outcome
+                                .target()
+                                .map(|t| t.is_complete())
+                                .unwrap_or(false)
+                        })
+                        .count()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("legacy batch worker panicked"))
+            .sum()
+    })
+}
+
+/// Whole-relation repair: the legacy chunked/recompiling path against the
+/// unified engine path, on the Rest corpus flattened to a dirty relation.
+fn bench_repair_paths(c: &mut Criterion) {
+    let data = rest(&RestConfig::scaled(0.05, 99));
+    let schema = Schema::builder("listing")
+        .attr("source", DataType::Text)
+        .attr("snapshot", DataType::Int)
+        .attr("closed", DataType::Bool)
+        .attr("rname", DataType::Text)
+        .build();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for restaurant in &data.restaurants {
+        for tuple in restaurant.instance.tuples() {
+            let mut row = tuple.values().to_vec();
+            row.push(Value::text(restaurant.name.clone()));
+            rows.push(row);
+        }
+    }
+    let relation = Relation::from_rows(schema.clone(), rows).expect("listing rows conform");
+    let resolve =
+        ResolveConfig::on_attrs(vec!["rname".into()]).with_strategy(BlockingStrategy::ExactKey);
+    let n = data.restaurants.len();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut thread_counts = vec![1usize];
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+    let mut group = c.benchmark_group("batch_pipeline/repair");
+    group.sample_size(10);
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new(format!("legacy_chunked_{threads}_threads"), n),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    black_box(legacy_chunked_repair(
+                        &relation,
+                        &data.rules,
+                        &resolve,
+                        threads,
+                    ))
+                })
+            },
+        );
+        let engine = BatchEngine::new(schema.clone(), data.rules.clone(), vec![])
+            .expect("rest rules validate against the extended schema")
+            .with_threads(threads)
+            .with_suggestion_k(0);
+        group.bench_with_input(
+            BenchmarkId::new(format!("unified_engine_{threads}_threads"), n),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    black_box(engine.repair_relation(&relation, &resolve))
+                        .report
+                        .complete
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_pipeline, bench_repair_paths);
 criterion_main!(benches);

@@ -1,34 +1,34 @@
-//! Database-level accuracy improvement: run the chase (and, when needed, the
-//! top-k candidate search) over every entity of a relation.
+//! Database-level accuracy improvement — **deprecated compatibility shim**.
 //!
-//! The paper's framework works one entity instance at a time; its conclusion
-//! lists "improving the accuracy of data in a database, which is often much
-//! larger than entity instances" as ongoing work.  This module provides that
-//! batch layer: resolve → chase each entity → collect deduced targets → emit a
-//! repaired relation plus a report of what was deduced automatically, what was
-//! suggested from the preference model, and which entities still need a user.
-//!
-//! Entities are independent, so the batch is embarrassingly parallel; set
-//! [`BatchConfig::threads`] > 1 to fan the entities out over scoped worker
-//! threads.
-//!
-//! **Layering note:** `relacc-engine`'s `BatchEngine::repair_relation` is the
-//! preferred entry point for whole-relation repair — it compiles the rules
-//! and master data once (`ChasePlan`) and reuses per-worker scratch buffers,
-//! where this module rebuilds per-entity state.  The engine cannot be used
-//! *from* this crate (it depends on `relacc-db` for resolution), so this
-//! module remains as the dependency-light fallback for consumers of
-//! `relacc-db` alone; keep behavioral changes (suggestion policy, outcome
-//! classification) in sync with `relacc_engine::batch`.
+//! **Layering note (resolved):** this module used to duplicate the batch
+//! pipeline of `relacc-engine` because the engine depended on `relacc-db` for
+//! entity resolution, so `relacc-db` could not call back into it.  Resolution
+//! now lives in the dependency-light `relacc-resolve` crate, the cycle is
+//! gone, and the whole pipeline — one [`EntityOutcome`], one [`BatchReport`],
+//! one suggestion policy, the compile-once `ChasePlan` + per-worker
+//! `ChaseScratch` evaluation path and dynamic work-stealing scheduling — lives
+//! in [`relacc_engine::batch`].  This module only maps the historical
+//! [`BatchConfig`] onto a [`relacc_engine::BatchEngine`] and delegates; it
+//! contains no chase or top-k logic of its own.  New code should construct a
+//! [`BatchEngine`] directly.
 
-use crate::resolve::{resolve_relation, ResolveConfig, ResolvedEntities};
-use relacc_core::chase::is_cr;
-use relacc_core::{RuleSet, Specification};
-use relacc_model::{MasterRelation, TargetTuple};
+use crate::resolve::ResolveConfig;
+use relacc_core::RuleSet;
+use relacc_engine::BatchEngine;
+use relacc_model::MasterRelation;
 use relacc_store::Relation;
-use relacc_topk::{topkct, CandidateSearch, PreferenceModel};
 
-/// Configuration of a batch repair run.
+pub use relacc_engine::{BatchReport, EntityOutcome, EntityResult, RelationRepair, RepairSkip};
+
+/// Historical name of the per-entity result; the unified type lives in
+/// `relacc-engine` and carries both the input-record membership (`records`)
+/// and the Church-Rosser conflict report (`conflict`), which the two former
+/// duplicates each held only half of.
+#[deprecated(since = "0.2.0", note = "use `relacc_engine::EntityResult`")]
+pub type RepairedEntity = relacc_engine::EntityResult;
+
+/// Configuration of a batch repair run (kept for compatibility; maps onto
+/// [`relacc_engine::EngineConfig`] plus a [`ResolveConfig`]).
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
     /// Entity-resolution settings (match attributes, threshold, blocking).
@@ -63,210 +63,47 @@ impl BatchConfig {
     }
 }
 
-/// How one entity came out of the batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EntityOutcome {
-    /// The chase deduced a complete target tuple.
-    Complete,
-    /// The chase left the target incomplete; the best-scored candidate from the
-    /// top-k search is attached as a suggestion.
-    Suggested,
-    /// The chase left the target incomplete and no candidate was available
-    /// (or suggestions were disabled): a user has to look at this entity.
-    NeedsUser,
-    /// The specification is not Church-Rosser for this entity; its rules (or
-    /// data) are conflicting and must be revised.
-    NotChurchRosser,
-}
-
-/// The per-entity result of a batch run.
-#[derive(Debug, Clone)]
-pub struct RepairedEntity {
-    /// Index of the entity in the resolution output.
-    pub entity: usize,
-    /// Indices of the input records that belong to this entity.
-    pub records: Vec<usize>,
-    /// What happened.
-    pub outcome: EntityOutcome,
-    /// The target deduced by the chase (empty template when not Church-Rosser).
-    pub deduced: TargetTuple,
-    /// The suggested completion, when [`EntityOutcome::Suggested`].
-    pub suggestion: Option<TargetTuple>,
-}
-
-impl RepairedEntity {
-    /// The tuple that ends up in the repaired relation: the suggestion when one
-    /// exists, otherwise the deduced (possibly incomplete) target.
-    pub fn repaired_tuple(&self) -> &TargetTuple {
-        self.suggestion.as_ref().unwrap_or(&self.deduced)
-    }
-}
-
-/// The outcome of a whole batch run.
-#[derive(Debug, Clone)]
-pub struct BatchReport {
-    /// Per-entity results, in entity order.
-    pub entities: Vec<RepairedEntity>,
-    /// One row per entity: the repaired view of the input relation.
-    pub repaired: Relation,
-    /// Number of entities whose target was deduced completely by the chase.
-    pub complete: usize,
-    /// Number of entities completed from the preference model.
-    pub suggested: usize,
-    /// Number of entities that still need user attention.
-    pub needs_user: usize,
-    /// Number of entities whose specification is not Church-Rosser.
-    pub not_church_rosser: usize,
-}
-
-impl BatchReport {
-    /// Fraction of entities fully resolved without a user (chase or suggestion).
-    pub fn automatic_rate(&self) -> f64 {
-        if self.entities.is_empty() {
-            return 1.0;
-        }
-        (self.complete + self.suggested) as f64 / self.entities.len() as f64
-    }
-}
-
-fn repair_entity(
-    entity: usize,
-    records: Vec<usize>,
-    spec: &Specification,
-    suggestion_k: usize,
-) -> RepairedEntity {
-    let run = is_cr(spec);
-    let Some(instance) = run.outcome.instance() else {
-        return RepairedEntity {
-            entity,
-            records,
-            outcome: EntityOutcome::NotChurchRosser,
-            deduced: TargetTuple::empty(spec.ie.schema().arity()),
-            suggestion: None,
-        };
-    };
-    let deduced = instance.target.clone();
-    if deduced.is_complete() {
-        return RepairedEntity {
-            entity,
-            records,
-            outcome: EntityOutcome::Complete,
-            deduced,
-            suggestion: None,
-        };
-    }
-    let suggestion = if suggestion_k > 0 {
-        let preference = PreferenceModel::occurrence(spec, suggestion_k);
-        CandidateSearch::prepare(spec, preference)
-            .ok()
-            .and_then(|search| topkct(&search).candidates.into_iter().next())
-            .map(|c| c.target)
-    } else {
-        None
-    };
-    let outcome = if suggestion.is_some() {
-        EntityOutcome::Suggested
-    } else {
-        EntityOutcome::NeedsUser
-    };
-    RepairedEntity {
-        entity,
-        records,
-        outcome,
-        deduced,
-        suggestion,
-    }
-}
-
 /// Resolve a relation into entities and repair every entity with the given
 /// rules and (optional) master data.
 ///
-/// The same rule set and master relation are applied to every entity, exactly
-/// as the paper's experiments do for `Med` / `CFP` / `Rest`.
+/// Deprecated delegation shim: compiles one [`BatchEngine`] for the workload
+/// and calls [`BatchEngine::repair_relation`], so rules and master data are
+/// compiled once for the whole batch (the old implementation recompiled them
+/// per entity) and entities are scheduled dynamically over the worker pool
+/// (the old implementation pre-partitioned into static chunks, stalling on
+/// skewed entity sizes).
+///
+/// The signature is unchanged but the return type is the engine's
+/// [`RelationRepair`]: the old flat report's fields now live under
+/// `repair.report` (per-entity results, counts) and `repair.repaired` (the
+/// one-row-per-entity relation), and what `RepairedEntity::repaired_tuple`
+/// used to return is [`EntityResult::final_target`].
+///
+/// # Panics
+///
+/// Panics when the rules do not validate against the relation's schema — the
+/// historical signature has no error channel for plan compilation.  Use
+/// [`BatchEngine::new`] directly to handle that case.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `relacc_engine::BatchEngine::repair_relation`"
+)]
 pub fn repair_database(
     relation: &Relation,
     rules: &RuleSet,
     master: Option<&MasterRelation>,
     config: &BatchConfig,
-) -> BatchReport {
-    let resolved: ResolvedEntities = resolve_relation(relation, &config.resolve);
-    // one shared Σ and Im for the whole batch: per-entity specifications are
-    // reference-count bumps, not deep clones
-    let shared_rules = std::sync::Arc::new(rules.clone());
-    let shared_masters = std::sync::Arc::new(master.map(|im| vec![im.clone()]).unwrap_or_default());
-    let specs: Vec<(usize, Vec<usize>, Specification)> = resolved
-        .entities
-        .iter()
-        .enumerate()
-        .map(|(idx, instance)| {
-            let spec = Specification::shared(
-                instance.clone(),
-                shared_rules.clone(),
-                shared_masters.clone(),
-            );
-            (idx, resolved.members[idx].clone(), spec)
-        })
-        .collect();
-
-    let suggestion_k = config.suggestion_k;
-    let mut entities: Vec<RepairedEntity> = if config.threads <= 1 || specs.len() <= 1 {
-        specs
-            .iter()
-            .map(|(idx, records, spec)| repair_entity(*idx, records.clone(), spec, suggestion_k))
-            .collect()
-    } else {
-        let threads = config.threads.min(specs.len());
-        let chunk_size = specs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = specs
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(idx, records, spec)| {
-                                repair_entity(*idx, records.clone(), spec, suggestion_k)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("batch worker panicked"))
-                .collect()
-        })
-    };
-    entities.sort_by_key(|e| e.entity);
-
-    let mut repaired = Relation::new(relation.schema().clone());
-    let mut complete = 0usize;
-    let mut suggested = 0usize;
-    let mut needs_user = 0usize;
-    let mut not_church_rosser = 0usize;
-    for entity in &entities {
-        match entity.outcome {
-            EntityOutcome::Complete => complete += 1,
-            EntityOutcome::Suggested => suggested += 1,
-            EntityOutcome::NeedsUser => needs_user += 1,
-            EntityOutcome::NotChurchRosser => not_church_rosser += 1,
-        }
-        repaired
-            .push_row(entity.repaired_tuple().values().to_vec())
-            .expect("target tuples conform to the relation schema");
-    }
-
-    BatchReport {
-        entities,
-        repaired,
-        complete,
-        suggested,
-        needs_user,
-        not_church_rosser,
-    }
+) -> RelationRepair {
+    let masters = master.map(|im| vec![im.clone()]).unwrap_or_default();
+    let engine = BatchEngine::new(relation.schema().clone(), rules.clone(), masters)
+        .expect("rules validate against the relation schema")
+        .with_threads(config.threads.max(1))
+        .with_suggestion_k(config.suggestion_k);
+    engine.repair_relation(relation, &config.resolve)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use relacc_core::rules::{Predicate, TupleRule};
@@ -325,9 +162,10 @@ mod tests {
     #[test]
     fn repairs_every_entity_and_reports_counts() {
         let (relation, rules) = fixture();
-        let report = repair_database(&relation, &rules, None, &config());
+        let repair = repair_database(&relation, &rules, None, &config());
+        let report = &repair.report;
         assert_eq!(report.entities.len(), 2);
-        assert_eq!(report.repaired.len(), 2);
+        assert_eq!(repair.repaired.len(), 2);
         assert_eq!(
             report.complete + report.suggested + report.needs_user + report.not_church_rosser,
             report.entities.len()
@@ -342,11 +180,11 @@ mod tests {
             .find(|e| e.records.contains(&0))
             .unwrap();
         assert_eq!(
-            jordan.repaired_tuple().value(schema.expect_attr("rnds")),
+            jordan.final_target().value(schema.expect_attr("rnds")),
             &Value::Int(27)
         );
         assert_eq!(
-            jordan.repaired_tuple().value(schema.expect_attr("pts")),
+            jordan.final_target().value(schema.expect_attr("pts")),
             &Value::Int(772)
         );
     }
@@ -356,14 +194,23 @@ mod tests {
         let (relation, rules) = fixture();
         let sequential = repair_database(&relation, &rules, None, &config());
         let parallel = repair_database(&relation, &rules, None, &config().with_threads(4));
-        assert_eq!(sequential.entities.len(), parallel.entities.len());
-        for (a, b) in sequential.entities.iter().zip(parallel.entities.iter()) {
+        assert_eq!(
+            sequential.report.entities.len(),
+            parallel.report.entities.len()
+        );
+        for (a, b) in sequential
+            .report
+            .entities
+            .iter()
+            .zip(parallel.report.entities.iter())
+        {
             assert_eq!(a.entity, b.entity);
             assert_eq!(a.outcome, b.outcome);
             assert_eq!(a.deduced, b.deduced);
             assert_eq!(a.suggestion, b.suggestion);
+            assert_eq!(a.records, b.records);
         }
-        assert_eq!(sequential.complete, parallel.complete);
+        assert_eq!(sequential.report.complete, parallel.report.complete);
     }
 
     #[test]
@@ -384,10 +231,10 @@ mod tests {
         let rules = RuleSet::new();
         let config =
             BatchConfig::new(ResolveConfig::on_attrs(vec!["name".into()])).with_suggestion_k(0);
-        let report = repair_database(&relation, &rules, None, &config);
-        assert_eq!(report.entities.len(), 1);
-        assert_eq!(report.entities[0].outcome, EntityOutcome::NeedsUser);
-        assert_eq!(report.needs_user, 1);
+        let repair = repair_database(&relation, &rules, None, &config);
+        assert_eq!(repair.report.entities.len(), 1);
+        assert_eq!(repair.report.entities[0].outcome, EntityOutcome::NeedsUser);
+        assert_eq!(repair.report.needs_user, 1);
         // with suggestions enabled the same entity gets completed heuristically
         let with_suggestions = repair_database(
             &relation,
@@ -396,10 +243,10 @@ mod tests {
             &BatchConfig::new(ResolveConfig::on_attrs(vec!["name".into()])),
         );
         assert_eq!(
-            with_suggestions.entities[0].outcome,
+            with_suggestions.report.entities[0].outcome,
             EntityOutcome::Suggested
         );
-        assert!(with_suggestions.entities[0].suggestion.is_some());
+        assert!(with_suggestions.report.entities[0].suggestion.is_some());
     }
 
     #[test]
@@ -439,16 +286,18 @@ mod tests {
                 master_schema.expect_attr("team"),
             )],
         )]);
-        let report = repair_database(
+        let repair = repair_database(
             &relation,
             &rules,
             Some(&master),
             &BatchConfig::new(ResolveConfig::on_attrs(vec!["name".into()])),
         );
-        assert_eq!(report.entities.len(), 1);
-        assert_eq!(report.complete, 1);
+        assert_eq!(repair.report.entities.len(), 1);
+        assert_eq!(repair.report.complete, 1);
         assert_eq!(
-            report.entities[0].deduced.value(schema.expect_attr("team")),
+            repair.report.entities[0]
+                .deduced
+                .value(schema.expect_attr("team")),
             &Value::text("Chicago Bulls")
         );
     }

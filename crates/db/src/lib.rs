@@ -1,25 +1,22 @@
 //! # relacc-db
 //!
-//! Database-level relative accuracy for *"Determining the Relative Accuracy of
-//! Attributes"* (SIGMOD 2013).
+//! **Deprecated facade.**  Database-level relative accuracy for *"Determining
+//! the Relative Accuracy of Attributes"* (SIGMOD 2013) used to live here; the
+//! implementation has since been split:
 //!
-//! The paper's model starts from an **entity instance** `Ie` — a set of tuples
-//! already known to describe the same real-world entity, "identified by entity
-//! resolution techniques" (Section 2.1) — and its conclusion lists *improving
-//! the accuracy of data in a whole database* as ongoing work.  This crate
-//! provides both ends of that pipeline:
+//! * entity resolution ([`similarity`], [`blocking`], [`resolve`]) moved to
+//!   the dependency-light `relacc-resolve` crate (re-exported here verbatim);
+//! * the batch repair pipeline ([`batch`]) moved to `relacc-engine`, which
+//!   compiles the rules and master data once per workload (`ChasePlan`) and
+//!   schedules entities dynamically over a worker pool — [`batch`] is now a
+//!   thin shim that delegates to [`relacc_engine::BatchEngine`].
 //!
-//! * [`similarity`] — string similarity measures (normalized Levenshtein,
-//!   token Jaccard, exact/null-aware equality) used to compare records;
-//! * [`blocking`] — cheap key-based blocking so that resolution never compares
-//!   all `O(n²)` record pairs of a large relation;
-//! * [`resolve`] — pairwise matching plus union-find clustering that splits a
-//!   dirty [`relacc_store::Relation`] into per-entity
-//!   [`relacc_model::EntityInstance`]s;
-//! * [`batch`] — run the chase (and optionally the top-k candidate search) over
-//!   every resolved entity, producing a repaired relation and a
-//!   [`batch::BatchReport`] of what was deduced, what stayed open, and which
-//!   entities need user attention.
+//! The resolution surface (`resolve_relation`, `ResolveConfig`, blocking and
+//! similarity) is unchanged.  [`batch::repair_database`] keeps its signature
+//! but now returns the engine's [`batch::RelationRepair`] (report + repaired
+//! relation + resolution output) instead of the old flat report, so callers
+//! reach the per-entity results as `repair.report.entities`.  New code should
+//! depend on `relacc-resolve` and `relacc-engine` directly.
 //!
 //! ```
 //! use relacc_db::{resolve_relation, ResolveConfig};
@@ -43,11 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod blocking;
-pub mod resolve;
-pub mod similarity;
+pub use relacc_resolve::{blocking, resolve, similarity};
 
-pub use batch::{repair_database, BatchConfig, BatchReport, EntityOutcome, RepairedEntity};
+#[allow(deprecated)]
+pub use batch::{
+    repair_database, BatchConfig, BatchReport, EntityOutcome, EntityResult, RelationRepair,
+    RepairSkip, RepairedEntity,
+};
 pub use blocking::{blocking_key, Blocker, BlockingStrategy};
 pub use resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
 pub use similarity::{jaccard_tokens, levenshtein, normalized_levenshtein, record_similarity};

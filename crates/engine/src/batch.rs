@@ -1,4 +1,5 @@
-//! The compile-once / evaluate-many batch driver.
+//! The compile-once / evaluate-many batch driver — the **single** batch-repair
+//! pipeline of the workspace.
 //!
 //! A [`BatchEngine`] compiles one [`ChasePlan`] for a workload — schema, rules
 //! and master data — and evaluates it against any number of entity instances
@@ -7,13 +8,23 @@
 //! worker), optionally completes incomplete targets from a top-k suggestion
 //! search reusing the entity's grounding, and returns a [`BatchReport`] with
 //! per-entity outcomes plus aggregate [`ChaseStats`].
+//!
+//! **Layering note:** entity resolution (blocking, similarity, clustering)
+//! lives in the dependency-light `relacc-resolve` crate, so this engine can
+//! offer [`BatchEngine::repair_relation`] — resolve a dirty relation, then
+//! chase every entity — without a cycle.  The old `relacc_db::batch` module,
+//! which duplicated this pipeline because `relacc-engine` used to depend on
+//! `relacc-db` for resolution, is now a deprecated shim that delegates here;
+//! there is exactly one [`EntityOutcome`], one [`EntityResult`] (carrying both
+//! the input-record membership and the Church-Rosser conflict report) and one
+//! suggestion policy.
 
 use crate::pool::{effective_threads, par_map_with};
 use relacc_core::chase::SpecificationError;
 use relacc_core::chase::{ChasePlan, ChaseScratch};
 use relacc_core::{ChaseStats, Conflict, IsCrOutcome, RuleSet};
-use relacc_db::resolve::{resolve_relation, ResolveConfig, ResolvedEntities};
-use relacc_model::{EntityInstance, MasterRelation, SchemaRef, TargetTuple};
+use relacc_model::{EntityInstance, MasterRelation, SchemaRef, TargetTuple, Tuple, Value};
+use relacc_resolve::{resolve_relation, ResolveConfig, ResolvedEntities};
 use relacc_store::Relation;
 use relacc_topk::{topkct, CandidateSearch, PreferenceModel};
 
@@ -45,10 +56,14 @@ pub enum EntityOutcome {
     /// the top-k search is attached as a suggestion.
     Suggested,
     /// The chase left the target incomplete and no candidate was available (or
-    /// suggestions were disabled): a user has to look at this entity.
+    /// suggestions were disabled): a user has to look at this entity.  When
+    /// the suggestion search itself failed to prepare, the failure is surfaced
+    /// in [`EntityResult::suggestion_error`] rather than silently folded into
+    /// this classification.
     NeedsUser,
     /// The plan is not Church-Rosser for this entity; the rules (or its data)
-    /// conflict and must be revised.
+    /// conflict and must be revised.  The conflict report is attached as
+    /// [`EntityResult::conflict`].
     NotChurchRosser,
 }
 
@@ -57,12 +72,21 @@ pub enum EntityOutcome {
 pub struct EntityResult {
     /// Index of the entity in the batch input.
     pub entity: usize,
+    /// Indices of the input records that belong to this entity.  Filled by
+    /// [`BatchEngine::repair_relation`] from the resolution membership; empty
+    /// when the batch ran over pre-resolved entity instances whose provenance
+    /// the engine never saw ([`BatchEngine::run`]).
+    pub records: Vec<usize>,
     /// What happened.
     pub outcome: EntityOutcome,
     /// The target deduced by the chase (empty template when not Church-Rosser).
     pub deduced: TargetTuple,
     /// The suggested completion, when [`EntityOutcome::Suggested`].
     pub suggestion: Option<TargetTuple>,
+    /// The error that aborted the suggestion search, when preparation failed.
+    /// The entity is classified [`EntityOutcome::NeedsUser`] in that case, but
+    /// the failure is reported instead of being silently swallowed.
+    pub suggestion_error: Option<String>,
     /// The conflict report, when [`EntityOutcome::NotChurchRosser`].
     pub conflict: Option<Conflict>,
     /// Chase counters for this entity.
@@ -90,6 +114,9 @@ pub struct BatchReport {
     pub needs_user: usize,
     /// Number of entities whose specification is not Church-Rosser.
     pub not_church_rosser: usize,
+    /// Number of entities whose suggestion search failed to prepare (a subset
+    /// of [`BatchReport::needs_user`]).
+    pub suggestion_errors: usize,
     /// Aggregate chase counters across all entities.
     pub stats: ChaseStats,
     /// Worker threads the run actually used.
@@ -113,6 +140,7 @@ impl BatchReport {
             suggested: 0,
             needs_user: 0,
             not_church_rosser: 0,
+            suggestion_errors: 0,
             stats: ChaseStats::default(),
             threads_used,
         };
@@ -123,6 +151,9 @@ impl BatchReport {
                 EntityOutcome::NeedsUser => report.needs_user += 1,
                 EntityOutcome::NotChurchRosser => report.not_church_rosser += 1,
             }
+            if entity.suggestion_error.is_some() {
+                report.suggestion_errors += 1;
+            }
             let mut stats = report.stats;
             stats.merge(&entity.stats);
             report.stats = stats;
@@ -131,16 +162,51 @@ impl BatchReport {
     }
 }
 
+/// An entity that could not be materialized into the repaired relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairSkip {
+    /// Index of the entity in the resolution output.
+    pub entity: usize,
+    /// Why no row was emitted for it.
+    pub reason: String,
+}
+
 /// The result of repairing a whole relation: resolution output, per-entity
 /// report and the repaired one-row-per-entity relation.
 #[derive(Debug, Clone)]
 pub struct RelationRepair {
     /// The entity-resolution output (clusters and membership).
     pub resolved: ResolvedEntities,
-    /// The batch report over the resolved entities.
+    /// The batch report over the resolved entities (each [`EntityResult`]
+    /// carries its input-record membership).
     pub report: BatchReport,
-    /// One row per entity: the repaired view of the input relation.
+    /// One row per successfully materialized entity: the repaired view of the
+    /// input relation.  Entities whose target stayed open fall back to their
+    /// best source record instead of contributing fabricated null values; see
+    /// [`RelationRepair::row_entities`] for the row → entity mapping and
+    /// [`RelationRepair::skipped`] for entities with no row at all.
     pub repaired: Relation,
+    /// For every row of [`RelationRepair::repaired`], the index of the entity
+    /// it repairs (identical to the row index unless entities were skipped).
+    pub row_entities: Vec<usize>,
+    /// Entities that could not be materialized (no source record to fall back
+    /// on, or a row that failed schema validation), with the reason.  The old
+    /// pipeline either fabricated an all-null row or panicked here.
+    pub skipped: Vec<RepairSkip>,
+}
+
+/// The member record with the most non-null attributes (first wins on ties) —
+/// the best single source tuple to stand in for an entity whose target could
+/// not be deduced.
+fn best_source_tuple(ie: &EntityInstance) -> Option<&Tuple> {
+    let mut best: Option<(&Tuple, usize)> = None;
+    for t in ie.tuples() {
+        let filled = t.values().iter().filter(|v| !v.is_null()).count();
+        if best.map(|(_, f)| filled > f).unwrap_or(true) {
+            best = Some((t, filled));
+        }
+    }
+    best.map(|(t, _)| t)
 }
 
 /// A compiled batch engine: one plan, evaluated against many entities.
@@ -225,25 +291,77 @@ impl BatchEngine {
         self.run(&entities)
     }
 
-    /// Resolve a dirty relation into entities (via `relacc-db` blocking +
+    /// Resolve a dirty relation into entities (via `relacc-resolve` blocking +
     /// matching) and repair every entity, producing a one-row-per-entity
-    /// repaired relation — the compile-once counterpart of
-    /// `relacc_db::repair_database`.
+    /// repaired relation.
+    ///
+    /// Entities whose outcome is [`EntityOutcome::Complete`] or
+    /// [`EntityOutcome::Suggested`] contribute their final target.  An entity
+    /// the chase left open ([`EntityOutcome::NeedsUser`]) contributes its
+    /// deduced target with the remaining nulls filled from its best source
+    /// record; a non-Church-Rosser entity contributes its best source record
+    /// verbatim.  No all-null row is ever fabricated: an attribute stays null
+    /// in the repaired relation only when neither the chase nor the entity's
+    /// best source record had a value for it, and when a non-Church-Rosser
+    /// entity has no source record at all, or a row fails schema validation,
+    /// the entity is skipped and recorded in [`RelationRepair::skipped`]
+    /// instead of panicking.
     pub fn repair_relation(&self, relation: &Relation, resolve: &ResolveConfig) -> RelationRepair {
         let resolved = resolve_relation(relation, resolve);
         let mut entities = resolved.entities.clone();
         self.intern_entities(&mut entities);
-        let report = self.run(&entities);
+        let mut report = self.run(&entities);
+        for (result, members) in report.entities.iter_mut().zip(resolved.members.iter()) {
+            result.records = members.clone();
+        }
+
         let mut repaired = Relation::new(relation.schema().clone());
-        for entity in &report.entities {
-            repaired
-                .push_row(entity.final_target().values().to_vec())
-                .expect("target tuples conform to the relation schema");
+        let mut row_entities = Vec::with_capacity(report.entities.len());
+        let mut skipped = Vec::new();
+        for result in &report.entities {
+            let row: Option<Vec<Value>> = match result.outcome {
+                EntityOutcome::Complete | EntityOutcome::Suggested => {
+                    Some(result.final_target().values().to_vec())
+                }
+                EntityOutcome::NeedsUser => {
+                    // keep what the chase deduced, fall back to the entity's
+                    // best source record for the attributes left open
+                    let mut values = result.deduced.values().to_vec();
+                    if let Some(source) = best_source_tuple(&resolved.entities[result.entity]) {
+                        for (slot, from_source) in values.iter_mut().zip(source.values()) {
+                            if slot.is_null() {
+                                *slot = from_source.clone();
+                            }
+                        }
+                    }
+                    Some(values)
+                }
+                EntityOutcome::NotChurchRosser => {
+                    best_source_tuple(&resolved.entities[result.entity])
+                        .map(|t| t.values().to_vec())
+                }
+            };
+            let Some(row) = row else {
+                skipped.push(RepairSkip {
+                    entity: result.entity,
+                    reason: "not Church-Rosser and no source record to fall back on".into(),
+                });
+                continue;
+            };
+            match repaired.push_row(row) {
+                Ok(()) => row_entities.push(result.entity),
+                Err(err) => skipped.push(RepairSkip {
+                    entity: result.entity,
+                    reason: format!("repaired row rejected by the schema: {err}"),
+                }),
+            }
         }
         RelationRepair {
             resolved,
             report,
             repaired,
+            row_entities,
+            skipped,
         }
     }
 
@@ -260,9 +378,11 @@ impl BatchEngine {
             IsCrOutcome::NotChurchRosser(conflict) => {
                 return EntityResult {
                     entity: idx,
+                    records: Vec::new(),
                     outcome: EntityOutcome::NotChurchRosser,
                     deduced: TargetTuple::empty(self.plan.schema().arity()),
                     suggestion: None,
+                    suggestion_error: None,
                     conflict: Some(conflict),
                     stats,
                 };
@@ -272,23 +392,34 @@ impl BatchEngine {
         if deduced.is_complete() {
             return EntityResult {
                 entity: idx,
+                records: Vec::new(),
                 outcome: EntityOutcome::Complete,
                 deduced,
                 suggestion: None,
+                suggestion_error: None,
                 conflict: None,
                 stats,
             };
         }
-        let suggestion = if self.config.suggestion_k > 0 {
+        let (suggestion, suggestion_error) = if self.config.suggestion_k > 0 {
             // reuse the grounding the chase above left in the scratch
             let spec = self.plan.specification(ie.clone());
             let preference = PreferenceModel::occurrence(&spec, self.config.suggestion_k);
-            CandidateSearch::prepare_with_grounding(&spec, scratch.grounding(), preference)
-                .ok()
-                .and_then(|search| topkct(&search).candidates.into_iter().next())
-                .map(|c| c.target)
+            match CandidateSearch::prepare_with_grounding(&spec, scratch.grounding(), preference) {
+                Ok(search) => (
+                    topkct(&search)
+                        .candidates
+                        .into_iter()
+                        .next()
+                        .map(|c| c.target),
+                    None,
+                ),
+                // a preparation failure is not the same thing as "no candidate
+                // was available": report it instead of reclassifying silently
+                Err(err) => (None, Some(err.to_string())),
+            }
         } else {
-            None
+            (None, None)
         };
         let outcome = if suggestion.is_some() {
             EntityOutcome::Suggested
@@ -297,9 +428,11 @@ impl BatchEngine {
         };
         EntityResult {
             entity: idx,
+            records: Vec::new(),
             outcome,
             deduced,
             suggestion,
+            suggestion_error,
             conflict: None,
             stats,
         }
@@ -399,6 +532,7 @@ mod tests {
             assert_eq!(a.outcome, b.outcome);
             assert_eq!(a.deduced, b.deduced);
             assert_eq!(a.suggestion, b.suggestion);
+            assert_eq!(a.suggestion_error, b.suggestion_error);
         }
         assert_eq!(sequential.stats, parallel.stats);
     }
@@ -434,12 +568,19 @@ mod tests {
         );
         assert_eq!(repair.report.entities.len(), 2);
         assert_eq!(repair.repaired.len(), 2);
+        assert_eq!(repair.row_entities, vec![0, 1]);
+        assert!(repair.skipped.is_empty());
         let jordan = repair
             .resolved
             .members
             .iter()
             .position(|m| m.contains(&0))
             .unwrap();
+        // the unified result carries the resolution membership
+        assert_eq!(
+            repair.report.entities[jordan].records,
+            repair.resolved.members[jordan]
+        );
         let te = repair.report.entities[jordan].final_target();
         assert_eq!(te.value(s.expect_attr("rnds")), &Value::Int(27));
         assert_eq!(te.value(s.expect_attr("pts")), &Value::Int(772));
@@ -476,7 +617,81 @@ mod tests {
             .with_suggestion_k(0);
         let report = without.run(&[ie]);
         assert_eq!(report.entities[0].outcome, EntityOutcome::NeedsUser);
+        assert!(report.entities[0].suggestion_error.is_none());
         assert_eq!(report.needs_user, 1);
+        assert_eq!(report.suggestion_errors, 0);
+    }
+
+    #[test]
+    fn open_entities_fall_back_to_their_best_source_record() {
+        let s = Schema::builder("r")
+            .attr("name", DataType::Text)
+            .attr("color", DataType::Text)
+            .attr("size", DataType::Int)
+            .build();
+        // one entity, conflicting color, one record more complete than the
+        // other; suggestions disabled so the entity stays NeedsUser
+        let relation = Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("widget"), Value::text("red"), Value::Null],
+                vec![Value::text("widget"), Value::text("blue"), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let engine = BatchEngine::new(s.clone(), RuleSet::new(), vec![])
+            .unwrap()
+            .with_suggestion_k(0);
+        let repair =
+            engine.repair_relation(&relation, &ResolveConfig::on_attrs(vec!["name".into()]));
+        assert_eq!(repair.report.needs_user, 1);
+        assert_eq!(repair.repaired.len(), 1);
+        assert!(repair.skipped.is_empty());
+        let row = &repair.repaired.rows()[0];
+        // name was deduced (agreeing records); color and size come from the
+        // best source record (record 1: two non-null attributes beyond name)
+        assert_eq!(row.value(AttrId(0)), &Value::text("widget"));
+        assert_eq!(row.value(AttrId(1)), &Value::text("blue"));
+        assert_eq!(row.value(AttrId(2)), &Value::Int(3));
+        assert!(!row.is_all_null());
+    }
+
+    #[test]
+    fn conflicting_entities_emit_their_best_source_record_not_nulls() {
+        let s = Schema::builder("r")
+            .attr("name", DataType::Text)
+            .attr("a", DataType::Int)
+            .build();
+        let relation = Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("widget"), Value::Int(1)],
+                vec![Value::text("widget"), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        // contradictory rules: a < b implies both directions, so any entity
+        // with two distinct `a` values is not Church-Rosser
+        let up = TupleRule::new(
+            "up",
+            vec![Predicate::cmp_attrs(s.expect_attr("a"), CmpOp::Lt)],
+            s.expect_attr("a"),
+        );
+        let down = TupleRule::new(
+            "down",
+            vec![Predicate::cmp_attrs(s.expect_attr("a"), CmpOp::Gt)],
+            s.expect_attr("a"),
+        );
+        let engine = BatchEngine::new(s.clone(), RuleSet::from_rules([up, down]), vec![]).unwrap();
+        let repair =
+            engine.repair_relation(&relation, &ResolveConfig::on_attrs(vec!["name".into()]));
+        assert_eq!(repair.report.not_church_rosser, 1);
+        assert!(repair.report.entities[0].conflict.is_some());
+        // the repaired relation holds the best source record, not an all-null row
+        assert_eq!(repair.repaired.len(), 1);
+        let row = &repair.repaired.rows()[0];
+        assert!(!row.is_all_null());
+        assert_eq!(row.value(AttrId(0)), &Value::text("widget"));
     }
 
     #[test]

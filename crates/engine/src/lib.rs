@@ -26,7 +26,7 @@
 //!   [`relacc_model::EntityInstance`]s;
 //! * [`BatchEngine::repair_relation`] — resolve a dirty
 //!   [`relacc_store::Relation`] into entities (blocking + matching from
-//!   `relacc-db`) and repair every entity;
+//!   `relacc-resolve`) and repair every entity;
 //! * [`EntitySession`] — ground-once state for the interactive framework
 //!   (`relacc_framework::run_session` opens one per session and reuses its
 //!   `Γ` across user rounds).
@@ -76,7 +76,7 @@ pub mod pool;
 pub mod session;
 
 pub use batch::{
-    BatchEngine, BatchReport, EngineConfig, EntityOutcome, EntityResult, RelationRepair,
+    BatchEngine, BatchReport, EngineConfig, EntityOutcome, EntityResult, RelationRepair, RepairSkip,
 };
 pub use pool::par_map_with;
 pub use session::EntitySession;

@@ -35,14 +35,14 @@ fn unchecked_top_k(
     let initial: Vec<Value> = buffers.iter().map(|b| b[0].item.clone()).collect();
     let initial_score: f64 = buffers.iter().map(|b| b[0].score).sum();
 
-    let mut queue: PairingHeap<F64Key, (Vec<Value>, Vec<usize>, f64)> = PairingHeap::new();
+    let mut queue: PairingHeap<F64Key, (Vec<Value>, Vec<usize>)> = PairingHeap::new();
     let mut seen: HashSet<Vec<Value>> = HashSet::new();
     seen.insert(initial.clone());
-    queue.push(F64Key(initial_score), (initial, vec![0; m], initial_score));
+    queue.push(F64Key(initial_score), (initial, vec![0; m]));
 
     let mut out = Vec::with_capacity(k);
     while out.len() < k {
-        let Some((_, (z_values, positions, score))) = queue.pop() else {
+        let Some((_, (z_values, positions))) = queue.pop() else {
             break;
         };
         stats.generated += 1;
@@ -55,18 +55,26 @@ fn unchecked_top_k(
                     None => continue,
                 }
             }
-            let old = &buffers[i][positions[i]];
             let new = &buffers[i][next_pos];
             let mut z2 = z_values.clone();
             z2[i] = new.item.clone();
             if seen.contains(&z2) {
                 continue;
             }
-            let s2 = score - old.score + new.score;
             seen.insert(z2.clone());
             let mut p2 = positions.clone();
             p2[i] = next_pos;
-            queue.push(F64Key(s2), (z2, p2, s2));
+            // Recompute the sum from the buffers rather than deriving it
+            // incrementally (`parent - old + new`): the incremental form
+            // accumulates float error along deep successor chains, so
+            // assignments with equal (or strictly ordered) exact sums can be
+            // popped out of order.  `m` is small, so the resummation is cheap.
+            let s2: f64 = p2
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| buffers[j][p].score)
+                .sum();
+            queue.push(F64Key(s2), (z2, p2));
         }
     }
     stats.pops += heaps.iter().map(ScoredHeap::pop_count).sum::<usize>();
@@ -214,6 +222,43 @@ mod tests {
         for w in result.candidates.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    /// Regression for incremental-score drift: deriving a successor's score as
+    /// `parent - old + new` accumulates float error along successor chains, so
+    /// assignments whose exact sums are strictly ordered could be popped out
+    /// of order.  The huge first value of the first domain forces an early
+    /// rounding; under the incremental derivation the `(v, b2)` chain ended up
+    /// scored ~9.7 while `(u, b2)` ended up ~9.5, inverting their exact sums
+    /// (10.0 vs 10.5).  Scores are now recomputed from the buffers at push
+    /// time, so the pop order must follow the exact sums.
+    #[test]
+    fn unchecked_top_k_orders_by_freshly_summed_scores() {
+        let spec = open_spec();
+        let mut search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 6)).unwrap();
+        search.domains = vec![
+            vec![
+                Scored::new(1e16, Value::text("L")),
+                Scored::new(1.5, Value::text("u")),
+                Scored::new(1.0, Value::text("v")),
+            ],
+            vec![
+                Scored::new(10.3, Value::text("b1")),
+                Scored::new(9.0, Value::text("b2")),
+            ],
+        ];
+        let mut stats = TopKStats::default();
+        let out = unchecked_top_k(&search, 6, &mut stats);
+        let expect: Vec<Vec<Value>> = vec![
+            vec![Value::text("L"), Value::text("b1")],
+            vec![Value::text("L"), Value::text("b2")],
+            vec![Value::text("u"), Value::text("b1")],
+            vec![Value::text("v"), Value::text("b1")],
+            vec![Value::text("u"), Value::text("b2")],
+            vec![Value::text("v"), Value::text("b2")],
+        ];
+        assert_eq!(out, expect);
     }
 
     #[test]

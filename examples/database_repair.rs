@@ -7,8 +7,9 @@
 //!
 //! 1. compile the rules + master data into a chase plan once
 //!    (`relacc-engine`'s `BatchEngine`),
-//! 2. resolve duplicate records into entities (`relacc-db`) and chase every
-//!    entity in parallel over the shared plan,
+//! 2. resolve duplicate records into entities (`relacc-resolve`, reached here
+//!    through the deprecated `relacc-db` facade to exercise the compatibility
+//!    surface) and chase every entity in parallel over the shared plan,
 //! 3. print the repaired one-row-per-entity relation and the batch report.
 //!
 //! Run with `cargo run --example database_repair`.
@@ -111,7 +112,7 @@ fn main() {
         println!(
             "  entity {} (records {:?}): {:?}\n    deduced   {}\n    suggested {}",
             entity.entity,
-            repair.resolved.members[entity.entity],
+            entity.records,
             entity.outcome,
             entity.deduced,
             entity
@@ -136,5 +137,8 @@ fn main() {
         report.stats.order_pairs_added,
         report.threads_used
     );
+    for skip in &repair.skipped {
+        println!("entity {} skipped: {}", skip.entity, skip.reason);
+    }
     println!("\nrepaired relation as CSV:\n{}", to_csv(&repair.repaired));
 }

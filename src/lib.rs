@@ -17,7 +17,8 @@
 //! | [`model`] | `relacc-model` | values, schemas, tuples, entity instances, master data, accuracy orders |
 //! | [`heap`] | `relacc-heap` | pairing heap and ranked value heaps |
 //! | [`store`] | `relacc-store` | in-memory relations, CSV, catalog |
-//! | [`db`] | `relacc-db` | entity resolution and database-level batch repair |
+//! | [`resolve`] | `relacc-resolve` | entity resolution: similarity, blocking, clustering |
+//! | [`db`] | `relacc-db` | deprecated facade over [`resolve`] + [`engine`] (kept for compatibility) |
 //! | [`core`] | `relacc-core` | accuracy rules, the chase, Church-Rosser checking (IsCR), compile-once chase plans |
 //! | [`engine`] | `relacc-engine` | the compile-once / evaluate-many parallel batch engine |
 //! | [`topk`] | `relacc-topk` | preference model, RankJoinCT, TopKCT, TopKCTh |
@@ -51,5 +52,6 @@ pub use relacc_framework as framework;
 pub use relacc_fusion as fusion;
 pub use relacc_heap as heap;
 pub use relacc_model as model;
+pub use relacc_resolve as resolve;
 pub use relacc_store as store;
 pub use relacc_topk as topk;

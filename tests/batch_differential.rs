@@ -1,0 +1,277 @@
+//! Differential guard for the batch-pipeline absorption: the deprecated
+//! `relacc_db::batch::repair_database` shim and a directly-constructed
+//! `relacc_engine::BatchEngine::repair_relation` must produce identical
+//! outcomes, repaired rows and counts — on the paper-example corpus and on a
+//! dirty relation flattened from the Rest workload, single- and
+//! multi-threaded.
+//!
+//! Since the shim *delegates* to the engine, the shim-vs-engine comparison
+//! pins the `BatchConfig` → `EngineConfig` mapping and the delegation wiring
+//! (plus thread-count invariance).  The behavioral guard against the
+//! absorption itself is two-fold: [`legacy_oracle`] replicates the retired
+//! `relacc_db::batch` pipeline (fresh `Specification` + `is_cr` per entity,
+//! fresh `CandidateSearch::prepare` per suggestion) and every engine result
+//! is compared against it entity by entity, and the paper-example test pins
+//! golden outcomes (the paper's expected Jordan target, the outcome mix), so
+//! a semantic drift that moves shim and engine together still trips the
+//! oracle or the golden values.
+
+#![allow(deprecated)]
+
+use relacc::core::chase::is_cr;
+use relacc::core::{RuleSet, Specification};
+use relacc::datagen::paper_example::{
+    expected_target, nba_master, paper_rules, stat_instance, stat_schema,
+};
+use relacc::datagen::rest::{rest, RestConfig};
+use relacc::db::{repair_database, BatchConfig};
+use relacc::engine::{BatchEngine, EntityOutcome, RelationRepair};
+use relacc::model::{DataType, MasterRelation, Schema, TargetTuple, Value};
+use relacc::resolve::{resolve_relation, BlockingStrategy, ResolveConfig};
+use relacc::store::Relation;
+use relacc::topk::{topkct, CandidateSearch, PreferenceModel};
+
+fn assert_same_repair(shim: &RelationRepair, direct: &RelationRepair, label: &str) {
+    assert_eq!(
+        shim.report.entities.len(),
+        direct.report.entities.len(),
+        "{label}: entity count"
+    );
+    for (a, b) in shim
+        .report
+        .entities
+        .iter()
+        .zip(direct.report.entities.iter())
+    {
+        assert_eq!(a.entity, b.entity, "{label}: entity index");
+        assert_eq!(a.records, b.records, "{label}: entity {} records", a.entity);
+        assert_eq!(a.outcome, b.outcome, "{label}: entity {} outcome", a.entity);
+        assert_eq!(a.deduced, b.deduced, "{label}: entity {} deduced", a.entity);
+        assert_eq!(
+            a.suggestion, b.suggestion,
+            "{label}: entity {} suggestion",
+            a.entity
+        );
+        assert_eq!(
+            a.suggestion_error, b.suggestion_error,
+            "{label}: entity {} suggestion error",
+            a.entity
+        );
+    }
+    assert_eq!(
+        shim.report.complete, direct.report.complete,
+        "{label}: complete"
+    );
+    assert_eq!(
+        shim.report.suggested, direct.report.suggested,
+        "{label}: suggested"
+    );
+    assert_eq!(
+        shim.report.needs_user, direct.report.needs_user,
+        "{label}: needs_user"
+    );
+    assert_eq!(
+        shim.report.not_church_rosser, direct.report.not_church_rosser,
+        "{label}: not_church_rosser"
+    );
+    assert_eq!(
+        shim.report.suggestion_errors, direct.report.suggestion_errors,
+        "{label}: suggestion_errors"
+    );
+    assert_eq!(
+        shim.repaired.rows(),
+        direct.repaired.rows(),
+        "{label}: repaired rows"
+    );
+    assert_eq!(
+        shim.row_entities, direct.row_entities,
+        "{label}: row/entity mapping"
+    );
+    assert_eq!(shim.skipped, direct.skipped, "{label}: skipped entities");
+}
+
+/// The retired `relacc_db::batch::repair_entity` pipeline, replicated
+/// independently of the engine: fresh `Specification` + `is_cr` per entity,
+/// and a fresh `CandidateSearch::prepare` (own grounding) for suggestions.
+/// Returns `(is_church_rosser, deduced, suggestion)` per resolved entity.
+fn legacy_oracle(
+    relation: &Relation,
+    rules: &RuleSet,
+    master: Option<&MasterRelation>,
+    resolve: &ResolveConfig,
+    suggestion_k: usize,
+) -> Vec<(bool, Option<TargetTuple>, Option<TargetTuple>)> {
+    let resolved = resolve_relation(relation, resolve);
+    resolved
+        .entities
+        .iter()
+        .map(|ie| {
+            let mut spec = Specification::new(ie.clone(), rules.clone());
+            if let Some(im) = master {
+                spec = spec.with_master(im.clone());
+            }
+            let run = is_cr(&spec);
+            let Some(instance) = run.outcome.instance() else {
+                return (false, None, None);
+            };
+            let deduced = instance.target.clone();
+            let suggestion = if !deduced.is_complete() && suggestion_k > 0 {
+                let preference = PreferenceModel::occurrence(&spec, suggestion_k);
+                CandidateSearch::prepare(&spec, preference)
+                    .ok()
+                    .and_then(|search| topkct(&search).candidates.into_iter().next())
+                    .map(|c| c.target)
+            } else {
+                None
+            };
+            (true, Some(deduced), suggestion)
+        })
+        .collect()
+}
+
+fn run_differential(
+    relation: &Relation,
+    rules: &RuleSet,
+    master: Option<&MasterRelation>,
+    resolve: &ResolveConfig,
+    label: &str,
+) {
+    // the engine must agree, entity by entity, with the retired recompiling
+    // pipeline — this is the guard that the absorption preserved behavior
+    let oracle = legacy_oracle(relation, rules, master, resolve, 5);
+    let mut single: Option<RelationRepair> = None;
+    for threads in [1usize, 4] {
+        let config = BatchConfig::new(resolve.clone()).with_threads(threads);
+        let shim = repair_database(relation, rules, master, &config);
+        let masters = master.map(|im| vec![im.clone()]).unwrap_or_default();
+        let direct = BatchEngine::new(relation.schema().clone(), rules.clone(), masters)
+            .expect("rules validate")
+            .with_threads(threads)
+            .with_suggestion_k(config.suggestion_k)
+            .repair_relation(relation, resolve);
+        assert_same_repair(&shim, &direct, &format!("{label}/threads={threads}"));
+        assert_eq!(
+            direct.report.entities.len(),
+            oracle.len(),
+            "{label}: oracle entity count"
+        );
+        for (result, (oracle_cr, oracle_deduced, oracle_suggestion)) in
+            direct.report.entities.iter().zip(oracle.iter())
+        {
+            assert_eq!(
+                result.outcome != EntityOutcome::NotChurchRosser,
+                *oracle_cr,
+                "{label}: entity {} Church-Rosser verdict vs legacy oracle",
+                result.entity
+            );
+            if let Some(deduced) = oracle_deduced {
+                assert_eq!(
+                    &result.deduced, deduced,
+                    "{label}: entity {} deduced target vs legacy oracle",
+                    result.entity
+                );
+            }
+            assert_eq!(
+                &result.suggestion, oracle_suggestion,
+                "{label}: entity {} suggestion vs legacy oracle",
+                result.entity
+            );
+        }
+        // thread count must not change the result either
+        match &single {
+            None => single = Some(shim),
+            Some(reference) => {
+                assert_same_repair(reference, &shim, &format!("{label}/1-vs-{threads}-threads"))
+            }
+        }
+    }
+}
+
+/// The paper's running example (Tables 1–3) as a dirty relation: Michael
+/// Jordan's rows plus a second fabricated player, repaired with the full rule
+/// set ϕ1–ϕ11 and the `nba` master relation.
+#[test]
+fn shim_matches_engine_on_the_paper_example() {
+    let schema = stat_schema();
+    let mut rows: Vec<Vec<Value>> = stat_instance()
+        .tuples()
+        .iter()
+        .map(|t| t.values().to_vec())
+        .collect();
+    // a second entity with distinct names, cloned from the Jordan rows
+    for base in stat_instance().tuples() {
+        let mut row = base.values().to_vec();
+        row[0] = Value::text("Scottie");
+        row[2] = Value::text("Pippen");
+        rows.push(row);
+    }
+    let relation = Relation::from_rows(schema.clone(), rows).unwrap();
+    let rules = paper_rules();
+    let master = nba_master();
+    let resolve = ResolveConfig::on_attrs(vec!["FN".into(), "LN".into()]).with_threshold(0.5);
+    run_differential(&relation, &rules, Some(&master), &resolve, "paper-example");
+
+    // Golden behavior: the absorption must not change what gets repaired.
+    // Resolution splits the corpus into the lone "MJ" record (LN null, its
+    // own block), the three spelled-out Jordan rows and the four Pippen rows;
+    // the Jordan entity must deduce exactly the paper's expected target
+    // (Tables 1–3, Example 5).
+    let repair = BatchEngine::new(schema, rules.clone(), vec![master.clone()])
+        .unwrap()
+        .repair_relation(&relation, &resolve);
+    assert_eq!(repair.report.entities.len(), 3);
+    assert_eq!(
+        (
+            repair.report.complete,
+            repair.report.suggested,
+            repair.report.needs_user,
+            repair.report.not_church_rosser,
+            repair.report.suggestion_errors,
+            repair.skipped.len(),
+        ),
+        (1, 1, 1, 0, 0, 0)
+    );
+    let jordan = &repair.report.entities[1];
+    assert_eq!(jordan.records, vec![1, 2, 3]);
+    assert_eq!(jordan.deduced, expected_target());
+    // the lone "MJ" record stays NeedsUser and its repaired row is its own
+    // source record, not a fabricated null row
+    let mj = &repair.report.entities[0];
+    assert_eq!(mj.records, vec![0]);
+    assert_eq!(
+        repair.repaired.rows()[0].values(),
+        stat_instance().tuples()[0].values()
+    );
+}
+
+/// The Rest corpus flattened into one dirty relation: every listing row of the
+/// first restaurants, tagged with the restaurant name so exact-key blocking
+/// reconstructs the per-restaurant entities, repaired with the corpus rules.
+#[test]
+fn shim_matches_engine_on_the_rest_corpus() {
+    let data = rest(&RestConfig::scaled(0.01, 7));
+    // extend the listing schema (source, snapshot, closed) with the restaurant
+    // name; the corpus rules keep their attribute ids 0..2
+    let schema = Schema::builder("listing")
+        .attr("source", DataType::Text)
+        .attr("snapshot", DataType::Int)
+        .attr("closed", DataType::Bool)
+        .attr("rname", DataType::Text)
+        .build();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for restaurant in data.restaurants.iter().take(24) {
+        for tuple in restaurant.instance.tuples() {
+            let mut row = tuple.values().to_vec();
+            row.push(Value::text(restaurant.name.clone()));
+            rows.push(row);
+        }
+    }
+    let relation = Relation::from_rows(schema, rows).unwrap();
+    run_differential(
+        &relation,
+        &data.rules,
+        None,
+        &ResolveConfig::on_attrs(vec!["rname".into()]).with_strategy(BlockingStrategy::ExactKey),
+        "rest-corpus",
+    );
+}

@@ -1,0 +1,131 @@
+//! Layering guard: `relacc-resolve` exists so that both `relacc-engine` and
+//! `relacc-db` can share one entity-resolution substrate without a dependency
+//! cycle (engine → db → engine).  That only holds while `relacc-resolve`
+//! stays dependency-light: it must never depend on `relacc-core` (the chase)
+//! or `relacc-engine` (the batch driver), or the cycle this workspace just
+//! removed could be silently reintroduced.
+
+use std::process::Command;
+
+/// Split the top-level JSON objects of cargo metadata's `packages` array,
+/// tracking string literals and escapes so braces inside strings don't count.
+/// Avoids assuming anything about field order inside a package object.
+fn package_objects(metadata: &str) -> Vec<&str> {
+    let marker = "\"packages\":[";
+    let start = metadata.find(marker).expect("metadata lists packages") + marker.len();
+    let bytes = metadata.as_bytes();
+    let mut objects = Vec::new();
+    let (mut depth, mut in_str, mut escape, mut obj_start) = (0usize, false, false, 0usize);
+    for (offset, &b) in bytes[start..].iter().enumerate() {
+        let i = start + offset;
+        if in_str {
+            if escape {
+                escape = false;
+            } else if b == b'\\' {
+                escape = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    objects.push(&metadata[obj_start..=i]);
+                }
+            }
+            b']' if depth == 0 => break, // end of the packages array
+            _ => {}
+        }
+    }
+    objects
+}
+
+/// The `"dependencies":[...]` array of one package object (bracket-matched,
+/// string-aware).
+fn dependencies_array(package: &str) -> &str {
+    let marker = "\"dependencies\":[";
+    let start = package
+        .find(marker)
+        .expect("package object lists its dependencies");
+    let bytes = package.as_bytes();
+    let (mut depth, mut in_str, mut escape) = (0usize, false, false);
+    for (offset, &b) in bytes[start + marker.len() - 1..].iter().enumerate() {
+        let i = start + marker.len() - 1 + offset;
+        if in_str {
+            if escape {
+                escape = false;
+            } else if b == b'\\' {
+                escape = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &package[start..=i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated dependencies array in package object");
+}
+
+#[test]
+fn relacc_resolve_does_not_depend_on_core_or_engine() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["metadata", "--format-version", "1", "--no-deps"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("cargo metadata runs");
+    assert!(
+        output.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let metadata = String::from_utf8(output.stdout).expect("cargo metadata emits UTF-8");
+
+    // Identify the relacc-resolve package by its manifest path (normalizing
+    // JSON-escaped Windows separators), not by `"name":` — dependency entries
+    // of other packages also carry the name.
+    let packages = package_objects(&metadata);
+    assert!(!packages.is_empty(), "cargo metadata lists packages");
+    let resolve_pkg = packages
+        .iter()
+        .find(|p| p.replace("\\\\", "/").contains("crates/resolve/Cargo.toml"))
+        .expect("relacc-resolve is a workspace member");
+    let deps = dependencies_array(resolve_pkg);
+
+    assert!(
+        deps.contains("\"relacc-model\""),
+        "sanity check failed: relacc-resolve should depend on relacc-model; got {deps}"
+    );
+    for forbidden in [
+        "\"relacc-core\"",
+        "\"relacc-engine\"",
+        "\"relacc-db\"",
+        "\"relacc-topk\"",
+    ] {
+        assert!(
+            !deps.contains(forbidden),
+            "relacc-resolve must stay dependency-light but declares a dependency on \
+             {forbidden} — this reintroduces the resolution dependency cycle; \
+             declared dependencies: {deps}"
+        );
+    }
+}
