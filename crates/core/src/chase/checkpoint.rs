@@ -1,0 +1,875 @@
+//! Checkpointed chase: resume candidate checks from the base fixpoint.
+//!
+//! The `check` procedure of Section 6.1 decides whether a complete tuple
+//! `t'_e` is a candidate target by re-running the chase with `t'_e` as the
+//! initial template.  Doing so from scratch costs `O(|Γ|)` per candidate —
+//! fresh orders, a full index rebuild, and a replay of every step the base
+//! deduction already fired — even though every candidate, by construction,
+//! *completes* the deduced target `t_e` and differs from it only on the null
+//! attributes `Z`.
+//!
+//! The chase is **monotone**: steps only add order pairs and define target
+//! attributes, a pending predicate once satisfied stays satisfied, and every
+//! target attribute ends up with the same value in the base run and in any
+//! accepting candidate run (a defined target value can never change).  The
+//! base fixpoint is therefore a valid prefix of *every* candidate's chasing
+//! sequence, and by the Church-Rosser property (Theorem 2) the verdict of a
+//! chase does not depend on the order in which applicable steps fire.  So a
+//! candidate check can **resume** from the base fixpoint:
+//!
+//! 1. [`ChaseCheckpoint::capture`] runs the base `IsCR` chase once and
+//!    freezes its terminal state — the accuracy orders, the deduced target,
+//!    and the index `H` at fixpoint.  Crucially, the surviving
+//!    `by_order`/`by_target` subscription buckets of the index are exactly
+//!    the events that have *not* fired yet, i.e. the only events a resumed
+//!    run may still have to dispatch.
+//! 2. [`ChaseCheckpoint::resume_check`] seeds only the new target events
+//!    `te[a] := v` for the candidate's `Z` attributes, drains the steps those
+//!    events wake through the frozen subscriptions, and enforces them with
+//!    the *same* validity rules as the full chase (order conflicts, target
+//!    overwrites, the λ update, and the ϕ8 axiom).  Work is proportional to
+//!    the steps actually affected, not to `|Γ|`.
+//! 3. Every mutation — order pairs added, target attributes set, step-state
+//!    transitions — is recorded in an **undo log** held by the caller's
+//!    [`CheckScratch`] and rolled back after the verdict, so one checkpoint
+//!    serves thousands of candidate checks without re-cloning its state.
+//!
+//! A candidate is accepted iff the resumed run reaches a fixpoint without an
+//! invalid step; its terminal target then necessarily equals the candidate
+//! (all attributes are seeded up front and non-null target values never
+//! change).  The equivalence with the from-scratch `check` is property-tested
+//! in `tests/prop_checkpoint.rs` at the workspace root.
+
+use super::ground::{origin_name, GroundStep, Grounding, StepAction, StepOrigin};
+use super::index::{ChaseIndex, StepState};
+use super::iscr::{run_chase_with_orders, ChaseStats, Conflict, IndexedScheduler, IsCrOutcome};
+use crate::rules::RuleSet;
+use relacc_model::{
+    AccuracyOrders, AttrId, ClassId, EntityInstance, OrderInsert, TargetTuple, Value,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing checkpoint identity, used by [`CheckScratch`] to
+/// decide when its cached working copies must be re-seeded.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// The frozen terminal state of a base `IsCR` run, ready to answer candidate
+/// checks by delta replay.
+///
+/// A checkpoint is immutable (and `Send + Sync`): the per-check mutable state
+/// lives in the caller's [`CheckScratch`].  It is only valid together with
+/// the exact [`Grounding`] it was captured over.
+#[derive(Debug)]
+pub struct ChaseCheckpoint {
+    epoch: u64,
+    /// Terminal accuracy orders of the base run.
+    orders: AccuracyOrders,
+    /// The deduced target `t_e`.
+    target: TargetTuple,
+    /// The index `H` at fixpoint: per-step counters plus the subscriptions of
+    /// the events that never fired.
+    index: ChaseIndex,
+    /// Length of the grounding the checkpoint was captured over (guards
+    /// against resuming with a mismatched `Γ`).
+    step_count: usize,
+    /// Statistics of the base run.
+    stats: ChaseStats,
+}
+
+/// How a [`ChaseCheckpoint::capture`] run ended.
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// The base specification is Church-Rosser; the checkpoint is ready to
+    /// answer candidate checks.  Boxed: a checkpoint carries the full
+    /// terminal state and dwarfs the conflict variant.
+    Ready(Box<ChaseCheckpoint>),
+    /// The base specification is not Church-Rosser; no candidate search is
+    /// possible (the framework must reject the specification first).
+    NotChurchRosser(Conflict),
+}
+
+/// The result of a capture: outcome plus the base-run statistics.
+#[derive(Debug)]
+pub struct CheckpointRun {
+    /// Checkpoint or conflict.
+    pub outcome: CheckpointOutcome,
+    /// Counters of the base chase run.
+    pub stats: ChaseStats,
+}
+
+/// The verdict of one resumed candidate check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeCheck {
+    /// True iff the candidate is a candidate target (the resumed chase
+    /// reached a fixpoint without an invalid step).
+    pub accepted: bool,
+    /// Ground steps replayed by the delta (the work a from-scratch check
+    /// would have multiplied by `|Γ|`).
+    pub steps_replayed: usize,
+}
+
+impl ChaseCheckpoint {
+    /// Run the base chase over `grounding` with `initial_target` as the
+    /// template and freeze its terminal state.
+    ///
+    /// This *is* the deduction step: callers that previously ran
+    /// `chase_with_grounding` to obtain the deduced target run `capture`
+    /// instead and read [`ChaseCheckpoint::target`].
+    pub fn capture(
+        ie: &EntityInstance,
+        rules: &RuleSet,
+        grounding: &Grounding,
+        initial_target: &TargetTuple,
+    ) -> CheckpointRun {
+        Self::capture_with_index(
+            ie,
+            rules,
+            grounding,
+            AccuracyOrders::new(ie),
+            initial_target,
+            ChaseIndex::default(),
+        )
+    }
+
+    /// [`ChaseCheckpoint::capture`] over pre-built (still empty) orders and a
+    /// caller-provided index whose allocations are reused for the base run.
+    ///
+    /// This is the batch engine's path: one chase serves both the per-entity
+    /// deduction *and* the checkpoint, with the worker's warmed
+    /// [`ChaseIndex`] moved in (and recoverable afterwards through
+    /// [`ChaseCheckpoint::into_index`] when no candidate checks are needed).
+    pub fn capture_with_index(
+        ie: &EntityInstance,
+        rules: &RuleSet,
+        grounding: &Grounding,
+        orders: AccuracyOrders,
+        initial_target: &TargetTuple,
+        mut index: ChaseIndex,
+    ) -> CheckpointRun {
+        let run = {
+            let mut scheduler = IndexedScheduler { index: &mut index };
+            run_chase_with_orders(ie, rules, orders, grounding, initial_target, &mut scheduler)
+        };
+        let stats = run.stats;
+        let outcome = match run.outcome {
+            IsCrOutcome::ChurchRosser(instance) => {
+                CheckpointOutcome::Ready(Box::new(ChaseCheckpoint {
+                    epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+                    orders: instance.orders,
+                    target: instance.target,
+                    index,
+                    step_count: grounding.steps.len(),
+                    stats,
+                }))
+            }
+            IsCrOutcome::NotChurchRosser(conflict) => CheckpointOutcome::NotChurchRosser(conflict),
+        };
+        CheckpointRun { outcome, stats }
+    }
+
+    /// Dismantle the checkpoint, returning its index (with all its warmed
+    /// allocations) to the caller — used by the batch engine to hand the
+    /// worker scratch its index back when an entity needs no candidate
+    /// checks.
+    pub fn into_index(self) -> ChaseIndex {
+        self.index
+    }
+
+    /// The deduced target `t_e` of the base run.
+    pub fn target(&self) -> &TargetTuple {
+        &self.target
+    }
+
+    /// The terminal accuracy orders of the base run.
+    pub fn orders(&self) -> &AccuracyOrders {
+        &self.orders
+    }
+
+    /// Statistics of the base chase run.
+    pub fn stats(&self) -> &ChaseStats {
+        &self.stats
+    }
+
+    /// The `check` of Section 6.1, resumed from the base fixpoint: is
+    /// `candidate` a candidate target?
+    ///
+    /// `rules` and `grounding` must be the ones the checkpoint was captured
+    /// with.  The scratch is rebound automatically when it last served a
+    /// different checkpoint; after the call it is back in the checkpoint's
+    /// base state, ready for the next candidate.
+    pub fn resume_check(
+        &self,
+        rules: &RuleSet,
+        grounding: &Grounding,
+        candidate: &TargetTuple,
+        scratch: &mut CheckScratch,
+    ) -> ResumeCheck {
+        assert_eq!(
+            grounding.steps.len(),
+            self.step_count,
+            "resume_check called with a grounding that does not match the checkpoint"
+        );
+        if !candidate.is_complete() || !self.target.is_completed_by(candidate) {
+            return ResumeCheck {
+                accepted: false,
+                steps_replayed: 0,
+            };
+        }
+        scratch.bind(self);
+        let (accepted, steps_replayed) = {
+            let mut delta = DeltaChaser {
+                rules,
+                steps: &grounding.steps,
+                index: &self.index,
+                orders: scratch.orders.as_mut().expect("scratch bound"),
+                target: &mut scratch.target,
+                states: &mut scratch.states,
+                ready: &mut scratch.ready,
+                events: &mut scratch.events,
+                undo_orders: &mut scratch.undo_orders,
+                undo_targets: &mut scratch.undo_targets,
+                undo_states: &mut scratch.undo_states,
+                steps_replayed: 0,
+            };
+            let verdict = delta.run(candidate);
+            (verdict.is_ok(), delta.steps_replayed)
+        };
+        debug_assert!(!accepted || &scratch.target == candidate);
+        scratch.rollback();
+        ResumeCheck {
+            accepted,
+            steps_replayed,
+        }
+    }
+}
+
+/// Reusable per-caller buffers for resumed checks: the working copies of the
+/// checkpoint state plus the undo logs.
+///
+/// A scratch binds lazily to the checkpoint it serves (cloning the base state
+/// once) and is restored to that base state after every check, so a sequence
+/// of thousands of checks against one checkpoint costs one clone total.
+/// Rebinding to another checkpoint re-seeds the copies; alternating between
+/// checkpoints with a single scratch therefore thrashes — keep one scratch
+/// per concurrently used checkpoint (the batch engine keeps one per worker).
+#[derive(Debug)]
+pub struct CheckScratch {
+    epoch: u64,
+    orders: Option<AccuracyOrders>,
+    target: TargetTuple,
+    states: Vec<StepState>,
+    ready: VecDeque<usize>,
+    events: VecDeque<DeltaEvent>,
+    undo_orders: Vec<(AttrId, ClassId, ClassId)>,
+    undo_targets: Vec<AttrId>,
+    undo_states: Vec<(usize, StepState)>,
+}
+
+impl Default for CheckScratch {
+    fn default() -> Self {
+        CheckScratch {
+            epoch: 0,
+            orders: None,
+            target: TargetTuple::empty(0),
+            states: Vec::new(),
+            ready: VecDeque::new(),
+            events: VecDeque::new(),
+            undo_orders: Vec::new(),
+            undo_targets: Vec::new(),
+            undo_states: Vec::new(),
+        }
+    }
+}
+
+impl CheckScratch {
+    /// Fresh, unbound buffers.
+    pub fn new() -> Self {
+        CheckScratch::default()
+    }
+
+    /// Seed the working copies from `ck` unless they already mirror it.
+    fn bind(&mut self, ck: &ChaseCheckpoint) {
+        if self.epoch == ck.epoch {
+            return;
+        }
+        match &mut self.orders {
+            Some(orders) => orders.clone_from(&ck.orders),
+            None => self.orders = Some(ck.orders.clone()),
+        }
+        self.target.clone_from(&ck.target);
+        self.states.clear();
+        self.states.extend_from_slice(ck.index.states());
+        self.ready.clear();
+        self.events.clear();
+        self.undo_orders.clear();
+        self.undo_targets.clear();
+        self.undo_states.clear();
+        self.epoch = ck.epoch;
+    }
+
+    /// Replay the undo logs, restoring the working copies to the bound
+    /// checkpoint's base state.
+    fn rollback(&mut self) {
+        let orders = self.orders.as_mut().expect("rollback on unbound scratch");
+        for (attr, lo, hi) in self.undo_orders.drain(..).rev() {
+            orders.attr_mut(attr).retract_class_le(lo, hi);
+        }
+        for attr in self.undo_targets.drain(..).rev() {
+            self.target.set(attr, Value::Null);
+        }
+        for (id, state) in self.undo_states.drain(..).rev() {
+            self.states[id] = state;
+        }
+        self.ready.clear();
+        self.events.clear();
+    }
+}
+
+/// Events produced while enforcing delta steps, dispatched through the
+/// checkpoint's frozen subscriptions.
+#[derive(Debug)]
+enum DeltaEvent {
+    Order(AttrId, ClassId, ClassId),
+    Target(AttrId, Value),
+}
+
+/// The delta enforcement loop: the same validity rules, λ update and ϕ8
+/// handling as [`super::iscr::Chaser`], but operating on the scratch's
+/// working copies with undo logging, and dispatching events through the
+/// checkpoint's surviving subscriptions instead of a mutable index.
+struct DeltaChaser<'a> {
+    rules: &'a RuleSet,
+    steps: &'a [GroundStep],
+    index: &'a ChaseIndex,
+    orders: &'a mut AccuracyOrders,
+    target: &'a mut TargetTuple,
+    states: &'a mut Vec<StepState>,
+    ready: &'a mut VecDeque<usize>,
+    events: &'a mut VecDeque<DeltaEvent>,
+    undo_orders: &'a mut Vec<(AttrId, ClassId, ClassId)>,
+    undo_targets: &'a mut Vec<AttrId>,
+    undo_states: &'a mut Vec<(usize, StepState)>,
+    steps_replayed: usize,
+}
+
+impl DeltaChaser<'_> {
+    /// Seed the candidate's `Z` values, then drain the woken steps to a
+    /// fixpoint.  `Err` means the candidate is rejected.
+    fn run(&mut self, candidate: &TargetTuple) -> Result<(), Conflict> {
+        for a in 0..self.target.arity() {
+            let attr = AttrId(a);
+            if self.target.is_null(attr) {
+                let value = candidate.value(attr).clone();
+                self.set_target(StepOrigin::CandidateSeed, attr, value)?;
+                self.drain_events();
+            } else {
+                // a λ update of an earlier seed may have raced ahead and set
+                // this attribute — with a value that must match the candidate
+                // (the full chase would have detected the mismatch at its
+                // initial-template announcement)
+                if !self.target.value(attr).same(candidate.value(attr)) {
+                    return Err(self.conflict(
+                        StepOrigin::CandidateSeed,
+                        attr,
+                        format!(
+                            "deduction forces {} where the candidate has {}",
+                            self.target.value(attr),
+                            candidate.value(attr)
+                        ),
+                    ));
+                }
+            }
+        }
+        while let Some(id) = self.pop_ready() {
+            self.steps_replayed += 1;
+            let step = &self.steps[id];
+            self.apply(step.origin, &step.action)?;
+            self.drain_events();
+        }
+        Ok(())
+    }
+
+    fn conflict(&self, origin: StepOrigin, attr: AttrId, detail: impl Into<String>) -> Conflict {
+        Conflict {
+            rule: origin_name(self.rules, origin),
+            attr,
+            detail: detail.into(),
+        }
+    }
+
+    fn pop_ready(&mut self) -> Option<usize> {
+        while let Some(id) = self.ready.pop_front() {
+            if !self.states[id].dead {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Enforce one woken ground step (mirrors `Chaser::apply`).
+    fn apply(&mut self, origin: StepOrigin, action: &StepAction) -> Result<bool, Conflict> {
+        match action {
+            StepAction::Order { attr, lo, hi } => self.insert_order(origin, *attr, *lo, *hi),
+            StepAction::Assign { assignments } => {
+                let mut changed = false;
+                for (attr, value) in assignments {
+                    changed |= self.set_target(origin, *attr, value.clone())?;
+                }
+                Ok(changed)
+            }
+        }
+    }
+
+    /// Enforce `lo ⪯ hi` with undo logging (mirrors `Chaser::insert_order`,
+    /// including the λ update).
+    fn insert_order(
+        &mut self,
+        origin: StepOrigin,
+        attr: AttrId,
+        lo: ClassId,
+        hi: ClassId,
+    ) -> Result<bool, Conflict> {
+        match self.orders.attr_mut(attr).insert_class_le(lo, hi) {
+            OrderInsert::Conflict => Err(self.conflict(
+                origin,
+                attr,
+                format!(
+                    "inserting {lo} ⪯ {hi} would relate two different values in both directions"
+                ),
+            )),
+            OrderInsert::NoChange => Ok(false),
+            OrderInsert::Added(pairs) => {
+                for (a, b) in &pairs {
+                    self.undo_orders.push((attr, *a, *b));
+                    self.events.push_back(DeltaEvent::Order(attr, *a, *b));
+                }
+                let greatest = self.orders.attr(attr).greatest().map(|(_, v)| v.clone());
+                if let Some(v) = greatest {
+                    if self.target.is_null(attr) {
+                        self.set_target(origin, attr, v)?;
+                    } else if !self.target.value(attr).same(&v) {
+                        return Err(self.conflict(
+                            origin,
+                            attr,
+                            format!(
+                                "the most accurate value {v} disagrees with the already \
+                                 deduced target value {}",
+                                self.target.value(attr)
+                            ),
+                        ));
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Instantiate `te[attr] := value` with undo logging (mirrors
+    /// `Chaser::set_target`).
+    fn set_target(
+        &mut self,
+        origin: StepOrigin,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<bool, Conflict> {
+        if self.target.is_null(attr) {
+            self.target.set(attr, value);
+            self.undo_targets.push(attr);
+            self.announce_target(attr)?;
+            Ok(true)
+        } else if self.target.value(attr).same(&value) {
+            Ok(false)
+        } else {
+            Err(self.conflict(
+                origin,
+                attr,
+                format!(
+                    "assignment {value} conflicts with the already deduced target value {}",
+                    self.target.value(attr)
+                ),
+            ))
+        }
+    }
+
+    /// Emit the target event and enforce ϕ8 (mirrors
+    /// `Chaser::announce_target`).
+    fn announce_target(&mut self, attr: AttrId) -> Result<(), Conflict> {
+        let value = self.target.value(attr).clone();
+        self.events
+            .push_back(DeltaEvent::Target(attr, value.clone()));
+        if self.rules.axioms.target_highest {
+            let (target_class, others) = {
+                let ord = self.orders.attr(attr);
+                match ord.class_of_value(&value) {
+                    Some(tc) => {
+                        let others: Vec<ClassId> = (0..ord.num_classes())
+                            .map(ClassId)
+                            .filter(|c| *c != tc)
+                            .collect();
+                        (tc, others)
+                    }
+                    None => return Ok(()),
+                }
+            };
+            for c in others {
+                self.insert_order(StepOrigin::AxiomTargetHighest, attr, c, target_class)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatch queued events through the checkpoint's frozen subscriptions
+    /// (mirrors `ChaseIndex::on_order_added` / `on_target_set`; the frozen
+    /// buckets are never consumed, the per-step undo log plays their role).
+    fn drain_events(&mut self) {
+        while let Some(event) = self.events.pop_front() {
+            match event {
+                DeltaEvent::Order(attr, lo, hi) => {
+                    for &id in self.index.order_subscribers(attr, lo, hi) {
+                        self.decrement(id);
+                    }
+                }
+                DeltaEvent::Target(attr, value) => {
+                    for &(id, pidx) in self.index.target_subscribers(attr) {
+                        let state = self.states[id];
+                        if state.dead {
+                            continue;
+                        }
+                        if self.steps[id].pending[pidx].eval_target(&value) {
+                            self.decrement(id);
+                        } else if !state.enqueued {
+                            self.touch(id);
+                            self.states[id].dead = true;
+                        }
+                        // an already-enqueued step stays queued, exactly as in
+                        // the full chase's index
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a step's pre-mutation state for rollback.
+    fn touch(&mut self, id: usize) {
+        self.undo_states.push((id, self.states[id]));
+    }
+
+    /// One pending predicate of step `id` became satisfied (mirrors
+    /// `ChaseIndex::decrement`).
+    fn decrement(&mut self, id: usize) {
+        let state = self.states[id];
+        if state.dead || state.enqueued {
+            if !state.enqueued {
+                self.touch(id);
+                let remaining = &mut self.states[id].remaining;
+                *remaining = remaining.saturating_sub(1);
+            }
+            return;
+        }
+        self.touch(id);
+        self.states[id].remaining -= 1;
+        if self.states[id].remaining == 0 {
+            self.states[id].enqueued = true;
+            self.ready.push_back(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::ground::ground;
+    use crate::chase::iscr::chase_with_grounding;
+    use crate::chase::spec::Specification;
+    use crate::rules::{MasterRule, Predicate, RuleSet, TupleRule};
+    use relacc_model::{CmpOp, DataType, MasterRelation, Schema, TupleId};
+
+    /// rnds deducible; team/arena open (the Example 9 shape).
+    fn open_spec() -> Specification {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![
+                    Value::Int(16),
+                    Value::text("Chicago"),
+                    Value::text("Chicago Stadium"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("United Center"),
+                ],
+                vec![
+                    Value::Int(27),
+                    Value::text("Chicago Bulls"),
+                    Value::text("Regions Park"),
+                ],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        Specification::new(ie, rules)
+    }
+
+    fn capture_spec(spec: &Specification) -> (ChaseCheckpoint, Grounding) {
+        let orders = AccuracyOrders::new(&spec.ie);
+        let grounding = ground(spec, &orders);
+        let run = ChaseCheckpoint::capture(&spec.ie, &spec.rules, &grounding, &spec.initial_target);
+        match run.outcome {
+            CheckpointOutcome::Ready(ck) => (*ck, grounding),
+            CheckpointOutcome::NotChurchRosser(c) => panic!("expected Church-Rosser, got {c}"),
+        }
+    }
+
+    fn full_check(spec: &Specification, grounding: &Grounding, candidate: &TargetTuple) -> bool {
+        let run = chase_with_grounding(spec, grounding, candidate);
+        match run.outcome {
+            IsCrOutcome::ChurchRosser(instance) => &instance.target == candidate,
+            IsCrOutcome::NotChurchRosser(_) => false,
+        }
+    }
+
+    #[test]
+    fn capture_deduces_the_base_target() {
+        let spec = open_spec();
+        let (ck, _) = capture_spec(&spec);
+        assert_eq!(ck.target().value(AttrId(0)), &Value::Int(27));
+        assert!(ck.target().is_null(AttrId(1)));
+        assert!(ck.target().is_null(AttrId(2)));
+        assert!(ck.stats().steps_applied > 0);
+        assert!(ck.orders().total_edges() > 0);
+    }
+
+    #[test]
+    fn resume_agrees_with_full_check_on_the_whole_domain() {
+        let spec = open_spec();
+        let (ck, grounding) = capture_spec(&spec);
+        let mut scratch = CheckScratch::new();
+        for team in ["Chicago", "Chicago Bulls"] {
+            for arena in ["Chicago Stadium", "United Center", "Regions Park"] {
+                let candidate = TargetTuple::from_values(vec![
+                    Value::Int(27),
+                    Value::text(team),
+                    Value::text(arena),
+                ]);
+                let resumed = ck.resume_check(&spec.rules, &grounding, &candidate, &mut scratch);
+                let full = full_check(&spec, &grounding, &candidate);
+                assert_eq!(resumed.accepted, full, "team={team} arena={arena}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_candidates_contradicting_master_data() {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("flag", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(16), Value::Null],
+                vec![Value::Int(27), Value::text("x")],
+                vec![Value::Int(1), Value::text("y")],
+            ],
+        )
+        .unwrap();
+        let master_schema = Schema::builder("m").attr("flag", DataType::Text).build();
+        let im = MasterRelation::from_rows(master_schema, vec![vec![Value::text("x")]]).unwrap();
+        let rules = RuleSet::from_rules([
+            crate::rules::AccuracyRule::from(TupleRule::new(
+                "cur",
+                vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+                schema.expect_attr("rnds"),
+            )),
+            crate::rules::AccuracyRule::from(MasterRule::new(
+                "m1",
+                vec![],
+                vec![(AttrId(1), AttrId(0))],
+            )),
+        ]);
+        let spec = Specification::new(ie, rules).with_master(im);
+        // the master rule is unconditional, so flag is deduced; both targets
+        // are complete already and only the agreeing one passes
+        let (ck, grounding) = capture_spec(&spec);
+        let mut scratch = CheckScratch::new();
+        let good = TargetTuple::from_values(vec![Value::Int(27), Value::text("x")]);
+        let bad = TargetTuple::from_values(vec![Value::Int(27), Value::text("y")]);
+        assert!(
+            ck.resume_check(&spec.rules, &grounding, &good, &mut scratch)
+                .accepted
+        );
+        assert!(
+            !ck.resume_check(&spec.rules, &grounding, &bad, &mut scratch)
+                .accepted
+        );
+        assert!(full_check(&spec, &grounding, &good));
+        assert!(!full_check(&spec, &grounding, &bad));
+    }
+
+    #[test]
+    fn delta_replays_affected_steps_and_rolls_back() {
+        // A correlated rule waiting on the team target: seeding the candidate
+        // must wake and replay it, λ must then deduce the rank attribute, and
+        // the rollback must restore the base state so the next check starts
+        // clean.
+        let schema = Schema::builder("r")
+            .attr("team", DataType::Text)
+            .attr("rank", DataType::Int)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::text("Bulls"), Value::Int(2)],
+                vec![Value::text("Sox"), Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        // te[team] = "Bulls" ∧ t1[rank] < t2[rank] → t1 ⪯rank t2
+        let rule = TupleRule::new(
+            "corr",
+            vec![
+                Predicate::Cmp {
+                    left: crate::rules::Operand::Target(AttrId(0)),
+                    op: CmpOp::Eq,
+                    right: crate::rules::Operand::Const(Value::text("Bulls")),
+                },
+                Predicate::cmp_attrs(AttrId(1), CmpOp::Lt),
+            ],
+            AttrId(1),
+        );
+        let spec = Specification::new(ie, RuleSet::from_rules([rule]));
+        let (ck, grounding) = capture_spec(&spec);
+        assert!(ck.target().is_null(AttrId(0)));
+        assert!(ck.target().is_null(AttrId(1)));
+        let mut scratch = CheckScratch::new();
+        // seeding team=Bulls wakes the rule, 1 ⪯ 2 is added, λ deduces
+        // rank=2 — agreeing with the candidate
+        let accepted = TargetTuple::from_values(vec![Value::text("Bulls"), Value::Int(2)]);
+        let first = ck.resume_check(&spec.rules, &grounding, &accepted, &mut scratch);
+        assert!(first.accepted);
+        assert!(full_check(&spec, &grounding, &accepted));
+        assert!(first.steps_replayed > 0, "the correlated step must replay");
+        // λ's deduction contradicts rank=1
+        let rejected = TargetTuple::from_values(vec![Value::text("Bulls"), Value::Int(1)]);
+        let verdict = ck.resume_check(&spec.rules, &grounding, &rejected, &mut scratch);
+        assert!(!verdict.accepted);
+        assert!(!full_check(&spec, &grounding, &rejected));
+        // with team=Sox the rule never fires and both ranks stay possible
+        for rank in [1, 2] {
+            let open = TargetTuple::from_values(vec![Value::text("Sox"), Value::Int(rank)]);
+            let resumed = ck.resume_check(&spec.rules, &grounding, &open, &mut scratch);
+            assert_eq!(resumed.accepted, full_check(&spec, &grounding, &open));
+        }
+        // rollback restored the base state: repeating the first check after
+        // the interleaved rejections is bit-identical
+        let again = ck.resume_check(&spec.rules, &grounding, &accepted, &mut scratch);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn incomplete_or_contradicting_candidates_are_rejected_cheaply() {
+        let spec = open_spec();
+        let (ck, grounding) = capture_spec(&spec);
+        let mut scratch = CheckScratch::new();
+        let incomplete =
+            TargetTuple::from_values(vec![Value::Int(27), Value::text("Chicago"), Value::Null]);
+        let verdict = ck.resume_check(&spec.rules, &grounding, &incomplete, &mut scratch);
+        assert!(!verdict.accepted);
+        assert_eq!(verdict.steps_replayed, 0);
+        // disagreeing with the deduced rnds value
+        let contradicting = TargetTuple::from_values(vec![
+            Value::Int(16),
+            Value::text("Chicago"),
+            Value::text("United Center"),
+        ]);
+        let verdict = ck.resume_check(&spec.rules, &grounding, &contradicting, &mut scratch);
+        assert!(!verdict.accepted);
+        assert_eq!(verdict.steps_replayed, 0);
+    }
+
+    #[test]
+    fn one_scratch_serves_interleaved_checkpoints() {
+        let spec_a = open_spec();
+        let (ck_a, grounding_a) = capture_spec(&spec_a);
+        let schema = Schema::builder("q").attr("x", DataType::Int).build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        let spec_b = Specification::new(ie, RuleSet::new());
+        let (ck_b, grounding_b) = capture_spec(&spec_b);
+
+        let mut scratch = CheckScratch::new();
+        let cand_a = TargetTuple::from_values(vec![
+            Value::Int(27),
+            Value::text("Chicago Bulls"),
+            Value::text("United Center"),
+        ]);
+        let cand_b = TargetTuple::from_values(vec![Value::Int(2)]);
+        // interleave: the scratch rebinds each time the checkpoint changes
+        for _ in 0..3 {
+            assert!(
+                ck_a.resume_check(&spec_a.rules, &grounding_a, &cand_a, &mut scratch)
+                    .accepted
+            );
+            assert!(
+                ck_b.resume_check(&spec_b.rules, &grounding_b, &cand_b, &mut scratch)
+                    .accepted
+            );
+        }
+    }
+
+    #[test]
+    fn phi7_null_class_edges_survive_into_the_checkpoint() {
+        // A null in an open column: the base run's ϕ7 edge (null below the
+        // other classes) is part of the checkpoint; seeding the candidate
+        // value must still accept.
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Text)
+            .build();
+        let ie = EntityInstance::from_rows(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::text("x")],
+                vec![Value::Int(2), Value::text("y")],
+            ],
+        )
+        .unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "cur",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        )]);
+        let spec = Specification::new(ie, rules);
+        let (ck, grounding) = capture_spec(&spec);
+        let null_class = ck.orders().attr(AttrId(1)).null_class().unwrap();
+        assert!(ck
+            .orders()
+            .attr(AttrId(1))
+            .class_le(null_class, ck.orders().attr(AttrId(1)).class_of(TupleId(1))));
+        let mut scratch = CheckScratch::new();
+        for v in ["x", "y"] {
+            let candidate = TargetTuple::from_values(vec![Value::Int(2), Value::text(v)]);
+            let resumed = ck.resume_check(&spec.rules, &grounding, &candidate, &mut scratch);
+            assert_eq!(
+                resumed.accepted,
+                full_check(&spec, &grounding, &candidate),
+                "value {v}"
+            );
+        }
+    }
+}

@@ -44,6 +44,11 @@ pub enum StepOrigin {
     /// instantiates the target when a single value class dominates an
     /// attribute.
     AxiomEqualValues,
+    /// A candidate value seeded by the checkpointed `check`
+    /// ([`crate::chase::checkpoint`]): the delta replay sets `te[a] := v` for
+    /// every `Z` attribute of the candidate, mirroring the full chase's
+    /// initial-template announcement.
+    CandidateSeed,
 }
 
 /// A predicate that must be established before a ground step can fire.
@@ -468,6 +473,7 @@ pub fn origin_name(rules: &RuleSet, origin: StepOrigin) -> String {
         StepOrigin::AxiomNullLowest => "phi7 (axiom: null lowest)".to_string(),
         StepOrigin::AxiomTargetHighest => "phi8 (axiom: target highest)".to_string(),
         StepOrigin::AxiomEqualValues => "phi9 (axiom: equal values)".to_string(),
+        StepOrigin::CandidateSeed => "candidate seed (check)".to_string(),
     }
 }
 

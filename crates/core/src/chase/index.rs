@@ -12,15 +12,18 @@ use super::ground::{GroundStep, PendingPred};
 use relacc_model::{AttrId, ClassId, Value};
 use std::collections::{HashMap, VecDeque};
 
-/// Book-keeping for one ground step.
-#[derive(Debug, Clone, Default)]
-struct StepState {
+/// Book-keeping for one ground step.  `Copy` so the checkpoint/resume layer
+/// ([`crate::chase::checkpoint`]) can snapshot and undo-log step states
+/// cheaply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StepState {
     /// Number of pending predicates not yet satisfied (`n_φ`).
-    remaining: usize,
+    pub(crate) remaining: usize,
     /// The step can never fire (a target predicate evaluated to false).
-    dead: bool,
-    /// The step has been pushed to `Q` (it is pushed at most once).
-    enqueued: bool,
+    pub(crate) dead: bool,
+    /// The step has been pushed to `Q` (it is pushed at most once).  At a
+    /// chase fixpoint the queue is empty, so `enqueued` then means *fired*.
+    pub(crate) enqueued: bool,
 }
 
 /// The index `H` plus the ready queue `Q`.
@@ -175,6 +178,31 @@ impl ChaseIndex {
             }
             self.spare_target.push(waiting);
         }
+    }
+
+    /// The per-step states (checkpoint support: at a fixpoint these record
+    /// which steps fired, died, or still wait with `remaining` unsatisfied
+    /// predicates).
+    pub(crate) fn states(&self) -> &[StepState] {
+        &self.states
+    }
+
+    /// Steps still subscribed to the order event `lo ⪯ hi` on `attr`.
+    ///
+    /// After a chase run, only the subscriptions of events that never fired
+    /// survive (fired events consume their bucket) — exactly the set a
+    /// checkpointed resume may still have to dispatch.
+    pub(crate) fn order_subscribers(&self, attr: AttrId, lo: ClassId, hi: ClassId) -> &[usize] {
+        self.by_order
+            .get(&(attr, lo, hi))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Steps (with the pending-predicate index) still subscribed to
+    /// `te[attr]` becoming defined.  See [`ChaseIndex::order_subscribers`].
+    pub(crate) fn target_subscribers(&self, attr: AttrId) -> &[(usize, usize)] {
+        self.by_target.get(&attr).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of steps still waiting (neither ready, applied nor dead).  Used

@@ -52,6 +52,14 @@ pub struct ChaseStats {
     pub order_pairs_added: usize,
     /// Target attributes instantiated during the chase.
     pub target_assignments: usize,
+    /// Candidate checks that re-ran the chase from scratch.
+    pub full_checks: usize,
+    /// Candidate checks answered by a checkpointed delta replay
+    /// ([`crate::chase::checkpoint`]).
+    pub delta_checks: usize,
+    /// Ground steps replayed across all delta checks (the `O(|affected|)`
+    /// work that replaces a full `O(|Γ|)` re-chase per candidate).
+    pub delta_steps_replayed: usize,
 }
 
 impl ChaseStats {
@@ -64,6 +72,9 @@ impl ChaseStats {
         self.noop_steps += other.noop_steps;
         self.order_pairs_added += other.order_pairs_added;
         self.target_assignments += other.target_assignments;
+        self.full_checks += other.full_checks;
+        self.delta_checks += other.delta_checks;
+        self.delta_steps_replayed += other.delta_steps_replayed;
     }
 }
 
@@ -902,6 +913,9 @@ mod tests {
             noop_steps: 5,
             order_pairs_added: 6,
             target_assignments: 7,
+            full_checks: 8,
+            delta_checks: 9,
+            delta_steps_replayed: 10,
         };
         let mut b = a;
         b.merge(&a);
@@ -912,5 +926,8 @@ mod tests {
         assert_eq!(b.noop_steps, 10);
         assert_eq!(b.order_pairs_added, 12);
         assert_eq!(b.target_assignments, 14);
+        assert_eq!(b.full_checks, 16);
+        assert_eq!(b.delta_checks, 18);
+        assert_eq!(b.delta_steps_replayed, 20);
     }
 }

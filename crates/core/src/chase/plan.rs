@@ -48,6 +48,7 @@
 //! }
 //! ```
 
+use super::checkpoint::{ChaseCheckpoint, CheckScratch, CheckpointRun};
 use super::ground::{ground_master_rules, ground_tuple_rules, Grounding, PendingPred, StepAction};
 use super::index::ChaseIndex;
 use super::iscr::{chase_parts, ChaseRun};
@@ -214,6 +215,31 @@ impl ChasePlan {
         )
     }
 
+    /// Run `IsCR` for one entity **and** freeze the terminal state as a
+    /// [`ChaseCheckpoint`]: one chase serves both the deduction and any
+    /// subsequent candidate checks (the batch engine's suggestion path).
+    ///
+    /// The worker's index is moved into the run (its allocations are reused)
+    /// and ends up inside the checkpoint; when the entity turns out to need
+    /// no candidate checks, hand it back with
+    /// [`ChaseScratch::restore_index`] + [`ChaseCheckpoint::into_index`].
+    pub fn checkpoint_with(
+        &self,
+        ie: &EntityInstance,
+        scratch: &mut ChaseScratch,
+    ) -> CheckpointRun {
+        let orders = AccuracyOrders::new(ie);
+        self.instantiate_into(ie, &orders, &mut scratch.grounding, &mut scratch.seen);
+        ChaseCheckpoint::capture_with_index(
+            ie,
+            &self.rules,
+            &scratch.grounding,
+            orders,
+            &TargetTuple::empty(self.schema.arity()),
+            std::mem::take(&mut scratch.index),
+        )
+    }
+
     /// Re-run the chase over the grounding left in `scratch` by the last
     /// [`ChasePlan::chase_with`] / [`ChasePlan::is_cr_with`] call for the same
     /// entity — used to `check` candidate targets without re-grounding.
@@ -235,12 +261,14 @@ impl ChasePlan {
 }
 
 /// Reusable per-worker buffers for plan evaluation: the grounding, the step
-/// dedup set and the event index.  One scratch per worker thread; never shared.
+/// dedup set, the event index and the checkpointed-check scratch.  One
+/// scratch per worker thread; never shared.
 #[derive(Debug, Default)]
 pub struct ChaseScratch {
     grounding: Grounding,
     seen: HashSet<(StepAction, Vec<PendingPred>)>,
     index: ChaseIndex,
+    check: CheckScratch,
 }
 
 impl ChaseScratch {
@@ -253,6 +281,27 @@ impl ChaseScratch {
     /// suggestion search to reuse `Γ` for candidate checks).
     pub fn grounding(&self) -> &Grounding {
         &self.grounding
+    }
+
+    /// The worker's resumed-check scratch (see
+    /// [`crate::chase::checkpoint::CheckScratch`]).
+    pub fn check_scratch(&mut self) -> &mut CheckScratch {
+        &mut self.check
+    }
+
+    /// Split borrow: the cached grounding plus the check scratch, for callers
+    /// that prepare a candidate search over the grounding *and* run
+    /// checkpointed checks with the same worker scratch (the batch engine's
+    /// suggestion path).
+    pub fn grounding_and_check(&mut self) -> (&Grounding, &mut CheckScratch) {
+        (&self.grounding, &mut self.check)
+    }
+
+    /// Hand back an index previously moved out by
+    /// [`ChasePlan::checkpoint_with`] (via [`ChaseCheckpoint::into_index`]),
+    /// so its allocations keep being reused across the worker's entities.
+    pub fn restore_index(&mut self, index: ChaseIndex) {
+        self.index = index;
     }
 }
 

@@ -94,7 +94,8 @@ pub mod chase;
 pub mod rules;
 
 pub use chase::{
-    chase_with_grounding, deduced_target, is_cr, naive_is_cr, AccuracyInstance, ChasePlan,
-    ChaseRun, ChaseScratch, ChaseStats, Conflict, Grounding, IsCrOutcome, Specification,
+    chase_with_grounding, deduced_target, is_cr, naive_is_cr, AccuracyInstance, ChaseCheckpoint,
+    ChasePlan, ChaseRun, ChaseScratch, ChaseStats, CheckScratch, Conflict, Grounding, IsCrOutcome,
+    Specification,
 };
 pub use rules::{AccuracyRule, AxiomConfig, MasterRule, RuleSet, TupleRule};

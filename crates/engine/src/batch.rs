@@ -21,12 +21,13 @@
 
 use crate::pool::{effective_threads, par_map_with};
 use relacc_core::chase::SpecificationError;
-use relacc_core::chase::{ChasePlan, ChaseScratch};
-use relacc_core::{ChaseStats, Conflict, IsCrOutcome, RuleSet};
+use relacc_core::chase::{ChaseCheckpoint, ChasePlan, ChaseScratch, CheckpointOutcome};
+use relacc_core::{ChaseStats, Conflict, RuleSet};
 use relacc_model::{EntityInstance, MasterRelation, SchemaRef, TargetTuple, Tuple, Value};
 use relacc_resolve::{resolve_relation, ResolveConfig, ResolvedEntities};
 use relacc_store::Relation;
-use relacc_topk::{topkct, CandidateSearch, PreferenceModel};
+use relacc_topk::{topkct_with, CandidateSearch, PreferenceModel};
+use std::sync::Arc;
 
 /// Configuration of a batch run.
 #[derive(Debug, Clone)]
@@ -371,11 +372,14 @@ impl BatchEngine {
         ie: &EntityInstance,
         scratch: &mut ChaseScratch,
     ) -> EntityResult {
-        let run = self.plan.is_cr_with(ie, scratch);
-        let stats = run.stats;
-        let instance = match run.outcome {
-            IsCrOutcome::ChurchRosser(instance) => instance,
-            IsCrOutcome::NotChurchRosser(conflict) => {
+        // One chase serves both the deduction and (for incomplete targets)
+        // the candidate checks: capture the base fixpoint as a checkpoint,
+        // reusing the worker's warmed index allocations.
+        let run = self.plan.checkpoint_with(ie, scratch);
+        let mut stats = run.stats;
+        let checkpoint = match run.outcome {
+            CheckpointOutcome::Ready(checkpoint) => checkpoint,
+            CheckpointOutcome::NotChurchRosser(conflict) => {
                 return EntityResult {
                     entity: idx,
                     records: Vec::new(),
@@ -388,12 +392,19 @@ impl BatchEngine {
                 };
             }
         };
-        let deduced = instance.target;
-        if deduced.is_complete() {
+        let deduced = checkpoint.target().clone();
+        if deduced.is_complete() || self.config.suggestion_k == 0 {
+            // no candidate checks needed: hand the index back to the scratch
+            scratch.restore_index(checkpoint.into_index());
+            let outcome = if deduced.is_complete() {
+                EntityOutcome::Complete
+            } else {
+                EntityOutcome::NeedsUser
+            };
             return EntityResult {
                 entity: idx,
                 records: Vec::new(),
-                outcome: EntityOutcome::Complete,
+                outcome,
                 deduced,
                 suggestion: None,
                 suggestion_error: None,
@@ -401,26 +412,30 @@ impl BatchEngine {
                 stats,
             };
         }
-        let (suggestion, suggestion_error) = if self.config.suggestion_k > 0 {
-            // reuse the grounding the chase above left in the scratch
-            let spec = self.plan.specification(ie.clone());
-            let preference = PreferenceModel::occurrence(&spec, self.config.suggestion_k);
-            match CandidateSearch::prepare_with_grounding(&spec, scratch.grounding(), preference) {
-                Ok(search) => (
-                    topkct(&search)
-                        .candidates
-                        .into_iter()
-                        .next()
-                        .map(|c| c.target),
-                    None,
-                ),
-                // a preparation failure is not the same thing as "no candidate
-                // was available": report it instead of reclassifying silently
-                Err(err) => (None, Some(err.to_string())),
-            }
-        } else {
-            (None, None)
+        // Suggestion search resuming every check from the captured checkpoint
+        // through the worker's resumed-check buffers; afterwards the index
+        // returns to the scratch for the next entity.
+        let spec = self.plan.specification(ie.clone());
+        let preference = PreferenceModel::occurrence(&spec, self.config.suggestion_k);
+        let checkpoint: Arc<ChaseCheckpoint> = Arc::from(checkpoint);
+        let suggestion = {
+            let (grounding, check_scratch) = scratch.grounding_and_check();
+            let search = CandidateSearch::prepare_with_checkpoint(
+                &spec,
+                grounding,
+                checkpoint.clone(),
+                preference,
+            )
+            .expect("preparing over an already-captured checkpoint cannot fail");
+            let result = topkct_with(&search, check_scratch);
+            stats.full_checks += result.stats.full_checks;
+            stats.delta_checks += result.stats.delta_checks;
+            stats.delta_steps_replayed += result.stats.delta_steps_replayed;
+            result.candidates.into_iter().next().map(|c| c.target)
         };
+        if let Ok(checkpoint) = Arc::try_unwrap(checkpoint) {
+            scratch.restore_index(checkpoint.into_index());
+        }
         let outcome = if suggestion.is_some() {
             EntityOutcome::Suggested
         } else {
@@ -432,7 +447,7 @@ impl BatchEngine {
             outcome,
             deduced,
             suggestion,
-            suggestion_error,
+            suggestion_error: None,
             conflict: None,
             stats,
         }
@@ -604,6 +619,10 @@ mod tests {
         let with = BatchEngine::new(s.clone(), RuleSet::new(), vec![]).unwrap();
         let report = with.run(std::slice::from_ref(&ie));
         assert_eq!(report.entities[0].outcome, EntityOutcome::Suggested);
+        // the suggestion search runs on the checkpointed check path, and its
+        // counters surface in the aggregated chase stats
+        assert!(report.stats.delta_checks >= 1);
+        assert_eq!(report.stats.full_checks, 0);
         assert_eq!(
             report.entities[0]
                 .suggestion

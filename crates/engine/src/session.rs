@@ -1,4 +1,4 @@
-//! Ground-once state for interactive sessions.
+//! Ground-once, checkpoint-once state for interactive sessions.
 //!
 //! The interactive framework (Fig. 3 of the paper, `relacc-framework`)
 //! repeatedly re-deduces the target while the user reveals values: only the
@@ -7,18 +7,33 @@
 //! target, so an [`EntitySession`] computes `Γ` once when the session opens
 //! and reuses it for every round's deduction and candidate search — the seed
 //! implementation re-ground the specification from scratch on every round.
+//!
+//! On top of the grounding, the session keeps **one chase checkpoint per
+//! template** ([`relacc_core::chase::ChaseCheckpoint`]): the base deduction of
+//! a round is captured once and every candidate `check` of that round resumes
+//! from it, replaying only the delta the candidate's `Z` values trigger.  The
+//! session also owns the [`CheckScratch`] carrying the resumed-check working
+//! copies, so the undo-log buffers survive across rounds instead of being
+//! reallocated per search.
 
-use relacc_core::chase::{ground, Grounding};
+use relacc_core::chase::{ground, ChaseCheckpoint, CheckScratch, CheckpointOutcome, Grounding};
 use relacc_core::Specification;
 use relacc_model::{AccuracyOrders, TargetTuple};
 use relacc_topk::{CandidateSearch, PreferenceModel, TopKError};
+use std::sync::Arc;
 
-/// One entity's session state: the (mutable-template) specification plus its
-/// grounding, computed once.
-#[derive(Debug, Clone)]
+/// One entity's session state: the (mutable-template) specification, its
+/// grounding (computed once), the current template's chase checkpoint and the
+/// resumed-check scratch.
+#[derive(Debug)]
 pub struct EntitySession {
     spec: Specification,
     grounding: Grounding,
+    /// The base-run checkpoint of the *current* template; invalidated by
+    /// [`EntitySession::set_template`], captured lazily on the next search.
+    checkpoint: Option<Arc<ChaseCheckpoint>>,
+    /// Working buffers for resumed candidate checks, reused across rounds.
+    check_scratch: CheckScratch,
 }
 
 impl EntitySession {
@@ -26,7 +41,12 @@ impl EntitySession {
     pub fn open(spec: Specification) -> Self {
         let orders = AccuracyOrders::new(&spec.ie);
         let grounding = ground(&spec, &orders);
-        EntitySession { spec, grounding }
+        EntitySession {
+            spec,
+            grounding,
+            checkpoint: None,
+            check_scratch: CheckScratch::new(),
+        }
     }
 
     /// The current specification (including the working target template).
@@ -40,15 +60,62 @@ impl EntitySession {
     }
 
     /// Replace the working initial-target template (after user feedback).
-    /// The grounding stays valid: `Γ` does not depend on the template.
+    /// The grounding stays valid — `Γ` does not depend on the template — but
+    /// the chase checkpoint belongs to the old template and is dropped; the
+    /// next search captures a fresh one.
     pub fn set_template(&mut self, template: TargetTuple) {
         self.spec.initial_target = template;
+        self.checkpoint = None;
     }
 
     /// Deduce + collect candidates for the current template, reusing the
     /// session grounding instead of re-running `Instantiation`.
+    ///
+    /// Each call captures its own checkpoint; interactive callers that also
+    /// want the session's cached checkpoint and scratch use
+    /// [`EntitySession::search_with_scratch`].
     pub fn search(&self, preference: PreferenceModel) -> Result<CandidateSearch<'_>, TopKError> {
         CandidateSearch::prepare_with_grounding(&self.spec, &self.grounding, preference)
+    }
+
+    /// Deduce + collect candidates for the current template, reusing the
+    /// session's grounding, its cached chase checkpoint (captured on first
+    /// use per template) *and* its resumed-check scratch.
+    ///
+    /// Returns the search together with the scratch to thread into
+    /// `topkct_with` / `topkcth_with` / `rank_join_ct_with`.
+    pub fn search_with_scratch(
+        &mut self,
+        preference: PreferenceModel,
+    ) -> Result<(CandidateSearch<'_>, &mut CheckScratch), TopKError> {
+        if self.checkpoint.is_none() {
+            let run = ChaseCheckpoint::capture(
+                &self.spec.ie,
+                &self.spec.rules,
+                &self.grounding,
+                &self.spec.initial_target,
+            );
+            match run.outcome {
+                CheckpointOutcome::Ready(checkpoint) => {
+                    self.checkpoint = Some(Arc::from(checkpoint));
+                }
+                CheckpointOutcome::NotChurchRosser(conflict) => {
+                    return Err(TopKError::NotChurchRosser(conflict));
+                }
+            }
+        }
+        let checkpoint = self
+            .checkpoint
+            .as_ref()
+            .expect("checkpoint captured above")
+            .clone();
+        let search = CandidateSearch::prepare_with_checkpoint(
+            &self.spec,
+            &self.grounding,
+            checkpoint,
+            preference,
+        )?;
+        Ok((search, &mut self.check_scratch))
     }
 }
 
@@ -57,9 +124,9 @@ mod tests {
     use super::*;
     use relacc_core::rules::{Predicate, RuleSet, TupleRule};
     use relacc_model::{AttrId, CmpOp, DataType, EntityInstance, Schema, Value};
+    use relacc_topk::topkct_with;
 
-    #[test]
-    fn session_reuses_grounding_across_template_changes() {
+    fn session_spec() -> Specification {
         let schema = Schema::builder("r")
             .attr("rnds", DataType::Int)
             .attr("team", DataType::Text)
@@ -78,8 +145,12 @@ mod tests {
             vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
             schema.expect_attr("rnds"),
         )]);
-        let spec = Specification::new(ie, rules);
-        let mut session = EntitySession::open(spec);
+        Specification::new(ie, rules)
+    }
+
+    #[test]
+    fn session_reuses_grounding_across_template_changes() {
+        let mut session = EntitySession::open(session_spec());
         let ground_steps = session.grounding().steps.len();
 
         let pref = PreferenceModel::occurrence(session.spec(), 3);
@@ -90,6 +161,7 @@ mod tests {
         // the user reveals the team; the same grounding keeps serving
         let mut template = search.deduced.clone();
         template.set(AttrId(1), Value::text("Chicago Bulls"));
+        drop(search);
         session.set_template(template);
         assert_eq!(session.grounding().steps.len(), ground_steps);
         let pref = PreferenceModel::occurrence(session.spec(), 3);
@@ -99,5 +171,33 @@ mod tests {
             search.deduced.value(AttrId(1)),
             &Value::text("Chicago Bulls")
         );
+    }
+
+    #[test]
+    fn session_checkpoint_is_captured_once_per_template() {
+        let mut session = EntitySession::open(session_spec());
+        let pref = PreferenceModel::occurrence(session.spec(), 3);
+        let (search, scratch) = session.search_with_scratch(pref).unwrap();
+        let result = topkct_with(&search, scratch);
+        assert!(!result.candidates.is_empty());
+        assert!(result.stats.delta_checks > 0);
+        assert_eq!(result.stats.full_checks, 0);
+        let first_ck = search.checkpoint().clone();
+        drop(search);
+
+        // same template: the cached checkpoint is reused
+        let pref = PreferenceModel::occurrence(session.spec(), 3);
+        let (search, _) = session.search_with_scratch(pref).unwrap();
+        assert!(Arc::ptr_eq(&first_ck, search.checkpoint()));
+        drop(search);
+
+        // template change: the checkpoint is recaptured
+        let mut template = first_ck.target().clone();
+        template.set(AttrId(1), Value::text("Chicago Bulls"));
+        session.set_template(template);
+        let pref = PreferenceModel::occurrence(session.spec(), 3);
+        let (search, _) = session.search_with_scratch(pref).unwrap();
+        assert!(!Arc::ptr_eq(&first_ck, search.checkpoint()));
+        assert!(search.deduced.is_complete());
     }
 }

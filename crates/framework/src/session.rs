@@ -11,7 +11,9 @@ use crate::oracle::{UserOracle, UserResponse};
 use relacc_core::{Conflict, Specification};
 use relacc_engine::EntitySession;
 use relacc_model::TargetTuple;
-use relacc_topk::{rank_join_ct, topkct, topkcth, PreferenceModel, ScoreSource, TopKStats};
+use relacc_topk::{
+    rank_join_ct_with, topkct_with, topkcth_with, PreferenceModel, ScoreSource, TopKStats,
+};
 
 /// Which top-k algorithm the framework uses in step (3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,7 +97,10 @@ pub struct SessionReport {
 /// The session goes through the engine's [`EntitySession`]: the specification
 /// is grounded **once** when the session opens, and every round's deduction
 /// and candidate search reuse that grounding — only the initial-target
-/// template changes between rounds.
+/// template changes between rounds.  Each round's deduction is captured as a
+/// chase checkpoint and every candidate `check` of the round resumes from it;
+/// the resumed-check scratch lives in the session and is reused across all
+/// interaction rounds.
 pub fn run_session<O: UserOracle>(
     spec: &Specification,
     config: &SessionConfig,
@@ -109,7 +114,7 @@ pub fn run_session<O: UserOracle>(
         // Steps (1) + (2): Church-Rosser check and target deduction.
         let preference =
             PreferenceModel::new(session.spec(), config.k, config.score_source.clone());
-        let search = match session.search(preference) {
+        let (search, check_scratch) = match session.search_with_scratch(preference) {
             Ok(s) => s,
             Err(relacc_topk::TopKError::NotChurchRosser(conflict)) => {
                 return SessionReport {
@@ -137,15 +142,14 @@ pub fn run_session<O: UserOracle>(
             };
         }
 
-        // Step (3): compute suggestions.
+        // Step (3): compute suggestions, resuming every check from the
+        // round's checkpoint with the session-owned scratch.
         let result = match config.algorithm {
-            TopKAlgorithm::TopKCT => topkct(&search),
-            TopKAlgorithm::TopKCTh => topkcth(&search),
-            TopKAlgorithm::RankJoinCT => rank_join_ct(&search),
+            TopKAlgorithm::TopKCT => topkct_with(&search, check_scratch),
+            TopKAlgorithm::TopKCTh => topkcth_with(&search, check_scratch),
+            TopKAlgorithm::RankJoinCT => rank_join_ct_with(&search, check_scratch),
         };
-        total_stats.checks += result.stats.checks;
-        total_stats.generated += result.stats.generated;
-        total_stats.pops += result.stats.pops;
+        total_stats.merge(&result.stats);
 
         // Step (4): user feedback.
         rounds += 1;
@@ -160,7 +164,7 @@ pub fn run_session<O: UserOracle>(
                 };
             }
             UserResponse::ProvideValue(attr, value) => {
-                let mut template = session.spec().initial_target.clone();
+                let mut template = search.spec.initial_target.clone();
                 // the revealed value joins whatever the chase already deduced
                 for a in spec.ie.schema().attr_ids() {
                     if template.is_null(a) && !search.deduced.is_null(a) {

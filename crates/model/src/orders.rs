@@ -226,6 +226,23 @@ impl AttrOrder {
         OrderInsert::Added(added)
     }
 
+    /// Remove a class pair previously reported in the `Added` list of
+    /// [`AttrOrder::insert_class_le`] — the undo primitive of the chase
+    /// checkpoint/resume layer.
+    ///
+    /// The caller must retract exactly the pairs of one or more `Added` lists
+    /// (in reverse insertion order) to restore the order to its prior state;
+    /// retracting anything else breaks the transitive-closure invariants.
+    pub fn retract_class_le(&mut self, a: ClassId, b: ClassId) {
+        debug_assert!(
+            self.succ[a.0].contains(b.0),
+            "retracting a pair that is not present"
+        );
+        self.succ[a.0].remove(b.0);
+        self.pred[b.0].remove(a.0);
+        self.edges -= 1;
+    }
+
     /// Would inserting `a ⪯ b` be a conflict?  (Read-only validity probe used
     /// by the Church-Rosser check.)
     pub fn would_conflict(&self, a: ClassId, b: ClassId) -> bool {
@@ -427,6 +444,33 @@ mod tests {
         assert!(ord.holds_lt(TupleId(2), TupleId(1)));
         assert_eq!(ord.insert_le(TupleId(2), TupleId(1)), OrderInsert::NoChange);
         ord.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retract_undoes_an_added_list_exactly() {
+        let ie = instance();
+        let mut ord = AttrOrder::new(&ie, AttrId(0));
+        ord.insert_le(TupleId(2), TupleId(0)); // 1 ⪯ 16
+        let baseline = ord.clone();
+        let added = match ord.insert_le(TupleId(0), TupleId(1)) {
+            OrderInsert::Added(pairs) => pairs,
+            other => panic!("expected Added, got {other:?}"),
+        };
+        assert!(ord.holds_lt(TupleId(2), TupleId(1)));
+        for (a, b) in added.into_iter().rev() {
+            ord.retract_class_le(a, b);
+        }
+        assert_eq!(ord.edge_count(), baseline.edge_count());
+        assert!(!ord.holds_lt(TupleId(2), TupleId(1)));
+        assert!(!ord.holds_lt(TupleId(0), TupleId(1)));
+        assert!(ord.holds_lt(TupleId(2), TupleId(0)));
+        ord.check_invariants().unwrap();
+        // re-inserting after the retract behaves like the first time
+        assert!(matches!(
+            ord.insert_le(TupleId(0), TupleId(1)),
+            OrderInsert::Added(_)
+        ));
+        assert!(ord.holds_lt(TupleId(2), TupleId(1)));
     }
 
     #[test]

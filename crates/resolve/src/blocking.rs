@@ -23,22 +23,64 @@ pub enum BlockingStrategy {
 
 /// Compute the blocking key of a record over the given key attributes:
 /// lower-cased, whitespace-normalized concatenation of the key values
-/// (nulls contribute nothing).
+/// (nulls contribute nothing).  Convenience wrapper over
+/// [`write_blocking_key`]; hot paths reuse one `String` buffer instead.
 pub fn blocking_key(tuple: &Tuple, key_attrs: &[AttrId]) -> String {
-    let mut parts: Vec<String> = Vec::with_capacity(key_attrs.len());
+    let mut out = String::new();
+    write_blocking_key(tuple, key_attrs, &mut out);
+    out
+}
+
+/// Append the blocking key of a record to `out` in a single pass: text values
+/// are lower-cased and whitespace-normalized character by character, other
+/// values are formatted straight into the buffer — no intermediate `String`s
+/// (the previous implementation built three per value:
+/// `to_string().to_lowercase().split_whitespace()…join`).
+pub fn write_blocking_key(tuple: &Tuple, key_attrs: &[AttrId], out: &mut String) {
+    use std::fmt::Write;
+    let mut first = true;
     for &attr in key_attrs {
-        match tuple.value(attr) {
-            Value::Null => {}
-            v => parts.push(
-                v.to_string()
-                    .to_lowercase()
-                    .split_whitespace()
-                    .collect::<Vec<_>>()
-                    .join(" "),
-            ),
+        let value = tuple.value(attr);
+        if value.is_null() {
+            continue;
+        }
+        if !first {
+            out.push('|');
+        }
+        first = false;
+        match value {
+            Value::Str(s) => push_normalized(out, s),
+            other => {
+                // numeric / bool renderings contain neither uppercase letters
+                // nor whitespace, so they need no normalization pass
+                write!(out, "{other}").expect("writing to a String cannot fail");
+            }
         }
     }
-    parts.join("|")
+}
+
+/// Push `s` lower-cased with runs of whitespace collapsed to single spaces
+/// and leading/trailing whitespace dropped (the `split_whitespace` + `join`
+/// normalization, without materializing the token list).
+fn push_normalized(out: &mut String, s: &str) {
+    let mut pending_space = false;
+    let mut emitted = false;
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            pending_space = emitted;
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        if ch.is_uppercase() {
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+        emitted = true;
+    }
 }
 
 /// Groups record indices into candidate blocks.
@@ -61,10 +103,20 @@ impl Blocker {
 
     /// The block identifier of a record.
     pub fn block_of(&self, tuple: &Tuple) -> String {
-        let key = blocking_key(tuple, &self.key_attrs);
-        match self.strategy {
-            BlockingStrategy::ExactKey => key,
-            BlockingStrategy::Prefix(n) => key.chars().take(n).collect(),
+        let mut out = String::new();
+        self.write_block_of(tuple, &mut out);
+        out
+    }
+
+    /// Write the block identifier of a record into `out` (cleared first), so
+    /// a blocking pass reuses one buffer across all records.
+    pub fn write_block_of(&self, tuple: &Tuple, out: &mut String) {
+        out.clear();
+        write_blocking_key(tuple, &self.key_attrs, out);
+        if let BlockingStrategy::Prefix(n) = self.strategy {
+            if let Some((cut, _)) = out.char_indices().nth(n) {
+                out.truncate(cut);
+            }
         }
     }
 
@@ -75,12 +127,16 @@ impl Blocker {
     pub fn blocks(&self, tuples: &[Tuple]) -> Vec<Vec<usize>> {
         let mut by_key: HashMap<String, Vec<usize>> = HashMap::new();
         let mut singletons: Vec<Vec<usize>> = Vec::new();
+        let mut key = String::new();
         for (idx, tuple) in tuples.iter().enumerate() {
-            let key = self.block_of(tuple);
+            self.write_block_of(tuple, &mut key);
             if key.is_empty() {
                 singletons.push(vec![idx]);
+            } else if let Some(block) = by_key.get_mut(key.as_str()) {
+                block.push(idx);
             } else {
-                by_key.entry(key).or_default().push(idx);
+                // the key string is only cloned once per distinct block
+                by_key.insert(key.clone(), vec![idx]);
             }
         }
         let mut blocks: Vec<Vec<usize>> = by_key.into_values().collect();
@@ -146,6 +202,23 @@ mod tests {
         let blocks = blocker.blocks(&tuples);
         assert_eq!(blocks.len(), 2);
         assert_eq!(blocks[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn write_block_of_reuses_one_buffer() {
+        let tuples = vec![
+            t("Michael  Jordan", "Bulls"),
+            Tuple::new(vec![Value::Int(42), Value::Bool(true)]),
+            Tuple::new(vec![Value::Null, Value::text("  Spaced   Out  ")]),
+        ];
+        let blocker = Blocker::new(vec![AttrId(0), AttrId(1)], BlockingStrategy::Prefix(9));
+        let mut buf = String::from("stale content from the previous record");
+        for tuple in &tuples {
+            blocker.write_block_of(tuple, &mut buf);
+            assert_eq!(buf, blocker.block_of(tuple), "buffer and fresh key agree");
+        }
+        // the last record: null contributes nothing, text is trimmed/collapsed
+        assert_eq!(buf, "spaced ou");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub mod blocking;
 pub mod resolve;
 pub mod similarity;
 
-pub use blocking::{blocking_key, Blocker, BlockingStrategy};
+pub use blocking::{blocking_key, write_blocking_key, Blocker, BlockingStrategy};
 pub use resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
-pub use similarity::{jaccard_tokens, levenshtein, normalized_levenshtein, record_similarity};
+pub use similarity::{
+    jaccard_tokens, levenshtein, levenshtein_with, normalized_levenshtein, record_similarity,
+    record_similarity_with, SimilarityScratch,
+};

@@ -7,7 +7,7 @@
 //! transitive within a block.
 
 use crate::blocking::{Blocker, BlockingStrategy};
-use crate::similarity::record_similarity;
+use crate::similarity::{record_similarity_with, SimilarityScratch};
 use relacc_model::{AttrId, EntityInstance, Tuple};
 use relacc_store::Relation;
 
@@ -151,17 +151,24 @@ pub fn resolve_relation(relation: &Relation, config: &ResolveConfig) -> Resolved
 
     let mut uf = UnionFind::new(rows.len());
     let mut decisions = Vec::new();
+    // whole-record fallback attributes, computed once instead of per pair
+    let all_attrs: Vec<AttrId> = if match_attrs.is_empty() {
+        schema.attr_ids().collect()
+    } else {
+        Vec::new()
+    };
+    // one similarity scratch serves every O(block²) comparison of the pass
+    let mut scratch = SimilarityScratch::new();
     for block in &blocks {
         for i in 0..block.len() {
             for j in (i + 1)..block.len() {
                 let (a, b) = (block[i], block[j]);
-                let similarity = if match_attrs.is_empty() {
-                    // no usable match attribute: fall back to whole-record
-                    let all: Vec<AttrId> = schema.attr_ids().collect();
-                    record_similarity(&rows[a], &rows[b], &all)
+                let attrs = if match_attrs.is_empty() {
+                    &all_attrs
                 } else {
-                    record_similarity(&rows[a], &rows[b], &match_attrs)
+                    &match_attrs
                 };
+                let similarity = record_similarity_with(&rows[a], &rows[b], attrs, &mut scratch);
                 let matched = similarity >= config.threshold;
                 if matched {
                     uf.union(a, b);

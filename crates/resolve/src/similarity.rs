@@ -8,33 +8,73 @@
 
 use relacc_model::{Tuple, Value};
 
+/// Caller-reusable buffers for the string-similarity hot path: the two DP
+/// rows and the two decoded-`char` buffers of [`levenshtein_with`].
+///
+/// Entity resolution compares `O(block²)` record pairs; with one scratch
+/// threaded through [`record_similarity_with`] the whole pass touches the
+/// allocator a constant number of times instead of four times per string
+/// comparison.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityScratch {
+    prev: Vec<usize>,
+    curr: Vec<usize>,
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+}
+
+impl SimilarityScratch {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        SimilarityScratch::default()
+    }
+}
+
 /// Classic dynamic-programming Levenshtein edit distance between two strings.
 ///
-/// Runs in `O(|a| · |b|)` time and `O(min(|a|, |b|))` space.
+/// Runs in `O(|a| · |b|)` time and `O(min(|a|, |b|))` space.  Convenience
+/// wrapper over [`levenshtein_with`] paying one scratch allocation per call;
+/// hot paths keep a [`SimilarityScratch`] and call the `_with` form.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() {
-        return b.len();
+    levenshtein_with(a, b, &mut SimilarityScratch::new())
+}
+
+/// [`levenshtein`] over caller-reusable buffers: two-row DP, no per-call
+/// allocations once the scratch has warmed up.
+pub fn levenshtein_with(a: &str, b: &str, scratch: &mut SimilarityScratch) -> usize {
+    let SimilarityScratch {
+        prev,
+        curr,
+        a_chars,
+        b_chars,
+    } = scratch;
+    a_chars.clear();
+    a_chars.extend(a.chars());
+    b_chars.clear();
+    b_chars.extend(b.chars());
+    if a_chars.is_empty() {
+        return b_chars.len();
     }
-    if b.is_empty() {
-        return a.len();
+    if b_chars.is_empty() {
+        return a_chars.len();
     }
-    // keep the shorter string in the inner dimension to bound memory
-    let (outer, inner) = if a.len() >= b.len() {
-        (&a, &b)
+    // keep the shorter string in the inner dimension to bound the row length
+    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+        (&*a_chars, &*b_chars)
     } else {
-        (&b, &a)
+        (&*b_chars, &*a_chars)
     };
-    let mut prev: Vec<usize> = (0..=inner.len()).collect();
-    let mut curr: Vec<usize> = vec![0; inner.len() + 1];
+    prev.clear();
+    prev.extend(0..=inner.len());
+    curr.clear();
+    curr.resize(inner.len() + 1, 0);
     for (i, oc) in outer.iter().enumerate() {
         curr[0] = i + 1;
         for (j, ic) in inner.iter().enumerate() {
             let substitution = prev[j] + usize::from(oc != ic);
             curr[j + 1] = substitution.min(prev[j + 1] + 1).min(curr[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[inner.len()]
 }
@@ -42,11 +82,18 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 /// Levenshtein distance normalized to a similarity in `[0, 1]`
 /// (1.0 = identical, 0.0 = nothing in common).
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
-    let longest = a.chars().count().max(b.chars().count());
+    normalized_levenshtein_with(a, b, &mut SimilarityScratch::new())
+}
+
+/// [`normalized_levenshtein`] over caller-reusable buffers.
+pub fn normalized_levenshtein_with(a: &str, b: &str, scratch: &mut SimilarityScratch) -> f64 {
+    let distance = levenshtein_with(a, b, scratch);
+    // the char buffers still hold both decoded strings
+    let longest = scratch.a_chars.len().max(scratch.b_chars.len());
     if longest == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / longest as f64
+    1.0 - distance as f64 / longest as f64
 }
 
 /// Jaccard similarity of the whitespace-delimited, lower-cased token sets of
@@ -76,11 +123,16 @@ pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
 /// * text values → the maximum of normalized Levenshtein and token Jaccard;
 /// * other types → 1.0 on equality, 0.0 otherwise.
 pub fn value_similarity(a: &Value, b: &Value) -> Option<f64> {
+    value_similarity_with(a, b, &mut SimilarityScratch::new())
+}
+
+/// [`value_similarity`] over caller-reusable buffers.
+pub fn value_similarity_with(a: &Value, b: &Value, scratch: &mut SimilarityScratch) -> Option<f64> {
     match (a, b) {
         (Value::Null, Value::Null) => None,
         (Value::Null, _) | (_, Value::Null) => Some(0.0),
         (Value::Str(x), Value::Str(y)) => {
-            Some(normalized_levenshtein(x, y).max(jaccard_tokens(x, y)))
+            Some(normalized_levenshtein_with(x, y, scratch).max(jaccard_tokens(x, y)))
         }
         _ => Some(if a.same(b) { 1.0 } else { 0.0 }),
     }
@@ -90,10 +142,22 @@ pub fn value_similarity(a: &Value, b: &Value) -> Option<f64> {
 /// the mean of the per-attribute value similarities, ignoring attribute pairs
 /// where both sides are null.  Returns 0.0 when no attribute provides evidence.
 pub fn record_similarity(a: &Tuple, b: &Tuple, attrs: &[relacc_model::AttrId]) -> f64 {
+    record_similarity_with(a, b, attrs, &mut SimilarityScratch::new())
+}
+
+/// [`record_similarity`] over caller-reusable buffers — the form
+/// [`crate::resolve_relation`] threads through its `O(block²)` comparison
+/// loop.
+pub fn record_similarity_with(
+    a: &Tuple,
+    b: &Tuple,
+    attrs: &[relacc_model::AttrId],
+    scratch: &mut SimilarityScratch,
+) -> f64 {
     let mut total = 0.0;
     let mut counted = 0usize;
     for &attr in attrs {
-        if let Some(sim) = value_similarity(a.value(attr), b.value(attr)) {
+        if let Some(sim) = value_similarity_with(a.value(attr), b.value(attr), scratch) {
             total += sim;
             counted += 1;
         }
@@ -127,6 +191,34 @@ mod tests {
         for (a, b) in pairs {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
         }
+    }
+
+    #[test]
+    fn shared_scratch_matches_fresh_buffers() {
+        // one scratch across differently-sized comparisons must not leak rows
+        let mut scratch = SimilarityScratch::new();
+        let pairs = [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("a much longer string than before", "short"),
+            ("flaw", "lawn"),
+            ("", ""),
+            ("Jordan", "jordan"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein_with(a, b, &mut scratch), levenshtein(a, b));
+            assert_eq!(
+                normalized_levenshtein_with(a, b, &mut scratch),
+                normalized_levenshtein(a, b)
+            );
+        }
+        let x = Tuple::new(vec![Value::text("Michael Jordan"), Value::Int(23)]);
+        let y = Tuple::new(vec![Value::text("Michael  Jordan"), Value::Int(23)]);
+        let attrs = [AttrId(0), AttrId(1)];
+        assert_eq!(
+            record_similarity_with(&x, &y, &attrs, &mut scratch),
+            record_similarity(&x, &y, &attrs)
+        );
     }
 
     #[test]

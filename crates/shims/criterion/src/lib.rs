@@ -13,11 +13,21 @@
 //! iteration.  There are no plots, no statistics beyond that, and no saved
 //! baselines — enough to compare alternatives in one run, which is all the
 //! in-tree benches need.
+//!
+//! Setting `RELACC_BENCH_SMOKE=1` switches every benchmark to a single
+//! one-iteration sample with no warm-up: CI uses it to *run* (not just
+//! compile) every bench group cheaply, so bench code cannot silently rot.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// True when `RELACC_BENCH_SMOKE` is set: one iteration per benchmark, no
+/// warm-up (the CI bench-smoke mode).
+fn smoke_mode() -> bool {
+    std::env::var_os("RELACC_BENCH_SMOKE").is_some()
+}
 
 /// Re-export of the hint used by benches (`criterion::black_box` is the same
 /// function in recent criterion versions).
@@ -78,6 +88,16 @@ pub struct Bencher {
 impl Bencher {
     /// Measure `routine`, running it repeatedly.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if smoke_mode() {
+            // CI smoke: exercise the routine exactly once and record the
+            // single observation
+            self.iters_per_sample = 1;
+            self.samples.clear();
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
         // warm-up: run until ~50ms have passed (at least once) to settle caches
         // and decide how many iterations one sample needs
         let warmup_start = Instant::now();

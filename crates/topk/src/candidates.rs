@@ -5,17 +5,25 @@
 //! non-null attribute, (b) takes its remaining values from the attribute
 //! domains, and (c) is itself chase-consistent: the specification
 //! `S' = (D0, Σ, Im, t'_e)` is Church-Rosser and deduces `t'_e`.
-//! [`CandidateSearch::check`] implements condition (c) by re-running the chase
-//! over the pre-computed grounding with `t'_e` as the initial template — the
-//! `check` procedure of Section 6.1.
+//! [`CandidateSearch::check`] implements condition (c) — the `check` procedure
+//! of Section 6.1 — by **resuming** the chase from the base run's checkpoint
+//! ([`relacc_core::chase::ChaseCheckpoint`]): only the target events for the
+//! candidate's `Z` values are seeded and only the steps they wake are
+//! replayed, instead of re-running the whole chase per candidate.  The
+//! from-scratch re-chase survives as [`CandidateSearch::check_full`], the
+//! reference implementation for the equivalence tests and the `topk_check`
+//! bench.
 
 use crate::preference::PreferenceModel;
-use relacc_core::chase::{chase_with_grounding, ground, Grounding};
+use relacc_core::chase::{
+    chase_with_grounding, ground, ChaseCheckpoint, CheckScratch, CheckpointOutcome, Grounding,
+};
 use relacc_core::{IsCrOutcome, Specification};
 use relacc_heap::Scored;
 use relacc_model::{AccuracyOrders, AttrId, TargetTuple, Value};
 use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
 
 /// A candidate target together with its preference score.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,13 +37,40 @@ pub struct ScoredCandidate {
 /// Counters reported by every top-k algorithm.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TopKStats {
-    /// Number of `check` invocations (each one is a full chase).
+    /// Number of `check` invocations (full and checkpointed together,
+    /// including candidates the completeness precheck rejected before any
+    /// chase ran — so `checks >= full_checks + delta_checks`).
     pub checks: usize,
+    /// Checks that actually re-ran the chase from scratch
+    /// ([`CandidateSearch::check_full`]).
+    pub full_checks: usize,
+    /// Checks answered by a checkpointed delta replay
+    /// ([`CandidateSearch::check`]).
+    pub delta_checks: usize,
+    /// Ground steps replayed across all delta checks.
+    pub delta_steps_replayed: usize,
     /// Number of candidate tuples generated/considered before termination.
     pub generated: usize,
     /// Number of heap / ranked-list accesses (the instance-optimality metric of
     /// Proposition 7).
     pub pops: usize,
+    /// True when a frontier/buffer safety valve tripped during the search:
+    /// the returned candidates are the best of what was explored, but the
+    /// exploration was truncated and lower-ranked candidates may exist.
+    pub capped: bool,
+}
+
+impl TopKStats {
+    /// Accumulate another run's counters (used by sessions and batch reports).
+    pub fn merge(&mut self, other: &TopKStats) {
+        self.checks += other.checks;
+        self.full_checks += other.full_checks;
+        self.delta_checks += other.delta_checks;
+        self.delta_steps_replayed += other.delta_steps_replayed;
+        self.generated += other.generated;
+        self.pops += other.pops;
+        self.capped |= other.capped;
+    }
 }
 
 /// The result of a top-k computation.
@@ -81,8 +116,8 @@ impl fmt::Display for TopKError {
 impl std::error::Error for TopKError {}
 
 /// Pre-computed state shared by `RankJoinCT`, `TopKCT` and `TopKCTh`:
-/// the grounding, the deduced target, the null attributes `Z` and the scored
-/// candidate domains of each `Z` attribute.
+/// the grounding, the base-run checkpoint, the deduced target, the null
+/// attributes `Z` and the scored candidate domains of each `Z` attribute.
 pub struct CandidateSearch<'a> {
     /// The specification `S`.
     pub spec: &'a Specification,
@@ -90,6 +125,10 @@ pub struct CandidateSearch<'a> {
     /// grounded the specification itself, borrowed when a caller (the
     /// interactive framework, the batch engine) already holds `Γ`.
     pub grounding: Cow<'a, Grounding>,
+    /// The frozen terminal state of the base deduction, from which every
+    /// `check` resumes.  Shared (`Arc`) so a session can keep it alive across
+    /// rounds without re-running the base chase.
+    checkpoint: Arc<ChaseCheckpoint>,
     /// The unique deduced target tuple `t_e` of `S`.
     pub deduced: TargetTuple,
     /// The attributes of `t_e` that are still null (the set `Z`).
@@ -131,18 +170,56 @@ impl<'a> CandidateSearch<'a> {
         Self::prepare_with(spec, Cow::Borrowed(grounding), preference)
     }
 
+    /// Prepare a search over a pre-computed grounding **and** an existing
+    /// base-run checkpoint of the same specification and template, skipping
+    /// the base chase entirely.
+    ///
+    /// Used by `relacc_engine::EntitySession`, which keeps one checkpoint per
+    /// entity across interaction rounds.  The checkpoint must have been
+    /// captured over `grounding` with `spec.initial_target` as the template.
+    pub fn prepare_with_checkpoint(
+        spec: &'a Specification,
+        grounding: &'a Grounding,
+        checkpoint: Arc<ChaseCheckpoint>,
+        preference: PreferenceModel,
+    ) -> Result<Self, TopKError> {
+        let deduced = checkpoint.target().clone();
+        Ok(Self::assemble_search(
+            spec,
+            Cow::Borrowed(grounding),
+            checkpoint,
+            deduced,
+            preference,
+        ))
+    }
+
     fn prepare_with(
         spec: &'a Specification,
         grounding: Cow<'a, Grounding>,
         preference: PreferenceModel,
     ) -> Result<Self, TopKError> {
-        let run = chase_with_grounding(spec, &grounding, &spec.initial_target);
-        let deduced = match run.outcome {
-            IsCrOutcome::ChurchRosser(instance) => instance.target,
-            IsCrOutcome::NotChurchRosser(conflict) => {
+        // the base deduction *is* the checkpoint capture: one chase run
+        // yields both the deduced target and the resume state
+        let run = ChaseCheckpoint::capture(&spec.ie, &spec.rules, &grounding, &spec.initial_target);
+        let checkpoint = match run.outcome {
+            CheckpointOutcome::Ready(checkpoint) => Arc::<ChaseCheckpoint>::from(checkpoint),
+            CheckpointOutcome::NotChurchRosser(conflict) => {
                 return Err(TopKError::NotChurchRosser(conflict))
             }
         };
+        let deduced = checkpoint.target().clone();
+        Ok(Self::assemble_search(
+            spec, grounding, checkpoint, deduced, preference,
+        ))
+    }
+
+    fn assemble_search(
+        spec: &'a Specification,
+        grounding: Cow<'a, Grounding>,
+        checkpoint: Arc<ChaseCheckpoint>,
+        deduced: TargetTuple,
+        preference: PreferenceModel,
+    ) -> Self {
         let z = deduced.null_attrs();
         let domains = z
             .iter()
@@ -156,14 +233,20 @@ impl<'a> CandidateSearch<'a> {
                     .collect()
             })
             .collect();
-        Ok(CandidateSearch {
+        CandidateSearch {
             spec,
             grounding,
+            checkpoint,
             deduced,
             z,
             domains,
             preference,
-        })
+        }
+    }
+
+    /// The base-run checkpoint every `check` resumes from.
+    pub fn checkpoint(&self) -> &Arc<ChaseCheckpoint> {
+        &self.checkpoint
     }
 
     /// Number of null attributes `m = |Z|`.
@@ -182,13 +265,43 @@ impl<'a> CandidateSearch<'a> {
     }
 
     /// The `check` procedure of Section 6.1: is `candidate` a candidate target
-    /// of the specification?  Runs the chase with `candidate` as the initial
-    /// target template over the pre-computed grounding.
-    pub fn check(&self, candidate: &TargetTuple, stats: &mut TopKStats) -> bool {
+    /// of the specification?
+    ///
+    /// Resumes the chase from the base-run checkpoint, seeding only the
+    /// candidate's `Z` values and replaying the steps they wake — `O(|affected
+    /// steps|)` instead of the full chase's `O(|Γ|)`.  `scratch` carries the
+    /// working copies and undo logs between checks; callers keep one scratch
+    /// per search (or per worker) and thread it through every call.
+    pub fn check(
+        &self,
+        candidate: &TargetTuple,
+        scratch: &mut CheckScratch,
+        stats: &mut TopKStats,
+    ) -> bool {
         stats.checks += 1;
         if !candidate.is_complete() || !self.deduced.is_completed_by(candidate) {
             return false;
         }
+        stats.delta_checks += 1;
+        let verdict =
+            self.checkpoint
+                .resume_check(&self.spec.rules, &self.grounding, candidate, scratch);
+        stats.delta_steps_replayed += verdict.steps_replayed;
+        verdict.accepted
+    }
+
+    /// The from-scratch `check`: re-run the whole chase over the pre-computed
+    /// grounding with `candidate` as the initial template.
+    ///
+    /// Semantically identical to [`CandidateSearch::check`] (property-tested
+    /// in `tests/prop_checkpoint.rs`); kept as the reference implementation
+    /// and as the baseline of the `topk_check` bench.
+    pub fn check_full(&self, candidate: &TargetTuple, stats: &mut TopKStats) -> bool {
+        stats.checks += 1;
+        if !candidate.is_complete() || !self.deduced.is_completed_by(candidate) {
+            return false;
+        }
+        stats.full_checks += 1;
         let run = chase_with_grounding(self.spec, &self.grounding, candidate);
         match run.outcome {
             IsCrOutcome::ChurchRosser(instance) => &instance.target == candidate,
@@ -203,10 +316,10 @@ impl<'a> CandidateSearch<'a> {
 
     /// The trivial result when `t_e` is already complete: the deduced target is
     /// the unique candidate.
-    pub fn complete_result(&self) -> TopKResult {
+    pub fn complete_result(&self, scratch: &mut CheckScratch) -> TopKResult {
         let mut stats = TopKStats::default();
         let mut candidates = Vec::new();
-        if self.deduced.is_complete() && self.check(&self.deduced, &mut stats) {
+        if self.deduced.is_complete() && self.check(&self.deduced, scratch, &mut stats) {
             candidates.push(ScoredCandidate {
                 score: self.score(&self.deduced),
                 target: self.deduced.clone(),
@@ -283,21 +396,55 @@ mod tests {
         let pref = PreferenceModel::occurrence(&spec, 2);
         let search = CandidateSearch::prepare(&spec, pref).unwrap();
         let mut stats = TopKStats::default();
+        let mut scratch = CheckScratch::new();
         let candidate =
             search.assemble(&[Value::text("Chicago Bulls"), Value::text("United Center")]);
         assert!(candidate.is_complete());
-        assert!(search.check(&candidate, &mut stats));
+        assert!(search.check(&candidate, &mut scratch, &mut stats));
         assert_eq!(stats.checks, 1);
+        assert_eq!(stats.delta_checks, 1);
+        assert_eq!(stats.full_checks, 0);
         // rnds weight 2 (two 27s) + team 2 + arena 1
         assert_eq!(search.score(&candidate), 5.0);
         // a tuple disagreeing with the deduced rnds value is not a candidate
         let mut bad = candidate.clone();
         bad.set(AttrId(0), Value::Int(16));
-        assert!(!search.check(&bad, &mut stats));
+        assert!(!search.check(&bad, &mut scratch, &mut stats));
         // an incomplete tuple is never a candidate
         let mut incomplete = candidate.clone();
         incomplete.set(AttrId(2), Value::Null);
-        assert!(!search.check(&incomplete, &mut stats));
+        assert!(!search.check(&incomplete, &mut scratch, &mut stats));
+        // the from-scratch reference check agrees on all three; like the
+        // delta path it only counts checks that actually ran a chase
+        let mut full_stats = TopKStats::default();
+        assert!(search.check_full(&candidate, &mut full_stats));
+        assert!(!search.check_full(&bad, &mut full_stats));
+        assert!(!search.check_full(&incomplete, &mut full_stats));
+        assert_eq!(full_stats.checks, 3);
+        assert_eq!(full_stats.full_checks, 1);
+        assert_eq!(full_stats.delta_checks, 0);
+    }
+
+    #[test]
+    fn prepare_with_checkpoint_skips_the_base_chase() {
+        let spec = open_spec();
+        let orders = relacc_model::AccuracyOrders::new(&spec.ie);
+        let grounding = relacc_core::chase::ground(&spec, &orders);
+        let pref = PreferenceModel::occurrence(&spec, 2);
+        let first =
+            CandidateSearch::prepare_with_grounding(&spec, &grounding, pref.clone()).unwrap();
+        let checkpoint = first.checkpoint().clone();
+        let reused =
+            CandidateSearch::prepare_with_checkpoint(&spec, &grounding, checkpoint, pref).unwrap();
+        assert_eq!(first.deduced, reused.deduced);
+        assert_eq!(first.z, reused.z);
+        assert!(Arc::ptr_eq(first.checkpoint(), reused.checkpoint()));
+        // checks through the reused search behave identically
+        let mut stats = TopKStats::default();
+        let mut scratch = CheckScratch::new();
+        let candidate =
+            reused.assemble(&[Value::text("Chicago Bulls"), Value::text("United Center")]);
+        assert!(reused.check(&candidate, &mut scratch, &mut stats));
     }
 
     #[test]
@@ -342,7 +489,7 @@ mod tests {
         let pref = PreferenceModel::occurrence(&spec, 3);
         let search = CandidateSearch::prepare(&spec, pref).unwrap();
         assert!(search.z.is_empty());
-        let result = search.complete_result();
+        let result = search.complete_result(&mut CheckScratch::new());
         assert_eq!(result.candidates.len(), 1);
         assert_eq!(result.candidates[0].target.value(AttrId(0)), &Value::Int(2));
         assert!(result.contains(&result.candidates[0].target.clone()));

@@ -15,7 +15,12 @@
 //! * [`topkcth`] — `TopKCTh`, the PTIME heuristic.
 //!
 //! All three return a [`TopKResult`] whose candidates pass the candidate-target
-//! `check` (a chase with the candidate as initial target template).
+//! `check`.  Checks are **checkpointed**: the base deduction's terminal state
+//! is captured once ([`relacc_core::chase::ChaseCheckpoint`]) and every check
+//! resumes from it, replaying only the steps the candidate's `Z` values wake.
+//! The `*_with` variants take a caller-provided
+//! [`CheckScratch`] so sessions and batch workers
+//! reuse the resumed-check buffers across invocations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +33,7 @@ pub mod topkcth;
 
 pub use candidates::{CandidateSearch, ScoredCandidate, TopKError, TopKResult, TopKStats};
 pub use preference::{PreferenceModel, ScoreSource};
-pub use rank_join::rank_join_ct;
-pub use topkct::topkct;
-pub use topkcth::topkcth;
+pub use rank_join::{rank_join_ct, rank_join_ct_with};
+pub use relacc_core::chase::CheckScratch;
+pub use topkct::{topkct, topkct_with};
+pub use topkcth::{topkcth, topkcth_with};

@@ -16,16 +16,23 @@
 //! `TopKCT` generates the next-best tuple directly.
 
 use crate::candidates::{CandidateSearch, ScoredCandidate, TopKResult, TopKStats};
+use relacc_core::chase::CheckScratch;
 use relacc_heap::{F64Key, PairingHeap, RankedList, Scored};
 use relacc_model::Value;
 
 /// Run `RankJoinCT` on a prepared candidate search.
-#[allow(clippy::needless_range_loop)] // the threshold loop skips index `i` of `lists`
 pub fn rank_join_ct(search: &CandidateSearch<'_>) -> TopKResult {
+    rank_join_ct_with(search, &mut CheckScratch::new())
+}
+
+/// [`rank_join_ct`] with a caller-provided check scratch (see
+/// [`crate::topkct::topkct_with`]).
+#[allow(clippy::needless_range_loop)] // the threshold loop skips index `i` of `lists`
+pub fn rank_join_ct_with(search: &CandidateSearch<'_>, scratch: &mut CheckScratch) -> TopKResult {
     let k = search.preference.k;
     let mut stats = TopKStats::default();
     if search.z.is_empty() {
-        return search.complete_result();
+        return search.complete_result(scratch);
     }
     let m = search.arity();
 
@@ -99,7 +106,7 @@ pub fn rank_join_ct(search: &CandidateSearch<'_>) -> TopKResult {
                 Some((key, _)) if key.0 >= tau => {
                     let (F64Key(score), z_values) = buffer.pop().expect("peeked entry");
                     let candidate = search.assemble(&z_values);
-                    if search.check(&candidate, &mut stats) {
+                    if search.check(&candidate, scratch, &mut stats) {
                         candidates.push(ScoredCandidate {
                             score: fixed_score + score,
                             target: candidate,
@@ -116,6 +123,7 @@ pub fn rank_join_ct(search: &CandidateSearch<'_>) -> TopKResult {
         // Pull the next value round-robin and join it with everything seen.
         let mut pulled = false;
         if stats.generated >= MAX_GENERATED {
+            stats.capped = true;
             exhausted = true;
             continue;
         }

@@ -11,6 +11,7 @@
 //! emitted.
 
 use crate::candidates::{CandidateSearch, ScoredCandidate, TopKResult, TopKStats};
+use relacc_core::chase::CheckScratch;
 use relacc_heap::{F64Key, PairingHeap, Scored, ScoredHeap};
 use relacc_model::Value;
 use std::collections::HashSet;
@@ -24,13 +25,38 @@ struct FrontierObject {
     score: f64,
 }
 
+/// Safety valve: the frontier expansion is exact but, when (almost) no
+/// complete assignment passes `check`, it degenerates into enumerating the
+/// whole cross-product of the domains — exponential in `|Z|`.  Mirroring the
+/// cap `RankJoinCT` already applies to its join buffer, the frontier stops
+/// *expanding* after this many generated assignments (already-queued ones are
+/// still popped and checked), so one degenerate entity cannot exhaust memory
+/// or wall-clock.  Far above anything the normal workloads reach (the
+/// largest Med benchmark entity generates ~1.5k); results are unaffected
+/// there.
+const MAX_GENERATED: usize = 100_000;
+
 /// Run `TopKCT` on a prepared candidate search, returning at most
 /// `search.preference.k` candidate targets in non-increasing score order.
 pub fn topkct(search: &CandidateSearch<'_>) -> TopKResult {
+    topkct_with(search, &mut CheckScratch::new())
+}
+
+/// [`topkct`] with a caller-provided check scratch, so batch and session
+/// callers reuse the resumed-check buffers across invocations.
+pub fn topkct_with(search: &CandidateSearch<'_>, scratch: &mut CheckScratch) -> TopKResult {
+    topkct_capped(search, scratch, MAX_GENERATED)
+}
+
+fn topkct_capped(
+    search: &CandidateSearch<'_>,
+    scratch: &mut CheckScratch,
+    max_generated: usize,
+) -> TopKResult {
     let k = search.preference.k;
     let mut stats = TopKStats::default();
     if search.z.is_empty() {
-        return search.complete_result();
+        return search.complete_result(scratch);
     }
     let m = search.arity();
 
@@ -76,13 +102,18 @@ pub fn topkct(search: &CandidateSearch<'_>) -> TopKResult {
             break;
         };
         let candidate = search.assemble(&object.z_values);
-        if search.check(&candidate, &mut stats) {
+        if search.check(&candidate, scratch, &mut stats) {
             candidates.push(ScoredCandidate {
                 score: object.score,
                 target: candidate,
             });
         }
-        // Expand: bump each attribute to its next-best value.
+        // Expand: bump each attribute to its next-best value (unless the
+        // safety valve tripped — then only drain what is already queued).
+        if stats.generated >= max_generated {
+            stats.capped = true;
+            continue;
+        }
         for i in 0..m {
             let next_pos = object.positions[i] + 1;
             if buffers[i].len() <= next_pos {
@@ -200,6 +231,52 @@ mod tests {
         let mut unique: Vec<_> = result.candidates.iter().map(|c| c.target.clone()).collect();
         unique.dedup();
         assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn frontier_cap_bounds_degenerate_searches() {
+        // A 12×12 assignment space with k larger than the space: the valve
+        // (exercised here with an artificially small cap) must stop the
+        // frontier from expanding while still draining — and checking —
+        // everything already queued.
+        let schema = Schema::builder("r")
+            .attr("a", DataType::Int)
+            .attr("x", DataType::Text)
+            .attr("y", DataType::Text)
+            .build();
+        let rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 3),
+                    Value::text(format!("x{i}")),
+                    Value::text(format!("y{i}")),
+                ]
+            })
+            .collect();
+        let ie = EntityInstance::from_rows(schema.clone(), rows).unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "cur",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        )]);
+        let spec = Specification::new(ie, rules);
+        let search =
+            CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 1000)).unwrap();
+        assert_eq!(search.z, vec![AttrId(1), AttrId(2)]);
+        let mut scratch = relacc_core::chase::CheckScratch::new();
+        let capped = topkct_capped(&search, &mut scratch, 10);
+        // the cap stops expansion: some of the 12×12 assignments are never
+        // generated, but everything queued was drained and checked — and the
+        // truncation is observable on the stats
+        assert!(capped.stats.capped);
+        assert!(capped.stats.generated <= 10 + search.arity());
+        assert!(capped.candidates.len() <= capped.stats.generated);
+        assert!(!capped.candidates.is_empty());
+        // the uncapped run on the same spec finds the full cross-product
+        let full = topkct(&search);
+        assert!(!full.stats.capped);
+        assert_eq!(full.candidates.len(), 144);
+        assert!(full.stats.generated > capped.stats.generated);
     }
 
     #[test]

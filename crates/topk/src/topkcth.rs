@@ -8,6 +8,7 @@
 //! highest scores — the trade-off between cost and quality the paper describes.
 
 use crate::candidates::{CandidateSearch, ScoredCandidate, TopKResult, TopKStats};
+use relacc_core::chase::CheckScratch;
 use relacc_heap::{F64Key, PairingHeap, Scored, ScoredHeap};
 use relacc_model::{TargetTuple, Value};
 use std::collections::HashSet;
@@ -87,10 +88,11 @@ fn unchecked_top_k(
 fn greedy_repair(
     search: &CandidateSearch<'_>,
     z_values: &[Value],
+    scratch: &mut CheckScratch,
     stats: &mut TopKStats,
 ) -> Option<TargetTuple> {
     let candidate = search.assemble(z_values);
-    if search.check(&candidate, stats) {
+    if search.check(&candidate, scratch, stats) {
         return Some(candidate);
     }
     let m = search.arity();
@@ -109,7 +111,7 @@ fn greedy_repair(
                 let mut revised = current.clone();
                 revised[i] = alt.item.clone();
                 let candidate = search.assemble(&revised);
-                if search.check(&candidate, stats) {
+                if search.check(&candidate, scratch, stats) {
                     return Some(candidate);
                 }
             }
@@ -134,10 +136,16 @@ fn greedy_repair(
 
 /// Run `TopKCTh` on a prepared candidate search.
 pub fn topkcth(search: &CandidateSearch<'_>) -> TopKResult {
+    topkcth_with(search, &mut CheckScratch::new())
+}
+
+/// [`topkcth`] with a caller-provided check scratch (see
+/// [`crate::topkct::topkct_with`]).
+pub fn topkcth_with(search: &CandidateSearch<'_>, scratch: &mut CheckScratch) -> TopKResult {
     let k = search.preference.k;
     let mut stats = TopKStats::default();
     if search.z.is_empty() {
-        return search.complete_result();
+        return search.complete_result(scratch);
     }
     let assignments = unchecked_top_k(search, k, &mut stats);
     let mut candidates: Vec<ScoredCandidate> = Vec::new();
@@ -146,7 +154,7 @@ pub fn topkcth(search: &CandidateSearch<'_>) -> TopKResult {
         if candidates.len() >= k {
             break;
         }
-        if let Some(target) = greedy_repair(search, &z_values, &mut stats) {
+        if let Some(target) = greedy_repair(search, &z_values, scratch, &mut stats) {
             let key: Vec<Value> = target.values().to_vec();
             if seen.insert(key) {
                 candidates.push(ScoredCandidate {
@@ -215,9 +223,10 @@ mod tests {
         assert!(!result.candidates.is_empty());
         assert!(result.candidates.len() <= 3);
         let mut stats = TopKStats::default();
+        let mut scratch = CheckScratch::new();
         for c in &result.candidates {
             assert!(c.target.is_complete());
-            assert!(search.check(&c.target, &mut stats));
+            assert!(search.check(&c.target, &mut scratch, &mut stats));
         }
         for w in result.candidates.windows(2) {
             assert!(w[0].score >= w[1].score);

@@ -150,6 +150,29 @@ fn run_differential(
             .with_suggestion_k(config.suggestion_k)
             .repair_relation(relation, resolve);
         assert_same_repair(&shim, &direct, &format!("{label}/threads={threads}"));
+        // Stats drift guard for the checkpointed-check counters: the shim is
+        // a pure delegation, so its aggregated ChaseStats — including the new
+        // full_checks / delta_checks / delta_steps_replayed — must be
+        // bit-identical to the engine's.  (The legacy oracle below is only
+        // compared on *outcomes*: its recompiling pipeline counts work
+        // differently, and that is allowed — counters may differ, outcomes
+        // may not.)
+        assert_eq!(
+            shim.report.stats, direct.report.stats,
+            "{label}/threads={threads}: aggregated ChaseStats"
+        );
+        assert_eq!(
+            direct.report.stats.full_checks, 0,
+            "{label}/threads={threads}: the batch suggestion path must never \
+             fall back to from-scratch candidate checks"
+        );
+        if direct.report.suggested > 0 {
+            assert!(
+                direct.report.stats.delta_checks >= direct.report.suggested,
+                "{label}/threads={threads}: every suggested entity implies at \
+                 least one accepted checkpointed check"
+            );
+        }
         assert_eq!(
             direct.report.entities.len(),
             oracle.len(),

@@ -166,10 +166,12 @@ proptest! {
                 prop_assert!(w[0].score >= w[1].score);
             }
             let mut stats = relacc::topk::TopKStats::default();
+            let mut scratch = relacc::topk::CheckScratch::new();
             for c in &result.candidates {
                 prop_assert!(c.target.is_complete());
                 prop_assert!(search.deduced.is_completed_by(&c.target));
-                prop_assert!(search.check(&c.target, &mut stats));
+                prop_assert!(search.check(&c.target, &mut scratch, &mut stats));
+                prop_assert!(search.check_full(&c.target, &mut stats));
             }
         }
     }

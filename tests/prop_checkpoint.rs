@@ -1,0 +1,279 @@
+//! Equivalence guard for the checkpointed `check`: on randomized
+//! specifications and candidates — including conflict-producing ones — the
+//! resumed check (`CandidateSearch::check`, a delta replay from the base
+//! fixpoint) and the from-scratch re-chase (`CandidateSearch::check_full`)
+//! must agree on accept/reject, and an accepted candidate must be exactly the
+//! terminal target of the from-scratch chase.
+//!
+//! The same scratch is threaded through every check of a case, so any state
+//! leaked by a missed undo-log entry corrupts later verdicts and trips the
+//! comparison.  A deterministic regression additionally pins an interleaved
+//! accept → reject → accept sequence against one checkpoint.
+
+use proptest::prelude::*;
+use relacc::core::chase::chase_with_grounding;
+use relacc::core::rules::{Predicate, RuleSet, TupleRule};
+use relacc::core::{IsCrOutcome, Specification};
+use relacc::model::{AttrId, CmpOp, DataType, EntityInstance, Schema, TargetTuple, Value};
+use relacc::topk::{CandidateSearch, CheckScratch, PreferenceModel, TopKStats};
+
+/// A compact random specification: a 3-attribute instance (one int "currency"
+/// column, two small text columns) plus a random subset of rule templates —
+/// `reverse` orders against the currency direction, so many candidates (and
+/// some whole specifications) produce chase conflicts.
+#[derive(Debug, Clone)]
+struct RandomSpec {
+    rows: Vec<(Option<i64>, Option<u8>, Option<u8>)>,
+    use_currency: bool,
+    use_follow: bool,
+    use_reverse: bool,
+}
+
+fn arb_spec() -> impl Strategy<Value = RandomSpec> {
+    (
+        prop::collection::vec(
+            (
+                prop::option::of(0i64..5),
+                prop::option::of(0u8..3),
+                prop::option::of(0u8..3),
+            ),
+            1..8,
+        ),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(rows, use_currency, use_follow, use_reverse)| RandomSpec {
+            rows,
+            use_currency,
+            use_follow,
+            use_reverse,
+        })
+}
+
+fn build_spec(input: &RandomSpec) -> Specification {
+    let schema = Schema::builder("r")
+        .attr("seq", DataType::Int)
+        .attr("a", DataType::Text)
+        .attr("b", DataType::Text)
+        .build();
+    let mut ie = EntityInstance::new(schema.clone());
+    for (seq, a, b) in &input.rows {
+        ie.push_row(vec![
+            seq.map_or(Value::Null, Value::Int),
+            a.map_or(Value::Null, |x| Value::text(format!("a{x}"))),
+            b.map_or(Value::Null, |x| Value::text(format!("b{x}"))),
+        ])
+        .unwrap();
+    }
+    let mut rules = RuleSet::new();
+    if input.use_currency {
+        rules.push(TupleRule::new(
+            "currency",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        ));
+    }
+    if input.use_follow {
+        rules.push(TupleRule::new(
+            "follow",
+            vec![Predicate::OrderLt { attr: AttrId(0) }],
+            AttrId(1),
+        ));
+    }
+    if input.use_reverse {
+        rules.push(TupleRule::new(
+            "reverse",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Gt)],
+            AttrId(2),
+        ));
+    }
+    Specification::new(ie, rules)
+}
+
+/// Every completion of the deduced target drawing `Z` values from the
+/// candidate domains, capped so degenerate cases stay fast.
+fn enumerate_candidates(search: &CandidateSearch<'_>, cap: usize) -> Vec<TargetTuple> {
+    let mut combos: Vec<Vec<Value>> = vec![Vec::new()];
+    for domain in &search.domains {
+        let mut next = Vec::new();
+        for prefix in &combos {
+            for entry in domain {
+                let mut assignment = prefix.clone();
+                assignment.push(entry.item.clone());
+                next.push(assignment);
+                if next.len() >= cap {
+                    break;
+                }
+            }
+            if next.len() >= cap {
+                break;
+            }
+        }
+        combos = next;
+        if combos.is_empty() {
+            break;
+        }
+    }
+    combos
+        .into_iter()
+        .filter(|z| z.len() == search.arity())
+        .map(|z| search.assemble(&z))
+        .collect()
+}
+
+/// The from-scratch verdict *and* terminal target of a candidate chase.
+fn full_verdict(
+    spec: &Specification,
+    search: &CandidateSearch<'_>,
+    candidate: &TargetTuple,
+) -> (bool, Option<TargetTuple>) {
+    let run = chase_with_grounding(spec, &search.grounding, candidate);
+    match run.outcome {
+        IsCrOutcome::ChurchRosser(instance) => {
+            (&instance.target == candidate, Some(instance.target))
+        }
+        IsCrOutcome::NotChurchRosser(_) => (false, None),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Resumed and from-scratch checks agree on accept/reject for every
+    /// candidate in the cross-product of the domains (plus mutated
+    /// candidates), and accepted candidates are exactly the terminal target
+    /// of the from-scratch chase.
+    #[test]
+    fn resume_check_agrees_with_full_chase(input in arb_spec(), salt in 0usize..7) {
+        let spec = build_spec(&input);
+        let preference = PreferenceModel::occurrence(&spec, 3);
+        let Ok(search) = CandidateSearch::prepare(&spec, preference) else {
+            return Ok(()); // not Church-Rosser: no candidate search exists
+        };
+        let mut scratch = CheckScratch::new();
+        let mut stats = TopKStats::default();
+        let mut candidates = enumerate_candidates(&search, 48);
+        // mutate a few candidates by rotating a Z value to another attribute's
+        // domain, which produces rejections that never reach the chase and
+        // (with `reverse` on) conflict-producing chases
+        let mutated: Vec<TargetTuple> = candidates
+            .iter()
+            .take(4)
+            .map(|c| {
+                let mut twisted = c.clone();
+                let arity = twisted.arity();
+                let from = salt % arity;
+                let to = (salt + 1) % arity;
+                let v = twisted.value(AttrId(from)).clone();
+                twisted.set(AttrId(to), v);
+                twisted
+            })
+            .collect();
+        candidates.extend(mutated);
+        for candidate in &candidates {
+            let resumed = search.check(candidate, &mut scratch, &mut stats);
+            let (full, terminal) = full_verdict(&spec, &search, candidate);
+            prop_assert_eq!(
+                resumed, full,
+                "resumed and full check disagree on {:?}", candidate
+            );
+            if resumed {
+                prop_assert_eq!(terminal.as_ref(), Some(candidate));
+            }
+        }
+        // every check went through the resumed path or was rejected before
+        // reaching the chase (candidates not completing the deduction)
+        prop_assert_eq!(stats.checks, candidates.len());
+        prop_assert_eq!(stats.full_checks, 0);
+        prop_assert!(stats.delta_checks <= stats.checks);
+    }
+}
+
+/// A checkpoint must survive an interleaved accept → reject → accept sequence
+/// without state leakage: repeating the sequence (and re-running it on a
+/// fresh scratch) yields bit-identical verdicts.
+#[test]
+fn checkpoint_survives_interleaved_accept_reject_accept() {
+    let schema = Schema::builder("r")
+        .attr("rnds", DataType::Int)
+        .attr("team", DataType::Text)
+        .attr("arena", DataType::Text)
+        .build();
+    let ie = EntityInstance::from_rows(
+        schema.clone(),
+        vec![
+            vec![
+                Value::Int(16),
+                Value::text("Chicago"),
+                Value::text("Chicago Stadium"),
+            ],
+            vec![
+                Value::Int(27),
+                Value::text("Chicago Bulls"),
+                Value::text("United Center"),
+            ],
+            vec![
+                Value::Int(27),
+                Value::text("Chicago Bulls"),
+                Value::text("Regions Park"),
+            ],
+        ],
+    )
+    .unwrap();
+    let rules = RuleSet::from_rules([
+        TupleRule::new(
+            "currency",
+            vec![Predicate::cmp_attrs(AttrId(0), CmpOp::Lt)],
+            AttrId(0),
+        ),
+        // correlated: the rnds order propagates to team, so the chase's delta
+        // replay does real work on every check
+        TupleRule::new(
+            "follow",
+            vec![Predicate::OrderLt { attr: AttrId(0) }],
+            AttrId(1),
+        ),
+    ]);
+    let spec = Specification::new(ie, rules);
+    let search = CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, 3)).unwrap();
+
+    // `follow` propagates the rnds winner to team = "Chicago Bulls", so team
+    // is already deduced and only the arena stays open
+    assert_eq!(
+        search.deduced.value(AttrId(1)),
+        &Value::text("Chicago Bulls")
+    );
+    assert_eq!(search.z, vec![AttrId(2)]);
+
+    let accept_a = search.assemble(&[Value::text("United Center")]);
+    let accept_b = search.assemble(&[Value::text("Regions Park")]);
+    let mut reject = accept_a.clone();
+    reject.set(AttrId(1), Value::text("Chicago")); // contradicts the deduction
+
+    let run_sequence = |scratch: &mut CheckScratch| -> Vec<bool> {
+        let mut stats = TopKStats::default();
+        vec![
+            search.check(&accept_a, scratch, &mut stats),
+            search.check(&reject, scratch, &mut stats),
+            search.check(&accept_b, scratch, &mut stats),
+            search.check(&reject, scratch, &mut stats),
+            search.check(&accept_a, scratch, &mut stats),
+        ]
+    };
+
+    let mut scratch = CheckScratch::new();
+    let first = run_sequence(&mut scratch);
+    assert_eq!(first, vec![true, false, true, false, true]);
+    // repeating on the same (rolled-back) scratch leaks nothing
+    for _ in 0..50 {
+        assert_eq!(run_sequence(&mut scratch), first);
+    }
+    // and a fresh scratch reproduces the same verdicts
+    assert_eq!(run_sequence(&mut CheckScratch::new()), first);
+    // the from-scratch reference agrees on all three tuples
+    let mut stats = TopKStats::default();
+    assert!(search.check_full(&accept_a, &mut stats));
+    assert!(search.check_full(&accept_b, &mut stats));
+    assert!(!search.check_full(&reject, &mut stats));
+}
