@@ -10,7 +10,9 @@
 //! readable `BENCH_topk.json` at the workspace root (median ns per check,
 //! checks/sec at 1/N threads, delta-vs-full replayed-step counts and the
 //! measured speedup ratio on Rest) so the perf trajectory is tracked across
-//! PRs.  Set `RELACC_BENCH_SMOKE=1` for a one-iteration smoke run.
+//! PRs.  Set `RELACC_BENCH_SMOKE=1` for a one-iteration smoke run — smoke
+//! reports land under `target/` so they never clobber the committed numbers
+//! (see `relacc_bench::bench_output_path`).
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use relacc_core::chase::chase_with_grounding;
@@ -21,13 +23,10 @@ use relacc_engine::par_map_with;
 use relacc_model::{CmpOp, DataType, EntityInstance, Schema, TargetTuple, Value};
 use relacc_topk::{CandidateSearch, CheckScratch, PreferenceModel, TopKStats};
 use std::hint::black_box;
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-fn smoke() -> bool {
-    std::env::var_os("RELACC_BENCH_SMOKE").is_some()
-}
+use relacc_bench::smoke_mode as smoke;
 
 /// A synthetic open entity: one currency-resolved int column plus three text
 /// columns, of which `m` stay open with `d` distinct values each (the other
@@ -295,7 +294,10 @@ fn rest_report() {
         delta_steps,
         smoke(),
     );
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_topk.json");
+    let path = relacc_bench::bench_output_path(smoke(), "BENCH_topk.json");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
     match std::fs::write(&path, &json) {
         Ok(()) => println!("topk_check: wrote {}", path.display()),
         Err(err) => eprintln!("topk_check: could not write {}: {err}", path.display()),

@@ -11,3 +11,56 @@
 pub mod experiments;
 
 pub use experiments::{ExperimentConfig, Report};
+
+use std::path::PathBuf;
+
+/// Where a bench group writes its machine-readable `BENCH_*.json` report.
+///
+/// Real runs write at the workspace root, where the measurements are
+/// **committed** and gated by `tools/bench_gate`.  Smoke runs
+/// (`RELACC_BENCH_SMOKE=1`, the CI mode that executes every bench for one
+/// iteration) write under `target/` instead: their one-iteration timings are
+/// junk and must never clobber the committed numbers — CI enforces this with
+/// a clean-tree check after the smoke run.
+pub fn bench_output_path(smoke: bool, file_name: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if smoke {
+        root.join("target").join(file_name)
+    } else {
+        root.join(file_name)
+    }
+}
+
+/// True when the current process runs in CI bench-smoke mode.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("RELACC_BENCH_SMOKE").is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Guard for the smoke-clobber bugfix: a smoke run must never produce a
+    /// path that dirties the committed tree.
+    #[test]
+    fn smoke_reports_land_under_target_not_the_repo_root() {
+        let smoke = bench_output_path(true, "BENCH_x.json");
+        let real = bench_output_path(false, "BENCH_x.json");
+        assert_ne!(smoke, real);
+        assert!(
+            smoke.components().any(|c| c.as_os_str() == "target"),
+            "smoke path {} must be under target/",
+            smoke.display()
+        );
+        assert!(
+            !real.components().any(|c| c.as_os_str() == "target"),
+            "real path {} must be at the repo root",
+            real.display()
+        );
+        assert_eq!(real.file_name().unwrap(), "BENCH_x.json");
+        // both resolve inside the workspace
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        assert!(smoke.starts_with(&root));
+        assert!(real.starts_with(&root));
+    }
+}

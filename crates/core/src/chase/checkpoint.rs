@@ -75,6 +75,11 @@ pub struct ChaseCheckpoint {
     step_count: usize,
     /// Statistics of the base run.
     stats: ChaseStats,
+    /// The plan state the checkpoint was captured under, when it was captured
+    /// through [`crate::chase::ChasePlan::checkpoint_with`]; `None` for
+    /// plan-less captures.  Downstream caches validate against the owning
+    /// plan with [`crate::chase::ChasePlan::checkpoint_is_current`].
+    plan: Option<super::plan::PlanStamp>,
 }
 
 /// How a [`ChaseCheckpoint::capture`] run ended.
@@ -161,6 +166,7 @@ impl ChaseCheckpoint {
                     index,
                     step_count: grounding.steps.len(),
                     stats,
+                    plan: None,
                 }))
             }
             IsCrOutcome::NotChurchRosser(conflict) => CheckpointOutcome::NotChurchRosser(conflict),
@@ -189,6 +195,18 @@ impl ChaseCheckpoint {
     /// Statistics of the base chase run.
     pub fn stats(&self) -> &ChaseStats {
         &self.stats
+    }
+
+    /// The plan state this checkpoint was captured under (`None` when it was
+    /// captured without a plan).
+    pub fn plan_stamp(&self) -> Option<super::plan::PlanStamp> {
+        self.plan
+    }
+
+    /// Stamp the plan state the checkpoint belongs to (set by
+    /// [`crate::chase::ChasePlan::checkpoint_with`]).
+    pub(crate) fn set_plan_stamp(&mut self, stamp: super::plan::PlanStamp) {
+        self.plan = Some(stamp);
     }
 
     /// The `check` of Section 6.1, resumed from the base fixpoint: is

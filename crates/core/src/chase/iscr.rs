@@ -3,7 +3,7 @@
 //!
 //! The implementation follows the paper:
 //!
-//! 1. `Instantiation` (grounding, [`crate::chase::ground`]) turns `Σ` into a
+//! 1. `Instantiation` (grounding, [`mod@crate::chase::ground`]) turns `Σ` into a
 //!    set `Γ` of potential single chase steps;
 //! 2. the index `H` ([`crate::chase::index::ChaseIndex`]) tracks, per step, how
 //!    many of its premises are still unsatisfied, and queues steps that become
@@ -23,8 +23,8 @@
 //!
 //! All chase variants — the indexed `IsCR`, the index-free [`naive_is_cr`]
 //! used by the ablation benchmark, and the seeded free-order chase of
-//! [`crate::chase::free`] — share one core loop, [`run_chase`], parameterized
-//! by a [`StepScheduler`] that decides which applicable step fires next.
+//! [`crate::chase::free`] — share one core loop, `run_chase`, parameterized
+//! by a `StepScheduler` that decides which applicable step fires next.
 
 use super::ground::{origin_name, GroundStep, Grounding, PendingPred, StepAction, StepOrigin};
 use super::index::ChaseIndex;

@@ -21,5 +21,7 @@ pub use iscr::{
     chase_with_grounding, deduced_target, is_cr, naive_chase_with_grounding, naive_is_cr, ChaseRun,
     ChaseStats, Conflict, IsCrOutcome,
 };
-pub use plan::{ChasePlan, ChaseScratch};
+pub use plan::{
+    ChasePlan, ChaseScratch, MasterDeltaApplied, MasterUpdate, PlanDeltaError, PlanStamp,
+};
 pub use spec::{AccuracyInstance, Specification, SpecificationError};

@@ -48,31 +48,137 @@
 //! }
 //! ```
 
-use super::checkpoint::{ChaseCheckpoint, CheckScratch, CheckpointRun};
-use super::ground::{ground_master_rules, ground_tuple_rules, Grounding, PendingPred, StepAction};
+use super::checkpoint::{ChaseCheckpoint, CheckScratch, CheckpointOutcome, CheckpointRun};
+use super::ground::{
+    ground_master_rules, ground_tuple_rules, GroundStep, Grounding, PendingPred, StepAction,
+};
 use super::index::ChaseIndex;
 use super::iscr::{chase_parts, ChaseRun};
 use super::spec::{Specification, SpecificationError};
 use crate::rules::RuleSet;
 use relacc_model::{
-    AccuracyOrders, EntityInstance, Interner, MasterRelation, SchemaRef, TargetTuple,
+    AccuracyOrders, EntityInstance, Interner, MasterRelation, SchemaError, SchemaRef, TargetTuple,
+    Value,
 };
 use std::collections::HashSet;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide plan-identity counter (see [`PlanStamp`]).
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The identity + version of a compiled plan at one point in time.
+///
+/// Every compiled plan gets a fresh process-unique identity; every in-place
+/// [`ChasePlan::apply_master_delta`] bumps its version.  A
+/// [`ChaseCheckpoint`] captured through [`ChasePlan::checkpoint_with`] records
+/// the stamp it was captured under, and
+/// [`ChasePlan::checkpoint_is_current`] compares stamps — so state cached
+/// against an evolving plan (the incremental engine's per-block results, a
+/// session's checkpoint) can tell "still valid" apart from "captured against
+/// an older master set or a recompiled plan".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanStamp {
+    /// Process-unique identity of the compiled plan.
+    pub plan: u64,
+    /// Number of in-place master deltas applied since compilation.
+    pub version: u64,
+}
+
+/// An update to a plan's master data.
+///
+/// Only **appends** can be applied in place (the chase is monotone in its
+/// ground steps, so new master tuples only *add* pre-grounded form-(2)
+/// steps); deletions — like rule changes — invalidate the plan and must go
+/// through a recompile ([`ChasePlan::compile`] over the updated inputs),
+/// which yields a fresh [`PlanStamp`] identity so stale checkpoints cannot
+/// validate against the new plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MasterUpdate {
+    /// Index of the master relation the update targets.
+    pub master: usize,
+    /// Rows to append (validated against the master schema).
+    pub appends: Vec<Vec<Value>>,
+    /// Indices of master tuples to delete.  Non-empty deletes are rejected
+    /// with [`PlanDeltaError::RequiresRecompile`].
+    pub deletes: Vec<usize>,
+}
+
+impl MasterUpdate {
+    /// An append-only update against master relation `master`.
+    pub fn append(master: usize, rows: Vec<Vec<Value>>) -> Self {
+        MasterUpdate {
+            master,
+            appends: rows,
+            deletes: Vec::new(),
+        }
+    }
+}
+
+/// What an in-place master delta did to the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterDeltaApplied {
+    /// The plan's stamp after the delta.
+    pub stamp: PlanStamp,
+    /// Indices into [`ChasePlan::master_steps`] of the ground steps the delta
+    /// added (the only steps a cached repair needs to test entities against).
+    pub new_steps: Range<usize>,
+    /// Number of master tuples appended.
+    pub appended: usize,
+}
+
+/// Errors from [`ChasePlan::apply_master_delta`].
+#[derive(Debug)]
+pub enum PlanDeltaError {
+    /// The update targets a master relation the plan does not have.
+    NoSuchMaster(usize),
+    /// An appended row does not conform to the master schema.
+    Schema(SchemaError),
+    /// The update is not a pure append (master deletions, like rule changes,
+    /// are not monotone): recompile the plan over the updated inputs instead.
+    RequiresRecompile,
+}
+
+impl fmt::Display for PlanDeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanDeltaError::NoSuchMaster(i) => write!(f, "no master relation at index {i}"),
+            PlanDeltaError::Schema(e) => write!(f, "appended master row rejected: {e}"),
+            PlanDeltaError::RequiresRecompile => write!(
+                f,
+                "master deletions are not monotone; recompile the plan instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanDeltaError {}
 
 /// A schema-resolved, validated, master-grounded chase program, ready to be
 /// evaluated against any number of entity instances.
+///
+/// A plan is **append-evolvable**: [`ChasePlan::apply_master_delta`] extends
+/// the master data (and its pre-grounded steps) in place, bumping the plan's
+/// [`PlanStamp`] version.  A plan is meant to be mutated by a single owner;
+/// `Clone` copies the stamp, so divergently mutated clones must not be mixed.
 #[derive(Debug, Clone)]
 pub struct ChasePlan {
     schema: SchemaRef,
     rules: Arc<RuleSet>,
     masters: Arc<Vec<MasterRelation>>,
     /// Pre-grounded form-(2) steps (entity-independent).
-    master_steps: Vec<super::ground::GroundStep>,
+    master_steps: Vec<GroundStep>,
     master_tuples_considered: usize,
     master_folded_away: usize,
+    /// Dedup keys of the pre-grounded steps, kept so master-delta appends can
+    /// keep folding duplicates exactly like compilation did.
+    master_seen: HashSet<(StepAction, Vec<PendingPred>)>,
     /// Canonical string allocations of the master data and rule constants.
     interner: Interner,
+    /// Identity + delta version (see [`PlanStamp`]).
+    stamp: PlanStamp,
 }
 
 impl ChasePlan {
@@ -105,7 +211,12 @@ impl ChasePlan {
             master_steps: grounding.steps,
             master_tuples_considered: grounding.master_tuples_considered,
             master_folded_away: grounding.folded_away,
+            master_seen: seen,
             interner,
+            stamp: PlanStamp {
+                plan: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
+                version: 0,
+            },
         })
     }
 
@@ -138,6 +249,99 @@ impl ChasePlan {
     /// Number of pre-grounded form-(2) steps.
     pub fn master_step_count(&self) -> usize {
         self.master_steps.len()
+    }
+
+    /// The pre-grounded form-(2) steps (entity-independent).  The index
+    /// ranges returned by [`ChasePlan::apply_master_delta`] point into this
+    /// slice.
+    pub fn master_steps(&self) -> &[GroundStep] {
+        &self.master_steps
+    }
+
+    /// The plan's current identity + delta version.
+    pub fn stamp(&self) -> PlanStamp {
+        self.stamp
+    }
+
+    /// True iff `checkpoint` was captured through
+    /// [`ChasePlan::checkpoint_with`] against this exact plan state (same
+    /// identity, same delta version).  Checkpoints captured outside a plan
+    /// (e.g. [`ChaseCheckpoint::capture`]) never validate.
+    pub fn checkpoint_is_current(&self, checkpoint: &ChaseCheckpoint) -> bool {
+        checkpoint.plan_stamp() == Some(self.stamp)
+    }
+
+    /// Apply a **monotone** master-data update in place: append the update's
+    /// rows to the targeted master relation (interned against the plan's
+    /// canonical strings) and pre-ground the form-(2) steps those new tuples
+    /// contribute, with the same duplicate folding as compilation.  Nothing
+    /// already compiled moves: existing ground steps keep their indices, so
+    /// every specification and grounding derived from the plan *before* the
+    /// delta stays a valid prefix view; the plan's [`PlanStamp`] version is
+    /// bumped so downstream caches know to revalidate.
+    ///
+    /// Deletions (and rule changes, which never go through this API) are not
+    /// monotone — steps would have to be *removed* — and are rejected with
+    /// [`PlanDeltaError::RequiresRecompile`]; the caller recompiles via
+    /// [`ChasePlan::compile`] over the updated inputs, obtaining a fresh plan
+    /// identity that stale checkpoints cannot validate against.
+    pub fn apply_master_delta(
+        &mut self,
+        update: &MasterUpdate,
+    ) -> Result<MasterDeltaApplied, PlanDeltaError> {
+        if !update.deletes.is_empty() {
+            return Err(PlanDeltaError::RequiresRecompile);
+        }
+        if update.master >= self.masters.len() {
+            return Err(PlanDeltaError::NoSuchMaster(update.master));
+        }
+        // validate everything before mutating (deltas apply atomically)
+        let master_schema = self.masters[update.master].schema().clone();
+        for row in &update.appends {
+            master_schema
+                .validate_row(row)
+                .map_err(PlanDeltaError::Schema)?;
+        }
+
+        // a delta relation holding only the new tuples, so grounding ranges
+        // over exactly the appended rows (empty stand-ins keep the rule →
+        // master_index addressing intact)
+        let mut delta_masters: Vec<MasterRelation> = self
+            .masters
+            .iter()
+            .map(|m| MasterRelation::new(m.schema().clone()))
+            .collect();
+        let masters = Arc::make_mut(&mut self.masters);
+        for row in &update.appends {
+            let mut row = row.clone();
+            for value in &mut row {
+                self.interner.intern_value(value);
+            }
+            delta_masters[update.master]
+                .push_row(row.clone())
+                .expect("validated above");
+            masters[update.master]
+                .push_row(row)
+                .expect("validated above");
+        }
+
+        let mut grounding = Grounding::default();
+        ground_master_rules(
+            &self.rules,
+            &delta_masters,
+            &mut grounding,
+            &mut self.master_seen,
+        );
+        let first_new = self.master_steps.len();
+        self.master_steps.extend(grounding.steps);
+        self.master_tuples_considered += grounding.master_tuples_considered;
+        self.master_folded_away += grounding.folded_away;
+        self.stamp.version += 1;
+        Ok(MasterDeltaApplied {
+            stamp: self.stamp,
+            new_steps: first_new..self.master_steps.len(),
+            appended: update.appends.len(),
+        })
     }
 
     /// A copy of the plan's interner, seeded with every master-data and
@@ -230,14 +434,20 @@ impl ChasePlan {
     ) -> CheckpointRun {
         let orders = AccuracyOrders::new(ie);
         self.instantiate_into(ie, &orders, &mut scratch.grounding, &mut scratch.seen);
-        ChaseCheckpoint::capture_with_index(
+        let mut run = ChaseCheckpoint::capture_with_index(
             ie,
             &self.rules,
             &scratch.grounding,
             orders,
             &TargetTuple::empty(self.schema.arity()),
             std::mem::take(&mut scratch.index),
-        )
+        );
+        if let CheckpointOutcome::Ready(checkpoint) = &mut run.outcome {
+            // stamp the plan state the checkpoint is valid for, so caches can
+            // revalidate it after master deltas / recompiles
+            checkpoint.set_plan_stamp(self.stamp);
+        }
+        run
     }
 
     /// Re-run the chase over the grounding left in `scratch` by the last
@@ -437,6 +647,141 @@ mod tests {
         bad.set(AttrId(2), Value::text("Knicks"));
         let check = plan.rechase_with(&ie, &bad, &mut scratch);
         assert!(!check.outcome.is_church_rosser());
+    }
+
+    #[test]
+    fn master_delta_appends_steps_in_place_and_bumps_the_version() {
+        let s = schema();
+        let ms = master_schema();
+        let mut plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        let stamp0 = plan.stamp();
+        assert_eq!(stamp0.version, 0);
+        assert_eq!(plan.master_step_count(), 1);
+
+        // before the delta, the "sp" entity has no master row: team stays open
+        let ie = entity(&s, "sp", &[3, 9]);
+        let mut scratch = ChaseScratch::new();
+        let run = plan.is_cr_with(&ie, &mut scratch);
+        assert!(run.outcome.target().unwrap().is_null(AttrId(2)));
+
+        let applied = plan
+            .apply_master_delta(&MasterUpdate::append(
+                0,
+                vec![vec![Value::text("sp"), Value::text("Blazers")]],
+            ))
+            .unwrap();
+        assert_eq!(applied.appended, 1);
+        assert_eq!(applied.stamp.plan, stamp0.plan);
+        assert_eq!(applied.stamp.version, 1);
+        assert_eq!(applied.new_steps, 1..2);
+        assert_eq!(plan.master_step_count(), 2);
+        assert_eq!(plan.masters()[0].len(), 2);
+
+        // the delta-extended plan now deduces the team, and matches a fresh
+        // compile over the full master set exactly
+        let run = plan.is_cr_with(&ie, &mut scratch);
+        assert_eq!(
+            run.outcome.target().unwrap().value(AttrId(2)),
+            &Value::text("Blazers")
+        );
+        let mut full_master = master(&ms);
+        full_master
+            .push_row(vec![Value::text("sp"), Value::text("Blazers")])
+            .unwrap();
+        let fresh = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![full_master]).unwrap();
+        let fresh_run = fresh.is_cr_with(&ie, &mut scratch);
+        assert_eq!(fresh_run.outcome.target(), run.outcome.target());
+        assert_eq!(fresh_run.stats.ground_steps, run.stats.ground_steps);
+        // fresh compile = fresh identity: versions are not comparable across
+        assert_ne!(fresh.stamp().plan, plan.stamp().plan);
+    }
+
+    #[test]
+    fn master_delta_folds_duplicate_appends_like_compilation() {
+        let s = schema();
+        let ms = master_schema();
+        let mut plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        // appending the exact row the plan already grounded adds no step
+        let applied = plan
+            .apply_master_delta(&MasterUpdate::append(
+                0,
+                vec![vec![Value::text("mj"), Value::text("Bulls")]],
+            ))
+            .unwrap();
+        assert!(applied.new_steps.is_empty());
+        assert_eq!(plan.master_step_count(), 1);
+        assert_eq!(applied.stamp.version, 1);
+    }
+
+    #[test]
+    fn non_monotone_deltas_are_rejected() {
+        let s = schema();
+        let ms = master_schema();
+        let mut plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        let mut deletion = MasterUpdate::append(0, vec![]);
+        deletion.deletes.push(0);
+        assert!(matches!(
+            plan.apply_master_delta(&deletion),
+            Err(PlanDeltaError::RequiresRecompile)
+        ));
+        assert!(matches!(
+            plan.apply_master_delta(&MasterUpdate::append(7, vec![])),
+            Err(PlanDeltaError::NoSuchMaster(7))
+        ));
+        // a schema-invalid row leaves the plan untouched
+        let before = plan.master_step_count();
+        assert!(matches!(
+            plan.apply_master_delta(&MasterUpdate::append(0, vec![vec![Value::Int(1)]])),
+            Err(PlanDeltaError::Schema(_))
+        ));
+        assert_eq!(plan.master_step_count(), before);
+        assert_eq!(plan.stamp().version, 0);
+    }
+
+    #[test]
+    fn checkpoints_validate_against_the_stamping_plan_state() {
+        let s = schema();
+        let ms = master_schema();
+        let mut plan = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        let ie = entity(&s, "mj", &[16, 27]);
+        let mut scratch = ChaseScratch::new();
+        let run = plan.checkpoint_with(&ie, &mut scratch);
+        let super::CheckpointOutcome::Ready(checkpoint) = run.outcome else {
+            panic!("entity is Church-Rosser");
+        };
+        assert!(plan.checkpoint_is_current(&checkpoint));
+
+        // a master delta invalidates previously captured checkpoints
+        plan.apply_master_delta(&MasterUpdate::append(
+            0,
+            vec![vec![Value::text("sp"), Value::text("Blazers")]],
+        ))
+        .unwrap();
+        assert!(!plan.checkpoint_is_current(&checkpoint));
+        scratch.restore_index(checkpoint.into_index());
+
+        // a fresh capture against the evolved plan validates again
+        let run = plan.checkpoint_with(&ie, &mut scratch);
+        let super::CheckpointOutcome::Ready(checkpoint) = run.outcome else {
+            panic!("entity is Church-Rosser");
+        };
+        assert!(plan.checkpoint_is_current(&checkpoint));
+
+        // plan-less captures never validate
+        let spec = plan.specification(ie.clone());
+        let orders = AccuracyOrders::new(&spec.ie);
+        let grounding = crate::chase::ground::ground(&spec, &orders);
+        let run = ChaseCheckpoint::capture(
+            &spec.ie,
+            &spec.rules,
+            &grounding,
+            &TargetTuple::empty(s.arity()),
+        );
+        let super::CheckpointOutcome::Ready(planless) = run.outcome else {
+            panic!("entity is Church-Rosser");
+        };
+        assert_eq!(planless.plan_stamp(), None);
+        assert!(!plan.checkpoint_is_current(&planless));
     }
 
     #[test]

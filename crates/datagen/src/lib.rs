@@ -10,8 +10,10 @@
 //!   automatically emitted rule sets;
 //! * [`workloads`] — the `Med`-like, `CFP`-like and `Syn` configurations
 //!   matching the paper's published shape parameters;
-//! * [`rest`] — the multi-source, multi-snapshot restaurant workload used for
-//!   the truth-discovery comparison (Exp-5 / Table 4).
+//! * [`mod@rest`] — the multi-source, multi-snapshot restaurant workload used
+//!   for the truth-discovery comparison (Exp-5 / Table 4);
+//! * [`streaming`] — update-stream versions of the workloads
+//!   (insert/delete/master-append mixes) for the incremental-repair pipeline.
 //!
 //! The real `Med`, `CFP` and `Rest` datasets are not publicly available; the
 //! substitutions and their rationale are documented in `DESIGN.md`.
@@ -22,10 +24,12 @@
 pub mod generator;
 pub mod paper_example;
 pub mod rest;
+pub mod streaming;
 pub mod workloads;
 
 pub use generator::{
     generate, AttrKind, AttrSpec, Dataset, GeneratedEntity, GeneratorConfig, RuleForms,
 };
 pub use rest::{rest, RestConfig, RestDataset, Restaurant};
+pub use streaming::{med_stream, rest_stream, StreamConfig, StreamOp, UpdateStream};
 pub use workloads::{cfp, cfp_config, med, med_config, syn, syn_config, SynInstance};

@@ -1,0 +1,310 @@
+//! Update-stream workloads: the input of the incremental-repair pipeline.
+//!
+//! The paper's experiments repair a corpus once; a served workload keeps
+//! receiving data.  This module turns the `Med`-like and `Rest`-like corpora
+//! into **streaming** workloads: a flattened dirty relation (every entity's
+//! tuples tagged with its key attributes, so exact-key blocking reconstructs
+//! the entities), the matching rules and master data, plus a deterministic
+//! stream of [`StreamOp`]s — typed row batches
+//! ([`relacc_store::UpdateBatch`]: inserts of new observations, deletes of
+//! retracted ones) mixed with master-data appends (curated reference rows for
+//! entities the master relation did not cover yet).
+//!
+//! The stream relies on the versioned-relation row-id contract (sequential
+//! ids in insertion order, see [`relacc_store::versioned`]): the generator
+//! simulates the same assignment, so its scripted deletes always name live
+//! rows.  Everything is a pure function of the seed.
+
+use crate::generator::Dataset;
+use crate::rest::{rest, RestConfig};
+use crate::workloads::med;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relacc_core::rules::RuleSet;
+use relacc_model::{DataType, MasterRelation, Schema, Value};
+use relacc_store::{Relation, RowId, UpdateBatch};
+
+/// Configuration of an update stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of update batches.
+    pub n_batches: usize,
+    /// Row inserts per batch.
+    pub inserts_per_batch: usize,
+    /// Row deletes per batch.
+    pub deletes_per_batch: usize,
+    /// Master rows appended per batch (ignored for workloads without master
+    /// data; stops when the pool of uncovered entities is exhausted).
+    pub master_appends_per_batch: usize,
+    /// Fraction of inserts that open a brand-new entity instead of extending
+    /// an existing one.
+    pub fresh_entity_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            n_batches: 8,
+            inserts_per_batch: 4,
+            deletes_per_batch: 2,
+            master_appends_per_batch: 1,
+            fresh_entity_rate: 0.25,
+            seed: 17,
+        }
+    }
+}
+
+/// One operation of the stream, in application order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOp {
+    /// A typed batch of row inserts + deletes against the dirty relation.
+    Rows(UpdateBatch),
+    /// Rows appended to the master relation (index 0 of the plan's masters).
+    MasterAppend(Vec<Vec<Value>>),
+}
+
+/// A complete streaming workload: the seed state plus the scripted updates.
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    /// Catalog-entry name of the dirty relation (the one the batches address).
+    pub name: String,
+    /// The seed dirty relation (flattened, entity-key-tagged rows).
+    pub relation: Relation,
+    /// The seed master relation, when the workload has one.
+    pub master: Option<MasterRelation>,
+    /// The accuracy rules.
+    pub rules: RuleSet,
+    /// Attribute names resolution should match on (exact-key blocking over
+    /// these reconstructs the generator's entities).
+    pub match_attrs: Vec<String>,
+    /// The scripted updates, in application order.
+    pub ops: Vec<StreamOp>,
+}
+
+impl UpdateStream {
+    /// Number of row batches in the stream.
+    pub fn row_batches(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, StreamOp::Rows(_)))
+            .count()
+    }
+
+    /// Number of master appends in the stream.
+    pub fn master_appends(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, StreamOp::MasterAppend(_)))
+            .count()
+    }
+}
+
+/// Script a stream over an already-flattened relation: per batch, deletes of
+/// random live rows, inserts cloning (or re-keying) random seed rows, and —
+/// when a pool of late-arriving master rows exists — master appends.
+fn script_ops(
+    name: &str,
+    relation: &Relation,
+    key_attr: relacc_model::AttrId,
+    mut master_pool: Vec<Vec<Value>>,
+    config: &StreamConfig,
+) -> Vec<StreamOp> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_57EA);
+    // simulate the versioned relation's id assignment
+    let mut live: Vec<RowId> = (0..relation.len() as u64).map(RowId).collect();
+    let mut next_id = relation.len() as u64;
+    let seed_rows: Vec<Vec<Value>> = relation
+        .rows()
+        .iter()
+        .map(|t| t.values().to_vec())
+        .collect();
+    let mut fresh_entities = 0usize;
+
+    let mut ops = Vec::new();
+    for _ in 0..config.n_batches {
+        let mut batch = UpdateBatch::new(name);
+        // deletes: sample live ids without replacement, keeping the relation
+        // from draining (never drop below half the seed size)
+        let floor = seed_rows.len() / 2;
+        for _ in 0..config.deletes_per_batch {
+            if live.len() <= floor.max(1) {
+                break;
+            }
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            batch = batch.delete(victim);
+        }
+        // inserts: clone a random seed row; some become brand-new entities
+        for _ in 0..config.inserts_per_batch {
+            let mut row = seed_rows[rng.gen_range(0..seed_rows.len())].clone();
+            if rng.gen::<f64>() < config.fresh_entity_rate {
+                fresh_entities += 1;
+                row[key_attr.0] = Value::text(format!("stream_fresh_{fresh_entities}"));
+            }
+            batch = batch.insert(row);
+            live.push(RowId(next_id));
+            next_id += 1;
+        }
+        if !batch.is_empty() {
+            ops.push(StreamOp::Rows(batch));
+        }
+        if config.master_appends_per_batch > 0 && !master_pool.is_empty() {
+            let take = config.master_appends_per_batch.min(master_pool.len());
+            let rows: Vec<Vec<Value>> = master_pool.drain(..take).collect();
+            ops.push(StreamOp::MasterAppend(rows));
+        }
+    }
+    ops
+}
+
+/// Flatten a generated dataset into one dirty relation (all entity tuples,
+/// row order follows entity order) and collect the late-arriving master rows:
+/// the ground-truth master tuples of the entities the seed master relation
+/// does **not** cover, which is exactly the curated data a streaming master
+/// feed would deliver.
+fn flatten(data: &Dataset) -> (Relation, Vec<Vec<Value>>) {
+    let mut relation = Relation::new(data.schema.clone());
+    for entity in &data.entities {
+        for tuple in entity.instance.tuples() {
+            relation
+                .push_row(tuple.values().to_vec())
+                .expect("generated rows conform");
+        }
+    }
+    let key_attrs: Vec<_> = data.master_schema.attr_ids().collect();
+    let late_master: Vec<Vec<Value>> = data
+        .entities
+        .iter()
+        .filter(|e| !e.in_master)
+        .map(|e| {
+            key_attrs
+                .iter()
+                .map(|a| {
+                    let name = data.master_schema.attr_name(*a);
+                    e.truth.value(data.schema.expect_attr(name)).clone()
+                })
+                .collect()
+        })
+        .collect();
+    (relation, late_master)
+}
+
+/// The `Med`-shaped update stream: the scaled `Med` corpus flattened into a
+/// dirty relation, its rules and (partial) master relation, and a scripted
+/// insert/delete/master-append mix.  Master appends deliver the reference
+/// rows of initially uncovered entities, so applying the stream makes more
+/// entities completable over time.
+pub fn med_stream(scale: f64, seed: u64, config: &StreamConfig) -> UpdateStream {
+    let data = med(scale, seed);
+    let (relation, late_master) = flatten(&data);
+    let key_attr = data.schema.expect_attr("name");
+    let ops = script_ops("med", &relation, key_attr, late_master, config);
+    UpdateStream {
+        name: "med".into(),
+        relation,
+        master: Some(data.master.clone()),
+        rules: data.rules.clone(),
+        match_attrs: vec!["name".into()],
+        ops,
+    }
+}
+
+/// The `Rest`-shaped update stream: every restaurant's listings tagged with
+/// the restaurant name in an extra `rname` column (exact-key blocking over it
+/// reconstructs the entities), the corpus currency rules, and a scripted
+/// insert/delete mix.  The Rest workload has no master data, so its stream
+/// contains no master appends.
+pub fn rest_stream(scale: f64, seed: u64, config: &StreamConfig) -> UpdateStream {
+    let data = rest(&RestConfig::scaled(scale, seed));
+    let schema = Schema::builder("listing")
+        .attr("source", DataType::Text)
+        .attr("snapshot", DataType::Int)
+        .attr("closed", DataType::Bool)
+        .attr("rname", DataType::Text)
+        .build();
+    let mut relation = Relation::new(schema.clone());
+    for restaurant in &data.restaurants {
+        for tuple in restaurant.instance.tuples() {
+            let mut row = tuple.values().to_vec();
+            row.push(Value::text(restaurant.name.clone()));
+            relation.push_row(row).expect("generated rows conform");
+        }
+    }
+    let key_attr = schema.expect_attr("rname");
+    let ops = script_ops("rest", &relation, key_attr, Vec::new(), config);
+    UpdateStream {
+        name: "rest".into(),
+        relation,
+        master: None,
+        rules: data.rules.clone(),
+        match_attrs: vec!["rname".into()],
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn med_stream_is_deterministic_and_well_formed() {
+        let config = StreamConfig::default();
+        let a = med_stream(0.02, 5, &config);
+        let b = med_stream(0.02, 5, &config);
+        assert_eq!(a.relation.rows(), b.relation.rows());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.row_batches(), config.n_batches);
+        assert!(a.master_appends() > 0);
+        assert!(a.master.is_some());
+        // every scripted insert conforms to the schema, every delete is
+        // unique within its batch
+        for op in &a.ops {
+            if let StreamOp::Rows(batch) = op {
+                assert_eq!(batch.relation, "med");
+                for row in &batch.inserts {
+                    a.relation.schema().validate_row(row).unwrap();
+                }
+                let mut seen = std::collections::HashSet::new();
+                for id in &batch.deletes {
+                    assert!(seen.insert(*id), "duplicate delete {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn med_master_appends_conform_to_the_master_schema() {
+        let stream = med_stream(0.02, 9, &StreamConfig::default());
+        let master = stream.master.as_ref().unwrap();
+        for op in &stream.ops {
+            if let StreamOp::MasterAppend(rows) = op {
+                for row in rows {
+                    master.schema().validate_row(row).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_deletes_replay_cleanly_on_a_versioned_relation() {
+        use relacc_store::VersionedRelation;
+        let stream = med_stream(0.02, 11, &StreamConfig::default());
+        let mut versioned = VersionedRelation::from_relation(&stream.relation);
+        for op in &stream.ops {
+            if let StreamOp::Rows(batch) = op {
+                versioned.apply(batch).expect("scripted batches stay valid");
+            }
+        }
+        assert!(versioned.generation().0 as usize >= stream.row_batches());
+    }
+
+    #[test]
+    fn rest_stream_has_no_master_appends() {
+        let stream = rest_stream(0.005, 3, &StreamConfig::default());
+        assert_eq!(stream.master_appends(), 0);
+        assert!(stream.master.is_none());
+        assert!(stream.row_batches() > 0);
+        assert_eq!(stream.relation.schema().arity(), 4);
+    }
+}

@@ -134,7 +134,7 @@ impl BatchReport {
         (self.complete + self.suggested) as f64 / self.entities.len() as f64
     }
 
-    fn from_entities(entities: Vec<EntityResult>, threads_used: usize) -> Self {
+    pub(crate) fn from_entities(entities: Vec<EntityResult>, threads_used: usize) -> Self {
         let mut report = BatchReport {
             entities,
             complete: 0,
@@ -210,6 +210,64 @@ fn best_source_tuple(ie: &EntityInstance) -> Option<&Tuple> {
     best.map(|(t, _)| t)
 }
 
+/// The row a repaired relation keeps for one entity, or `None` when no row
+/// can be materialized (a non-Church-Rosser entity with no source record).
+/// This is the **single** materialization policy shared by
+/// [`BatchEngine::repair_relation`] and the incremental engine's snapshot
+/// assembly, so both paths emit bit-identical repaired relations.
+fn entity_row(result: &EntityResult, ie: &EntityInstance) -> Option<Vec<Value>> {
+    match result.outcome {
+        EntityOutcome::Complete | EntityOutcome::Suggested => {
+            Some(result.final_target().values().to_vec())
+        }
+        EntityOutcome::NeedsUser => {
+            // keep what the chase deduced, fall back to the entity's best
+            // source record for the attributes left open
+            let mut values = result.deduced.values().to_vec();
+            if let Some(source) = best_source_tuple(ie) {
+                for (slot, from_source) in values.iter_mut().zip(source.values()) {
+                    if slot.is_null() {
+                        *slot = from_source.clone();
+                    }
+                }
+            }
+            Some(values)
+        }
+        EntityOutcome::NotChurchRosser => best_source_tuple(ie).map(|t| t.values().to_vec()),
+    }
+}
+
+/// Materialize the one-row-per-entity repaired relation of a batch report:
+/// every entity contributes [`entity_row`] (indexing `entities` by its
+/// [`EntityResult::entity`]), rows failing schema validation or entities with
+/// no row land in the skip list instead of panicking.
+pub(crate) fn materialize_rows(
+    schema: &SchemaRef,
+    report: &BatchReport,
+    entities: &[EntityInstance],
+) -> (Relation, Vec<usize>, Vec<RepairSkip>) {
+    let mut repaired = Relation::new(schema.clone());
+    let mut row_entities = Vec::with_capacity(report.entities.len());
+    let mut skipped = Vec::new();
+    for result in &report.entities {
+        let Some(row) = entity_row(result, &entities[result.entity]) else {
+            skipped.push(RepairSkip {
+                entity: result.entity,
+                reason: "not Church-Rosser and no source record to fall back on".into(),
+            });
+            continue;
+        };
+        match repaired.push_row(row) {
+            Ok(()) => row_entities.push(result.entity),
+            Err(err) => skipped.push(RepairSkip {
+                entity: result.entity,
+                reason: format!("repaired row rejected by the schema: {err}"),
+            }),
+        }
+    }
+    (repaired, row_entities, skipped)
+}
+
 /// A compiled batch engine: one plan, evaluated against many entities.
 #[derive(Debug, Clone)]
 pub struct BatchEngine {
@@ -259,6 +317,13 @@ impl BatchEngine {
     /// The compiled plan.
     pub fn plan(&self) -> &ChasePlan {
         &self.plan
+    }
+
+    /// Mutable access to the compiled plan, for in-place master deltas
+    /// ([`ChasePlan::apply_master_delta`]).  The incremental engine owns its
+    /// batch engine and evolves the plan through this.
+    pub fn plan_mut(&mut self) -> &mut ChasePlan {
+        &mut self.plan
     }
 
     /// The active configuration.
@@ -316,47 +381,8 @@ impl BatchEngine {
             result.records = members.clone();
         }
 
-        let mut repaired = Relation::new(relation.schema().clone());
-        let mut row_entities = Vec::with_capacity(report.entities.len());
-        let mut skipped = Vec::new();
-        for result in &report.entities {
-            let row: Option<Vec<Value>> = match result.outcome {
-                EntityOutcome::Complete | EntityOutcome::Suggested => {
-                    Some(result.final_target().values().to_vec())
-                }
-                EntityOutcome::NeedsUser => {
-                    // keep what the chase deduced, fall back to the entity's
-                    // best source record for the attributes left open
-                    let mut values = result.deduced.values().to_vec();
-                    if let Some(source) = best_source_tuple(&resolved.entities[result.entity]) {
-                        for (slot, from_source) in values.iter_mut().zip(source.values()) {
-                            if slot.is_null() {
-                                *slot = from_source.clone();
-                            }
-                        }
-                    }
-                    Some(values)
-                }
-                EntityOutcome::NotChurchRosser => {
-                    best_source_tuple(&resolved.entities[result.entity])
-                        .map(|t| t.values().to_vec())
-                }
-            };
-            let Some(row) = row else {
-                skipped.push(RepairSkip {
-                    entity: result.entity,
-                    reason: "not Church-Rosser and no source record to fall back on".into(),
-                });
-                continue;
-            };
-            match repaired.push_row(row) {
-                Ok(()) => row_entities.push(result.entity),
-                Err(err) => skipped.push(RepairSkip {
-                    entity: result.entity,
-                    reason: format!("repaired row rejected by the schema: {err}"),
-                }),
-            }
-        }
+        let (repaired, row_entities, skipped) =
+            materialize_rows(relation.schema(), &report, &resolved.entities);
         RelationRepair {
             resolved,
             report,

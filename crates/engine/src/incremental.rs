@@ -1,0 +1,836 @@
+//! Incremental repair for streaming updates: the "one workload, many
+//! versions" axis of evaluate-many.
+//!
+//! [`BatchEngine::repair_relation`] answers "repair this relation, once".
+//! Served workloads do not stop there: input tuples and master data keep
+//! arriving, and re-running the full pipeline per update wastes almost all of
+//! its work — a small batch touches a handful of entities while thousands of
+//! others are untouched.  An [`IncrementalEngine`] keeps a repaired snapshot
+//! **live** under a stream of [`UpdateBatch`]es:
+//!
+//! * the input relation is held as a [`VersionedRelation`] (stable row ids,
+//!   generation stamps), so updates are typed deletes + inserts;
+//! * a [`relacc_resolve::IncrementalBlockingIndex`] maps each update to its
+//!   **dirty blocks** — blocking partitions the records and resolution never
+//!   merges across blocks, so entities are per-block objects and only dirty
+//!   blocks can change;
+//! * dirty blocks are re-resolved locally and their entities re-repaired in
+//!   **one** [`BatchEngine::run`] over the existing worker pool; every clean
+//!   block keeps its cached per-entity results;
+//! * master-data **appends** evolve the compiled plan in place
+//!   ([`relacc_core::chase::ChasePlan::apply_master_delta`] — monotone: new
+//!   form-(2) steps are
+//!   only added) and re-repair exactly the entities the new steps can touch:
+//!   by chase monotonicity, a new step with premise `te[A] = c` can never
+//!   fire for an entity whose deduced `te[A]` is a different constant, and an
+//!   assignment equal to an already-deduced value is a no-op, so entities
+//!   failing both tests keep their cached results verbatim.  Master deletes
+//!   (like rule changes) are not monotone and invalidate to a recompile,
+//!   which re-repairs everything under a fresh plan identity.
+//!
+//! [`IncrementalEngine::snapshot`] reassembles a [`RelationRepair`] that is
+//! **semantically identical** to a from-scratch
+//! [`BatchEngine::repair_relation`] over the current relation state: same
+//! entities in the same order, same outcomes/targets/suggestions, same match
+//! decisions, same repaired rows (the row-materialization policy is shared
+//! code).  Only the per-entity chase counters differ — cached entities report
+//! the work of the run that produced them, which is the point of
+//! incrementality.  The equivalence is enforced by
+//! `tests/incremental_differential.rs` at the workspace root.
+
+use crate::batch::EntityOutcome;
+use crate::batch::{materialize_rows, BatchEngine, BatchReport, EntityResult, RelationRepair};
+use crate::pool::effective_threads;
+use relacc_core::chase::{
+    GroundStep, MasterDeltaApplied, MasterUpdate, PendingPred, PlanDeltaError, PlanStamp,
+    StepAction,
+};
+use relacc_model::{EntityInstance, TargetTuple, Value};
+use relacc_resolve::{
+    resolve_relation, BlockKey, Blocker, IncrementalBlockingIndex, MatchDecision, ResolveConfig,
+    ResolvedEntities,
+};
+use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError, VersionedRelation};
+use std::collections::{BTreeSet, HashMap};
+
+/// The cached repair of one block: its rows (in snapshot order at repair
+/// time), the local resolution output and the per-entity results, all under
+/// block-local indices; [`IncrementalEngine::snapshot`] rebases them to
+/// global indices.
+#[derive(Debug, Clone)]
+struct BlockRepair {
+    /// The block's live rows at repair time, in snapshot order.
+    rows: Vec<RowId>,
+    /// Plan state the entities were repaired (or last revalidated) under.
+    stamp: PlanStamp,
+    /// Pairwise match decisions, with indices local to `rows`.
+    decisions: Vec<MatchDecision>,
+    /// The block's entities in ascending-smallest-member order.
+    entities: Vec<BlockEntity>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockEntity {
+    /// Member positions into [`BlockRepair::rows`], ascending.
+    members: Vec<usize>,
+    /// The repair result.  `entity` / `records` are meaningless here and are
+    /// rewritten during snapshot assembly.
+    result: EntityResult,
+}
+
+/// What one applied update did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The relation generation after the update (unchanged for pure master
+    /// deltas).
+    pub generation: Generation,
+    /// Blocks that were re-repaired (for row updates also re-resolved).
+    pub dirty_blocks: usize,
+    /// Blocks that lost their last live row and were dropped from the cache.
+    pub dropped_blocks: usize,
+    /// Blocks whose cached repair was reused untouched.
+    pub clean_blocks: usize,
+    /// Entities re-repaired through the worker pool.
+    pub entities_rerepaired: usize,
+    /// Entities whose cached result was reused.
+    pub entities_reused: usize,
+}
+
+/// Cumulative counters of an engine's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Row update batches applied.
+    pub batches_applied: usize,
+    /// Master deltas applied in place.
+    pub master_deltas_applied: usize,
+    /// Plan recompiles forced by non-monotone master updates.
+    pub recompiles: usize,
+    /// Total entities re-repaired across all updates (including the initial
+    /// full repair).
+    pub entities_rerepaired: usize,
+    /// Total entities reused from cache across all updates.
+    pub entities_reused: usize,
+}
+
+/// Errors of the incremental engine.
+#[derive(Debug)]
+pub enum IncrementalError {
+    /// A row update failed (wrong relation name, dead row id, schema
+    /// violation).
+    Update(UpdateError),
+    /// A master delta failed.
+    Plan(PlanDeltaError),
+}
+
+impl std::fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncrementalError::Update(e) => write!(f, "update rejected: {e}"),
+            IncrementalError::Plan(e) => write!(f, "master delta rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
+impl From<UpdateError> for IncrementalError {
+    fn from(e: UpdateError) -> Self {
+        IncrementalError::Update(e)
+    }
+}
+
+impl From<PlanDeltaError> for IncrementalError {
+    fn from(e: PlanDeltaError) -> Self {
+        IncrementalError::Plan(e)
+    }
+}
+
+/// A live repaired snapshot of one relation, maintained under a stream of
+/// typed updates.  See the module docs for the design.
+#[derive(Debug)]
+pub struct IncrementalEngine {
+    engine: BatchEngine,
+    resolve: ResolveConfig,
+    /// Catalog-entry name updates must address.
+    name: String,
+    relation: VersionedRelation,
+    index: IncrementalBlockingIndex,
+    blocks: HashMap<BlockKey, BlockRepair>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalEngine {
+    /// Open an engine over the seed state of a relation (registered under
+    /// `name`, the catalog entry its [`UpdateBatch`]es must address) and run
+    /// the initial full repair.
+    pub fn open(
+        engine: BatchEngine,
+        name: impl Into<String>,
+        relation: &Relation,
+        resolve: ResolveConfig,
+    ) -> Self {
+        let versioned = VersionedRelation::from_relation(relation);
+        let match_attrs = resolve
+            .match_attrs
+            .iter()
+            .filter_map(|n| relation.schema().attr_id(n))
+            .collect();
+        let blocker = Blocker::new(match_attrs, resolve.strategy.clone());
+        let index = IncrementalBlockingIndex::build(
+            blocker,
+            versioned.rows().iter().map(|r| (r.id, &r.tuple)),
+        );
+        let mut this = IncrementalEngine {
+            engine,
+            resolve,
+            name: name.into(),
+            relation: versioned,
+            index,
+            blocks: HashMap::new(),
+            stats: IncrementalStats::default(),
+        };
+        // initial repair: every block is dirty
+        let all: BTreeSet<BlockKey> = this
+            .relation
+            .rows()
+            .iter()
+            .filter_map(|r| this.index.block_of_row(r.id).cloned())
+            .collect();
+        this.rerepair(all, true);
+        this
+    }
+
+    /// The batch engine (and through it the compiled plan).
+    pub fn engine(&self) -> &BatchEngine {
+        &self.engine
+    }
+
+    /// The current relation state.
+    pub fn relation(&self) -> &VersionedRelation {
+        &self.relation
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &IncrementalStats {
+        &self.stats
+    }
+
+    /// Apply a typed batch of row deletes + inserts and re-repair exactly the
+    /// dirty blocks.  The batch must address this engine's relation by name.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome, IncrementalError> {
+        if batch.relation != self.name {
+            return Err(IncrementalError::Update(UpdateError::NoSuchRelation(
+                batch.relation.clone(),
+            )));
+        }
+        let applied = self
+            .relation
+            .apply(batch)
+            .map_err(IncrementalError::Update)?;
+        let inserted: Vec<(RowId, relacc_model::Tuple)> = applied
+            .inserted
+            .iter()
+            .map(|&id| {
+                let row = self.relation.row(id).expect("freshly inserted");
+                (id, row.tuple.clone())
+            })
+            .collect();
+        let dirty = self.index.apply(
+            applied.deleted.iter().map(|(id, _)| *id),
+            inserted.iter().map(|(id, tuple)| (*id, tuple)),
+        );
+        self.stats.batches_applied += 1;
+        let mut outcome = self.rerepair(dirty.blocks, true);
+        outcome.generation = applied.generation;
+        Ok(outcome)
+    }
+
+    /// Append rows to master relation `master`, evolving the compiled plan in
+    /// place, and re-repair only the entities the new form-(2) steps can
+    /// affect (see the module docs for why the filter is exact).
+    pub fn apply_master_append(
+        &mut self,
+        master: usize,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<UpdateOutcome, IncrementalError> {
+        let applied: MasterDeltaApplied = self
+            .engine
+            .plan_mut()
+            .apply_master_delta(&MasterUpdate::append(master, rows))?;
+        self.stats.master_deltas_applied += 1;
+        let new_steps: Vec<GroundStep> =
+            self.engine.plan().master_steps()[applied.new_steps.clone()].to_vec();
+        let mut dirty: BTreeSet<BlockKey> = BTreeSet::new();
+        for (key, repair) in &mut self.blocks {
+            let affected = !new_steps.is_empty()
+                && repair
+                    .entities
+                    .iter()
+                    .any(|be| step_set_may_affect(&new_steps, &be.result));
+            if affected {
+                dirty.insert(key.clone());
+            } else {
+                // the cached results are proven still-current: revalidate
+                // their stamp against the evolved plan
+                repair.stamp = applied.stamp;
+            }
+        }
+        // block membership is untouched by a master delta: reuse the cached
+        // resolution (members + match decisions) and re-run only the chase
+        let mut outcome = self.rerepair(dirty, false);
+        outcome.generation = self.relation.generation();
+        Ok(outcome)
+    }
+
+    /// Replace the plan's master data wholesale (the non-monotone path:
+    /// deletions or arbitrary edits).  The plan is recompiled — fresh
+    /// identity, so every cached checkpoint and block result is stale — and
+    /// the whole relation is re-repaired.
+    pub fn replace_masters(
+        &mut self,
+        masters: Vec<relacc_model::MasterRelation>,
+    ) -> Result<UpdateOutcome, IncrementalError> {
+        let plan = self.engine.plan();
+        let recompiled = relacc_core::chase::ChasePlan::compile(
+            plan.schema().clone(),
+            (**plan.rules()).clone(),
+            masters,
+        )
+        .map_err(|_| IncrementalError::Plan(PlanDeltaError::RequiresRecompile))?;
+        let config = self.engine.config().clone();
+        self.engine = BatchEngine::from_plan(recompiled).with_config(config);
+        self.stats.recompiles += 1;
+        let all: BTreeSet<BlockKey> = self.blocks.keys().cloned().collect();
+        // rows are untouched, so the cached resolution stays valid here too
+        let mut outcome = self.rerepair(all, false);
+        outcome.generation = self.relation.generation();
+        Ok(outcome)
+    }
+
+    /// Re-repair the given blocks; everything else keeps its cached repair.
+    /// Blocks that no longer have live rows are dropped.
+    ///
+    /// With `reresolve` the dirty blocks are re-resolved first (the row-update
+    /// path: membership changed).  Without it the cached resolution — member
+    /// partition and match decisions — is reused and only the chase re-runs
+    /// (the master-delta paths: rows are untouched, and match decisions
+    /// depend only on row contents, never on the plan).
+    fn rerepair(&mut self, dirty: BTreeSet<BlockKey>, reresolve: bool) -> UpdateOutcome {
+        let membership = self.block_membership();
+        let stamp = self.engine.plan().stamp();
+
+        // per dirty block: the local resolution (fresh or cached), entities
+        // gathered for one pooled run
+        let mut dropped_blocks = 0usize;
+        let mut jobs: Vec<(BlockKey, Vec<RowId>, Option<ResolvedEntities>)> = Vec::new();
+        let mut batch_entities: Vec<EntityInstance> = Vec::new();
+        let mut spans: Vec<std::ops::Range<usize>> = Vec::new();
+        for key in &dirty {
+            let Some(globals) = membership.get(key) else {
+                self.blocks.remove(key);
+                dropped_blocks += 1;
+                continue;
+            };
+            let start = batch_entities.len();
+            if reresolve {
+                let mut local = Relation::new(self.relation.schema().clone());
+                let mut row_ids = Vec::with_capacity(globals.len());
+                for &(global, id) in globals {
+                    local
+                        .push_row(self.relation.rows()[global].tuple.values().to_vec())
+                        .expect("live rows conform to the schema");
+                    row_ids.push(id);
+                }
+                let resolved = resolve_relation(&local, &self.resolve);
+                batch_entities.extend(resolved.entities.iter().cloned());
+                jobs.push((key.clone(), row_ids, Some(resolved)));
+            } else {
+                let repair = self
+                    .blocks
+                    .get(key)
+                    .expect("plan-delta dirty blocks are cached");
+                debug_assert_eq!(repair.rows.len(), globals.len(), "membership drifted");
+                for be in &repair.entities {
+                    let mut instance = EntityInstance::new(self.relation.schema().clone());
+                    for &local in &be.members {
+                        instance
+                            .push_tuple(self.relation.rows()[globals[local].0].tuple.clone())
+                            .expect("live rows conform to the schema");
+                    }
+                    batch_entities.push(instance);
+                }
+                jobs.push((key.clone(), repair.rows.clone(), None));
+            }
+            spans.push(start..batch_entities.len());
+        }
+
+        let entities_rerepaired = batch_entities.len();
+        let report: BatchReport = self.engine.run_owned(batch_entities);
+        for ((key, row_ids, resolved), span) in jobs.into_iter().zip(spans) {
+            let results = &report.entities[span];
+            match resolved {
+                Some(resolved) => {
+                    let entities = resolved
+                        .members
+                        .iter()
+                        .zip(results.iter())
+                        .map(|(members, result)| BlockEntity {
+                            members: members.clone(),
+                            result: result.clone(),
+                        })
+                        .collect();
+                    self.blocks.insert(
+                        key,
+                        BlockRepair {
+                            rows: row_ids,
+                            stamp,
+                            decisions: resolved.decisions,
+                            entities,
+                        },
+                    );
+                }
+                None => {
+                    let repair = self.blocks.get_mut(&key).expect("cached above");
+                    for (be, result) in repair.entities.iter_mut().zip(results.iter()) {
+                        be.result = result.clone();
+                    }
+                    repair.stamp = stamp;
+                }
+            }
+        }
+
+        let alive_dirty = dirty.len() - dropped_blocks;
+        let clean_blocks = membership.len() - alive_dirty;
+        let entities_reused: usize = membership
+            .iter()
+            .filter(|(key, _)| !dirty.contains(*key))
+            .map(|(key, _)| self.blocks.get(key).map_or(0, |b| b.entities.len()))
+            .sum();
+        self.stats.entities_rerepaired += entities_rerepaired;
+        self.stats.entities_reused += entities_reused;
+        UpdateOutcome {
+            generation: self.relation.generation(),
+            dirty_blocks: alive_dirty,
+            dropped_blocks,
+            clean_blocks,
+            entities_rerepaired,
+            entities_reused,
+        }
+    }
+
+    /// The live blocks with their member rows as `(global index, row id)`
+    /// pairs, keyed by block, membership in snapshot order.
+    fn block_membership(&self) -> HashMap<BlockKey, Vec<(usize, RowId)>> {
+        let mut membership: HashMap<BlockKey, Vec<(usize, RowId)>> = HashMap::new();
+        for (global, row) in self.relation.rows().iter().enumerate() {
+            let key = self
+                .index
+                .block_of_row(row.id)
+                .expect("every live row is indexed")
+                .clone();
+            membership.entry(key).or_default().push((global, row.id));
+        }
+        membership
+    }
+
+    /// Assemble the current full [`RelationRepair`] from the per-block cache.
+    ///
+    /// The output is semantically identical to
+    /// `BatchEngine::repair_relation(&self.relation.snapshot(), &resolve)`
+    /// under the engine's current plan: same entity order (ascending smallest
+    /// member record), same outcomes, targets, suggestions, membership, match
+    /// decisions, repaired rows and skip list.  Per-entity chase counters
+    /// reflect the run that actually produced each cached result.
+    pub fn snapshot(&self) -> RelationRepair {
+        let relation = self.relation.snapshot();
+        let schema = relation.schema().clone();
+
+        // blocks in ascending smallest-member order, exactly like
+        // `Blocker::blocks` sorts them for the full pipeline
+        let membership = self.block_membership();
+        let mut ordered: Vec<(&BlockKey, &Vec<(usize, RowId)>)> = membership.iter().collect();
+        ordered.sort_by_key(|(_, globals)| globals.first().map_or(usize::MAX, |&(g, _)| g));
+
+        let mut decisions: Vec<MatchDecision> = Vec::new();
+        let mut assembled: Vec<(Vec<usize>, EntityResult)> = Vec::new();
+        for (key, globals) in ordered {
+            let repair = self
+                .blocks
+                .get(key)
+                .expect("every live block has a cached repair");
+            debug_assert_eq!(repair.rows.len(), globals.len(), "stale block cache");
+            debug_assert_eq!(
+                repair.stamp,
+                self.engine.plan().stamp(),
+                "block cache is stale relative to the plan — was the plan \
+                 mutated without going through apply_master_append?"
+            );
+            for d in &repair.decisions {
+                decisions.push(MatchDecision {
+                    left: globals[d.left].0,
+                    right: globals[d.right].0,
+                    similarity: d.similarity,
+                    matched: d.matched,
+                });
+            }
+            for be in &repair.entities {
+                let members: Vec<usize> = be.members.iter().map(|&l| globals[l].0).collect();
+                assembled.push((members, be.result.clone()));
+            }
+        }
+        // global entity order: ascending smallest member, exactly like the
+        // full pipeline's first-seen union-find collection
+        assembled.sort_by_key(|(members, _)| members.first().copied().unwrap_or(usize::MAX));
+
+        let mut entities = Vec::with_capacity(assembled.len());
+        let mut members = Vec::with_capacity(assembled.len());
+        let mut results = Vec::with_capacity(assembled.len());
+        for (idx, (member_rows, mut result)) in assembled.into_iter().enumerate() {
+            let mut instance = EntityInstance::new(schema.clone());
+            for &row in &member_rows {
+                instance
+                    .push_tuple(relation.rows()[row].clone())
+                    .expect("rows conform to their own schema");
+            }
+            entities.push(instance);
+            result.entity = idx;
+            result.records = member_rows.clone();
+            members.push(member_rows);
+            results.push(result);
+        }
+
+        let threads = effective_threads(self.engine.config().threads, results.len());
+        let report = BatchReport::from_entities(results, threads);
+        let (repaired, row_entities, skipped) = materialize_rows(&schema, &report, &entities);
+        RelationRepair {
+            resolved: ResolvedEntities {
+                entities,
+                members,
+                decisions,
+            },
+            report,
+            repaired,
+            row_entities,
+            skipped,
+        }
+    }
+}
+
+/// Can any of the delta's new ground steps change this entity's repair?
+///
+/// Exactness argument (chase monotonicity + Church-Rosser): master steps are
+/// `Assign` actions guarded by `te[A] = c` premises.  A premise on an
+/// attribute the base run deduced as a *different* constant can never be
+/// satisfied (a defined target value never changes), so such a step never
+/// fires for this entity, in the base run or in any candidate check.  A step
+/// whose assignments all equal already-deduced values is a no-op even if it
+/// fires.  Everything else — a premise on a still-null attribute, an
+/// assignment to a null attribute, an assignment contradicting a deduced
+/// value (a conflict in the re-run) — may change the fixpoint, so the entity
+/// must be re-repaired.  Not-Church-Rosser entities are re-repaired whenever
+/// steps were added at all: they stay conflicting (monotonicity), but the
+/// *reported* conflict may legitimately differ once more steps compete.
+fn step_set_may_affect(steps: &[GroundStep], result: &EntityResult) -> bool {
+    if result.outcome == EntityOutcome::NotChurchRosser {
+        return true;
+    }
+    steps
+        .iter()
+        .any(|step| step_may_affect(step, &result.deduced))
+}
+
+fn step_may_affect(step: &GroundStep, deduced: &TargetTuple) -> bool {
+    for pending in &step.pending {
+        match pending {
+            PendingPred::TargetCmp { attr, op, rhs } => {
+                let value = deduced.value(*attr);
+                if !value.is_null() && !value.eval(*op, rhs).unwrap_or(false) {
+                    return false; // premise can never be satisfied
+                }
+            }
+            // order premises do not occur in master steps; be conservative
+            PendingPred::Order { .. } => {}
+        }
+    }
+    match &step.action {
+        StepAction::Assign { assignments } => assignments.iter().any(|(attr, value)| {
+            let current = deduced.value(*attr);
+            current.is_null() || !current.same(value)
+        }),
+        // order actions do not occur in master steps; be conservative
+        StepAction::Order { .. } => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::EntityOutcome;
+    use relacc_core::rules::{MasterPremise, MasterRule, Predicate, RuleSet, TupleRule};
+    use relacc_model::{AttrId, CmpOp, DataType, MasterRelation, Schema, SchemaRef};
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("name", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    fn master_schema() -> SchemaRef {
+        Schema::builder("nba")
+            .attr("name", DataType::Text)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    fn rules(s: &SchemaRef, ms: &SchemaRef) -> RuleSet {
+        RuleSet::from_rules([
+            relacc_core::AccuracyRule::from(TupleRule::new(
+                "cur",
+                vec![Predicate::cmp_attrs(s.expect_attr("rnds"), CmpOp::Lt)],
+                s.expect_attr("rnds"),
+            )),
+            relacc_core::AccuracyRule::from(MasterRule::new(
+                "m",
+                vec![MasterPremise::TargetEqMaster(
+                    s.expect_attr("name"),
+                    ms.expect_attr("name"),
+                )],
+                vec![(s.expect_attr("team"), ms.expect_attr("team"))],
+            )),
+        ])
+    }
+
+    fn seed_relation(s: &SchemaRef) -> Relation {
+        Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("mj"), Value::Int(16), Value::Null],
+                vec![Value::text("mj"), Value::Int(27), Value::Null],
+                vec![Value::text("sp"), Value::Int(27), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn open_engine() -> IncrementalEngine {
+        let s = schema();
+        let ms = master_schema();
+        let master = MasterRelation::from_rows(
+            ms.clone(),
+            vec![vec![Value::text("mj"), Value::text("Bulls")]],
+        )
+        .unwrap();
+        let engine = BatchEngine::new(s.clone(), rules(&s, &ms), vec![master]).unwrap();
+        IncrementalEngine::open(
+            engine,
+            "stat",
+            &seed_relation(&s),
+            ResolveConfig::on_attrs(vec!["name".into()])
+                .with_strategy(relacc_resolve::BlockingStrategy::ExactKey),
+        )
+    }
+
+    fn assert_matches_full(incremental: &IncrementalEngine, label: &str) {
+        let full = incremental.engine.repair_relation(
+            &incremental.relation.snapshot(),
+            &ResolveConfig::on_attrs(vec!["name".into()])
+                .with_strategy(relacc_resolve::BlockingStrategy::ExactKey),
+        );
+        let snap = incremental.snapshot();
+        assert_eq!(
+            snap.resolved.members, full.resolved.members,
+            "{label}: members"
+        );
+        assert_eq!(
+            snap.resolved.decisions, full.resolved.decisions,
+            "{label}: decisions"
+        );
+        assert_eq!(
+            snap.report.entities.len(),
+            full.report.entities.len(),
+            "{label}: entity count"
+        );
+        for (a, b) in snap.report.entities.iter().zip(full.report.entities.iter()) {
+            assert_eq!(a.entity, b.entity, "{label}: entity index");
+            assert_eq!(a.records, b.records, "{label}: records of {}", a.entity);
+            assert_eq!(a.outcome, b.outcome, "{label}: outcome of {}", a.entity);
+            assert_eq!(a.deduced, b.deduced, "{label}: deduced of {}", a.entity);
+            assert_eq!(
+                a.suggestion, b.suggestion,
+                "{label}: suggestion of {}",
+                a.entity
+            );
+        }
+        assert_eq!(snap.repaired.rows(), full.repaired.rows(), "{label}: rows");
+        assert_eq!(
+            snap.row_entities, full.row_entities,
+            "{label}: row entities"
+        );
+        assert_eq!(snap.skipped, full.skipped, "{label}: skipped");
+    }
+
+    #[test]
+    fn open_runs_the_initial_full_repair() {
+        let engine = open_engine();
+        assert_eq!(engine.stats().entities_rerepaired, 2);
+        let snap = engine.snapshot();
+        assert_eq!(snap.report.entities.len(), 2);
+        // mj joins the master relation and resolves the team
+        let mj = &snap.report.entities[0];
+        assert_eq!(mj.records, vec![0, 1]);
+        assert_eq!(mj.deduced.value(AttrId(2)), &Value::text("Bulls"));
+        assert_matches_full(&engine, "seed");
+    }
+
+    #[test]
+    fn row_updates_rerepair_only_dirty_blocks() {
+        let mut engine = open_engine();
+        let outcome = engine
+            .apply(&UpdateBatch::new("stat").insert(vec![
+                Value::text("sp"),
+                Value::Int(31),
+                Value::Null,
+            ]))
+            .unwrap();
+        assert_eq!(outcome.generation, Generation(1));
+        assert_eq!(outcome.dirty_blocks, 1);
+        assert_eq!(outcome.dropped_blocks, 0);
+        assert_eq!(outcome.clean_blocks, 1);
+        assert_eq!(outcome.entities_rerepaired, 1);
+        assert_eq!(outcome.entities_reused, 1);
+        assert_matches_full(&engine, "insert");
+
+        // deleting the fresher sp row reverts its deduction
+        let outcome = engine
+            .apply(&UpdateBatch::new("stat").delete(RowId(3)))
+            .unwrap();
+        assert_eq!(outcome.dirty_blocks, 1);
+        assert_matches_full(&engine, "delete");
+
+        // deleting a whole block removes its entities; nothing was
+        // re-repaired and the surviving block's cache is reused
+        let outcome = engine
+            .apply(&UpdateBatch::new("stat").delete(RowId(2)))
+            .unwrap();
+        assert_eq!(outcome.dirty_blocks, 0);
+        assert_eq!(outcome.dropped_blocks, 1);
+        assert_eq!(outcome.clean_blocks, 1);
+        assert_eq!(outcome.entities_rerepaired, 0);
+        assert_eq!(outcome.entities_reused, 1);
+        assert_eq!(engine.snapshot().report.entities.len(), 1);
+        assert_matches_full(&engine, "block-drop");
+    }
+
+    #[test]
+    fn updates_must_address_the_right_relation() {
+        let mut engine = open_engine();
+        assert!(matches!(
+            engine.apply(&UpdateBatch::new("other")),
+            Err(IncrementalError::Update(UpdateError::NoSuchRelation(_)))
+        ));
+        assert!(matches!(
+            engine.apply(&UpdateBatch::new("stat").delete(RowId(99))),
+            Err(IncrementalError::Update(UpdateError::NoSuchRow(_)))
+        ));
+    }
+
+    #[test]
+    fn master_appends_rerepair_only_affected_entities() {
+        let mut engine = open_engine();
+        // the sp entity has no master row: its team is open
+        let before = engine.snapshot();
+        assert!(before.report.entities[1].deduced.is_null(AttrId(2)));
+
+        let outcome = engine
+            .apply_master_append(0, vec![vec![Value::text("sp"), Value::text("Blazers")]])
+            .unwrap();
+        // only the sp entity can be affected: mj's premises bind te[name]="mj"
+        assert_eq!(outcome.entities_rerepaired, 1);
+        assert_eq!(outcome.entities_reused, 1);
+        let after = engine.snapshot();
+        assert_eq!(
+            after.report.entities[1].deduced.value(AttrId(2)),
+            &Value::text("Blazers")
+        );
+        assert_matches_full(&engine, "master-append");
+
+        // appending an unrelated master row affects nobody
+        let outcome = engine
+            .apply_master_append(0, vec![vec![Value::text("pe"), Value::text("Knicks")]])
+            .unwrap();
+        assert_eq!(outcome.entities_rerepaired, 0);
+        assert_eq!(outcome.entities_reused, 2);
+        assert_matches_full(&engine, "unrelated-append");
+        assert_eq!(engine.stats().master_deltas_applied, 2);
+    }
+
+    #[test]
+    fn master_replacement_recompiles_and_rerepairs_everything() {
+        let mut engine = open_engine();
+        let ms = master_schema();
+        // delete the mj master row: requires a recompile
+        let replacement =
+            MasterRelation::from_rows(ms, vec![vec![Value::text("sp"), Value::text("Blazers")]])
+                .unwrap();
+        let old_stamp = engine.engine().plan().stamp();
+        let outcome = engine.replace_masters(vec![replacement]).unwrap();
+        assert_eq!(outcome.entities_rerepaired, 2);
+        assert_ne!(engine.engine().plan().stamp().plan, old_stamp.plan);
+        let snap = engine.snapshot();
+        // mj lost its master row, sp gained one
+        assert!(snap.report.entities[0].deduced.is_null(AttrId(2)));
+        assert_eq!(
+            snap.report.entities[1].deduced.value(AttrId(2)),
+            &Value::text("Blazers")
+        );
+        assert_matches_full(&engine, "recompile");
+        assert_eq!(engine.stats().recompiles, 1);
+    }
+
+    #[test]
+    fn suggestions_survive_incremental_merges() {
+        // an entity with a free conflicting attribute keeps its suggestion
+        // through unrelated updates
+        let s = Schema::builder("r")
+            .attr("name", DataType::Text)
+            .attr("color", DataType::Text)
+            .build();
+        let relation = Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("widget"), Value::text("red")],
+                vec![Value::text("widget"), Value::text("red")],
+                vec![Value::text("widget"), Value::text("blue")],
+                vec![Value::text("gadget"), Value::text("green")],
+            ],
+        )
+        .unwrap();
+        let engine = BatchEngine::new(s.clone(), RuleSet::new(), vec![]).unwrap();
+        let mut inc = IncrementalEngine::open(
+            engine,
+            "r",
+            &relation,
+            ResolveConfig::on_attrs(vec!["name".into()])
+                .with_strategy(relacc_resolve::BlockingStrategy::ExactKey),
+        );
+        let snap = inc.snapshot();
+        assert_eq!(snap.report.entities[0].outcome, EntityOutcome::Suggested);
+        // touching the gadget block must not disturb the widget suggestion
+        let outcome = inc
+            .apply(&UpdateBatch::new("r").insert(vec![Value::text("gadget"), Value::text("teal")]))
+            .unwrap();
+        assert_eq!(outcome.entities_rerepaired, 1);
+        let snap = inc.snapshot();
+        assert_eq!(snap.report.entities[0].outcome, EntityOutcome::Suggested);
+        assert_eq!(
+            snap.report.entities[0]
+                .suggestion
+                .as_ref()
+                .unwrap()
+                .value(AttrId(1)),
+            &Value::text("red")
+        );
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`BatchEngine::repair_relation`] — resolve a dirty
 //!   [`relacc_store::Relation`] into entities (blocking + matching from
 //!   `relacc-resolve`) and repair every entity;
+//! * [`IncrementalEngine`] — keep a repaired snapshot live under a stream of
+//!   typed [`relacc_store::UpdateBatch`]es and master-data appends,
+//!   re-repairing only the dirty entities of each update ("one workload,
+//!   many versions");
 //! * [`EntitySession`] — ground-once state for the interactive framework
 //!   (`relacc_framework::run_session` opens one per session and reuses its
 //!   `Γ` across user rounds).
@@ -72,11 +76,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod incremental;
 pub mod pool;
 pub mod session;
 
 pub use batch::{
     BatchEngine, BatchReport, EngineConfig, EntityOutcome, EntityResult, RelationRepair, RepairSkip,
 };
+pub use incremental::{IncrementalEngine, IncrementalError, IncrementalStats, UpdateOutcome};
 pub use pool::par_map_with;
 pub use session::EntitySession;

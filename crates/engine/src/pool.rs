@@ -7,17 +7,44 @@
 //! whole pre-assigned chunk), carry a mutable per-worker state — the engine
 //! passes its [`relacc_core::chase::ChaseScratch`] — and results are returned
 //! in input order regardless of completion order.
+//!
+//! **`RELACC_POOL_THREADS`.**  When this environment variable holds a
+//! positive integer, it overrides every caller-requested thread count
+//! (still capped by the item count).  CI runs the whole test suite with
+//! `RELACC_POOL_THREADS=1` so scheduling-dependent nondeterminism cannot
+//! hide behind the default worker count.  The variable is read once per
+//! process; values that are empty or fail to parse are ignored.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Parse a `RELACC_POOL_THREADS` value: a positive integer overrides the
+/// requested worker count, anything else (unset, empty, unparsable, zero)
+/// means "no override".
+pub fn parse_pool_override(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?.trim();
+    raw.parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The process-wide `RELACC_POOL_THREADS` override, read once.
+fn pool_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE
+        .get_or_init(|| parse_pool_override(std::env::var("RELACC_POOL_THREADS").ok().as_deref()))
+}
 
 /// Number of worker threads to use for `requested` (0 = one per available
-/// core, capped by the number of items).
+/// core, capped by the number of items).  A `RELACC_POOL_THREADS` override
+/// takes precedence over `requested` (see the module docs).
 pub fn effective_threads(requested: usize, items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let threads = if requested == 0 { hw } else { requested };
+    let threads = match pool_override() {
+        Some(forced) => forced,
+        None if requested == 0 => hw,
+        None => requested,
+    };
     threads.clamp(1, items.max(1))
 }
 
@@ -101,9 +128,32 @@ mod tests {
 
     #[test]
     fn thread_resolution() {
-        assert_eq!(effective_threads(3, 100), 3);
-        assert_eq!(effective_threads(8, 2), 2);
+        // the suite may legitimately run under a RELACC_POOL_THREADS override
+        // (the CI single-worker matrix leg); requested counts only decide the
+        // pool size when no override is active
+        match parse_pool_override(std::env::var("RELACC_POOL_THREADS").ok().as_deref()) {
+            None => {
+                assert_eq!(effective_threads(3, 100), 3);
+                assert_eq!(effective_threads(8, 2), 2);
+            }
+            Some(forced) => {
+                assert_eq!(effective_threads(3, 100), forced.min(100));
+                assert_eq!(effective_threads(8, 2), forced.min(2));
+            }
+        }
         assert_eq!(effective_threads(1, 0), 1);
         assert!(effective_threads(0, 1000) >= 1);
+    }
+
+    #[test]
+    fn pool_override_parses_only_positive_integers() {
+        assert_eq!(parse_pool_override(None), None);
+        assert_eq!(parse_pool_override(Some("")), None);
+        assert_eq!(parse_pool_override(Some("  ")), None);
+        assert_eq!(parse_pool_override(Some("0")), None);
+        assert_eq!(parse_pool_override(Some("abc")), None);
+        assert_eq!(parse_pool_override(Some("-4")), None);
+        assert_eq!(parse_pool_override(Some("1")), Some(1));
+        assert_eq!(parse_pool_override(Some(" 16 ")), Some(16));
     }
 }

@@ -5,9 +5,9 @@
 //! Accuracy of Attributes"* (SIGMOD 2013):
 //!
 //! * [`voting_target`] / [`voting_over_sources`] — majority voting;
-//! * [`deduce_order`] — conflict resolution from currency constraints and
+//! * [`mod@deduce_order`] — conflict resolution from currency constraints and
 //!   constant CFDs (Fan et al., ICDE 2013);
-//! * [`copy_cef`] — Bayesian source-accuracy estimation with copy detection
+//! * [`mod@copy_cef`] — Bayesian source-accuracy estimation with copy detection
 //!   (Dong et al., PVLDB 2009), whose posteriors can seed the preference model
 //!   of `relacc-topk`;
 //! * [`metrics`] — precision/recall/F1, attribute accuracy and exact-match

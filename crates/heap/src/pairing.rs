@@ -1,7 +1,7 @@
 //! A max-oriented pairing heap.
 //!
 //! Algorithm `TopKCT` (Fig. 5 of the paper) keeps the frontier of candidate
-//! targets in a *Brodal queue* [6], a worst-case efficient priority queue with
+//! targets in a *Brodal queue* \[6\], a worst-case efficient priority queue with
 //! `O(1)` insert and `O(log n)` delete-max.  A pairing heap offers the same
 //! interface with amortized `O(1)` insert / meld and `O(log n)` amortized
 //! delete-max, which is all the complexity argument of Section 6.2 relies on,

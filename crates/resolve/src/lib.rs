@@ -16,7 +16,10 @@
 //!   all `O(n²)` record pairs of a large relation;
 //! * [`resolve`] — pairwise matching plus union-find clustering that splits a
 //!   dirty [`relacc_store::Relation`] into per-entity
-//!   [`relacc_model::EntityInstance`]s.
+//!   [`relacc_model::EntityInstance`]s;
+//! * [`incremental`] — a maintained row → block index that maps an update
+//!   batch (inserts/deletes of a versioned relation) to the set of dirty
+//!   blocks, the unit of incremental re-resolution and re-repair.
 //!
 //! ```
 //! use relacc_resolve::{resolve_relation, ResolveConfig};
@@ -40,10 +43,12 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod incremental;
 pub mod resolve;
 pub mod similarity;
 
 pub use blocking::{blocking_key, write_blocking_key, Blocker, BlockingStrategy};
+pub use incremental::{BlockKey, DirtyBlocks, IncrementalBlockingIndex};
 pub use resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
 pub use similarity::{
     jaccard_tokens, levenshtein, levenshtein_with, normalized_levenshtein, record_similarity,

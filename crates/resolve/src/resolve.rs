@@ -133,7 +133,7 @@ impl UnionFind {
 /// Resolve a relation into entity instances.
 ///
 /// Records are blocked on the match attributes, every pair inside a block is
-/// compared with [`record_similarity`], pairs at or above the threshold are
+/// compared with [`record_similarity`](crate::similarity::record_similarity), pairs at or above the threshold are
 /// merged, and the transitive closure of the merges (union-find) defines the
 /// entities.  Each entity instance keeps the full rows of its records under the
 /// input schema, ready to be wrapped in a `Specification`.

@@ -318,7 +318,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+        /// Sizes accepted by [`fn@vec`]: a fixed `usize` or a `Range<usize>`.
         pub trait IntoSizeRange {
             /// Lower bound (inclusive) and upper bound (exclusive).
             fn bounds(&self) -> (usize, usize);

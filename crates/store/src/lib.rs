@@ -8,7 +8,10 @@
 //!   projection, group-by, entity splitting and conversion helpers;
 //! * [`csv`] — CSV serialization (writer/reader are exact inverses);
 //! * [`Catalog`] — a named collection of relations that can be saved to and
-//!   loaded from a directory of CSV files.
+//!   loaded from a directory of CSV files;
+//! * [`versioned`] — relations with stable row ids and per-tuple generation
+//!   stamps, plus the typed [`UpdateBatch`] the incremental-repair pipeline
+//!   consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,7 +19,12 @@
 pub mod catalog;
 pub mod csv;
 pub mod relation;
+pub mod versioned;
 
 pub use catalog::{Catalog, CatalogError};
 pub use csv::{from_csv, to_csv, CsvError};
 pub use relation::{relation_of, ProjectError, Relation};
+pub use versioned::{
+    AppliedUpdate, Generation, RowId, UpdateBatch, UpdateError, VersionedCatalog,
+    VersionedRelation, VersionedRow,
+};

@@ -1,0 +1,464 @@
+//! Versioned relations: the storage substrate of incremental repair.
+//!
+//! A repaired corpus is not a one-shot computation — input tuples and master
+//! data keep arriving after the first repair.  A [`VersionedRelation`] wraps a
+//! bag of rows with the two pieces of bookkeeping the incremental pipeline
+//! needs:
+//!
+//! * a **stable row identity** ([`RowId`]): rows are addressed by an id that
+//!   survives deletions of other rows, so an update stream can name the rows
+//!   it removes without racing against positional shifts;
+//! * a **per-tuple generation stamp** ([`Generation`]): every row records the
+//!   relation generation it was inserted at, and every applied
+//!   [`UpdateBatch`] advances the generation, so downstream caches can tell
+//!   "unchanged since generation g" apart from "rebuilt".
+//!
+//! Updates are typed: an [`UpdateBatch`] names a catalog entry and carries
+//! inserts (validated rows) and deletes (row ids).  A [`VersionedCatalog`]
+//! routes batches to the named relation, mirroring [`crate::Catalog`] for the
+//! versioned world.
+//!
+//! **Row-id contract.** Ids are assigned sequentially from 0 in insertion
+//! order ([`VersionedRelation::from_relation`] stamps the seed rows
+//! `0..n`, and each subsequent insert takes the next id; deletes never free
+//! ids for reuse).  Deterministic workload generators rely on this contract
+//! to script delete targets ahead of time.
+
+use crate::relation::Relation;
+use relacc_model::{SchemaError, SchemaRef, Tuple, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A relation generation: 0 for the seed state, +1 per applied update batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Generation(pub u64);
+
+/// A stable row identity (see the row-id contract in the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One live row of a [`VersionedRelation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionedRow {
+    /// The row's stable identity.
+    pub id: RowId,
+    /// Generation the row was inserted at.
+    pub inserted_at: Generation,
+    /// The row's values.
+    pub tuple: Tuple,
+}
+
+/// A typed batch of inserts and deletes against one catalog entry.
+///
+/// Within a batch, **deletes apply before inserts**: a batch can therefore
+/// never delete a row it inserts itself, and the ids of its inserts are
+/// assigned after all removals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateBatch {
+    /// Name of the target relation (a [`VersionedCatalog`] entry).
+    pub relation: String,
+    /// Rows to insert (validated against the relation schema on apply).
+    pub inserts: Vec<Vec<Value>>,
+    /// Ids of the rows to delete.
+    pub deletes: Vec<RowId>,
+}
+
+impl UpdateBatch {
+    /// An empty batch against the named relation.
+    pub fn new(relation: impl Into<String>) -> Self {
+        UpdateBatch {
+            relation: relation.into(),
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Add an insert (builder style).
+    pub fn insert(mut self, row: Vec<Value>) -> Self {
+        self.inserts.push(row);
+        self
+    }
+
+    /// Add a delete (builder style).
+    pub fn delete(mut self, id: RowId) -> Self {
+        self.deletes.push(id);
+        self
+    }
+
+    /// True when the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// What an applied [`UpdateBatch`] actually did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedUpdate {
+    /// The relation generation after the batch.
+    pub generation: Generation,
+    /// Ids assigned to the batch's inserts, in insert order.
+    pub inserted: Vec<RowId>,
+    /// The removed rows (id + former values), in the batch's delete order.
+    pub deleted: Vec<(RowId, Tuple)>,
+}
+
+/// Errors raised by versioned-relation operations.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// The batch names a relation the catalog does not hold.
+    NoSuchRelation(String),
+    /// A delete names a row id that is not live (never existed, already
+    /// deleted, or deleted twice within the batch).
+    NoSuchRow(RowId),
+    /// An insert does not conform to the relation schema.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::NoSuchRelation(name) => write!(f, "relation {name:?} not found"),
+            UpdateError::NoSuchRow(id) => write!(f, "row {id} is not live"),
+            UpdateError::Schema(e) => write!(f, "insert rejected by the schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<SchemaError> for UpdateError {
+    fn from(e: SchemaError) -> Self {
+        UpdateError::Schema(e)
+    }
+}
+
+/// A relation with stable row ids and per-tuple generation stamps.
+///
+/// Id lookups go through a maintained position index, so [`VersionedRelation::row`]
+/// and delete validation stay O(1) per id regardless of relation size (the
+/// index is rebuilt once per batch after deletes shift positions).
+#[derive(Debug, Clone)]
+pub struct VersionedRelation {
+    schema: SchemaRef,
+    /// Live rows in insertion order (deletes preserve relative order).
+    rows: Vec<VersionedRow>,
+    /// Position of every live row id in `rows`.
+    by_id: HashMap<RowId, usize>,
+    generation: Generation,
+    next_row: u64,
+}
+
+impl PartialEq for VersionedRelation {
+    fn eq(&self, other: &Self) -> bool {
+        // `by_id` is derived from `rows`
+        self.schema == other.schema
+            && self.rows == other.rows
+            && self.generation == other.generation
+            && self.next_row == other.next_row
+    }
+}
+
+impl VersionedRelation {
+    /// An empty versioned relation at generation 0.
+    pub fn new(schema: SchemaRef) -> Self {
+        VersionedRelation {
+            schema,
+            rows: Vec::new(),
+            by_id: HashMap::new(),
+            generation: Generation(0),
+            next_row: 0,
+        }
+    }
+
+    /// Wrap an existing relation: its rows become generation-0 rows with ids
+    /// `0..n` in row order.
+    pub fn from_relation(relation: &Relation) -> Self {
+        let rows = relation
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| VersionedRow {
+                id: RowId(i as u64),
+                inserted_at: Generation(0),
+                tuple: t.clone(),
+            })
+            .collect::<Vec<_>>();
+        VersionedRelation {
+            schema: relation.schema().clone(),
+            next_row: rows.len() as u64,
+            by_id: rows.iter().enumerate().map(|(i, r)| (r.id, i)).collect(),
+            rows,
+            generation: Generation(0),
+        }
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The current generation (0 = seed, +1 per applied batch).
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The live rows in insertion order.
+    pub fn rows(&self) -> &[VersionedRow] {
+        &self.rows
+    }
+
+    /// The live row with the given id, if any (O(1) via the position index).
+    pub fn row(&self, id: RowId) -> Option<&VersionedRow> {
+        self.by_id.get(&id).map(|&pos| &self.rows[pos])
+    }
+
+    /// The current state as a plain [`Relation`] (live rows in insertion
+    /// order) — the view the batch pipeline repairs.
+    pub fn snapshot(&self) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        for row in &self.rows {
+            out.push_row(row.tuple.values().to_vec())
+                .expect("live rows were validated on insert");
+        }
+        out
+    }
+
+    /// Apply a batch of deletes-then-inserts, advancing the generation.
+    ///
+    /// The batch's `relation` name is **not** checked here (that is the
+    /// [`VersionedCatalog`]'s job); only its operations are.  On any error
+    /// the relation is left exactly as it was — batches apply atomically.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<AppliedUpdate, UpdateError> {
+        // validate everything before mutating
+        let mut doomed: HashSet<RowId> = HashSet::with_capacity(batch.deletes.len());
+        for &id in &batch.deletes {
+            if !doomed.insert(id) || !self.by_id.contains_key(&id) {
+                return Err(UpdateError::NoSuchRow(id));
+            }
+        }
+        for row in &batch.inserts {
+            self.schema.validate_row(row)?;
+        }
+
+        let mut deleted = Vec::with_capacity(batch.deletes.len());
+        if !batch.deletes.is_empty() {
+            let mut removed: BTreeMap<RowId, Tuple> = BTreeMap::new();
+            self.rows.retain(|r| {
+                if doomed.contains(&r.id) {
+                    removed.insert(r.id, r.tuple.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            for &id in &batch.deletes {
+                let tuple = removed.remove(&id).expect("validated as live above");
+                deleted.push((id, tuple));
+            }
+            // deletes shifted positions: rebuild the index once per batch
+            self.by_id = self
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.id, i))
+                .collect();
+        }
+
+        self.generation = Generation(self.generation.0 + 1);
+        let mut inserted = Vec::with_capacity(batch.inserts.len());
+        for row in &batch.inserts {
+            let id = RowId(self.next_row);
+            self.next_row += 1;
+            self.by_id.insert(id, self.rows.len());
+            self.rows.push(VersionedRow {
+                id,
+                inserted_at: self.generation,
+                tuple: Tuple::new(row.clone()),
+            });
+            inserted.push(id);
+        }
+        Ok(AppliedUpdate {
+            generation: self.generation,
+            inserted,
+            deleted,
+        })
+    }
+}
+
+/// A named collection of versioned relations that routes [`UpdateBatch`]es.
+#[derive(Debug, Default, Clone)]
+pub struct VersionedCatalog {
+    relations: BTreeMap<String, VersionedRelation>,
+}
+
+impl VersionedCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        VersionedCatalog::default()
+    }
+
+    /// Register (or replace) a relation under `name`.
+    pub fn register(&mut self, name: impl Into<String>, relation: VersionedRelation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Get a relation by name.
+    pub fn get(&self, name: &str) -> Result<&VersionedRelation, UpdateError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| UpdateError::NoSuchRelation(name.to_string()))
+    }
+
+    /// Names of all registered relations (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Apply a batch to the relation it names.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<AppliedUpdate, UpdateError> {
+        let relation = self
+            .relations
+            .get_mut(&batch.relation)
+            .ok_or_else(|| UpdateError::NoSuchRelation(batch.relation.clone()))?;
+        relation.apply(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_of;
+    use relacc_model::DataType;
+
+    fn seed() -> Relation {
+        relation_of(
+            "r",
+            vec![("name", DataType::Text), ("n", DataType::Int)],
+            vec![
+                vec![Value::text("a"), Value::Int(1)],
+                vec![Value::text("b"), Value::Int(2)],
+                vec![Value::text("c"), Value::Int(3)],
+            ],
+        )
+    }
+
+    #[test]
+    fn from_relation_stamps_sequential_ids_at_generation_zero() {
+        let v = VersionedRelation::from_relation(&seed());
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.generation(), Generation(0));
+        for (i, row) in v.rows().iter().enumerate() {
+            assert_eq!(row.id, RowId(i as u64));
+            assert_eq!(row.inserted_at, Generation(0));
+        }
+        assert_eq!(v.snapshot().rows(), seed().rows());
+    }
+
+    #[test]
+    fn apply_deletes_then_inserts_and_advances_the_generation() {
+        let mut v = VersionedRelation::from_relation(&seed());
+        let batch = UpdateBatch::new("r")
+            .delete(RowId(1))
+            .insert(vec![Value::text("d"), Value::Int(4)])
+            .insert(vec![Value::text("e"), Value::Int(5)]);
+        let applied = v.apply(&batch).unwrap();
+        assert_eq!(applied.generation, Generation(1));
+        assert_eq!(applied.inserted, vec![RowId(3), RowId(4)]);
+        assert_eq!(applied.deleted.len(), 1);
+        assert_eq!(applied.deleted[0].0, RowId(1));
+        assert_eq!(
+            applied.deleted[0].1.value(relacc_model::AttrId(1)),
+            &Value::Int(2)
+        );
+        // survivors keep relative order, inserts append, stamps record the batch
+        let ids: Vec<RowId> = v.rows().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![RowId(0), RowId(2), RowId(3), RowId(4)]);
+        assert_eq!(v.row(RowId(3)).unwrap().inserted_at, Generation(1));
+        assert_eq!(v.row(RowId(0)).unwrap().inserted_at, Generation(0));
+        assert!(v.row(RowId(1)).is_none());
+    }
+
+    #[test]
+    fn apply_is_atomic_on_errors() {
+        let mut v = VersionedRelation::from_relation(&seed());
+        let before = v.clone();
+        // unknown delete id
+        let bad = UpdateBatch::new("r")
+            .insert(vec![Value::text("d"), Value::Int(4)])
+            .delete(RowId(99));
+        assert!(matches!(v.apply(&bad), Err(UpdateError::NoSuchRow(_))));
+        assert_eq!(v, before);
+        // duplicate delete within one batch
+        let dup = UpdateBatch::new("r").delete(RowId(0)).delete(RowId(0));
+        assert!(matches!(v.apply(&dup), Err(UpdateError::NoSuchRow(_))));
+        assert_eq!(v, before);
+        // schema-invalid insert
+        let invalid = UpdateBatch::new("r").insert(vec![Value::Int(7), Value::Int(8)]);
+        assert!(matches!(v.apply(&invalid), Err(UpdateError::Schema(_))));
+        assert_eq!(v, before);
+    }
+
+    #[test]
+    fn deleted_ids_are_never_reused() {
+        let mut v = VersionedRelation::from_relation(&seed());
+        v.apply(&UpdateBatch::new("r").delete(RowId(2))).unwrap();
+        let applied = v
+            .apply(&UpdateBatch::new("r").insert(vec![Value::text("d"), Value::Int(4)]))
+            .unwrap();
+        assert_eq!(applied.inserted, vec![RowId(3)]);
+        assert_eq!(v.generation(), Generation(2));
+    }
+
+    #[test]
+    fn catalog_routes_batches_by_name() {
+        let mut cat = VersionedCatalog::new();
+        cat.register("r", VersionedRelation::from_relation(&seed()));
+        let applied = cat
+            .apply(&UpdateBatch::new("r").insert(vec![Value::text("d"), Value::Int(4)]))
+            .unwrap();
+        assert_eq!(applied.inserted, vec![RowId(3)]);
+        assert_eq!(cat.get("r").unwrap().len(), 4);
+        assert!(matches!(
+            cat.apply(&UpdateBatch::new("nope")),
+            Err(UpdateError::NoSuchRelation(_))
+        ));
+        assert!(matches!(
+            cat.get("nope"),
+            Err(UpdateError::NoSuchRelation(_))
+        ));
+        assert_eq!(cat.names(), vec!["r"]);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.len(), 1);
+    }
+}

@@ -10,9 +10,9 @@
 //!   `check`), the deduced target, the null attributes `Z` and the scored
 //!   candidate domains;
 //! * [`rank_join_ct`] — `RankJoinCT`, the rank-join-based exact algorithm;
-//! * [`topkct`] — `TopKCT`, the priority-queue exact algorithm that needs no
+//! * [`mod@topkct`] — `TopKCT`, the priority-queue exact algorithm that needs no
 //!   ranked lists and is instance-optimal in heap pops;
-//! * [`topkcth`] — `TopKCTh`, the PTIME heuristic.
+//! * [`mod@topkcth`] — `TopKCTh`, the PTIME heuristic.
 //!
 //! All three return a [`TopKResult`] whose candidates pass the candidate-target
 //! `check`.  Checks are **checkpointed**: the base deduction's terminal state

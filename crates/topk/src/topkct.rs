@@ -42,7 +42,7 @@ pub fn topkct(search: &CandidateSearch<'_>) -> TopKResult {
     topkct_with(search, &mut CheckScratch::new())
 }
 
-/// [`topkct`] with a caller-provided check scratch, so batch and session
+/// [`fn@topkct`] with a caller-provided check scratch, so batch and session
 /// callers reuse the resumed-check buffers across invocations.
 pub fn topkct_with(search: &CandidateSearch<'_>, scratch: &mut CheckScratch) -> TopKResult {
     topkct_capped(search, scratch, MAX_GENERATED)

@@ -139,7 +139,7 @@ pub fn topkcth(search: &CandidateSearch<'_>) -> TopKResult {
     topkcth_with(search, &mut CheckScratch::new())
 }
 
-/// [`topkcth`] with a caller-provided check scratch (see
+/// [`fn@topkcth`] with a caller-provided check scratch (see
 /// [`crate::topkct::topkct_with`]).
 pub fn topkcth_with(search: &CandidateSearch<'_>, scratch: &mut CheckScratch) -> TopKResult {
     let k = search.preference.k;

@@ -1,0 +1,224 @@
+//! Differential guard for the incremental-repair pipeline: after applying any
+//! prefix of a generated update stream, the [`IncrementalEngine`] snapshot
+//! must be semantically identical to a from-scratch
+//! `BatchEngine::repair_relation` over the updated relation under the same
+//! (delta-evolved) plan — same entities in the same order, same outcomes,
+//! targets, suggestions, record membership, match decisions, repaired rows
+//! and skip list, at 1 and N worker threads (same style as
+//! `tests/batch_differential.rs`).
+//!
+//! Per-entity chase counters are deliberately **excluded**: a cached entity
+//! reports the work of the run that produced it, and doing less work per
+//! update is the entire point of incrementality.
+
+use relacc::datagen::streaming::{med_stream, rest_stream, StreamConfig, StreamOp, UpdateStream};
+use relacc::engine::{BatchEngine, IncrementalEngine, RelationRepair};
+use relacc::resolve::{BlockingStrategy, ResolveConfig};
+
+fn resolve_config(stream: &UpdateStream) -> ResolveConfig {
+    ResolveConfig::on_attrs(stream.match_attrs.clone()).with_strategy(BlockingStrategy::ExactKey)
+}
+
+fn assert_semantically_equal(incremental: &RelationRepair, full: &RelationRepair, label: &str) {
+    assert_eq!(
+        incremental.resolved.members, full.resolved.members,
+        "{label}: resolution membership"
+    );
+    assert_eq!(
+        incremental.resolved.decisions, full.resolved.decisions,
+        "{label}: match decisions"
+    );
+    assert_eq!(
+        incremental.resolved.entities.len(),
+        full.resolved.entities.len(),
+        "{label}: resolved entity count"
+    );
+    for (i, (a, b)) in incremental
+        .resolved
+        .entities
+        .iter()
+        .zip(full.resolved.entities.iter())
+        .enumerate()
+    {
+        assert_eq!(a.tuples(), b.tuples(), "{label}: entity {i} instance");
+    }
+    assert_eq!(
+        incremental.report.entities.len(),
+        full.report.entities.len(),
+        "{label}: entity count"
+    );
+    for (a, b) in incremental
+        .report
+        .entities
+        .iter()
+        .zip(full.report.entities.iter())
+    {
+        assert_eq!(a.entity, b.entity, "{label}: entity index");
+        assert_eq!(a.records, b.records, "{label}: entity {} records", a.entity);
+        assert_eq!(a.outcome, b.outcome, "{label}: entity {} outcome", a.entity);
+        assert_eq!(a.deduced, b.deduced, "{label}: entity {} deduced", a.entity);
+        assert_eq!(
+            a.suggestion, b.suggestion,
+            "{label}: entity {} suggestion",
+            a.entity
+        );
+        assert_eq!(
+            a.suggestion_error, b.suggestion_error,
+            "{label}: entity {} suggestion error",
+            a.entity
+        );
+        assert_eq!(
+            a.conflict.is_some(),
+            b.conflict.is_some(),
+            "{label}: entity {} conflict presence",
+            a.entity
+        );
+    }
+    assert_eq!(
+        (
+            incremental.report.complete,
+            incremental.report.suggested,
+            incremental.report.needs_user,
+            incremental.report.not_church_rosser,
+            incremental.report.suggestion_errors,
+        ),
+        (
+            full.report.complete,
+            full.report.suggested,
+            full.report.needs_user,
+            full.report.not_church_rosser,
+            full.report.suggestion_errors,
+        ),
+        "{label}: outcome tallies"
+    );
+    assert_eq!(
+        incremental.repaired.rows(),
+        full.repaired.rows(),
+        "{label}: repaired rows"
+    );
+    assert_eq!(
+        incremental.row_entities, full.row_entities,
+        "{label}: row/entity mapping"
+    );
+    assert_eq!(incremental.skipped, full.skipped, "{label}: skipped");
+}
+
+/// Apply the whole stream, asserting snapshot == full re-repair at the seed
+/// state, at three mid-stream checkpoints and at the final state (the
+/// from-scratch reference runs under the incremental engine's own evolved
+/// plan, so master deltas are reflected on both sides; it is too expensive
+/// for a debug-mode test to re-run after every single operation).
+fn run_stream(stream: &UpdateStream, threads: usize, label: &str) {
+    let resolve = resolve_config(stream);
+    let masters = stream.master.clone().into_iter().collect();
+    let engine = BatchEngine::new(
+        stream.relation.schema().clone(),
+        stream.rules.clone(),
+        masters,
+    )
+    .expect("stream rules validate")
+    .with_threads(threads);
+    let mut incremental = IncrementalEngine::open(
+        engine,
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+    );
+
+    let full = incremental
+        .engine()
+        .repair_relation(&stream.relation, &resolve);
+    assert_semantically_equal(&incremental.snapshot(), &full, &format!("{label}/seed"));
+
+    let last = stream.ops.len().saturating_sub(1);
+    let checkpoints = [last / 4, last / 2, (3 * last) / 4, last];
+    for (step, op) in stream.ops.iter().enumerate() {
+        match op {
+            StreamOp::Rows(batch) => incremental
+                .apply(batch)
+                .unwrap_or_else(|e| panic!("{label}: scripted batch {step} rejected: {e}")),
+            StreamOp::MasterAppend(rows) => incremental
+                .apply_master_append(0, rows.clone())
+                .unwrap_or_else(|e| panic!("{label}: master append {step} rejected: {e}")),
+        };
+        if checkpoints.contains(&step) {
+            let relation = incremental.relation().snapshot();
+            let full = incremental.engine().repair_relation(&relation, &resolve);
+            assert_semantically_equal(
+                &incremental.snapshot(),
+                &full,
+                &format!("{label}/step {step}"),
+            );
+        }
+    }
+    // the stream must have exercised real reuse, otherwise this test guards
+    // nothing: some entities re-repaired, strictly more reused
+    let stats = incremental.stats();
+    assert!(
+        stats.entities_rerepaired > 0,
+        "{label}: no entity was ever re-repaired"
+    );
+    assert!(
+        stats.entities_reused > stats.entities_rerepaired,
+        "{label}: expected most work to be reused (reused {} vs re-repaired {})",
+        stats.entities_reused,
+        stats.entities_rerepaired
+    );
+}
+
+#[test]
+fn incremental_matches_full_on_the_med_stream() {
+    let stream = med_stream(0.01, 23, &StreamConfig::default());
+    assert!(
+        stream.master_appends() > 0,
+        "med stream must exercise master deltas"
+    );
+    for threads in [1usize, 4] {
+        run_stream(&stream, threads, &format!("med/threads={threads}"));
+    }
+}
+
+#[test]
+fn incremental_matches_full_on_the_rest_stream() {
+    let stream = rest_stream(0.002, 31, &StreamConfig::default());
+    for threads in [1usize, 4] {
+        run_stream(&stream, threads, &format!("rest/threads={threads}"));
+    }
+}
+
+#[test]
+fn incremental_is_thread_count_invariant() {
+    let stream = med_stream(0.01, 41, &StreamConfig::default());
+    let resolve = resolve_config(&stream);
+    let mut snapshots = Vec::new();
+    for threads in [1usize, 4] {
+        let engine = BatchEngine::new(
+            stream.relation.schema().clone(),
+            stream.rules.clone(),
+            stream.master.clone().into_iter().collect(),
+        )
+        .unwrap()
+        .with_threads(threads);
+        let mut incremental = IncrementalEngine::open(
+            engine,
+            stream.name.clone(),
+            &stream.relation,
+            resolve.clone(),
+        );
+        for op in &stream.ops {
+            match op {
+                StreamOp::Rows(batch) => {
+                    incremental.apply(batch).unwrap();
+                }
+                StreamOp::MasterAppend(rows) => {
+                    incremental.apply_master_append(0, rows.clone()).unwrap();
+                }
+            }
+        }
+        snapshots.push(incremental.snapshot());
+    }
+    let (one, many) = (&snapshots[0], &snapshots[1]);
+    assert_semantically_equal(one, many, "1-vs-4-threads");
+    // with an identical update schedule even the chase counters must agree
+    assert_eq!(one.report.stats, many.report.stats, "aggregated stats");
+}
