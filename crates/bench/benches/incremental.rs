@@ -34,6 +34,7 @@ fn stream() -> UpdateStream {
         master_appends_per_batch: 2,
         fresh_entity_rate: 0.25,
         seed: 77,
+        ..StreamConfig::default()
     };
     med_stream(scale, 7, &config)
 }

@@ -39,6 +39,17 @@ pub struct StreamConfig {
     /// Fraction of inserts that open a brand-new entity instead of extending
     /// an existing one.
     pub fresh_entity_rate: f64,
+    /// Skew: fraction of operations steered at the **hot set** (the blocks of
+    /// the first [`StreamConfig::hot_entities`] distinct key values).  A hot
+    /// insert clones a hot-set row (same entity key, so the same block — and
+    /// under sharding the same shard); a hot delete removes a live hot-set
+    /// row.  `0.0` (the default) disables the skew entirely and leaves the
+    /// scripted stream byte-identical to the pre-skew generator: no RNG draw
+    /// is spent on the hot/cold decision.
+    pub hot_entity_rate: f64,
+    /// Number of distinct leading key values that form the hot set (ignored
+    /// while [`StreamConfig::hot_entity_rate`] is `0.0`).
+    pub hot_entities: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -51,8 +62,23 @@ impl Default for StreamConfig {
             deletes_per_batch: 2,
             master_appends_per_batch: 1,
             fresh_entity_rate: 0.25,
+            hot_entity_rate: 0.0,
+            hot_entities: 0,
             seed: 17,
         }
+    }
+}
+
+impl StreamConfig {
+    /// Steer `rate` of the operations at the blocks of the first
+    /// `hot_entities` distinct key values (builder style) — the hot-shard
+    /// skew mix of the sharded-repair benchmarks: under key-hash sharding
+    /// the hot blocks pin to a fixed small set of shards, so most batches
+    /// leave the other shards completely untouched.
+    pub fn with_hot_mix(mut self, hot_entities: usize, rate: f64) -> Self {
+        self.hot_entities = hot_entities;
+        self.hot_entity_rate = rate;
+        self
     }
 }
 
@@ -104,6 +130,12 @@ impl UpdateStream {
 /// Script a stream over an already-flattened relation: per batch, deletes of
 /// random live rows, inserts cloning (or re-keying) random seed rows, and —
 /// when a pool of late-arriving master rows exists — master appends.
+///
+/// With a hot mix configured ([`StreamConfig::with_hot_mix`]) a
+/// `hot_entity_rate` share of the deletes and inserts is steered at the hot
+/// set's blocks instead, producing the hot-shard skew the sharded-repair
+/// bench measures.  The skew path draws from the RNG only when enabled, so a
+/// rate of `0.0` scripts exactly the legacy stream.
 fn script_ops(
     name: &str,
     relation: &Relation,
@@ -112,14 +144,41 @@ fn script_ops(
     config: &StreamConfig,
 ) -> Vec<StreamOp> {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_57EA);
-    // simulate the versioned relation's id assignment
-    let mut live: Vec<RowId> = (0..relation.len() as u64).map(RowId).collect();
-    let mut next_id = relation.len() as u64;
     let seed_rows: Vec<Vec<Value>> = relation
         .rows()
         .iter()
         .map(|t| t.values().to_vec())
         .collect();
+
+    // the hot set: seed rows carrying the first `hot_entities` distinct key
+    // values (their blocks — and under sharding their shards — are fixed)
+    let skew = config.hot_entity_rate > 0.0 && config.hot_entities > 0;
+    let mut hot_keys: Vec<&Value> = Vec::new();
+    let mut hot_seed: Vec<usize> = Vec::new();
+    if skew {
+        for (idx, row) in seed_rows.iter().enumerate() {
+            let key = &row[key_attr.0];
+            if !hot_keys.iter().any(|k| k.same(key)) && hot_keys.len() < config.hot_entities {
+                hot_keys.push(key);
+            }
+            if hot_keys.iter().any(|k| k.same(key)) {
+                hot_seed.push(idx);
+            }
+        }
+    }
+
+    // simulate the versioned relation's id assignment, live ids split by
+    // temperature (everything is "cold" while the skew is disabled)
+    let mut hot_live: Vec<RowId> = Vec::new();
+    let mut cold_live: Vec<RowId> = Vec::new();
+    for idx in 0..relation.len() {
+        if skew && hot_seed.contains(&idx) {
+            hot_live.push(RowId(idx as u64));
+        } else {
+            cold_live.push(RowId(idx as u64));
+        }
+    }
+    let mut next_id = relation.len() as u64;
     let mut fresh_entities = 0usize;
 
     let mut ops = Vec::new();
@@ -129,22 +188,40 @@ fn script_ops(
         // from draining (never drop below half the seed size)
         let floor = seed_rows.len() / 2;
         for _ in 0..config.deletes_per_batch {
-            if live.len() <= floor.max(1) {
+            if hot_live.len() + cold_live.len() <= floor.max(1) {
                 break;
             }
-            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            let from_hot =
+                skew && !hot_live.is_empty() && rng.gen::<f64>() < config.hot_entity_rate;
+            let victim = if from_hot || cold_live.is_empty() {
+                hot_live.swap_remove(rng.gen_range(0..hot_live.len()))
+            } else {
+                cold_live.swap_remove(rng.gen_range(0..cold_live.len()))
+            };
             batch = batch.delete(victim);
         }
-        // inserts: clone a random seed row; some become brand-new entities
+        // inserts: clone a hot-set row (skew) or a random seed row, the
+        // latter sometimes re-keyed into a brand-new entity
         for _ in 0..config.inserts_per_batch {
-            let mut row = seed_rows[rng.gen_range(0..seed_rows.len())].clone();
-            if rng.gen::<f64>() < config.fresh_entity_rate {
-                fresh_entities += 1;
-                row[key_attr.0] = Value::text(format!("stream_fresh_{fresh_entities}"));
-            }
+            let is_hot = skew && !hot_seed.is_empty() && rng.gen::<f64>() < config.hot_entity_rate;
+            let row = if is_hot {
+                seed_rows[hot_seed[rng.gen_range(0..hot_seed.len())]].clone()
+            } else {
+                let mut row = seed_rows[rng.gen_range(0..seed_rows.len())].clone();
+                if rng.gen::<f64>() < config.fresh_entity_rate {
+                    fresh_entities += 1;
+                    row[key_attr.0] = Value::text(format!("stream_fresh_{fresh_entities}"));
+                }
+                row
+            };
             batch = batch.insert(row);
-            live.push(RowId(next_id));
+            let id = RowId(next_id);
             next_id += 1;
+            if is_hot {
+                hot_live.push(id);
+            } else {
+                cold_live.push(id);
+            }
         }
         if !batch.is_empty() {
             ops.push(StreamOp::Rows(batch));
@@ -297,6 +374,83 @@ mod tests {
             }
         }
         assert!(versioned.generation().0 as usize >= stream.row_batches());
+    }
+
+    /// The hot-shard skew mix: most scripted operations must land on the hot
+    /// set's blocks, the stream stays deterministic, and a zero rate scripts
+    /// exactly the legacy (unskewed) stream.
+    #[test]
+    fn hot_mix_concentrates_operations_on_the_hot_blocks() {
+        let config = StreamConfig {
+            n_batches: 12,
+            inserts_per_batch: 6,
+            deletes_per_batch: 2,
+            master_appends_per_batch: 0,
+            ..StreamConfig::default()
+        }
+        .with_hot_mix(2, 0.9);
+        let stream = med_stream(0.02, 5, &config);
+        assert_eq!(
+            stream.ops,
+            med_stream(0.02, 5, &config).ops,
+            "deterministic"
+        );
+
+        // the hot keys are the first two distinct names of the seed relation
+        let key = stream.relation.schema().expect_attr("name");
+        let mut hot_keys: Vec<Value> = Vec::new();
+        for row in stream.relation.rows() {
+            let v = row.value(key);
+            if !hot_keys.iter().any(|k| k.same(v)) {
+                hot_keys.push(v.clone());
+                if hot_keys.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let (mut hot, mut total) = (0usize, 0usize);
+        for op in &stream.ops {
+            if let StreamOp::Rows(batch) = op {
+                for row in &batch.inserts {
+                    total += 1;
+                    if hot_keys.iter().any(|k| k.same(&row[key.0])) {
+                        hot += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            hot as f64 >= 0.7 * total as f64,
+            "a 0.9 hot rate must concentrate inserts on the hot blocks \
+             ({hot}/{total} were hot)"
+        );
+
+        // rate 0.0 (or an empty hot set) scripts the legacy stream
+        let plain = med_stream(0.02, 5, &StreamConfig::default());
+        let zero_rate = med_stream(0.02, 5, &StreamConfig::default().with_hot_mix(4, 0.0));
+        let zero_set = med_stream(0.02, 5, &StreamConfig::default().with_hot_mix(0, 0.9));
+        assert_eq!(plain.ops, zero_rate.ops);
+        assert_eq!(plain.ops, zero_set.ops);
+    }
+
+    /// Skewed scripted deletes still honor the row-id contract: they replay
+    /// cleanly on a versioned relation.
+    #[test]
+    fn skewed_deletes_replay_cleanly() {
+        use relacc_store::VersionedRelation;
+        let config = StreamConfig {
+            master_appends_per_batch: 0,
+            ..StreamConfig::default()
+        }
+        .with_hot_mix(1, 0.8);
+        let stream = med_stream(0.02, 13, &config);
+        let mut versioned = VersionedRelation::from_relation(&stream.relation);
+        for op in &stream.ops {
+            if let StreamOp::Rows(batch) = op {
+                versioned.apply(batch).expect("scripted batches stay valid");
+            }
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ use relacc_core::chase::{
 };
 use relacc_model::{EntityInstance, TargetTuple, Value};
 use relacc_resolve::{
-    resolve_relation, BlockKey, Blocker, IncrementalBlockingIndex, MatchDecision, ResolveConfig,
+    resolve_relation, BlockKey, IncrementalBlockingIndex, MatchDecision, ResolveConfig,
     ResolvedEntities,
 };
 use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError, VersionedRelation};
@@ -170,12 +170,7 @@ impl IncrementalEngine {
         resolve: ResolveConfig,
     ) -> Self {
         let versioned = VersionedRelation::from_relation(relation);
-        let match_attrs = resolve
-            .match_attrs
-            .iter()
-            .filter_map(|n| relation.schema().attr_id(n))
-            .collect();
-        let blocker = Blocker::new(match_attrs, resolve.strategy.clone());
+        let blocker = resolve.blocker(relation.schema());
         let index = IncrementalBlockingIndex::build(
             blocker,
             versioned.rows().iter().map(|r| (r.id, &r.tuple)),
@@ -433,27 +428,17 @@ impl IncrementalEngine {
         membership
     }
 
-    /// Assemble the current full [`RelationRepair`] from the per-block cache.
+    /// The cached repairs of every live block, rebased from block-local to
+    /// this engine's relation row positions, in no particular order.
     ///
-    /// The output is semantically identical to
-    /// `BatchEngine::repair_relation(&self.relation.snapshot(), &resolve)`
-    /// under the engine's current plan: same entity order (ascending smallest
-    /// member record), same outcomes, targets, suggestions, membership, match
-    /// decisions, repaired rows and skip list.  Per-entity chase counters
-    /// reflect the run that actually produced each cached result.
-    pub fn snapshot(&self) -> RelationRepair {
-        let relation = self.relation.snapshot();
-        let schema = relation.schema().clone();
-
-        // blocks in ascending smallest-member order, exactly like
-        // `Blocker::blocks` sorts them for the full pipeline
+    /// This is the merge currency of snapshot assembly: [`Self::snapshot`]
+    /// sorts one engine's blocks and hands them to [`assemble_repair`]; the
+    /// sharded engine remaps each shard's positions to corpus-global ones
+    /// first and merges all shards' blocks into the same canonical order.
+    pub(crate) fn assembled_blocks(&self) -> Vec<AssembledBlock> {
         let membership = self.block_membership();
-        let mut ordered: Vec<(&BlockKey, &Vec<(usize, RowId)>)> = membership.iter().collect();
-        ordered.sort_by_key(|(_, globals)| globals.first().map_or(usize::MAX, |&(g, _)| g));
-
-        let mut decisions: Vec<MatchDecision> = Vec::new();
-        let mut assembled: Vec<(Vec<usize>, EntityResult)> = Vec::new();
-        for (key, globals) in ordered {
+        let mut out = Vec::with_capacity(membership.len());
+        for (key, globals) in &membership {
             let repair = self
                 .blocks
                 .get(key)
@@ -465,54 +450,129 @@ impl IncrementalEngine {
                 "block cache is stale relative to the plan — was the plan \
                  mutated without going through apply_master_append?"
             );
-            for d in &repair.decisions {
-                decisions.push(MatchDecision {
+            let decisions = repair
+                .decisions
+                .iter()
+                .map(|d| MatchDecision {
                     left: globals[d.left].0,
                     right: globals[d.right].0,
                     similarity: d.similarity,
                     matched: d.matched,
-                });
-            }
-            for be in &repair.entities {
-                let members: Vec<usize> = be.members.iter().map(|&l| globals[l].0).collect();
-                assembled.push((members, be.result.clone()));
-            }
-        }
-        // global entity order: ascending smallest member, exactly like the
-        // full pipeline's first-seen union-find collection
-        assembled.sort_by_key(|(members, _)| members.first().copied().unwrap_or(usize::MAX));
-
-        let mut entities = Vec::with_capacity(assembled.len());
-        let mut members = Vec::with_capacity(assembled.len());
-        let mut results = Vec::with_capacity(assembled.len());
-        for (idx, (member_rows, mut result)) in assembled.into_iter().enumerate() {
-            let mut instance = EntityInstance::new(schema.clone());
-            for &row in &member_rows {
-                instance
-                    .push_tuple(relation.rows()[row].clone())
-                    .expect("rows conform to their own schema");
-            }
-            entities.push(instance);
-            result.entity = idx;
-            result.records = member_rows.clone();
-            members.push(member_rows);
-            results.push(result);
-        }
-
-        let threads = effective_threads(self.engine.config().threads, results.len());
-        let report = BatchReport::from_entities(results, threads);
-        let (repaired, row_entities, skipped) = materialize_rows(&schema, &report, &entities);
-        RelationRepair {
-            resolved: ResolvedEntities {
-                entities,
-                members,
+                })
+                .collect();
+            let entities = repair
+                .entities
+                .iter()
+                .map(|be| {
+                    let members: Vec<usize> = be.members.iter().map(|&l| globals[l].0).collect();
+                    (members, be.result.clone())
+                })
+                .collect();
+            out.push(AssembledBlock {
+                first_row: globals.first().map_or(usize::MAX, |&(g, _)| g),
                 decisions,
-            },
-            report,
-            repaired,
-            row_entities,
-            skipped,
+                entities,
+            });
         }
+        out
+    }
+
+    /// Number of blocks with a live cached repair.
+    pub fn cached_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of entities across all cached block repairs.
+    pub fn cached_entities(&self) -> usize {
+        self.blocks.values().map(|b| b.entities.len()).sum()
+    }
+
+    /// Assemble the current full [`RelationRepair`] from the per-block cache.
+    ///
+    /// The output is semantically identical to
+    /// `BatchEngine::repair_relation(&self.relation.snapshot(), &resolve)`
+    /// under the engine's current plan: same entity order (ascending smallest
+    /// member record), same outcomes, targets, suggestions, membership, match
+    /// decisions, repaired rows and skip list.  Per-entity chase counters
+    /// reflect the run that actually produced each cached result.
+    pub fn snapshot(&self) -> RelationRepair {
+        let relation = self.relation.snapshot();
+        let blocks = self.assembled_blocks();
+        let threads = self.engine.config().threads;
+        assemble_repair(relation, blocks, threads)
+    }
+}
+
+/// One live block's cached repair with all indices rebased to row positions
+/// of the relation being assembled (see
+/// [`IncrementalEngine::assembled_blocks`]).
+#[derive(Debug, Clone)]
+pub(crate) struct AssembledBlock {
+    /// Smallest member row position — the block's canonical sort key.
+    pub(crate) first_row: usize,
+    /// The block's pairwise match decisions over rebased row positions.
+    pub(crate) decisions: Vec<MatchDecision>,
+    /// The block's entities: rebased member positions (ascending) plus the
+    /// cached repair result.
+    pub(crate) entities: Vec<(Vec<usize>, EntityResult)>,
+}
+
+/// Assemble a [`RelationRepair`] over `relation` from per-block cached
+/// repairs whose indices are row positions of `relation`.
+///
+/// Reproduces the canonical order of the full pipeline: blocks in ascending
+/// smallest-member order (like `Blocker::blocks`), entities re-sorted by
+/// ascending smallest member globally (like the first-seen union-find
+/// collection), rows materialized through the shared [`materialize_rows`]
+/// policy.  Shared by [`IncrementalEngine::snapshot`] and the sharded
+/// engine's merge, so both emit bit-identical repairs.
+pub(crate) fn assemble_repair(
+    relation: Relation,
+    mut blocks: Vec<AssembledBlock>,
+    threads: usize,
+) -> RelationRepair {
+    let schema = relation.schema().clone();
+    blocks.sort_by_key(|b| b.first_row);
+
+    let mut decisions: Vec<MatchDecision> = Vec::new();
+    let mut assembled: Vec<(Vec<usize>, EntityResult)> = Vec::new();
+    for block in blocks {
+        decisions.extend(block.decisions);
+        assembled.extend(block.entities);
+    }
+    // global entity order: ascending smallest member
+    assembled.sort_by_key(|(members, _)| members.first().copied().unwrap_or(usize::MAX));
+
+    let mut entities = Vec::with_capacity(assembled.len());
+    let mut members = Vec::with_capacity(assembled.len());
+    let mut results = Vec::with_capacity(assembled.len());
+    for (idx, (member_rows, mut result)) in assembled.into_iter().enumerate() {
+        let mut instance = EntityInstance::new(schema.clone());
+        for &row in &member_rows {
+            instance
+                .push_tuple(relation.rows()[row].clone())
+                .expect("rows conform to their own schema");
+        }
+        entities.push(instance);
+        result.entity = idx;
+        result.records = member_rows.clone();
+        members.push(member_rows);
+        results.push(result);
+    }
+
+    let threads = effective_threads(threads, results.len());
+    let report = BatchReport::from_entities(results, threads);
+    let (repaired, row_entities, skipped) = materialize_rows(&schema, &report, &entities);
+    RelationRepair {
+        resolved: ResolvedEntities {
+            entities,
+            members,
+            decisions,
+        },
+        report,
+        repaired,
+        row_entities,
+        skipped,
     }
 }
 
@@ -721,6 +781,69 @@ mod tests {
         assert_eq!(outcome.entities_reused, 1);
         assert_eq!(engine.snapshot().report.entities.len(), 1);
         assert_matches_full(&engine, "block-drop");
+    }
+
+    /// Block-cache lifecycle audit: one batch whose deletes empty a block
+    /// AND whose inserts repopulate the same `BlockKey` must leave exactly
+    /// one live cache entry for that key (the re-resolved one), with the
+    /// snapshot still differentially identical to a from-scratch repair —
+    /// at 1 and 4 worker threads.  Guards the `blocks.remove(key)`
+    /// drop-path in `rerepair` against ever firing for a key the same
+    /// batch repopulated.
+    #[test]
+    fn delete_then_reinsert_same_key_keeps_one_cache_entry() {
+        for threads in [1usize, 4] {
+            let s = schema();
+            let ms = master_schema();
+            let master = MasterRelation::from_rows(
+                ms.clone(),
+                vec![vec![Value::text("mj"), Value::text("Bulls")]],
+            )
+            .unwrap();
+            let engine = BatchEngine::new(s.clone(), rules(&s, &ms), vec![master])
+                .unwrap()
+                .with_threads(threads);
+            let mut inc = IncrementalEngine::open(
+                engine,
+                "stat",
+                &seed_relation(&s),
+                ResolveConfig::on_attrs(vec!["name".into()])
+                    .with_strategy(relacc_resolve::BlockingStrategy::ExactKey),
+            );
+            let blocks_before = inc.cached_blocks();
+            assert_eq!(blocks_before, 2, "mj block + sp block");
+
+            // RowId(2) is the only "sp" row: the delete empties the block,
+            // the inserts repopulate the very same key within one batch
+            let outcome = inc
+                .apply(
+                    &UpdateBatch::new("stat")
+                        .delete(RowId(2))
+                        .insert(vec![Value::text("sp"), Value::Int(30), Value::Null])
+                        .insert(vec![Value::text("sp"), Value::Int(33), Value::Null]),
+                )
+                .unwrap();
+            // the key stayed live: it is dirty, not dropped
+            assert_eq!(outcome.dirty_blocks, 1, "threads={threads}");
+            assert_eq!(outcome.dropped_blocks, 0, "threads={threads}");
+            assert_eq!(
+                inc.cached_blocks(),
+                blocks_before,
+                "threads={threads}: exactly one live entry for the reinserted key"
+            );
+            assert_eq!(inc.cached_entities(), 2, "threads={threads}");
+            assert_matches_full(&inc, &format!("delete-reinsert/threads={threads}"));
+
+            // and the refreshed cache reflects the new rows, not the deleted one
+            let snap = inc.snapshot();
+            let sp = &snap.report.entities[1];
+            assert_eq!(sp.records, vec![2, 3], "threads={threads}");
+            assert_eq!(
+                sp.deduced.value(AttrId(1)),
+                &Value::Int(33),
+                "threads={threads}: currency rule picks the fresher rnds"
+            );
+        }
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   typed [`relacc_store::UpdateBatch`]es and master-data appends,
 //!   re-repairing only the dirty entities of each update ("one workload,
 //!   many versions");
+//! * [`ShardedEngine`] — scale the incremental pipeline out across `N`
+//!   shards (each "an [`IncrementalEngine`] plus its block cache"), routing
+//!   rows by blocking key, splitting row batches / broadcasting master
+//!   deltas, and merging per-shard caches back into the canonical snapshot;
 //! * [`EntitySession`] — ground-once state for the interactive framework
 //!   (`relacc_framework::run_session` opens one per session and reuses its
 //!   `Γ` across user rounds).
@@ -79,6 +83,7 @@ pub mod batch;
 pub mod incremental;
 pub mod pool;
 pub mod session;
+pub mod sharded;
 
 pub use batch::{
     BatchEngine, BatchReport, EngineConfig, EntityOutcome, EntityResult, RelationRepair, RepairSkip,
@@ -86,3 +91,4 @@ pub use batch::{
 pub use incremental::{IncrementalEngine, IncrementalError, IncrementalStats, UpdateOutcome};
 pub use pool::par_map_with;
 pub use session::EntitySession;
+pub use sharded::ShardedEngine;

@@ -15,6 +15,8 @@
 //! hide behind the default worker count.  The variable is read once per
 //! process; values that are empty or fail to parse are ignored.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -53,6 +55,17 @@ pub fn effective_threads(requested: usize, items: usize) -> usize {
 ///
 /// `f` must be deterministic per item for batch output to be reproducible —
 /// the scheduling order is not deterministic, the output order is.
+///
+/// **Panic propagation.**  If `f` (or `make_state`) panics on a worker, the
+/// pool stops handing out further items, waits for the in-flight ones, and
+/// re-raises the **first** panic payload unchanged — the caller sees the
+/// original message, exactly as in the sequential path.  (Letting the panic
+/// unwind the worker thread instead would reach `std::thread::scope`'s join,
+/// which replaces the payload with an opaque "a scoped thread panicked"; and
+/// a panic must never poison the shared result mutex into killing the
+/// *other* workers with a misleading secondary panic, so every lock
+/// acquisition recovers from poisoning via
+/// [`std::sync::PoisonError::into_inner`].)
 pub fn par_map_with<T, S, R, I, F>(items: &[T], threads: usize, make_state: I, f: F) -> Vec<R>
 where
     T: Sync,
@@ -72,27 +85,49 @@ where
 
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let record_panic = |payload: Box<dyn Any + Send>| {
+        let mut slot = first_panic.lock().unwrap_or_else(|p| p.into_inner());
+        slot.get_or_insert(payload);
+        // stop handing out work; in-flight items finish
+        next.store(items.len(), Ordering::Relaxed);
+    };
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                let mut state = make_state();
+                let mut state = match catch_unwind(AssertUnwindSafe(&make_state)) {
+                    Ok(state) => state,
+                    Err(payload) => {
+                        record_panic(payload);
+                        return;
+                    }
+                };
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= items.len() {
                         break;
                     }
-                    local.push((idx, f(&mut state, idx, &items[idx])));
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut state, idx, &items[idx]))) {
+                        Ok(result) => local.push((idx, result)),
+                        Err(payload) => {
+                            record_panic(payload);
+                            break;
+                        }
+                    }
                 }
                 collected
                     .lock()
-                    .expect("batch worker panicked while holding the result lock")
+                    .unwrap_or_else(|p| p.into_inner())
                     .extend(local);
             });
         }
     });
 
-    let mut indexed = collected.into_inner().expect("result lock poisoned");
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        resume_unwind(payload);
+    }
+    let mut indexed = collected.into_inner().unwrap_or_else(|p| p.into_inner());
     indexed.sort_by_key(|(idx, _)| *idx);
     debug_assert_eq!(indexed.len(), items.len());
     indexed.into_iter().map(|(_, r)| r).collect()
@@ -143,6 +178,85 @@ mod tests {
         }
         assert_eq!(effective_threads(1, 0), 1);
         assert!(effective_threads(0, 1000) >= 1);
+    }
+
+    /// Regression: a worker panic used to unwind straight through the scope
+    /// join, which buries the original payload under the generic "a scoped
+    /// thread panicked" message (and would report lock poisoning to every
+    /// other worker if the panic escaped while the result lock was held).
+    /// The pool must re-raise the *original* message.
+    #[test]
+    fn worker_panic_propagates_the_original_message() {
+        let items: Vec<usize> = (0..200).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(
+                &items,
+                4,
+                || (),
+                |_, _, &item| {
+                    if item == 13 {
+                        panic!("entity 13 exploded");
+                    }
+                    item
+                },
+            )
+        }))
+        .expect_err("a worker panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert!(
+            message.contains("entity 13 exploded"),
+            "the original panic message must survive the pool, got: {message}"
+        );
+    }
+
+    /// A panic in `make_state` (per-worker state construction) is recovered
+    /// the same way as one in `f`: the original payload reaches the caller.
+    #[test]
+    fn make_state_panic_propagates_the_original_message() {
+        let items: Vec<usize> = (0..32).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(
+                &items,
+                4,
+                || -> usize { panic!("state construction failed") },
+                |state, _, &item| item + *state,
+            )
+        }))
+        .expect_err("a make_state panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-string payload>");
+        assert!(
+            message.contains("state construction failed"),
+            "got: {message}"
+        );
+    }
+
+    /// When several workers panic, the caller still gets exactly one of the
+    /// original payloads (the first one recorded), never a poisoning error.
+    #[test]
+    fn concurrent_panics_surface_one_original_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(
+                &items,
+                8,
+                || (),
+                |_, _, &item| -> usize { panic!("boom at {item}") },
+            )
+        }))
+        .expect_err("panics must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert!(message.starts_with("boom at"), "got: {message}");
     }
 
     #[test]

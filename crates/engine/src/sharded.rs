@@ -1,0 +1,730 @@
+//! Sharded incremental repair: partition the block cache across shards.
+//!
+//! Blocking already partitions the corpus into independent units — resolution
+//! never merges records across blocks, and the paper's per-entity semantics
+//! mean two entities in different blocks can never interact — so a *shard*
+//! is exactly "an [`IncrementalEngine`] plus its block cache" over a subset
+//! of the blocks.  A [`ShardedEngine`] scales the incremental pipeline out
+//! across `N` such shards:
+//!
+//! * **Routing invariant.**  A record's shard is a pure function of its
+//!   blocking key: the router computes [`relacc_resolve::BlockKey`]s with the
+//!   same [`Blocker`] the shards' own indices use
+//!   ([`relacc_resolve::ResolveConfig::blocker`] + [`BlockKey::of_row`]) and
+//!   hash-partitions them with a fixed FNV-1a hash.  Rows with an empty
+//!   blocking key ([`BlockKey::Singleton`]) route by their **global** row id.
+//!   Rows are immutable (updates are deletes + inserts), so a row's shard
+//!   never changes and every block lives wholly inside one shard.
+//! * **Broadcast vs split.**  [`ShardedEngine::apply`] validates a typed
+//!   [`UpdateBatch`] against the router (same checks, same order, same
+//!   errors as [`relacc_store::VersionedRelation::apply`]) and **splits** it
+//!   into per-shard sub-batches; only the touched shards do any work, and
+//!   they run concurrently on the engine's own
+//!   [`crate::pool::par_map_with`].  Master-data deltas
+//!   ([`ShardedEngine::apply_master_append`]) **broadcast**: every shard
+//!   applies the same delta to its own copy of the compiled plan (cloned
+//!   from one compile — Σ and `Im` stay `Arc`-shared underneath), so the
+//!   per-shard [`relacc_core::chase::PlanStamp`]s advance in lockstep and
+//!   each shard's stamp revalidation decides cached-vs-re-repair exactly as
+//!   in the single-engine protocol.
+//! * **Canonical merge.**  Each shard's [`relacc_store::VersionedRelation`]
+//!   has its **own id space**; the router keeps the global ↔ local mapping
+//!   (see the remapping contract on `relacc_store::versioned`).  Global row
+//!   order is ascending global id — ids are assigned in insertion order and
+//!   never reused — and shard-local order is a subsequence of it, so
+//!   rebasing each shard's per-block repairs to global row positions
+//!   preserves all within-block orderings.  [`ShardedEngine::snapshot`]
+//!   therefore merges every shard's blocks into the canonical
+//!   ascending-smallest-member order (shared `assemble_repair` code) and
+//!   the result is **bit-identical** to a single [`IncrementalEngine`] over
+//!   the same stream and to a from-scratch
+//!   [`crate::batch::BatchEngine::repair_relation`] — guarded by
+//!   `tests/sharded_differential.rs` across shard counts {1, 2, 4, 7}.
+
+use crate::batch::{BatchEngine, RelationRepair};
+use crate::incremental::{
+    assemble_repair, AssembledBlock, IncrementalEngine, IncrementalError, IncrementalStats,
+    UpdateOutcome,
+};
+use crate::pool::par_map_with;
+use relacc_model::{SchemaRef, Value};
+use relacc_resolve::{BlockKey, Blocker, ResolveConfig};
+use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// The shard a block key routes to: FNV-1a over the key bytes (or the global
+/// row id for singletons), fixed so the assignment is stable across runs and
+/// platforms.  Pure function of the key — never of arrival order.
+fn shard_of(key: &BlockKey, shards: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let eat = |hash: &mut u64, byte: u8| {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(PRIME);
+    };
+    match key {
+        BlockKey::Key(text) => {
+            eat(&mut hash, 0);
+            for byte in text.bytes() {
+                eat(&mut hash, byte);
+            }
+        }
+        BlockKey::Singleton(id) => {
+            eat(&mut hash, 1);
+            for byte in id.0.to_le_bytes() {
+                eat(&mut hash, byte);
+            }
+        }
+    }
+    (hash % shards as u64) as usize
+}
+
+/// `N` independent [`IncrementalEngine`] shards behind one router.  See the
+/// module docs for the routing invariant, the broadcast-vs-split batch rules
+/// and why the merged snapshot is canonical.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    /// Catalog-entry name updates must address.
+    name: String,
+    schema: SchemaRef,
+    /// The routing blocker — identical to every shard's internal one.
+    blocker: Blocker,
+    /// Worker threads for the shard fan-out.  The shards' internal pools use
+    /// the engine configuration they were opened with, so a multi-shard
+    /// dispatch can run up to `threads × EngineConfig::threads` workers;
+    /// on hosts where that oversubscribes, cap the inner pools via
+    /// `EngineConfig::threads` (or the process-wide `RELACC_POOL_THREADS`
+    /// override, which bounds both levels at once).
+    threads: usize,
+    shards: Vec<IncrementalEngine>,
+    /// Live global row id → (shard, shard-local row id).
+    route: HashMap<RowId, (usize, RowId)>,
+    /// Per shard: shard-local row id → global row id.
+    global_of_local: Vec<HashMap<RowId, RowId>>,
+    /// Next global row id (sequential in insertion order, never reused —
+    /// the same contract a single `VersionedRelation` follows).
+    next_global: u64,
+    /// Mirror of each shard's next local id (shards assign sequentially).
+    next_local: Vec<u64>,
+    /// Corpus generation: +1 per applied row batch.
+    generation: Generation,
+}
+
+impl ShardedEngine {
+    /// Open a sharded engine over the seed state of a relation: partition the
+    /// rows by blocking key across `shards` shards (at least one) and run the
+    /// initial full repair per shard.  `engine` is compiled once and cloned
+    /// per shard (rules and master data stay shared under `Arc`s).
+    pub fn open(
+        engine: BatchEngine,
+        name: impl Into<String>,
+        relation: &Relation,
+        resolve: ResolveConfig,
+        shards: usize,
+    ) -> Self {
+        let shards = shards.max(1);
+        let name = name.into();
+        let schema = relation.schema().clone();
+        let blocker = resolve.blocker(&schema);
+        let threads = engine.config().threads;
+
+        let mut parts: Vec<Relation> = (0..shards).map(|_| Relation::new(schema.clone())).collect();
+        let mut route = HashMap::new();
+        let mut global_of_local = vec![HashMap::new(); shards];
+        let mut next_local = vec![0u64; shards];
+        for (global, tuple) in relation.rows().iter().enumerate() {
+            let gid = RowId(global as u64);
+            let key = BlockKey::of_row(&blocker, gid, tuple);
+            let shard = shard_of(&key, shards);
+            let lid = RowId(next_local[shard]);
+            next_local[shard] += 1;
+            parts[shard]
+                .push_row(tuple.values().to_vec())
+                .expect("seed rows conform to their own schema");
+            route.insert(gid, (shard, lid));
+            global_of_local[shard].insert(lid, gid);
+        }
+
+        let shards = parts
+            .iter()
+            .map(|part| {
+                IncrementalEngine::open(engine.clone(), name.clone(), part, resolve.clone())
+            })
+            .collect();
+        ShardedEngine {
+            name,
+            schema,
+            blocker,
+            threads,
+            shards,
+            route,
+            global_of_local,
+            next_global: relation.len() as u64,
+            next_local,
+            generation: Generation(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (read-only; mutate only through the router).
+    pub fn shards(&self) -> &[IncrementalEngine] {
+        &self.shards
+    }
+
+    /// The batch engine of shard 0 (all shards' plans evolve in lockstep).
+    pub fn engine(&self) -> &BatchEngine {
+        self.shards[0].engine()
+    }
+
+    /// The corpus generation (+1 per applied row batch, like a single
+    /// versioned relation's).
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Number of live rows across all shards.
+    pub fn len(&self) -> usize {
+        self.route.len()
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Lifetime counters summed across shards.  `batches_applied` counts
+    /// per-shard sub-batch applications, so it can exceed (split batches
+    /// touching several shards) or undershoot (batches whose rows all route
+    /// to one shard) the number of router-level batches.
+    pub fn stats(&self) -> IncrementalStats {
+        let mut out = IncrementalStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            out.batches_applied += s.batches_applied;
+            out.master_deltas_applied += s.master_deltas_applied;
+            out.recompiles += s.recompiles;
+            out.entities_rerepaired += s.entities_rerepaired;
+            out.entities_reused += s.entities_reused;
+        }
+        out
+    }
+
+    /// Apply a typed row batch: validate against the router (the same checks
+    /// in the same order as [`relacc_store::VersionedRelation::apply`], so a
+    /// sharded engine rejects exactly what a single engine rejects), split it
+    /// into per-shard sub-batches, and run the touched shards concurrently.
+    /// Untouched shards do no work at all — not even a membership scan.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome, IncrementalError> {
+        if batch.relation != self.name {
+            return Err(IncrementalError::Update(UpdateError::NoSuchRelation(
+                batch.relation.clone(),
+            )));
+        }
+        // validate everything before mutating: deletes (liveness, intra-batch
+        // duplicates) first, then insert schemas
+        let mut doomed: HashSet<RowId> = HashSet::with_capacity(batch.deletes.len());
+        for &id in &batch.deletes {
+            if !doomed.insert(id) || !self.route.contains_key(&id) {
+                return Err(IncrementalError::Update(UpdateError::NoSuchRow(id)));
+            }
+        }
+        for row in &batch.inserts {
+            self.schema
+                .validate_row(row)
+                .map_err(|e| IncrementalError::Update(UpdateError::Schema(e)))?;
+        }
+
+        // split: deletes route through the live map, inserts by blocking key
+        // (global ids are assigned after all deletes, like the single
+        // engine's deletes-then-inserts contract)
+        let mut subs: Vec<UpdateBatch> = (0..self.shards.len())
+            .map(|_| UpdateBatch::new(self.name.clone()))
+            .collect();
+        for &gid in &batch.deletes {
+            let (shard, lid) = self.route.remove(&gid).expect("validated as live above");
+            self.global_of_local[shard].remove(&lid);
+            subs[shard].deletes.push(lid);
+        }
+        for row in &batch.inserts {
+            let gid = RowId(self.next_global);
+            self.next_global += 1;
+            let key = BlockKey::of_values(&self.blocker, gid, row);
+            let shard = shard_of(&key, self.shards.len());
+            let lid = RowId(self.next_local[shard]);
+            self.next_local[shard] += 1;
+            self.route.insert(gid, (shard, lid));
+            self.global_of_local[shard].insert(lid, gid);
+            subs[shard].inserts.push(row.clone());
+        }
+        self.generation = Generation(self.generation.0 + 1);
+
+        // concurrent shard applies over the worker pool; sub-batches were
+        // validated above, so a shard rejection is an invariant breach
+        let threads = self.threads;
+        let jobs: Vec<(usize, Mutex<&mut IncrementalEngine>, UpdateBatch)> = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .zip(subs)
+            .filter(|(_, sub)| !sub.is_empty())
+            .map(|((idx, shard), sub)| (idx, Mutex::new(shard), sub))
+            .collect();
+        let touched: HashSet<usize> = jobs.iter().map(|(idx, _, _)| *idx).collect();
+        let outcomes: Vec<UpdateOutcome> = par_map_with(
+            &jobs,
+            threads,
+            || (),
+            |_, _, (idx, cell, sub)| {
+                cell.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .apply(sub)
+                    .unwrap_or_else(|e| {
+                        panic!("shard {idx} rejected a router-validated sub-batch: {e}")
+                    })
+            },
+        );
+        drop(jobs);
+        Ok(self.merge_outcomes(outcomes, &touched))
+    }
+
+    /// Broadcast a master-data append to every shard (each evolves its own
+    /// copy of the compiled plan; the stamps advance in lockstep) and let the
+    /// per-shard step-reachability filter decide what re-repairs.
+    ///
+    /// All shards hold identical plans, so the delta's verdict is identical
+    /// everywhere: either every shard applies it or every shard rejects it
+    /// (the first error is returned, nothing diverges).
+    pub fn apply_master_append(
+        &mut self,
+        master: usize,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<UpdateOutcome, IncrementalError> {
+        let threads = self.threads;
+        let jobs: Vec<Mutex<&mut IncrementalEngine>> =
+            self.shards.iter_mut().map(Mutex::new).collect();
+        let results: Vec<Result<UpdateOutcome, IncrementalError>> = par_map_with(
+            &jobs,
+            threads,
+            || (),
+            |_, _, cell| {
+                cell.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .apply_master_append(master, rows.clone())
+            },
+        );
+        drop(jobs);
+        let mut outcomes = Vec::with_capacity(results.len());
+        for result in results {
+            outcomes.push(result?);
+        }
+        debug_assert!(
+            self.shards
+                .iter()
+                .all(|s| s.engine().plan().stamp() == self.shards[0].engine().plan().stamp()),
+            "broadcast master deltas must keep the shard plans in lockstep"
+        );
+        let touched: HashSet<usize> = (0..self.shards.len()).collect();
+        Ok(self.merge_outcomes(outcomes, &touched))
+    }
+
+    /// Sum per-shard outcomes; untouched shards contribute their cached
+    /// blocks/entities as clean/reused.
+    fn merge_outcomes(
+        &self,
+        outcomes: Vec<UpdateOutcome>,
+        touched: &HashSet<usize>,
+    ) -> UpdateOutcome {
+        let mut merged = UpdateOutcome {
+            generation: self.generation,
+            dirty_blocks: 0,
+            dropped_blocks: 0,
+            clean_blocks: 0,
+            entities_rerepaired: 0,
+            entities_reused: 0,
+        };
+        for outcome in outcomes {
+            merged.dirty_blocks += outcome.dirty_blocks;
+            merged.dropped_blocks += outcome.dropped_blocks;
+            merged.clean_blocks += outcome.clean_blocks;
+            merged.entities_rerepaired += outcome.entities_rerepaired;
+            merged.entities_reused += outcome.entities_reused;
+        }
+        for (idx, shard) in self.shards.iter().enumerate() {
+            if !touched.contains(&idx) {
+                merged.clean_blocks += shard.cached_blocks();
+                merged.entities_reused += shard.cached_entities();
+            }
+        }
+        merged
+    }
+
+    /// The live rows of every shard in canonical global order (ascending
+    /// global row id == insertion order), plus, per shard, the map from
+    /// shard-local row position to global row position.
+    fn global_rows(&self) -> (Relation, Vec<Vec<usize>>) {
+        let mut rows: Vec<(RowId, usize, usize)> = Vec::with_capacity(self.route.len());
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            for (local_pos, row) in shard.relation().rows().iter().enumerate() {
+                let gid = self.global_of_local[shard_idx][&row.id];
+                rows.push((gid, shard_idx, local_pos));
+            }
+        }
+        rows.sort_by_key(|&(gid, _, _)| gid);
+        let mut relation = Relation::new(self.schema.clone());
+        let mut pos_map: Vec<Vec<usize>> = self
+            .shards
+            .iter()
+            .map(|s| vec![usize::MAX; s.relation().len()])
+            .collect();
+        for (global_pos, &(_, shard_idx, local_pos)) in rows.iter().enumerate() {
+            pos_map[shard_idx][local_pos] = global_pos;
+            let tuple = &self.shards[shard_idx].relation().rows()[local_pos].tuple;
+            relation
+                .push_row(tuple.values().to_vec())
+                .expect("live rows were validated on insert");
+        }
+        (relation, pos_map)
+    }
+
+    /// The current corpus state as one plain [`Relation`] in canonical global
+    /// row order — the view a from-scratch `repair_relation` would repair.
+    pub fn snapshot_relation(&self) -> Relation {
+        self.global_rows().0
+    }
+
+    /// Merge every shard's per-block cache into the current full
+    /// [`RelationRepair`].
+    ///
+    /// Bit-identical to a single [`IncrementalEngine`]'s snapshot over the
+    /// same update stream, and semantically identical to a from-scratch
+    /// `repair_relation` of [`ShardedEngine::snapshot_relation`] under the
+    /// current plan: shard-local row order is a subsequence of the global
+    /// order, so rebasing block indices through the position maps preserves
+    /// every within-block ordering, and the shared `assemble_repair` puts
+    /// blocks and entities into the canonical ascending-smallest-member
+    /// order.
+    pub fn snapshot(&self) -> RelationRepair {
+        let (relation, pos_map) = self.global_rows();
+        let mut blocks: Vec<AssembledBlock> = Vec::new();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let map = &pos_map[shard_idx];
+            for mut block in shard.assembled_blocks() {
+                for decision in &mut block.decisions {
+                    decision.left = map[decision.left];
+                    decision.right = map[decision.right];
+                }
+                for (members, _) in &mut block.entities {
+                    for member in members.iter_mut() {
+                        *member = map[*member];
+                    }
+                }
+                // the local→global map is monotone, so the smallest member
+                // stays the smallest
+                block.first_row = map[block.first_row];
+                blocks.push(block);
+            }
+        }
+        assemble_repair(relation, blocks, self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::EntityOutcome;
+    use relacc_core::rules::{MasterPremise, MasterRule, Predicate, RuleSet, TupleRule};
+    use relacc_model::{AttrId, CmpOp, DataType, MasterRelation, Schema, Value};
+    use relacc_resolve::BlockingStrategy;
+
+    fn schema() -> SchemaRef {
+        Schema::builder("stat")
+            .attr("name", DataType::Text)
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    fn master_schema() -> SchemaRef {
+        Schema::builder("nba")
+            .attr("name", DataType::Text)
+            .attr("team", DataType::Text)
+            .build()
+    }
+
+    fn rules(s: &SchemaRef, ms: &SchemaRef) -> RuleSet {
+        RuleSet::from_rules([
+            relacc_core::AccuracyRule::from(TupleRule::new(
+                "cur",
+                vec![Predicate::cmp_attrs(s.expect_attr("rnds"), CmpOp::Lt)],
+                s.expect_attr("rnds"),
+            )),
+            relacc_core::AccuracyRule::from(MasterRule::new(
+                "m",
+                vec![MasterPremise::TargetEqMaster(
+                    s.expect_attr("name"),
+                    ms.expect_attr("name"),
+                )],
+                vec![(s.expect_attr("team"), ms.expect_attr("team"))],
+            )),
+        ])
+    }
+
+    fn seed_relation(s: &SchemaRef) -> Relation {
+        Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("mj"), Value::Int(16), Value::Null],
+                vec![Value::text("mj"), Value::Int(27), Value::Null],
+                vec![Value::text("sp"), Value::Int(27), Value::Null],
+                vec![Value::text("dr"), Value::Int(3), Value::Null],
+                vec![Value::Null, Value::Int(9), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn resolve() -> ResolveConfig {
+        ResolveConfig::on_attrs(vec!["name".into()]).with_strategy(BlockingStrategy::ExactKey)
+    }
+
+    fn open(shards: usize) -> ShardedEngine {
+        let s = schema();
+        let ms = master_schema();
+        let master = MasterRelation::from_rows(
+            ms.clone(),
+            vec![vec![Value::text("mj"), Value::text("Bulls")]],
+        )
+        .unwrap();
+        let engine = BatchEngine::new(s.clone(), rules(&s, &ms), vec![master]).unwrap();
+        ShardedEngine::open(engine, "stat", &seed_relation(&s), resolve(), shards)
+    }
+
+    fn assert_matches_full(sharded: &ShardedEngine, label: &str) {
+        let relation = sharded.snapshot_relation();
+        let full = sharded.engine().repair_relation(&relation, &resolve());
+        let snap = sharded.snapshot();
+        assert_eq!(
+            snap.resolved.members, full.resolved.members,
+            "{label}: members"
+        );
+        assert_eq!(
+            snap.resolved.decisions, full.resolved.decisions,
+            "{label}: decisions"
+        );
+        assert_eq!(
+            snap.report.entities.len(),
+            full.report.entities.len(),
+            "{label}: entity count"
+        );
+        for (a, b) in snap.report.entities.iter().zip(full.report.entities.iter()) {
+            assert_eq!(a.entity, b.entity, "{label}: entity index");
+            assert_eq!(a.records, b.records, "{label}: records of {}", a.entity);
+            assert_eq!(a.outcome, b.outcome, "{label}: outcome of {}", a.entity);
+            assert_eq!(a.deduced, b.deduced, "{label}: deduced of {}", a.entity);
+            assert_eq!(
+                a.suggestion, b.suggestion,
+                "{label}: suggestion of {}",
+                a.entity
+            );
+        }
+        assert_eq!(snap.repaired.rows(), full.repaired.rows(), "{label}: rows");
+        assert_eq!(
+            snap.row_entities, full.row_entities,
+            "{label}: row entities"
+        );
+        assert_eq!(snap.skipped, full.skipped, "{label}: skipped");
+    }
+
+    #[test]
+    fn sharding_is_transparent_at_every_shard_count() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut engine = open(shards);
+            assert_eq!(engine.shard_count(), shards);
+            assert_eq!(engine.len(), 5);
+            assert_matches_full(&engine, &format!("seed/{shards}"));
+
+            // split batch: touches mj and dr blocks plus a fresh singleton
+            let outcome = engine
+                .apply(
+                    &UpdateBatch::new("stat")
+                        .delete(RowId(3))
+                        .insert(vec![Value::text("mj"), Value::Int(31), Value::Null])
+                        .insert(vec![Value::Null, Value::Int(12), Value::Null]),
+                )
+                .unwrap();
+            assert_eq!(outcome.generation, Generation(1));
+            assert_eq!(engine.generation(), Generation(1));
+            assert_matches_full(&engine, &format!("rows/{shards}"));
+
+            // broadcast: a master append completing the sp entity
+            engine
+                .apply_master_append(0, vec![vec![Value::text("sp"), Value::text("Blazers")]])
+                .unwrap();
+            assert_matches_full(&engine, &format!("master/{shards}"));
+            let snap = engine.snapshot();
+            let sp = snap
+                .report
+                .entities
+                .iter()
+                .find(|e| e.records == vec![2])
+                .expect("sp entity");
+            assert_eq!(sp.deduced.value(AttrId(2)), &Value::text("Blazers"));
+        }
+    }
+
+    #[test]
+    fn sharded_snapshot_is_bit_identical_to_a_single_engine() {
+        let s = schema();
+        let ms = master_schema();
+        let master = MasterRelation::from_rows(
+            ms.clone(),
+            vec![vec![Value::text("mj"), Value::text("Bulls")]],
+        )
+        .unwrap();
+        let single_engine = BatchEngine::new(s.clone(), rules(&s, &ms), vec![master]).unwrap();
+        let mut single =
+            IncrementalEngine::open(single_engine.clone(), "stat", &seed_relation(&s), resolve());
+        let mut sharded =
+            ShardedEngine::open(single_engine, "stat", &seed_relation(&s), resolve(), 4);
+        let batches = [
+            UpdateBatch::new("stat").insert(vec![Value::text("sp"), Value::Int(31), Value::Null]),
+            UpdateBatch::new("stat").delete(RowId(0)).insert(vec![
+                Value::text("dr"),
+                Value::Int(5),
+                Value::Null,
+            ]),
+            UpdateBatch::new("stat").delete(RowId(4)).delete(RowId(6)),
+        ];
+        for (step, batch) in batches.iter().enumerate() {
+            single.apply(batch).unwrap();
+            sharded.apply(batch).unwrap();
+            let a = single.snapshot();
+            let b = sharded.snapshot();
+            assert_eq!(
+                a.resolved.members, b.resolved.members,
+                "step {step}: members"
+            );
+            assert_eq!(
+                a.resolved.decisions, b.resolved.decisions,
+                "step {step}: decisions"
+            );
+            assert_eq!(a.repaired.rows(), b.repaired.rows(), "step {step}: rows");
+            assert_eq!(a.skipped, b.skipped, "step {step}: skipped");
+            for (x, y) in a.report.entities.iter().zip(b.report.entities.iter()) {
+                assert_eq!(x.records, y.records, "step {step}");
+                assert_eq!(x.outcome, y.outcome, "step {step}");
+                assert_eq!(x.deduced, y.deduced, "step {step}");
+                assert_eq!(x.suggestion, y.suggestion, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_batches_only_touch_their_shards() {
+        let mut engine = open(4);
+        // find the shard holding the mj block and count re-repairs when a
+        // batch only touches mj: exactly one entity re-repairs, everyone
+        // else is reused from cache
+        let outcome = engine
+            .apply(&UpdateBatch::new("stat").insert(vec![
+                Value::text("mj"),
+                Value::Int(40),
+                Value::Null,
+            ]))
+            .unwrap();
+        assert_eq!(outcome.dirty_blocks, 1);
+        assert_eq!(outcome.entities_rerepaired, 1);
+        assert_eq!(outcome.entities_reused, 3, "sp, dr and the singleton");
+        assert_eq!(
+            outcome.dirty_blocks + outcome.clean_blocks,
+            4,
+            "mj, sp, dr and the singleton blocks"
+        );
+    }
+
+    #[test]
+    fn router_validates_like_a_single_engine() {
+        let mut engine = open(3);
+        assert!(matches!(
+            engine.apply(&UpdateBatch::new("other")),
+            Err(IncrementalError::Update(UpdateError::NoSuchRelation(_)))
+        ));
+        assert!(matches!(
+            engine.apply(&UpdateBatch::new("stat").delete(RowId(99))),
+            Err(IncrementalError::Update(UpdateError::NoSuchRow(_)))
+        ));
+        // duplicate delete within one batch
+        assert!(matches!(
+            engine.apply(&UpdateBatch::new("stat").delete(RowId(0)).delete(RowId(0))),
+            Err(IncrementalError::Update(UpdateError::NoSuchRow(_)))
+        ));
+        // schema-invalid insert
+        assert!(matches!(
+            engine.apply(&UpdateBatch::new("stat").insert(vec![Value::Int(1)])),
+            Err(IncrementalError::Update(UpdateError::Schema(_)))
+        ));
+        // rejected batches mutate nothing
+        assert_eq!(engine.generation(), Generation(0));
+        assert_eq!(engine.len(), 5);
+        assert_matches_full(&engine, "after-rejections");
+    }
+
+    #[test]
+    fn suggestions_survive_the_sharded_merge() {
+        let s = Schema::builder("r")
+            .attr("name", DataType::Text)
+            .attr("color", DataType::Text)
+            .build();
+        let relation = Relation::from_rows(
+            s.clone(),
+            vec![
+                vec![Value::text("widget"), Value::text("red")],
+                vec![Value::text("widget"), Value::text("red")],
+                vec![Value::text("widget"), Value::text("blue")],
+                vec![Value::text("gadget"), Value::text("green")],
+            ],
+        )
+        .unwrap();
+        let engine = BatchEngine::new(s.clone(), RuleSet::new(), vec![]).unwrap();
+        let mut sharded = ShardedEngine::open(engine, "r", &relation, resolve(), 2);
+        let snap = sharded.snapshot();
+        assert_eq!(snap.report.entities[0].outcome, EntityOutcome::Suggested);
+        sharded
+            .apply(&UpdateBatch::new("r").insert(vec![Value::text("gadget"), Value::text("teal")]))
+            .unwrap();
+        let snap = sharded.snapshot();
+        assert_eq!(snap.report.entities[0].outcome, EntityOutcome::Suggested);
+        assert_eq!(
+            snap.report.entities[0]
+                .suggestion
+                .as_ref()
+                .unwrap()
+                .value(AttrId(1)),
+            &Value::text("red")
+        );
+    }
+
+    #[test]
+    fn shard_routing_is_a_pure_function_of_the_key() {
+        for shards in [1usize, 2, 5, 8] {
+            let a = BlockKey::Key("michael jordan".into());
+            let b = BlockKey::Key("michael jordan".into());
+            assert_eq!(shard_of(&a, shards), shard_of(&b, shards));
+            assert!(shard_of(&a, shards) < shards);
+            let s1 = BlockKey::Singleton(RowId(7));
+            assert_eq!(shard_of(&s1, shards), shard_of(&s1.clone(), shards));
+            assert!(shard_of(&s1, shards) < shards);
+        }
+        // keys spread: over many distinct keys, more than one shard is hit
+        let hit: HashSet<usize> = (0..64)
+            .map(|i| shard_of(&BlockKey::Key(format!("key {i}")), 4))
+            .collect();
+        assert!(hit.len() > 1, "FNV routing must actually spread keys");
+    }
+}

@@ -37,10 +37,17 @@ pub fn blocking_key(tuple: &Tuple, key_attrs: &[AttrId]) -> String {
 /// (the previous implementation built three per value:
 /// `to_string().to_lowercase().split_whitespace()…join`).
 pub fn write_blocking_key(tuple: &Tuple, key_attrs: &[AttrId], out: &mut String) {
+    write_blocking_key_values(tuple.values(), key_attrs, out);
+}
+
+/// [`write_blocking_key`] over a raw value slice — for rows that are not
+/// wrapped in a [`Tuple`] yet (batch inserts being routed before any
+/// relation has materialized them).
+pub fn write_blocking_key_values(values: &[Value], key_attrs: &[AttrId], out: &mut String) {
     use std::fmt::Write;
     let mut first = true;
     for &attr in key_attrs {
-        let value = tuple.value(attr);
+        let value = &values[attr.0];
         if value.is_null() {
             continue;
         }
@@ -111,8 +118,14 @@ impl Blocker {
     /// Write the block identifier of a record into `out` (cleared first), so
     /// a blocking pass reuses one buffer across all records.
     pub fn write_block_of(&self, tuple: &Tuple, out: &mut String) {
+        self.write_block_of_values(tuple.values(), out);
+    }
+
+    /// [`Blocker::write_block_of`] over a raw value slice (see
+    /// [`write_blocking_key_values`]).
+    pub fn write_block_of_values(&self, values: &[Value], out: &mut String) {
         out.clear();
-        write_blocking_key(tuple, &self.key_attrs, out);
+        write_blocking_key_values(values, &self.key_attrs, out);
         if let BlockingStrategy::Prefix(n) = self.strategy {
             if let Some((cut, _)) = out.char_indices().nth(n) {
                 out.truncate(cut);

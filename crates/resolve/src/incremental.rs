@@ -45,6 +45,28 @@ impl BlockKey {
             BlockKey::Key(buf.clone())
         }
     }
+
+    /// The block key a row gets under `blocker` — the **routing** primitive of
+    /// sharded repair: a record's block (and therefore its shard) is a pure
+    /// function of its blocking key, with empty-key rows falling back to a
+    /// [`BlockKey::Singleton`] of the row's id.  This is exactly the key an
+    /// [`IncrementalBlockingIndex`] over the same blocker assigns to the row,
+    /// so an external router and the per-shard indices can never disagree.
+    pub fn of_row(blocker: &Blocker, id: RowId, tuple: &Tuple) -> Self {
+        BlockKey::of_values(blocker, id, tuple.values())
+    }
+
+    /// [`BlockKey::of_row`] over a raw value slice — for routing batch
+    /// inserts that no relation has wrapped in a [`Tuple`] yet.
+    pub fn of_values(blocker: &Blocker, id: RowId, values: &[relacc_model::Value]) -> Self {
+        let mut buf = String::new();
+        blocker.write_block_of_values(values, &mut buf);
+        if buf.is_empty() {
+            BlockKey::Singleton(id)
+        } else {
+            BlockKey::Key(buf)
+        }
+    }
 }
 
 /// The dirty-block output of one applied update.

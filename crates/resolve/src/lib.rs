@@ -47,7 +47,9 @@ pub mod incremental;
 pub mod resolve;
 pub mod similarity;
 
-pub use blocking::{blocking_key, write_blocking_key, Blocker, BlockingStrategy};
+pub use blocking::{
+    blocking_key, write_blocking_key, write_blocking_key_values, Blocker, BlockingStrategy,
+};
 pub use incremental::{BlockKey, DirtyBlocks, IncrementalBlockingIndex};
 pub use resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
 pub use similarity::{

@@ -46,6 +46,23 @@ impl ResolveConfig {
         self.strategy = strategy;
         self
     }
+
+    /// The [`Blocker`] this configuration partitions a relation of `schema`
+    /// with: the match attributes resolved to ids (unknown names ignored,
+    /// like [`resolve_relation`] does) under the configured strategy.
+    ///
+    /// Exposed so callers that need block identities *outside* a resolution
+    /// pass — the incremental engine's dirty-block index, the sharded
+    /// router's key-based dispatch — construct the exact same blocker and
+    /// can never drift from the resolution pipeline.
+    pub fn blocker(&self, schema: &relacc_model::SchemaRef) -> Blocker {
+        let match_attrs: Vec<AttrId> = self
+            .match_attrs
+            .iter()
+            .filter_map(|name| schema.attr_id(name))
+            .collect();
+        Blocker::new(match_attrs, self.strategy.clone())
+    }
 }
 
 /// The decision made for one compared record pair (exposed for diagnostics and

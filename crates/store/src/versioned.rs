@@ -23,6 +23,23 @@
 //! `0..n`, and each subsequent insert takes the next id; deletes never free
 //! ids for reuse).  Deterministic workload generators rely on this contract
 //! to script delete targets ahead of time.
+//!
+//! **Per-shard id spaces.** A [`RowId`] is only meaningful relative to the
+//! relation that assigned it.  Sharded deployments (the engine's
+//! `ShardedEngine`) give every shard its **own** `VersionedRelation` — and
+//! therefore its own id space, each independently following the sequential
+//! contract above — and keep the corpus-level view in a router that owns the
+//! remapping: live *global* id → (shard, *local* id) for dispatching
+//! deletes, and per shard local id → global id for reassembling snapshots.
+//! Two consequences the router relies on, both guaranteed here: (a) ids are
+//! handed out strictly in insertion order, so an external router that counts
+//! a shard's inserts predicts the shard's next local id exactly; (b) deletes
+//! preserve the relative order of the surviving rows, so shard-local row
+//! order is always a subsequence of the global insertion order (global order
+//! is ascending global id, which is what makes the sharded snapshot merge
+//! order-preserving).  Update streams keep scripting deletes against
+//! *global* ids; translation to shard-local ids is the router's job, never
+//! the generator's.
 
 use crate::relation::Relation;
 use relacc_model::{SchemaError, SchemaRef, Tuple, Value};
@@ -143,6 +160,32 @@ impl From<SchemaError> for UpdateError {
     }
 }
 
+/// Validate an [`UpdateBatch`] without applying it: deletes first (liveness
+/// via `is_live`, plus intra-batch duplicates), then insert rows against the
+/// schema.  Returns the delete set on success.
+///
+/// This is the **single** validation prologue of batch application — shared
+/// by [`VersionedRelation::apply`] and by routers that split batches across
+/// several relations (the engine's `ShardedEngine`), so "a sharded deployment
+/// rejects exactly what a single relation rejects, with the same error" holds
+/// by construction rather than by keeping two copies in sync.
+pub fn validate_batch(
+    schema: &SchemaRef,
+    mut is_live: impl FnMut(RowId) -> bool,
+    batch: &UpdateBatch,
+) -> Result<HashSet<RowId>, UpdateError> {
+    let mut doomed: HashSet<RowId> = HashSet::with_capacity(batch.deletes.len());
+    for &id in &batch.deletes {
+        if !doomed.insert(id) || !is_live(id) {
+            return Err(UpdateError::NoSuchRow(id));
+        }
+    }
+    for row in &batch.inserts {
+        schema.validate_row(row)?;
+    }
+    Ok(doomed)
+}
+
 /// A relation with stable row ids and per-tuple generation stamps.
 ///
 /// Id lookups go through a maintained position index, so [`VersionedRelation::row`]
@@ -251,15 +294,7 @@ impl VersionedRelation {
     /// the relation is left exactly as it was — batches apply atomically.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<AppliedUpdate, UpdateError> {
         // validate everything before mutating
-        let mut doomed: HashSet<RowId> = HashSet::with_capacity(batch.deletes.len());
-        for &id in &batch.deletes {
-            if !doomed.insert(id) || !self.by_id.contains_key(&id) {
-                return Err(UpdateError::NoSuchRow(id));
-            }
-        }
-        for row in &batch.inserts {
-            self.schema.validate_row(row)?;
-        }
+        let doomed = validate_batch(&self.schema, |id| self.by_id.contains_key(&id), batch)?;
 
         let mut deleted = Vec::with_capacity(batch.deletes.len());
         if !batch.deletes.is_empty() {

@@ -132,37 +132,41 @@ pub fn rank_join_ct_with(search: &CandidateSearch<'_>, scratch: &mut CheckScratc
             if let Some(entry) = lists[i].next_entry() {
                 let entry = entry.clone();
                 stats.pops += 1;
-                // join the new value of list i with all seen prefixes of the others
+                // Join the new value of list i with all seen prefixes of the
+                // others, building each combination **positionally** (one slot
+                // per list, in list order).  A rank-join result needs a value
+                // from every list, so when some other list has contributed
+                // nothing yet — candidate lists are routinely uneven, short
+                // ones run dry while long ones keep producing — the pulled
+                // value joins with nothing this round and is only recorded in
+                // `seen` for future rounds.  That skip is explicit here; the
+                // old splice-style rebuild (pushing the other lists' values
+                // and re-interleaving them afterwards) asserted "one value
+                // per other list" instead of guaranteeing it by construction.
                 let mut combos: Vec<(f64, Vec<Value>)> = vec![(entry.score, Vec::new())];
                 for (j, seen_j) in seen.iter().enumerate() {
                     if j == i {
+                        for (_, combo) in &mut combos {
+                            combo.push(entry.item.clone());
+                        }
                         continue;
                     }
+                    if seen_j.is_empty() {
+                        combos.clear();
+                        break;
+                    }
                     let mut expanded = Vec::with_capacity(combos.len() * seen_j.len());
-                    for (score, partial) in &combos {
+                    for (score, combo) in &combos {
                         for other in seen_j {
-                            let mut p = partial.clone();
-                            p.push(other.item.clone());
-                            expanded.push((score + other.score, p));
+                            let mut extended = combo.clone();
+                            extended.push(other.item.clone());
+                            expanded.push((score + other.score, extended));
                         }
                     }
                     combos = expanded;
-                    if combos.is_empty() {
-                        break;
-                    }
                 }
-                // Re-materialize the full Z order: positions j≠i were pushed in
-                // ascending j order, the new value of list i must be spliced in.
-                for (score, partial) in combos {
-                    let mut z_values = Vec::with_capacity(m);
-                    let mut it = partial.into_iter();
-                    for j in 0..m {
-                        if j == i {
-                            z_values.push(entry.item.clone());
-                        } else {
-                            z_values.push(it.next().expect("one value per other list"));
-                        }
-                    }
+                for (score, z_values) in combos {
+                    debug_assert_eq!(z_values.len(), m, "one value per list");
                     stats.generated += 1;
                     buffer.push(F64Key(score), z_values);
                 }
@@ -252,6 +256,74 @@ mod tests {
             let rj = rank_join_ct(&search);
             let tk = topkct(&search);
             assert_eq!(rj.candidates.len(), tk.candidates.len(), "k={k}");
+            for (a, b) in rj.candidates.iter().zip(tk.candidates.iter()) {
+                assert!((a.score - b.score).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    /// Regression for the uneven-list join: per-attribute candidate counts
+    /// are asymmetric (one attribute has a single candidate, another has
+    /// many), so the short lists run dry while the long ones keep producing
+    /// and early pulls find other lists with nothing seen yet.  The join
+    /// must skip those not-yet-joinable / exhausted combinations — the
+    /// rank-join semantics: a result takes one value from *every* list —
+    /// instead of asserting "one value per other list", and must still agree
+    /// with TopKCT on every score for every k up to past-exhaustion.
+    #[test]
+    fn uneven_candidate_lists_are_joined_without_panicking() {
+        let schema = Schema::builder("r")
+            .attr("rnds", DataType::Int)
+            .attr("team", DataType::Text)
+            .attr("arena", DataType::Text)
+            .attr("city", DataType::Text)
+            .build();
+        // team has two candidates, arena four, city three: uneven
+        // per-attribute counts, all three attributes left open (a single
+        // distinct value would be auto-deduced by the equal-values axiom)
+        let rows: Vec<Vec<Value>> = vec![
+            vec![
+                Value::Int(16),
+                Value::text("Bulls"),
+                Value::text("United Center"),
+                Value::text("Chicago"),
+            ],
+            vec![
+                Value::Int(27),
+                Value::text("Chicago Bulls"),
+                Value::text("Chicago Stadium"),
+                Value::text("Chicago"),
+            ],
+            vec![
+                Value::Int(27),
+                Value::text("Bulls"),
+                Value::text("Regions Park"),
+                Value::text("Deerfield"),
+            ],
+            vec![
+                Value::Int(27),
+                Value::text("Bulls"),
+                Value::text("Berto Center"),
+                Value::text("Evanston"),
+            ],
+        ];
+        let ie = EntityInstance::from_rows(schema.clone(), rows).unwrap();
+        let rules = RuleSet::from_rules([TupleRule::new(
+            "phi1",
+            vec![Predicate::cmp_attrs(schema.expect_attr("rnds"), CmpOp::Lt)],
+            schema.expect_attr("rnds"),
+        )]);
+        let spec = Specification::new(ie, rules);
+        for k in [1usize, 2, 5, 11, 24, 40] {
+            let search =
+                CandidateSearch::prepare(&spec, PreferenceModel::occurrence(&spec, k)).unwrap();
+            assert_eq!(search.arity(), 3, "three open attributes");
+            let counts: Vec<usize> = search.domains.iter().map(Vec::len).collect();
+            assert_eq!(counts, vec![2, 4, 3], "asymmetric per-attribute counts");
+            let rj = rank_join_ct(&search);
+            let tk = topkct(&search);
+            assert_eq!(rj.candidates.len(), tk.candidates.len(), "k={k}");
+            assert_eq!(rj.candidates.len(), k.min(24), "k={k}: 2*4*3 combinations");
             for (a, b) in rj.candidates.iter().zip(tk.candidates.iter()) {
                 assert!((a.score - b.score).abs() < 1e-9, "k={k}");
             }

@@ -23,6 +23,7 @@ fn main() {
         master_appends_per_batch: 2,
         fresh_entity_rate: 0.25,
         seed: 3,
+        ..StreamConfig::default()
     };
     let stream = med_stream(0.01, 42, &config);
     let resolve = ResolveConfig::on_attrs(stream.match_attrs.clone())

@@ -1,0 +1,220 @@
+//! Differential guard for sharded incremental repair: after applying any
+//! prefix of a generated update stream, the [`ShardedEngine`] snapshot must
+//! be **bit-identical** to a single [`IncrementalEngine`] over the same
+//! stream and semantically identical to a from-scratch
+//! `BatchEngine::repair_relation` over the same corpus state under the same
+//! (delta-evolved) plan — across shard counts {1, 2, 4, 7}, at 1 and 4
+//! worker threads, on the med stream (which includes mid-stream master
+//! appends that broadcast to every shard) and the rest stream.
+//!
+//! As in `tests/incremental_differential.rs`, per-entity chase counters are
+//! excluded: a cached entity reports the work of the run that produced it.
+
+use relacc::datagen::streaming::{med_stream, rest_stream, StreamConfig, StreamOp, UpdateStream};
+use relacc::engine::{BatchEngine, IncrementalEngine, RelationRepair, ShardedEngine};
+use relacc::resolve::{BlockingStrategy, ResolveConfig};
+
+fn resolve_config(stream: &UpdateStream) -> ResolveConfig {
+    ResolveConfig::on_attrs(stream.match_attrs.clone()).with_strategy(BlockingStrategy::ExactKey)
+}
+
+fn open_batch_engine(stream: &UpdateStream, threads: usize) -> BatchEngine {
+    BatchEngine::new(
+        stream.relation.schema().clone(),
+        stream.rules.clone(),
+        stream.master.clone().into_iter().collect(),
+    )
+    .expect("stream rules validate")
+    .with_threads(threads)
+}
+
+fn assert_semantically_equal(sharded: &RelationRepair, other: &RelationRepair, label: &str) {
+    assert_eq!(
+        sharded.resolved.members, other.resolved.members,
+        "{label}: resolution membership"
+    );
+    assert_eq!(
+        sharded.resolved.decisions, other.resolved.decisions,
+        "{label}: match decisions"
+    );
+    for (i, (a, b)) in sharded
+        .resolved
+        .entities
+        .iter()
+        .zip(other.resolved.entities.iter())
+        .enumerate()
+    {
+        assert_eq!(a.tuples(), b.tuples(), "{label}: entity {i} instance");
+    }
+    assert_eq!(
+        sharded.report.entities.len(),
+        other.report.entities.len(),
+        "{label}: entity count"
+    );
+    for (a, b) in sharded
+        .report
+        .entities
+        .iter()
+        .zip(other.report.entities.iter())
+    {
+        assert_eq!(a.entity, b.entity, "{label}: entity index");
+        assert_eq!(a.records, b.records, "{label}: entity {} records", a.entity);
+        assert_eq!(a.outcome, b.outcome, "{label}: entity {} outcome", a.entity);
+        assert_eq!(a.deduced, b.deduced, "{label}: entity {} deduced", a.entity);
+        assert_eq!(
+            a.suggestion, b.suggestion,
+            "{label}: entity {} suggestion",
+            a.entity
+        );
+        assert_eq!(
+            a.suggestion_error, b.suggestion_error,
+            "{label}: entity {} suggestion error",
+            a.entity
+        );
+        assert_eq!(
+            a.conflict.is_some(),
+            b.conflict.is_some(),
+            "{label}: entity {} conflict presence",
+            a.entity
+        );
+    }
+    assert_eq!(
+        sharded.repaired.rows(),
+        other.repaired.rows(),
+        "{label}: repaired rows"
+    );
+    assert_eq!(
+        sharded.row_entities, other.row_entities,
+        "{label}: row/entity mapping"
+    );
+    assert_eq!(sharded.skipped, other.skipped, "{label}: skipped");
+}
+
+/// Apply the whole stream to a sharded engine and a single incremental
+/// engine in lockstep, asserting sharded == single == from-scratch at the
+/// seed state, two mid-stream checkpoints and the final state.
+fn run_stream(stream: &UpdateStream, shards: usize, threads: usize, label: &str) {
+    let resolve = resolve_config(stream);
+    let mut sharded = ShardedEngine::open(
+        open_batch_engine(stream, threads),
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+        shards,
+    );
+    let mut single = IncrementalEngine::open(
+        open_batch_engine(stream, threads),
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+    );
+    assert_eq!(sharded.shard_count(), shards, "{label}");
+
+    let check = |sharded: &ShardedEngine, single: &IncrementalEngine, at: &str| {
+        let snap = sharded.snapshot();
+        assert_semantically_equal(
+            &snap,
+            &single.snapshot(),
+            &format!("{label}/{at}/vs-single"),
+        );
+        let relation = sharded.snapshot_relation();
+        assert_eq!(
+            relation.rows(),
+            single.relation().snapshot().rows(),
+            "{label}/{at}: corpus states diverged"
+        );
+        let full = sharded.engine().repair_relation(&relation, &resolve);
+        assert_semantically_equal(&snap, &full, &format!("{label}/{at}/vs-full"));
+    };
+    check(&sharded, &single, "seed");
+
+    let last = stream.ops.len().saturating_sub(1);
+    let checkpoints = [last / 2, last];
+    let mut saw_master_append_before_last_checkpoint = false;
+    for (step, op) in stream.ops.iter().enumerate() {
+        match op {
+            StreamOp::Rows(batch) => {
+                let a = sharded
+                    .apply(batch)
+                    .unwrap_or_else(|e| panic!("{label}: sharded batch {step} rejected: {e}"));
+                let b = single
+                    .apply(batch)
+                    .unwrap_or_else(|e| panic!("{label}: single batch {step} rejected: {e}"));
+                // the routers agree on the corpus version and on how much
+                // repair work the update could possibly reuse
+                assert_eq!(a.generation, b.generation, "{label}: generation at {step}");
+                assert_eq!(
+                    a.entities_rerepaired + a.entities_reused,
+                    b.entities_rerepaired + b.entities_reused,
+                    "{label}: live entity count at {step}"
+                );
+            }
+            StreamOp::MasterAppend(rows) => {
+                if step < last {
+                    saw_master_append_before_last_checkpoint = true;
+                }
+                sharded
+                    .apply_master_append(0, rows.clone())
+                    .unwrap_or_else(|e| panic!("{label}: sharded append {step} rejected: {e}"));
+                single
+                    .apply_master_append(0, rows.clone())
+                    .unwrap_or_else(|e| panic!("{label}: single append {step} rejected: {e}"));
+            }
+        }
+        if checkpoints.contains(&step) {
+            check(&sharded, &single, &format!("step {step}"));
+        }
+    }
+    if stream.master_appends() > 0 {
+        assert!(
+            saw_master_append_before_last_checkpoint,
+            "{label}: the stream must exercise a mid-stream master append"
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_single_and_full_on_the_med_stream() {
+    let stream = med_stream(0.01, 23, &StreamConfig::default());
+    assert!(
+        stream.master_appends() > 0,
+        "med stream must exercise broadcast master deltas"
+    );
+    for threads in [1usize, 4] {
+        for shards in [1usize, 2, 4, 7] {
+            run_stream(
+                &stream,
+                shards,
+                threads,
+                &format!("med/shards={shards}/threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_single_and_full_on_the_rest_stream() {
+    let stream = rest_stream(0.002, 31, &StreamConfig::default());
+    for threads in [1usize, 4] {
+        for shards in [1usize, 2, 4, 7] {
+            run_stream(
+                &stream,
+                shards,
+                threads,
+                &format!("rest/shards={shards}/threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_single_on_the_skewed_stream() {
+    // the hot-shard mix the sharded bench measures must stay differential
+    let config = StreamConfig {
+        master_appends_per_batch: 0,
+        ..StreamConfig::default()
+    }
+    .with_hot_mix(2, 0.85);
+    let stream = med_stream(0.01, 19, &config);
+    run_stream(&stream, 4, 4, "med-skewed/shards=4/threads=4");
+}

@@ -12,6 +12,8 @@
 //!   floor established in PR 3);
 //! * `BENCH_incremental.json`: `incremental_vs_full_speedup ≥ 3` on a
 //!   ≤10%-dirty update batch (`max_dirty_fraction ≤ 0.10`);
+//! * `BENCH_sharded.json`: `sharded_vs_single_speedup ≥ 2` at `shards ≥ 2`
+//!   (the hot-shard Med stream, PR 5);
 //! * every gated number must be present, finite and non-negative.
 //!
 //! Usage: `bench-gate [--root <dir>]` (the root defaults to the workspace
@@ -185,6 +187,27 @@ fn gates(file_name: &str) -> (Vec<Floor>, Vec<Ceiling>) {
                 maximum: 0.10,
             }],
         ),
+        "BENCH_sharded.json" => (
+            vec![
+                Floor {
+                    field: "sharded_vs_single_speedup",
+                    minimum: 2.0,
+                },
+                Floor {
+                    field: "shards",
+                    minimum: 2.0,
+                },
+                Floor {
+                    field: "entities",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "batches",
+                    minimum: 1.0,
+                },
+            ],
+            vec![],
+        ),
         _ => (vec![], vec![]),
     }
 }
@@ -342,6 +365,16 @@ mod tests {
   "smoke": false
 }"#;
 
+    const GOOD_SHARDED: &str = r#"{
+  "bench": "sharded",
+  "corpus": "med-hot",
+  "shards": 4,
+  "entities": 1400,
+  "batches": 12,
+  "sharded_vs_single_speedup": 3.4,
+  "smoke": false
+}"#;
+
     #[test]
     fn parses_flat_reports() {
         let report = parse_flat_json(GOOD_INCREMENTAL).unwrap();
@@ -359,8 +392,31 @@ mod tests {
     fn clean_reports_pass() {
         assert!(check_report("BENCH_topk.json", GOOD_TOPK).is_empty());
         assert!(check_report("BENCH_incremental.json", GOOD_INCREMENTAL).is_empty());
+        assert!(check_report("BENCH_sharded.json", GOOD_SHARDED).is_empty());
         // unknown reports only need the shared invariants
         assert!(check_report("BENCH_new.json", r#"{"x": 1, "smoke": false}"#).is_empty());
+    }
+
+    #[test]
+    fn sharded_gates_are_enforced() {
+        // speedup floor: a 1.4x run regresses below the required 2x
+        let regressed = GOOD_SHARDED.replace("3.4", "1.4");
+        let violations = check_report("BENCH_sharded.json", &regressed);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("sharded_vs_single_speedup"));
+        // a single-shard "sharded" run proves nothing
+        let unsharded = GOOD_SHARDED.replace("\"shards\": 4", "\"shards\": 1");
+        assert!(check_report("BENCH_sharded.json", &unsharded)
+            .iter()
+            .any(|v| v.contains("shards")));
+        // smoke-marked sharded reports are rejected like every other report
+        let smoked = GOOD_SHARDED.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(check_report("BENCH_sharded.json", &smoked)
+            .iter()
+            .any(|v| v.contains("smoke run")));
+        // the gated field must be present
+        let missing = GOOD_SHARDED.replace("sharded_vs_single_speedup", "other");
+        assert!(!check_report("BENCH_sharded.json", &missing).is_empty());
     }
 
     #[test]
