@@ -1,0 +1,212 @@
+//! Adversarial resolution workloads: shapes chosen to stress the
+//! `O(block²)` pairwise-comparison path rather than the chase.
+//!
+//! The paper's workloads (`Med`, `CFP`, `Rest`) block into many small
+//! entity-sized groups, so resolution cost is dominated by block count, not
+//! block size.  [`large_blocks`] inverts that: a handful of hot blocking
+//! keys, each shared by many rows with *long* string payloads — a mix of
+//! near-duplicates (small edit distance, real matches that must survive the
+//! fingerprint cascade) and unrelated strings of the same shape (which the
+//! cascade should prune before any alignment).  This is the benchmark shape
+//! for `crates/bench/benches/resolve.rs` and the differential tests of the
+//! cascade.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relacc_model::{DataType, Schema, Value};
+use relacc_store::Relation;
+
+/// Configuration of the [`large_blocks`] shape (a pure function of this
+/// config — same config, same dataset).
+#[derive(Debug, Clone)]
+pub struct LargeBlocksConfig {
+    /// Number of hot blocking keys (blocks).  Every row lands in one of
+    /// them, so pair count grows with `rows_per_block²`.
+    pub n_blocks: usize,
+    /// Rows per hot block.
+    pub rows_per_block: usize,
+    /// Whitespace-separated tokens per payload.  Every third block doubles
+    /// this so its strings exceed 64 chars and exercise the DP fallback
+    /// behind the bit-parallel path.
+    pub tokens_per_payload: usize,
+    /// Fraction of a block's rows that are near-duplicates of the block's
+    /// base string (1–2 char edits, above any sane match threshold); the
+    /// rest are unrelated strings of the same length and token shape.
+    pub near_dup_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LargeBlocksConfig {
+    fn default() -> Self {
+        LargeBlocksConfig {
+            n_blocks: 12,
+            rows_per_block: 48,
+            tokens_per_payload: 6,
+            near_dup_rate: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+impl LargeBlocksConfig {
+    /// A tiny configuration for smoke tests.
+    pub fn tiny(seed: u64) -> Self {
+        LargeBlocksConfig {
+            n_blocks: 3,
+            rows_per_block: 6,
+            tokens_per_payload: 4,
+            near_dup_rate: 0.5,
+            seed,
+        }
+    }
+}
+
+/// The [`large_blocks`] output: a relation plus the resolution parameters
+/// the shape is calibrated for.
+#[derive(Debug, Clone)]
+pub struct LargeBlocksDataset {
+    /// The rows: `name` (the hot-key-prefixed payload) and `obs` (an
+    /// unmatched running observation counter).
+    pub relation: Relation,
+    /// Attribute names to match on (`["name"]`) — under the default
+    /// 6-char-prefix blocking the leading `k____ ` tag groups each block.
+    pub match_attrs: Vec<String>,
+    /// Match threshold the near-duplicate edit budget is calibrated
+    /// against: near-duplicates land well above it, unrelated payloads well
+    /// below.
+    pub threshold: f64,
+}
+
+const TOKEN_LEN: usize = 7;
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+fn random_payload(rng: &mut StdRng, tokens: usize) -> String {
+    let mut out = String::with_capacity(tokens * (TOKEN_LEN + 1));
+    for t in 0..tokens {
+        if t > 0 {
+            out.push(' ');
+        }
+        for _ in 0..TOKEN_LEN {
+            out.push(ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
+        }
+    }
+    out
+}
+
+/// Apply 1–2 random in-place char substitutions, never touching the token
+/// separators (so the token shape survives and similarity stays high).
+fn near_duplicate(rng: &mut StdRng, base: &str) -> String {
+    let mut chars: Vec<char> = base.chars().collect();
+    let edits = 1 + rng.gen_range(0..2usize);
+    for _ in 0..edits {
+        let pos = rng.gen_range(0..chars.len());
+        if chars[pos] == ' ' {
+            continue;
+        }
+        chars[pos] = ALPHABET[rng.gen_range(0..ALPHABET.len())] as char;
+    }
+    chars.into_iter().collect()
+}
+
+/// Generate the adversarial large-block relation.
+///
+/// Rows are named `k<block:04> <payload>`: under the default
+/// `BlockingStrategy::Prefix(6)` the normalized key prefix is exactly the
+/// block tag, so all `rows_per_block` rows of a block collide into one hot
+/// block.  Within a block, a `near_dup_rate` fraction of rows are 1–2-edit
+/// variants of the block's base payload (true duplicates) and the rest are
+/// fresh random payloads (true non-matches sharing only the tag).
+pub fn large_blocks(config: &LargeBlocksConfig) -> LargeBlocksDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::builder("large_blocks")
+        .attr("name", DataType::Text)
+        .attr("obs", DataType::Int)
+        .build();
+    let mut relation = Relation::new(schema);
+    let mut obs = 0i64;
+    for block in 0..config.n_blocks {
+        // every third block doubles the payload so its strings exceed the
+        // 64-char bit-parallel limit and take the DP fallback
+        let tokens = if block % 3 == 2 {
+            config.tokens_per_payload * 2
+        } else {
+            config.tokens_per_payload
+        };
+        let base = random_payload(&mut rng, tokens);
+        for _ in 0..config.rows_per_block {
+            let payload = if rng.gen_bool(config.near_dup_rate) {
+                near_duplicate(&mut rng, &base)
+            } else {
+                random_payload(&mut rng, tokens)
+            };
+            relation
+                .push_row(vec![
+                    Value::text(format!("k{block:04} {payload}")),
+                    Value::Int(obs),
+                ])
+                .expect("generated rows conform to the schema");
+            obs += 1;
+        }
+    }
+    LargeBlocksDataset {
+        relation,
+        match_attrs: vec!["name".into()],
+        threshold: 0.85,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relacc_resolve::{resolve_relation, ResolveConfig};
+
+    #[test]
+    fn large_blocks_is_deterministic_and_well_formed() {
+        let config = LargeBlocksConfig::default();
+        let a = large_blocks(&config);
+        let b = large_blocks(&config);
+        assert_eq!(a.relation.rows(), b.relation.rows(), "deterministic");
+        assert_eq!(a.relation.len(), config.n_blocks * config.rows_per_block);
+        // a different seed produces a different dataset
+        let other = large_blocks(&LargeBlocksConfig {
+            seed: config.seed + 1,
+            ..config.clone()
+        });
+        assert_ne!(a.relation.rows(), other.relation.rows());
+        // every third block carries >64-char names (DP fallback), the rest
+        // stay within the bit-parallel budget
+        let name_len = |row: usize| match a.relation.rows()[row].value(relacc_model::AttrId(0)) {
+            relacc_model::Value::Str(s) => s.chars().count(),
+            other => panic!("name must be text, got {other:?}"),
+        };
+        assert!(name_len(2 * config.rows_per_block) > 64, "long block");
+        assert!(name_len(0) <= 64, "short block");
+    }
+
+    #[test]
+    fn shape_concentrates_pairs_into_hot_blocks() {
+        let config = LargeBlocksConfig::tiny(11);
+        let data = large_blocks(&config);
+        let resolve =
+            ResolveConfig::on_attrs(data.match_attrs.clone()).with_threshold(data.threshold);
+        let resolved = resolve_relation(&data.relation, &resolve);
+        // all pairs come from the n_blocks hot blocks
+        let per_block = config.rows_per_block * (config.rows_per_block - 1) / 2;
+        assert_eq!(
+            resolved.stats.pairs_considered,
+            config.n_blocks * per_block,
+            "prefix blocking collapses each tag into one hot block"
+        );
+        // near-duplicates merge, unrelated payloads stay apart: strictly
+        // fewer entities than rows, strictly more than blocks
+        assert!(resolved.entities.len() < data.relation.len());
+        assert!(resolved.entities.len() > config.n_blocks);
+        // the cascade must prune a substantial share of the hot-block pairs
+        assert!(
+            resolved.stats.pruned_fraction() > 0.3,
+            "pruned {:.2}",
+            resolved.stats.pruned_fraction()
+        );
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`mod@rest`] — the multi-source, multi-snapshot restaurant workload used
 //!   for the truth-discovery comparison (Exp-5 / Table 4);
 //! * [`streaming`] — update-stream versions of the workloads
-//!   (insert/delete/master-append mixes) for the incremental-repair pipeline.
+//!   (insert/delete/master-append mixes) for the incremental-repair pipeline;
+//! * [`adversarial`] — resolution stress shapes (few hot blocking keys, long
+//!   near-duplicate strings) for the fingerprint-cascade benchmarks.
 //!
 //! The real `Med`, `CFP` and `Rest` datasets are not publicly available; the
 //! substitutions and their rationale are documented in `DESIGN.md`.
@@ -21,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod generator;
 pub mod paper_example;
 pub mod rest;
 pub mod streaming;
 pub mod workloads;
 
+pub use adversarial::{large_blocks, LargeBlocksConfig, LargeBlocksDataset};
 pub use generator::{
     generate, AttrKind, AttrSpec, Dataset, GeneratedEntity, GeneratorConfig, RuleForms,
 };

@@ -12,10 +12,10 @@
 //! contains no chase or top-k logic of its own.  New code should construct a
 //! [`BatchEngine`] directly.
 
-use crate::resolve::ResolveConfig;
 use relacc_core::RuleSet;
 use relacc_engine::BatchEngine;
 use relacc_model::MasterRelation;
+use relacc_resolve::ResolveConfig;
 use relacc_store::Relation;
 
 pub use relacc_engine::{BatchReport, EntityOutcome, EntityResult, RelationRepair, RepairSkip};
@@ -29,6 +29,17 @@ pub type RepairedEntity = relacc_engine::EntityResult;
 
 /// Configuration of a batch repair run (kept for compatibility; maps onto
 /// [`relacc_engine::EngineConfig`] plus a [`ResolveConfig`]).
+///
+/// Migration: construct a [`BatchEngine`] and use its builder methods —
+/// `BatchConfig::with_threads` is `BatchEngine::with_threads`,
+/// `BatchConfig::with_suggestion_k` is `BatchEngine::with_suggestion_k`, and
+/// the `resolve` field is passed to [`BatchEngine::repair_relation`] per call
+/// instead of being baked into the config.
+#[deprecated(
+    since = "0.2.0",
+    note = "configure `relacc_engine::BatchEngine` directly and pass the \
+            `ResolveConfig` to `repair_relation`"
+)]
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
     /// Entity-resolution settings (match attributes, threshold, blocking).
@@ -40,6 +51,7 @@ pub struct BatchConfig {
     pub threads: usize,
 }
 
+#[allow(deprecated)]
 impl BatchConfig {
     /// A single-threaded configuration with suggestions from a top-5 search.
     pub fn new(resolve: ResolveConfig) -> Self {
@@ -88,6 +100,7 @@ impl BatchConfig {
     since = "0.2.0",
     note = "use `relacc_engine::BatchEngine::repair_relation`"
 )]
+#[allow(deprecated)]
 pub fn repair_database(
     relation: &Relation,
     rules: &RuleSet,

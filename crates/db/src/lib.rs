@@ -15,11 +15,23 @@
 //! similarity) is unchanged.  [`batch::repair_database`] keeps its signature
 //! but now returns the engine's [`batch::RelationRepair`] (report + repaired
 //! relation + resolution output) instead of the old flat report, so callers
-//! reach the per-entity results as `repair.report.entities`.  New code should
-//! depend on `relacc-resolve` and `relacc-engine` directly.
+//! reach the per-entity results as `repair.report.entities`.
+//!
+//! **Retirement step 2:** every remaining item of this facade is now marked
+//! `#[deprecated]` with its migration target.  The mapping is mechanical —
+//! each re-export names the same item in `relacc-resolve`, and the batch
+//! shim maps onto [`relacc_engine::BatchEngine`]:
+//!
+//! | was | use instead |
+//! |---|---|
+//! | `relacc_db::resolve_relation`, `ResolveConfig`, … | the same names in `relacc_resolve` |
+//! | `relacc_db::repair_database(_, _, _, &config)` | [`relacc_engine::BatchEngine::repair_relation`] |
+//! | `relacc_db::BatchConfig` | [`relacc_engine::BatchEngine`] builder methods |
+//!
+//! Migrated example (what the old doctest did, on the maintained crates):
 //!
 //! ```
-//! use relacc_db::{resolve_relation, ResolveConfig};
+//! use relacc_resolve::{resolve_relation, ResolveConfig};
 //! use relacc_store::Relation;
 //! use relacc_model::{DataType, Schema, Value};
 //!
@@ -40,6 +52,12 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `relacc_resolve::blocking`, `relacc_resolve::resolve` and \
+            `relacc_resolve::similarity` modules directly"
+)]
 pub use relacc_resolve::{blocking, resolve, similarity};
 
 #[allow(deprecated)]
@@ -47,6 +65,21 @@ pub use batch::{
     repair_database, BatchConfig, BatchReport, EntityOutcome, EntityResult, RelationRepair,
     RepairSkip, RepairedEntity,
 };
-pub use blocking::{blocking_key, Blocker, BlockingStrategy};
-pub use resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
-pub use similarity::{jaccard_tokens, levenshtein, normalized_levenshtein, record_similarity};
+
+#[deprecated(
+    since = "0.2.0",
+    note = "use the same names from `relacc_resolve` (re-exported at its crate root)"
+)]
+pub use relacc_resolve::{blocking_key, Blocker, BlockingStrategy};
+
+#[deprecated(
+    since = "0.2.0",
+    note = "use the same names from `relacc_resolve` (re-exported at its crate root)"
+)]
+pub use relacc_resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
+
+#[deprecated(
+    since = "0.2.0",
+    note = "use the same names from `relacc_resolve` (re-exported at its crate root)"
+)]
+pub use relacc_resolve::{jaccard_tokens, levenshtein, normalized_levenshtein, record_similarity};

@@ -47,8 +47,8 @@ use relacc_core::chase::{
 };
 use relacc_model::{EntityInstance, TargetTuple, Value};
 use relacc_resolve::{
-    resolve_relation, BlockKey, IncrementalBlockingIndex, MatchDecision, ResolveConfig,
-    ResolvedEntities,
+    resolve_relation, resolve_relation_with_fingerprints, BlockKey, IncrementalBlockingIndex,
+    MatchDecision, RecordFingerprint, ResolveConfig, ResolveStats, ResolvedEntities,
 };
 use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError, VersionedRelation};
 use std::collections::{BTreeSet, HashMap};
@@ -67,6 +67,12 @@ struct BlockRepair {
     decisions: Vec<MatchDecision>,
     /// The block's entities in ascending-smallest-member order.
     entities: Vec<BlockEntity>,
+    /// Fingerprints of `rows` (parallel), reused verbatim across
+    /// re-resolutions so steady-state streaming only fingerprints inserted
+    /// rows.  Empty when the resolve config runs without the cascade.
+    fingerprints: Vec<RecordFingerprint>,
+    /// Cascade counters of the resolution that produced `decisions`.
+    stats: ResolveStats,
 }
 
 #[derive(Debug, Clone)]
@@ -110,6 +116,12 @@ pub struct IncrementalStats {
     pub entities_rerepaired: usize,
     /// Total entities reused from cache across all updates.
     pub entities_reused: usize,
+    /// Rows fingerprinted for the resolution cascade (initial repair plus
+    /// every row inserted into a re-resolved block).
+    pub rows_fingerprinted: usize,
+    /// Rows whose cached fingerprint was reused during a block
+    /// re-resolution — the steady-state streaming case.
+    pub fingerprints_reused: usize,
 }
 
 /// Errors of the incremental engine.
@@ -316,10 +328,22 @@ impl IncrementalEngine {
 
         // per dirty block: the local resolution (fresh or cached), entities
         // gathered for one pooled run
+        // a dirty block's local resolution plus the fingerprints behind it
+        // (`None` on the cached-resolution path)
+        type ResolveJob = (
+            BlockKey,
+            Vec<RowId>,
+            Option<(ResolvedEntities, Vec<RecordFingerprint>)>,
+        );
         let mut dropped_blocks = 0usize;
-        let mut jobs: Vec<(BlockKey, Vec<RowId>, Option<ResolvedEntities>)> = Vec::new();
+        let mut jobs: Vec<ResolveJob> = Vec::new();
         let mut batch_entities: Vec<EntityInstance> = Vec::new();
         let mut spans: Vec<std::ops::Range<usize>> = Vec::new();
+        let similarity_attrs = if reresolve && self.resolve.cascade {
+            self.resolve.similarity_attrs(self.relation.schema())
+        } else {
+            Vec::new()
+        };
         for key in &dirty {
             let Some(globals) = membership.get(key) else {
                 self.blocks.remove(key);
@@ -336,9 +360,42 @@ impl IncrementalEngine {
                         .expect("live rows conform to the schema");
                     row_ids.push(id);
                 }
-                let resolved = resolve_relation(&local, &self.resolve);
+                let (resolved, fingerprints) = if self.resolve.cascade {
+                    // reuse cached fingerprints for rows that survived from
+                    // the block's previous repair; only inserted rows are
+                    // fingerprinted (a fingerprint is a pure function of the
+                    // row, so reuse is exact)
+                    let cached = self.blocks.get(key);
+                    let prev_pos: HashMap<RowId, usize> = cached
+                        .map(|b| b.rows.iter().enumerate().map(|(i, &r)| (r, i)).collect())
+                        .unwrap_or_default();
+                    let mut fingerprints = Vec::with_capacity(globals.len());
+                    for &(global, id) in globals {
+                        match cached
+                            .and_then(|b| prev_pos.get(&id).and_then(|&i| b.fingerprints.get(i)))
+                        {
+                            Some(fp) => {
+                                self.stats.fingerprints_reused += 1;
+                                fingerprints.push(fp.clone());
+                            }
+                            None => {
+                                self.stats.rows_fingerprinted += 1;
+                                fingerprints.push(RecordFingerprint::of_tuple(
+                                    &self.relation.rows()[global].tuple,
+                                    &similarity_attrs,
+                                ));
+                            }
+                        }
+                    }
+                    (
+                        resolve_relation_with_fingerprints(&local, &self.resolve, &fingerprints),
+                        fingerprints,
+                    )
+                } else {
+                    (resolve_relation(&local, &self.resolve), Vec::new())
+                };
                 batch_entities.extend(resolved.entities.iter().cloned());
-                jobs.push((key.clone(), row_ids, Some(resolved)));
+                jobs.push((key.clone(), row_ids, Some((resolved, fingerprints))));
             } else {
                 let repair = self
                     .blocks
@@ -364,7 +421,7 @@ impl IncrementalEngine {
         for ((key, row_ids, resolved), span) in jobs.into_iter().zip(spans) {
             let results = &report.entities[span];
             match resolved {
-                Some(resolved) => {
+                Some((resolved, fingerprints)) => {
                     let entities = resolved
                         .members
                         .iter()
@@ -381,6 +438,8 @@ impl IncrementalEngine {
                             stamp,
                             decisions: resolved.decisions,
                             entities,
+                            fingerprints,
+                            stats: resolved.stats,
                         },
                     );
                 }
@@ -458,6 +517,7 @@ impl IncrementalEngine {
                     right: globals[d.right].0,
                     similarity: d.similarity,
                     matched: d.matched,
+                    pruned: d.pruned,
                 })
                 .collect();
             let entities = repair
@@ -472,6 +532,7 @@ impl IncrementalEngine {
                 first_row: globals.first().map_or(usize::MAX, |&(g, _)| g),
                 decisions,
                 entities,
+                stats: repair.stats,
             });
         }
         out
@@ -515,6 +576,8 @@ pub(crate) struct AssembledBlock {
     /// The block's entities: rebased member positions (ascending) plus the
     /// cached repair result.
     pub(crate) entities: Vec<(Vec<usize>, EntityResult)>,
+    /// Cascade counters of the block's cached resolution.
+    pub(crate) stats: ResolveStats,
 }
 
 /// Assemble a [`RelationRepair`] over `relation` from per-block cached
@@ -536,9 +599,11 @@ pub(crate) fn assemble_repair(
 
     let mut decisions: Vec<MatchDecision> = Vec::new();
     let mut assembled: Vec<(Vec<usize>, EntityResult)> = Vec::new();
+    let mut stats = ResolveStats::default();
     for block in blocks {
         decisions.extend(block.decisions);
         assembled.extend(block.entities);
+        stats.merge(&block.stats);
     }
     // global entity order: ascending smallest member
     assembled.sort_by_key(|(members, _)| members.first().copied().unwrap_or(usize::MAX));
@@ -564,11 +629,7 @@ pub(crate) fn assemble_repair(
     let report = BatchReport::from_entities(results, threads);
     let (repaired, row_entities, skipped) = materialize_rows(&schema, &report, &entities);
     RelationRepair {
-        resolved: ResolvedEntities {
-            entities,
-            members,
-            decisions,
-        },
+        resolved: ResolvedEntities::from_parts(entities, members, decisions, stats),
         report,
         repaired,
         row_entities,
@@ -844,6 +905,62 @@ mod tests {
                 "threads={threads}: currency rule picks the fresher rnds"
             );
         }
+    }
+
+    #[test]
+    fn steady_state_streaming_fingerprints_only_inserted_rows() {
+        let mut engine = open_engine();
+        // the initial full repair fingerprints every seed row once
+        assert_eq!(engine.stats().rows_fingerprinted, 3);
+        assert_eq!(engine.stats().fingerprints_reused, 0);
+
+        // inserting into the existing "mj" block re-resolves it: the two
+        // cached mj fingerprints are reused, only the new row is computed
+        engine
+            .apply(&UpdateBatch::new("stat").insert(vec![
+                Value::text("mj"),
+                Value::Int(31),
+                Value::Null,
+            ]))
+            .unwrap();
+        assert_eq!(engine.stats().rows_fingerprinted, 4);
+        assert_eq!(engine.stats().fingerprints_reused, 2);
+
+        // a delete re-resolves the block entirely from cached fingerprints
+        engine
+            .apply(&UpdateBatch::new("stat").delete(RowId(3)))
+            .unwrap();
+        assert_eq!(engine.stats().rows_fingerprinted, 4);
+        assert_eq!(engine.stats().fingerprints_reused, 4);
+
+        // master deltas reuse the cached resolution outright: no
+        // fingerprint work at all
+        let before = engine.stats().clone();
+        engine
+            .apply_master_append(0, vec![vec![Value::text("sp"), Value::text("Blazers")]])
+            .unwrap();
+        assert_eq!(engine.stats().rows_fingerprinted, before.rows_fingerprinted);
+        assert_eq!(
+            engine.stats().fingerprints_reused,
+            before.fingerprints_reused
+        );
+        assert_matches_full(&engine, "fingerprint-reuse");
+    }
+
+    #[test]
+    fn snapshot_stats_match_full_resolution() {
+        let engine = open_engine();
+        let snap = engine.snapshot();
+        let full = relacc_resolve::resolve_relation(
+            &engine.relation.snapshot(),
+            &ResolveConfig::on_attrs(vec!["name".into()])
+                .with_strategy(relacc_resolve::BlockingStrategy::ExactKey),
+        );
+        assert_eq!(snap.resolved.stats, full.stats);
+        assert_eq!(
+            snap.resolved.stats.pairs_considered,
+            snap.resolved.decisions.len()
+        );
     }
 
     #[test]

@@ -40,6 +40,12 @@
 //!   the same stream and to a from-scratch
 //!   [`crate::batch::BatchEngine::repair_relation`] — guarded by
 //!   `tests/sharded_differential.rs` across shard counts {1, 2, 4, 7}.
+//!
+//! Each shard is a full [`IncrementalEngine`], so the per-block resolution
+//! caches — including the fingerprint cache behind the exact similarity
+//! cascade — live per shard and need no cross-shard coordination (a
+//! fingerprint is a pure function of its row); [`ShardedEngine::stats`] sums
+//! the per-shard `rows_fingerprinted` / `fingerprints_reused` counters.
 
 use crate::batch::{BatchEngine, RelationRepair};
 use crate::incremental::{
@@ -211,6 +217,8 @@ impl ShardedEngine {
             out.recompiles += s.recompiles;
             out.entities_rerepaired += s.entities_rerepaired;
             out.entities_reused += s.entities_reused;
+            out.rows_fingerprinted += s.rows_fingerprinted;
+            out.fingerprints_reused += s.fingerprints_reused;
         }
         out
     }

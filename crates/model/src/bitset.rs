@@ -5,6 +5,12 @@
 //! whose count per attribute is the number of distinct values — typically tiny
 //! — so a dense `u64`-word bit set beats hash sets both in memory and in the
 //! transitive-closure inner loops.
+//!
+//! The word-level popcount counters ([`BitSet::intersect_count`],
+//! [`BitSet::union_count`], [`BitSet::difference_count`]) additionally back
+//! the fixed-width record fingerprints of `relacc_resolve::fingerprint`,
+//! where set-difference cardinalities lower-bound edit distance without ever
+//! materializing the intersection/difference sets.
 
 /// A growable, dense bit set over `usize` indices.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -73,6 +79,50 @@ impl BitSet {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a |= *b;
         }
+    }
+
+    /// Number of bits set in both `self` and `other` (popcount of the
+    /// intersection), without materializing it.  Capacities may differ; bits
+    /// beyond the shorter set count as unset.
+    pub fn intersect_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of bits set in `self` or `other` (popcount of the union),
+    /// without materializing it.  Capacities may differ.
+    pub fn union_count(&self, other: &BitSet) -> usize {
+        let common = self.words.len().min(other.words.len());
+        let mut count = 0usize;
+        for i in 0..common {
+            count += (self.words[i] | other.words[i]).count_ones() as usize;
+        }
+        for &w in &self.words[common..] {
+            count += w.count_ones() as usize;
+        }
+        for &w in &other.words[common..] {
+            count += w.count_ones() as usize;
+        }
+        count
+    }
+
+    /// Number of bits set in `self` but not in `other` (popcount of the set
+    /// difference `self \ other`), without materializing it.  Capacities may
+    /// differ; bits of `self` beyond `other`'s capacity are all in the
+    /// difference.
+    pub fn difference_count(&self, other: &BitSet) -> usize {
+        let common = self.words.len().min(other.words.len());
+        let mut count = 0usize;
+        for i in 0..common {
+            count += (self.words[i] & !other.words[i]).count_ones() as usize;
+        }
+        for &w in &self.words[common..] {
+            count += w.count_ones() as usize;
+        }
+        count
     }
 
     /// True if every bit of `self` is also set in `other`.
@@ -169,6 +219,32 @@ mod tests {
         assert!(a.contains(1) && a.contains(70) && a.contains(99));
         assert!(b.is_subset(&a));
         assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn popcount_set_algebra() {
+        let a: BitSet = [1usize, 5, 70, 99].into_iter().collect();
+        let b: BitSet = [5usize, 70, 128].into_iter().collect();
+        assert_eq!(a.intersect_count(&b), 2);
+        assert_eq!(a.union_count(&b), 5);
+        assert_eq!(a.difference_count(&b), 2); // {1, 99}
+        assert_eq!(b.difference_count(&a), 1); // {128}
+                                               // identities: |a| + |b| == |a ∪ b| + |a ∩ b|
+        assert_eq!(
+            a.count() + b.count(),
+            a.union_count(&b) + a.intersect_count(&b)
+        );
+        // symmetry and self-application
+        assert_eq!(a.union_count(&b), b.union_count(&a));
+        assert_eq!(a.intersect_count(&b), b.intersect_count(&a));
+        assert_eq!(a.difference_count(&a), 0);
+        assert_eq!(a.union_count(&a), a.count());
+        // empty edge cases
+        let empty = BitSet::default();
+        assert_eq!(a.intersect_count(&empty), 0);
+        assert_eq!(a.union_count(&empty), a.count());
+        assert_eq!(a.difference_count(&empty), a.count());
+        assert_eq!(empty.difference_count(&a), 0);
     }
 
     #[test]

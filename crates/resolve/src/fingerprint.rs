@@ -1,0 +1,455 @@
+//! Packed record fingerprints: per-record digests whose pairwise comparison
+//! yields a provable **upper bound** on record similarity, so the resolution
+//! cascade can discard most pairs without running any string alignment.
+//!
+//! A fingerprint is computed once per record (`O(record size)`) and compared
+//! per pair in `O(words)` popcounts via [`relacc_model::BitSet`], replacing
+//! the `O(|a| · |b|)` Levenshtein DP for every pair the bound already rules
+//! out.  The bound is *exact* in the pruning direction: whenever
+//! [`RecordFingerprint::stage1_upper_bound`] or
+//! [`RecordFingerprint::stage2_upper_bound`] is below the match threshold,
+//! the true [`record_similarity`](crate::similarity::record_similarity) is
+//! also below it, so pruning never changes the clustering.
+//!
+//! # Why the bounds are sound
+//!
+//! Per text attribute, the true similarity is
+//! `max(normalized_levenshtein, jaccard_tokens)` (see
+//! [`value_similarity`](crate::similarity::value_similarity)), so an upper
+//! bound needs one sound bound per component, combined with `max`.
+//!
+//! **Edit-distance lower bounds** (each gives `lev ≤ 1 − lb/max_len`):
+//!
+//! * *Length*: one edit operation changes the char length by at most one, so
+//!   `ed(a, b) ≥ |len(a) − len(b)|`.
+//! * *Character sets*: one edit removes at most one distinct char from
+//!   `set(a) \ set(b)` and introduces at most one into `set(b) \ set(a)`
+//!   (a substitution can do both at once), so
+//!   `ed(a, b) ≥ max(|set(a) \ set(b)|, |set(b) \ set(a)|)`.
+//! * *Bigram sets*: a single edit touches at most two adjacent char pairs,
+//!   so it removes at most two distinct bigrams from `Q(a) \ Q(b)` (and
+//!   introduces at most two), giving
+//!   `ed(a, b) ≥ ⌈max(|Q(a) \ Q(b)|, |Q(b) \ Q(a)|) / 2⌉`.
+//!
+//! Chars and bigrams are *hashed* into fixed-width bitsets ([`CHAR_BITS`],
+//! [`QGRAM_BITS`]).  Hashing only **weakens** these bounds, never breaks
+//! them: distinct buckets have disjoint preimages, so every bucket in
+//! `φ(a) \ φ(b)` contains at least one element of `set(a) \ set(b)`, hence
+//! `|φ(a) \ φ(b)| ≤ |set(a) \ set(b)|` — the hashed difference count is
+//! still a valid edit-distance lower bound.
+//!
+//! **Token-Jaccard upper bounds** (`J = |ta ∩ tb| / |ta ∪ tb|` over distinct
+//! lower-cased whitespace tokens):
+//!
+//! * *Counts*: with the **exact** distinct-token counts `na`, `nb` stored in
+//!   the fingerprint, `|∩| ≤ min(na, nb)` and `|∪| ≥ max(na, nb)`, so
+//!   `J ≤ min(na, nb) / max(na, nb)`.
+//! * *Union*: with `U = popcount(Ta | Tb)` over the hashed token bitsets,
+//!   `|∪| ≥ U` (disjoint preimages again), hence
+//!   `|∩| = na + nb − |∪| ≤ na + nb − U` and `J ≤ (na + nb − U) / U`.
+//!   Note the intersection popcount is *not* used — two distinct common
+//!   tokens can share a bucket, so `popcount(Ta & Tb)` bounds nothing;
+//!   deriving `|∩|` from the union side is what keeps this exact.
+//!
+//! **Non-text values** compare by [`Value::same`], which treats `Int(3)` and
+//! `Float(3.0)` as equal (total-order comparison after an `as f64` cast).
+//! The fingerprint stores a hash with the matching contract —
+//! `same(a, b) ⇒ hash(a) = hash(b)`, achieved by hashing both numeric
+//! widths through `(x as f64).to_bits()` — so differing hashes prove the
+//! similarity is exactly `0.0`, while equal hashes conservatively bound it
+//! by `1.0`.
+//!
+//! **Record level**: [`record_similarity`](crate::similarity::record_similarity)
+//! averages per-attribute similarities over the informative (not
+//! both-null) attribute pairs, and a fingerprint determines exactly which
+//! pairs are informative.  The bounds are combined in the *same* attribute
+//! order with the same `+`/`/` operations; since correctly-rounded IEEE-754
+//! addition and division are monotone, the accumulated bound dominates the
+//! accumulated similarity in `f64` arithmetic too — not just over the reals
+//! — which is what makes `upper_bound < threshold ⇒ similarity < threshold`
+//! safe as an exact `f64` comparison.
+
+use relacc_model::{AttrId, BitSet, Tuple, Value};
+
+/// Width of the hashed character-set bitset (ASCII maps identity, wider
+/// chars hash into the same space).
+pub const CHAR_BITS: usize = 128;
+/// Width of the hashed bigram-set bitset.  Wider than [`CHAR_BITS`] because
+/// the bigram alphabet is quadratically larger: at 128 buckets a pair of
+/// unrelated ~90-char strings already collides enough to halve the measured
+/// set difference (the bound weakens with saturation, `≈ W·(1 − e^{−n/W})`
+/// occupied buckets for `n` distinct bigrams), which is exactly the
+/// long-string regime where pruning pays the most.
+pub const QGRAM_BITS: usize = 256;
+/// Width of the hashed token-set bitset.
+pub const TOKEN_BITS: usize = 64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn char_bucket(c: char) -> usize {
+    let cp = c as u32;
+    if cp < 128 {
+        cp as usize
+    } else {
+        (fnv1a(cp.to_le_bytes()) % CHAR_BITS as u64) as usize
+    }
+}
+
+fn bigram_bucket(a: char, b: char) -> usize {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&(a as u32).to_le_bytes());
+    bytes[4..].copy_from_slice(&(b as u32).to_le_bytes());
+    (fnv1a(bytes) % QGRAM_BITS as u64) as usize
+}
+
+/// Hash of a non-text, non-null scalar with the [`Value::same`] contract:
+/// values `same` to each other hash equal (numerics of either width go
+/// through their `f64` bit pattern, mirroring `Value::compare`).
+fn scalar_hash(value: &Value) -> u64 {
+    match value {
+        Value::Bool(b) => 0x9e37_79b9_7f4a_7c15 ^ (*b as u64),
+        Value::Int(i) => (*i as f64).to_bits() ^ 0x517c_c1b7_2722_0a95,
+        Value::Float(f) => f.to_bits() ^ 0x517c_c1b7_2722_0a95,
+        Value::Null | Value::Str(_) => unreachable!("handled by AttrFingerprint::of_value"),
+    }
+}
+
+/// The fingerprint of one attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrFingerprint {
+    /// A null value (uninformative when paired with another null, exact
+    /// similarity 0.0 against anything else).
+    Null,
+    /// A text value: hashed char/bigram/token sets plus the exact char and
+    /// distinct-token counts the bounds need.
+    Text {
+        /// Distinct chars, hashed into [`CHAR_BITS`] buckets.
+        chars: BitSet,
+        /// Distinct adjacent char pairs, hashed into [`QGRAM_BITS`] buckets.
+        bigrams: BitSet,
+        /// Distinct lower-cased whitespace tokens, hashed into
+        /// [`TOKEN_BITS`] buckets.
+        tokens: BitSet,
+        /// Exact char count of the string.
+        len: u32,
+        /// Exact number of distinct lower-cased tokens (the same distinct
+        /// set [`crate::similarity::jaccard_tokens`] builds).
+        n_tokens: u32,
+    },
+    /// Any other (scalar) value, reduced to a [`Value::same`]-compatible
+    /// hash: unequal hashes prove similarity 0.0.
+    Scalar {
+        /// See `scalar_hash`'s contract (private helper in this module).
+        vhash: u64,
+    },
+}
+
+impl AttrFingerprint {
+    /// Fingerprint one attribute value.
+    pub fn of_value(value: &Value) -> Self {
+        match value {
+            Value::Null => AttrFingerprint::Null,
+            Value::Str(s) => {
+                let mut chars = BitSet::with_capacity(CHAR_BITS);
+                let mut bigrams = BitSet::with_capacity(QGRAM_BITS);
+                let mut tokens = BitSet::with_capacity(TOKEN_BITS);
+                let mut len = 0u32;
+                let mut prev: Option<char> = None;
+                for c in s.chars() {
+                    len += 1;
+                    chars.insert(char_bucket(c));
+                    if let Some(p) = prev {
+                        bigrams.insert(bigram_bucket(p, c));
+                    }
+                    prev = Some(c);
+                }
+                // exact distinct-token count under the same lower-casing as
+                // jaccard_tokens (str::to_lowercase, not char-wise — they
+                // differ on e.g. final sigma, and the count must be exact)
+                let distinct: std::collections::BTreeSet<String> =
+                    s.split_whitespace().map(|t| t.to_lowercase()).collect();
+                let n_tokens = distinct.len() as u32;
+                for tok in &distinct {
+                    tokens.insert((fnv1a(tok.bytes()) % TOKEN_BITS as u64) as usize);
+                }
+                AttrFingerprint::Text {
+                    chars,
+                    bigrams,
+                    tokens,
+                    len,
+                    n_tokens,
+                }
+            }
+            other => AttrFingerprint::Scalar {
+                vhash: scalar_hash(other),
+            },
+        }
+    }
+
+    /// Stage-1 upper bound on
+    /// [`value_similarity`](crate::similarity::value_similarity) of the
+    /// underlying values, using only counts (lengths, token counts) and the
+    /// scalar hash — no bitset work.  `None` mirrors the both-null
+    /// "uninformative" case.
+    fn stage1_upper_bound(&self, other: &Self) -> Option<f64> {
+        use AttrFingerprint::*;
+        match (self, other) {
+            (Null, Null) => None,
+            (Null, _) | (_, Null) => Some(0.0),
+            (
+                Text {
+                    len: la,
+                    n_tokens: na,
+                    ..
+                },
+                Text {
+                    len: lb,
+                    n_tokens: nb,
+                    ..
+                },
+            ) => Some(
+                lev_bound_from_distance(la.abs_diff(*lb), *la, *lb)
+                    .max(jaccard_count_bound(*na, *nb)),
+            ),
+            (Scalar { vhash: ha }, Scalar { vhash: hb }) => Some(if ha == hb { 1.0 } else { 0.0 }),
+            // mixed text/scalar: Value::same across types is always false
+            (Text { .. }, Scalar { .. }) | (Scalar { .. }, Text { .. }) => Some(0.0),
+        }
+    }
+
+    /// Stage-2 upper bound, refining stage 1 with the popcount set bounds
+    /// (char/bigram differences for edit distance, token union for Jaccard).
+    fn stage2_upper_bound(&self, other: &Self) -> Option<f64> {
+        use AttrFingerprint::*;
+        match (self, other) {
+            (
+                Text {
+                    chars: ca,
+                    bigrams: qa,
+                    tokens: ta,
+                    len: la,
+                    n_tokens: na,
+                },
+                Text {
+                    chars: cb,
+                    bigrams: qb,
+                    tokens: tb,
+                    len: lb,
+                    n_tokens: nb,
+                },
+            ) => {
+                let char_diff = ca.difference_count(cb).max(cb.difference_count(ca));
+                let bigram_diff = qa.difference_count(qb).max(qb.difference_count(qa));
+                let ed_lb = (la.abs_diff(*lb) as usize)
+                    .max(char_diff)
+                    .max(bigram_diff.div_ceil(2));
+                let lev_ub = lev_bound_from_distance(ed_lb as u32, *la, *lb);
+                let mut jac_ub = jaccard_count_bound(*na, *nb);
+                let union = ta.union_count(tb);
+                if union > 0 {
+                    // |∩| ≤ na + nb − U (see module docs); never negative
+                    // since every occupied bucket has a preimage token
+                    let inter_ub = (*na as usize + *nb as usize).saturating_sub(union);
+                    jac_ub = jac_ub.min(inter_ub as f64 / union as f64);
+                }
+                Some(lev_ub.max(jac_ub))
+            }
+            _ => self.stage1_upper_bound(other),
+        }
+    }
+}
+
+/// `1 − d / max(la, lb)` as a similarity upper bound from an edit-distance
+/// lower bound `d`, with the same `max_len == 0 → 1.0` convention as
+/// [`crate::similarity::normalized_levenshtein`].
+fn lev_bound_from_distance(d: u32, la: u32, lb: u32) -> f64 {
+    let longest = la.max(lb);
+    if longest == 0 {
+        1.0
+    } else {
+        1.0 - d as f64 / longest as f64
+    }
+}
+
+/// `J ≤ min(na, nb) / max(na, nb)` with the `both empty → 1.0` convention
+/// of [`crate::similarity::jaccard_tokens`].
+fn jaccard_count_bound(na: u32, nb: u32) -> f64 {
+    if na == 0 && nb == 0 {
+        1.0
+    } else {
+        na.min(nb) as f64 / na.max(nb) as f64
+    }
+}
+
+/// The fingerprint of one record, restricted to the match attributes —
+/// one [`AttrFingerprint`] per attribute, in the attribute order the
+/// resolution pass compares with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordFingerprint {
+    attrs: Vec<AttrFingerprint>,
+}
+
+impl RecordFingerprint {
+    /// Fingerprint a record over the given attributes (the same list, in the
+    /// same order, that [`crate::resolve_relation`] hands to
+    /// [`record_similarity`](crate::similarity::record_similarity)).
+    pub fn of_tuple(tuple: &Tuple, attrs: &[AttrId]) -> Self {
+        RecordFingerprint {
+            attrs: attrs
+                .iter()
+                .map(|&attr| AttrFingerprint::of_value(tuple.value(attr)))
+                .collect(),
+        }
+    }
+
+    /// Stage-1 upper bound on the record similarity of the underlying
+    /// records: count-only per-attribute bounds, averaged exactly like
+    /// [`record_similarity`](crate::similarity::record_similarity) (same
+    /// attribute order, same informative-pair filter, same `f64` ops).
+    pub fn stage1_upper_bound(&self, other: &Self) -> f64 {
+        self.record_bound(other, AttrFingerprint::stage1_upper_bound)
+    }
+
+    /// Stage-2 upper bound: stage 1 refined with the popcount set bounds.
+    pub fn stage2_upper_bound(&self, other: &Self) -> f64 {
+        self.record_bound(other, AttrFingerprint::stage2_upper_bound)
+    }
+
+    fn record_bound(
+        &self,
+        other: &Self,
+        bound: impl Fn(&AttrFingerprint, &AttrFingerprint) -> Option<f64>,
+    ) -> f64 {
+        debug_assert_eq!(
+            self.attrs.len(),
+            other.attrs.len(),
+            "fingerprints must cover the same attribute list"
+        );
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (a, b) in self.attrs.iter().zip(other.attrs.iter()) {
+            if let Some(ub) = bound(a, b) {
+                total += ub;
+                counted += 1;
+            }
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{record_similarity, value_similarity};
+    use relacc_model::Tuple;
+
+    fn text_pair_bounds(a: &str, b: &str) -> (f64, f64, f64) {
+        let fa = RecordFingerprint::of_tuple(&Tuple::new(vec![Value::text(a)]), &[AttrId(0)]);
+        let fb = RecordFingerprint::of_tuple(&Tuple::new(vec![Value::text(b)]), &[AttrId(0)]);
+        let actual = value_similarity(&Value::text(a), &Value::text(b)).unwrap();
+        (
+            fa.stage1_upper_bound(&fb),
+            fa.stage2_upper_bound(&fb),
+            actual,
+        )
+    }
+
+    #[test]
+    fn bounds_dominate_actual_similarity() {
+        let pairs = [
+            ("Michael Jordan", "Michael  Jordan"),
+            ("Michael Jordan", "Scottie Pippen"),
+            ("kitten", "sitting"),
+            ("", ""),
+            ("", "abc"),
+            ("résumé", "resume"),
+            ("chicago bulls", "bulls chicago"),
+            ("aaaa", "aaaab"),
+            ("日本語", "日本"),
+            ("one two three", "three two one four"),
+        ];
+        for (a, b) in pairs {
+            let (s1, s2, actual) = text_pair_bounds(a, b);
+            assert!(s1 >= actual, "stage1 {s1} < actual {actual} on {a:?}/{b:?}");
+            assert!(s2 >= actual, "stage2 {s2} < actual {actual} on {a:?}/{b:?}");
+            assert!(s2 <= s1 + 1e-12, "stage2 {s2} looser than stage1 {s1}");
+        }
+    }
+
+    #[test]
+    fn stage2_separates_dissimilar_strings() {
+        // long random-ish strings with a shared prefix: stage 1 (equal
+        // lengths, equal token counts) cannot prune, stage 2 must
+        let (s1, s2, actual) = text_pair_bounds(
+            "block001 qwertyuiopasdfghjklzxcvbnm123456",
+            "block001 mnbvcxzlkjhgfdsapoiuytrewq654321",
+        );
+        assert!(s1 > 0.9, "stage1 is count-only and stays loose: {s1}");
+        assert!(
+            s2 < 0.82,
+            "stage2 must prune at the default threshold: {s2}"
+        );
+        assert!(s2 >= actual);
+    }
+
+    #[test]
+    fn scalar_hash_follows_value_same() {
+        // Int/Float cross-width equality must hash equal (Value::same does)
+        assert_eq!(scalar_hash(&Value::Int(3)), scalar_hash(&Value::Float(3.0)));
+        assert_ne!(scalar_hash(&Value::Int(3)), scalar_hash(&Value::Int(4)));
+        assert_ne!(
+            scalar_hash(&Value::Bool(true)),
+            scalar_hash(&Value::Bool(false))
+        );
+        // -0.0 and +0.0 are not `same` under total_cmp and must stay apart
+        assert_ne!(
+            scalar_hash(&Value::Float(0.0)),
+            scalar_hash(&Value::Float(-0.0))
+        );
+        let a = Tuple::new(vec![Value::Int(3)]);
+        let b = Tuple::new(vec![Value::Float(3.0)]);
+        let fa = RecordFingerprint::of_tuple(&a, &[AttrId(0)]);
+        let fb = RecordFingerprint::of_tuple(&b, &[AttrId(0)]);
+        assert_eq!(fa.stage1_upper_bound(&fb), 1.0);
+        assert_eq!(record_similarity(&a, &b, &[AttrId(0)]), 1.0);
+    }
+
+    #[test]
+    fn null_handling_mirrors_value_similarity() {
+        let both_null = Tuple::new(vec![Value::Null, Value::Int(1)]);
+        let one_null = Tuple::new(vec![Value::text("x"), Value::Int(1)]);
+        let attrs = [AttrId(0), AttrId(1)];
+        let fa = RecordFingerprint::of_tuple(&both_null, &attrs);
+        let fb = RecordFingerprint::of_tuple(&one_null, &attrs);
+        // attr 0 contributes 0.0 (one-sided null), attr 1 contributes 1.0
+        let expected = record_similarity(&both_null, &one_null, &attrs);
+        assert!(fa.stage1_upper_bound(&fb) >= expected);
+        assert!(fa.stage2_upper_bound(&fb) >= expected);
+        // both-null on every attr: no evidence, bound is 0.0 like the actual
+        let fc = RecordFingerprint::of_tuple(&both_null, &[AttrId(0)]);
+        assert_eq!(fc.stage1_upper_bound(&fc), 0.0);
+    }
+
+    #[test]
+    fn identical_records_are_never_prunable() {
+        let t = Tuple::new(vec![Value::text("Michael Jordan"), Value::Int(23)]);
+        let attrs = [AttrId(0), AttrId(1)];
+        let f = RecordFingerprint::of_tuple(&t, &attrs);
+        assert_eq!(f.stage1_upper_bound(&f), 1.0);
+        assert_eq!(f.stage2_upper_bound(&f), 1.0);
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod fingerprint;
 pub mod incremental;
 pub mod resolve;
 pub mod similarity;
@@ -50,8 +51,12 @@ pub mod similarity;
 pub use blocking::{
     blocking_key, write_blocking_key, write_blocking_key_values, Blocker, BlockingStrategy,
 };
+pub use fingerprint::{AttrFingerprint, RecordFingerprint};
 pub use incremental::{BlockKey, DirtyBlocks, IncrementalBlockingIndex};
-pub use resolve::{resolve_relation, MatchDecision, ResolveConfig, ResolvedEntities};
+pub use resolve::{
+    resolve_relation, resolve_relation_with_fingerprints, MatchDecision, PruneStage, ResolveConfig,
+    ResolveStats, ResolvedEntities,
+};
 pub use similarity::{
     jaccard_tokens, levenshtein, levenshtein_with, normalized_levenshtein, record_similarity,
     record_similarity_with, SimilarityScratch,

@@ -21,6 +21,12 @@ pub struct SimilarityScratch {
     curr: Vec<usize>,
     a_chars: Vec<char>,
     b_chars: Vec<char>,
+    /// Myers `Peq` table for ASCII pattern chars, indexed by code point.
+    /// Invariant: all-zero between calls (each run clears exactly the
+    /// entries it set), so stale masks can never leak into the next pattern.
+    ascii_peq: Vec<u64>,
+    /// Myers `Peq` entries for non-ASCII pattern chars (≤64, linear scan).
+    wide_peq: Vec<(char, u64)>,
 }
 
 impl SimilarityScratch {
@@ -30,40 +36,88 @@ impl SimilarityScratch {
     }
 }
 
-/// Classic dynamic-programming Levenshtein edit distance between two strings.
+/// Levenshtein edit distance between two strings.
 ///
-/// Runs in `O(|a| · |b|)` time and `O(min(|a|, |b|))` space.  Convenience
+/// Bit-parallel (Myers 1999) when the shorter string fits a 64-bit word,
+/// classic `O(|a| · |b|)` two-row DP above that — both exact.  Convenience
 /// wrapper over [`levenshtein_with`] paying one scratch allocation per call;
 /// hot paths keep a [`SimilarityScratch`] and call the `_with` form.
 pub fn levenshtein(a: &str, b: &str) -> usize {
     levenshtein_with(a, b, &mut SimilarityScratch::new())
 }
 
-/// [`levenshtein`] over caller-reusable buffers: two-row DP, no per-call
-/// allocations once the scratch has warmed up.
+/// [`levenshtein`] over caller-reusable buffers, no per-call allocations once
+/// the scratch has warmed up.
+///
+/// Dispatches on the shorter (pattern) string: at most 64 chars it runs
+/// Myers' bit-parallel algorithm — the whole DP column lives in one `u64`
+/// pair, `O(|text|)` word operations total — otherwise it falls back to the
+/// classic two-row DP ([`levenshtein_dp_with`]).  Both paths compute the
+/// exact same integer distance; `tests` and `tests/resolve_cascade.rs` pin
+/// the equivalence on Unicode, empty and >64-char inputs.
 pub fn levenshtein_with(a: &str, b: &str, scratch: &mut SimilarityScratch) -> usize {
+    scratch.a_chars.clear();
+    scratch.a_chars.extend(a.chars());
+    scratch.b_chars.clear();
+    scratch.b_chars.extend(b.chars());
+    if scratch.a_chars.is_empty() {
+        return scratch.b_chars.len();
+    }
+    if scratch.b_chars.is_empty() {
+        return scratch.a_chars.len();
+    }
     let SimilarityScratch {
         prev,
         curr,
         a_chars,
         b_chars,
+        ascii_peq,
+        wide_peq,
     } = scratch;
-    a_chars.clear();
-    a_chars.extend(a.chars());
-    b_chars.clear();
-    b_chars.extend(b.chars());
-    if a_chars.is_empty() {
-        return b_chars.len();
-    }
-    if b_chars.is_empty() {
-        return a_chars.len();
-    }
-    // keep the shorter string in the inner dimension to bound the row length
-    let (outer, inner) = if a_chars.len() >= b_chars.len() {
+    // the shorter string is the pattern (Myers) / inner DP dimension
+    let (text, pattern) = if a_chars.len() >= b_chars.len() {
         (&*a_chars, &*b_chars)
     } else {
         (&*b_chars, &*a_chars)
     };
+    if pattern.len() <= 64 {
+        myers_distance(pattern, text, ascii_peq, wide_peq)
+    } else {
+        levenshtein_dp(pattern, text, prev, curr)
+    }
+}
+
+/// The classic two-row dynamic-programming Levenshtein over caller buffers:
+/// `O(|a| · |b|)` time, `O(min(|a|, |b|))` space.  This is the reference
+/// implementation [`levenshtein_with`] falls back to when both strings
+/// exceed 64 chars, kept `pub` so tests and benchmarks can pin the
+/// bit-parallel path against it on arbitrary inputs.
+pub fn levenshtein_dp_with(a: &str, b: &str, scratch: &mut SimilarityScratch) -> usize {
+    scratch.a_chars.clear();
+    scratch.a_chars.extend(a.chars());
+    scratch.b_chars.clear();
+    scratch.b_chars.extend(b.chars());
+    if scratch.a_chars.is_empty() {
+        return scratch.b_chars.len();
+    }
+    if scratch.b_chars.is_empty() {
+        return scratch.a_chars.len();
+    }
+    let (outer, inner) = if scratch.a_chars.len() >= scratch.b_chars.len() {
+        (&scratch.a_chars[..], &scratch.b_chars[..])
+    } else {
+        (&scratch.b_chars[..], &scratch.a_chars[..])
+    };
+    levenshtein_dp(inner, outer, &mut scratch.prev, &mut scratch.curr)
+}
+
+/// Two-row DP core over decoded chars; `inner` must be the shorter slice.
+fn levenshtein_dp(
+    inner: &[char],
+    outer: &[char],
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+) -> usize {
     prev.clear();
     prev.extend(0..=inner.len());
     curr.clear();
@@ -77,6 +131,75 @@ pub fn levenshtein_with(a: &str, b: &str, scratch: &mut SimilarityScratch) -> us
         std::mem::swap(prev, curr);
     }
     prev[inner.len()]
+}
+
+/// Myers' bit-parallel Levenshtein (Myers 1999, in Hyyrö's formulation):
+/// the DP column for a pattern of `m ≤ 64` chars is encoded as two `u64`
+/// delta vectors `Pv`/`Mv` and advanced one text char at a time with a
+/// constant number of word operations, tracking the exact distance at the
+/// column's last bit.
+///
+/// `peq(c)` — the mask of pattern positions holding char `c` — is served
+/// from an ASCII-indexed table plus a short spill list for wider chars;
+/// both are caller buffers and are restored to empty before returning.
+fn myers_distance(
+    pattern: &[char],
+    text: &[char],
+    ascii_peq: &mut Vec<u64>,
+    wide_peq: &mut Vec<(char, u64)>,
+) -> usize {
+    let m = pattern.len();
+    debug_assert!((1..=64).contains(&m), "pattern must fit one u64 column");
+    if ascii_peq.is_empty() {
+        ascii_peq.resize(128, 0);
+    }
+    wide_peq.clear();
+    for (i, &c) in pattern.iter().enumerate() {
+        let mask = 1u64 << i;
+        if (c as u32) < 128 {
+            ascii_peq[c as usize] |= mask;
+        } else if let Some(entry) = wide_peq.iter_mut().find(|(w, _)| *w == c) {
+            entry.1 |= mask;
+        } else {
+            wide_peq.push((c, mask));
+        }
+    }
+
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    let msb = 1u64 << (m - 1);
+    for &c in text {
+        let eq = if (c as u32) < 128 {
+            ascii_peq[c as usize]
+        } else {
+            wide_peq
+                .iter()
+                .find(|(w, _)| *w == c)
+                .map_or(0, |&(_, mask)| mask)
+        };
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & msb != 0 {
+            score += 1;
+        } else if mh & msb != 0 {
+            score -= 1;
+        }
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+
+    // restore the all-zero invariant of the ASCII table
+    for &c in pattern {
+        if (c as u32) < 128 {
+            ascii_peq[c as usize] = 0;
+        }
+    }
+    score
 }
 
 /// Levenshtein distance normalized to a similarity in `[0, 1]`
@@ -219,6 +342,70 @@ mod tests {
             record_similarity_with(&x, &y, &attrs, &mut scratch),
             record_similarity(&x, &y, &attrs)
         );
+    }
+
+    #[test]
+    fn myers_matches_dp_on_unicode_empty_and_long_inputs() {
+        let long_a = "a".repeat(70) + &"b".repeat(10); // both >64: DP fallback
+        let long_b = "a".repeat(70) + &"c".repeat(12);
+        let mixed = "x".repeat(80); // one side >64, pattern ≤64: Myers
+        let pairs = [
+            ("", ""),
+            ("", "abc"),
+            ("naïve", "naive"),
+            ("über", "uber"),
+            ("日本語のテキスト", "日本語テキスト"),
+            ("Ελλάδα", "ελλαδα"),
+            ("résumé writer", "resume writer"),
+            ("abcdefghijklmnopqrstuvwxyz", "abcdefghijklmnoqprstuvwxyz"),
+            (long_a.as_str(), long_b.as_str()),
+            (mixed.as_str(), "xxx"),
+            ("mañana", "manana"),
+        ];
+        let mut scratch = SimilarityScratch::new();
+        for (a, b) in pairs {
+            let dp = levenshtein_dp_with(a, b, &mut scratch);
+            assert_eq!(
+                levenshtein_with(a, b, &mut scratch),
+                dp,
+                "dispatch vs DP on {a:?} / {b:?}"
+            );
+            assert_eq!(
+                levenshtein_with(b, a, &mut scratch),
+                dp,
+                "symmetry on {a:?} / {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn myers_boundary_at_64_chars() {
+        // pattern of exactly 64 chars exercises the msb == bit 63 edge
+        let p64: String = ('a'..='z').cycle().take(64).collect();
+        let mut q = p64.clone();
+        q.replace_range(0..1, "zz"); // one substitution + one insert
+        let mut scratch = SimilarityScratch::new();
+        assert_eq!(
+            levenshtein_with(&p64, &q, &mut scratch),
+            levenshtein_dp_with(&p64, &q, &mut scratch)
+        );
+        assert_eq!(levenshtein_with(&p64, &p64, &mut scratch), 0);
+        // 65-char pair takes the DP fallback and still agrees with itself
+        let p65: String = ('a'..='z').cycle().take(65).collect();
+        assert_eq!(levenshtein_with(&p65, &p64, &mut scratch), 1);
+    }
+
+    #[test]
+    fn myers_scratch_does_not_leak_between_calls() {
+        let mut scratch = SimilarityScratch::new();
+        // first call seeds the ASCII peq table with 'k'/'i'/'t'... masks
+        assert_eq!(levenshtein_with("kitten", "sitting", &mut scratch), 3);
+        // a second pattern without those chars must see a clean table even
+        // though its *text* contains them
+        assert_eq!(levenshtein_with("abc", "kitten", &mut scratch), 6);
+        // and non-ASCII spill entries reset too
+        assert_eq!(levenshtein_with("日本", "日本", &mut scratch), 0);
+        assert_eq!(levenshtein_with("ab", "日本", &mut scratch), 2);
     }
 
     #[test]

@@ -7,17 +7,17 @@
 //!
 //! 1. compile the rules + master data into a chase plan once
 //!    (`relacc-engine`'s `BatchEngine`),
-//! 2. resolve duplicate records into entities (`relacc-resolve`, reached here
-//!    through the deprecated `relacc-db` facade to exercise the compatibility
-//!    surface) and chase every entity in parallel over the shared plan,
+//! 2. resolve duplicate records into entities (`relacc-resolve`, used
+//!    directly — the deprecated `relacc-db` facade is no longer needed) and
+//!    chase every entity in parallel over the shared plan,
 //! 3. print the repaired one-row-per-entity relation and the batch report.
 //!
 //! Run with `cargo run --example database_repair`.
 
 use relacc::core::rules::parse_ruleset;
-use relacc::db::ResolveConfig;
 use relacc::engine::BatchEngine;
 use relacc::model::{DataType, MasterRelation, Schema, Value};
+use relacc::resolve::ResolveConfig;
 use relacc::store::{to_csv, Relation};
 
 fn main() {

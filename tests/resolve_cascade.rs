@@ -1,0 +1,183 @@
+//! Exactness guard for the fingerprint cascade: the cascade's upper bounds
+//! may never prune a pair the full similarity computation would match, at
+//! any threshold — otherwise pruning would change the clustering.
+//!
+//! Three layers:
+//! * a property test over random value pairs (mixed-script strings with
+//!   token structure, nulls, cross-width numerics) checking
+//!   `stageN_upper_bound ≥ record_similarity` — the bound-domination
+//!   invariant that makes `ub < threshold ⇒ unmatched` exact, plus the
+//!   bit-parallel/DP Levenshtein agreement on the same inputs;
+//! * differential resolutions (cascade vs. [`ResolveConfig::without_cascade`])
+//!   on the Med and Rest streaming relations and the adversarial
+//!   `large_blocks` shape, pinning identical `entities`/`members` and
+//!   identical per-pair match verdicts;
+//! * a prune-effectiveness floor on `large_blocks`, so the cascade cannot
+//!   silently degrade into "never prunes" (which would keep outputs equal
+//!   but erase the point of the PR).
+
+use proptest::prelude::*;
+use relacc::datagen::{large_blocks, med_stream, rest_stream, LargeBlocksConfig, StreamConfig};
+use relacc::model::{AttrId, Tuple, Value};
+use relacc::resolve::similarity::levenshtein_dp_with;
+use relacc::resolve::{
+    record_similarity, resolve_relation, RecordFingerprint, ResolveConfig, SimilarityScratch,
+};
+use relacc::store::Relation;
+
+/// A small vocabulary mixing scripts, token lengths and whitespace so the
+/// char/bigram/token fingerprints all get exercised, including multi-byte
+/// chars and case-folding edge cases (final sigma).
+const WORDS: &[&str] = &[
+    "jordan",
+    "Jordan",
+    "bulls",
+    "ΟΣ",
+    "ος",
+    "naïve",
+    "日本語",
+    "a",
+    "zz",
+    "chicago23",
+    "",
+    " ",
+    "résumé",
+];
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..WORDS.len(), 0..6).prop_map(|picks| {
+        let mut s = String::new();
+        for (i, p) in picks.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(WORDS[*p]);
+        }
+        s
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0u8..5, arb_text(), any::<i64>(), any::<bool>()).prop_map(|(kind, text, n, b)| match kind {
+        0 => Value::Null,
+        1 => Value::Int(n % 7),
+        2 => Value::Float((n % 7) as f64),
+        3 => Value::Bool(b),
+        _ => Value::text(text),
+    })
+}
+
+proptest! {
+    /// The cascade bounds dominate the true similarity on arbitrary record
+    /// pairs — so no threshold can ever prune a matching pair.
+    #[test]
+    fn cascade_bounds_dominate_similarity(
+        a0 in arb_value(), a1 in arb_value(),
+        b0 in arb_value(), b1 in arb_value(),
+    ) {
+        let attrs = [AttrId(0), AttrId(1)];
+        let ta = Tuple::new(vec![a0, a1]);
+        let tb = Tuple::new(vec![b0, b1]);
+        let fa = RecordFingerprint::of_tuple(&ta, &attrs);
+        let fb = RecordFingerprint::of_tuple(&tb, &attrs);
+        let actual = record_similarity(&ta, &tb, &attrs);
+        let stage1 = fa.stage1_upper_bound(&fb);
+        let stage2 = fa.stage2_upper_bound(&fb);
+        // f64-exact comparisons: this is precisely the pruning predicate
+        prop_assert!(stage1 >= actual, "stage1 {stage1} < actual {actual}");
+        prop_assert!(stage2 >= actual, "stage2 {stage2} < actual {actual}");
+        // and the bounds are symmetric, like the similarity itself
+        prop_assert_eq!(stage1, fb.stage1_upper_bound(&fa));
+        prop_assert_eq!(stage2, fb.stage2_upper_bound(&fa));
+    }
+
+    /// The bit-parallel Levenshtein dispatch agrees with the reference DP on
+    /// arbitrary strings, across the ≤64 / >64 char boundary.
+    #[test]
+    fn myers_dispatch_matches_reference_dp(
+        a in arb_text(),
+        b in arb_text(),
+        pad in 0usize..80,
+    ) {
+        let mut scratch = SimilarityScratch::new();
+        let long_a = format!("{a}{}", "x".repeat(pad));
+        prop_assert_eq!(
+            relacc::resolve::levenshtein_with(&long_a, &b, &mut scratch),
+            levenshtein_dp_with(&long_a, &b, &mut scratch)
+        );
+    }
+}
+
+fn assert_cascade_is_exact(relation: &Relation, config: &ResolveConfig, label: &str) {
+    let cascade = resolve_relation(relation, config);
+    let baseline = resolve_relation(relation, &config.clone().without_cascade());
+    assert_eq!(cascade.members, baseline.members, "{label}: members");
+    assert_eq!(
+        cascade.entities.len(),
+        baseline.entities.len(),
+        "{label}: entity count"
+    );
+    for (c, b) in cascade.entities.iter().zip(baseline.entities.iter()) {
+        assert_eq!(c.tuples(), b.tuples(), "{label}: entity rows");
+    }
+    assert_eq!(
+        cascade.decisions.len(),
+        baseline.decisions.len(),
+        "{label}: pair count"
+    );
+    for (c, b) in cascade.decisions.iter().zip(baseline.decisions.iter()) {
+        assert_eq!(
+            (c.left, c.right, c.matched),
+            (b.left, b.right, b.matched),
+            "{label}: verdict of ({}, {})",
+            c.left,
+            c.right
+        );
+        if c.pruned.is_none() {
+            assert_eq!(c.similarity, b.similarity, "{label}: exact similarity");
+        }
+    }
+    // stats bookkeeping holds on every corpus
+    let s = cascade.stats;
+    assert_eq!(
+        s.pruned_by_length + s.pruned_by_fingerprint + s.dp_runs,
+        s.pairs_considered,
+        "{label}: stats partition the pairs"
+    );
+}
+
+#[test]
+fn cascade_matches_baseline_on_med() {
+    let stream = med_stream(0.02, 5, &StreamConfig::default());
+    let config = ResolveConfig::on_attrs(stream.match_attrs.clone());
+    assert_cascade_is_exact(&stream.relation, &config, "med/prefix");
+    // exact-key blocking is what the differential suites run under
+    let exact = config.with_strategy(relacc::resolve::BlockingStrategy::ExactKey);
+    assert_cascade_is_exact(&stream.relation, &exact, "med/exact");
+}
+
+#[test]
+fn cascade_matches_baseline_on_rest() {
+    let stream = rest_stream(0.02, 9, &StreamConfig::default());
+    let config = ResolveConfig::on_attrs(stream.match_attrs.clone());
+    assert_cascade_is_exact(&stream.relation, &config, "rest/prefix");
+}
+
+#[test]
+fn cascade_matches_baseline_and_prunes_on_large_blocks() {
+    let data = large_blocks(&LargeBlocksConfig {
+        n_blocks: 6,
+        rows_per_block: 24,
+        ..LargeBlocksConfig::default()
+    });
+    let config = ResolveConfig::on_attrs(data.match_attrs.clone()).with_threshold(data.threshold);
+    assert_cascade_is_exact(&data.relation, &config, "large_blocks");
+    // effectiveness floor: the shape is built so most pairs are prunable
+    let resolved = resolve_relation(&data.relation, &config);
+    assert!(
+        resolved.stats.pruned_fraction() >= 0.5,
+        "pruned fraction {:.3} below the gate floor",
+        resolved.stats.pruned_fraction()
+    );
+    assert!(resolved.stats.dp_runs > 0, "true duplicates still align");
+}

@@ -14,6 +14,10 @@
 //!   ≤10%-dirty update batch (`max_dirty_fraction ≤ 0.10`);
 //! * `BENCH_sharded.json`: `sharded_vs_single_speedup ≥ 2` at `shards ≥ 2`
 //!   (the hot-shard Med stream, PR 5);
+//! * `BENCH_resolve.json`: `resolve_speedup ≥ 3` with `pruned_fraction ≥ 0.5`
+//!   (the fingerprint cascade on the adversarial large-block shape, PR 6) —
+//!   the cascade must actually retire most candidate pairs, not just win on
+//!   timing noise;
 //! * every gated number must be present, finite and non-negative.
 //!
 //! Usage: `bench-gate [--root <dir>]` (the root defaults to the workspace
@@ -185,6 +189,26 @@ fn gates(file_name: &str) -> (Vec<Floor>, Vec<Ceiling>) {
             vec![Ceiling {
                 field: "max_dirty_fraction",
                 maximum: 0.10,
+            }],
+        ),
+        "BENCH_resolve.json" => (
+            vec![
+                Floor {
+                    field: "resolve_speedup",
+                    minimum: 3.0,
+                },
+                Floor {
+                    field: "pruned_fraction",
+                    minimum: 0.5,
+                },
+                Floor {
+                    field: "pairs",
+                    minimum: 1.0,
+                },
+            ],
+            vec![Ceiling {
+                field: "pruned_fraction",
+                maximum: 1.0,
             }],
         ),
         "BENCH_sharded.json" => (
@@ -365,6 +389,16 @@ mod tests {
   "smoke": false
 }"#;
 
+    const GOOD_RESOLVE: &str = r#"{
+  "bench": "resolve",
+  "corpus": "large_blocks",
+  "rows": 576,
+  "pairs": 13536,
+  "pruned_fraction": 0.71,
+  "resolve_speedup": 4.2,
+  "smoke": false
+}"#;
+
     const GOOD_SHARDED: &str = r#"{
   "bench": "sharded",
   "corpus": "med-hot",
@@ -393,6 +427,7 @@ mod tests {
         assert!(check_report("BENCH_topk.json", GOOD_TOPK).is_empty());
         assert!(check_report("BENCH_incremental.json", GOOD_INCREMENTAL).is_empty());
         assert!(check_report("BENCH_sharded.json", GOOD_SHARDED).is_empty());
+        assert!(check_report("BENCH_resolve.json", GOOD_RESOLVE).is_empty());
         // unknown reports only need the shared invariants
         assert!(check_report("BENCH_new.json", r#"{"x": 1, "smoke": false}"#).is_empty());
     }
@@ -417,6 +452,33 @@ mod tests {
         // the gated field must be present
         let missing = GOOD_SHARDED.replace("sharded_vs_single_speedup", "other");
         assert!(!check_report("BENCH_sharded.json", &missing).is_empty());
+    }
+
+    #[test]
+    fn resolve_gates_are_enforced() {
+        // speedup floor: a 2.4x cascade regresses below the required 3x
+        let regressed = GOOD_RESOLVE.replace("4.2", "2.4");
+        let violations = check_report("BENCH_resolve.json", &regressed);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("resolve_speedup"));
+        // prune floor: a cascade that stops pruning cannot hide behind noise
+        let toothless = GOOD_RESOLVE.replace("0.71", "0.22");
+        assert!(check_report("BENCH_resolve.json", &toothless)
+            .iter()
+            .any(|v| v.contains("pruned_fraction")));
+        // prune ceiling: a fraction above 1 means the stats are corrupt
+        let corrupt = GOOD_RESOLVE.replace("0.71", "1.31");
+        assert!(check_report("BENCH_resolve.json", &corrupt)
+            .iter()
+            .any(|v| v.contains("pruned_fraction")));
+        // the gated fields must be present
+        let missing = GOOD_RESOLVE.replace("resolve_speedup", "other");
+        assert!(!check_report("BENCH_resolve.json", &missing).is_empty());
+        // smoke-marked resolve reports are rejected like every other report
+        let smoked = GOOD_RESOLVE.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(check_report("BENCH_resolve.json", &smoked)
+            .iter()
+            .any(|v| v.contains("smoke run")));
     }
 
     #[test]
