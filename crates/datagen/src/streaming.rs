@@ -50,6 +50,11 @@ pub struct StreamConfig {
     /// Number of distinct leading key values that form the hot set (ignored
     /// while [`StreamConfig::hot_entity_rate`] is `0.0`).
     pub hot_entities: usize,
+    /// Point reads scripted after each row batch ([`UpdateStream::reads`]):
+    /// row ids sampled from the rows live right after the batch applies.
+    /// Scripted from a **separate** RNG, so any value — including the
+    /// default `0` — leaves the update ops byte-identical.
+    pub reads_per_batch: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -64,6 +69,7 @@ impl Default for StreamConfig {
             fresh_entity_rate: 0.25,
             hot_entity_rate: 0.0,
             hot_entities: 0,
+            reads_per_batch: 0,
             seed: 17,
         }
     }
@@ -78,6 +84,15 @@ impl StreamConfig {
     pub fn with_hot_mix(mut self, hot_entities: usize, rate: f64) -> Self {
         self.hot_entities = hot_entities;
         self.hot_entity_rate = rate;
+        self
+    }
+
+    /// Script `reads` point reads after every row batch (builder style) —
+    /// the read side of a mixed read/write serving workload.  The reads come
+    /// from their own RNG, so the scripted update ops stay byte-identical to
+    /// a read-free stream with the same seed.
+    pub fn with_reads(mut self, reads: usize) -> Self {
+        self.reads_per_batch = reads;
         self
     }
 }
@@ -107,6 +122,12 @@ pub struct UpdateStream {
     pub match_attrs: Vec<String>,
     /// The scripted updates, in application order.
     pub ops: Vec<StreamOp>,
+    /// Scripted point reads, one entry per [`StreamOp::Rows`] batch in
+    /// stream order: row ids (sampled with replacement) that are live right
+    /// after that batch applies — the read side of a mixed read/write
+    /// serving workload.  Empty vectors when
+    /// [`StreamConfig::reads_per_batch`] is `0`.
+    pub reads: Vec<Vec<RowId>>,
 }
 
 impl UpdateStream {
@@ -142,8 +163,11 @@ fn script_ops(
     key_attr: relacc_model::AttrId,
     mut master_pool: Vec<Vec<Value>>,
     config: &StreamConfig,
-) -> Vec<StreamOp> {
+) -> (Vec<StreamOp>, Vec<Vec<RowId>>) {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_57EA);
+    // the read script draws from its own RNG so the update ops stay
+    // byte-identical whether or not reads are requested
+    let mut read_rng = StdRng::seed_from_u64(config.seed ^ 0x0BEE_F00D_5EED);
     let seed_rows: Vec<Vec<Value>> = relation
         .rows()
         .iter()
@@ -182,6 +206,7 @@ fn script_ops(
     let mut fresh_entities = 0usize;
 
     let mut ops = Vec::new();
+    let mut reads: Vec<Vec<RowId>> = Vec::new();
     for _ in 0..config.n_batches {
         let mut batch = UpdateBatch::new(name);
         // deletes: sample live ids without replacement, keeping the relation
@@ -225,6 +250,18 @@ fn script_ops(
         }
         if !batch.is_empty() {
             ops.push(StreamOp::Rows(batch));
+            // reads against the rows live right after this batch, sampled
+            // with replacement from the simulated live-id set
+            let mut sample = Vec::with_capacity(config.reads_per_batch);
+            for _ in 0..config.reads_per_batch {
+                let pick = read_rng.gen_range(0..hot_live.len() + cold_live.len());
+                sample.push(if pick < hot_live.len() {
+                    hot_live[pick]
+                } else {
+                    cold_live[pick - hot_live.len()]
+                });
+            }
+            reads.push(sample);
         }
         if config.master_appends_per_batch > 0 && !master_pool.is_empty() {
             let take = config.master_appends_per_batch.min(master_pool.len());
@@ -232,7 +269,7 @@ fn script_ops(
             ops.push(StreamOp::MasterAppend(rows));
         }
     }
-    ops
+    (ops, reads)
 }
 
 /// Flatten a generated dataset into one dirty relation (all entity tuples,
@@ -276,7 +313,7 @@ pub fn med_stream(scale: f64, seed: u64, config: &StreamConfig) -> UpdateStream 
     let data = med(scale, seed);
     let (relation, late_master) = flatten(&data);
     let key_attr = data.schema.expect_attr("name");
-    let ops = script_ops("med", &relation, key_attr, late_master, config);
+    let (ops, reads) = script_ops("med", &relation, key_attr, late_master, config);
     UpdateStream {
         name: "med".into(),
         relation,
@@ -284,6 +321,7 @@ pub fn med_stream(scale: f64, seed: u64, config: &StreamConfig) -> UpdateStream 
         rules: data.rules.clone(),
         match_attrs: vec!["name".into()],
         ops,
+        reads,
     }
 }
 
@@ -309,7 +347,7 @@ pub fn rest_stream(scale: f64, seed: u64, config: &StreamConfig) -> UpdateStream
         }
     }
     let key_attr = schema.expect_attr("rname");
-    let ops = script_ops("rest", &relation, key_attr, Vec::new(), config);
+    let (ops, reads) = script_ops("rest", &relation, key_attr, Vec::new(), config);
     UpdateStream {
         name: "rest".into(),
         relation,
@@ -317,6 +355,7 @@ pub fn rest_stream(scale: f64, seed: u64, config: &StreamConfig) -> UpdateStream
         rules: data.rules.clone(),
         match_attrs: vec!["rname".into()],
         ops,
+        reads,
     }
 }
 
@@ -449,6 +488,38 @@ mod tests {
         for op in &stream.ops {
             if let StreamOp::Rows(batch) = op {
                 versioned.apply(batch).expect("scripted batches stay valid");
+            }
+        }
+    }
+
+    /// The scripted read side: one read set per row batch, every read id
+    /// live at that point of the replay, and requesting reads leaves the
+    /// update ops byte-identical.
+    #[test]
+    fn scripted_reads_name_live_rows_and_leave_ops_unchanged() {
+        use relacc_store::VersionedRelation;
+        let plain = med_stream(0.02, 11, &StreamConfig::default());
+        assert!(plain.reads.iter().all(|r| r.is_empty()));
+        let config = StreamConfig::default().with_reads(5);
+        let stream = med_stream(0.02, 11, &config);
+        assert_eq!(stream.ops, plain.ops, "reads must not perturb the ops");
+        assert_eq!(stream.reads, med_stream(0.02, 11, &config).reads);
+        assert_eq!(stream.reads.len(), stream.row_batches());
+
+        let mut versioned = VersionedRelation::from_relation(&stream.relation);
+        let mut batch_idx = 0;
+        for op in &stream.ops {
+            if let StreamOp::Rows(batch) = op {
+                versioned.apply(batch).expect("scripted batches stay valid");
+                let reads = &stream.reads[batch_idx];
+                assert_eq!(reads.len(), 5);
+                for id in reads {
+                    assert!(
+                        versioned.row(*id).is_some(),
+                        "read {id} must be live after batch {batch_idx}"
+                    );
+                }
+                batch_idx += 1;
             }
         }
     }

@@ -17,6 +17,12 @@
 //! relation + resolution output) instead of the old flat report, so callers
 //! reach the per-entity results as `repair.report.entities`.
 //!
+//! **Retirement step 3 (final):** the crate has left the workspace
+//! `default-members` — root builds and tests no longer compile it on their
+//! own, and the differential tests pin the engine path directly (see
+//! `README.md`).  It stays a member so explicit `-p relacc-db` builds keep
+//! working for out-of-tree callers.
+//!
 //! **Retirement step 2:** every remaining item of this facade is now marked
 //! `#[deprecated]` with its migration target.  The mapping is mechanical —
 //! each re-export names the same item in `relacc-resolve`, and the batch

@@ -215,7 +215,7 @@ fn best_source_tuple(ie: &EntityInstance) -> Option<&Tuple> {
 /// This is the **single** materialization policy shared by
 /// [`BatchEngine::repair_relation`] and the incremental engine's snapshot
 /// assembly, so both paths emit bit-identical repaired relations.
-fn entity_row(result: &EntityResult, ie: &EntityInstance) -> Option<Vec<Value>> {
+pub(crate) fn entity_row(result: &EntityResult, ie: &EntityInstance) -> Option<Vec<Value>> {
     match result.outcome {
         EntityOutcome::Complete | EntityOutcome::Suggested => {
             Some(result.final_target().values().to_vec())

@@ -40,6 +40,7 @@
 
 use crate::batch::EntityOutcome;
 use crate::batch::{materialize_rows, BatchEngine, BatchReport, EntityResult, RelationRepair};
+use crate::epoch::{Epoch, EpochHub, EpochId, ShardView, SnapshotDelta};
 use crate::pool::effective_threads;
 use relacc_core::chase::{
     GroundStep, MasterDeltaApplied, MasterUpdate, PendingPred, PlanDeltaError, PlanStamp,
@@ -47,41 +48,47 @@ use relacc_core::chase::{
 };
 use relacc_model::{EntityInstance, TargetTuple, Value};
 use relacc_resolve::{
-    resolve_relation, resolve_relation_with_fingerprints, BlockKey, IncrementalBlockingIndex,
-    MatchDecision, RecordFingerprint, ResolveConfig, ResolveStats, ResolvedEntities,
+    resolve_relation, resolve_relation_with_fingerprints, BlockKey, Blocker,
+    IncrementalBlockingIndex, MatchDecision, RecordFingerprint, ResolveConfig, ResolveStats,
+    ResolvedEntities,
 };
 use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError, VersionedRelation};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The cached repair of one block: its rows (in snapshot order at repair
 /// time), the local resolution output and the per-entity results, all under
 /// block-local indices; [`IncrementalEngine::snapshot`] rebases them to
 /// global indices.
+///
+/// Cached per block behind an `Arc`: published epochs pin the same
+/// allocation, and the engine copies a block on write only while an epoch
+/// actually shares it.  All cached repairs are valid under one engine-level
+/// [`PlanStamp`] — every mutation path re-repairs or revalidates *all* live
+/// blocks before returning, so the stamp lives on the engine, not per block.
 #[derive(Debug, Clone)]
-struct BlockRepair {
+pub(crate) struct BlockRepair {
     /// The block's live rows at repair time, in snapshot order.
-    rows: Vec<RowId>,
-    /// Plan state the entities were repaired (or last revalidated) under.
-    stamp: PlanStamp,
+    pub(crate) rows: Vec<RowId>,
     /// Pairwise match decisions, with indices local to `rows`.
-    decisions: Vec<MatchDecision>,
+    pub(crate) decisions: Vec<MatchDecision>,
     /// The block's entities in ascending-smallest-member order.
-    entities: Vec<BlockEntity>,
+    pub(crate) entities: Vec<BlockEntity>,
     /// Fingerprints of `rows` (parallel), reused verbatim across
     /// re-resolutions so steady-state streaming only fingerprints inserted
     /// rows.  Empty when the resolve config runs without the cascade.
-    fingerprints: Vec<RecordFingerprint>,
+    pub(crate) fingerprints: Vec<RecordFingerprint>,
     /// Cascade counters of the resolution that produced `decisions`.
-    stats: ResolveStats,
+    pub(crate) stats: ResolveStats,
 }
 
 #[derive(Debug, Clone)]
-struct BlockEntity {
+pub(crate) struct BlockEntity {
     /// Member positions into [`BlockRepair::rows`], ascending.
-    members: Vec<usize>,
+    pub(crate) members: Vec<usize>,
     /// The repair result.  `entity` / `records` are meaningless here and are
     /// rewritten during snapshot assembly.
-    result: EntityResult,
+    pub(crate) result: EntityResult,
 }
 
 /// What one applied update did.
@@ -167,7 +174,14 @@ pub struct IncrementalEngine {
     name: String,
     relation: VersionedRelation,
     index: IncrementalBlockingIndex,
-    blocks: HashMap<BlockKey, BlockRepair>,
+    blocks: HashMap<BlockKey, Arc<BlockRepair>>,
+    /// Plan state every cached block repair is valid under (see
+    /// [`BlockRepair`]): refreshed at the end of each re-repair.
+    stamp: PlanStamp,
+    /// Shared blocker for epoch point reads (identical to the index's own).
+    blocker: Arc<Blocker>,
+    /// The publish/pin rendezvous with concurrent readers.
+    hub: EpochHub,
     stats: IncrementalStats,
 }
 
@@ -184,9 +198,10 @@ impl IncrementalEngine {
         let versioned = VersionedRelation::from_relation(relation);
         let blocker = resolve.blocker(relation.schema());
         let index = IncrementalBlockingIndex::build(
-            blocker,
+            blocker.clone(),
             versioned.rows().iter().map(|r| (r.id, &r.tuple)),
         );
+        let stamp = engine.plan().stamp();
         let mut this = IncrementalEngine {
             engine,
             resolve,
@@ -194,6 +209,9 @@ impl IncrementalEngine {
             relation: versioned,
             index,
             blocks: HashMap::new(),
+            stamp,
+            blocker: Arc::new(blocker),
+            hub: EpochHub::new(),
             stats: IncrementalStats::default(),
         };
         // initial repair: every block is dirty
@@ -268,7 +286,10 @@ impl IncrementalEngine {
         let new_steps: Vec<GroundStep> =
             self.engine.plan().master_steps()[applied.new_steps.clone()].to_vec();
         let mut dirty: BTreeSet<BlockKey> = BTreeSet::new();
-        for (key, repair) in &mut self.blocks {
+        for (key, repair) in &self.blocks {
+            // unaffected blocks keep their cached results verbatim (even the
+            // allocation: published epochs share it); the engine-level stamp
+            // revalidates them wholesale at the end of the re-repair
             let affected = !new_steps.is_empty()
                 && repair
                     .entities
@@ -276,10 +297,6 @@ impl IncrementalEngine {
                     .any(|be| step_set_may_affect(&new_steps, &be.result));
             if affected {
                 dirty.insert(key.clone());
-            } else {
-                // the cached results are proven still-current: revalidate
-                // their stamp against the evolved plan
-                repair.stamp = applied.stamp;
             }
         }
         // block membership is untouched by a master delta: reuse the cached
@@ -433,25 +450,27 @@ impl IncrementalEngine {
                         .collect();
                     self.blocks.insert(
                         key,
-                        BlockRepair {
+                        Arc::new(BlockRepair {
                             rows: row_ids,
-                            stamp,
                             decisions: resolved.decisions,
                             entities,
                             fingerprints,
                             stats: resolved.stats,
-                        },
+                        }),
                     );
                 }
                 None => {
-                    let repair = self.blocks.get_mut(&key).expect("cached above");
+                    // copy-on-write: clones the block only while a published
+                    // epoch still pins the old allocation
+                    let repair = Arc::make_mut(self.blocks.get_mut(&key).expect("cached above"));
                     for (be, result) in repair.entities.iter_mut().zip(results.iter()) {
                         be.result = result.clone();
                     }
-                    repair.stamp = stamp;
                 }
             }
         }
+        self.stamp = stamp;
+        self.publish(&dirty);
 
         let alive_dirty = dirty.len() - dropped_blocks;
         let clean_blocks = membership.len() - alive_dirty;
@@ -470,6 +489,58 @@ impl IncrementalEngine {
             entities_rerepaired,
             entities_reused,
         }
+    }
+
+    /// Publish the engine's current state as an immutable epoch: pinned
+    /// rows, pinned block cache, and the keys this mutation dirtied.  One
+    /// shard, identity id maps — the sharded engine builds its own combined
+    /// epochs from the per-shard ones.
+    fn publish(&self, dirty: &BTreeSet<BlockKey>) {
+        let dirty_map: BTreeMap<BlockKey, (usize, BlockKey)> = dirty
+            .iter()
+            .map(|key| (key.clone(), (0, key.clone())))
+            .collect();
+        self.hub.publish(Epoch {
+            id: EpochId(0), // assigned by the hub
+            generation: self.relation.generation(),
+            stamp: self.stamp,
+            schema: self.relation.schema().clone(),
+            blocker: Arc::clone(&self.blocker),
+            threads: self.engine.config().threads,
+            shards: vec![ShardView {
+                rows: self.relation.epoch(),
+                blocks: Arc::new(self.blocks.clone()),
+                to_global: None,
+            }],
+            route: None,
+            dirty: Arc::new(dirty_map),
+        });
+    }
+
+    /// A cloneable handle to this engine's epoch hub — the read side of the
+    /// serving layer.  Readers on other threads pin epochs and compute
+    /// deltas through it without ever borrowing the engine.
+    pub fn epochs(&self) -> EpochHub {
+        self.hub.clone()
+    }
+
+    /// Pin the engine's current epoch.
+    pub fn current_epoch(&self) -> Arc<Epoch> {
+        self.hub.current()
+    }
+
+    /// Everything that changed since generation `since`, at block
+    /// granularity (see [`EpochHub::changes_since`]).
+    pub fn changes_since(
+        &self,
+        since: Generation,
+    ) -> Result<SnapshotDelta, crate::epoch::EpochError> {
+        self.hub.changes_since(since)
+    }
+
+    /// How many epochs stay reachable for generation-addressed reads.
+    pub fn set_epoch_retention(&self, epochs: usize) {
+        self.hub.set_retention(epochs);
     }
 
     /// The live blocks with their member rows as `(global index, row id)`
@@ -504,7 +575,7 @@ impl IncrementalEngine {
                 .expect("every live block has a cached repair");
             debug_assert_eq!(repair.rows.len(), globals.len(), "stale block cache");
             debug_assert_eq!(
-                repair.stamp,
+                self.stamp,
                 self.engine.plan().stamp(),
                 "block cache is stale relative to the plan — was the plan \
                  mutated without going through apply_master_append?"

@@ -37,7 +37,14 @@
 //!   deltas, and merging per-shard caches back into the canonical snapshot;
 //! * [`EntitySession`] — ground-once state for the interactive framework
 //!   (`relacc_framework::run_session` opens one per session and reuses its
-//!   `Γ` across user rounds).
+//!   `Γ` across user rounds);
+//! * [`EpochHub`] / [`Epoch`] — the concurrent read path: every mutation of
+//!   an incremental or sharded engine publishes an immutable epoch (pinned
+//!   row set + block cache), so readers get O(block) point reads
+//!   ([`Epoch::repaired_row`], [`Epoch::entity_result`]) and snapshot
+//!   deltas ([`EpochHub::changes_since`]) without ever blocking the writer.
+//!   The `relacc-serve` crate wraps this into a serving API with change
+//!   feeds.
 //!
 //! The parallel batch output is deterministic: results come back in input
 //! order and are bit-identical to a sequential `is_cr` loop over the same
@@ -80,6 +87,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod epoch;
 pub mod incremental;
 pub mod pool;
 pub mod session;
@@ -87,6 +95,10 @@ pub mod sharded;
 
 pub use batch::{
     BatchEngine, BatchReport, EngineConfig, EntityOutcome, EntityResult, RelationRepair, RepairSkip,
+};
+pub use epoch::{
+    assemble_views, BlockChange, BlockView, EntityView, Epoch, EpochError, EpochHub, EpochId,
+    SnapshotDelta,
 };
 pub use incremental::{IncrementalEngine, IncrementalError, IncrementalStats, UpdateOutcome};
 pub use pool::par_map_with;

@@ -48,6 +48,7 @@
 //! the per-shard `rows_fingerprinted` / `fingerprints_reused` counters.
 
 use crate::batch::{BatchEngine, RelationRepair};
+use crate::epoch::{Epoch, EpochError, EpochHub, EpochId, ShardView, SnapshotDelta};
 use crate::incremental::{
     assemble_repair, AssembledBlock, IncrementalEngine, IncrementalError, IncrementalStats,
     UpdateOutcome,
@@ -56,13 +57,13 @@ use crate::pool::par_map_with;
 use relacc_model::{SchemaRef, Value};
 use relacc_resolve::{BlockKey, Blocker, ResolveConfig};
 use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError};
-use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 /// The shard a block key routes to: FNV-1a over the key bytes (or the global
 /// row id for singletons), fixed so the assignment is stable across runs and
 /// platforms.  Pure function of the key — never of arrival order.
-fn shard_of(key: &BlockKey, shards: usize) -> usize {
+pub(crate) fn shard_of(key: &BlockKey, shards: usize) -> usize {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = OFFSET;
@@ -105,10 +106,13 @@ pub struct ShardedEngine {
     /// override, which bounds both levels at once).
     threads: usize,
     shards: Vec<IncrementalEngine>,
-    /// Live global row id → (shard, shard-local row id).
-    route: HashMap<RowId, (usize, RowId)>,
-    /// Per shard: shard-local row id → global row id.
-    global_of_local: Vec<HashMap<RowId, RowId>>,
+    /// Live global row id → (shard, shard-local row id).  `Arc`'d so
+    /// published epochs pin the routing they were built under; the router
+    /// copies on write while an epoch shares it.
+    route: Arc<HashMap<RowId, (usize, RowId)>>,
+    /// Per shard: shard-local row id → global row id (copy-on-write like
+    /// `route`).
+    global_of_local: Vec<Arc<HashMap<RowId, RowId>>>,
     /// Next global row id (sequential in insertion order, never reused —
     /// the same contract a single `VersionedRelation` follows).
     next_global: u64,
@@ -116,6 +120,13 @@ pub struct ShardedEngine {
     next_local: Vec<u64>,
     /// Corpus generation: +1 per applied row batch.
     generation: Generation,
+    /// The publish/pin rendezvous: one **combined** epoch per committed
+    /// router-level mutation (per-shard intermediate states are never
+    /// visible to sharded readers, so a pinned epoch is never torn).
+    hub: EpochHub,
+    /// Memoized full snapshot: the epoch it was assembled at plus the
+    /// assembly.  Reused until some epoch actually dirties a block.
+    snapshot_cache: Mutex<Option<(EpochId, Arc<RelationRepair>)>>,
 }
 
 impl ShardedEngine {
@@ -153,24 +164,31 @@ impl ShardedEngine {
             global_of_local[shard].insert(lid, gid);
         }
 
-        let shards = parts
+        let shards: Vec<IncrementalEngine> = parts
             .iter()
             .map(|part| {
                 IncrementalEngine::open(engine.clone(), name.clone(), part, resolve.clone())
             })
             .collect();
-        ShardedEngine {
+        let this = ShardedEngine {
             name,
             schema,
             blocker,
             threads,
             shards,
-            route,
-            global_of_local,
+            route: Arc::new(route),
+            global_of_local: global_of_local.into_iter().map(Arc::new).collect(),
             next_global: relation.len() as u64,
             next_local,
             generation: Generation(0),
-        }
+            hub: EpochHub::new(),
+            snapshot_cache: Mutex::new(None),
+        };
+        // seed epoch: every block is "dirty" relative to nothing
+        let all: Vec<usize> = (0..this.shards.len()).collect();
+        let dirty = this.globalized_dirty(&all, &[]);
+        this.publish(dirty);
+        this
     }
 
     /// Number of shards.
@@ -250,13 +268,20 @@ impl ShardedEngine {
 
         // split: deletes route through the live map, inserts by blocking key
         // (global ids are assigned after all deletes, like the single
-        // engine's deletes-then-inserts contract)
+        // engine's deletes-then-inserts contract).  The id maps copy on
+        // write while a published epoch pins them; `retired` remembers this
+        // batch's deleted local→global pairs so their singleton dirty keys
+        // can still be globalized after the maps forget them.
         let mut subs: Vec<UpdateBatch> = (0..self.shards.len())
             .map(|_| UpdateBatch::new(self.name.clone()))
             .collect();
+        let mut retired: Vec<HashMap<RowId, RowId>> = vec![HashMap::new(); self.shards.len()];
         for &gid in &batch.deletes {
-            let (shard, lid) = self.route.remove(&gid).expect("validated as live above");
-            self.global_of_local[shard].remove(&lid);
+            let (shard, lid) = Arc::make_mut(&mut self.route)
+                .remove(&gid)
+                .expect("validated as live above");
+            Arc::make_mut(&mut self.global_of_local[shard]).remove(&lid);
+            retired[shard].insert(lid, gid);
             subs[shard].deletes.push(lid);
         }
         for row in &batch.inserts {
@@ -266,8 +291,8 @@ impl ShardedEngine {
             let shard = shard_of(&key, self.shards.len());
             let lid = RowId(self.next_local[shard]);
             self.next_local[shard] += 1;
-            self.route.insert(gid, (shard, lid));
-            self.global_of_local[shard].insert(lid, gid);
+            Arc::make_mut(&mut self.route).insert(gid, (shard, lid));
+            Arc::make_mut(&mut self.global_of_local[shard]).insert(lid, gid);
             subs[shard].inserts.push(row.clone());
         }
         self.generation = Generation(self.generation.0 + 1);
@@ -298,6 +323,10 @@ impl ShardedEngine {
             },
         );
         drop(jobs);
+        let mut ordered: Vec<usize> = touched.iter().copied().collect();
+        ordered.sort_unstable();
+        let dirty = self.globalized_dirty(&ordered, &retired);
+        self.publish(dirty);
         Ok(self.merge_outcomes(outcomes, &touched))
     }
 
@@ -338,7 +367,94 @@ impl ShardedEngine {
             "broadcast master deltas must keep the shard plans in lockstep"
         );
         let touched: HashSet<usize> = (0..self.shards.len()).collect();
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let dirty = self.globalized_dirty(&all, &[]);
+        self.publish(dirty);
         Ok(self.merge_outcomes(outcomes, &touched))
+    }
+
+    /// The combined dirty set of the given shards' latest per-shard epochs,
+    /// re-keyed to global currency: singleton keys carry shard-local row ids
+    /// (two shards can collide on them), so they are rewritten to the global
+    /// id — through the live maps, or through this batch's `retired` pairs
+    /// for rows the same batch deleted.
+    fn globalized_dirty(
+        &self,
+        shard_indices: &[usize],
+        retired: &[HashMap<RowId, RowId>],
+    ) -> BTreeMap<BlockKey, (usize, BlockKey)> {
+        let mut dirty = BTreeMap::new();
+        for &idx in shard_indices {
+            let epoch = self.shards[idx].current_epoch();
+            for local_key in epoch.dirty_keys() {
+                let global_key = match local_key {
+                    BlockKey::Singleton(lid) => {
+                        let gid = self.global_of_local[idx]
+                            .get(lid)
+                            .copied()
+                            .or_else(|| retired.get(idx).and_then(|m| m.get(lid)).copied())
+                            .expect("a dirty singleton row is live or was retired by this batch");
+                        BlockKey::Singleton(gid)
+                    }
+                    key @ BlockKey::Key(_) => key.clone(),
+                };
+                dirty.insert(global_key, (idx, local_key.clone()));
+            }
+        }
+        dirty
+    }
+
+    /// Publish the router's current state as one combined epoch: every
+    /// shard's pinned rows + block cache (taken from the shard's own latest
+    /// epoch, so they are exactly what the shard just committed) plus the
+    /// pinned global↔local id maps.
+    fn publish(&self, dirty: BTreeMap<BlockKey, (usize, BlockKey)>) {
+        let shards: Vec<ShardView> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(idx, shard)| {
+                let epoch = shard.current_epoch();
+                ShardView {
+                    rows: epoch.shards[0].rows.clone(),
+                    blocks: Arc::clone(&epoch.shards[0].blocks),
+                    to_global: Some(Arc::clone(&self.global_of_local[idx])),
+                }
+            })
+            .collect();
+        self.hub.publish(Epoch {
+            id: EpochId(0), // assigned by the hub
+            generation: self.generation,
+            stamp: self.shards[0].engine().plan().stamp(),
+            schema: self.schema.clone(),
+            blocker: Arc::new(self.blocker.clone()),
+            threads: self.threads,
+            shards,
+            route: Some(Arc::clone(&self.route)),
+            dirty: Arc::new(dirty),
+        });
+    }
+
+    /// A cloneable handle to the router's epoch hub — the read side of the
+    /// serving layer (combined epochs only; per-shard states are internal).
+    pub fn epochs(&self) -> EpochHub {
+        self.hub.clone()
+    }
+
+    /// Pin the router's current combined epoch.
+    pub fn current_epoch(&self) -> Arc<Epoch> {
+        self.hub.current()
+    }
+
+    /// Everything that changed since generation `since`, at block
+    /// granularity (see [`EpochHub::changes_since`]).
+    pub fn changes_since(&self, since: Generation) -> Result<SnapshotDelta, EpochError> {
+        self.hub.changes_since(since)
+    }
+
+    /// How many epochs stay reachable for generation-addressed reads.
+    pub fn set_epoch_retention(&self, epochs: usize) {
+        self.hub.set_retention(epochs);
     }
 
     /// Sum per-shard outcomes; untouched shards contribute their cached
@@ -417,7 +533,32 @@ impl ShardedEngine {
     /// every within-block ordering, and the shared `assemble_repair` puts
     /// blocks and entities into the canonical ascending-smallest-member
     /// order.
-    pub fn snapshot(&self) -> RelationRepair {
+    ///
+    /// Memoized on the epoch stamps: if every epoch published since the last
+    /// assembly carried an empty dirty set (e.g. a master append that
+    /// revalidated every block without changing any repair), the previous
+    /// `Arc` is returned without rebuilding anything.
+    pub fn snapshot(&self) -> Arc<RelationRepair> {
+        let current = self.hub.current();
+        let mut cache = self
+            .snapshot_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((seen, snap)) = cache.as_ref() {
+            let unchanged = *seen == current.id() || self.hub.any_dirty_since(*seen) == Some(false);
+            if unchanged {
+                let snap = Arc::clone(snap);
+                *cache = Some((current.id(), snap.clone()));
+                return snap;
+            }
+        }
+        let snap = Arc::new(self.assemble_full());
+        *cache = Some((current.id(), Arc::clone(&snap)));
+        snap
+    }
+
+    /// The unmemoized full assembly behind [`ShardedEngine::snapshot`].
+    fn assemble_full(&self) -> RelationRepair {
         let (relation, pos_map) = self.global_rows();
         let mut blocks: Vec<AssembledBlock> = Vec::new();
         for (shard_idx, shard) in self.shards.iter().enumerate() {
@@ -716,6 +857,51 @@ mod tests {
                 .value(AttrId(1)),
             &Value::text("red")
         );
+    }
+
+    /// Regression: `snapshot` used to rebuild the full merge even when no
+    /// shard was dirty.  The epoch stamps now prove cleanliness, so repeated
+    /// snapshots — and snapshots across a no-op master append — return the
+    /// same `Arc` without any assembly work.
+    #[test]
+    fn clean_snapshots_are_memoized() {
+        let mut engine = open(3);
+        // drop the null-name singleton first: its deduced name stays null,
+        // which makes *every* master append conservatively dirty its block
+        engine
+            .apply(&UpdateBatch::new("stat").delete(RowId(4)))
+            .unwrap();
+        let first = engine.snapshot();
+        let second = engine.snapshot();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "back-to-back snapshots must reuse the memoized assembly"
+        );
+        // a master append matching no live entity revalidates every block
+        // unchanged: the published epoch carries an empty dirty set
+        engine
+            .apply_master_append(0, vec![vec![Value::text("zz"), Value::text("Nobody")]])
+            .unwrap();
+        assert!(
+            engine.current_epoch().dirty_keys().next().is_none(),
+            "the no-op master append must publish a clean epoch"
+        );
+        let third = engine.snapshot();
+        assert!(
+            Arc::ptr_eq(&first, &third),
+            "a clean master append must not invalidate the memo"
+        );
+        // a real row batch does invalidate it
+        engine
+            .apply(&UpdateBatch::new("stat").insert(vec![
+                Value::text("mj"),
+                Value::Int(40),
+                Value::Null,
+            ]))
+            .unwrap();
+        let fourth = engine.snapshot();
+        assert!(!Arc::ptr_eq(&first, &fourth), "dirty batches rebuild");
+        assert_matches_full(&engine, "after-memoized-snapshots");
     }
 
     #[test]

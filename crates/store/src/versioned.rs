@@ -45,6 +45,7 @@ use crate::relation::Relation;
 use relacc_model::{SchemaError, SchemaRef, Tuple, Value};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A relation generation: 0 for the seed state, +1 per applied update batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -57,6 +58,12 @@ pub struct RowId(pub u64);
 impl fmt::Display for RowId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Generation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
     }
 }
 
@@ -186,16 +193,73 @@ pub fn validate_batch(
     Ok(doomed)
 }
 
+/// A pinned, immutable view of a [`VersionedRelation`]'s rows at one
+/// generation — the storage half of an engine *epoch*.
+///
+/// The handle is a cheap `Arc` clone of the relation's row vector: holding
+/// one never blocks subsequent [`VersionedRelation::apply`] calls (the
+/// relation copies on write when its rows are shared), and the pinned rows
+/// never change underneath the holder.  Rows are in insertion order, which
+/// by the row-id contract is ascending [`RowId`] order, so
+/// [`RelationEpoch::row`] resolves an id by binary search — O(log n) with no
+/// side index to pin.
+#[derive(Debug, Clone)]
+pub struct RelationEpoch {
+    schema: SchemaRef,
+    generation: Generation,
+    rows: Arc<Vec<VersionedRow>>,
+}
+
+impl RelationEpoch {
+    /// The relation schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// The generation this epoch pins.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// The pinned live rows in insertion (= ascending id) order.
+    pub fn rows(&self) -> &[VersionedRow] {
+        &self.rows
+    }
+
+    /// Number of pinned rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the epoch pins no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The pinned row with the given id, if it was live at this epoch
+    /// (binary search over the ascending-id row order).
+    pub fn row(&self, id: RowId) -> Option<&VersionedRow> {
+        self.rows
+            .binary_search_by_key(&id, |r| r.id)
+            .ok()
+            .map(|pos| &self.rows[pos])
+    }
+}
+
 /// A relation with stable row ids and per-tuple generation stamps.
 ///
 /// Id lookups go through a maintained position index, so [`VersionedRelation::row`]
 /// and delete validation stay O(1) per id regardless of relation size (the
 /// index is rebuilt once per batch after deletes shift positions).
+///
+/// Rows are held behind an [`Arc`] so [`VersionedRelation::epoch`] can hand
+/// out immutable pinned views for free; [`VersionedRelation::apply`] copies
+/// the row vector on write only while an epoch actually pins it.
 #[derive(Debug, Clone)]
 pub struct VersionedRelation {
     schema: SchemaRef,
     /// Live rows in insertion order (deletes preserve relative order).
-    rows: Vec<VersionedRow>,
+    rows: Arc<Vec<VersionedRow>>,
     /// Position of every live row id in `rows`.
     by_id: HashMap<RowId, usize>,
     generation: Generation,
@@ -217,7 +281,7 @@ impl VersionedRelation {
     pub fn new(schema: SchemaRef) -> Self {
         VersionedRelation {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
             by_id: HashMap::new(),
             generation: Generation(0),
             next_row: 0,
@@ -241,7 +305,7 @@ impl VersionedRelation {
             schema: relation.schema().clone(),
             next_row: rows.len() as u64,
             by_id: rows.iter().enumerate().map(|(i, r)| (r.id, i)).collect(),
-            rows,
+            rows: Arc::new(rows),
             generation: Generation(0),
         }
     }
@@ -276,11 +340,23 @@ impl VersionedRelation {
         self.by_id.get(&id).map(|&pos| &self.rows[pos])
     }
 
+    /// Pin the current rows as an immutable [`RelationEpoch`].
+    ///
+    /// O(1): the handle shares the row vector; a later [`Self::apply`]
+    /// copies on write instead of mutating what the epoch pinned.
+    pub fn epoch(&self) -> RelationEpoch {
+        RelationEpoch {
+            schema: self.schema.clone(),
+            generation: self.generation,
+            rows: Arc::clone(&self.rows),
+        }
+    }
+
     /// The current state as a plain [`Relation`] (live rows in insertion
     /// order) — the view the batch pipeline repairs.
     pub fn snapshot(&self) -> Relation {
         let mut out = Relation::new(self.schema.clone());
-        for row in &self.rows {
+        for row in self.rows.iter() {
             out.push_row(row.tuple.values().to_vec())
                 .expect("live rows were validated on insert");
         }
@@ -298,8 +374,10 @@ impl VersionedRelation {
 
         let mut deleted = Vec::with_capacity(batch.deletes.len());
         if !batch.deletes.is_empty() {
+            // copy-on-write: clones the vector only while an epoch pins it
+            let rows = Arc::make_mut(&mut self.rows);
             let mut removed: BTreeMap<RowId, Tuple> = BTreeMap::new();
-            self.rows.retain(|r| {
+            rows.retain(|r| {
                 if doomed.contains(&r.id) {
                     removed.insert(r.id, r.tuple.clone());
                     false
@@ -322,11 +400,12 @@ impl VersionedRelation {
 
         self.generation = Generation(self.generation.0 + 1);
         let mut inserted = Vec::with_capacity(batch.inserts.len());
+        let rows = Arc::make_mut(&mut self.rows);
         for row in &batch.inserts {
             let id = RowId(self.next_row);
             self.next_row += 1;
-            self.by_id.insert(id, self.rows.len());
-            self.rows.push(VersionedRow {
+            self.by_id.insert(id, rows.len());
+            rows.push(VersionedRow {
                 id,
                 inserted_at: self.generation,
                 tuple: Tuple::new(row.clone()),
@@ -473,6 +552,37 @@ mod tests {
             .unwrap();
         assert_eq!(applied.inserted, vec![RowId(3)]);
         assert_eq!(v.generation(), Generation(2));
+    }
+
+    #[test]
+    fn epochs_pin_rows_across_later_batches() {
+        let mut v = VersionedRelation::from_relation(&seed());
+        let pinned = v.epoch();
+        assert_eq!(pinned.generation(), Generation(0));
+        assert_eq!(pinned.len(), 3);
+
+        // mutate the relation underneath the pin: the epoch must not move
+        v.apply(
+            &UpdateBatch::new("r")
+                .delete(RowId(1))
+                .insert(vec![Value::text("d"), Value::Int(4)]),
+        )
+        .unwrap();
+        assert_eq!(pinned.len(), 3, "pinned rows are immutable");
+        assert_eq!(
+            pinned.row(RowId(1)).unwrap().tuple.values()[1],
+            Value::Int(2)
+        );
+        assert!(pinned.row(RowId(3)).is_none(), "insert is after the pin");
+
+        // a fresh epoch sees the new state; id lookups binary-search the
+        // ascending-id row order
+        let now = v.epoch();
+        assert_eq!(now.generation(), Generation(1));
+        assert!(now.row(RowId(1)).is_none());
+        assert_eq!(now.row(RowId(3)).unwrap().inserted_at, Generation(1));
+        assert_eq!(now.rows().len(), v.rows().len());
+        assert!(now.row(RowId(99)).is_none());
     }
 
     #[test]

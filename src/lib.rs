@@ -21,6 +21,7 @@
 //! | [`db`] | `relacc-db` | deprecated facade over [`resolve`] + [`engine`] (kept for compatibility) |
 //! | [`core`] | `relacc-core` | accuracy rules, the chase, Church-Rosser checking (IsCR), compile-once chase plans |
 //! | [`engine`] | `relacc-engine` | the compile-once / evaluate-many parallel batch engine |
+//! | [`serve`] | `relacc-serve` | concurrent serving: generation-pinned reads, snapshot deltas, change feeds |
 //! | [`topk`] | `relacc-topk` | preference model, RankJoinCT, TopKCT, TopKCTh |
 //! | [`framework`] | `relacc-framework` | the interactive deduction framework (Fig. 3) |
 //! | [`fusion`] | `relacc-fusion` | voting, DeduceOrder, copyCEF, evaluation metrics |
@@ -53,5 +54,6 @@ pub use relacc_fusion as fusion;
 pub use relacc_heap as heap;
 pub use relacc_model as model;
 pub use relacc_resolve as resolve;
+pub use relacc_serve as serve;
 pub use relacc_store as store;
 pub use relacc_topk as topk;

@@ -1,22 +1,18 @@
-//! Differential guard for the batch-pipeline absorption: the deprecated
-//! `relacc_db::batch::repair_database` shim and a directly-constructed
-//! `relacc_engine::BatchEngine::repair_relation` must produce identical
-//! outcomes, repaired rows and counts — on the paper-example corpus and on a
-//! dirty relation flattened from the Rest workload, single- and
-//! multi-threaded.
+//! Differential guard for the batch pipeline: a directly-constructed
+//! `relacc_engine::BatchEngine::repair_relation` must agree, entity by
+//! entity, with [`legacy_oracle`] — an independent replication of the
+//! original recompiling pipeline (fresh `Specification` + `is_cr` per
+//! entity, fresh `CandidateSearch::prepare` per suggestion) — on the
+//! paper-example corpus and on a dirty relation flattened from the Rest
+//! workload, single- and multi-threaded.
 //!
-//! Since the shim *delegates* to the engine, the shim-vs-engine comparison
-//! pins the `BatchConfig` → `EngineConfig` mapping and the delegation wiring
-//! (plus thread-count invariance).  The behavioral guard against the
-//! absorption itself is two-fold: [`legacy_oracle`] replicates the retired
-//! `relacc_db::batch` pipeline (fresh `Specification` + `is_cr` per entity,
-//! fresh `CandidateSearch::prepare` per suggestion) and every engine result
-//! is compared against it entity by entity, and the paper-example test pins
-//! golden outcomes (the paper's expected Jordan target, the outcome mix), so
-//! a semantic drift that moves shim and engine together still trips the
-//! oracle or the golden values.
-
-#![allow(deprecated)]
+//! This test used to route through the deprecated `relacc_db` facade; the
+//! shim is retired (see `crates/db/README.md`) and the engine path is pinned
+//! directly.  The behavioral guard is unchanged and two-fold: the oracle
+//! catches any semantic drift of the compile-once engine against the
+//! per-entity pipeline it absorbed, and the paper-example test pins golden
+//! outcomes (the paper's expected Jordan target, the outcome mix), so a
+//! drift that moves engine and oracle together still trips the goldens.
 
 use relacc::core::chase::is_cr;
 use relacc::core::{RuleSet, Specification};
@@ -24,76 +20,66 @@ use relacc::datagen::paper_example::{
     expected_target, nba_master, paper_rules, stat_instance, stat_schema,
 };
 use relacc::datagen::rest::{rest, RestConfig};
-use relacc::db::{repair_database, BatchConfig};
 use relacc::engine::{BatchEngine, EntityOutcome, RelationRepair};
 use relacc::model::{DataType, MasterRelation, Schema, TargetTuple, Value};
 use relacc::resolve::{resolve_relation, BlockingStrategy, ResolveConfig};
 use relacc::store::Relation;
 use relacc::topk::{topkct, CandidateSearch, PreferenceModel};
 
-fn assert_same_repair(shim: &RelationRepair, direct: &RelationRepair, label: &str) {
+const SUGGESTION_K: usize = 5;
+
+fn assert_same_repair(a: &RelationRepair, b: &RelationRepair, label: &str) {
     assert_eq!(
-        shim.report.entities.len(),
-        direct.report.entities.len(),
+        a.report.entities.len(),
+        b.report.entities.len(),
         "{label}: entity count"
     );
-    for (a, b) in shim
-        .report
-        .entities
-        .iter()
-        .zip(direct.report.entities.iter())
-    {
-        assert_eq!(a.entity, b.entity, "{label}: entity index");
-        assert_eq!(a.records, b.records, "{label}: entity {} records", a.entity);
-        assert_eq!(a.outcome, b.outcome, "{label}: entity {} outcome", a.entity);
-        assert_eq!(a.deduced, b.deduced, "{label}: entity {} deduced", a.entity);
+    for (x, y) in a.report.entities.iter().zip(b.report.entities.iter()) {
+        assert_eq!(x.entity, y.entity, "{label}: entity index");
+        assert_eq!(x.records, y.records, "{label}: entity {} records", x.entity);
+        assert_eq!(x.outcome, y.outcome, "{label}: entity {} outcome", x.entity);
+        assert_eq!(x.deduced, y.deduced, "{label}: entity {} deduced", x.entity);
         assert_eq!(
-            a.suggestion, b.suggestion,
+            x.suggestion, y.suggestion,
             "{label}: entity {} suggestion",
-            a.entity
+            x.entity
         );
         assert_eq!(
-            a.suggestion_error, b.suggestion_error,
+            x.suggestion_error, y.suggestion_error,
             "{label}: entity {} suggestion error",
-            a.entity
+            x.entity
         );
     }
+    assert_eq!(a.report.complete, b.report.complete, "{label}: complete");
+    assert_eq!(a.report.suggested, b.report.suggested, "{label}: suggested");
     assert_eq!(
-        shim.report.complete, direct.report.complete,
-        "{label}: complete"
-    );
-    assert_eq!(
-        shim.report.suggested, direct.report.suggested,
-        "{label}: suggested"
-    );
-    assert_eq!(
-        shim.report.needs_user, direct.report.needs_user,
+        a.report.needs_user, b.report.needs_user,
         "{label}: needs_user"
     );
     assert_eq!(
-        shim.report.not_church_rosser, direct.report.not_church_rosser,
+        a.report.not_church_rosser, b.report.not_church_rosser,
         "{label}: not_church_rosser"
     );
     assert_eq!(
-        shim.report.suggestion_errors, direct.report.suggestion_errors,
+        a.report.suggestion_errors, b.report.suggestion_errors,
         "{label}: suggestion_errors"
     );
     assert_eq!(
-        shim.repaired.rows(),
-        direct.repaired.rows(),
+        a.repaired.rows(),
+        b.repaired.rows(),
         "{label}: repaired rows"
     );
     assert_eq!(
-        shim.row_entities, direct.row_entities,
+        a.row_entities, b.row_entities,
         "{label}: row/entity mapping"
     );
-    assert_eq!(shim.skipped, direct.skipped, "{label}: skipped entities");
+    assert_eq!(a.skipped, b.skipped, "{label}: skipped entities");
 }
 
-/// The retired `relacc_db::batch::repair_entity` pipeline, replicated
-/// independently of the engine: fresh `Specification` + `is_cr` per entity,
-/// and a fresh `CandidateSearch::prepare` (own grounding) for suggestions.
-/// Returns `(is_church_rosser, deduced, suggestion)` per resolved entity.
+/// The retired per-entity pipeline, replicated independently of the engine:
+/// fresh `Specification` + `is_cr` per entity, and a fresh
+/// `CandidateSearch::prepare` (own grounding) for suggestions.  Returns
+/// `(is_church_rosser, deduced, suggestion)` per resolved entity.
 fn legacy_oracle(
     relation: &Relation,
     rules: &RuleSet,
@@ -138,29 +124,15 @@ fn run_differential(
 ) {
     // the engine must agree, entity by entity, with the retired recompiling
     // pipeline — this is the guard that the absorption preserved behavior
-    let oracle = legacy_oracle(relation, rules, master, resolve, 5);
+    let oracle = legacy_oracle(relation, rules, master, resolve, SUGGESTION_K);
     let mut single: Option<RelationRepair> = None;
     for threads in [1usize, 4] {
-        let config = BatchConfig::new(resolve.clone()).with_threads(threads);
-        let shim = repair_database(relation, rules, master, &config);
         let masters = master.map(|im| vec![im.clone()]).unwrap_or_default();
         let direct = BatchEngine::new(relation.schema().clone(), rules.clone(), masters)
             .expect("rules validate")
             .with_threads(threads)
-            .with_suggestion_k(config.suggestion_k)
+            .with_suggestion_k(SUGGESTION_K)
             .repair_relation(relation, resolve);
-        assert_same_repair(&shim, &direct, &format!("{label}/threads={threads}"));
-        // Stats drift guard for the checkpointed-check counters: the shim is
-        // a pure delegation, so its aggregated ChaseStats — including the new
-        // full_checks / delta_checks / delta_steps_replayed — must be
-        // bit-identical to the engine's.  (The legacy oracle below is only
-        // compared on *outcomes*: its recompiling pipeline counts work
-        // differently, and that is allowed — counters may differ, outcomes
-        // may not.)
-        assert_eq!(
-            shim.report.stats, direct.report.stats,
-            "{label}/threads={threads}: aggregated ChaseStats"
-        );
         assert_eq!(
             direct.report.stats.full_checks, 0,
             "{label}/threads={threads}: the batch suggestion path must never \
@@ -202,10 +174,12 @@ fn run_differential(
         }
         // thread count must not change the result either
         match &single {
-            None => single = Some(shim),
-            Some(reference) => {
-                assert_same_repair(reference, &shim, &format!("{label}/1-vs-{threads}-threads"))
-            }
+            None => single = Some(direct),
+            Some(reference) => assert_same_repair(
+                reference,
+                &direct,
+                &format!("{label}/1-vs-{threads}-threads"),
+            ),
         }
     }
 }
@@ -214,7 +188,7 @@ fn run_differential(
 /// Jordan's rows plus a second fabricated player, repaired with the full rule
 /// set ϕ1–ϕ11 and the `nba` master relation.
 #[test]
-fn shim_matches_engine_on_the_paper_example() {
+fn engine_matches_oracle_on_the_paper_example() {
     let schema = stat_schema();
     let mut rows: Vec<Vec<Value>> = stat_instance()
         .tuples()
@@ -271,7 +245,7 @@ fn shim_matches_engine_on_the_paper_example() {
 /// first restaurants, tagged with the restaurant name so exact-key blocking
 /// reconstructs the per-restaurant entities, repaired with the corpus rules.
 #[test]
-fn shim_matches_engine_on_the_rest_corpus() {
+fn engine_matches_oracle_on_the_rest_corpus() {
     let data = rest(&RestConfig::scaled(0.01, 7));
     // extend the listing schema (source, snapshot, closed) with the restaurant
     // name; the corpus rules keep their attribute ids 0..2

@@ -18,6 +18,10 @@
 //!   (the fingerprint cascade on the adversarial large-block shape, PR 6) —
 //!   the cascade must actually retire most candidate pairs, not just win on
 //!   timing noise;
+//! * `BENCH_serve.json`: `read_vs_snapshot_speedup ≥ 10` over at least one
+//!   real read (`reads ≥ 1`, `batches ≥ 1`, `entities ≥ 1`) — the
+//!   epoch-pinned point read must beat the snapshot-per-read baseline by an
+//!   order of magnitude on the mixed Med stream (PR 7);
 //! * every gated number must be present, finite and non-negative.
 //!
 //! Usage: `bench-gate [--root <dir>]` (the root defaults to the workspace
@@ -211,6 +215,27 @@ fn gates(file_name: &str) -> (Vec<Floor>, Vec<Ceiling>) {
                 maximum: 1.0,
             }],
         ),
+        "BENCH_serve.json" => (
+            vec![
+                Floor {
+                    field: "read_vs_snapshot_speedup",
+                    minimum: 10.0,
+                },
+                Floor {
+                    field: "entities",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "batches",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "reads",
+                    minimum: 1.0,
+                },
+            ],
+            vec![],
+        ),
         "BENCH_sharded.json" => (
             vec![
                 Floor {
@@ -399,6 +424,18 @@ mod tests {
   "smoke": false
 }"#;
 
+    const GOOD_SERVE: &str = r#"{
+  "bench": "serve",
+  "corpus": "med-mixed",
+  "entities": 2158,
+  "batches": 8,
+  "reads": 64,
+  "point_read_ms_median": 0.267,
+  "snapshot_read_ms_median": 31.873,
+  "read_vs_snapshot_speedup": 119.38,
+  "smoke": false
+}"#;
+
     const GOOD_SHARDED: &str = r#"{
   "bench": "sharded",
   "corpus": "med-hot",
@@ -428,6 +465,7 @@ mod tests {
         assert!(check_report("BENCH_incremental.json", GOOD_INCREMENTAL).is_empty());
         assert!(check_report("BENCH_sharded.json", GOOD_SHARDED).is_empty());
         assert!(check_report("BENCH_resolve.json", GOOD_RESOLVE).is_empty());
+        assert!(check_report("BENCH_serve.json", GOOD_SERVE).is_empty());
         // unknown reports only need the shared invariants
         assert!(check_report("BENCH_new.json", r#"{"x": 1, "smoke": false}"#).is_empty());
     }
@@ -477,6 +515,28 @@ mod tests {
         // smoke-marked resolve reports are rejected like every other report
         let smoked = GOOD_RESOLVE.replace("\"smoke\": false", "\"smoke\": true");
         assert!(check_report("BENCH_resolve.json", &smoked)
+            .iter()
+            .any(|v| v.contains("smoke run")));
+    }
+
+    #[test]
+    fn serve_gates_are_enforced() {
+        // speedup floor: a 6x serving layer regresses below the required 10x
+        let regressed = GOOD_SERVE.replace("119.38", "6.0");
+        let violations = check_report("BENCH_serve.json", &regressed);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("read_vs_snapshot_speedup"));
+        // a zero-read run proves nothing about read latency
+        let unread = GOOD_SERVE.replace("\"reads\": 64", "\"reads\": 0");
+        assert!(check_report("BENCH_serve.json", &unread)
+            .iter()
+            .any(|v| v.contains("reads")));
+        // the gated field must be present
+        let missing = GOOD_SERVE.replace("read_vs_snapshot_speedup", "other");
+        assert!(!check_report("BENCH_serve.json", &missing).is_empty());
+        // smoke-marked serve reports are rejected like every other report
+        let smoked = GOOD_SERVE.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(check_report("BENCH_serve.json", &smoked)
             .iter()
             .any(|v| v.contains("smoke run")));
     }
