@@ -22,6 +22,7 @@ pub use iscr::{
     ChaseStats, Conflict, IsCrOutcome,
 };
 pub use plan::{
-    ChasePlan, ChaseScratch, MasterDeltaApplied, MasterUpdate, PlanDeltaError, PlanStamp,
+    ChasePlan, ChaseScratch, GroundedMasterDelta, MasterDeltaApplied, MasterUpdate, PlanDeltaError,
+    PlanStamp,
 };
 pub use spec::{AccuracyInstance, Specification, SpecificationError};

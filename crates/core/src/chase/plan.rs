@@ -122,14 +122,62 @@ impl MasterUpdate {
 pub struct MasterDeltaApplied {
     /// The plan's stamp after the delta.
     pub stamp: PlanStamp,
-    /// Indices into [`ChasePlan::master_steps`] of the ground steps the delta
-    /// added (the only steps a cached repair needs to test entities against).
+    /// Flattened indices (into the plan's pre-grounded step sequence, counted
+    /// by [`ChasePlan::master_step_count`]) of the ground steps the delta
+    /// added — the only steps a cached repair needs to test entities against.
     pub new_steps: Range<usize>,
     /// Number of master tuples appended.
     pub appended: usize,
 }
 
-/// Errors from [`ChasePlan::apply_master_delta`].
+/// A master-data append grounded **once** against a plan state, ready to be
+/// adopted by any plan clone sharing that state.
+///
+/// Produced by [`ChasePlan::ground_master_delta`]; consumed by
+/// [`ChasePlan::adopt_master_delta`].  The appended rows are validated and
+/// interned, and the contributed ground steps (already duplicate-folded
+/// exactly like compilation) sit behind an `Arc`, so `N` plan clones adopting
+/// the same delta — the sharded engine's broadcast — share one immutable step
+/// block instead of re-running the `|Σ2| × |Δ|` grounding loop `N` times.
+#[derive(Debug, Clone)]
+pub struct GroundedMasterDelta {
+    /// The stamp of the plan state the delta was grounded against; adoption
+    /// demands an exact match.
+    base: PlanStamp,
+    /// Index of the master relation the rows extend.
+    master: usize,
+    /// The validated, interned rows to append.
+    rows: Vec<Vec<Value>>,
+    /// The pre-grounded form-(2) steps the rows contribute, post-folding,
+    /// shared by every adopter.
+    steps: Arc<Vec<GroundStep>>,
+    /// Master tuples the grounding loop considered.
+    tuples_considered: usize,
+    /// Candidate steps folded away as duplicates.
+    folded_away: usize,
+}
+
+impl GroundedMasterDelta {
+    /// The plan state the delta was grounded against.
+    pub fn base(&self) -> PlanStamp {
+        self.base
+    }
+
+    /// Number of master rows the delta appends.
+    pub fn appended(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The shared, immutable block of ground steps the delta contributes
+    /// (empty when every candidate step folded into an existing one).
+    pub fn steps(&self) -> &Arc<Vec<GroundStep>> {
+        &self.steps
+    }
+}
+
+/// Errors from [`ChasePlan::apply_master_delta`] and the split
+/// [`ChasePlan::ground_master_delta`] / [`ChasePlan::adopt_master_delta`]
+/// pair.
 #[derive(Debug)]
 pub enum PlanDeltaError {
     /// The update targets a master relation the plan does not have.
@@ -139,6 +187,10 @@ pub enum PlanDeltaError {
     /// The update is not a pure append (master deletions, like rule changes,
     /// are not monotone): recompile the plan over the updated inputs instead.
     RequiresRecompile,
+    /// The delta was grounded against a different plan state (other identity
+    /// or other version) than the adopting plan's: re-ground it against the
+    /// current state.
+    StaleDelta,
 }
 
 impl fmt::Display for PlanDeltaError {
@@ -149,6 +201,10 @@ impl fmt::Display for PlanDeltaError {
             PlanDeltaError::RequiresRecompile => write!(
                 f,
                 "master deletions are not monotone; recompile the plan instead"
+            ),
+            PlanDeltaError::StaleDelta => write!(
+                f,
+                "delta was grounded against a different plan state; re-ground it"
             ),
         }
     }
@@ -168,8 +224,14 @@ pub struct ChasePlan {
     schema: SchemaRef,
     rules: Arc<RuleSet>,
     masters: Arc<Vec<MasterRelation>>,
-    /// Pre-grounded form-(2) steps (entity-independent).
-    master_steps: Vec<GroundStep>,
+    /// Pre-grounded form-(2) steps (entity-independent), segmented: one block
+    /// per compilation/adopted delta.  Blocks are immutable and `Arc`-shared,
+    /// so plan clones that adopt the same [`GroundedMasterDelta`] share its
+    /// step storage instead of each owning a copy.
+    master_segments: Vec<Arc<Vec<GroundStep>>>,
+    /// Total step count across [`ChasePlan::master_segments`] (cached so
+    /// flattened index ranges are cheap to hand out).
+    master_step_len: usize,
     master_tuples_considered: usize,
     master_folded_away: usize,
     /// Dedup keys of the pre-grounded steps, kept so master-delta appends can
@@ -204,11 +266,13 @@ impl ChasePlan {
         let mut seen: HashSet<(StepAction, Vec<PendingPred>)> = HashSet::new();
         ground_master_rules(&rules, &masters, &mut grounding, &mut seen);
 
+        let master_step_len = grounding.steps.len();
         Ok(ChasePlan {
             schema,
             rules: Arc::new(rules),
             masters: Arc::new(masters),
-            master_steps: grounding.steps,
+            master_segments: vec![Arc::new(grounding.steps)],
+            master_step_len,
             master_tuples_considered: grounding.master_tuples_considered,
             master_folded_away: grounding.folded_away,
             master_seen: seen,
@@ -246,16 +310,10 @@ impl ChasePlan {
         &self.masters
     }
 
-    /// Number of pre-grounded form-(2) steps.
+    /// Number of pre-grounded form-(2) steps.  The flattened index ranges
+    /// returned by [`ChasePlan::apply_master_delta`] count against this.
     pub fn master_step_count(&self) -> usize {
-        self.master_steps.len()
-    }
-
-    /// The pre-grounded form-(2) steps (entity-independent).  The index
-    /// ranges returned by [`ChasePlan::apply_master_delta`] point into this
-    /// slice.
-    pub fn master_steps(&self) -> &[GroundStep] {
-        &self.master_steps
+        self.master_step_len
     }
 
     /// The plan's current identity + delta version.
@@ -289,13 +347,31 @@ impl ChasePlan {
         &mut self,
         update: &MasterUpdate,
     ) -> Result<MasterDeltaApplied, PlanDeltaError> {
+        let delta = self.ground_master_delta(update)?;
+        self.adopt_master_delta(&delta)
+    }
+
+    /// The grounding half of [`ChasePlan::apply_master_delta`]: validate the
+    /// update, intern its rows and pre-ground the form-(2) steps they
+    /// contribute — **without mutating the plan's logical state**.  The
+    /// returned [`GroundedMasterDelta`] can be adopted by this plan *and* by
+    /// any clone still at the same [`PlanStamp`], so a sharded owner grounds
+    /// a master append exactly once and broadcasts the shared step block.
+    ///
+    /// `&mut self` only because the appended strings are registered with the
+    /// plan's interner; nothing observable by the chase (masters, steps,
+    /// stamp) changes until adoption.
+    pub fn ground_master_delta(
+        &mut self,
+        update: &MasterUpdate,
+    ) -> Result<GroundedMasterDelta, PlanDeltaError> {
         if !update.deletes.is_empty() {
             return Err(PlanDeltaError::RequiresRecompile);
         }
         if update.master >= self.masters.len() {
             return Err(PlanDeltaError::NoSuchMaster(update.master));
         }
-        // validate everything before mutating (deltas apply atomically)
+        // validate everything before grounding (deltas apply atomically)
         let master_schema = self.masters[update.master].schema().clone();
         for row in &update.appends {
             master_schema
@@ -305,13 +381,14 @@ impl ChasePlan {
 
         // a delta relation holding only the new tuples, so grounding ranges
         // over exactly the appended rows (empty stand-ins keep the rule →
-        // master_index addressing intact)
+        // master_index addressing intact); rows are interned here so every
+        // adopting clone ends up sharing the same canonical allocations
         let mut delta_masters: Vec<MasterRelation> = self
             .masters
             .iter()
             .map(|m| MasterRelation::new(m.schema().clone()))
             .collect();
-        let masters = Arc::make_mut(&mut self.masters);
+        let mut rows = Vec::with_capacity(update.appends.len());
         for row in &update.appends {
             let mut row = row.clone();
             for value in &mut row {
@@ -320,27 +397,75 @@ impl ChasePlan {
             delta_masters[update.master]
                 .push_row(row.clone())
                 .expect("validated above");
-            masters[update.master]
-                .push_row(row)
-                .expect("validated above");
+            rows.push(row);
         }
 
+        // ground against a *clone* of the dedup keys: duplicates fold exactly
+        // like compilation, but the plan's own set stays untouched until the
+        // delta is adopted
+        let mut seen = self.master_seen.clone();
         let mut grounding = Grounding::default();
-        ground_master_rules(
-            &self.rules,
-            &delta_masters,
-            &mut grounding,
-            &mut self.master_seen,
-        );
-        let first_new = self.master_steps.len();
-        self.master_steps.extend(grounding.steps);
-        self.master_tuples_considered += grounding.master_tuples_considered;
-        self.master_folded_away += grounding.folded_away;
+        ground_master_rules(&self.rules, &delta_masters, &mut grounding, &mut seen);
+        Ok(GroundedMasterDelta {
+            base: self.stamp,
+            master: update.master,
+            rows,
+            steps: Arc::new(grounding.steps),
+            tuples_considered: grounding.master_tuples_considered,
+            folded_away: grounding.folded_away,
+        })
+    }
+
+    /// The adoption half of [`ChasePlan::apply_master_delta`]: append the
+    /// delta's pre-validated rows and its shared step block to this plan and
+    /// bump the stamp version.  Per-adopter work is O(|Δ| rows + |new steps|)
+    /// reference pushes — the `|Σ2| × |Δ|` grounding loop already ran, once,
+    /// in [`ChasePlan::ground_master_delta`].
+    ///
+    /// The adopting plan must be at exactly the delta's base stamp (same
+    /// identity, same version); anything else is rejected with
+    /// [`PlanDeltaError::StaleDelta`] — folding decisions and step indices
+    /// are only valid against the state the delta was grounded on.
+    pub fn adopt_master_delta(
+        &mut self,
+        delta: &GroundedMasterDelta,
+    ) -> Result<MasterDeltaApplied, PlanDeltaError> {
+        if delta.base != self.stamp {
+            return Err(PlanDeltaError::StaleDelta);
+        }
+        let masters = Arc::make_mut(&mut self.masters);
+        for row in &delta.rows {
+            let mut row = row.clone();
+            for value in &mut row {
+                // registers the delta's canonical allocations with this
+                // clone's interner: a no-op on the grounding plan, and on
+                // sibling shards it adopts the *same* `Arc`s, so pointer
+                // equality keeps firing across shard boundaries
+                self.interner.intern_value(value);
+            }
+            masters[delta.master]
+                .push_row(row)
+                .expect("validated when the delta was grounded");
+        }
+        // re-derive the dedup keys from the adopted steps (the exact key
+        // construction `ground_master_rule` folds on), so a later delta
+        // grounded against the adopted state folds correctly
+        for step in delta.steps.iter() {
+            self.master_seen
+                .insert((step.action.clone(), step.pending.clone()));
+        }
+        let first_new = self.master_step_len;
+        if !delta.steps.is_empty() {
+            self.master_step_len += delta.steps.len();
+            self.master_segments.push(Arc::clone(&delta.steps));
+        }
+        self.master_tuples_considered += delta.tuples_considered;
+        self.master_folded_away += delta.folded_away;
         self.stamp.version += 1;
         Ok(MasterDeltaApplied {
             stamp: self.stamp,
-            new_steps: first_new..self.master_steps.len(),
-            appended: update.appends.len(),
+            new_steps: first_new..self.master_step_len,
+            appended: delta.rows.len(),
         })
     }
 
@@ -382,7 +507,9 @@ impl ChasePlan {
         out.clear();
         seen.clear();
         ground_tuple_rules(&self.rules, ie, orders, out, seen);
-        out.steps.extend(self.master_steps.iter().cloned());
+        for segment in &self.master_segments {
+            out.steps.extend(segment.iter().cloned());
+        }
         out.master_tuples_considered += self.master_tuples_considered;
         out.folded_away += self.master_folded_away;
     }
@@ -711,6 +838,65 @@ mod tests {
         assert!(applied.new_steps.is_empty());
         assert_eq!(plan.master_step_count(), 1);
         assert_eq!(applied.stamp.version, 1);
+    }
+
+    /// The sharded broadcast contract: ground a delta once, adopt it on any
+    /// number of plan clones — every adopter matches the single-owner
+    /// `apply_master_delta` path exactly and shares the delta's step block.
+    #[test]
+    fn one_grounding_serves_every_plan_clone() {
+        let s = schema();
+        let ms = master_schema();
+        let mut owner = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        let mut clones = vec![owner.clone(), owner.clone()];
+
+        let update = MasterUpdate::append(0, vec![vec![Value::text("sp"), Value::text("Blazers")]]);
+        let delta = owner.ground_master_delta(&update).unwrap();
+        assert_eq!(delta.appended(), 1);
+        assert_eq!(delta.steps().len(), 1);
+        // grounding alone mutates nothing observable
+        assert_eq!(owner.stamp().version, 0);
+        assert_eq!(owner.master_step_count(), 1);
+        assert_eq!(owner.masters()[0].len(), 1);
+
+        let applied = owner.adopt_master_delta(&delta).unwrap();
+        for clone in &mut clones {
+            assert_eq!(clone.adopt_master_delta(&delta).unwrap(), applied);
+        }
+        assert_eq!(applied.new_steps, 1..2);
+        assert_eq!(applied.stamp.version, 1);
+
+        // every adopter deduces like a single-owner apply_master_delta plan
+        let mut reference =
+            ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        reference.apply_master_delta(&update).unwrap();
+        let ie = entity(&s, "sp", &[3, 9]);
+        let mut scratch = ChaseScratch::new();
+        let want = reference.is_cr_with(&ie, &mut scratch);
+        for plan in std::iter::once(&owner).chain(clones.iter()) {
+            assert_eq!(plan.master_step_count(), 2);
+            assert_eq!(plan.masters()[0].len(), 2);
+            let run = plan.is_cr_with(&ie, &mut scratch);
+            assert_eq!(run.outcome.target(), want.outcome.target());
+            assert_eq!(run.stats.ground_steps, want.stats.ground_steps);
+        }
+
+        // a second delta grounded against the adopted state folds duplicates
+        // of *adopted* steps, proving the dedup keys were re-derived
+        let dup = owner.ground_master_delta(&update).unwrap();
+        assert!(dup.steps().is_empty());
+
+        // adopting the same (version-0-based) delta twice is stale, as is
+        // adopting against a foreign plan identity
+        assert!(matches!(
+            owner.adopt_master_delta(&delta),
+            Err(PlanDeltaError::StaleDelta)
+        ));
+        let mut foreign = ChasePlan::compile(s.clone(), rules(&s, &ms), vec![master(&ms)]).unwrap();
+        assert!(matches!(
+            foreign.adopt_master_delta(&delta),
+            Err(PlanDeltaError::StaleDelta)
+        ));
     }
 
     #[test]

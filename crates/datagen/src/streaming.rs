@@ -50,6 +50,15 @@ pub struct StreamConfig {
     /// Number of distinct leading key values that form the hot set (ignored
     /// while [`StreamConfig::hot_entity_rate`] is `0.0`).
     pub hot_entities: usize,
+    /// Rotate the hot set every this many batches
+    /// ([`StreamConfig::with_hot_drift`]): batch `b` steers its hot
+    /// operations at window `b / period` of the seed's distinct key values
+    /// (wrapping), so the hot blocks *move* mid-stream — the workload an
+    /// online rebalancer has to chase.  `0` (the default) disables the
+    /// drift: the hot set is fixed for the whole stream and the scripted
+    /// ops are byte-identical to the drift-free generator (the rotation
+    /// spends no RNG draws).  Ignored while the hot mix itself is disabled.
+    pub hot_drift_period: usize,
     /// Point reads scripted after each row batch ([`UpdateStream::reads`]):
     /// row ids sampled from the rows live right after the batch applies.
     /// Scripted from a **separate** RNG, so any value — including the
@@ -69,6 +78,7 @@ impl Default for StreamConfig {
             fresh_entity_rate: 0.25,
             hot_entity_rate: 0.0,
             hot_entities: 0,
+            hot_drift_period: 0,
             reads_per_batch: 0,
             seed: 17,
         }
@@ -84,6 +94,17 @@ impl StreamConfig {
     pub fn with_hot_mix(mut self, hot_entities: usize, rate: f64) -> Self {
         self.hot_entities = hot_entities;
         self.hot_entity_rate = rate;
+        self
+    }
+
+    /// Rotate the hot set every `period` batches (builder style) — the
+    /// drifting-hot-spot workload of the elastic-shards benchmark: a static
+    /// placement keeps paying for yesterday's hot shard, while
+    /// `ShardedEngine::rebalance_hot` chases the window.  A period of `0`
+    /// disables the drift and leaves the scripted stream byte-identical to
+    /// the fixed-hot-set generator.
+    pub fn with_hot_drift(mut self, period: usize) -> Self {
+        self.hot_drift_period = period;
         self
     }
 
@@ -191,6 +212,33 @@ fn script_ops(
         }
     }
 
+    // the drift bookkeeping: the full distinct-key list the hot window
+    // rotates over, each seed row's key index, and each live row's key
+    // index.  All of it is RNG-free, so enabling the drift perturbs only
+    // *which* pools the existing draws sample from — and a period of 0
+    // touches nothing at all.
+    let drift = skew && config.hot_drift_period > 0;
+    let mut distinct_keys = 0usize;
+    let mut key_of_seed: Vec<usize> = Vec::new();
+    if drift {
+        let mut keys: Vec<&Value> = Vec::new();
+        for row in &seed_rows {
+            let key = &row[key_attr.0];
+            let idx = match keys.iter().position(|k| k.same(key)) {
+                Some(i) => i,
+                None => {
+                    keys.push(key);
+                    keys.len() - 1
+                }
+            };
+            key_of_seed.push(idx);
+        }
+        distinct_keys = keys.len();
+    }
+    // key index of every simulated live row (`usize::MAX` = a stream-fresh
+    // key, never hot); only maintained while drifting
+    let mut key_ix: std::collections::HashMap<RowId, usize> = std::collections::HashMap::new();
+
     // simulate the versioned relation's id assignment, live ids split by
     // temperature (everything is "cold" while the skew is disabled)
     let mut hot_live: Vec<RowId> = Vec::new();
@@ -201,13 +249,43 @@ fn script_ops(
         } else {
             cold_live.push(RowId(idx as u64));
         }
+        if drift {
+            key_ix.insert(RowId(idx as u64), key_of_seed[idx]);
+        }
     }
     let mut next_id = relation.len() as u64;
     let mut fresh_entities = 0usize;
+    let mut current_window = 0usize;
 
     let mut ops = Vec::new();
     let mut reads: Vec<Vec<RowId>> = Vec::new();
-    for _ in 0..config.n_batches {
+    for batch_idx in 0..config.n_batches {
+        // advance the hot window at a drift boundary: recompute the hot key
+        // mask and seed pool, and repartition the live ids by their tracked
+        // keys — window 0 is exactly the drift-free hot set, so the first
+        // period of a drifting stream matches the fixed-set stream
+        if drift {
+            let window = batch_idx / config.hot_drift_period;
+            if window != current_window {
+                current_window = window;
+                let mut hot_mask = vec![false; distinct_keys];
+                for j in 0..config.hot_entities.min(distinct_keys) {
+                    hot_mask[(window * config.hot_entities + j) % distinct_keys] = true;
+                }
+                hot_seed = (0..seed_rows.len())
+                    .filter(|&idx| hot_mask[key_of_seed[idx]])
+                    .collect();
+                let all: Vec<RowId> = hot_live.drain(..).chain(cold_live.drain(..)).collect();
+                for id in all {
+                    let kx = key_ix[&id];
+                    if kx != usize::MAX && hot_mask[kx] {
+                        hot_live.push(id);
+                    } else {
+                        cold_live.push(id);
+                    }
+                }
+            }
+        }
         let mut batch = UpdateBatch::new(name);
         // deletes: sample live ids without replacement, keeping the relation
         // from draining (never drop below half the seed size)
@@ -229,15 +307,20 @@ fn script_ops(
         // latter sometimes re-keyed into a brand-new entity
         for _ in 0..config.inserts_per_batch {
             let is_hot = skew && !hot_seed.is_empty() && rng.gen::<f64>() < config.hot_entity_rate;
-            let row = if is_hot {
-                seed_rows[hot_seed[rng.gen_range(0..hot_seed.len())]].clone()
+            let (row, kx) = if is_hot {
+                let pick = hot_seed[rng.gen_range(0..hot_seed.len())];
+                let kx = if drift { key_of_seed[pick] } else { 0 };
+                (seed_rows[pick].clone(), kx)
             } else {
-                let mut row = seed_rows[rng.gen_range(0..seed_rows.len())].clone();
+                let pick = rng.gen_range(0..seed_rows.len());
+                let mut row = seed_rows[pick].clone();
+                let mut kx = if drift { key_of_seed[pick] } else { 0 };
                 if rng.gen::<f64>() < config.fresh_entity_rate {
                     fresh_entities += 1;
                     row[key_attr.0] = Value::text(format!("stream_fresh_{fresh_entities}"));
+                    kx = usize::MAX;
                 }
-                row
+                (row, kx)
             };
             batch = batch.insert(row);
             let id = RowId(next_id);
@@ -246,6 +329,9 @@ fn script_ops(
                 hot_live.push(id);
             } else {
                 cold_live.push(id);
+            }
+            if drift {
+                key_ix.insert(id, kx);
             }
         }
         if !batch.is_empty() {
@@ -520,6 +606,89 @@ mod tests {
                     );
                 }
                 batch_idx += 1;
+            }
+        }
+    }
+
+    /// The drifting hot window: period 0 (or no hot mix at all) is
+    /// byte-identical to the fixed-set generator, a real period rotates the
+    /// concentration onto later key windows, and the scripted deletes still
+    /// honor the row-id contract.
+    #[test]
+    fn hot_drift_rotates_the_window_and_zero_is_byte_identical() {
+        let hot = StreamConfig {
+            n_batches: 12,
+            inserts_per_batch: 6,
+            deletes_per_batch: 2,
+            master_appends_per_batch: 0,
+            ..StreamConfig::default()
+        }
+        .with_hot_mix(2, 0.9);
+
+        // pinned: a zero period — and a drift without a hot mix — scripts
+        // exactly the undrifted stream
+        let fixed = med_stream(0.02, 5, &hot);
+        let zero_period = med_stream(0.02, 5, &hot.clone().with_hot_drift(0));
+        assert_eq!(fixed.ops, zero_period.ops, "period 0 must be byte-identical");
+        assert_eq!(
+            med_stream(0.02, 5, &StreamConfig::default().with_hot_drift(3)).ops,
+            med_stream(0.02, 5, &StreamConfig::default()).ops,
+            "drift without a hot mix must be byte-identical"
+        );
+
+        let config = hot.clone().with_hot_drift(4);
+        let drifted = med_stream(0.02, 5, &config);
+        assert_eq!(drifted.ops, med_stream(0.02, 5, &config).ops, "deterministic");
+        assert_ne!(
+            drifted.ops, fixed.ops,
+            "a rotating window must actually move the hot operations"
+        );
+
+        // per window, inserts concentrate on that window's key pair
+        let key = drifted.relation.schema().expect_attr("name");
+        let mut distinct: Vec<Value> = Vec::new();
+        for row in drifted.relation.rows() {
+            let v = row.value(key);
+            if !distinct.iter().any(|k| k.same(v)) {
+                distinct.push(v.clone());
+            }
+        }
+        let row_batches: Vec<&UpdateBatch> = drifted
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                StreamOp::Rows(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(row_batches.len(), 12);
+        for window in 0..3usize {
+            let window_keys: Vec<&Value> = (0..2)
+                .map(|j| &distinct[(window * 2 + j) % distinct.len()])
+                .collect();
+            let (mut hot_count, mut total) = (0usize, 0usize);
+            for batch in &row_batches[window * 4..window * 4 + 4] {
+                for row in &batch.inserts {
+                    total += 1;
+                    if window_keys.iter().any(|k| k.same(&row[key.0])) {
+                        hot_count += 1;
+                    }
+                }
+            }
+            assert!(
+                hot_count as f64 >= 0.6 * total as f64,
+                "window {window}: inserts must chase the rotated hot keys \
+                 ({hot_count}/{total} were hot)"
+            );
+        }
+
+        // the simulated id assignment survives the repartitions: every
+        // scripted delete names a live row
+        use relacc_store::VersionedRelation;
+        let mut versioned = VersionedRelation::from_relation(&drifted.relation);
+        for op in &drifted.ops {
+            if let StreamOp::Rows(batch) = op {
+                versioned.apply(batch).expect("drifted batches stay valid");
             }
         }
     }

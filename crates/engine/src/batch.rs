@@ -14,7 +14,7 @@
 //! offer [`BatchEngine::repair_relation`] — resolve a dirty relation, then
 //! chase every entity — without a cycle.  The old `relacc_db::batch` module,
 //! which duplicated this pipeline because `relacc-engine` used to depend on
-//! `relacc-db` for resolution, is now a deprecated shim that delegates here;
+//! `relacc-db` for resolution, has been deleted from the workspace;
 //! there is exactly one [`EntityOutcome`], one [`EntityResult`] (carrying both
 //! the input-record membership and the Church-Rosser conflict report) and one
 //! suggestion policy.
@@ -355,6 +355,23 @@ impl BatchEngine {
     pub fn run_owned(&self, mut entities: Vec<EntityInstance>) -> BatchReport {
         self.intern_entities(&mut entities);
         self.run(&entities)
+    }
+
+    /// [`BatchEngine::run`] plus per-entity wall-clock nanoseconds (parallel
+    /// to the report's entities).  The sharded engine chases the entities of
+    /// *all* shards in one pooled run and uses the timings to attribute the
+    /// work back to each shard's
+    /// [`crate::sharded::ShardStats::batch_ns`]; the results are identical to
+    /// [`BatchEngine::run`].
+    pub(crate) fn run_timed(&self, entities: &[EntityInstance]) -> (BatchReport, Vec<u64>) {
+        let threads = effective_threads(self.config.threads, entities.len());
+        let timed = par_map_with(entities, threads, ChaseScratch::new, |scratch, idx, ie| {
+            let started = std::time::Instant::now();
+            let result = self.evaluate_entity(idx, ie, scratch);
+            (result, started.elapsed().as_nanos() as u64)
+        });
+        let (results, ns): (Vec<EntityResult>, Vec<u64>) = timed.into_iter().unzip();
+        (BatchReport::from_entities(results, threads), ns)
     }
 
     /// Resolve a dirty relation into entities (via `relacc-resolve` blocking +

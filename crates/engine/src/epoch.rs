@@ -39,6 +39,7 @@
 
 use crate::batch::{entity_row, EntityResult, RelationRepair};
 use crate::incremental::{assemble_repair, AssembledBlock, BlockRepair};
+use crate::sharded::RoutingTable;
 use relacc_core::chase::PlanStamp;
 use relacc_model::{EntityInstance, SchemaRef, Tuple, Value};
 use relacc_resolve::{BlockKey, Blocker, MatchDecision, ResolveStats};
@@ -112,6 +113,12 @@ pub struct Epoch {
     /// Live global row id → (shard, shard-local id); `None` = identity
     /// (single engine, one shard).
     pub(crate) route: Option<Arc<HashMap<RowId, (usize, RowId)>>>,
+    /// The versioned block→shard routing table this epoch was published
+    /// under (`None` for a single engine).  Pinned per epoch so point reads
+    /// against an epoch taken *before* a rebalance keep resolving keys to
+    /// the shards that held them then — a reader never observes a torn
+    /// handoff.
+    pub(crate) routing: Option<Arc<RoutingTable>>,
     /// Blocks this epoch changed relative to its predecessor: global key →
     /// (shard, shard-local key).  Dropped blocks are listed too.
     pub(crate) dirty: Arc<BTreeMap<BlockKey, (usize, BlockKey)>>,
@@ -255,16 +262,22 @@ impl Epoch {
         Some((shard, local, block, entity))
     }
 
-    /// Resolve a **global** block key to its (shard, local key).
+    /// Resolve a **global** block key to its (shard, local key) — through
+    /// the pinned routing table for keyed blocks (hash fallback for keys the
+    /// table does not override), through the pinned row router for
+    /// singletons.
     fn locate_key(&self, key: &BlockKey) -> Option<(usize, BlockKey)> {
         if self.route.is_none() {
             return Some((0, key.clone()));
         }
         match key {
-            BlockKey::Key(_) => Some((
-                crate::sharded::shard_of(key, self.shards.len()),
-                key.clone(),
-            )),
+            BlockKey::Key(_) => {
+                let shard = match &self.routing {
+                    Some(table) => table.shard_of(key),
+                    None => crate::sharded::shard_of(key, self.shards.len()),
+                };
+                Some((shard, key.clone()))
+            }
             BlockKey::Singleton(gid) => {
                 let (shard, lid) = *self.route.as_ref()?.get(gid)?;
                 Some((shard, BlockKey::Singleton(lid)))
@@ -592,19 +605,22 @@ impl EpochHub {
             let current = Arc::clone(state.epochs.back().expect("find succeeded"));
             (Arc::clone(&state.epochs[idx]), later, current)
         };
-        // union the dirty sets of every epoch after the base; each key keeps
-        // its (shard, local key) location, which is stable for a key's whole
-        // lifetime
-        let mut dirty: BTreeMap<BlockKey, (usize, BlockKey)> = BTreeMap::new();
+        // union the dirty sets of every epoch after the base, then resolve
+        // each key's *current* location through the current epoch's pinned
+        // routing — a rebalance between the base and now may have moved a
+        // keyed block to another shard (with fresh local ids), so the
+        // location recorded at dirty time can be stale; `block_view`
+        // re-locates and still answers `None` for dropped blocks
+        let mut dirty: BTreeMap<BlockKey, ()> = BTreeMap::new();
         for epoch in &later {
-            for (key, location) in epoch.dirty.iter() {
-                dirty.insert(key.clone(), location.clone());
+            for key in epoch.dirty.keys() {
+                dirty.insert(key.clone(), ());
             }
         }
         let changes = dirty
-            .into_iter()
-            .map(|(key, (shard, local_key))| BlockChange {
-                after: current.block_view_at(shard, &local_key, key.clone()),
+            .into_keys()
+            .map(|key| BlockChange {
+                after: current.block_view(&key),
                 key,
             })
             .collect();

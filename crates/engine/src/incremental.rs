@@ -41,12 +41,12 @@
 use crate::batch::EntityOutcome;
 use crate::batch::{materialize_rows, BatchEngine, BatchReport, EntityResult, RelationRepair};
 use crate::epoch::{Epoch, EpochHub, EpochId, ShardView, SnapshotDelta};
-use crate::pool::effective_threads;
+use crate::pool::{effective_threads, par_map_with};
 use relacc_core::chase::{
-    GroundStep, MasterDeltaApplied, MasterUpdate, PendingPred, PlanDeltaError, PlanStamp,
+    GroundStep, GroundedMasterDelta, MasterUpdate, PendingPred, PlanDeltaError, PlanStamp,
     StepAction,
 };
-use relacc_model::{EntityInstance, TargetTuple, Value};
+use relacc_model::{EntityInstance, SchemaRef, TargetTuple, Tuple, Value};
 use relacc_resolve::{
     resolve_relation, resolve_relation_with_fingerprints, BlockKey, Blocker,
     IncrementalBlockingIndex, MatchDecision, RecordFingerprint, ResolveConfig, ResolveStats,
@@ -55,6 +55,7 @@ use relacc_resolve::{
 use relacc_store::{Generation, Relation, RowId, UpdateBatch, UpdateError, VersionedRelation};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The cached repair of one block: its rows (in snapshot order at repair
 /// time), the local resolution output and the per-entity results, all under
@@ -91,6 +92,184 @@ pub(crate) struct BlockEntity {
     pub(crate) result: EntityResult,
 }
 
+/// One keyed block in transit between shards (see
+/// [`IncrementalEngine::export_block`] /
+/// [`IncrementalEngine::import_block`]): its rows in export order plus the
+/// cached repair, whose position-indexed contents survive the move verbatim.
+#[derive(Debug)]
+pub(crate) struct ExportedBlock {
+    /// The block's rows in snapshot order (ascending source-local id).
+    pub(crate) rows: Vec<Tuple>,
+    /// The cached repair; `rows` ids are rewritten on import.
+    pub(crate) repair: Arc<BlockRepair>,
+}
+
+/// One dirty block's re-repair input, self-contained (rows cloned out of the
+/// relation, previous repair pinned by `Arc`): the unit of the block-level
+/// work list.  Because a job borrows nothing from its engine, jobs of *many*
+/// shards can be flattened into one slice and dispatched over the shared
+/// worker pool — `par_map_with`'s dynamic `fetch_add` loop then steals at
+/// block granularity, so one hot shard's backlog spreads across all workers.
+#[derive(Debug)]
+pub(crate) struct BlockJob {
+    /// The block's key.
+    pub(crate) key: BlockKey,
+    /// The block's live rows at prepare time, in snapshot order.
+    pub(crate) row_ids: Vec<RowId>,
+    /// The tuples of `row_ids` (parallel).
+    pub(crate) rows: Vec<Tuple>,
+    /// The block's previous repair, when cached (fingerprint reuse on the
+    /// re-resolve path; the member partition on the cached-resolution path).
+    pub(crate) cached: Option<Arc<BlockRepair>>,
+    /// Re-resolve membership (row updates) or reuse the cached resolution
+    /// and re-run only the chase (master deltas)?
+    pub(crate) reresolve: bool,
+}
+
+/// Stage-1 output of a re-repair (see
+/// [`IncrementalEngine::prepare_rerepair`]): the dirty keys, their
+/// self-contained jobs, and the membership-derived outcome counters.
+#[derive(Debug)]
+pub(crate) struct PreparedRepair {
+    /// The dirty block keys (including ones whose block was dropped).
+    pub(crate) dirty: BTreeSet<BlockKey>,
+    /// One job per dirty block that still has live rows, in ascending key
+    /// order.
+    pub(crate) jobs: Vec<BlockJob>,
+    /// Blocks that lost their last live row and were dropped from the cache.
+    pub(crate) dropped_blocks: usize,
+    /// Live blocks whose cached repair is reused untouched.
+    pub(crate) clean_blocks: usize,
+    /// Entities of the clean blocks.
+    pub(crate) entities_reused: usize,
+}
+
+/// Stage-2 output for one [`BlockJob`]: the block's (fresh or reused)
+/// resolution plus the entity instances to chase.  The instances are drained
+/// into one flat chase batch before stage 3; `entity_count` survives the
+/// drain so stage 4 can split the chase results back per job.
+#[derive(Debug)]
+pub(crate) struct ResolvedJob {
+    /// Fresh local resolution + fingerprints (`None` on the
+    /// cached-resolution path, which updates results copy-on-write instead).
+    pub(crate) fresh: Option<(ResolvedEntities, Vec<RecordFingerprint>)>,
+    /// The block's entity instances, in block-entity order.
+    pub(crate) entities: Vec<EntityInstance>,
+    /// `entities.len()` at resolution time.
+    pub(crate) entity_count: usize,
+    /// Rows fingerprinted by this job.
+    pub(crate) rows_fingerprinted: usize,
+    /// Rows whose cached fingerprint was reused by this job.
+    pub(crate) fingerprints_reused: usize,
+    /// Wall-clock nanoseconds this job's resolution took (per-shard
+    /// [`crate::sharded::ShardStats::batch_ns`] attribution).
+    pub(crate) resolve_ns: u64,
+}
+
+/// Stage 2 of a re-repair: resolve every job's block **in parallel at block
+/// granularity** over the shared pool.  Per-block resolution is a pure
+/// function of the job (rows + cached fingerprints + config), so the output
+/// is identical at every thread count and the pool's dynamic loop can hand
+/// blocks to whichever worker is free.
+pub(crate) fn resolve_block_jobs(
+    jobs: &[&BlockJob],
+    resolve: &ResolveConfig,
+    schema: &SchemaRef,
+    threads: usize,
+) -> Vec<ResolvedJob> {
+    let similarity_attrs = if resolve.cascade && jobs.iter().any(|j| j.reresolve) {
+        resolve.similarity_attrs(schema)
+    } else {
+        Vec::new()
+    };
+    let threads = effective_threads(threads, jobs.len());
+    par_map_with(jobs, threads, || (), |_, _, job| {
+        resolve_one_job(job, resolve, &similarity_attrs, schema)
+    })
+}
+
+/// Resolve one block job (see [`resolve_block_jobs`]).
+fn resolve_one_job(
+    job: &BlockJob,
+    resolve: &ResolveConfig,
+    similarity_attrs: &[relacc_model::AttrId],
+    schema: &SchemaRef,
+) -> ResolvedJob {
+    let started = Instant::now();
+    if job.reresolve {
+        let mut local = Relation::new(schema.clone());
+        for tuple in &job.rows {
+            local
+                .push_row(tuple.values().to_vec())
+                .expect("live rows conform to the schema");
+        }
+        let (mut fresh, fingerprints, rows_fingerprinted, fingerprints_reused) = if resolve.cascade
+        {
+            // reuse cached fingerprints for rows that survived from the
+            // block's previous repair; only inserted rows are fingerprinted
+            // (a fingerprint is a pure function of the row, so reuse is
+            // exact)
+            let cached = job.cached.as_deref();
+            let prev_pos: HashMap<RowId, usize> = cached
+                .map(|b| b.rows.iter().enumerate().map(|(i, &r)| (r, i)).collect())
+                .unwrap_or_default();
+            let mut fingerprints = Vec::with_capacity(job.rows.len());
+            let (mut computed, mut reused) = (0usize, 0usize);
+            for (id, tuple) in job.row_ids.iter().zip(&job.rows) {
+                match cached.and_then(|b| prev_pos.get(id).and_then(|&i| b.fingerprints.get(i))) {
+                    Some(fp) => {
+                        reused += 1;
+                        fingerprints.push(fp.clone());
+                    }
+                    None => {
+                        computed += 1;
+                        fingerprints.push(RecordFingerprint::of_tuple(tuple, similarity_attrs));
+                    }
+                }
+            }
+            (
+                resolve_relation_with_fingerprints(&local, resolve, &fingerprints),
+                fingerprints,
+                computed,
+                reused,
+            )
+        } else {
+            (resolve_relation(&local, resolve), Vec::new(), 0, 0)
+        };
+        let entities = std::mem::take(&mut fresh.entities);
+        let entity_count = entities.len();
+        ResolvedJob {
+            fresh: Some((fresh, fingerprints)),
+            entities,
+            entity_count,
+            rows_fingerprinted,
+            fingerprints_reused,
+            resolve_ns: started.elapsed().as_nanos() as u64,
+        }
+    } else {
+        let repair = job.cached.as_deref().expect("plan-delta dirty blocks are cached");
+        let mut entities = Vec::with_capacity(repair.entities.len());
+        for be in &repair.entities {
+            let mut instance = EntityInstance::new(schema.clone());
+            for &local in &be.members {
+                instance
+                    .push_tuple(job.rows[local].clone())
+                    .expect("live rows conform to the schema");
+            }
+            entities.push(instance);
+        }
+        let entity_count = entities.len();
+        ResolvedJob {
+            fresh: None,
+            entities,
+            entity_count,
+            rows_fingerprinted: 0,
+            fingerprints_reused: 0,
+            resolve_ns: started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
 /// What one applied update did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateOutcome {
@@ -116,6 +295,13 @@ pub struct IncrementalStats {
     pub batches_applied: usize,
     /// Master deltas applied in place.
     pub master_deltas_applied: usize,
+    /// Master deltas **ground** by this engine (the `|Σ2| × |Δ|` grounding
+    /// loop).  Adopting a delta ground elsewhere
+    /// ([`relacc_core::chase::ChasePlan::adopt_master_delta`]) bumps
+    /// [`IncrementalStats::master_deltas_applied`] but not this — under the
+    /// sharded engine exactly one shard grounds each append, so the summed
+    /// count stays 1 per append regardless of shard count.
+    pub master_groundings: usize,
     /// Plan recompiles forced by non-monotone master updates.
     pub recompiles: usize,
     /// Total entities re-repaired across all updates (including the initial
@@ -243,6 +429,19 @@ impl IncrementalEngine {
     /// Apply a typed batch of row deletes + inserts and re-repair exactly the
     /// dirty blocks.  The batch must address this engine's relation by name.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<UpdateOutcome, IncrementalError> {
+        let dirty = self.begin_batch(batch)?;
+        Ok(self.rerepair(dirty, true))
+    }
+
+    /// The mutation half of [`IncrementalEngine::apply`]: apply the batch to
+    /// the versioned relation and the blocking index and return the dirty
+    /// block keys, without re-repairing anything yet.  The sharded engine
+    /// runs this per shard, then pools the dirty blocks of *all* shards into
+    /// one block-granular work list.
+    pub(crate) fn begin_batch(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<BTreeSet<BlockKey>, IncrementalError> {
         if batch.relation != self.name {
             return Err(IncrementalError::Update(UpdateError::NoSuchRelation(
                 batch.relation.clone(),
@@ -252,7 +451,7 @@ impl IncrementalEngine {
             .relation
             .apply(batch)
             .map_err(IncrementalError::Update)?;
-        let inserted: Vec<(RowId, relacc_model::Tuple)> = applied
+        let inserted: Vec<(RowId, Tuple)> = applied
             .inserted
             .iter()
             .map(|&id| {
@@ -265,9 +464,7 @@ impl IncrementalEngine {
             inserted.iter().map(|(id, tuple)| (*id, tuple)),
         );
         self.stats.batches_applied += 1;
-        let mut outcome = self.rerepair(dirty.blocks, true);
-        outcome.generation = applied.generation;
-        Ok(outcome)
+        Ok(dirty.blocks)
     }
 
     /// Append rows to master relation `master`, evolving the compiled plan in
@@ -278,13 +475,48 @@ impl IncrementalEngine {
         master: usize,
         rows: Vec<Vec<Value>>,
     ) -> Result<UpdateOutcome, IncrementalError> {
-        let applied: MasterDeltaApplied = self
-            .engine
-            .plan_mut()
-            .apply_master_delta(&MasterUpdate::append(master, rows))?;
+        let delta = self.ground_master_delta(&MasterUpdate::append(master, rows))?;
+        self.adopt_master_delta(&delta)
+    }
+
+    /// Ground a master delta against this engine's plan — once.  The result
+    /// can be adopted here *and* by every sibling shard still in stamp
+    /// lockstep ([`IncrementalEngine::adopt_master_delta`]); only the
+    /// grounding engine pays the `|Σ2| × |Δ|` loop (counted by
+    /// [`IncrementalStats::master_groundings`]).
+    pub(crate) fn ground_master_delta(
+        &mut self,
+        update: &MasterUpdate,
+    ) -> Result<GroundedMasterDelta, IncrementalError> {
+        let delta = self.engine.plan_mut().ground_master_delta(update)?;
+        self.stats.master_groundings += 1;
+        Ok(delta)
+    }
+
+    /// Adopt a delta ground by [`IncrementalEngine::ground_master_delta`]
+    /// (possibly on a sibling shard): stamp bump + shared step block append
+    /// on the plan, then the exact invalidation filter and a cached-resolution
+    /// re-repair of the affected blocks.
+    pub(crate) fn adopt_master_delta(
+        &mut self,
+        delta: &GroundedMasterDelta,
+    ) -> Result<UpdateOutcome, IncrementalError> {
+        let dirty = self.adopt_master_dirty(delta)?;
+        // block membership is untouched by a master delta: reuse the cached
+        // resolution (members + match decisions) and re-run only the chase
+        Ok(self.rerepair(dirty, false))
+    }
+
+    /// The adoption + invalidation half of
+    /// [`IncrementalEngine::adopt_master_delta`], without the re-repair: the
+    /// sharded engine pools the returned dirty blocks across shards.
+    pub(crate) fn adopt_master_dirty(
+        &mut self,
+        delta: &GroundedMasterDelta,
+    ) -> Result<BTreeSet<BlockKey>, IncrementalError> {
+        self.engine.plan_mut().adopt_master_delta(delta)?;
         self.stats.master_deltas_applied += 1;
-        let new_steps: Vec<GroundStep> =
-            self.engine.plan().master_steps()[applied.new_steps.clone()].to_vec();
+        let new_steps: &[GroundStep] = delta.steps().as_slice();
         let mut dirty: BTreeSet<BlockKey> = BTreeSet::new();
         for (key, repair) in &self.blocks {
             // unaffected blocks keep their cached results verbatim (even the
@@ -294,16 +526,12 @@ impl IncrementalEngine {
                 && repair
                     .entities
                     .iter()
-                    .any(|be| step_set_may_affect(&new_steps, &be.result));
+                    .any(|be| step_set_may_affect(new_steps, &be.result));
             if affected {
                 dirty.insert(key.clone());
             }
         }
-        // block membership is untouched by a master delta: reuse the cached
-        // resolution (members + match decisions) and re-run only the chase
-        let mut outcome = self.rerepair(dirty, false);
-        outcome.generation = self.relation.generation();
-        Ok(outcome)
+        Ok(dirty)
     }
 
     /// Replace the plan's master data wholesale (the non-monotone path:
@@ -339,107 +567,119 @@ impl IncrementalEngine {
     /// partition and match decisions — is reused and only the chase re-runs
     /// (the master-delta paths: rows are untouched, and match decisions
     /// depend only on row contents, never on the plan).
+    ///
+    /// Internally this is the prepare → resolve → chase → commit staging the
+    /// sharded engine drives across shards; run standalone it behaves exactly
+    /// like the historical monolithic re-repair.
     fn rerepair(&mut self, dirty: BTreeSet<BlockKey>, reresolve: bool) -> UpdateOutcome {
-        let membership = self.block_membership();
-        let stamp = self.engine.plan().stamp();
-
-        // per dirty block: the local resolution (fresh or cached), entities
-        // gathered for one pooled run
-        // a dirty block's local resolution plus the fingerprints behind it
-        // (`None` on the cached-resolution path)
-        type ResolveJob = (
-            BlockKey,
-            Vec<RowId>,
-            Option<(ResolvedEntities, Vec<RecordFingerprint>)>,
+        let prepared = self.prepare_rerepair(dirty, reresolve);
+        let job_refs: Vec<&BlockJob> = prepared.jobs.iter().collect();
+        let mut resolved = resolve_block_jobs(
+            &job_refs,
+            &self.resolve,
+            self.relation.schema(),
+            self.engine.config().threads,
         );
-        let mut dropped_blocks = 0usize;
-        let mut jobs: Vec<ResolveJob> = Vec::new();
+        drop(job_refs);
         let mut batch_entities: Vec<EntityInstance> = Vec::new();
-        let mut spans: Vec<std::ops::Range<usize>> = Vec::new();
-        let similarity_attrs = if reresolve && self.resolve.cascade {
-            self.resolve.similarity_attrs(self.relation.schema())
-        } else {
-            Vec::new()
-        };
+        for job in &mut resolved {
+            batch_entities.append(&mut job.entities);
+        }
+        let report: BatchReport = self.engine.run_owned(batch_entities);
+        self.commit_rerepair(prepared, resolved, &report.entities)
+    }
+
+    /// Stage 1 of a re-repair: snapshot every dirty block into a
+    /// self-contained [`BlockJob`] (rows cloned, cached repair pinned), drop
+    /// blocks that lost their last live row, and pre-compute the
+    /// membership-derived outcome counters.  Cheap and sequential; the
+    /// expensive stages operate on the returned jobs without borrowing the
+    /// engine, which is what lets the sharded engine flatten jobs of many
+    /// shards into one stolen work list.
+    pub(crate) fn prepare_rerepair(
+        &mut self,
+        dirty: BTreeSet<BlockKey>,
+        reresolve: bool,
+    ) -> PreparedRepair {
+        let membership = self.block_membership();
+        let mut dropped_blocks = 0usize;
+        let mut jobs: Vec<BlockJob> = Vec::new();
         for key in &dirty {
             let Some(globals) = membership.get(key) else {
                 self.blocks.remove(key);
                 dropped_blocks += 1;
                 continue;
             };
-            let start = batch_entities.len();
-            if reresolve {
-                let mut local = Relation::new(self.relation.schema().clone());
-                let mut row_ids = Vec::with_capacity(globals.len());
-                for &(global, id) in globals {
-                    local
-                        .push_row(self.relation.rows()[global].tuple.values().to_vec())
-                        .expect("live rows conform to the schema");
-                    row_ids.push(id);
-                }
-                let (resolved, fingerprints) = if self.resolve.cascade {
-                    // reuse cached fingerprints for rows that survived from
-                    // the block's previous repair; only inserted rows are
-                    // fingerprinted (a fingerprint is a pure function of the
-                    // row, so reuse is exact)
-                    let cached = self.blocks.get(key);
-                    let prev_pos: HashMap<RowId, usize> = cached
-                        .map(|b| b.rows.iter().enumerate().map(|(i, &r)| (r, i)).collect())
-                        .unwrap_or_default();
-                    let mut fingerprints = Vec::with_capacity(globals.len());
-                    for &(global, id) in globals {
-                        match cached
-                            .and_then(|b| prev_pos.get(&id).and_then(|&i| b.fingerprints.get(i)))
-                        {
-                            Some(fp) => {
-                                self.stats.fingerprints_reused += 1;
-                                fingerprints.push(fp.clone());
-                            }
-                            None => {
-                                self.stats.rows_fingerprinted += 1;
-                                fingerprints.push(RecordFingerprint::of_tuple(
-                                    &self.relation.rows()[global].tuple,
-                                    &similarity_attrs,
-                                ));
-                            }
-                        }
-                    }
-                    (
-                        resolve_relation_with_fingerprints(&local, &self.resolve, &fingerprints),
-                        fingerprints,
-                    )
-                } else {
-                    (resolve_relation(&local, &self.resolve), Vec::new())
-                };
-                batch_entities.extend(resolved.entities.iter().cloned());
-                jobs.push((key.clone(), row_ids, Some((resolved, fingerprints))));
-            } else {
-                let repair = self
-                    .blocks
-                    .get(key)
-                    .expect("plan-delta dirty blocks are cached");
-                debug_assert_eq!(repair.rows.len(), globals.len(), "membership drifted");
-                for be in &repair.entities {
-                    let mut instance = EntityInstance::new(self.relation.schema().clone());
-                    for &local in &be.members {
-                        instance
-                            .push_tuple(self.relation.rows()[globals[local].0].tuple.clone())
-                            .expect("live rows conform to the schema");
-                    }
-                    batch_entities.push(instance);
-                }
-                jobs.push((key.clone(), repair.rows.clone(), None));
+            let mut row_ids = Vec::with_capacity(globals.len());
+            let mut rows = Vec::with_capacity(globals.len());
+            for &(global, id) in globals {
+                row_ids.push(id);
+                rows.push(self.relation.rows()[global].tuple.clone());
             }
-            spans.push(start..batch_entities.len());
+            let cached = self.blocks.get(key).cloned();
+            if !reresolve {
+                let repair = cached.as_ref().expect("plan-delta dirty blocks are cached");
+                debug_assert_eq!(repair.rows.len(), rows.len(), "membership drifted");
+            }
+            jobs.push(BlockJob {
+                key: key.clone(),
+                row_ids,
+                rows,
+                cached,
+                reresolve,
+            });
         }
+        let alive_dirty = dirty.len() - dropped_blocks;
+        let clean_blocks = membership.len() - alive_dirty;
+        let entities_reused: usize = membership
+            .iter()
+            .filter(|(key, _)| !dirty.contains(*key))
+            .map(|(key, _)| self.blocks.get(key).map_or(0, |b| b.entities.len()))
+            .sum();
+        PreparedRepair {
+            dirty,
+            jobs,
+            dropped_blocks,
+            clean_blocks,
+            entities_reused,
+        }
+    }
 
-        let entities_rerepaired = batch_entities.len();
-        let report: BatchReport = self.engine.run_owned(batch_entities);
-        for ((key, row_ids, resolved), span) in jobs.into_iter().zip(spans) {
-            let results = &report.entities[span];
-            match resolved {
-                Some((resolved, fingerprints)) => {
-                    let entities = resolved
+    /// Stage 4 of a re-repair: write the per-block results back into the
+    /// cache (fresh resolutions replace the entry; cached-resolution blocks
+    /// are updated copy-on-write), refresh the engine stamp, publish the
+    /// epoch and account the outcome.  `results` holds this engine's chase
+    /// results flattened in job order — exactly
+    /// `resolved[i].entity_count` entries per job.
+    ///
+    /// Sequential and owned by the shard: under block-level stealing the
+    /// *resolution and chase* of many shards interleave freely, but each
+    /// shard's cache writes happen here, in canonical (ascending block key)
+    /// order, so snapshot assembly stays bit-identical.
+    pub(crate) fn commit_rerepair(
+        &mut self,
+        prepared: PreparedRepair,
+        resolved: Vec<ResolvedJob>,
+        results: &[EntityResult],
+    ) -> UpdateOutcome {
+        let PreparedRepair {
+            dirty,
+            jobs,
+            dropped_blocks,
+            clean_blocks,
+            entities_reused,
+        } = prepared;
+        debug_assert_eq!(jobs.len(), resolved.len(), "job/resolution mismatch");
+        let entities_rerepaired = results.len();
+        let mut cursor = 0usize;
+        for (job, rjob) in jobs.into_iter().zip(resolved) {
+            let results = &results[cursor..cursor + rjob.entity_count];
+            cursor += rjob.entity_count;
+            self.stats.rows_fingerprinted += rjob.rows_fingerprinted;
+            self.stats.fingerprints_reused += rjob.fingerprints_reused;
+            match rjob.fresh {
+                Some((fresh, fingerprints)) => {
+                    let entities = fresh
                         .members
                         .iter()
                         .zip(results.iter())
@@ -449,41 +689,36 @@ impl IncrementalEngine {
                         })
                         .collect();
                     self.blocks.insert(
-                        key,
+                        job.key,
                         Arc::new(BlockRepair {
-                            rows: row_ids,
-                            decisions: resolved.decisions,
+                            rows: job.row_ids,
+                            decisions: fresh.decisions,
                             entities,
                             fingerprints,
-                            stats: resolved.stats,
+                            stats: fresh.stats,
                         }),
                     );
                 }
                 None => {
                     // copy-on-write: clones the block only while a published
                     // epoch still pins the old allocation
-                    let repair = Arc::make_mut(self.blocks.get_mut(&key).expect("cached above"));
+                    let repair =
+                        Arc::make_mut(self.blocks.get_mut(&job.key).expect("cached above"));
                     for (be, result) in repair.entities.iter_mut().zip(results.iter()) {
                         be.result = result.clone();
                     }
                 }
             }
         }
-        self.stamp = stamp;
+        debug_assert_eq!(cursor, results.len(), "chase results drifted from jobs");
+        self.stamp = self.engine.plan().stamp();
         self.publish(&dirty);
 
-        let alive_dirty = dirty.len() - dropped_blocks;
-        let clean_blocks = membership.len() - alive_dirty;
-        let entities_reused: usize = membership
-            .iter()
-            .filter(|(key, _)| !dirty.contains(*key))
-            .map(|(key, _)| self.blocks.get(key).map_or(0, |b| b.entities.len()))
-            .sum();
         self.stats.entities_rerepaired += entities_rerepaired;
         self.stats.entities_reused += entities_reused;
         UpdateOutcome {
             generation: self.relation.generation(),
-            dirty_blocks: alive_dirty,
+            dirty_blocks: dirty.len() - dropped_blocks,
             dropped_blocks,
             clean_blocks,
             entities_rerepaired,
@@ -513,6 +748,7 @@ impl IncrementalEngine {
                 to_global: None,
             }],
             route: None,
+            routing: None,
             dirty: Arc::new(dirty_map),
         });
     }
@@ -612,6 +848,101 @@ impl IncrementalEngine {
     /// Number of blocks with a live cached repair.
     pub fn cached_blocks(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Number of live rows in the cached block with this key, if any.
+    pub(crate) fn cached_block_len(&self, key: &BlockKey) -> Option<usize> {
+        self.blocks.get(key).map(|b| b.rows.len())
+    }
+
+    /// Extract one keyed block wholesale for migration to a sibling shard:
+    /// remove its cached repair, delete its rows from the relation and the
+    /// blocking index, and hand everything to the caller.  `None` when no
+    /// such block is cached.  Only [`BlockKey::Key`] blocks migrate — a
+    /// singleton block's key embeds the shard-local row id and cannot move
+    /// id spaces.
+    ///
+    /// The repair (decisions, entities, fingerprints, stats) travels with
+    /// the rows: all of it is indexed by *position* within the block, and
+    /// [`IncrementalEngine::import_block`] re-inserts the rows in the same
+    /// order, so every cached index stays valid without recomputation.
+    pub(crate) fn export_block(&mut self, key: &BlockKey) -> Option<ExportedBlock> {
+        debug_assert!(
+            matches!(key, BlockKey::Key(_)),
+            "singleton blocks are pinned to their shard"
+        );
+        let repair = self.blocks.remove(key)?;
+        let rows: Vec<Tuple> = repair
+            .rows
+            .iter()
+            .map(|&id| {
+                self.relation
+                    .row(id)
+                    .expect("cached block rows are live")
+                    .tuple
+                    .clone()
+            })
+            .collect();
+        let mut batch = UpdateBatch::new(self.name.clone());
+        batch.deletes = repair.rows.clone();
+        let applied = self
+            .relation
+            .apply(&batch)
+            .expect("cached block rows are live");
+        self.index.apply(
+            applied.deleted.iter().map(|(id, _)| *id),
+            std::iter::empty::<(RowId, &Tuple)>(),
+        );
+        // refresh this shard's pinned epoch so the router's next combined
+        // epoch sees the post-handoff rows; nothing is dirty — the block's
+        // repair is unchanged, it merely changed shards
+        self.publish(&BTreeSet::new());
+        Some(ExportedBlock { rows, repair })
+    }
+
+    /// Adopt a block exported by a sibling shard: insert its rows **in
+    /// export order** (fresh ascending local ids), install the travelled
+    /// repair rewritten to the new ids, and return those ids (parallel to
+    /// the exported row order, for the router's id-map handoff).
+    ///
+    /// Order preservation is the whole correctness argument: the exported
+    /// row order is ascending source-local id, which is ascending global id
+    /// (ids are assigned in insertion order on every shard), so the fresh
+    /// ascending local ids keep the block's position-indexed repair valid
+    /// *and* keep local row order a subsequence of global row order within
+    /// the block — exactly what canonical snapshot assembly needs.
+    pub(crate) fn import_block(&mut self, key: &BlockKey, exported: ExportedBlock) -> Vec<RowId> {
+        debug_assert!(
+            self.blocks.get(key).is_none(),
+            "a block lives wholly inside one shard"
+        );
+        let ExportedBlock { rows, repair } = exported;
+        let mut batch = UpdateBatch::new(self.name.clone());
+        batch.inserts = rows.iter().map(|t| t.values().to_vec()).collect();
+        let applied = self
+            .relation
+            .apply(&batch)
+            .expect("migrated rows conform to the shared schema");
+        let inserted = applied.inserted.clone();
+        debug_assert_eq!(inserted.len(), repair.rows.len(), "migration lost rows");
+        let pairs: Vec<(RowId, Tuple)> = inserted
+            .iter()
+            .zip(&rows)
+            .map(|(&id, tuple)| (id, tuple.clone()))
+            .collect();
+        let dirty = self.index.apply(
+            std::iter::empty::<RowId>(),
+            pairs.iter().map(|(id, tuple)| (*id, tuple)),
+        );
+        debug_assert!(
+            dirty.blocks.iter().all(|k| k == key),
+            "an imported block's rows must all carry its key"
+        );
+        let mut repair = (*repair).clone();
+        repair.rows = inserted.clone();
+        self.blocks.insert(key.clone(), Arc::new(repair));
+        self.publish(&BTreeSet::new());
+        inserted
     }
 
     /// Number of entities across all cached block repairs.

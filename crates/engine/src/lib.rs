@@ -103,4 +103,4 @@ pub use epoch::{
 pub use incremental::{IncrementalEngine, IncrementalError, IncrementalStats, UpdateOutcome};
 pub use pool::par_map_with;
 pub use session::EntitySession;
-pub use sharded::ShardedEngine;
+pub use sharded::{ShardStats, ShardedEngine, ShardedStats};

@@ -7,8 +7,8 @@
 //! already known to describe the same real-world entity, "identified by entity
 //! resolution techniques" (Section 2.1).  This crate provides that substrate
 //! as a dependency-light layer (it depends only on `relacc-model` and
-//! `relacc-store`, never on the chase or the engine, so both `relacc-engine`
-//! and `relacc-db` can build on it without a cycle):
+//! `relacc-store`, never on the chase or the engine, so `relacc-engine` can
+//! build on it without a cycle):
 //!
 //! * [`similarity`] — string similarity measures (normalized Levenshtein,
 //!   token Jaccard, exact/null-aware equality) used to compare records;

@@ -35,11 +35,23 @@
 //! handed out strictly in insertion order, so an external router that counts
 //! a shard's inserts predicts the shard's next local id exactly; (b) deletes
 //! preserve the relative order of the surviving rows, so shard-local row
-//! order is always a subsequence of the global insertion order (global order
-//! is ascending global id, which is what makes the sharded snapshot merge
-//! order-preserving).  Update streams keep scripting deletes against
-//! *global* ids; translation to shard-local ids is the router's job, never
-//! the generator's.
+//! order is always a subsequence of the order the shard *inserted* them in.
+//! Update streams keep scripting deletes against *global* ids; translation
+//! to shard-local ids is the router's job, never the generator's.
+//!
+//! **Block migration.** Elastic sharding (`ShardedEngine::rebalance`) moves
+//! a whole block between shards by deleting its rows from the source
+//! relation and re-inserting them on the target **in export order**
+//! (ascending source-local id), where they take fresh ascending local ids
+//! from the target's sequence — local ids are never recycled or
+//! transplanted across id spaces.  Migration therefore weakens the global
+//! picture from "every shard is a subsequence of global insertion order" to
+//! a per-block guarantee: *within one block*, local id order always equals
+//! the rows' global id order (imports preserve export order, and routing
+//! sends every row of a block to the same shard), which is exactly what the
+//! sharded snapshot merge needs to reassemble blocks order-preservingly.
+//! The local→global remapping for migrated rows stays where it always was:
+//! in the router, never in this crate.
 
 use crate::relation::Relation;
 use relacc_model::{SchemaError, SchemaRef, Tuple, Value};

@@ -8,7 +8,7 @@
 //! 1. compile the rules + master data into a chase plan once
 //!    (`relacc-engine`'s `BatchEngine`),
 //! 2. resolve duplicate records into entities (`relacc-resolve`, used
-//!    directly — the deprecated `relacc-db` facade is no longer needed) and
+//!    directly — the `relacc-db` facade that used to sit here is deleted) and
 //!    chase every entity in parallel over the shared plan,
 //! 3. print the repaired one-row-per-entity relation and the batch report.
 //!

@@ -18,7 +18,6 @@
 //! | [`heap`] | `relacc-heap` | pairing heap and ranked value heaps |
 //! | [`store`] | `relacc-store` | in-memory relations, CSV, catalog |
 //! | [`resolve`] | `relacc-resolve` | entity resolution: similarity, blocking, clustering |
-//! | [`db`] | `relacc-db` | deprecated facade over [`resolve`] + [`engine`] (kept for compatibility) |
 //! | [`core`] | `relacc-core` | accuracy rules, the chase, Church-Rosser checking (IsCR), compile-once chase plans |
 //! | [`engine`] | `relacc-engine` | the compile-once / evaluate-many parallel batch engine |
 //! | [`serve`] | `relacc-serve` | concurrent serving: generation-pinned reads, snapshot deltas, change feeds |
@@ -47,7 +46,6 @@
 
 pub use relacc_core as core;
 pub use relacc_datagen as datagen;
-pub use relacc_db as db;
 pub use relacc_engine as engine;
 pub use relacc_framework as framework;
 pub use relacc_fusion as fusion;

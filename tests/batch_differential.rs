@@ -6,9 +6,9 @@
 //! paper-example corpus and on a dirty relation flattened from the Rest
 //! workload, single- and multi-threaded.
 //!
-//! This test used to route through the deprecated `relacc_db` facade; the
-//! shim is retired (see `crates/db/README.md`) and the engine path is pinned
-//! directly.  The behavioral guard is unchanged and two-fold: the oracle
+//! This test used to route through the deprecated `relacc_db` facade; that
+//! crate has since been deleted and the engine path is pinned directly.
+//! The behavioral guard is unchanged and two-fold: the oracle
 //! catches any semantic drift of the compile-once engine against the
 //! per-entity pipeline it absorbed, and the paper-example test pins golden
 //! outcomes (the paper's expected Jordan target, the outcome mix), so a

@@ -1,0 +1,356 @@
+//! Differential guard for **elastic** sharded repair: a [`ShardedEngine`]
+//! that splits shards, migrates blocks by hand ([`ShardedEngine::rebalance`])
+//! and chases load automatically ([`ShardedEngine::rebalance_hot`]) in the
+//! middle of an update stream must stay **bit-identical** to a single
+//! [`IncrementalEngine`] over the same stream and semantically identical to a
+//! from-scratch `BatchEngine::repair_relation` over the same corpus state —
+//! elasticity is pure placement, never semantics.
+//!
+//! Also pinned here: epoch readers that race a rebalance.  An epoch pinned
+//! *before* a block handoff keeps resolving the block at its old home (the
+//! pinned per-shard views own the old caches), epoch ids stay monotone under
+//! concurrent assembly, and every assembled snapshot is internally untorn.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use relacc::datagen::streaming::{med_stream, StreamConfig, StreamOp, UpdateStream};
+use relacc::engine::{BatchEngine, IncrementalEngine, RelationRepair, ShardedEngine};
+use relacc::resolve::{BlockKey, BlockingStrategy, ResolveConfig};
+use relacc::store::RowId;
+
+fn resolve_config(stream: &UpdateStream) -> ResolveConfig {
+    ResolveConfig::on_attrs(stream.match_attrs.clone()).with_strategy(BlockingStrategy::ExactKey)
+}
+
+fn open_batch_engine(stream: &UpdateStream, threads: usize) -> BatchEngine {
+    BatchEngine::new(
+        stream.relation.schema().clone(),
+        stream.rules.clone(),
+        stream.master.clone().into_iter().collect(),
+    )
+    .expect("stream rules validate")
+    .with_threads(threads)
+}
+
+/// The first keyed (non-singleton) block of the stream's seed corpus — a
+/// block that is guaranteed to exist at open time and very likely to survive
+/// the stream, used as the target of the scripted explicit migration.
+fn probe_key(stream: &UpdateStream, resolve: &ResolveConfig) -> BlockKey {
+    let blocker = resolve.blocker(stream.relation.schema());
+    stream
+        .relation
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(i, tuple)| BlockKey::of_row(&blocker, RowId(i as u64), tuple))
+        .find(|key| matches!(key, BlockKey::Key(_)))
+        .expect("seed corpus has at least one keyed block")
+}
+
+fn assert_semantically_equal(sharded: &RelationRepair, other: &RelationRepair, label: &str) {
+    assert_eq!(
+        sharded.resolved.members, other.resolved.members,
+        "{label}: resolution membership"
+    );
+    assert_eq!(
+        sharded.resolved.decisions, other.resolved.decisions,
+        "{label}: match decisions"
+    );
+    for (i, (a, b)) in sharded
+        .resolved
+        .entities
+        .iter()
+        .zip(other.resolved.entities.iter())
+        .enumerate()
+    {
+        assert_eq!(a.tuples(), b.tuples(), "{label}: entity {i} instance");
+    }
+    assert_eq!(
+        sharded.report.entities.len(),
+        other.report.entities.len(),
+        "{label}: entity count"
+    );
+    for (a, b) in sharded
+        .report
+        .entities
+        .iter()
+        .zip(other.report.entities.iter())
+    {
+        assert_eq!(a.entity, b.entity, "{label}: entity index");
+        assert_eq!(a.records, b.records, "{label}: entity {} records", a.entity);
+        assert_eq!(a.outcome, b.outcome, "{label}: entity {} outcome", a.entity);
+        assert_eq!(a.deduced, b.deduced, "{label}: entity {} deduced", a.entity);
+        assert_eq!(
+            a.suggestion, b.suggestion,
+            "{label}: entity {} suggestion",
+            a.entity
+        );
+        assert_eq!(
+            a.suggestion_error, b.suggestion_error,
+            "{label}: entity {} suggestion error",
+            a.entity
+        );
+        assert_eq!(
+            a.conflict.is_some(),
+            b.conflict.is_some(),
+            "{label}: entity {} conflict presence",
+            a.entity
+        );
+    }
+    assert_eq!(
+        sharded.repaired.rows(),
+        other.repaired.rows(),
+        "{label}: repaired rows"
+    );
+    assert_eq!(
+        sharded.row_entities, other.row_entities,
+        "{label}: row/entity mapping"
+    );
+    assert_eq!(sharded.skipped, other.skipped, "{label}: skipped");
+}
+
+/// Apply the whole stream to an elastic sharded engine and a single
+/// incremental engine in lockstep.  One third of the way through the stream
+/// the sharded engine splits off a fresh empty shard; two thirds through it
+/// migrates the probe block onto that shard by hand (checking that an epoch
+/// pinned before the handoff still reads the block untorn); after **every**
+/// row batch it lets the hot-shard policy move up to two blocks.  The
+/// snapshot must stay bit-identical to the single engine and semantically
+/// identical to a from-scratch repair at the seed, after the split, after
+/// the explicit migration, mid-stream and at the end.
+fn run_elastic_stream(stream: &UpdateStream, shards: usize, threads: usize, label: &str) {
+    let resolve = resolve_config(stream);
+    let probe = probe_key(stream, &resolve);
+    let mut sharded = ShardedEngine::open(
+        open_batch_engine(stream, threads),
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+        shards,
+    );
+    let mut single = IncrementalEngine::open(
+        open_batch_engine(stream, threads),
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+    );
+    assert_eq!(sharded.shard_count(), shards, "{label}");
+    assert_eq!(sharded.routing_version(), 0, "{label}: routing starts at v0");
+
+    let check = |sharded: &ShardedEngine, single: &IncrementalEngine, at: &str| {
+        let snap = sharded.snapshot();
+        assert_semantically_equal(
+            &snap,
+            &single.snapshot(),
+            &format!("{label}/{at}/vs-single"),
+        );
+        let relation = sharded.snapshot_relation();
+        assert_eq!(
+            relation.rows(),
+            single.relation().snapshot().rows(),
+            "{label}/{at}: corpus states diverged"
+        );
+        let full = sharded.engine().repair_relation(&relation, &resolve);
+        assert_semantically_equal(&snap, &full, &format!("{label}/{at}/vs-full"));
+    };
+    check(&sharded, &single, "seed");
+
+    let last = stream.ops.len().saturating_sub(1);
+    let split_at = stream.ops.len() / 3;
+    let migrate_at = 2 * stream.ops.len() / 3;
+    let checkpoints = [last / 2, last];
+    let mut fresh_shard = None;
+    for (step, op) in stream.ops.iter().enumerate() {
+        match op {
+            StreamOp::Rows(batch) => {
+                let a = sharded
+                    .apply(batch)
+                    .unwrap_or_else(|e| panic!("{label}: sharded batch {step} rejected: {e}"));
+                let b = single
+                    .apply(batch)
+                    .unwrap_or_else(|e| panic!("{label}: single batch {step} rejected: {e}"));
+                assert_eq!(a.generation, b.generation, "{label}: generation at {step}");
+                assert_eq!(
+                    a.entities_rerepaired + a.entities_reused,
+                    b.entities_rerepaired + b.entities_reused,
+                    "{label}: live entity count at {step}"
+                );
+                // elastic policy runs after every batch: placement only,
+                // so nothing downstream may notice
+                sharded.rebalance_hot(2);
+            }
+            StreamOp::MasterAppend(rows) => {
+                sharded
+                    .apply_master_append(0, rows.clone())
+                    .unwrap_or_else(|e| panic!("{label}: sharded append {step} rejected: {e}"));
+                single
+                    .apply_master_append(0, rows.clone())
+                    .unwrap_or_else(|e| panic!("{label}: single append {step} rejected: {e}"));
+            }
+        }
+        if step == split_at {
+            let target = sharded.split_shard();
+            assert_eq!(target, shards, "{label}: split appends the new shard");
+            fresh_shard = Some(target);
+            check(&sharded, &single, &format!("after-split@{step}"));
+        }
+        if step == migrate_at {
+            let target =
+                fresh_shard.unwrap_or_else(|| panic!("{label}: split must precede the migration"));
+            // pin an epoch across the handoff: the pinned view must keep
+            // serving the block from its old home, byte for byte
+            let pinned = sharded.current_epoch();
+            let before: Option<Vec<RowId>> = pinned
+                .block_view(&probe)
+                .map(|view| view.rows.iter().map(|(id, _)| *id).collect());
+            let version = sharded.routing_version();
+            let moved = sharded.rebalance(&[(probe.clone(), target)]);
+            let after: Option<Vec<RowId>> = pinned
+                .block_view(&probe)
+                .map(|view| view.rows.iter().map(|(id, _)| *id).collect());
+            assert_eq!(
+                before, after,
+                "{label}: pinned epoch saw a torn handoff at {step}"
+            );
+            if moved > 0 {
+                assert_eq!(
+                    sharded.routing_version(),
+                    version + 1,
+                    "{label}: a committed migration bumps the routing version once"
+                );
+            }
+            check(&sharded, &single, &format!("after-migrate@{step}"));
+        }
+        if checkpoints.contains(&step) {
+            check(&sharded, &single, &format!("step {step}"));
+        }
+    }
+
+    let stats = sharded.sharded_stats();
+    assert_eq!(
+        stats.per_shard.len(),
+        sharded.shard_count(),
+        "{label}: one stat row per shard"
+    );
+    let dirty: usize = stats.per_shard.iter().map(|s| s.dirty_blocks).sum();
+    assert!(dirty > 0, "{label}: the stream must dirty some blocks");
+}
+
+#[test]
+fn elastic_matches_single_and_full_on_the_med_stream() {
+    let stream = med_stream(0.01, 23, &StreamConfig::default());
+    assert!(
+        stream.master_appends() > 0,
+        "med stream must exercise broadcast master deltas under elasticity"
+    );
+    for threads in [1usize, 4] {
+        for shards in [1usize, 2, 4, 7] {
+            run_elastic_stream(
+                &stream,
+                shards,
+                threads,
+                &format!("elastic-med/shards={shards}/threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn elastic_matches_single_on_the_drifting_hot_stream() {
+    // the drifting skew the elastic bench measures must stay differential:
+    // the hot window rotates every 3 batches, so rebalance_hot keeps chasing
+    // a moving target while the differential pins semantics
+    let config = StreamConfig {
+        master_appends_per_batch: 0,
+        ..StreamConfig::default()
+    }
+    .with_hot_mix(2, 0.85)
+    .with_hot_drift(3);
+    let stream = med_stream(0.01, 19, &config);
+    for (shards, threads) in [(2usize, 1usize), (4, 4)] {
+        run_elastic_stream(
+            &stream,
+            shards,
+            threads,
+            &format!("elastic-drift/shards={shards}/threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn rebalances_race_pinned_epoch_readers() {
+    let config = StreamConfig {
+        master_appends_per_batch: 0,
+        ..StreamConfig::default()
+    }
+    .with_hot_mix(2, 0.9)
+    .with_hot_drift(3);
+    let stream = med_stream(0.01, 41, &config);
+    let resolve = resolve_config(&stream);
+    let mut sharded = ShardedEngine::open(
+        open_batch_engine(&stream, 4),
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+        3,
+    );
+    let mut single = IncrementalEngine::open(
+        open_batch_engine(&stream, 4),
+        stream.name.clone(),
+        &stream.relation,
+        resolve.clone(),
+    );
+    sharded.split_shard();
+
+    let hub = sharded.epochs();
+    let stop = AtomicBool::new(false);
+    let assemblies = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut last = hub.current().id();
+            let mut assemblies = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let epoch = hub.current();
+                assert!(
+                    epoch.id().0 >= last.0,
+                    "epoch ids regressed under concurrent rebalancing"
+                );
+                last = epoch.id();
+                // a full assembly from a pinned epoch must be untorn even
+                // while the writer splits shards and hands blocks off:
+                // every live row resolves into exactly one entity, and
+                // every materialized entity is accounted for
+                let snap = epoch.snapshot();
+                let resolved_rows: usize = snap.resolved.members.iter().map(Vec::len).sum();
+                assert_eq!(
+                    resolved_rows,
+                    epoch.len(),
+                    "pinned epoch assembled a torn snapshot"
+                );
+                assert_eq!(
+                    snap.repaired.rows().len() + snap.skipped.len(),
+                    snap.report.entities.len(),
+                    "pinned epoch lost entities in assembly"
+                );
+                assemblies += 1;
+            }
+            assemblies
+        });
+
+        for op in &stream.ops {
+            if let StreamOp::Rows(batch) = op {
+                sharded.apply(batch).expect("sharded batch applies");
+                single.apply(batch).expect("single batch applies");
+                sharded.rebalance_hot(2);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader thread saw consistent epochs")
+    });
+    assert!(assemblies > 0, "the reader must observe at least one epoch");
+
+    let snap = sharded.snapshot();
+    assert_semantically_equal(&snap, &single.snapshot(), "after-race/vs-single");
+    let relation = sharded.snapshot_relation();
+    let full = sharded.engine().repair_relation(&relation, &resolve);
+    assert_semantically_equal(&snap, &full, "after-race/vs-full");
+}

@@ -1,9 +1,10 @@
-//! Layering guard: `relacc-resolve` exists so that both `relacc-engine` and
-//! `relacc-db` can share one entity-resolution substrate without a dependency
-//! cycle (engine → db → engine).  That only holds while `relacc-resolve`
-//! stays dependency-light: it must never depend on `relacc-core` (the chase)
-//! or `relacc-engine` (the batch driver), or the cycle this workspace just
-//! removed could be silently reintroduced.
+//! Layering guard: `relacc-resolve` exists as a dependency-light
+//! entity-resolution substrate under `relacc-engine` (it originally broke the
+//! engine → db → engine cycle of the now-deleted `relacc-db` facade).  That
+//! only holds while `relacc-resolve` stays dependency-light: it must never
+//! depend on `relacc-core` (the chase), `relacc-engine` (the batch driver),
+//! or any resurrected facade, or the cycle this workspace removed could be
+//! silently reintroduced.
 
 use std::process::Command;
 

@@ -22,6 +22,12 @@
 //!   real read (`reads ≥ 1`, `batches ≥ 1`, `entities ≥ 1`) — the
 //!   epoch-pinned point read must beat the snapshot-per-read baseline by an
 //!   order of magnitude on the mixed Med stream (PR 7);
+//! * `BENCH_elastic.json`: `elastic_vs_static_speedup ≥ 1.5` on the drifting
+//!   hot-shard Med stream with `master_ground_count == 1` (PR 8) — chasing
+//!   the hot block onto a spare shard must beat static placement even with
+//!   migration cost charged to the elastic engine, and a master append must
+//!   ground its delta exactly once across all shards (one-shot grounding,
+//!   not once per shard);
 //! * every gated number must be present, finite and non-negative.
 //!
 //! Usage: `bench-gate [--root <dir>]` (the root defaults to the workspace
@@ -257,6 +263,36 @@ fn gates(file_name: &str) -> (Vec<Floor>, Vec<Ceiling>) {
             ],
             vec![],
         ),
+        "BENCH_elastic.json" => (
+            vec![
+                Floor {
+                    field: "elastic_vs_static_speedup",
+                    minimum: 1.5,
+                },
+                // exactly 1: a floor and a ceiling pin one grounding per
+                // append summed across all shards
+                Floor {
+                    field: "master_ground_count",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "shards",
+                    minimum: 2.0,
+                },
+                Floor {
+                    field: "entities",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "batches",
+                    minimum: 1.0,
+                },
+            ],
+            vec![Ceiling {
+                field: "master_ground_count",
+                maximum: 1.0,
+            }],
+        ),
         _ => (vec![], vec![]),
     }
 }
@@ -446,6 +482,18 @@ mod tests {
   "smoke": false
 }"#;
 
+    const GOOD_ELASTIC: &str = r#"{
+  "bench": "elastic",
+  "corpus": "med-hot-drift",
+  "shards": 4,
+  "entities": 5400,
+  "batches": 12,
+  "routing_version": 3,
+  "elastic_vs_static_speedup": 2.8,
+  "master_ground_count": 1.00,
+  "smoke": false
+}"#;
+
     #[test]
     fn parses_flat_reports() {
         let report = parse_flat_json(GOOD_INCREMENTAL).unwrap();
@@ -466,6 +514,7 @@ mod tests {
         assert!(check_report("BENCH_sharded.json", GOOD_SHARDED).is_empty());
         assert!(check_report("BENCH_resolve.json", GOOD_RESOLVE).is_empty());
         assert!(check_report("BENCH_serve.json", GOOD_SERVE).is_empty());
+        assert!(check_report("BENCH_elastic.json", GOOD_ELASTIC).is_empty());
         // unknown reports only need the shared invariants
         assert!(check_report("BENCH_new.json", r#"{"x": 1, "smoke": false}"#).is_empty());
     }
@@ -539,6 +588,38 @@ mod tests {
         assert!(check_report("BENCH_serve.json", &smoked)
             .iter()
             .any(|v| v.contains("smoke run")));
+    }
+
+    #[test]
+    fn elastic_gates_are_enforced() {
+        // speedup floor: a 1.2x run regresses below the required 1.5x
+        let regressed = GOOD_ELASTIC.replace("2.8", "1.2");
+        let violations = check_report("BENCH_elastic.json", &regressed);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("elastic_vs_static_speedup"));
+        // per-shard grounding (N groundings per append) breaks the ceiling
+        let per_shard = GOOD_ELASTIC.replace("1.00", "4.00");
+        assert!(check_report("BENCH_elastic.json", &per_shard)
+            .iter()
+            .any(|v| v.contains("master_ground_count")));
+        // zero groundings (appends never grounded) breaks the floor
+        let ungrounded = GOOD_ELASTIC.replace("1.00", "0.00");
+        assert!(check_report("BENCH_elastic.json", &ungrounded)
+            .iter()
+            .any(|v| v.contains("master_ground_count")));
+        // a single-shard "elastic" run proves nothing
+        let unsharded = GOOD_ELASTIC.replace("\"shards\": 4", "\"shards\": 1");
+        assert!(check_report("BENCH_elastic.json", &unsharded)
+            .iter()
+            .any(|v| v.contains("shards")));
+        // smoke-marked elastic reports are rejected like every other report
+        let smoked = GOOD_ELASTIC.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(check_report("BENCH_elastic.json", &smoked)
+            .iter()
+            .any(|v| v.contains("smoke run")));
+        // the gated fields must be present
+        let missing = GOOD_ELASTIC.replace("elastic_vs_static_speedup", "other");
+        assert!(!check_report("BENCH_elastic.json", &missing).is_empty());
     }
 
     #[test]
