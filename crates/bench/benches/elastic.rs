@@ -217,7 +217,9 @@ fn elastic_report() -> (ShardedEngine, ShardedEngine) {
 fn bench_snapshot(c: &mut Criterion, fixed: &ShardedEngine, elastic: &ShardedEngine) {
     let mut group = c.benchmark_group("elastic/med-hot-drift");
     group.sample_size(10);
-    group.bench_function("static_snapshot", |b| b.iter(|| black_box(fixed.snapshot())));
+    group.bench_function("static_snapshot", |b| {
+        b.iter(|| black_box(fixed.snapshot()))
+    });
     group.bench_function("elastic_snapshot", |b| {
         b.iter(|| black_box(elastic.snapshot()))
     });

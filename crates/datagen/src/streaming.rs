@@ -243,6 +243,7 @@ fn script_ops(
     // temperature (everything is "cold" while the skew is disabled)
     let mut hot_live: Vec<RowId> = Vec::new();
     let mut cold_live: Vec<RowId> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `idx` is the row id and the key index at once
     for idx in 0..relation.len() {
         if skew && hot_seed.contains(&idx) {
             hot_live.push(RowId(idx as u64));
@@ -629,7 +630,10 @@ mod tests {
         // exactly the undrifted stream
         let fixed = med_stream(0.02, 5, &hot);
         let zero_period = med_stream(0.02, 5, &hot.clone().with_hot_drift(0));
-        assert_eq!(fixed.ops, zero_period.ops, "period 0 must be byte-identical");
+        assert_eq!(
+            fixed.ops, zero_period.ops,
+            "period 0 must be byte-identical"
+        );
         assert_eq!(
             med_stream(0.02, 5, &StreamConfig::default().with_hot_drift(3)).ops,
             med_stream(0.02, 5, &StreamConfig::default()).ops,
@@ -638,7 +642,11 @@ mod tests {
 
         let config = hot.clone().with_hot_drift(4);
         let drifted = med_stream(0.02, 5, &config);
-        assert_eq!(drifted.ops, med_stream(0.02, 5, &config).ops, "deterministic");
+        assert_eq!(
+            drifted.ops,
+            med_stream(0.02, 5, &config).ops,
+            "deterministic"
+        );
         assert_ne!(
             drifted.ops, fixed.ops,
             "a rotating window must actually move the hot operations"

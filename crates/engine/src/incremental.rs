@@ -183,9 +183,12 @@ pub(crate) fn resolve_block_jobs(
         Vec::new()
     };
     let threads = effective_threads(threads, jobs.len());
-    par_map_with(jobs, threads, || (), |_, _, job| {
-        resolve_one_job(job, resolve, &similarity_attrs, schema)
-    })
+    par_map_with(
+        jobs,
+        threads,
+        || (),
+        |_, _, job| resolve_one_job(job, resolve, &similarity_attrs, schema),
+    )
 }
 
 /// Resolve one block job (see [`resolve_block_jobs`]).
@@ -247,7 +250,10 @@ fn resolve_one_job(
             resolve_ns: started.elapsed().as_nanos() as u64,
         }
     } else {
-        let repair = job.cached.as_deref().expect("plan-delta dirty blocks are cached");
+        let repair = job
+            .cached
+            .as_deref()
+            .expect("plan-delta dirty blocks are cached");
         let mut entities = Vec::with_capacity(repair.entities.len());
         for be in &repair.entities {
             let mut instance = EntityInstance::new(schema.clone());
@@ -913,7 +919,7 @@ impl IncrementalEngine {
     /// the block — exactly what canonical snapshot assembly needs.
     pub(crate) fn import_block(&mut self, key: &BlockKey, exported: ExportedBlock) -> Vec<RowId> {
         debug_assert!(
-            self.blocks.get(key).is_none(),
+            !self.blocks.contains_key(key),
             "a block lives wholly inside one shard"
         );
         let ExportedBlock { rows, repair } = exported;

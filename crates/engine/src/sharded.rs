@@ -8,7 +8,7 @@
 //! across `N` such shards:
 //!
 //! * **Versioned routing.**  A record's shard is decided by its blocking key
-//!   through a versioned [`RoutingTable`]: a fixed FNV-1a hash over the
+//!   through a versioned `RoutingTable`: a fixed FNV-1a hash over the
 //!   **open-time** shard count places every key (the router computes
 //!   [`relacc_resolve::BlockKey`]s with the same [`Blocker`] the shards' own
 //!   indices use), and a small exception map overrides the hash for blocks a
@@ -86,7 +86,7 @@ use std::time::Instant;
 /// The shard a block key hashes to: FNV-1a over the key bytes (or the global
 /// row id for singletons), fixed so the assignment is stable across runs and
 /// platforms.  Pure function of the key — never of arrival order.  This is
-/// the *baseline*; the live placement goes through [`RoutingTable::shard_of`].
+/// the *baseline*; the live placement goes through `RoutingTable::shard_of`.
 pub(crate) fn shard_of(key: &BlockKey, shards: usize) -> usize {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -547,7 +547,10 @@ impl ShardedEngine {
     /// sequentially in ascending shard order.  Per-shard wall clock —
     /// prepare, its blocks' resolution, its entities' chase share, its
     /// commit — is attributed to [`ShardStats::batch_ns`].
-    fn finish_batches(&mut self, prepared: Vec<(usize, PreparedRepair, u64)>) -> Vec<UpdateOutcome> {
+    fn finish_batches(
+        &mut self,
+        prepared: Vec<(usize, PreparedRepair, u64)>,
+    ) -> Vec<UpdateOutcome> {
         debug_assert!(
             prepared.windows(2).all(|w| w[0].0 < w[1].0),
             "prepared sub-batches arrive in ascending shard order"
@@ -575,7 +578,8 @@ impl ShardedEngine {
         let mut resolved = resolved.into_iter();
         let mut cursor = 0usize;
         for (idx, prep, prep_ns) in prepared {
-            let shard_resolved: Vec<ResolvedJob> = resolved.by_ref().take(prep.jobs.len()).collect();
+            let shard_resolved: Vec<ResolvedJob> =
+                resolved.by_ref().take(prep.jobs.len()).collect();
             let span: usize = shard_resolved.iter().map(|r| r.entity_count).sum();
             let resolve_ns: u64 = shard_resolved.iter().map(|r| r.resolve_ns).sum();
             let results = &report.entities[cursor..cursor + span];
@@ -1476,8 +1480,14 @@ mod tests {
 
         // no-op moves: already home, singletons, unknown blocks, bad targets
         assert_eq!(engine.rebalance(&[(mj.clone(), home)]), 0);
-        assert_eq!(engine.rebalance(&[(BlockKey::Singleton(RowId(4)), fresh)]), 0);
-        assert_eq!(engine.rebalance(&[(BlockKey::Key("nobody".into()), fresh)]), 0);
+        assert_eq!(
+            engine.rebalance(&[(BlockKey::Singleton(RowId(4)), fresh)]),
+            0
+        );
+        assert_eq!(
+            engine.rebalance(&[(BlockKey::Key("nobody".into()), fresh)]),
+            0
+        );
         assert_eq!(engine.rebalance(&[(mj.clone(), 99)]), 0);
         assert_eq!(
             engine.routing_version(),

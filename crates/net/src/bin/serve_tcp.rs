@@ -1,0 +1,141 @@
+//! `serve_tcp`: the smallest end-to-end deployment of the relacc serving
+//! stack — an incremental engine under a scripted Med update stream, its
+//! epochs served over TCP by [`relacc_net::NetServer`].
+//!
+//! The run is **bounded**: the driver applies the scripted batches (pacing
+//! each one by `--pace-ms`), keeps the listener up for a final grace tick so
+//! attached clients can drain their feeds, then shuts down and exits 0.
+//! That makes the binary safe to run unattended in CI (the examples job
+//! does), while still serving real traffic for however long the stream
+//! runs: point clients and subscribers can attach to the printed address at
+//! any time.
+//!
+//! ```text
+//! serve_tcp [--port P] [--batches N] [--scale S] [--pace-ms MS]
+//!   --port     listen port (default 0 = ephemeral; the bound address is printed)
+//!   --batches  scripted row batches to apply before exiting (default 8)
+//!   --scale    Med corpus scale factor (default 0.05)
+//!   --pace-ms  sleep between scripted operations (default 50)
+//! ```
+
+use relacc_datagen::streaming::{med_stream, StreamConfig, StreamOp};
+use relacc_engine::{BatchEngine, IncrementalEngine};
+use relacc_net::NetServer;
+use relacc_resolve::{BlockingStrategy, ResolveConfig};
+use relacc_serve::Server;
+use std::time::Duration;
+
+struct Args {
+    port: u16,
+    batches: usize,
+    scale: f64,
+    pace_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 0,
+        batches: 8,
+        scale: 0.05,
+        pace_ms: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--batches" => {
+                args.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?;
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--pace-ms" => {
+                args.pace_ms = value("--pace-ms")?
+                    .parse()
+                    .map_err(|e| format!("--pace-ms: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve_tcp: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // the scripted workload: a Med corpus plus `--batches` update batches
+    let config = StreamConfig {
+        n_batches: args.batches,
+        inserts_per_batch: 4,
+        deletes_per_batch: 2,
+        master_appends_per_batch: 1,
+        seed: 57,
+        ..StreamConfig::default()
+    };
+    let stream = med_stream(args.scale, 29, &config);
+    let engine = BatchEngine::new(
+        stream.relation.schema().clone(),
+        stream.rules.clone(),
+        stream.master.clone().into_iter().collect(),
+    )
+    .expect("scripted stream rules validate");
+    let mut engine = IncrementalEngine::open(
+        engine,
+        stream.name.clone(),
+        &stream.relation,
+        ResolveConfig::on_attrs(stream.match_attrs.clone())
+            .with_strategy(BlockingStrategy::ExactKey),
+    );
+
+    let mut net = NetServer::spawn(Server::new(&engine), ("127.0.0.1", args.port))
+        .expect("bind the listen address");
+    println!(
+        "serve_tcp: serving {} ({} seed rows) on {} — {} scripted batches ahead",
+        stream.name,
+        stream.relation.rows().len(),
+        net.local_addr(),
+        args.batches,
+    );
+
+    let pace = Duration::from_millis(args.pace_ms);
+    let mut applied = 0usize;
+    for op in &stream.ops {
+        match op {
+            StreamOp::Rows(batch) => {
+                engine.apply(batch).expect("scripted batches stay valid");
+                applied += 1;
+                println!(
+                    "serve_tcp: committed batch {applied}/{} (generation {})",
+                    args.batches,
+                    engine.current_epoch().generation().0,
+                );
+            }
+            StreamOp::MasterAppend(rows) => {
+                engine
+                    .apply_master_append(0, rows.clone())
+                    .expect("scripted appends stay valid");
+            }
+        }
+        std::thread::sleep(pace);
+    }
+
+    // one grace tick so attached subscribers can drain the final batch
+    std::thread::sleep(Duration::from_millis(args.pace_ms.max(100)));
+    net.shutdown();
+    println!("serve_tcp: stream complete after {applied} batches, exiting 0");
+}

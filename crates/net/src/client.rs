@@ -1,0 +1,331 @@
+//! The blocking typed client: the same read surface as the in-process
+//! [`relacc_serve::Server`], over one TCP connection.
+//!
+//! [`NetClient`] is deliberately shaped after `Server` — `pin`, `pin_at`,
+//! `repaired_row`, `entity_result`, `changes_since`, `subscribe` — so a
+//! reader written against the in-process API ports to the wire by swapping
+//! the constructor.  That symmetry is load-bearing: the loopback
+//! differential test (`tests/net_loopback.rs` at the workspace root) runs N
+//! TCP clients and N in-process readers over the same update stream and
+//! demands bit-identical answers from every pair.
+//!
+//! One connection serves either requests or a feed: [`NetClient::subscribe`]
+//! consumes the client and turns the connection into a [`NetSubscription`]
+//! (the server pushes `Feed` frames from then on).  Point reads concurrent
+//! with a subscription use a second connection — connections are cheap and
+//! each subscriber is supposed to drain at its own pace off its own pinned
+//! cursor anyway.
+
+use crate::wire::{
+    epoch_error_of, write_frame, ErrorCode, FrameReader, Message, Poll, WireError, PROTOCOL_VERSION,
+};
+use relacc_engine::{EntityView, EpochError, EpochId, SnapshotDelta};
+use relacc_model::{SchemaRef, Value};
+use relacc_serve::ChangeBatch;
+use relacc_store::{Generation, RowId};
+use std::io;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed (connect, read or write).
+    Io(io::Error),
+    /// The peer violated the protocol (bad frame, unexpected message).
+    Protocol(String),
+    /// The server answered a generation-addressed read with an epoch error
+    /// (evicted or unknown generation) — same meaning as the in-process
+    /// [`EpochError`].
+    Remote(EpochError),
+    /// The server speaks a different protocol version.
+    VersionMismatch {
+        /// Our version.
+        client: u64,
+        /// The server's version.
+        server: u64,
+    },
+    /// The server reported a request it could not parse.
+    Rejected(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport: {e}"),
+            NetError::Protocol(d) => write!(f, "protocol violation: {d}"),
+            NetError::Remote(e) => write!(f, "server: {e}"),
+            NetError::VersionMismatch { client, server } => {
+                write!(
+                    f,
+                    "protocol version mismatch: client {client}, server {server}"
+                )
+            }
+            NetError::Rejected(d) => write!(f, "server rejected the request: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => NetError::Io(e),
+            other => NetError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A pinned epoch as seen over the wire: the id/generation pair a client
+/// uses to address subsequent generation-pinned reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochRef {
+    /// The epoch's publish identity.
+    pub epoch: EpochId,
+    /// The row-batch generation it reflects.
+    pub generation: Generation,
+    /// Number of live rows it pins.
+    pub rows: u64,
+}
+
+/// A blocking client speaking the framed protocol of [`crate::wire`].
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    schema: SchemaRef,
+}
+
+impl NetClient {
+    /// Connect, handshake and return a ready client.  Fails fast on a
+    /// protocol version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let mut client = NetClient {
+            stream,
+            reader: FrameReader::new(),
+            schema: relacc_model::Schema::builder("uninitialised").build(),
+        };
+        write_frame(
+            &mut client.stream,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match client.read_message()? {
+            Message::HelloOk { version, schema } if version == PROTOCOL_VERSION => {
+                client.schema = schema;
+                Ok(client)
+            }
+            Message::HelloOk { version, .. } => Err(NetError::VersionMismatch {
+                client: PROTOCOL_VERSION,
+                server: version,
+            }),
+            Message::Error {
+                code: ErrorCode::VersionMismatch,
+                value,
+                ..
+            } => Err(NetError::VersionMismatch {
+                client: PROTOCOL_VERSION,
+                server: value,
+            }),
+            other => Err(NetError::Protocol(format!(
+                "expected HelloOk, got {:?}",
+                other.msg_type()
+            ))),
+        }
+    }
+
+    /// The served relation's schema, learned during the handshake.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Pin the current epoch.
+    pub fn pin(&mut self) -> Result<EpochRef, NetError> {
+        match self.request(&Message::Pin)? {
+            Message::EpochRef {
+                epoch,
+                generation,
+                rows,
+            } => Ok(EpochRef {
+                epoch,
+                generation,
+                rows,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Pin the earliest retained epoch of `generation`
+    /// ([`NetError::Remote`] with [`EpochError::Evicted`] /
+    /// [`EpochError::Unknown`] exactly like the in-process server).
+    pub fn pin_at(&mut self, generation: Generation) -> Result<EpochRef, NetError> {
+        match self.request(&Message::PinAt { generation })? {
+            Message::EpochRef {
+                epoch,
+                generation,
+                rows,
+            } => Ok(EpochRef {
+                epoch,
+                generation,
+                rows,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The repaired row of `row`'s entity at `generation` — the wire form
+    /// of [`relacc_serve::Server::repaired_row`].
+    pub fn repaired_row(
+        &mut self,
+        row: RowId,
+        generation: Generation,
+    ) -> Result<Option<Vec<Value>>, NetError> {
+        match self.request(&Message::RepairedRow { row, generation })? {
+            Message::RowReply { row } => Ok(row),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The full entity owning `row` at `generation` — the wire form of
+    /// [`relacc_serve::Server::entity_result`].
+    pub fn entity_result(
+        &mut self,
+        row: RowId,
+        generation: Generation,
+    ) -> Result<Option<EntityView>, NetError> {
+        match self.request(&Message::EntityResult { row, generation })? {
+            Message::EntityReply { entity } => Ok(entity),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Everything that changed between `since` and the current epoch, as a
+    /// whole-block [`SnapshotDelta`] — the wire form of
+    /// [`relacc_serve::Server::changes_since`].
+    pub fn changes_since(&mut self, since: Generation) -> Result<SnapshotDelta, NetError> {
+        match self.request(&Message::ChangesSince { since })? {
+            Message::Delta { delta } => Ok(delta),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Switch this connection into feed mode.  The server pins a cursor at
+    /// its current epoch and pushes a [`ChangeBatch`] frame per advance.
+    pub fn subscribe(mut self) -> Result<NetSubscription, NetError> {
+        write_frame(&mut self.stream, &Message::Subscribe)?;
+        match self.read_message()? {
+            Message::SubOk { epoch, generation } => Ok(NetSubscription {
+                stream: self.stream,
+                reader: self.reader,
+                start: EpochRef {
+                    epoch,
+                    generation,
+                    rows: 0,
+                },
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        write_frame(&mut self.stream, request)?;
+        let reply = self.read_message()?;
+        if let Message::Error {
+            code,
+            value,
+            detail,
+        } = &reply
+        {
+            return Err(match epoch_error_of(*code, *value) {
+                Some(e) => NetError::Remote(e),
+                None => NetError::Rejected(detail.clone()),
+            });
+        }
+        Ok(reply)
+    }
+
+    /// Read one message, treating read timeouts as fatal (requests expect a
+    /// prompt answer) and EOF as a closed server.
+    fn read_message(&mut self) -> Result<Message, NetError> {
+        match self.reader.poll(&mut self.stream)? {
+            Poll::Frame(payload) => Ok(Message::decode(&payload)?),
+            Poll::Pending => Err(NetError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "server did not answer within the read timeout",
+            ))),
+            Poll::Closed => Err(NetError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+}
+
+fn unexpected(message: &Message) -> NetError {
+    NetError::Protocol(format!("unexpected reply {:?}", message.msg_type()))
+}
+
+/// The client end of a change feed: reads pushed [`ChangeBatch`] frames.
+/// Dropping the value closes the connection, which the server notices at
+/// its next poll tick and releases the subscriber's pinned cursor.
+#[derive(Debug)]
+pub struct NetSubscription {
+    stream: TcpStream,
+    reader: FrameReader,
+    start: EpochRef,
+}
+
+impl NetSubscription {
+    /// The cursor's starting position (the server-side epoch at subscribe
+    /// time).
+    pub fn start(&self) -> EpochRef {
+        self.start
+    }
+
+    /// Block up to `timeout` for the next pushed batch.  `Ok(None)` on
+    /// timeout — the feed is still live, nothing was committed (or the
+    /// server's push has not arrived yet).
+    pub fn next_batch(&mut self, timeout: Duration) -> Result<Option<ChangeBatch>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            // read timeouts cap each poll; cap the last one at the deadline
+            self.stream
+                .set_read_timeout(Some(remaining.min(Duration::from_millis(100))))?;
+            match self.reader.poll(&mut self.stream)? {
+                Poll::Frame(payload) => match Message::decode(&payload)? {
+                    Message::Feed { batch } => return Ok(Some(batch)),
+                    other => return Err(unexpected(&other)),
+                },
+                Poll::Pending => continue,
+                Poll::Closed => {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the feed",
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Half-close the connection, telling the server this subscriber is
+    /// done (the handler exits at its next poll).
+    pub fn close(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}

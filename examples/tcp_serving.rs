@@ -1,0 +1,121 @@
+//! End-to-end TCP serving: an incremental engine under a scripted Med
+//! update stream, served over loopback TCP, consumed by a point-read client
+//! and a subscribed change-feed client — the network half of the serving
+//! story (`examples/streaming_repair.rs` is the in-process half).
+//!
+//! Run with `cargo run --example tcp_serving`.
+
+use relacc::datagen::streaming::{med_stream, StreamConfig, StreamOp};
+use relacc::engine::{BatchEngine, IncrementalEngine};
+use relacc::net::{NetClient, NetServer};
+use relacc::resolve::{BlockingStrategy, ResolveConfig};
+use relacc::serve::{EntityChangeKind, Server};
+use std::time::Duration;
+
+fn main() {
+    // a scripted Med workload: seed corpus + 4 update batches with reads
+    let config = StreamConfig {
+        n_batches: 4,
+        inserts_per_batch: 4,
+        deletes_per_batch: 2,
+        master_appends_per_batch: 1,
+        seed: 57,
+        ..StreamConfig::default()
+    }
+    .with_reads(3);
+    let stream = med_stream(0.02, 29, &config);
+    let engine = BatchEngine::new(
+        stream.relation.schema().clone(),
+        stream.rules.clone(),
+        stream.master.clone().into_iter().collect(),
+    )
+    .expect("stream rules validate");
+    let mut engine = IncrementalEngine::open(
+        engine,
+        stream.name.clone(),
+        &stream.relation,
+        ResolveConfig::on_attrs(stream.match_attrs.clone())
+            .with_strategy(BlockingStrategy::ExactKey),
+    );
+
+    // serve the engine's epochs on an ephemeral loopback port
+    let mut net =
+        NetServer::spawn(Server::new(&engine), "127.0.0.1:0").expect("bind a loopback port");
+    println!(
+        "serving {} ({} seed rows) on {}",
+        stream.name,
+        stream.relation.rows().len(),
+        net.local_addr()
+    );
+
+    // one subscriber (feed mode) and one point-read client (request mode)
+    let feed_client = NetClient::connect(net.local_addr()).expect("subscriber connects");
+    let mut feed = feed_client.subscribe().expect("subscription accepted");
+    let mut reader = NetClient::connect(net.local_addr()).expect("reader connects");
+    println!(
+        "clients attached; schema over the wire: {}",
+        reader.schema()
+    );
+
+    // the writer replays the scripted stream; after each committed batch
+    // the reader serves that batch's scripted point reads over TCP
+    let mut batch_idx = 0usize;
+    for op in &stream.ops {
+        match op {
+            StreamOp::Rows(batch) => {
+                engine.apply(batch).expect("scripted batches stay valid");
+                let generation = engine.current_epoch().generation();
+                for &row in &stream.reads[batch_idx] {
+                    let repaired = reader
+                        .repaired_row(row, generation)
+                        .expect("pinned read succeeds");
+                    println!(
+                        "  gen {} point read {row}: {}",
+                        generation.0,
+                        match &repaired {
+                            Some(values) => values
+                                .iter()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join("|"),
+                            None => "(not live)".into(),
+                        }
+                    );
+                }
+                batch_idx += 1;
+            }
+            StreamOp::MasterAppend(rows) => {
+                engine
+                    .apply_master_append(0, rows.clone())
+                    .expect("scripted appends stay valid");
+            }
+        }
+    }
+
+    // drain the change feed: every committed epoch arrives as entity changes
+    let mut batches = 0usize;
+    let (mut upserts, mut removes) = (0usize, 0usize);
+    while let Some(batch) = feed
+        .next_batch(Duration::from_millis(500))
+        .expect("feed stays live")
+    {
+        batches += 1;
+        for change in &batch.changes {
+            match &change.kind {
+                EntityChangeKind::Upserted(_) => upserts += 1,
+                EntityChangeKind::Removed { .. } => removes += 1,
+            }
+        }
+        if batch.to == engine.current_epoch().generation()
+            && batch.to_epoch == engine.current_epoch().id()
+        {
+            break;
+        }
+    }
+    println!("feed drained: {batches} pushed batches, {upserts} entity upserts, {removes} removes");
+    assert!(batches > 0, "the feed must deliver the committed batches");
+
+    feed.close();
+    net.shutdown();
+    println!("done");
+}

@@ -21,6 +21,7 @@
 //! | [`core`] | `relacc-core` | accuracy rules, the chase, Church-Rosser checking (IsCR), compile-once chase plans |
 //! | [`engine`] | `relacc-engine` | the compile-once / evaluate-many parallel batch engine |
 //! | [`serve`] | `relacc-serve` | concurrent serving: generation-pinned reads, snapshot deltas, change feeds |
+//! | [`net`] | `relacc-net` | TCP transport: framed wire protocol, `serve_tcp` binary, typed client |
 //! | [`topk`] | `relacc-topk` | preference model, RankJoinCT, TopKCT, TopKCTh |
 //! | [`framework`] | `relacc-framework` | the interactive deduction framework (Fig. 3) |
 //! | [`fusion`] | `relacc-fusion` | voting, DeduceOrder, copyCEF, evaluation metrics |
@@ -51,6 +52,7 @@ pub use relacc_framework as framework;
 pub use relacc_fusion as fusion;
 pub use relacc_heap as heap;
 pub use relacc_model as model;
+pub use relacc_net as net;
 pub use relacc_resolve as resolve;
 pub use relacc_serve as serve;
 pub use relacc_store as store;

@@ -135,7 +135,11 @@ fn run_elastic_stream(stream: &UpdateStream, shards: usize, threads: usize, labe
         resolve.clone(),
     );
     assert_eq!(sharded.shard_count(), shards, "{label}");
-    assert_eq!(sharded.routing_version(), 0, "{label}: routing starts at v0");
+    assert_eq!(
+        sharded.routing_version(),
+        0,
+        "{label}: routing starts at v0"
+    );
 
     let check = |sharded: &ShardedEngine, single: &IncrementalEngine, at: &str| {
         let snap = sharded.snapshot();

@@ -22,6 +22,12 @@
 //!   real read (`reads ≥ 1`, `batches ≥ 1`, `entities ≥ 1`) — the
 //!   epoch-pinned point read must beat the snapshot-per-read baseline by an
 //!   order of magnitude on the mixed Med stream (PR 7);
+//! * `BENCH_net.json`: `mismatches ≤ 0` over at least one paired read
+//!   (`reads ≥ 1`, `batches ≥ 1`, `entities ≥ 1`) plus
+//!   `tcp_reads_per_sec ≥ 100` (PR 9) — every point read served over
+//!   loopback TCP must be bit-identical to its in-process twin, and the
+//!   deliberately generous absolute throughput floor catches a transport
+//!   wedged on socket timeouts without ever judging machine speed;
 //! * `BENCH_elastic.json`: `elastic_vs_static_speedup ≥ 1.5` on the drifting
 //!   hot-shard Med stream with `master_ground_count == 1` (PR 8) — chasing
 //!   the hot block onto a spare shard must beat static placement even with
@@ -241,6 +247,35 @@ fn gates(file_name: &str) -> (Vec<Floor>, Vec<Ceiling>) {
                 },
             ],
             vec![],
+        ),
+        "BENCH_net.json" => (
+            vec![
+                // a deliberately generous absolute floor: loopback TCP point
+                // reads run ~10k/s on any hardware, so tripping 100/s means a
+                // transport bug (a lost flush waiting out a socket timeout),
+                // not a slow machine
+                Floor {
+                    field: "tcp_reads_per_sec",
+                    minimum: 100.0,
+                },
+                Floor {
+                    field: "entities",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "batches",
+                    minimum: 1.0,
+                },
+                Floor {
+                    field: "reads",
+                    minimum: 1.0,
+                },
+            ],
+            // every TCP answer must be bit-identical to its in-process twin
+            vec![Ceiling {
+                field: "mismatches",
+                maximum: 0.0,
+            }],
         ),
         "BENCH_sharded.json" => (
             vec![
@@ -472,6 +507,19 @@ mod tests {
   "smoke": false
 }"#;
 
+    const GOOD_NET: &str = r#"{
+  "bench": "net",
+  "corpus": "med-mixed",
+  "entities": 2158,
+  "batches": 8,
+  "reads": 64,
+  "tcp_read_ms_median": 0.0628,
+  "inproc_read_ms_median": 0.0265,
+  "tcp_reads_per_sec": 12121,
+  "mismatches": 0,
+  "smoke": false
+}"#;
+
     const GOOD_SHARDED: &str = r#"{
   "bench": "sharded",
   "corpus": "med-hot",
@@ -515,6 +563,7 @@ mod tests {
         assert!(check_report("BENCH_resolve.json", GOOD_RESOLVE).is_empty());
         assert!(check_report("BENCH_serve.json", GOOD_SERVE).is_empty());
         assert!(check_report("BENCH_elastic.json", GOOD_ELASTIC).is_empty());
+        assert!(check_report("BENCH_net.json", GOOD_NET).is_empty());
         // unknown reports only need the shared invariants
         assert!(check_report("BENCH_new.json", r#"{"x": 1, "smoke": false}"#).is_empty());
     }
@@ -586,6 +635,34 @@ mod tests {
         // smoke-marked serve reports are rejected like every other report
         let smoked = GOOD_SERVE.replace("\"smoke\": false", "\"smoke\": true");
         assert!(check_report("BENCH_serve.json", &smoked)
+            .iter()
+            .any(|v| v.contains("smoke run")));
+    }
+
+    #[test]
+    fn net_gates_are_enforced() {
+        // a single wire/in-process divergence fails the run: the transport's
+        // whole claim is bit-identical answers
+        let diverged = GOOD_NET.replace("\"mismatches\": 0", "\"mismatches\": 1");
+        let violations = check_report("BENCH_net.json", &diverged);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("mismatches"));
+        // the throughput floor catches a transport wedged on timeouts
+        let wedged = GOOD_NET.replace("12121", "3");
+        assert!(check_report("BENCH_net.json", &wedged)
+            .iter()
+            .any(|v| v.contains("tcp_reads_per_sec")));
+        // a zero-read run proves nothing
+        let unread = GOOD_NET.replace("\"reads\": 64", "\"reads\": 0");
+        assert!(check_report("BENCH_net.json", &unread)
+            .iter()
+            .any(|v| v.contains("reads")));
+        // the gated fields must be present
+        let missing = GOOD_NET.replace("mismatches", "other");
+        assert!(!check_report("BENCH_net.json", &missing).is_empty());
+        // smoke-marked net reports are rejected like every other report
+        let smoked = GOOD_NET.replace("\"smoke\": false", "\"smoke\": true");
+        assert!(check_report("BENCH_net.json", &smoked)
             .iter()
             .any(|v| v.contains("smoke run")));
     }
